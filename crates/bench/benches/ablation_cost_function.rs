@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E7: timing of the MISR assignment with the
+//! cost-function terms ablated (the quality comparison is produced by the
+//! `ablation` binary; this bench shows the terms cost roughly the same to
+//! evaluate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::encode::cost::CostWeights;
+use stfsm::encode::misr::{assign, MisrAssignmentConfig};
+use stfsm_bench::medium_machine;
+
+fn bench_ablation(c: &mut Criterion) {
+    let fsm = medium_machine();
+    let variants: [(&str, CostWeights); 3] = [
+        ("full", CostWeights::default()),
+        ("input_only", CostWeights { input_incompatibility: 1.0, output_incompatibility: 0.0 }),
+        ("output_only", CostWeights { input_incompatibility: 0.0, output_incompatibility: 1.0 }),
+    ];
+    let mut group = c.benchmark_group("misr_assignment_cost_ablation");
+    group.sample_size(10);
+    for (name, weights) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &weights, |b, weights| {
+            b.iter(|| {
+                let config = MisrAssignmentConfig { weights: *weights, ..MisrAssignmentConfig::default() };
+                assign(&fsm, &config).final_implicants
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

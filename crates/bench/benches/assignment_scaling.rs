@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E6: how the MISR assignment scales with
+//! the branch-and-bound width `k` (the paper's runtime/quality trade-off,
+//! "run time … in the range of minutes on a SUN 4/60").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::encode::misr::{assign, MisrAssignmentConfig};
+use stfsm_bench::medium_machine;
+
+fn bench_branch_width(c: &mut Criterion) {
+    let fsm = medium_machine();
+    let mut group = c.benchmark_group("misr_assignment_branch_width");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let config = MisrAssignmentConfig { branch_width: k, ..MisrAssignmentConfig::default() };
+                assign(&fsm, &config).cost
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_width);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for the two-level minimizer itself: the dominant cost of
+//! every table entry (each Table 2 row runs it 51 times).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::bist::excitation::{build_pla, RegisterTransform};
+use stfsm::encode::StateEncoding;
+use stfsm::lfsr::{primitive_polynomial, Misr};
+use stfsm::logic::espresso::{minimize_with, MinimizeConfig};
+use stfsm_bench::timing_machines;
+
+fn bench_minimizer(c: &mut Criterion) {
+    let machines = timing_machines();
+    let mut group = c.benchmark_group("espresso_minimize");
+    group.sample_size(10);
+    for fsm in &machines {
+        let encoding = StateEncoding::natural(fsm).expect("encoding fits");
+        let misr = Misr::new(primitive_polynomial(encoding.num_bits()).expect("primitive"))
+            .expect("misr");
+        let pla = build_pla(fsm, &encoding, &RegisterTransform::Misr(misr)).expect("pla");
+        for (name, config) in
+            [("two_pass", MinimizeConfig::default()), ("single_pass", MinimizeConfig::fast())]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(name, fsm.name()),
+                &pla,
+                |b, pla| b.iter(|| minimize_with(pla, &config).product_terms()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimizer);
+criterion_main!(benches);

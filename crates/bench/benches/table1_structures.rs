@@ -1,0 +1,32 @@
+//! Criterion bench for experiment E1: end-to-end synthesis time per BIST
+//! structure (the cost of "trying alternative designs", Section 2.5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::timing_machines;
+
+fn bench_structures(c: &mut Criterion) {
+    let machines = timing_machines();
+    let mut group = c.benchmark_group("table1_synthesis");
+    group.sample_size(10);
+    for fsm in &machines {
+        for structure in BistStructure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(structure.name(), fsm.name()),
+                fsm,
+                |b, fsm| {
+                    b.iter(|| {
+                        SynthesisFlow::new(structure)
+                            .synthesize(fsm)
+                            .expect("synthesis succeeds")
+                            .product_terms()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_structures);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for experiment E2: the MISR-targeted state assignment
+//! versus one random encoding (the per-encoding cost behind Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::{AssignmentMethod, BistStructure, SynthesisFlow};
+use stfsm_bench::{timing_config, timing_machines};
+
+fn bench_assignment(c: &mut Criterion) {
+    let machines = timing_machines();
+    let config = timing_config();
+    let mut group = c.benchmark_group("table2_assignment");
+    group.sample_size(10);
+    for fsm in &machines {
+        group.bench_with_input(BenchmarkId::new("heuristic", fsm.name()), fsm, |b, fsm| {
+            b.iter(|| {
+                SynthesisFlow::new(BistStructure::Pst)
+                    .with_minimizer(config.minimizer.clone())
+                    .with_misr_config(config.misr.clone())
+                    .synthesize(fsm)
+                    .expect("synthesis succeeds")
+                    .product_terms()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("random", fsm.name()), fsm, |b, fsm| {
+            b.iter(|| {
+                SynthesisFlow::new(BistStructure::Pst)
+                    .with_assignment(AssignmentMethod::Random { seed: 1 })
+                    .with_minimizer(config.minimizer.clone())
+                    .synthesize(fsm)
+                    .expect("synthesis succeeds")
+                    .product_terms()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E3: one full Table-3 row (PST/SIG, DFF and
+//! PAT synthesis) per machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::experiments::table3_row;
+use stfsm_bench::{timing_config, timing_machines};
+
+fn bench_table3(c: &mut Criterion) {
+    let machines = timing_machines();
+    let config = timing_config();
+    let mut group = c.benchmark_group("table3_row");
+    group.sample_size(10);
+    for fsm in &machines {
+        group.bench_with_input(BenchmarkId::from_parameter(fsm.name()), fsm, |b, fsm| {
+            b.iter(|| {
+                let row = table3_row(fsm, None, &config).expect("synthesis succeeds");
+                row.product_terms[0] + row.product_terms[1] + row.product_terms[2]
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for experiment E5: the fault-simulation campaign that
+//! measures test length and coverage for the DFF and PST structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::testsim::coverage::{run_self_test, SelfTestConfig};
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::timing_machines;
+
+fn bench_coverage(c: &mut Criterion) {
+    let machines = timing_machines();
+    let mut group = c.benchmark_group("self_test_campaign");
+    group.sample_size(10);
+    for fsm in &machines {
+        for structure in [BistStructure::Dff, BistStructure::Pst] {
+            let netlist = SynthesisFlow::new(structure)
+                .synthesize(fsm)
+                .expect("synthesis succeeds")
+                .netlist;
+            group.bench_with_input(
+                BenchmarkId::new(structure.name(), fsm.name()),
+                &netlist,
+                |b, netlist| {
+                    b.iter(|| {
+                        run_self_test(
+                            netlist,
+                            &SelfTestConfig { max_patterns: 256, fault_sample: 2, ..SelfTestConfig::default() },
+                        )
+                        .detected_faults
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Experiment E7 (ablation): how much each term of the MISR-assignment cost
+//! function contributes.  The paper's cost function counts input
+//! incompatibilities (face violations) and output incompatibilities
+//! (excitation splits); this binary re-runs the PST synthesis with each term
+//! disabled and reports the resulting product terms.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin ablation [--full]
+//! ```
+
+use stfsm::encode::cost::CostWeights;
+use stfsm::encode::misr::MisrAssignmentConfig;
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::{full_flag, selected_benchmarks};
+
+fn terms_with(fsm: &stfsm::fsm::Fsm, weights: CostWeights) -> Result<usize, stfsm::Error> {
+    let config = MisrAssignmentConfig { weights, ..MisrAssignmentConfig::default() };
+    Ok(SynthesisFlow::new(BistStructure::Pst)
+        .with_misr_config(config)
+        .synthesize(fsm)?
+        .product_terms())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = full_flag();
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "benchmark", "full-cost", "input-only", "output-only", "no-cost"
+    );
+    for info in selected_benchmarks(full) {
+        let fsm = info.fsm()?;
+        let full_cost = terms_with(&fsm, CostWeights::default())?;
+        let input_only =
+            terms_with(&fsm, CostWeights { input_incompatibility: 1.0, output_incompatibility: 0.0 })?;
+        let output_only =
+            terms_with(&fsm, CostWeights { input_incompatibility: 0.0, output_incompatibility: 1.0 })?;
+        let none =
+            terms_with(&fsm, CostWeights { input_incompatibility: 0.0, output_incompatibility: 0.0 })?;
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>10}",
+            info.name, full_cost, input_only, output_only, none
+        );
+    }
+    println!("\nlower is better; the full cost function should dominate the ablated variants on most machines");
+    Ok(())
+}

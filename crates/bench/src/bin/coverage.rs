@@ -1,0 +1,37 @@
+//! Reproduces experiment E5: fault coverage and test length of the self-test
+//! per structure (the quantified "test length" / "fault coverage" rows of
+//! Table 1 and the ≈ +30 % PST test-length claim of [EsWu 91]).
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin coverage [--full]
+//! ```
+
+use stfsm::experiments::{coverage_comparison, ExperimentConfig};
+use stfsm_bench::{full_flag, selected_benchmarks, table_config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = full_flag();
+    let base = table_config(full);
+    let config = ExperimentConfig { max_patterns: 4096, fault_sample: if full { 1 } else { 2 }, ..base };
+    for info in selected_benchmarks(full).into_iter().filter(|i| i.states <= 32) {
+        let fsm = info.fsm()?;
+        eprintln!("coverage: {} ({} states)", info.name, info.states);
+        let cmp = coverage_comparison(&fsm, &config)?;
+        println!("{} (target {:.0}% coverage, {} patterns):", cmp.benchmark, cmp.target_coverage * 100.0, config.max_patterns);
+        for row in &cmp.rows {
+            println!(
+                "  {:<4} faults {:>5}  detected {:>5}  coverage {:>6.2}%  test-length {}",
+                row.structure,
+                row.total_faults,
+                row.detected_faults,
+                row.coverage * 100.0,
+                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+            );
+        }
+        if let Some(ratio) = cmp.pst_vs_dff_test_length_ratio() {
+            println!("  PST/DFF test-length ratio: {ratio:.2} (paper: ~1.3)");
+        }
+        println!();
+    }
+    Ok(())
+}

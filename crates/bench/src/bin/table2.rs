@@ -1,0 +1,31 @@
+//! Reproduces Table 2: product terms of the PST/SIG state assignment versus
+//! the average and best of N random encodings.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin table2 [--full]
+//! ```
+//!
+//! `--full` runs the complete benchmark suite with 50 random encodings per
+//! machine (this takes a while for the largest controllers); without it the
+//! small/medium subset is evaluated with 15 random encodings.
+
+use stfsm::experiments::{format_table2, table2_row};
+use stfsm_bench::{full_flag, selected_benchmarks, table_config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = full_flag();
+    let config = table_config(full);
+    let mut rows = Vec::new();
+    for info in selected_benchmarks(full) {
+        eprintln!(
+            "table2: {} ({} states, {} inputs, {} random encodings)",
+            info.name, info.states, info.inputs, config.random_encodings
+        );
+        let fsm = info.fsm()?;
+        rows.push(table2_row(&fsm, Some(info), &config)?);
+    }
+    println!("{}", format_table2(&rows));
+    let holds = rows.iter().filter(|r| r.ordering_holds()).count();
+    println!("heuristic <= best-random <= avg-random holds for {holds}/{} machines", rows.len());
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! Reproduces Table 3: product terms and literal estimates of the PST/SIG,
+//! DFF and PAT solutions.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin table3 [--full]
+//! ```
+
+use stfsm::experiments::{format_table3, table3_row};
+use stfsm_bench::{full_flag, selected_benchmarks, table_config};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = full_flag();
+    let config = table_config(full);
+    let mut rows = Vec::new();
+    for info in selected_benchmarks(full) {
+        eprintln!("table3: {} ({} states)", info.name, info.states);
+        let fsm = info.fsm()?;
+        rows.push(table3_row(&fsm, Some(info), &config)?);
+    }
+    println!("{}", format_table3(&rows));
+    let avg_overhead: f64 =
+        rows.iter().map(|r| r.pst_overhead_terms()).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_saving: f64 =
+        rows.iter().map(|r| r.pat_saving_terms()).sum::<f64>() / rows.len().max(1) as f64;
+    println!("average PST/SIG : DFF term ratio: {avg_overhead:.2}   average PAT saving vs DFF: {:.1}%", avg_saving * 100.0);
+    Ok(())
+}

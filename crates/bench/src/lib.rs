@@ -1,0 +1,84 @@
+//! Shared helpers for the benchmark harness: machine selection, experiment
+//! configurations tuned for criterion timing runs and for the
+//! table-reproduction binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stfsm::encode::misr::MisrAssignmentConfig;
+use stfsm::experiments::ExperimentConfig;
+use stfsm::fsm::suite::{benchmark, quick_benchmarks, BenchmarkInfo, BENCHMARKS};
+use stfsm::fsm::Fsm;
+use stfsm::logic::espresso::MinimizeConfig;
+
+/// Machines used by the criterion timing benches: small enough for sub-second
+/// iterations, still representative of the paper's controller workloads.
+pub fn timing_machines() -> Vec<Fsm> {
+    let mut machines = vec![
+        stfsm::fsm::suite::fig3_example().expect("fixed machine"),
+        stfsm::fsm::suite::modulo12_exact().expect("fixed machine"),
+        stfsm::fsm::suite::traffic_light().expect("fixed machine"),
+    ];
+    if let Some(info) = benchmark("dk512") {
+        machines.push(info.fsm().expect("generator succeeds"));
+    }
+    machines
+}
+
+/// A medium-size machine for scaling studies (the `ex4`-shaped controller).
+pub fn medium_machine() -> Fsm {
+    benchmark("ex4").expect("suite entry").fsm().expect("generator succeeds")
+}
+
+/// The benchmark set selected by a `--full` flag: the whole suite when full,
+/// otherwise the small/medium subset.
+pub fn selected_benchmarks(full: bool) -> Vec<&'static BenchmarkInfo> {
+    if full {
+        BENCHMARKS.iter().collect()
+    } else {
+        quick_benchmarks()
+    }
+}
+
+/// The experiment configuration used by the table-reproduction binaries.
+pub fn table_config(full: bool) -> ExperimentConfig {
+    ExperimentConfig {
+        random_encodings: if full { 50 } else { 15 },
+        minimizer: MinimizeConfig::default(),
+        misr: MisrAssignmentConfig::default(),
+        ..ExperimentConfig::default()
+    }
+}
+
+/// The configuration used inside criterion timing loops (single-pass
+/// minimizer, narrow beam) so one iteration stays in the millisecond range.
+pub fn timing_config() -> ExperimentConfig {
+    ExperimentConfig {
+        random_encodings: 3,
+        minimizer: MinimizeConfig::fast(),
+        misr: MisrAssignmentConfig::fast(),
+        max_patterns: 256,
+        fault_sample: 2,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Returns `true` if the command line of a binary contains `--full`.
+pub fn full_flag() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_machines() {
+        assert!(timing_machines().len() >= 3);
+        assert!(medium_machine().state_count() >= 10);
+        assert!(selected_benchmarks(false).len() < selected_benchmarks(true).len());
+        assert_eq!(table_config(true).random_encodings, 50);
+        assert_eq!(table_config(false).random_encodings, 15);
+        assert_eq!(timing_config().random_encodings, 3);
+    }
+}

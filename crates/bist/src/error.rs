@@ -1,0 +1,95 @@
+//! Error type of the BIST-structure crate.
+
+use std::fmt;
+
+/// Errors produced while constructing BIST structures and netlists.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The encoding does not cover the machine it was paired with.
+    EncodingMismatch {
+        /// Number of states of the machine.
+        fsm_states: usize,
+        /// Number of states covered by the encoding.
+        encoding_states: usize,
+    },
+    /// The register model has a width different from the encoding.
+    RegisterWidthMismatch {
+        /// Width of the encoding (state bits).
+        encoding: usize,
+        /// Width of the register model.
+        register: usize,
+    },
+    /// An error bubbled up from the logic substrate.
+    Logic(stfsm_logic::Error),
+    /// An error bubbled up from the GF(2) substrate.
+    Lfsr(stfsm_lfsr::Error),
+    /// A netlist construction problem (e.g. referencing an undefined net).
+    Netlist {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EncodingMismatch { fsm_states, encoding_states } => write!(
+                f,
+                "encoding covers {encoding_states} states but the machine has {fsm_states}"
+            ),
+            Error::RegisterWidthMismatch { encoding, register } => write!(
+                f,
+                "register width {register} does not match encoding width {encoding}"
+            ),
+            Error::Logic(e) => write!(f, "logic error: {e}"),
+            Error::Lfsr(e) => write!(f, "gf(2) error: {e}"),
+            Error::Netlist { message } => write!(f, "netlist error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Logic(e) => Some(e),
+            Error::Lfsr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stfsm_logic::Error> for Error {
+    fn from(e: stfsm_logic::Error) -> Self {
+        Error::Logic(e)
+    }
+}
+
+impl From<stfsm_lfsr::Error> for Error {
+    fn from(e: stfsm_lfsr::Error) -> Self {
+        Error::Lfsr(e)
+    }
+}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e = Error::EncodingMismatch { fsm_states: 4, encoding_states: 3 };
+        assert!(e.to_string().contains('4'));
+        let e = Error::RegisterWidthMismatch { encoding: 3, register: 2 };
+        assert!(e.to_string().contains('2'));
+        let e: Error = stfsm_logic::Error::InvalidSymbol { symbol: 'q' }.into();
+        assert!(e.to_string().contains("logic"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = stfsm_lfsr::Error::DegenerateFeedback.into();
+        assert!(e.to_string().contains("gf(2)"));
+        let e = Error::Netlist { message: "missing net".into() };
+        assert!(e.to_string().contains("missing net"));
+    }
+}

@@ -1,0 +1,352 @@
+//! Excitation-function construction: from an encoded FSM to the
+//! combinational specification of each BIST structure.
+//!
+//! Section 3.2 of the paper derives, for every register type, the function
+//! `τ(s, s⁺)` that the combinational logic must produce so that the register
+//! ends up in the desired next state:
+//!
+//! * D flip-flops: `y = s⁺`,
+//! * MISR (PST / SIG): `y = s⁺ ⊕ M(s)`,
+//! * "smart" LFSR register (PAT): `y = s⁺` plus an additional `Mode` output;
+//!   whenever the system transition coincides with the autonomous LFSR
+//!   successor, `Mode = 0` and the excitation entries become don't-cares.
+
+use crate::{Error, Result};
+use std::collections::HashSet;
+use stfsm_encode::StateEncoding;
+use stfsm_fsm::{Fsm, TritValue};
+use stfsm_lfsr::{Lfsr, Misr};
+use stfsm_logic::{Pla, PlaRow, Trit};
+
+/// The register-dependent excitation transform `τ(s, s⁺)`.
+#[derive(Debug, Clone)]
+pub enum RegisterTransform {
+    /// Plain D flip-flops: the excitation is the next-state code itself.
+    Dff,
+    /// A MISR state register: the excitation is `s⁺ ⊕ M(s)`.
+    Misr(Misr),
+    /// A "smart" LFSR state register with a `Mode` output; `covered`
+    /// contains the indices of transitions realised by the autonomous LFSR.
+    SmartLfsr {
+        /// The autonomous register.
+        lfsr: Lfsr,
+        /// Transition indices whose next state equals the LFSR successor of
+        /// the present state.
+        covered: HashSet<usize>,
+    },
+}
+
+impl RegisterTransform {
+    /// Whether the transform adds a `Mode` output column.
+    pub fn has_mode_output(&self) -> bool {
+        matches!(self, RegisterTransform::SmartLfsr { .. })
+    }
+
+    /// The register width, if the transform carries a register model.
+    pub fn width(&self) -> Option<usize> {
+        match self {
+            RegisterTransform::Dff => None,
+            RegisterTransform::Misr(m) => Some(m.width()),
+            RegisterTransform::SmartLfsr { lfsr, .. } => Some(lfsr.width()),
+        }
+    }
+}
+
+/// Layout of the encoded specification produced by [`build_pla`].
+///
+/// Input columns: the `p` primary inputs first, then the `r` state bits
+/// (present-state code).  Output columns: the `q` primary outputs first, then
+/// the `r` excitation bits, then (PAT only) the `Mode` bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlaLayout {
+    /// Number of primary inputs `p`.
+    pub primary_inputs: usize,
+    /// Number of state bits `r`.
+    pub state_bits: usize,
+    /// Number of primary outputs `q`.
+    pub primary_outputs: usize,
+    /// Whether a `Mode` column follows the excitation bits.
+    pub has_mode: bool,
+}
+
+impl PlaLayout {
+    /// Index of the input column carrying state bit `i`.
+    pub fn state_input_column(&self, i: usize) -> usize {
+        self.primary_inputs + i
+    }
+
+    /// Index of the output column carrying excitation bit `i`.
+    pub fn excitation_output_column(&self, i: usize) -> usize {
+        self.primary_outputs + i
+    }
+
+    /// Index of the `Mode` output column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout has no mode column.
+    pub fn mode_output_column(&self) -> usize {
+        assert!(self.has_mode, "layout has no Mode column");
+        self.primary_outputs + self.state_bits
+    }
+
+    /// Total number of input columns.
+    pub fn num_inputs(&self) -> usize {
+        self.primary_inputs + self.state_bits
+    }
+
+    /// Total number of output columns.
+    pub fn num_outputs(&self) -> usize {
+        self.primary_outputs + self.state_bits + usize::from(self.has_mode)
+    }
+}
+
+/// Computes the layout of the specification for a machine/encoding/transform
+/// combination.
+pub fn layout(fsm: &Fsm, encoding: &StateEncoding, transform: &RegisterTransform) -> PlaLayout {
+    PlaLayout {
+        primary_inputs: fsm.num_inputs(),
+        state_bits: encoding.num_bits(),
+        primary_outputs: fsm.num_outputs(),
+        has_mode: transform.has_mode_output(),
+    }
+}
+
+/// Builds the encoded combinational specification (output functions `fo` plus
+/// excitation functions `fy`) for a machine, an encoding and a register
+/// transform.
+///
+/// # Errors
+///
+/// Returns an error if the encoding does not match the machine or the
+/// register width does not match the encoding.
+pub fn build_pla(fsm: &Fsm, encoding: &StateEncoding, transform: &RegisterTransform) -> Result<Pla> {
+    if encoding.state_count() != fsm.state_count() {
+        return Err(Error::EncodingMismatch {
+            fsm_states: fsm.state_count(),
+            encoding_states: encoding.state_count(),
+        });
+    }
+    if let Some(w) = transform.width() {
+        if w != encoding.num_bits() {
+            return Err(Error::RegisterWidthMismatch { encoding: encoding.num_bits(), register: w });
+        }
+    }
+    let lay = layout(fsm, encoding, transform);
+    let r = lay.state_bits;
+    let mut pla = Pla::new(lay.num_inputs(), lay.num_outputs());
+
+    for (idx, t) in fsm.transitions().iter().enumerate() {
+        // ---- input part: primary-input cube followed by the state code ----
+        let mut inputs: Vec<Trit> = Vec::with_capacity(lay.num_inputs());
+        for trit in t.input.trits() {
+            inputs.push(convert_trit(*trit));
+        }
+        let code = encoding.code(t.from);
+        for bit in 0..r {
+            inputs.push(if code.bit(bit) { Trit::One } else { Trit::Zero });
+        }
+
+        // ---- output part: primary outputs, excitation bits, mode ----------
+        let mut outputs: Vec<Trit> = Vec::with_capacity(lay.num_outputs());
+        for trit in t.output.trits() {
+            outputs.push(convert_trit(*trit));
+        }
+        let excitation: Vec<Trit> = match (transform, t.to) {
+            (_, None) => vec![Trit::DontCare; r],
+            (RegisterTransform::Dff, Some(to)) => {
+                let target = encoding.code(to);
+                (0..r).map(|b| bool_trit(target.bit(b))).collect()
+            }
+            (RegisterTransform::Misr(misr), Some(to)) => {
+                let y = misr.excitation(&code, &encoding.code(to))?;
+                (0..r).map(|b| bool_trit(y.bit(b))).collect()
+            }
+            (RegisterTransform::SmartLfsr { covered, .. }, Some(to)) => {
+                if covered.contains(&idx) {
+                    vec![Trit::DontCare; r]
+                } else {
+                    let target = encoding.code(to);
+                    (0..r).map(|b| bool_trit(target.bit(b))).collect()
+                }
+            }
+        };
+        outputs.extend(excitation);
+        if let RegisterTransform::SmartLfsr { covered, .. } = transform {
+            let mode = match t.to {
+                None => Trit::DontCare,
+                Some(_) if covered.contains(&idx) => Trit::Zero,
+                Some(_) => Trit::One,
+            };
+            outputs.push(mode);
+        }
+
+        pla.push_row(PlaRow { inputs, outputs })?;
+    }
+    Ok(pla)
+}
+
+fn convert_trit(t: TritValue) -> Trit {
+    match t {
+        TritValue::Zero => Trit::Zero,
+        TritValue::One => Trit::One,
+        TritValue::DontCare => Trit::DontCare,
+    }
+}
+
+fn bool_trit(b: bool) -> Trit {
+    if b {
+        Trit::One
+    } else {
+        Trit::Zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_encode::pat::{assign as pat_assign, PatAssignmentConfig};
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_lfsr::primitive_polynomial;
+    use stfsm_logic::espresso::{minimize, verify};
+
+    fn misr_for(encoding: &StateEncoding) -> Misr {
+        Misr::new(primitive_polynomial(encoding.num_bits()).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn layout_and_dimensions() {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let lay = layout(&fsm, &encoding, &RegisterTransform::Dff);
+        assert_eq!(lay.num_inputs(), 1 + 2);
+        assert_eq!(lay.num_outputs(), 1 + 2);
+        assert_eq!(lay.state_input_column(0), 1);
+        assert_eq!(lay.excitation_output_column(1), 2);
+        assert!(!lay.has_mode);
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Dff).unwrap();
+        assert_eq!(pla.rows().len(), fsm.transition_count());
+        assert!(pla.check_consistent().is_ok());
+    }
+
+    #[test]
+    fn dff_rows_encode_next_state_directly() {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Dff).unwrap();
+        // Transition 0: "1" A -> B, output 0.  A = 00, B = 01 in the natural
+        // encoding, so the row is input "1" + "00", outputs "0" + "10"
+        // (bit 0 of B first).
+        let row = &pla.rows()[0];
+        assert_eq!(row.inputs_string(), "100");
+        assert_eq!(row.outputs_string(), "010");
+    }
+
+    #[test]
+    fn misr_rows_encode_excitation() {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let misr = misr_for(&encoding);
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Misr(misr.clone())).unwrap();
+        for (row, t) in pla.rows().iter().zip(fsm.transitions()) {
+            let Some(to) = t.to else { continue };
+            let y = misr.excitation(&encoding.code(t.from), &encoding.code(to)).unwrap();
+            for b in 0..encoding.num_bits() {
+                let expected = if y.bit(b) { '1' } else { '0' };
+                assert_eq!(
+                    row.outputs_string().chars().nth(fsm.num_outputs() + b).unwrap(),
+                    expected
+                );
+            }
+        }
+        assert!(pla.check_consistent().is_ok());
+    }
+
+    #[test]
+    fn pat_rows_mark_covered_transitions_as_dont_care() {
+        let fsm = fig3_example().unwrap();
+        let assignment = pat_assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        let lfsr = Lfsr::new(assignment.polynomial).unwrap();
+        let covered: HashSet<usize> = assignment.covered_transitions.iter().copied().collect();
+        let transform = RegisterTransform::SmartLfsr { lfsr, covered: covered.clone() };
+        let pla = build_pla(&fsm, &assignment.encoding, &transform).unwrap();
+        let lay = layout(&fsm, &assignment.encoding, &transform);
+        assert!(lay.has_mode);
+        assert_eq!(pla.num_outputs(), 1 + 2 + 1);
+        for (idx, row) in pla.rows().iter().enumerate() {
+            let mode = row.outputs_string().chars().nth(lay.mode_output_column()).unwrap();
+            if covered.contains(&idx) {
+                assert_eq!(mode, '0');
+                // excitation bits are free
+                for b in 0..2 {
+                    assert_eq!(
+                        row.outputs_string().chars().nth(lay.excitation_output_column(b)).unwrap(),
+                        '-'
+                    );
+                }
+            } else {
+                assert_eq!(mode, '1');
+            }
+        }
+    }
+
+    #[test]
+    fn minimized_dff_pla_verifies() {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Dff).unwrap();
+        let result = minimize(&pla);
+        assert!(verify(&pla, &result.cover));
+        assert!(result.product_terms() <= pla.rows().len());
+    }
+
+    #[test]
+    fn minimized_misr_pla_verifies() {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let misr = misr_for(&encoding);
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Misr(misr)).unwrap();
+        let result = minimize(&pla);
+        assert!(verify(&pla, &result.cover));
+    }
+
+    #[test]
+    fn mismatched_register_width_is_rejected() {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let wrong = Misr::new(primitive_polynomial(4).unwrap()).unwrap();
+        assert!(matches!(
+            build_pla(&fsm, &encoding, &RegisterTransform::Misr(wrong)),
+            Err(Error::RegisterWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn dont_care_next_state_rows_have_free_excitation() {
+        let fsm = stfsm_fsm::Fsm::builder("dc", 1, 1)
+            .transition("0", "A", "*", "1")
+            .unwrap()
+            .transition("1", "A", "B", "0")
+            .unwrap()
+            .transition("-", "B", "A", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let pla = build_pla(&fsm, &encoding, &RegisterTransform::Dff).unwrap();
+        let row = &pla.rows()[0];
+        assert!(row.outputs_string().ends_with('-'));
+    }
+
+    #[test]
+    fn transform_helpers() {
+        assert!(RegisterTransform::Dff.width().is_none());
+        assert!(!RegisterTransform::Dff.has_mode_output());
+        let misr = Misr::new(primitive_polynomial(3).unwrap()).unwrap();
+        assert_eq!(RegisterTransform::Misr(misr).width(), Some(3));
+        let lfsr = Lfsr::new(primitive_polynomial(3).unwrap()).unwrap();
+        let t = RegisterTransform::SmartLfsr { lfsr, covered: HashSet::new() };
+        assert_eq!(t.width(), Some(3));
+        assert!(t.has_mode_output());
+    }
+}

@@ -1,0 +1,45 @@
+//! BIST target structures for self-testable finite state machines.
+//!
+//! Section 2 of the paper presents four circuit structures for a controller
+//! with built-in self-test:
+//!
+//! | structure | state register | modes | pattern source |
+//! |-----------|----------------|-------|----------------|
+//! | [`BistStructure::Dff`] | plain D flip-flops, test registers added | system / pattern-generation / scan | separate LFSR |
+//! | [`BistStructure::Pat`] | "smart" register also used as LFSR in system mode | system / LFSR / scan | the state register itself |
+//! | [`BistStructure::Sig`] | MISR used as state register | signature analysis (= system) / scan | separate LFSR |
+//! | [`BistStructure::Pst`] | MISR used as state register | signature analysis (= system) / scan | the signatures themselves |
+//!
+//! This crate turns an encoded FSM into the corresponding combinational
+//! specification (excitation + output functions, [`excitation`]), a
+//! gate-level netlist ([`netlist`]) and the structural metrics compared in
+//! Table 1 ([`metrics`]).
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_fsm::suite::fig3_example;
+//! use stfsm_encode::StateEncoding;
+//! use stfsm_bist::{BistStructure, excitation::RegisterTransform, excitation::build_pla};
+//! use stfsm_lfsr::{Misr, primitive_polynomial};
+//!
+//! let fsm = fig3_example()?;
+//! let encoding = StateEncoding::natural(&fsm)?;
+//! let misr = Misr::new(primitive_polynomial(encoding.num_bits())?)?;
+//! let pla = build_pla(&fsm, &encoding, &RegisterTransform::Misr(misr))?;
+//! assert_eq!(pla.num_inputs(), fsm.num_inputs() + encoding.num_bits());
+//! assert_eq!(pla.num_outputs(), fsm.num_outputs() + encoding.num_bits());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod excitation;
+pub mod metrics;
+pub mod netlist;
+mod structure;
+
+pub use error::{Error, Result};
+pub use structure::BistStructure;

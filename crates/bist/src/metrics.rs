@@ -1,0 +1,172 @@
+//! Structure metrics: the quantified version of the paper's Table 1.
+//!
+//! Table 1 compares the four BIST structures qualitatively (`++` … `--`) in
+//! terms of combinational-logic area, storage elements, speed, test length,
+//! test control effort and dynamic-fault detection.  This module computes the
+//! concrete numbers behind those judgements for a synthesized instance:
+//! register bits, mode-control signals, XOR gates and multiplexers in the
+//! next-state path, product terms and literals of the combinational logic.
+
+use crate::netlist::Netlist;
+use crate::BistStructure;
+use stfsm_logic::multilevel::estimate_literals;
+use stfsm_logic::Cover;
+
+/// Quantified structural properties of one synthesized BIST controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructureMetrics {
+    /// Which structure the numbers describe.
+    pub structure: BistStructure,
+    /// Number of state bits `r`.
+    pub state_bits: usize,
+    /// Product terms of the minimized combinational logic (the paper's
+    /// primary area metric, Tables 2 and 3).
+    pub product_terms: usize,
+    /// Input literals of the minimized two-level cover.
+    pub two_level_literals: usize,
+    /// Factored-literal estimate (the "number of literals" column of
+    /// Table 3).
+    pub factored_literals: usize,
+    /// Storage cells dedicated to the state register *and* its self-test
+    /// duplicates: `2r` for DFF/PAT (state register plus separate MISR), `r`
+    /// for SIG/PST (the MISR is the state register).
+    pub storage_bits: usize,
+    /// Number of test-mode control signals of the state register.
+    pub control_signals: usize,
+    /// XOR gates in the next-state data path (speed penalty of MISR state
+    /// registers).
+    pub xor_gates_in_path: usize,
+    /// Mode multiplexers in the next-state data path (speed penalty of the
+    /// DFF/PAT reconfigurable registers).
+    pub mode_multiplexers: usize,
+    /// Whether dynamic faults exercised in system mode are also exercised
+    /// during self-test.
+    pub detects_system_dynamic_faults: bool,
+    /// Whether a separate pattern generator must be built.
+    pub needs_separate_pattern_generator: bool,
+    /// Relative test length factor compared to a conventional self-test
+    /// (the paper quotes ≈ 1.3 for PST at equal test confidence).
+    pub relative_test_length: f64,
+}
+
+impl StructureMetrics {
+    /// Computes the metrics for a minimized cover and its netlist.
+    pub fn from_cover(structure: BistStructure, state_bits: usize, cover: &Cover, netlist: Option<&Netlist>) -> Self {
+        let literals = estimate_literals(cover);
+        let storage_bits = if structure.uses_misr_state_register() { state_bits } else { 2 * state_bits };
+        let (xor_gates_in_path, mode_multiplexers) = match structure {
+            BistStructure::Dff => (0, state_bits),
+            BistStructure::Pat => (0, state_bits),
+            BistStructure::Sig | BistStructure::Pst => {
+                let xors = netlist.map(Netlist::xor_gate_count).unwrap_or(state_bits + 1);
+                (xors, 0)
+            }
+        };
+        Self {
+            structure,
+            state_bits,
+            product_terms: cover.len(),
+            two_level_literals: literals.two_level,
+            factored_literals: literals.factored,
+            storage_bits,
+            control_signals: structure.control_signals(),
+            xor_gates_in_path,
+            mode_multiplexers,
+            detects_system_dynamic_faults: structure.detects_system_dynamic_faults(),
+            needs_separate_pattern_generator: structure.needs_separate_pattern_generator(),
+            relative_test_length: match structure {
+                BistStructure::Dff | BistStructure::Pat | BistStructure::Sig => 1.0,
+                BistStructure::Pst => 1.3,
+            },
+        }
+    }
+
+    /// A one-line table row: `structure terms literals storage ctrl xor mux`.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<4} {:>6} {:>8} {:>7} {:>4} {:>4} {:>4}",
+            self.structure.name(),
+            self.product_terms,
+            self.factored_literals,
+            self.storage_bits,
+            self.control_signals,
+            self.xor_gates_in_path,
+            self.mode_multiplexers
+        )
+    }
+}
+
+/// Renders a comparison table (one row per structure) resembling Table 1 of
+/// the paper, with measured values instead of `++`/`--` judgements.
+pub fn comparison_table(metrics: &[StructureMetrics]) -> String {
+    let mut out = String::from(
+        "struct  terms literals storage ctrl  xor  mux  dyn-faults  separate-TPG\n",
+    );
+    for m in metrics {
+        out.push_str(&format!(
+            "{}   {:>9}  {:>11}\n",
+            m.table_row(),
+            if m.detects_system_dynamic_faults { "all" } else { "partial" },
+            if m.needs_separate_pattern_generator { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_logic::{Cover, Cube};
+
+    fn small_cover() -> Cover {
+        Cover::from_cubes(
+            4,
+            3,
+            vec![Cube::parse("01--", "110").unwrap(), Cube::parse("1--0", "011").unwrap()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn storage_and_control_follow_the_structure() {
+        let cover = small_cover();
+        let dff = StructureMetrics::from_cover(BistStructure::Dff, 3, &cover, None);
+        let pst = StructureMetrics::from_cover(BistStructure::Pst, 3, &cover, None);
+        assert_eq!(dff.storage_bits, 6);
+        assert_eq!(pst.storage_bits, 3);
+        assert_eq!(dff.control_signals, 2);
+        assert_eq!(pst.control_signals, 1);
+        assert_eq!(dff.mode_multiplexers, 3);
+        assert_eq!(pst.mode_multiplexers, 0);
+        assert!(pst.xor_gates_in_path > 0);
+        assert_eq!(dff.xor_gates_in_path, 0);
+        assert!(pst.detects_system_dynamic_faults);
+        assert!(!dff.detects_system_dynamic_faults);
+        assert!(dff.needs_separate_pattern_generator);
+        assert!(!pst.needs_separate_pattern_generator);
+        assert!(pst.relative_test_length > dff.relative_test_length);
+    }
+
+    #[test]
+    fn cover_metrics_are_taken_from_the_cover() {
+        let cover = small_cover();
+        let m = StructureMetrics::from_cover(BistStructure::Sig, 3, &cover, None);
+        assert_eq!(m.product_terms, 2);
+        assert_eq!(m.two_level_literals, cover.literal_count());
+        assert!(m.factored_literals <= m.two_level_literals);
+    }
+
+    #[test]
+    fn table_rendering_contains_all_structures() {
+        let cover = small_cover();
+        let rows: Vec<StructureMetrics> = BistStructure::ALL
+            .iter()
+            .map(|&s| StructureMetrics::from_cover(s, 3, &cover, None))
+            .collect();
+        let table = comparison_table(&rows);
+        for s in BistStructure::ALL {
+            assert!(table.contains(s.name()), "{table}");
+        }
+        assert!(table.contains("dyn-faults"));
+    }
+}

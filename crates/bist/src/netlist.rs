@@ -1,0 +1,490 @@
+//! Gate-level netlists of the synthesized self-testable controllers.
+//!
+//! The netlist generator turns a minimized two-level cover plus the register
+//! structure into an explicit gate network (AND/OR/XOR/NOT gates, D
+//! flip-flops) that the fault simulator of `stfsm-testsim` can evaluate.  It
+//! models exactly the data paths the paper argues about: the PST/SIG
+//! structures put `r` XOR gates between the combinational logic and the
+//! flip-flops, the PAT/DFF structures add mode multiplexers instead.
+
+use crate::excitation::PlaLayout;
+use crate::{BistStructure, Error, Result};
+use stfsm_lfsr::Gf2Poly;
+use stfsm_logic::{Cover, Trit};
+
+/// Index of a net (the output of the gate with the same index).
+pub type NetId = usize;
+
+/// One gate of the netlist.  The output of gate `i` is net `i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Gate {
+    /// A primary input or another free input (FF outputs are separate).
+    Input {
+        /// Human-readable name of the input.
+        name: String,
+    },
+    /// The output of a flip-flop (a pseudo-input of the combinational part).
+    FlipFlopOutput {
+        /// Index of the flip-flop in [`Netlist::flip_flops`].
+        flip_flop: usize,
+    },
+    /// A constant value.
+    Constant(bool),
+    /// Logical AND of the operand nets.
+    And(Vec<NetId>),
+    /// Logical OR of the operand nets.
+    Or(Vec<NetId>),
+    /// Exclusive OR of the operand nets.
+    Xor(Vec<NetId>),
+    /// Inverter.
+    Not(NetId),
+}
+
+impl Gate {
+    /// The nets this gate reads.
+    pub fn fanin(&self) -> &[NetId] {
+        match self {
+            Gate::Input { .. } | Gate::FlipFlopOutput { .. } | Gate::Constant(_) => &[],
+            Gate::And(ins) | Gate::Or(ins) | Gate::Xor(ins) => ins,
+            Gate::Not(a) => std::slice::from_ref(a),
+        }
+    }
+
+    /// Whether this gate is a combinational gate (not an input or constant).
+    pub fn is_logic(&self) -> bool {
+        matches!(self, Gate::And(_) | Gate::Or(_) | Gate::Xor(_) | Gate::Not(_))
+    }
+}
+
+/// A D flip-flop of the state register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipFlop {
+    /// Net driving the D input.
+    pub d: NetId,
+    /// Net carrying the Q output (always a [`Gate::FlipFlopOutput`]).
+    pub q: NetId,
+}
+
+/// A gate-level netlist of one synthesized controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    structure: BistStructure,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    flip_flops: Vec<FlipFlop>,
+    /// Nets observed by the response compactor during self-test: the primary
+    /// outputs plus, depending on the structure, the excitation lines or the
+    /// register itself (represented by its D inputs).
+    observation_points: Vec<NetId>,
+}
+
+impl Netlist {
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The BIST structure this netlist implements.
+    pub fn structure(&self) -> BistStructure {
+        self.structure
+    }
+
+    /// All gates; the output of gate `i` is net `i`.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The primary input nets (in machine order).
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// The primary output nets (in machine order).
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// The state flip-flops (stage 1 first).
+    pub fn flip_flops(&self) -> &[FlipFlop] {
+        &self.flip_flops
+    }
+
+    /// Nets observed during self-test.
+    pub fn observation_points(&self) -> &[NetId] {
+        &self.observation_points
+    }
+
+    /// Number of combinational gates (excludes inputs, constants and
+    /// flip-flop outputs).
+    pub fn logic_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_logic()).count()
+    }
+
+    /// Number of XOR gates in the next-state data path — the speed penalty
+    /// the paper attributes to MISR state registers.
+    pub fn xor_gate_count(&self) -> usize {
+        self.gates.iter().filter(|g| matches!(g, Gate::Xor(_))).count()
+    }
+
+    /// Total number of gate input pins (a crude area/wiring measure).
+    pub fn pin_count(&self) -> usize {
+        self.gates.iter().map(|g| g.fanin().len()).sum()
+    }
+}
+
+/// Builder used by [`build_netlist`].
+struct NetlistBuilder {
+    gates: Vec<Gate>,
+}
+
+impl NetlistBuilder {
+    fn new() -> Self {
+        Self { gates: Vec::new() }
+    }
+
+    fn push(&mut self, gate: Gate) -> NetId {
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.push(Gate::Input { name: name.into() })
+    }
+
+    fn constant(&mut self, value: bool) -> NetId {
+        self.push(Gate::Constant(value))
+    }
+
+    fn not(&mut self, a: NetId) -> NetId {
+        self.push(Gate::Not(a))
+    }
+
+    fn and(&mut self, mut ins: Vec<NetId>) -> NetId {
+        match ins.len() {
+            0 => self.constant(true),
+            1 => ins.pop().expect("length checked"),
+            _ => self.push(Gate::And(ins)),
+        }
+    }
+
+    fn or(&mut self, mut ins: Vec<NetId>) -> NetId {
+        match ins.len() {
+            0 => self.constant(false),
+            1 => ins.pop().expect("length checked"),
+            _ => self.push(Gate::Or(ins)),
+        }
+    }
+
+    fn xor(&mut self, ins: Vec<NetId>) -> NetId {
+        match ins.len() {
+            1 => ins[0],
+            _ => self.push(Gate::Xor(ins)),
+        }
+    }
+}
+
+/// Builds the gate-level netlist for one structure.
+///
+/// * `cover` — the minimized combinational cover (layout per `layout`),
+/// * `layout` — the column layout produced by [`crate::excitation::layout`],
+/// * `structure` — which register structure to instantiate,
+/// * `feedback` — the feedback polynomial of the MISR/LFSR (ignored for
+///   [`BistStructure::Dff`]).
+///
+/// # Errors
+///
+/// Returns an error if the cover dimensions do not match the layout or if a
+/// MISR/LFSR structure is requested without a feedback polynomial of the
+/// right degree.
+pub fn build_netlist(
+    name: &str,
+    cover: &Cover,
+    layout: &PlaLayout,
+    structure: BistStructure,
+    feedback: Option<Gf2Poly>,
+) -> Result<Netlist> {
+    if cover.num_inputs() != layout.num_inputs() || cover.num_outputs() != layout.num_outputs() {
+        return Err(Error::Netlist {
+            message: format!(
+                "cover is {}x{} but the layout requires {}x{}",
+                cover.num_inputs(),
+                cover.num_outputs(),
+                layout.num_inputs(),
+                layout.num_outputs()
+            ),
+        });
+    }
+    if layout.has_mode != (structure == BistStructure::Pat) {
+        return Err(Error::Netlist {
+            message: "a Mode column is required exactly for the PAT structure".into(),
+        });
+    }
+    let r = layout.state_bits;
+    if structure != BistStructure::Dff {
+        let degree = feedback.map(|p| p.degree()).unwrap_or(0);
+        if degree != r {
+            return Err(Error::Netlist {
+                message: format!("structure {structure} needs a degree-{r} feedback polynomial"),
+            });
+        }
+    }
+
+    let mut b = NetlistBuilder::new();
+
+    // Primary inputs.
+    let primary_inputs: Vec<NetId> =
+        (0..layout.primary_inputs).map(|i| b.input(format!("in{i}"))).collect();
+
+    // Flip-flop outputs (present state).
+    let q_nets: Vec<NetId> = (0..r)
+        .map(|i| b.push(Gate::FlipFlopOutput { flip_flop: i }))
+        .collect();
+
+    // Literal nets: positive is the input itself, negative is an inverter
+    // (shared between cubes).
+    let mut negations: Vec<Option<NetId>> = vec![None; layout.num_inputs()];
+    let input_net = |col: usize, primary_inputs: &[NetId], q_nets: &[NetId]| -> NetId {
+        if col < primary_inputs.len() {
+            primary_inputs[col]
+        } else {
+            q_nets[col - primary_inputs.len()]
+        }
+    };
+
+    // AND plane.
+    let mut cube_nets: Vec<NetId> = Vec::with_capacity(cover.len());
+    for cube in cover.cubes() {
+        let mut terms: Vec<NetId> = Vec::new();
+        for (col, trit) in cube.inputs().iter().enumerate() {
+            let net = input_net(col, &primary_inputs, &q_nets);
+            match trit {
+                Trit::One => terms.push(net),
+                Trit::Zero => {
+                    let neg = match negations[col] {
+                        Some(n) => n,
+                        None => {
+                            let n = b.not(net);
+                            negations[col] = Some(n);
+                            n
+                        }
+                    };
+                    terms.push(neg);
+                }
+                Trit::DontCare => {}
+            }
+        }
+        cube_nets.push(b.and(terms));
+    }
+
+    // OR plane.
+    let mut column_nets: Vec<NetId> = Vec::with_capacity(layout.num_outputs());
+    for j in 0..layout.num_outputs() {
+        let ins: Vec<NetId> = cover
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.output(j))
+            .map(|(i, _)| cube_nets[i])
+            .collect();
+        column_nets.push(b.or(ins));
+    }
+
+    let primary_outputs: Vec<NetId> =
+        (0..layout.primary_outputs).map(|j| column_nets[j]).collect();
+    let excitation_nets: Vec<NetId> =
+        (0..r).map(|i| column_nets[layout.excitation_output_column(i)]).collect();
+
+    // Register structure.
+    let mut flip_flops: Vec<FlipFlop> = Vec::with_capacity(r);
+    let mut observation_points: Vec<NetId> = primary_outputs.clone();
+
+    match structure {
+        BistStructure::Dff => {
+            // D_i = y_i; the excitation lines are observed by the separate
+            // MISR added for testing (Fig. 2a).
+            for i in 0..r {
+                flip_flops.push(FlipFlop { d: excitation_nets[i], q: q_nets[i] });
+            }
+            observation_points.extend(excitation_nets.iter().copied());
+        }
+        BistStructure::Pat => {
+            // D_i = Mode ? y_i : M(s)_i, built from AND/OR/NOT gates.
+            let poly = feedback.expect("checked above");
+            let mode = column_nets[layout.mode_output_column()];
+            let not_mode = b.not(mode);
+            // m(s): XOR of the tapped stages (coefficient i taps stage i,
+            // 1-based; the top stage is always tapped).
+            let mut taps: Vec<NetId> = Vec::new();
+            for i in 1..r {
+                if poly.coefficient(i) {
+                    taps.push(q_nets[i - 1]);
+                }
+            }
+            taps.push(q_nets[r - 1]);
+            let feedback_net = b.xor(taps);
+            for i in 0..r {
+                let autonomous = if i == 0 { feedback_net } else { q_nets[i - 1] };
+                let sel_sys = b.and(vec![mode, excitation_nets[i]]);
+                let sel_lfsr = b.and(vec![not_mode, autonomous]);
+                let d = b.or(vec![sel_sys, sel_lfsr]);
+                flip_flops.push(FlipFlop { d, q: q_nets[i] });
+            }
+            observation_points.extend(excitation_nets.iter().copied());
+            observation_points.push(mode);
+        }
+        BistStructure::Sig | BistStructure::Pst => {
+            // D_1 = y_1 xor m(s); D_i = y_i xor Q_{i-1}.
+            let poly = feedback.expect("checked above");
+            let mut taps: Vec<NetId> = Vec::new();
+            for i in 1..r {
+                if poly.coefficient(i) {
+                    taps.push(q_nets[i - 1]);
+                }
+            }
+            taps.push(q_nets[r - 1]);
+            let feedback_net = b.xor(taps);
+            for i in 0..r {
+                let other = if i == 0 { feedback_net } else { q_nets[i - 1] };
+                let d = b.xor(vec![excitation_nets[i], other]);
+                flip_flops.push(FlipFlop { d, q: q_nets[i] });
+            }
+            // The register itself is the signature register: its D inputs are
+            // the observed responses.
+            observation_points.extend(flip_flops.iter().map(|ff| ff.d));
+        }
+    }
+
+    Ok(Netlist {
+        name: name.to_string(),
+        structure,
+        gates: b.gates,
+        primary_inputs,
+        primary_outputs,
+        flip_flops,
+        observation_points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::excitation::{build_pla, layout, RegisterTransform};
+    use std::collections::HashSet;
+    use stfsm_encode::pat::{assign as pat_assign, PatAssignmentConfig};
+    use stfsm_encode::StateEncoding;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_lfsr::{primitive_polynomial, Lfsr, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn dff_netlist(name: &str) -> Netlist {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist(name, &cover, &lay, BistStructure::Dff, None).unwrap()
+    }
+
+    #[test]
+    fn dff_netlist_structure() {
+        let netlist = dff_netlist("dff");
+        assert_eq!(netlist.structure(), BistStructure::Dff);
+        assert_eq!(netlist.primary_inputs().len(), 1);
+        assert_eq!(netlist.primary_outputs().len(), 1);
+        assert_eq!(netlist.flip_flops().len(), 4);
+        assert_eq!(netlist.xor_gate_count(), 0);
+        assert!(netlist.logic_gate_count() > 0);
+        assert!(netlist.pin_count() > 0);
+        assert_eq!(netlist.name(), "dff");
+        // observation = primary outputs + excitation lines
+        assert_eq!(netlist.observation_points().len(), 1 + 4);
+    }
+
+    #[test]
+    fn pst_netlist_has_xor_register_path() {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let poly = primitive_polynomial(4).unwrap();
+        let misr = Misr::new(poly).unwrap();
+        let transform = RegisterTransform::Misr(misr);
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        let netlist = build_netlist("pst", &cover, &lay, BistStructure::Pst, Some(poly)).unwrap();
+        // One XOR per register stage plus the feedback XOR tree.
+        assert!(netlist.xor_gate_count() >= 4);
+        assert_eq!(netlist.flip_flops().len(), 4);
+        // Observation points include the register D inputs.
+        for ff in netlist.flip_flops() {
+            assert!(netlist.observation_points().contains(&ff.d));
+        }
+    }
+
+    #[test]
+    fn pat_netlist_has_mode_multiplexers() {
+        let fsm = fig3_example().unwrap();
+        let assignment = pat_assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        let lfsr = Lfsr::new(assignment.polynomial).unwrap();
+        let covered: HashSet<usize> = assignment.covered_transitions.iter().copied().collect();
+        let transform = RegisterTransform::SmartLfsr { lfsr, covered };
+        let pla = build_pla(&fsm, &assignment.encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &assignment.encoding, &transform);
+        let netlist =
+            build_netlist("pat", &cover, &lay, BistStructure::Pat, Some(assignment.polynomial))
+                .unwrap();
+        assert_eq!(netlist.structure(), BistStructure::Pat);
+        assert_eq!(netlist.flip_flops().len(), 2);
+        // Each stage has two AND gates + one OR gate for the mode mux.
+        assert!(netlist.logic_gate_count() >= 6);
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let netlist = dff_netlist("ok");
+        assert_eq!(netlist.flip_flops().len(), 4);
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let mut lay = layout(&fsm, &encoding, &transform);
+        lay.primary_outputs += 1;
+        assert!(build_netlist("bad", &cover, &lay, BistStructure::Dff, None).is_err());
+    }
+
+    #[test]
+    fn misr_structures_require_matching_polynomial() {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        assert!(build_netlist("bad", &cover, &lay, BistStructure::Pst, None).is_err());
+        let wrong = primitive_polynomial(5).unwrap();
+        assert!(build_netlist("bad", &cover, &lay, BistStructure::Pst, Some(wrong)).is_err());
+        // PAT without a Mode column in the layout is also rejected.
+        assert!(build_netlist(
+            "bad",
+            &cover,
+            &lay,
+            BistStructure::Pat,
+            Some(primitive_polynomial(2).unwrap())
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gate_fanin_accessors() {
+        let netlist = dff_netlist("pins");
+        for (i, gate) in netlist.gates().iter().enumerate() {
+            for &f in gate.fanin() {
+                assert!(f < i, "gate {i} reads net {f} defined later");
+            }
+        }
+    }
+}

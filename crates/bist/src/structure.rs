@@ -1,0 +1,117 @@
+//! The four BIST target structures.
+
+use std::fmt;
+
+/// The BIST target structures of the paper (Section 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BistStructure {
+    /// Conventional structure (Fig. 2): the state register consists of plain
+    /// D flip-flops in system mode; pattern-generation and signature
+    /// registers are added purely for testing.
+    Dff,
+    /// "Smart state register" (Fig. 4): the pattern-generation (LFSR)
+    /// capability of the state register is also exploited in system mode via
+    /// an extra `Mode` output of the combinational logic.
+    Pat,
+    /// Integrated signature register (Fig. 6): a MISR serves as the state
+    /// register and the excitation logic is retargeted accordingly, but test
+    /// patterns still come from a separate generator.
+    Sig,
+    /// Parallel self-test (Fig. 5): like [`BistStructure::Sig`], but the
+    /// signatures themselves are used as test patterns — there is no
+    /// difference at all between system and test operation.
+    Pst,
+}
+
+impl BistStructure {
+    /// All structures, in the order used by the paper's tables.
+    pub const ALL: [BistStructure; 4] =
+        [BistStructure::Dff, BistStructure::Pat, BistStructure::Sig, BistStructure::Pst];
+
+    /// The short name used in the paper ("DFF", "PAT", "SIG", "PST").
+    pub fn name(self) -> &'static str {
+        match self {
+            BistStructure::Dff => "DFF",
+            BistStructure::Pat => "PAT",
+            BistStructure::Sig => "SIG",
+            BistStructure::Pst => "PST",
+        }
+    }
+
+    /// Whether the state register is a MISR whose signature-analysis mode
+    /// realises the system behaviour (true for SIG and PST).
+    pub fn uses_misr_state_register(self) -> bool {
+        matches!(self, BistStructure::Sig | BistStructure::Pst)
+    }
+
+    /// Whether a separate pattern generator feeds the circuit during
+    /// self-test (false only for PST, where the signatures are the patterns).
+    pub fn needs_separate_pattern_generator(self) -> bool {
+        !matches!(self, BistStructure::Pst)
+    }
+
+    /// Number of test control signals of the state register (Table 1:
+    /// scan/initialisation, pattern generation and system mode for DFF/PAT;
+    /// only scan vs. signature analysis for SIG/PST).
+    pub fn control_signals(self) -> usize {
+        match self {
+            BistStructure::Dff | BistStructure::Pat => 2,
+            BistStructure::Sig | BistStructure::Pst => 1,
+        }
+    }
+
+    /// Whether every dynamic (delay) fault exercised in system mode can also
+    /// be exercised during self-test: only PST runs the self-test with the
+    /// exact system-mode excitation/capture paths at full clock frequency.
+    pub fn detects_system_dynamic_faults(self) -> bool {
+        matches!(self, BistStructure::Pst)
+    }
+}
+
+impl fmt::Display for BistStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_order_match_the_paper() {
+        let names: Vec<&str> = BistStructure::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["DFF", "PAT", "SIG", "PST"]);
+        assert_eq!(BistStructure::Pst.to_string(), "PST");
+    }
+
+    #[test]
+    fn misr_state_register_classification() {
+        assert!(!BistStructure::Dff.uses_misr_state_register());
+        assert!(!BistStructure::Pat.uses_misr_state_register());
+        assert!(BistStructure::Sig.uses_misr_state_register());
+        assert!(BistStructure::Pst.uses_misr_state_register());
+    }
+
+    #[test]
+    fn pattern_generator_requirements() {
+        assert!(BistStructure::Dff.needs_separate_pattern_generator());
+        assert!(BistStructure::Sig.needs_separate_pattern_generator());
+        assert!(!BistStructure::Pst.needs_separate_pattern_generator());
+    }
+
+    #[test]
+    fn control_signal_counts_match_table1() {
+        assert_eq!(BistStructure::Dff.control_signals(), 2);
+        assert_eq!(BistStructure::Pat.control_signals(), 2);
+        assert_eq!(BistStructure::Sig.control_signals(), 1);
+        assert_eq!(BistStructure::Pst.control_signals(), 1);
+    }
+
+    #[test]
+    fn only_pst_detects_all_system_dynamic_faults() {
+        for s in BistStructure::ALL {
+            assert_eq!(s.detects_system_dynamic_faults(), s == BistStructure::Pst);
+        }
+    }
+}

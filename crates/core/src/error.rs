@@ -1,0 +1,106 @@
+//! Error type of the top-level synthesis flow.
+
+use std::fmt;
+
+/// Errors produced by the synthesis flow (wrapping the substrate errors).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// An error from the FSM substrate.
+    Fsm(stfsm_fsm::Error),
+    /// An error from the GF(2)/LFSR substrate.
+    Lfsr(stfsm_lfsr::Error),
+    /// An error from the logic-minimization substrate.
+    Logic(stfsm_logic::Error),
+    /// An error from the state-assignment crate.
+    Encode(stfsm_encode::Error),
+    /// An error from the BIST-structure crate.
+    Bist(stfsm_bist::Error),
+    /// A configuration problem detected by the flow itself.
+    Config {
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Fsm(e) => write!(f, "fsm error: {e}"),
+            Error::Lfsr(e) => write!(f, "gf(2) error: {e}"),
+            Error::Logic(e) => write!(f, "logic error: {e}"),
+            Error::Encode(e) => write!(f, "state assignment error: {e}"),
+            Error::Bist(e) => write!(f, "bist structure error: {e}"),
+            Error::Config { message } => write!(f, "configuration error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Fsm(e) => Some(e),
+            Error::Lfsr(e) => Some(e),
+            Error::Logic(e) => Some(e),
+            Error::Encode(e) => Some(e),
+            Error::Bist(e) => Some(e),
+            Error::Config { .. } => None,
+        }
+    }
+}
+
+impl From<stfsm_fsm::Error> for Error {
+    fn from(e: stfsm_fsm::Error) -> Self {
+        Error::Fsm(e)
+    }
+}
+
+impl From<stfsm_lfsr::Error> for Error {
+    fn from(e: stfsm_lfsr::Error) -> Self {
+        Error::Lfsr(e)
+    }
+}
+
+impl From<stfsm_logic::Error> for Error {
+    fn from(e: stfsm_logic::Error) -> Self {
+        Error::Logic(e)
+    }
+}
+
+impl From<stfsm_encode::Error> for Error {
+    fn from(e: stfsm_encode::Error) -> Self {
+        Error::Encode(e)
+    }
+}
+
+impl From<stfsm_bist::Error> for Error {
+    fn from(e: stfsm_bist::Error) -> Self {
+        Error::Bist(e)
+    }
+}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: Error = stfsm_fsm::Error::EmptyMachine.into();
+        assert!(e.to_string().contains("fsm"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e: Error = stfsm_lfsr::Error::DegenerateFeedback.into();
+        assert!(e.to_string().contains("gf(2)"));
+        let e: Error = stfsm_logic::Error::InvalidSymbol { symbol: 'x' }.into();
+        assert!(e.to_string().contains("logic"));
+        let e: Error = stfsm_encode::Error::MissingState { state: 1 }.into();
+        assert!(e.to_string().contains("assignment"));
+        let e: Error = stfsm_bist::Error::Netlist { message: "m".into() }.into();
+        assert!(e.to_string().contains("bist"));
+        let e = Error::Config { message: "bad".into() };
+        assert!(e.to_string().contains("bad"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Machine-readable experiment reports (serde-serialisable).
+
+use serde::{Deserialize, Serialize};
+use stfsm_bist::BistStructure;
+
+/// One row of the Table 2 reproduction: the PST/SIG state-assignment quality
+/// compared with random encodings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of states of the machine that was synthesized.
+    pub states: usize,
+    /// Number of random encodings evaluated.
+    pub random_count: usize,
+    /// Average product terms over the random encodings.
+    pub random_average: f64,
+    /// Best (minimum) product terms over the random encodings.
+    pub random_best: usize,
+    /// Product terms of the heuristic MISR-targeted assignment.
+    pub heuristic: usize,
+    /// Product terms the paper reports for the average of 50 random
+    /// encodings (for side-by-side comparison).
+    pub paper_random_average: Option<f64>,
+    /// Product terms the paper reports for the best random encoding.
+    pub paper_random_best: Option<u32>,
+    /// Product terms the paper reports for its heuristic.
+    pub paper_heuristic: Option<u32>,
+}
+
+impl Table2Row {
+    /// Whether the measured ordering matches the paper's finding
+    /// (heuristic ≤ best random ≤ average random).
+    pub fn ordering_holds(&self) -> bool {
+        (self.heuristic as f64) <= self.random_average
+            && self.heuristic <= self.random_best
+    }
+}
+
+/// One row of the Table 3 reproduction: area of the PST/SIG, DFF and PAT
+/// solutions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Product terms per structure, in the order PST/SIG, DFF, PAT.
+    pub product_terms: [usize; 3],
+    /// Factored-literal estimates, same order.
+    pub literals: [usize; 3],
+    /// Paper-reported product terms (PST/SIG, DFF, PAT), if available.
+    pub paper_product_terms: Option<[u32; 3]>,
+    /// Paper-reported literals (PST/SIG, DFF, PAT), if available.
+    pub paper_literals: Option<[u32; 3]>,
+}
+
+impl Table3Row {
+    /// Relative area overhead of the PST/SIG solution over the DFF solution
+    /// in product terms (the paper's headline: "no significant increase").
+    pub fn pst_overhead_terms(&self) -> f64 {
+        if self.product_terms[1] == 0 {
+            0.0
+        } else {
+            self.product_terms[0] as f64 / self.product_terms[1] as f64
+        }
+    }
+
+    /// Relative saving of the PAT solution versus DFF (the paper reports
+    /// 10–20 % less combinational logic).
+    pub fn pat_saving_terms(&self) -> f64 {
+        if self.product_terms[1] == 0 {
+            0.0
+        } else {
+            1.0 - self.product_terms[2] as f64 / self.product_terms[1] as f64
+        }
+    }
+}
+
+/// One row of the structure comparison (quantified Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Structure the row describes.
+    pub structure: String,
+    /// Product terms of the combinational logic.
+    pub product_terms: usize,
+    /// Factored literals.
+    pub literals: usize,
+    /// Storage bits of the state register and its test duplicates.
+    pub storage_bits: usize,
+    /// Test control signals.
+    pub control_signals: usize,
+    /// XOR gates in the next-state path.
+    pub xor_gates: usize,
+    /// Mode multiplexers in the next-state path.
+    pub mode_multiplexers: usize,
+    /// Whether all system-mode dynamic faults are testable.
+    pub dynamic_fault_detection: bool,
+    /// Measured fault coverage of the self-test campaign (if one was run).
+    pub fault_coverage: Option<f64>,
+    /// Measured patterns needed for the target coverage (if reached).
+    pub test_length: Option<usize>,
+}
+
+/// The coverage comparison of experiment E5 (PST vs. conventional test
+/// length at equal coverage).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageComparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Target fault coverage used for the test-length comparison.
+    pub target_coverage: f64,
+    /// Per-structure results.
+    pub rows: Vec<CoverageRow>,
+}
+
+/// One structure's coverage outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageRow {
+    /// Structure name.
+    pub structure: String,
+    /// Faults simulated.
+    pub total_faults: usize,
+    /// Faults detected.
+    pub detected_faults: usize,
+    /// Final coverage.
+    pub coverage: f64,
+    /// Patterns needed to reach the target coverage (if reached).
+    pub test_length: Option<usize>,
+}
+
+impl CoverageComparison {
+    /// Ratio of the PST test length to the DFF test length at the target
+    /// coverage — the paper's ≈ 1.3 claim.  `None` when either structure did
+    /// not reach the target.
+    pub fn pst_vs_dff_test_length_ratio(&self) -> Option<f64> {
+        let find = |name: &str| {
+            self.rows.iter().find(|r| r.structure == name).and_then(|r| r.test_length)
+        };
+        let pst = find(BistStructure::Pst.name())?;
+        let dff = find(BistStructure::Dff.name())?;
+        if dff == 0 {
+            None
+        } else {
+            Some(pst as f64 / dff as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_ordering_check() {
+        let row = Table2Row {
+            benchmark: "x".into(),
+            states: 8,
+            random_count: 10,
+            random_average: 20.0,
+            random_best: 18,
+            heuristic: 15,
+            paper_random_average: Some(21.0),
+            paper_random_best: Some(19),
+            paper_heuristic: Some(16),
+        };
+        assert!(row.ordering_holds());
+        let bad = Table2Row { heuristic: 25, ..row };
+        assert!(!bad.ordering_holds());
+    }
+
+    #[test]
+    fn table3_ratios() {
+        let row = Table3Row {
+            benchmark: "x".into(),
+            product_terms: [20, 20, 16],
+            literals: [80, 82, 70],
+            paper_product_terms: None,
+            paper_literals: None,
+        };
+        assert!((row.pst_overhead_terms() - 1.0).abs() < 1e-9);
+        assert!((row.pat_saving_terms() - 0.2).abs() < 1e-9);
+        let degenerate = Table3Row { product_terms: [5, 0, 3], ..row };
+        assert_eq!(degenerate.pst_overhead_terms(), 0.0);
+        assert_eq!(degenerate.pat_saving_terms(), 0.0);
+    }
+
+    #[test]
+    fn coverage_ratio() {
+        let cmp = CoverageComparison {
+            benchmark: "x".into(),
+            target_coverage: 0.95,
+            rows: vec![
+                CoverageRow {
+                    structure: "DFF".into(),
+                    total_faults: 100,
+                    detected_faults: 98,
+                    coverage: 0.98,
+                    test_length: Some(100),
+                },
+                CoverageRow {
+                    structure: "PST".into(),
+                    total_faults: 100,
+                    detected_faults: 97,
+                    coverage: 0.97,
+                    test_length: Some(130),
+                },
+            ],
+        };
+        assert!((cmp.pst_vs_dff_test_length_ratio().unwrap() - 1.3).abs() < 1e-9);
+        let missing = CoverageComparison { rows: vec![], ..cmp };
+        assert!(missing.pst_vs_dff_test_length_ratio().is_none());
+    }
+
+    #[test]
+    fn report_types_are_serializable() {
+        fn assert_serializable<T: Serialize + for<'de> Deserialize<'de>>() {}
+        assert_serializable::<Table1Row>();
+        assert_serializable::<Table2Row>();
+        assert_serializable::<Table3Row>();
+        assert_serializable::<CoverageComparison>();
+        assert_serializable::<CoverageRow>();
+    }
+}

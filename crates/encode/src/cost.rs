@@ -1,0 +1,373 @@
+//! The symbolic-implicant cost model of the MISR-targeted state assignment.
+//!
+//! Section 3.3.2 of the paper estimates the quality of a (partial) encoding
+//! by the number of symbolic implicants that have to be *split* when a coding
+//! column is fixed:
+//!
+//! * **input incompatibility** — a group of symbolic present states can no
+//!   longer be embedded in a sub-space of the code space that contains no
+//!   other states, so the group has to be split;
+//! * **output incompatibility** — the excitation variable of the new column,
+//!   `yᵢ = sᵢ⁺ ⊕ sᵢ₋₁`, takes different values for state transitions merged
+//!   in the same symbolic implicant, so the implicant has to be split.
+//!
+//! The functions in this module compute the initial symbolic implicants
+//! (a symbolic minimization restricted to identical input cubes, giving a
+//! lower bound on the product terms of any encoding) and the incremental
+//! cost of fixing one additional coding column.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use stfsm_fsm::{Fsm, StateId};
+
+/// A symbolic implicant: a maximal set of transition-table rows that share
+/// the same input cube, output pattern and next state and therefore can be
+/// realised by a single product term if their present states can be embedded
+/// in a common face of the code space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolicImplicant {
+    /// Indices of the merged transitions in [`Fsm::transitions`].
+    pub transitions: Vec<usize>,
+    /// The present states of the merged transitions.
+    pub present_states: BTreeSet<usize>,
+    /// The common next state (`None` for don't-care next states).
+    pub next_state: Option<usize>,
+}
+
+/// Groups the transition table into symbolic implicants.
+///
+/// Rows merge when they agree on the input cube, the output pattern and the
+/// next state.  The number of groups is a lower bound for the number of
+/// product terms of the output/next-state logic under *any* encoding, which
+/// is how the paper seeds its cost function (symbolic minimization of
+/// `fo(i, S)`).
+pub fn symbolic_implicants(fsm: &Fsm) -> Vec<SymbolicImplicant> {
+    let mut groups: HashMap<(String, String, Option<usize>), SymbolicImplicant> = HashMap::new();
+    for (idx, t) in fsm.transitions().iter().enumerate() {
+        let key = (
+            t.input.to_string(),
+            t.output.to_string(),
+            t.to.map(StateId::index),
+        );
+        let entry = groups.entry(key.clone()).or_insert_with(|| SymbolicImplicant {
+            transitions: Vec::new(),
+            present_states: BTreeSet::new(),
+            next_state: key.2,
+        });
+        entry.transitions.push(idx);
+        entry.present_states.insert(t.from.index());
+    }
+    let mut result: Vec<SymbolicImplicant> = groups.into_values().collect();
+    // Deterministic order: by first transition index.
+    result.sort_by_key(|g| g.transitions[0]);
+    result
+}
+
+/// Weights of the two incompatibility terms (the ablation of `DESIGN.md` E7
+/// sets one of them to zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the input-incompatibility (face violation) term.
+    pub input_incompatibility: f64,
+    /// Weight of the output-incompatibility (excitation split) term.
+    pub output_incompatibility: f64,
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        Self { input_incompatibility: 1.0, output_incompatibility: 1.0 }
+    }
+}
+
+/// The outcome of fixing one more coding column: the incremental cost and the
+/// refined implicant groups to carry forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnCost {
+    /// Weighted total cost increase.
+    pub total: f64,
+    /// Number of implicant splits forced by differing excitation values.
+    pub output_splits: usize,
+    /// Number of face violations (groups whose spanning sub-space captures
+    /// foreign states).
+    pub input_violations: usize,
+    /// The implicant groups refined by the excitation splits, to be used as
+    /// the starting point for the next column.
+    pub refined_groups: Vec<SymbolicImplicant>,
+}
+
+/// Computes the cost of assigning `new_column` as the next state variable.
+///
+/// * `fsm` — the machine;
+/// * `groups` — the current (already refined) symbolic implicants;
+/// * `previous_column` — the values of state variable `sᵢ₋₁` per state, or
+///   `None` when the first column is being assigned (the paper evaluates the
+///   first column on the output function only, because `y₁` depends on the
+///   not-yet-chosen feedback polynomial);
+/// * `assigned_columns` — all previously fixed columns (used for the face
+///   check), **excluding** `new_column`;
+/// * `new_column` — the candidate 0/1 block assignment, indexed by state;
+/// * `weights` — term weights.
+pub fn column_cost(
+    fsm: &Fsm,
+    groups: &[SymbolicImplicant],
+    previous_column: Option<&[bool]>,
+    assigned_columns: &[Vec<bool>],
+    new_column: &[bool],
+    weights: &CostWeights,
+) -> ColumnCost {
+    let mut output_splits = 0usize;
+    let mut input_violations = 0usize;
+    let mut refined: Vec<SymbolicImplicant> = Vec::with_capacity(groups.len());
+
+    for group in groups {
+        // ---- output incompatibility --------------------------------------
+        // yᵢ = sᵢ⁺ ⊕ sᵢ₋₁ : computable only when a previous column exists.
+        let pieces: Vec<SymbolicImplicant> = if let Some(prev) = previous_column {
+            let mut by_value: HashMap<Option<bool>, Vec<usize>> = HashMap::new();
+            for &tidx in &group.transitions {
+                let t = &fsm.transitions()[tidx];
+                let y = t.to.map(|to| new_column[to.index()] ^ prev[t.from.index()]);
+                by_value.entry(y).or_default().push(tidx);
+            }
+            // Don't-care excitations (next state unspecified) are compatible
+            // with either value; merge them into the largest specified piece.
+            let dc = by_value.remove(&None).unwrap_or_default();
+            let mut pieces: Vec<Vec<usize>> = by_value.into_values().collect();
+            pieces.sort_by_key(|p| std::cmp::Reverse(p.len()));
+            if pieces.is_empty() {
+                pieces.push(dc);
+            } else {
+                pieces[0].extend(dc);
+            }
+            if pieces.len() > 1 {
+                output_splits += pieces.len() - 1;
+            }
+            pieces
+                .into_iter()
+                .filter(|p| !p.is_empty())
+                .map(|transitions| {
+                    let present_states =
+                        transitions.iter().map(|&i| fsm.transitions()[i].from.index()).collect();
+                    SymbolicImplicant { transitions, present_states, next_state: group.next_state }
+                })
+                .collect()
+        } else {
+            vec![group.clone()]
+        };
+
+        // ---- input incompatibility ----------------------------------------
+        // For each (refined) piece check whether its present states still fit
+        // into a face of the assigned code space that excludes foreign states.
+        for piece in &pieces {
+            if piece.present_states.len() > 1
+                && face_captures_foreign_state(
+                    &piece.present_states,
+                    assigned_columns,
+                    new_column,
+                    fsm.state_count(),
+                )
+            {
+                input_violations += 1;
+            }
+        }
+        refined.extend(pieces);
+    }
+
+    let total = weights.input_incompatibility * input_violations as f64
+        + weights.output_incompatibility * output_splits as f64;
+    ColumnCost { total, output_splits, input_violations, refined_groups: refined }
+}
+
+/// Whether the minimal face (sub-space of the code bits assigned so far,
+/// including the candidate column) spanned by `states` contains a state that
+/// is not in the set.
+fn face_captures_foreign_state(
+    states: &BTreeSet<usize>,
+    assigned_columns: &[Vec<bool>],
+    new_column: &[bool],
+    state_count: usize,
+) -> bool {
+    // Determine, for every column, whether all members agree; if so the face
+    // fixes that bit, otherwise the face leaves it free.
+    let mut fixed: Vec<Option<bool>> = Vec::with_capacity(assigned_columns.len() + 1);
+    for col in assigned_columns.iter().map(Vec::as_slice).chain(std::iter::once(new_column)) {
+        let mut iter = states.iter();
+        let first = col[*iter.next().expect("face check needs a non-empty state set")];
+        let all_same = iter.all(|&s| col[s] == first);
+        fixed.push(if all_same { Some(first) } else { None });
+    }
+    // A foreign state is captured if it matches every fixed bit.
+    (0..state_count).filter(|s| !states.contains(s)).any(|s| {
+        fixed
+            .iter()
+            .enumerate()
+            .all(|(ci, f)| match f {
+                Some(v) => {
+                    let col: &[bool] = if ci < assigned_columns.len() {
+                        &assigned_columns[ci]
+                    } else {
+                        new_column
+                    };
+                    col[s] == *v
+                }
+                None => true,
+            })
+    })
+}
+
+/// The cost of a *complete* encoding under a fixed feedback column
+/// assignment: re-plays [`column_cost`] column by column and sums the costs.
+/// Used to compare full encodings (e.g. during feedback-polynomial selection
+/// and in tests).
+pub fn total_assignment_cost(
+    fsm: &Fsm,
+    columns: &[Vec<bool>],
+    weights: &CostWeights,
+) -> f64 {
+    let mut groups = symbolic_implicants(fsm);
+    let mut total = 0.0;
+    let mut assigned: Vec<Vec<bool>> = Vec::new();
+    for (i, col) in columns.iter().enumerate() {
+        let prev = if i == 0 { None } else { Some(columns[i - 1].as_slice()) };
+        let cost = column_cost(fsm, &groups, prev, &assigned, col, weights);
+        total += cost.total;
+        groups = cost.refined_groups;
+        assigned.push(col.clone());
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_fsm::Fsm;
+
+    #[test]
+    fn implicants_group_identical_rows() {
+        // Two states with identical behaviour rows merge into shared groups.
+        let fsm = Fsm::builder("m", 1, 1)
+            .transition("0", "A", "C", "1")
+            .unwrap()
+            .transition("0", "B", "C", "1")
+            .unwrap()
+            .transition("1", "A", "A", "0")
+            .unwrap()
+            .transition("1", "B", "A", "0")
+            .unwrap()
+            .transition("-", "C", "A", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let groups = symbolic_implicants(&fsm);
+        assert_eq!(groups.len(), 3);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.transitions.len()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+    }
+
+    #[test]
+    fn implicant_count_lower_bounds_transition_count() {
+        for fsm in [fig3_example().unwrap(), modulo12_exact().unwrap()] {
+            let groups = symbolic_implicants(&fsm);
+            assert!(groups.len() <= fsm.transition_count());
+            let total: usize = groups.iter().map(|g| g.transitions.len()).sum();
+            assert_eq!(total, fsm.transition_count());
+        }
+    }
+
+    #[test]
+    fn output_incompatibility_detects_differing_excitations() {
+        // A and B share an implicant (same input cube, output and next state
+        // C); if the previous column separates A and B, their excitations
+        // yᵢ = sᵢ⁺(C) ⊕ sᵢ₋₁ differ and the implicant must split.
+        let fsm = Fsm::builder("split", 1, 1)
+            .transition("0", "A", "C", "1")
+            .unwrap()
+            .transition("0", "B", "C", "1")
+            .unwrap()
+            .transition("1", "A", "D", "0")
+            .unwrap()
+            .transition("1", "B", "A", "0")
+            .unwrap()
+            .transition("-", "C", "A", "0")
+            .unwrap()
+            .transition("-", "D", "B", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let groups = symbolic_implicants(&fsm);
+        // State order: A=0, C=1, B=2, D=3 (first appearance).  Previous
+        // column separates A (0) from B (1).
+        let a = fsm.state_id("A").unwrap().index();
+        let b = fsm.state_id("B").unwrap().index();
+        let mut prev = vec![false; fsm.state_count()];
+        prev[b] = true;
+        let candidate = vec![false, true, false, true];
+        let cost = column_cost(
+            &fsm,
+            &groups,
+            Some(&prev),
+            &[prev.clone()],
+            &candidate,
+            &CostWeights::default(),
+        );
+        assert!(cost.output_splits >= 1, "expected a split for the shared A/B implicant");
+        assert!(cost.refined_groups.len() > groups.len());
+        assert!(cost.total > 0.0);
+        let _ = a;
+    }
+
+    #[test]
+    fn first_column_only_counts_input_term() {
+        let fsm = fig3_example().unwrap();
+        let groups = symbolic_implicants(&fsm);
+        let candidate = vec![false, true, false];
+        let cost = column_cost(&fsm, &groups, None, &[], &candidate, &CostWeights::default());
+        assert_eq!(cost.output_splits, 0);
+        assert_eq!(cost.refined_groups.len(), groups.len());
+    }
+
+    #[test]
+    fn face_violation_detected() {
+        // States {0, 2} agree on a column where state 1 also agrees -> the
+        // face spanned by {0,2} captures 1.
+        let states: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let col = vec![true, true, true];
+        assert!(face_captures_foreign_state(&states, &[], &col, 3));
+        // With a column separating them, no capture.
+        let col2 = vec![true, false, true];
+        assert!(!face_captures_foreign_state(&states, &[col2.clone()], &col, 3));
+    }
+
+    #[test]
+    fn weights_scale_the_total() {
+        let fsm = modulo12_exact().unwrap();
+        let groups = symbolic_implicants(&fsm);
+        let n = fsm.state_count();
+        let prev = vec![false; n];
+        let candidate: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let unit = column_cost(&fsm, &groups, Some(&prev), &[prev.clone()], &candidate, &CostWeights::default());
+        let double = column_cost(
+            &fsm,
+            &groups,
+            Some(&prev),
+            &[prev.clone()],
+            &candidate,
+            &CostWeights { input_incompatibility: 2.0, output_incompatibility: 2.0 },
+        );
+        assert!((double.total - 2.0 * unit.total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_assignment_cost_is_deterministic() {
+        let fsm = modulo12_exact().unwrap();
+        let n = fsm.state_count();
+        let columns: Vec<Vec<bool>> = (0..4)
+            .map(|c| (0..n).map(|s| (s >> c) & 1 == 1).collect())
+            .collect();
+        let a = total_assignment_cost(&fsm, &columns, &CostWeights::default());
+        let b = total_assignment_cost(&fsm, &columns, &CostWeights::default());
+        assert_eq!(a, b);
+    }
+}

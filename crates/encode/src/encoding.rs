@@ -1,0 +1,222 @@
+//! Injective state encodings.
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::fmt;
+use stfsm_fsm::{Fsm, StateId};
+use stfsm_lfsr::Gf2Vec;
+
+/// An injective mapping `ψ : S → {0,1}ʳ` from the symbolic states of a
+/// machine to binary code words (the paper's state assignment `ψ`).
+///
+/// # Example
+///
+/// ```
+/// use stfsm_fsm::suite::fig3_example;
+/// use stfsm_encode::StateEncoding;
+/// use stfsm_lfsr::Gf2Vec;
+///
+/// let fsm = fig3_example()?;
+/// let codes = vec![
+///     Gf2Vec::from_value(0b01, 2)?,
+///     Gf2Vec::from_value(0b11, 2)?,
+///     Gf2Vec::from_value(0b10, 2)?,
+/// ];
+/// let enc = StateEncoding::new(&fsm, codes)?;
+/// assert_eq!(enc.num_bits(), 2);
+/// assert_eq!(enc.code(fsm.state_id("B").unwrap()).value(), 0b11);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateEncoding {
+    codes: Vec<Gf2Vec>,
+    num_bits: usize,
+    by_code: HashMap<u64, StateId>,
+}
+
+impl StateEncoding {
+    /// Creates an encoding from one code per state (indexed by [`StateId`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the number of codes differs from the number of
+    /// states, if code widths are inconsistent, if the width cannot
+    /// distinguish all states, or if two states share a code.
+    pub fn new(fsm: &Fsm, codes: Vec<Gf2Vec>) -> Result<Self> {
+        if codes.len() != fsm.state_count() {
+            return Err(Error::MissingState { state: codes.len().min(fsm.state_count()) });
+        }
+        let num_bits = codes.first().map(Gf2Vec::width).unwrap_or(1);
+        if (1usize << num_bits.min(63)) < fsm.state_count() {
+            return Err(Error::TooFewBits { states: fsm.state_count(), bits: num_bits });
+        }
+        let mut by_code = HashMap::with_capacity(codes.len());
+        for (i, code) in codes.iter().enumerate() {
+            if code.width() != num_bits {
+                return Err(Error::WidthMismatch { expected: num_bits, found: code.width() });
+            }
+            if let Some(prev) = by_code.insert(code.value(), StateId(i)) {
+                return Err(Error::DuplicateCode { first: prev.index(), second: i });
+            }
+        }
+        Ok(Self { codes, num_bits, by_code })
+    }
+
+    /// The natural binary encoding (state `i` gets code `i`) with the minimum
+    /// number of bits — a convenient deterministic default.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width errors from the GF(2) substrate (cannot occur for
+    /// machines within the supported size limits).
+    pub fn natural(fsm: &Fsm) -> Result<Self> {
+        let bits = fsm.min_state_bits();
+        let codes = (0..fsm.state_count())
+            .map(|i| Gf2Vec::from_value(i as u64, bits).map_err(Error::from))
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(fsm, codes)
+    }
+
+    /// Number of code bits `r`.
+    pub fn num_bits(&self) -> usize {
+        self.num_bits
+    }
+
+    /// Number of encoded states.
+    pub fn state_count(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The code of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state id is out of range.
+    pub fn code(&self, state: StateId) -> Gf2Vec {
+        self.codes[state.index()]
+    }
+
+    /// All codes, indexed by state id.
+    pub fn codes(&self) -> &[Gf2Vec] {
+        &self.codes
+    }
+
+    /// The state assigned to a code word, if any.
+    pub fn state_of(&self, code: Gf2Vec) -> Option<StateId> {
+        self.by_code.get(&code.value()).copied()
+    }
+
+    /// Code words of the code space that are not assigned to any state.
+    pub fn unused_codes(&self) -> Vec<Gf2Vec> {
+        if self.num_bits > 32 {
+            return Vec::new();
+        }
+        Gf2Vec::enumerate_all(self.num_bits)
+            .expect("width bounded by 32")
+            .filter(|c| !self.by_code.contains_key(&c.value()))
+            .collect()
+    }
+
+    /// The code bit `column` (0-based, i.e. state variable `s₍column+1₎` in
+    /// the paper's 1-based notation) of every state.
+    pub fn column(&self, column: usize) -> Vec<bool> {
+        self.codes.iter().map(|c| c.bit(column)).collect()
+    }
+
+    /// Sum over all transitions of the Hamming distance between present- and
+    /// next-state codes — the classical "bit switching" quality measure of
+    /// D-flip-flop encodings.
+    pub fn transition_bit_changes(&self, fsm: &Fsm) -> usize {
+        fsm.transitions()
+            .iter()
+            .filter_map(|t| {
+                let to = t.to?;
+                self.code(t.from).hamming_distance(&self.code(to)).ok().map(|d| d as usize)
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for StateEncoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, code) in self.codes.iter().enumerate() {
+            writeln!(f, "s{i} -> {code}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+
+    #[test]
+    fn natural_encoding_is_injective_and_minimal() {
+        let fsm = modulo12_exact().unwrap();
+        let enc = StateEncoding::natural(&fsm).unwrap();
+        assert_eq!(enc.num_bits(), 4);
+        assert_eq!(enc.state_count(), 12);
+        assert_eq!(enc.unused_codes().len(), 4);
+        for i in 0..12 {
+            assert_eq!(enc.code(StateId(i)).value(), i as u64);
+            assert_eq!(enc.state_of(enc.code(StateId(i))), Some(StateId(i)));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_encodings() {
+        let fsm = fig3_example().unwrap();
+        // too few codes
+        assert!(matches!(
+            StateEncoding::new(&fsm, vec![Gf2Vec::from_value(0, 2).unwrap()]),
+            Err(Error::MissingState { .. })
+        ));
+        // duplicate codes
+        let dup = vec![
+            Gf2Vec::from_value(1, 2).unwrap(),
+            Gf2Vec::from_value(1, 2).unwrap(),
+            Gf2Vec::from_value(2, 2).unwrap(),
+        ];
+        assert!(matches!(StateEncoding::new(&fsm, dup), Err(Error::DuplicateCode { .. })));
+        // too few bits
+        let narrow = vec![
+            Gf2Vec::from_value(0, 1).unwrap(),
+            Gf2Vec::from_value(1, 1).unwrap(),
+            Gf2Vec::from_value(0, 1).unwrap(),
+        ];
+        assert!(matches!(StateEncoding::new(&fsm, narrow), Err(Error::TooFewBits { .. })));
+        // inconsistent widths
+        let mixed = vec![
+            Gf2Vec::from_value(0, 2).unwrap(),
+            Gf2Vec::from_value(1, 3).unwrap(),
+            Gf2Vec::from_value(2, 2).unwrap(),
+        ];
+        assert!(matches!(StateEncoding::new(&fsm, mixed), Err(Error::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn columns_and_bit_changes() {
+        let fsm = fig3_example().unwrap();
+        let codes = vec![
+            Gf2Vec::from_value(0b01, 2).unwrap(),
+            Gf2Vec::from_value(0b11, 2).unwrap(),
+            Gf2Vec::from_value(0b10, 2).unwrap(),
+        ];
+        let enc = StateEncoding::new(&fsm, codes).unwrap();
+        assert_eq!(enc.column(0), vec![true, true, false]);
+        assert_eq!(enc.column(1), vec![false, true, true]);
+        let changes = enc.transition_bit_changes(&fsm);
+        assert!(changes > 0);
+        let s = enc.to_string();
+        assert!(s.contains("s0 -> 01"));
+    }
+
+    #[test]
+    fn state_of_unknown_code_is_none() {
+        let fsm = fig3_example().unwrap();
+        let enc = StateEncoding::natural(&fsm).unwrap();
+        assert!(enc.state_of(Gf2Vec::from_value(3, 2).unwrap()).is_none());
+        assert_eq!(enc.unused_codes().len(), 1);
+    }
+}

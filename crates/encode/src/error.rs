@@ -1,0 +1,90 @@
+//! Error type of the state-assignment crate.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating state encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Fewer code bits were requested than needed to distinguish all states.
+    TooFewBits {
+        /// Number of states to encode.
+        states: usize,
+        /// Number of code bits offered.
+        bits: usize,
+    },
+    /// Two states were mapped to the same code word.
+    DuplicateCode {
+        /// Index of the first state.
+        first: usize,
+        /// Index of the second state.
+        second: usize,
+    },
+    /// The encoding does not cover every state of the machine.
+    MissingState {
+        /// Index of the state without a code.
+        state: usize,
+    },
+    /// A code word has a width different from the declared number of bits.
+    WidthMismatch {
+        /// Declared number of code bits.
+        expected: usize,
+        /// Width of the offending code word.
+        found: usize,
+    },
+    /// The underlying GF(2) substrate reported an error.
+    Lfsr(stfsm_lfsr::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooFewBits { states, bits } => {
+                write!(f, "{bits} code bits cannot distinguish {states} states")
+            }
+            Error::DuplicateCode { first, second } => {
+                write!(f, "states {first} and {second} share the same code")
+            }
+            Error::MissingState { state } => write!(f, "state {state} has no code"),
+            Error::WidthMismatch { expected, found } => {
+                write!(f, "code width {found} does not match encoding width {expected}")
+            }
+            Error::Lfsr(e) => write!(f, "gf(2) substrate error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Lfsr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<stfsm_lfsr::Error> for Error {
+    fn from(e: stfsm_lfsr::Error) -> Self {
+        Error::Lfsr(e)
+    }
+}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(Error::TooFewBits { states: 5, bits: 2 }.to_string().contains('5'));
+        assert!(Error::DuplicateCode { first: 1, second: 3 }.to_string().contains('3'));
+        assert!(Error::MissingState { state: 2 }.to_string().contains('2'));
+        assert!(Error::WidthMismatch { expected: 3, found: 4 }.to_string().contains('4'));
+        let inner = stfsm_lfsr::Error::InvalidWidth { width: 0 };
+        let e = Error::from(inner);
+        assert!(e.to_string().contains("substrate"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,45 @@
+//! State assignment algorithms for self-testable FSM synthesis.
+//!
+//! This crate implements the encoding procedures of the paper
+//! (Eschermann & Wunderlich, DAC 1991, Section 3.3):
+//!
+//! * [`random`] — uniformly random injective encodings, the baseline of
+//!   Table 2 ("average / best of 50 random encodings"),
+//! * [`dff`] — a MUSTANG/NOVA-flavoured adjacency-based assignment for
+//!   conventional D-flip-flop state registers (the DFF columns of Table 3),
+//! * [`misr`] — the paper's contribution: a column-wise (state variable by
+//!   state variable) beam/branch-and-bound assignment targeted at MISR state
+//!   registers, driven by a symbolic-implicant cost function with input- and
+//!   output-incompatibility terms, followed by selection of the primitive
+//!   feedback polynomial `m(s)` (PST / SIG structures),
+//! * [`pat`] — the LFSR-overlap assignment of [EsWu 90] used by the PAT
+//!   structure: a chain of system transitions is mapped onto the autonomous
+//!   LFSR cycle so that those transitions need not be implemented in the
+//!   next-state logic.
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_fsm::suite::fig3_example;
+//! use stfsm_encode::misr::{assign, MisrAssignmentConfig};
+//!
+//! let fsm = fig3_example()?;
+//! let result = assign(&fsm, &MisrAssignmentConfig::default());
+//! assert_eq!(result.encoding.num_bits(), 2);
+//! assert!(result.feedback.is_primitive());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dff;
+mod encoding;
+mod error;
+pub mod misr;
+pub mod pat;
+pub mod random;
+
+pub use encoding::StateEncoding;
+pub use error::{Error, Result};

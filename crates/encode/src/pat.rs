@@ -1,0 +1,308 @@
+//! The LFSR-overlap ("smart state register") assignment used by the PAT
+//! structure.
+//!
+//! Section 2.3 / Fig. 3 of the paper (and [EsWu 90]) observe that the test
+//! pattern generator of a self-testable controller cycles autonomously
+//! through a fixed state sequence.  If present- and next-state codes of a
+//! *system* transition are consecutive elements of that cycle, the next-state
+//! logic need not produce the transition at all — the register generates it
+//! on its own when the `Mode` output selects LFSR operation, and the
+//! corresponding next-state entries become don't-cares for logic
+//! minimization.
+//!
+//! The assignment therefore (1) finds a long chain of system transitions,
+//! (2) maps the chain onto the autonomous cycle of a primitive-polynomial
+//! LFSR, and (3) places the remaining states on the remaining codes with an
+//! adjacency heuristic.
+
+use crate::{Result, StateEncoding};
+use std::collections::{HashMap, HashSet};
+use stfsm_fsm::analysis::successor_map;
+use stfsm_fsm::{Fsm, StateId};
+use stfsm_lfsr::{primitive_polynomial, Gf2Poly, Gf2Vec, Lfsr};
+
+/// Configuration of the PAT (LFSR-overlap) assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatAssignmentConfig {
+    /// Number of code bits; `None` uses the minimum `⌈log₂ |S|⌉`.
+    pub bits: Option<usize>,
+    /// Feedback polynomial of the pattern-generation register; `None` picks
+    /// the canonical primitive polynomial of the required degree.
+    pub polynomial: Option<Gf2Poly>,
+    /// How many different chain start states are tried when searching for a
+    /// long overlap chain.
+    pub chain_attempts: usize,
+}
+
+impl Default for PatAssignmentConfig {
+    fn default() -> Self {
+        Self { bits: None, polynomial: None, chain_attempts: 8 }
+    }
+}
+
+/// The result of the PAT assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatAssignment {
+    /// The chosen state encoding.
+    pub encoding: StateEncoding,
+    /// The feedback polynomial of the pattern-generation register.
+    pub polynomial: Gf2Poly,
+    /// The states (in order) whose codes follow the autonomous LFSR cycle.
+    pub chain: Vec<StateId>,
+    /// Indices of the transitions whose next state is produced by the LFSR in
+    /// autonomous mode (`Mode = 0`); their next-state entries become
+    /// don't-cares in the encoded table.
+    pub covered_transitions: Vec<usize>,
+}
+
+impl PatAssignment {
+    /// Fraction of transition rows covered by the autonomous LFSR sequence.
+    pub fn coverage(&self, fsm: &Fsm) -> f64 {
+        if fsm.transition_count() == 0 {
+            0.0
+        } else {
+            self.covered_transitions.len() as f64 / fsm.transition_count() as f64
+        }
+    }
+}
+
+/// Runs the PAT assignment.
+///
+/// # Errors
+///
+/// Returns an error if no primitive polynomial of the required degree is
+/// available or the requested width cannot distinguish the states.
+pub fn assign(fsm: &Fsm, config: &PatAssignmentConfig) -> Result<PatAssignment> {
+    let bits = config.bits.unwrap_or_else(|| fsm.min_state_bits()).max(fsm.min_state_bits());
+    if (1usize << bits.min(63)) < fsm.state_count() {
+        return Err(crate::Error::TooFewBits { states: fsm.state_count(), bits });
+    }
+    let polynomial = match config.polynomial {
+        Some(p) if p.degree() == bits => p,
+        _ => primitive_polynomial(bits)?,
+    };
+    let lfsr = Lfsr::new(polynomial)?;
+
+    // 1. Find a long chain of states connected by transitions.  The chain can
+    //    use at most 2^bits − 1 codes because the autonomous cycle of a
+    //    maximum-length LFSR excludes the all-zero state.
+    let mut chain = longest_chain(fsm, config.chain_attempts);
+    chain.truncate((1usize << bits.min(62)) - 1);
+
+    // 2. Map the chain onto the autonomous LFSR cycle starting at code 1.
+    let n = fsm.state_count();
+    let mut codes: Vec<Option<Gf2Vec>> = vec![None; n];
+    let mut used: HashSet<u64> = HashSet::new();
+    let mut cursor = Gf2Vec::from_value(1, bits)?;
+    for &state in &chain {
+        codes[state.index()] = Some(cursor);
+        used.insert(cursor.value());
+        cursor = lfsr.step(&cursor);
+    }
+
+    // 3. Place the remaining states: prefer codes adjacent (Hamming distance
+    //    1) to the codes of already placed neighbours in the state graph.
+    let succ = successor_map(fsm);
+    let mut remaining: Vec<usize> = (0..n).filter(|&s| codes[s].is_none()).collect();
+    remaining.sort_unstable();
+    let free_codes: Vec<Gf2Vec> = Gf2Vec::enumerate_all(bits)
+        .map_err(crate::Error::from)?
+        .filter(|c| !used.contains(&c.value()))
+        .collect();
+    let mut free: Vec<Gf2Vec> = free_codes;
+    for state in remaining {
+        let neighbours: Vec<Gf2Vec> = succ
+            .get(&StateId(state))
+            .into_iter()
+            .flatten()
+            .filter_map(|t| codes[t.index()])
+            .collect();
+        let (best_idx, _) = free
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, code)| {
+                let dist: u32 = neighbours
+                    .iter()
+                    .map(|nb| code.hamming_distance(nb).unwrap_or(u32::MAX / 2))
+                    .sum();
+                (dist, code.value())
+            })
+            .expect("enough codes for all states");
+        codes[state] = Some(free.swap_remove(best_idx));
+    }
+
+    let codes: Vec<Gf2Vec> = codes.into_iter().map(|c| c.expect("all states placed")).collect();
+    let encoding = StateEncoding::new(fsm, codes)?;
+
+    // 4. Determine which transitions are covered by the autonomous cycle.
+    let covered_transitions: Vec<usize> = fsm
+        .transitions()
+        .iter()
+        .enumerate()
+        .filter_map(|(idx, t)| {
+            let to = t.to?;
+            let next = lfsr.step(&encoding.code(t.from));
+            (next == encoding.code(to)).then_some(idx)
+        })
+        .collect();
+
+    Ok(PatAssignment { encoding, polynomial, chain, covered_transitions })
+}
+
+/// Finds a long simple path in the state graph by greedy depth-first walks
+/// from several start states.
+fn longest_chain(fsm: &Fsm, attempts: usize) -> Vec<StateId> {
+    let succ = successor_map(fsm);
+    let n = fsm.state_count();
+    let mut starts: Vec<usize> = Vec::new();
+    if let Some(reset) = fsm.reset_state() {
+        starts.push(reset.index());
+    }
+    for s in 0..n {
+        if starts.len() >= attempts.max(1) {
+            break;
+        }
+        if !starts.contains(&s) {
+            starts.push(s);
+        }
+    }
+
+    let mut best: Vec<StateId> = Vec::new();
+    for &start in &starts {
+        let mut visited: HashSet<usize> = HashSet::new();
+        let mut chain = Vec::new();
+        let mut current = start;
+        loop {
+            visited.insert(current);
+            chain.push(StateId(current));
+            // Choose the unvisited successor with the most unvisited
+            // successors of its own (a lookahead-1 greedy rule), ties broken
+            // by index for determinism.
+            let next = succ
+                .get(&StateId(current))
+                .map(|set| {
+                    let mut cands: Vec<usize> = set
+                        .iter()
+                        .map(|s| s.index())
+                        .filter(|s| !visited.contains(s))
+                        .collect();
+                    cands.sort_unstable();
+                    cands
+                        .into_iter()
+                        .max_by_key(|&c| {
+                            let onward = succ
+                                .get(&StateId(c))
+                                .map(|s2| s2.iter().filter(|x| !visited.contains(&x.index())).count())
+                                .unwrap_or(0);
+                            (onward, std::cmp::Reverse(c))
+                        })
+                })
+                .unwrap_or(None);
+            match next {
+                Some(next) => current = next,
+                None => break,
+            }
+        }
+        if chain.len() > best.len() {
+            best = chain;
+        }
+    }
+    best
+}
+
+/// The number of transition rows per state that follow the LFSR, grouped by
+/// present state — a diagnostic used in reports and tests.
+pub fn covered_by_state(fsm: &Fsm, assignment: &PatAssignment) -> HashMap<StateId, usize> {
+    let mut map = HashMap::new();
+    for &idx in &assignment.covered_transitions {
+        let t = &fsm.transitions()[idx];
+        *map.entry(t.from).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_fsm::generate::{controller, ControllerSpec};
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+
+    #[test]
+    fn fig3_machine_overlaps_with_the_lfsr_cycle() {
+        let fsm = fig3_example().unwrap();
+        let result = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        assert_eq!(result.encoding.num_bits(), 2);
+        assert_eq!(result.polynomial, primitive_polynomial(2).unwrap());
+        // The input-1 transitions form a ring A -> B -> C -> A; at least two
+        // of the three can follow the LFSR cycle (the third closes the ring).
+        assert!(result.covered_transitions.len() >= 2, "covered: {:?}", result.covered_transitions);
+        assert!(result.coverage(&fsm) > 0.0);
+        assert_eq!(result.chain.len(), 3);
+    }
+
+    #[test]
+    fn modulo12_chain_covers_most_of_the_counter() {
+        let fsm = modulo12_exact().unwrap();
+        let result = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        // The count-enable ring gives a chain through all 12 states.
+        assert_eq!(result.chain.len(), 12);
+        assert!(result.covered_transitions.len() >= 11);
+    }
+
+    #[test]
+    fn codes_are_injective_and_respect_width() {
+        let fsm = controller(&ControllerSpec::new("patgen", 20, 4, 3)).unwrap();
+        let result = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        assert_eq!(result.encoding.state_count(), 20);
+        assert_eq!(result.encoding.num_bits(), 5);
+        let codes: std::collections::HashSet<u64> =
+            (0..20).map(|i| result.encoding.code(StateId(i)).value()).collect();
+        assert_eq!(codes.len(), 20);
+    }
+
+    #[test]
+    fn explicit_polynomial_and_width() {
+        let fsm = fig3_example().unwrap();
+        let cfg = PatAssignmentConfig {
+            bits: Some(3),
+            polynomial: Some(primitive_polynomial(3).unwrap()),
+            chain_attempts: 2,
+        };
+        let result = assign(&fsm, &cfg).unwrap();
+        assert_eq!(result.encoding.num_bits(), 3);
+        assert_eq!(result.polynomial.degree(), 3);
+        // A polynomial of the wrong degree is replaced by a fitting one.
+        let cfg = PatAssignmentConfig {
+            bits: Some(3),
+            polynomial: Some(primitive_polynomial(2).unwrap()),
+            chain_attempts: 2,
+        };
+        let result = assign(&fsm, &cfg).unwrap();
+        assert_eq!(result.polynomial.degree(), 3);
+    }
+
+    #[test]
+    fn covered_transitions_really_follow_the_lfsr() {
+        let fsm = controller(&ControllerSpec::new("patcheck", 12, 3, 2)).unwrap();
+        let result = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        let lfsr = Lfsr::new(result.polynomial).unwrap();
+        for &idx in &result.covered_transitions {
+            let t = &fsm.transitions()[idx];
+            let from = result.encoding.code(t.from);
+            let to = result.encoding.code(t.to.unwrap());
+            assert_eq!(lfsr.step(&from), to);
+        }
+        let by_state = covered_by_state(&fsm, &result);
+        let total: usize = by_state.values().sum();
+        assert_eq!(total, result.covered_transitions.len());
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let fsm = controller(&ControllerSpec::new("patdet", 10, 3, 2)).unwrap();
+        let a = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        let b = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
+        assert_eq!(a.encoding, b.encoding);
+        assert_eq!(a.covered_transitions, b.covered_transitions);
+    }
+}

@@ -1,0 +1,94 @@
+//! Random state encodings — the baseline of Table 2.
+//!
+//! The paper compares its heuristic against the *average* and the *best* of
+//! 50 uniformly drawn injective encodings, because no other state-assignment
+//! procedure for signature-register state registers existed.  This module
+//! reproduces that baseline with a seedable generator so the experiment is
+//! repeatable.
+
+use crate::{Result, StateEncoding};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use stfsm_fsm::Fsm;
+use stfsm_lfsr::Gf2Vec;
+
+/// Draws one uniformly random injective encoding with `bits` code bits.
+///
+/// # Errors
+///
+/// Returns an error if `bits` cannot distinguish all states or exceeds the
+/// 32-bit enumeration limit of the code space.
+pub fn random_encoding(fsm: &Fsm, bits: usize, seed: u64) -> Result<StateEncoding> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    sample(fsm, bits, &mut rng)
+}
+
+/// Draws `count` independent random encodings (seeds `seed`, `seed+1`, …) —
+/// the "50 random encodings" experiment uses `count = 50`.
+///
+/// # Errors
+///
+/// Returns an error if `bits` cannot distinguish all states.
+pub fn random_encodings(fsm: &Fsm, bits: usize, count: usize, seed: u64) -> Result<Vec<StateEncoding>> {
+    (0..count).map(|i| random_encoding(fsm, bits, seed.wrapping_add(i as u64))).collect()
+}
+
+fn sample(fsm: &Fsm, bits: usize, rng: &mut StdRng) -> Result<StateEncoding> {
+    if bits > 32 {
+        return Err(crate::Error::Lfsr(stfsm_lfsr::Error::InvalidWidth { width: bits }));
+    }
+    if (1usize << bits) < fsm.state_count() {
+        return Err(crate::Error::TooFewBits { states: fsm.state_count(), bits });
+    }
+    let mut all: Vec<u64> = (0..(1u64 << bits)).collect();
+    all.shuffle(rng);
+    let codes = all
+        .into_iter()
+        .take(fsm.state_count())
+        .map(|v| Gf2Vec::from_value(v, bits).map_err(crate::Error::from))
+        .collect::<Result<Vec<_>>>()?;
+    StateEncoding::new(fsm, codes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_fsm::suite::modulo12_exact;
+
+    #[test]
+    fn random_encodings_are_injective_and_reproducible() {
+        let fsm = modulo12_exact().unwrap();
+        let a = random_encoding(&fsm, 4, 7).unwrap();
+        let b = random_encoding(&fsm, 4, 7).unwrap();
+        assert_eq!(a, b);
+        let c = random_encoding(&fsm, 4, 8).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(a.num_bits(), 4);
+        assert_eq!(a.state_count(), 12);
+    }
+
+    #[test]
+    fn batch_generation_uses_distinct_seeds() {
+        let fsm = modulo12_exact().unwrap();
+        let encs = random_encodings(&fsm, 4, 10, 1).unwrap();
+        assert_eq!(encs.len(), 10);
+        let distinct: std::collections::HashSet<String> =
+            encs.iter().map(|e| e.to_string()).collect();
+        assert!(distinct.len() > 1, "encodings should differ between seeds");
+    }
+
+    #[test]
+    fn extra_bits_are_allowed() {
+        let fsm = modulo12_exact().unwrap();
+        let e = random_encoding(&fsm, 6, 0).unwrap();
+        assert_eq!(e.num_bits(), 6);
+    }
+
+    #[test]
+    fn too_few_bits_is_an_error() {
+        let fsm = modulo12_exact().unwrap();
+        assert!(random_encoding(&fsm, 3, 0).is_err());
+        assert!(random_encoding(&fsm, 40, 0).is_err());
+    }
+}

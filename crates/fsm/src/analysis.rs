@@ -1,0 +1,283 @@
+//! Structural analysis of symbolic FSMs.
+//!
+//! The BIST structures of the paper place requirements on the state
+//! transition graph: the PST structure keeps all system states reachable
+//! during self-test *because* the self-test state graph equals the system
+//! state graph, whereas reconfiguring self-test modes can break strong
+//! connectivity (Section 2.4).  The functions here quantify those structural
+//! properties and provide the statistics reported for the benchmark suite.
+
+use crate::{Fsm, StateId};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Structural properties of an FSM's state transition graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmAnalysis {
+    /// Number of symbolic states.
+    pub state_count: usize,
+    /// Number of transition-table rows.
+    pub transition_count: usize,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Minimum number of state bits `⌈log₂ |S|⌉`.
+    pub min_state_bits: usize,
+    /// States reachable from the reset state (all states if no reset state is
+    /// declared and the machine is strongly connected).
+    pub reachable_from_reset: usize,
+    /// Whether every state can reach every other state.
+    pub is_strongly_connected: bool,
+    /// Whether some input vector is specified for every state (no state with
+    /// an empty transition row).
+    pub is_complete: bool,
+    /// Longest shortest-path distance (in transitions) from the reset state
+    /// to any reachable state — the "sequential depth" that makes controllers
+    /// hard to test externally.
+    pub sequential_depth: usize,
+    /// Average number of distinct successor states per state.
+    pub average_fanout: f64,
+    /// Number of transitions whose next state equals the present state.
+    pub self_loops: usize,
+    /// Fraction of input-cube positions that are don't-cares, a measure of
+    /// how "controller-like" (sparsely specified) the machine is.
+    pub input_dont_care_ratio: f64,
+}
+
+/// Computes the structural analysis of a machine.
+pub fn analyze(fsm: &Fsm) -> FsmAnalysis {
+    let succ = successor_map(fsm);
+    let reset = fsm.reset_state().unwrap_or(StateId(0));
+    let distances = bfs_distances(fsm.state_count(), &succ, reset);
+    let reachable_from_reset = distances.iter().filter(|d| d.is_some()).count();
+    let sequential_depth = distances.iter().flatten().copied().max().unwrap_or(0);
+
+    let is_strongly_connected = strongly_connected(fsm.state_count(), &succ);
+
+    let mut states_with_transitions = HashSet::new();
+    let mut self_loops = 0usize;
+    let mut dc_positions = 0usize;
+    let mut total_positions = 0usize;
+    for t in fsm.transitions() {
+        states_with_transitions.insert(t.from);
+        if t.to == Some(t.from) {
+            self_loops += 1;
+        }
+        dc_positions += t.input.dont_care_count();
+        total_positions += t.input.width();
+    }
+    let is_complete = states_with_transitions.len() == fsm.state_count();
+
+    let average_fanout = if fsm.state_count() == 0 {
+        0.0
+    } else {
+        succ.values().map(|s| s.len()).sum::<usize>() as f64 / fsm.state_count() as f64
+    };
+
+    FsmAnalysis {
+        state_count: fsm.state_count(),
+        transition_count: fsm.transition_count(),
+        num_inputs: fsm.num_inputs(),
+        num_outputs: fsm.num_outputs(),
+        min_state_bits: fsm.min_state_bits(),
+        reachable_from_reset,
+        is_strongly_connected,
+        is_complete,
+        sequential_depth,
+        average_fanout,
+        self_loops,
+        input_dont_care_ratio: if total_positions == 0 {
+            0.0
+        } else {
+            dc_positions as f64 / total_positions as f64
+        },
+    }
+}
+
+/// The set of distinct successor states of every state (don't-care next
+/// states are ignored).
+pub fn successor_map(fsm: &Fsm) -> HashMap<StateId, HashSet<StateId>> {
+    let mut map: HashMap<StateId, HashSet<StateId>> =
+        (0..fsm.state_count()).map(|i| (StateId(i), HashSet::new())).collect();
+    for t in fsm.transitions() {
+        if let Some(to) = t.to {
+            map.entry(t.from).or_default().insert(to);
+        }
+    }
+    map
+}
+
+/// The set of distinct predecessor states of every state.
+pub fn predecessor_map(fsm: &Fsm) -> HashMap<StateId, HashSet<StateId>> {
+    let mut map: HashMap<StateId, HashSet<StateId>> =
+        (0..fsm.state_count()).map(|i| (StateId(i), HashSet::new())).collect();
+    for t in fsm.transitions() {
+        if let Some(to) = t.to {
+            map.entry(to).or_default().insert(t.from);
+        }
+    }
+    map
+}
+
+/// Breadth-first distances from `start`; `None` marks unreachable states.
+pub fn bfs_distances(
+    state_count: usize,
+    successors: &HashMap<StateId, HashSet<StateId>>,
+    start: StateId,
+) -> Vec<Option<usize>> {
+    let mut dist = vec![None; state_count];
+    if start.index() >= state_count {
+        return dist;
+    }
+    dist[start.index()] = Some(0);
+    let mut queue = VecDeque::from([start]);
+    while let Some(s) = queue.pop_front() {
+        let d = dist[s.index()].expect("enqueued states have distances");
+        if let Some(next) = successors.get(&s) {
+            for &n in next {
+                if dist[n.index()].is_none() {
+                    dist[n.index()] = Some(d + 1);
+                    queue.push_back(n);
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// Whether the directed graph over all states is strongly connected
+/// (checked by forward reachability from state 0 plus reachability in the
+/// reversed graph).
+pub fn strongly_connected(
+    state_count: usize,
+    successors: &HashMap<StateId, HashSet<StateId>>,
+) -> bool {
+    if state_count == 0 {
+        return true;
+    }
+    let forward = bfs_distances(state_count, successors, StateId(0));
+    if forward.iter().any(|d| d.is_none()) {
+        return false;
+    }
+    let mut reversed: HashMap<StateId, HashSet<StateId>> =
+        (0..state_count).map(|i| (StateId(i), HashSet::new())).collect();
+    for (&from, tos) in successors {
+        for &to in tos {
+            reversed.entry(to).or_default().insert(from);
+        }
+    }
+    let backward = bfs_distances(state_count, &reversed, StateId(0));
+    backward.iter().all(|d| d.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Fsm;
+
+    fn ring(n: usize) -> Fsm {
+        let mut b = Fsm::builder("ring", 1, 1);
+        for i in 0..n {
+            b = b
+                .transition("-", &format!("s{i}"), &format!("s{}", (i + 1) % n), "0")
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_is_strongly_connected_with_full_depth() {
+        let fsm = ring(6);
+        let a = analyze(&fsm);
+        assert_eq!(a.state_count, 6);
+        assert!(a.is_strongly_connected);
+        assert!(a.is_complete);
+        assert_eq!(a.sequential_depth, 5);
+        assert_eq!(a.reachable_from_reset, 6);
+        assert_eq!(a.self_loops, 0);
+        assert!((a.average_fanout - 1.0).abs() < 1e-9);
+        assert!((a.input_dont_care_ratio - 1.0).abs() < 1e-9);
+        assert_eq!(a.min_state_bits, 3);
+    }
+
+    #[test]
+    fn dead_end_state_breaks_strong_connectivity() {
+        let fsm = Fsm::builder("dead", 1, 1)
+            .transition("-", "A", "B", "0")
+            .unwrap()
+            .transition("-", "B", "B", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = analyze(&fsm);
+        assert!(!a.is_strongly_connected);
+        assert_eq!(a.reachable_from_reset, 2);
+        assert_eq!(a.self_loops, 1);
+    }
+
+    #[test]
+    fn unreachable_state_is_counted() {
+        let fsm = Fsm::builder("unreach", 1, 1)
+            .transition("-", "A", "A", "0")
+            .unwrap()
+            .transition("-", "B", "A", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = analyze(&fsm);
+        assert_eq!(a.reachable_from_reset, 1);
+        assert!(!a.is_strongly_connected);
+        assert!(a.is_complete);
+    }
+
+    #[test]
+    fn incomplete_machine_detected() {
+        // State C appears only as a next state, so it has no outgoing rows.
+        let fsm = Fsm::builder("incomplete", 1, 1)
+            .transition("0", "A", "B", "0")
+            .unwrap()
+            .transition("1", "A", "C", "0")
+            .unwrap()
+            .transition("-", "B", "A", "1")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = analyze(&fsm);
+        assert!(!a.is_complete);
+    }
+
+    #[test]
+    fn predecessor_map_mirrors_successor_map() {
+        let fsm = ring(4);
+        let succ = successor_map(&fsm);
+        let pred = predecessor_map(&fsm);
+        for (from, tos) in &succ {
+            for to in tos {
+                assert!(pred[to].contains(from));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_handles_out_of_range_start() {
+        let fsm = ring(3);
+        let succ = successor_map(&fsm);
+        let d = bfs_distances(3, &succ, StateId(10));
+        assert!(d.iter().all(|x| x.is_none()));
+    }
+
+    #[test]
+    fn dont_care_next_states_are_ignored_in_graph() {
+        let fsm = Fsm::builder("dc", 1, 1)
+            .transition("0", "A", "*", "0")
+            .unwrap()
+            .transition("1", "A", "A", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        let succ = successor_map(&fsm);
+        assert_eq!(succ[&StateId(0)].len(), 1);
+        let a = analyze(&fsm);
+        assert!(a.is_strongly_connected);
+    }
+}

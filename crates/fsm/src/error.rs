@@ -1,0 +1,115 @@
+//! Error type for FSM construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or validating FSM descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A KISS2 line could not be parsed.
+    ParseKiss {
+        /// 1-based line number within the input text.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// The FSM references a state name that was never defined by a
+    /// transition's present-state column and is not the reset state.
+    UnknownState {
+        /// The offending state name.
+        name: String,
+    },
+    /// A transition's input cube length does not match the declared number of
+    /// primary inputs.
+    InputWidthMismatch {
+        /// Expected number of input bits.
+        expected: usize,
+        /// Length found on the offending transition.
+        found: usize,
+    },
+    /// A transition's output pattern length does not match the declared
+    /// number of primary outputs.
+    OutputWidthMismatch {
+        /// Expected number of output bits.
+        expected: usize,
+        /// Length found on the offending transition.
+        found: usize,
+    },
+    /// An input cube or output pattern contained a character other than
+    /// `0`, `1` or `-`.
+    InvalidSymbol {
+        /// The offending character.
+        symbol: char,
+    },
+    /// The machine has no states or no transitions.
+    EmptyMachine,
+    /// Two transitions from the same state overlap on some input but specify
+    /// different next states or outputs (non-deterministic specification).
+    Conflict {
+        /// Name of the present state with conflicting transitions.
+        state: String,
+        /// Index of the first conflicting transition.
+        first: usize,
+        /// Index of the second conflicting transition.
+        second: usize,
+    },
+    /// Construction exceeded an implementation limit (e.g. too many inputs).
+    LimitExceeded {
+        /// Description of the limit that was exceeded.
+        what: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ParseKiss { line, message } => write!(f, "kiss2 parse error at line {line}: {message}"),
+            Error::UnknownState { name } => write!(f, "unknown state `{name}`"),
+            Error::InputWidthMismatch { expected, found } => {
+                write!(f, "input cube has {found} bits, machine declares {expected} inputs")
+            }
+            Error::OutputWidthMismatch { expected, found } => {
+                write!(f, "output pattern has {found} bits, machine declares {expected} outputs")
+            }
+            Error::InvalidSymbol { symbol } => {
+                write!(f, "invalid symbol `{symbol}` (expected 0, 1 or -)")
+            }
+            Error::EmptyMachine => write!(f, "machine has no states or no transitions"),
+            Error::Conflict { state, first, second } => write!(
+                f,
+                "conflicting transitions {first} and {second} from state `{state}`"
+            ),
+            Error::LimitExceeded { what } => write!(f, "implementation limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_details() {
+        let e = Error::ParseKiss { line: 7, message: "bad directive".into() };
+        assert!(e.to_string().contains("line 7"));
+        assert!(Error::UnknownState { name: "foo".into() }.to_string().contains("foo"));
+        assert!(Error::InputWidthMismatch { expected: 3, found: 2 }.to_string().contains('3'));
+        assert!(Error::OutputWidthMismatch { expected: 1, found: 4 }.to_string().contains('4'));
+        assert!(Error::InvalidSymbol { symbol: 'x' }.to_string().contains('x'));
+        assert!(Error::EmptyMachine.to_string().contains("no states"));
+        let c = Error::Conflict { state: "S".into(), first: 0, second: 1 };
+        assert!(c.to_string().contains('S'));
+        assert!(Error::LimitExceeded { what: "inputs".into() }.to_string().contains("inputs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,297 @@
+//! Deterministic synthetic controller generators.
+//!
+//! The paper evaluates its algorithms on the MCNC'88 FSM benchmarks, which
+//! are not redistributable here.  This module produces *controller-like*
+//! machines with the same interface sizes and a comparable transition-graph
+//! character (sparsely specified inputs, dense branching, strong
+//! connectivity, a distinguished "home" state).  Generation is fully
+//! deterministic: the same [`ControllerSpec`] always yields the same machine,
+//! independent of the `rand` crate version, because a self-contained
+//! SplitMix64 generator is used.
+
+use crate::{Fsm, FsmBuilder, Result};
+
+/// Parameters of a synthetic controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControllerSpec {
+    /// Machine name.
+    pub name: String,
+    /// Number of symbolic states (≥ 2).
+    pub states: usize,
+    /// Number of primary inputs (≥ 1).
+    pub inputs: usize,
+    /// Number of primary outputs (≥ 1).
+    pub outputs: usize,
+    /// Number of decision variables examined per state (1..=3).  Each state
+    /// gets `2^decision_vars` transition rows.
+    pub decision_vars: usize,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl ControllerSpec {
+    /// Creates a spec with the default branching (2 decision variables per
+    /// state, i.e. four transition rows per state) and a seed derived from
+    /// the name.
+    pub fn new(name: impl Into<String>, states: usize, inputs: usize, outputs: usize) -> Self {
+        let name = name.into();
+        let seed = name.bytes().fold(0xE5C0_1991u64, |acc, b| {
+            acc.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b))
+        });
+        Self { name, states, inputs, outputs, decision_vars: 2, seed }
+    }
+
+    /// Overrides the number of decision variables per state.
+    pub fn with_decision_vars(mut self, vars: usize) -> Self {
+        self.decision_vars = vars;
+        self
+    }
+
+    /// Overrides the generator seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A minimal SplitMix64 generator; deterministic and dependency-free.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` ≥ 1).
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Bernoulli draw with probability `num/denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.next_u64() % denom < num
+    }
+}
+
+/// Generates a deterministic controller-like FSM from a spec.
+///
+/// Structure of the generated machine:
+///
+/// * each state inspects `decision_vars` of the primary inputs (chosen per
+///   state) and has one fully specified row per combination of those
+///   variables, all other inputs don't-care — mirroring how controllers
+///   branch on a few condition bits at a time;
+/// * one row per state continues a ring over all states, so the machine is
+///   always strongly connected;
+/// * the remaining rows return to the "home" state 0 (reset behaviour),
+///   stay in the current state (wait loops) or jump to a nearby state;
+/// * outputs are pseudo-random with a fraction of don't-care bits.
+///
+/// # Errors
+///
+/// Returns an error if the spec is degenerate (fewer than 2 states, zero
+/// inputs/outputs, or more decision variables than inputs).
+pub fn controller(spec: &ControllerSpec) -> Result<Fsm> {
+    if spec.states < 2 {
+        return Err(crate::Error::LimitExceeded { what: "controller needs at least 2 states".into() });
+    }
+    if spec.inputs == 0 || spec.outputs == 0 {
+        return Err(crate::Error::LimitExceeded { what: "controller needs inputs and outputs".into() });
+    }
+    let decision_vars = spec.decision_vars.clamp(1, 3).min(spec.inputs);
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut builder = FsmBuilder::new(spec.name.clone(), spec.inputs, spec.outputs);
+
+    let state_name = |i: usize| format!("st{i}");
+
+    // Real controllers test the same few condition bits in many states, and
+    // their outputs are largely determined by where they go next.  Both kinds
+    // of sharing are what gives state assignment (and symbolic minimization)
+    // something to exploit, so the generator reproduces them: decision
+    // variables come from a small per-machine pool most of the time, and the
+    // output pattern of a transition is derived from its next state with a
+    // small amount of noise.
+    let pool: Vec<usize> = (0..spec.inputs.min(3)).collect();
+    let output_signature = |state: usize, rng_value: u64| -> Vec<char> {
+        (0..spec.outputs)
+            .map(|bit| {
+                let base = (state as u64).wrapping_mul(0x9E3779B97F4A7C15) >> (bit % 61);
+                let noise = rng_value >> (bit % 59);
+                match (base & 1 == 1, noise % 10) {
+                    (_, 0) => '-',
+                    (b, 1) => {
+                        if b {
+                            '0'
+                        } else {
+                            '1'
+                        }
+                    }
+                    (b, _) => {
+                        if b {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    }
+                }
+            })
+            .collect()
+    };
+
+    for s in 0..spec.states {
+        // Choose the decision variables for this state (mostly from the
+        // shared pool so input cubes repeat across states).
+        let mut vars: Vec<usize> = Vec::new();
+        while vars.len() < decision_vars {
+            let v = if rng.chance(7, 10) || spec.inputs <= pool.len() {
+                pool[rng.below(pool.len())]
+            } else {
+                rng.below(spec.inputs)
+            };
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        vars.sort_unstable();
+
+        let rows = 1usize << decision_vars;
+        // Pre-select which row continues the ring (guarantees connectivity).
+        let ring_row = rng.below(rows);
+        for row in 0..rows {
+            let mut cube: Vec<char> = vec!['-'; spec.inputs];
+            for (k, &v) in vars.iter().enumerate() {
+                cube[v] = if (row >> k) & 1 == 1 { '1' } else { '0' };
+            }
+            let next = if row == ring_row {
+                (s + 1) % spec.states
+            } else if rng.chance(3, 10) {
+                0 // back to home state
+            } else if rng.chance(3, 10) {
+                s // wait loop
+            } else {
+                // jump to a state in a window around the current one
+                let window = 4.min(spec.states);
+                (s + rng.below(window)) % spec.states
+            };
+            let output: Vec<char> = output_signature(next, rng.next_u64());
+            let input: String = cube.into_iter().collect();
+            let out: String = output.into_iter().collect();
+            builder = builder.transition(&input, &state_name(s), &state_name(next), &out)?;
+        }
+    }
+    builder.reset(&state_name(0)).build()
+}
+
+/// Generates a small random machine for property-based testing: interface
+/// widths and state count are drawn from the seed.
+pub fn small_random(seed: u64) -> Fsm {
+    let mut rng = SplitMix64::new(seed);
+    let states = 2 + rng.below(7);
+    let inputs = 1 + rng.below(3);
+    let outputs = 1 + rng.below(3);
+    let spec = ControllerSpec {
+        name: format!("rand{seed}"),
+        states,
+        inputs,
+        outputs,
+        decision_vars: 1 + rng.below(2),
+        seed: rng.next_u64(),
+    };
+    controller(&spec).expect("random spec is always valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ControllerSpec::new("demo", 10, 4, 3);
+        let a = controller(&spec).unwrap();
+        let b = controller(&spec).unwrap();
+        assert_eq!(a, b);
+        let c = controller(&spec.clone().with_seed(123)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_machines_have_requested_interface() {
+        let spec = ControllerSpec::new("iface", 12, 5, 4);
+        let fsm = controller(&spec).unwrap();
+        assert_eq!(fsm.state_count(), 12);
+        assert_eq!(fsm.num_inputs(), 5);
+        assert_eq!(fsm.num_outputs(), 4);
+        assert_eq!(fsm.transition_count(), 12 * 4);
+    }
+
+    #[test]
+    fn generated_machines_are_strongly_connected_and_deterministic() {
+        for seed in 0..5u64 {
+            let spec = ControllerSpec::new("conn", 9, 3, 2).with_seed(seed);
+            let fsm = controller(&spec).unwrap();
+            let analysis = fsm.analysis();
+            assert!(analysis.is_strongly_connected, "seed {seed}");
+            assert!(analysis.is_complete, "seed {seed}");
+            fsm.check_deterministic().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn decision_vars_is_clamped_to_inputs() {
+        let spec = ControllerSpec::new("narrow", 5, 1, 1).with_decision_vars(3);
+        let fsm = controller(&spec).unwrap();
+        // with a single input only two rows per state are possible
+        assert_eq!(fsm.transition_count(), 5 * 2);
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        assert!(controller(&ControllerSpec::new("one", 1, 1, 1)).is_err());
+        assert!(controller(&ControllerSpec { name: "z".into(), states: 4, inputs: 0, outputs: 1, decision_vars: 1, seed: 0 }).is_err());
+        assert!(controller(&ControllerSpec { name: "z".into(), states: 4, inputs: 1, outputs: 0, decision_vars: 1, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn small_random_machines_are_valid() {
+        for seed in 0..20 {
+            let fsm = small_random(seed);
+            assert!(fsm.state_count() >= 2);
+            assert!(fsm.analysis().is_strongly_connected);
+            fsm.check_deterministic().unwrap();
+        }
+    }
+
+    #[test]
+    fn splitmix_is_reproducible() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+        assert!(SplitMix64::new(1).below(5) < 5);
+    }
+
+    #[test]
+    fn kiss_round_trip_of_generated_machine() {
+        let fsm = controller(&ControllerSpec::new("rt", 8, 4, 2)).unwrap();
+        let text = fsm.to_kiss2();
+        let parsed = Fsm::from_kiss2(&text).unwrap();
+        assert_eq!(parsed.state_count(), fsm.state_count());
+        assert_eq!(parsed.transition_count(), fsm.transition_count());
+    }
+}

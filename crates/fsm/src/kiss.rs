@@ -1,0 +1,272 @@
+//! Parser and writer for the KISS2 FSM exchange format.
+//!
+//! KISS2 is the textual format used by the MCNC / LGSynth benchmark suites
+//! (and by tools such as `nova`, `mustang` and `sis`).  A file consists of
+//! header directives followed by one transition per line:
+//!
+//! ```text
+//! .i 2          # number of primary inputs
+//! .o 1          # number of primary outputs
+//! .s 4          # number of states (optional, derived if absent)
+//! .p 8          # number of transition lines (optional)
+//! .r st0        # reset state (optional)
+//! 01 st0 st1 1  # input-cube  present-state  next-state  output-pattern
+//! ...
+//! .e            # end marker (optional)
+//! ```
+
+use crate::{Error, Fsm, FsmBuilder, Result};
+
+/// Parses KISS2 text into an [`Fsm`].
+///
+/// The parser is tolerant of the variations found in the MCNC files:
+/// comments starting with `#`, a missing `.e` marker, `.p`/`.s` counts that
+/// disagree with the actual table (the table wins), `*` as a don't-care next
+/// state and `2`/`~` as don't-care symbols.
+///
+/// # Errors
+///
+/// Returns [`Error::ParseKiss`] with a line number for malformed directives
+/// or transitions, plus any validation error from [`FsmBuilder::build`].
+pub fn parse(text: &str) -> Result<Fsm> {
+    let mut num_inputs: Option<usize> = None;
+    let mut num_outputs: Option<usize> = None;
+    let mut reset: Option<String> = None;
+    let mut name = String::from("kiss");
+    let mut rows: Vec<(usize, String, String, String, String)> = Vec::new();
+
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let mut parts = rest.split_whitespace();
+            let directive = parts.next().unwrap_or("");
+            match directive {
+                "i" => num_inputs = Some(parse_count(parts.next(), line_no, ".i")?),
+                "o" => num_outputs = Some(parse_count(parts.next(), line_no, ".o")?),
+                "p" | "s" => {
+                    // Informational; the transition table is authoritative.
+                    let _ = parse_count(parts.next(), line_no, directive)?;
+                }
+                "r" => {
+                    reset = Some(
+                        parts
+                            .next()
+                            .ok_or_else(|| Error::ParseKiss {
+                                line: line_no,
+                                message: ".r needs a state name".into(),
+                            })?
+                            .to_string(),
+                    );
+                }
+                "e" | "end" => break,
+                "name" | "model" => {
+                    if let Some(n) = parts.next() {
+                        name = n.to_string();
+                    }
+                }
+                other => {
+                    return Err(Error::ParseKiss {
+                        line: line_no,
+                        message: format!("unknown directive .{other}"),
+                    })
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(Error::ParseKiss {
+                line: line_no,
+                message: format!("expected 4 fields per transition, found {}", fields.len()),
+            });
+        }
+        rows.push((
+            line_no,
+            fields[0].to_string(),
+            fields[1].to_string(),
+            fields[2].to_string(),
+            fields[3].to_string(),
+        ));
+    }
+
+    let num_inputs = num_inputs.or_else(|| rows.first().map(|r| r.1.len())).ok_or(Error::EmptyMachine)?;
+    let num_outputs =
+        num_outputs.or_else(|| rows.first().map(|r| r.4.len())).ok_or(Error::EmptyMachine)?;
+
+    let mut builder = FsmBuilder::new(name, num_inputs, num_outputs);
+    for (line_no, input, from, to, output) in &rows {
+        builder = builder
+            .transition(input, from, to, output)
+            .map_err(|e| annotate(e, *line_no))?;
+    }
+    if let Some(reset) = reset {
+        builder = builder.reset(&reset);
+    }
+    builder.build()
+}
+
+fn annotate(e: Error, line: usize) -> Error {
+    match e {
+        Error::ParseKiss { .. } => e,
+        other => Error::ParseKiss { line, message: other.to_string() },
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_count(field: Option<&str>, line: usize, directive: &str) -> Result<usize> {
+    field
+        .ok_or_else(|| Error::ParseKiss {
+            line,
+            message: format!("directive {directive} needs a numeric argument"),
+        })?
+        .parse()
+        .map_err(|_| Error::ParseKiss {
+            line,
+            message: format!("directive {directive} argument is not a number"),
+        })
+}
+
+/// Serialises an [`Fsm`] to KISS2 text.
+///
+/// The output includes the `.i`, `.o`, `.p`, `.s`, `.r` headers and the `.e`
+/// end marker and can be parsed back by [`parse`] (round-trip stable).
+pub fn write(fsm: &Fsm) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(".i {}\n", fsm.num_inputs()));
+    out.push_str(&format!(".o {}\n", fsm.num_outputs()));
+    out.push_str(&format!(".p {}\n", fsm.transition_count()));
+    out.push_str(&format!(".s {}\n", fsm.state_count()));
+    if let Some(reset) = fsm.reset_state() {
+        out.push_str(&format!(".r {}\n", fsm.state_name(reset)));
+    }
+    for t in fsm.transitions() {
+        let next = match t.to {
+            Some(id) => fsm.state_name(id).to_string(),
+            None => "*".to_string(),
+        };
+        out.push_str(&format!(
+            "{} {} {} {}\n",
+            t.input,
+            fsm.state_name(t.from),
+            next,
+            t.output
+        ));
+    }
+    out.push_str(".e\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a small controller
+.i 2
+.o 1
+.s 3
+.p 5
+.r IDLE
+00 IDLE IDLE 0
+01 IDLE RUN  1
+1- IDLE WAIT 0
+-- RUN  IDLE 1   # trailing comment
+-- WAIT *    -
+.e
+";
+
+    #[test]
+    fn parses_states_and_transitions() {
+        let fsm = parse(SAMPLE).unwrap();
+        assert_eq!(fsm.num_inputs(), 2);
+        assert_eq!(fsm.num_outputs(), 1);
+        assert_eq!(fsm.state_count(), 3);
+        assert_eq!(fsm.transition_count(), 5);
+        assert_eq!(fsm.state_name(fsm.reset_state().unwrap()), "IDLE");
+        let wait = fsm.state_id("WAIT").unwrap();
+        let t: Vec<_> = fsm.transitions_from(wait).collect();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].to, None);
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let fsm = parse(SAMPLE).unwrap();
+        let text = write(&fsm);
+        let again = parse(&text).unwrap();
+        assert_eq!(fsm.state_count(), again.state_count());
+        assert_eq!(fsm.transition_count(), again.transition_count());
+        assert_eq!(write(&again), text);
+    }
+
+    #[test]
+    fn header_counts_are_optional() {
+        let text = "0 A B 1\n1 A A 0\n- B A 1\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.num_inputs(), 1);
+        assert_eq!(fsm.num_outputs(), 1);
+        assert_eq!(fsm.state_count(), 2);
+        // Without .r the first present state becomes the reset state.
+        assert_eq!(fsm.state_name(fsm.reset_state().unwrap()), "A");
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse(".i 1\n.o 1\n0 A B\n"),
+            Err(Error::ParseKiss { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse(".q 1\n"),
+            Err(Error::ParseKiss { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse(".i x\n"),
+            Err(Error::ParseKiss { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse(".r\n"),
+            Err(Error::ParseKiss { line: 1, .. })
+        ));
+        assert!(matches!(parse(""), Err(Error::EmptyMachine)));
+    }
+
+    #[test]
+    fn cube_errors_are_annotated_with_line_numbers() {
+        let text = ".i 2\n.o 1\n0x A B 1\n";
+        match parse(text) {
+            Err(Error::ParseKiss { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected annotated parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn width_mismatch_is_detected() {
+        let text = ".i 2\n.o 1\n011 A B 1\n";
+        assert!(matches!(parse(text), Err(Error::ParseKiss { line: 3, .. })));
+    }
+
+    #[test]
+    fn accepts_alternative_dont_care_symbols() {
+        let text = ".i 2\n.o 1\n2~ A B 1\n-- B A 0\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.transitions()[0].input.to_string(), "--");
+    }
+
+    #[test]
+    fn name_directive_is_used() {
+        let text = ".name ctrl\n.i 1\n.o 1\n- A A 0\n";
+        let fsm = parse(text).unwrap();
+        assert_eq!(fsm.name(), "ctrl");
+    }
+}

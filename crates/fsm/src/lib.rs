@@ -1,0 +1,52 @@
+//! Symbolic finite state machine model, KISS2 I/O and benchmark suite.
+//!
+//! This crate provides the behavioural input of the self-testable FSM
+//! synthesis flow (Eschermann & Wunderlich, DAC 1991):
+//!
+//! * [`Fsm`] — a symbolic Mealy machine described by a cube table
+//!   (input cube, present state, next state, output cube), the same model
+//!   used by the MCNC/KISS2 benchmark format,
+//! * [`kiss`] — a parser and writer for the KISS2 exchange format,
+//! * [`analysis`] — reachability, strong connectivity, completeness and
+//!   determinism checks plus structural statistics,
+//! * [`generate`] — deterministic synthetic controller generators used to
+//!   stand in for MCNC benchmark files that are not redistributable,
+//! * [`suite`] — the benchmark suite mirroring the 13 machines evaluated in
+//!   the paper (Table 2 / Table 3) plus the small worked example of Fig. 3.
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_fsm::Fsm;
+//!
+//! let kiss = "\
+//! .i 1
+//! .o 1
+//! .s 3
+//! .p 4
+//! .r A
+//! 0 A B 0
+//! 1 A C 1
+//! - B C 0
+//! - C A 1
+//! .e
+//! ";
+//! let fsm = Fsm::from_kiss2(kiss)?;
+//! assert_eq!(fsm.state_count(), 3);
+//! assert_eq!(fsm.transition_count(), 4);
+//! assert!(fsm.analysis().is_strongly_connected);
+//! # Ok::<(), stfsm_fsm::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod error;
+pub mod generate;
+pub mod kiss;
+mod model;
+pub mod suite;
+
+pub use error::{Error, Result};
+pub use model::{Fsm, FsmBuilder, InputCube, OutputPattern, StateId, Transition, TritValue};

@@ -1,0 +1,752 @@
+//! The symbolic FSM model: states, input cubes, output patterns and
+//! transitions.
+
+use crate::{Error, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A ternary value used in input cubes and output patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TritValue {
+    /// The literal `0`.
+    Zero,
+    /// The literal `1`.
+    One,
+    /// A don't-care position (`-`).
+    DontCare,
+}
+
+impl TritValue {
+    /// Parses one character of a KISS2 cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] for anything other than `0`, `1`,
+    /// `-` (or `2`, which some tools emit for don't-care).
+    pub fn from_char(c: char) -> Result<Self> {
+        match c {
+            '0' => Ok(TritValue::Zero),
+            '1' => Ok(TritValue::One),
+            '-' | '2' | '~' => Ok(TritValue::DontCare),
+            other => Err(Error::InvalidSymbol { symbol: other }),
+        }
+    }
+
+    /// The KISS2 character for this value.
+    pub fn to_char(self) -> char {
+        match self {
+            TritValue::Zero => '0',
+            TritValue::One => '1',
+            TritValue::DontCare => '-',
+        }
+    }
+
+    /// Returns `true` if the value is compatible with the given bit.
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            TritValue::Zero => !bit,
+            TritValue::One => bit,
+            TritValue::DontCare => true,
+        }
+    }
+
+    /// Returns `true` if two values can simultaneously be satisfied.
+    pub fn compatible(self, other: TritValue) -> bool {
+        !matches!(
+            (self, other),
+            (TritValue::Zero, TritValue::One) | (TritValue::One, TritValue::Zero)
+        )
+    }
+}
+
+/// Identifier of a symbolic state within an [`Fsm`].
+///
+/// State ids index into [`Fsm::state_names`] and are assigned in order of
+/// first appearance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl StateId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A cube over the primary inputs: one [`TritValue`] per input bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InputCube {
+    trits: Vec<TritValue>,
+}
+
+impl InputCube {
+    /// Parses a cube from a string of `0`, `1` and `-` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] on any other character.
+    pub fn parse(text: &str) -> Result<Self> {
+        let trits = text.chars().map(TritValue::from_char).collect::<Result<Vec<_>>>()?;
+        Ok(Self { trits })
+    }
+
+    /// A cube of the given width consisting solely of don't-cares (matches
+    /// every input vector).
+    pub fn full(width: usize) -> Self {
+        Self { trits: vec![TritValue::DontCare; width] }
+    }
+
+    /// Builds a fully specified cube from concrete input bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Self {
+            trits: bits.iter().map(|&b| if b { TritValue::One } else { TritValue::Zero }).collect(),
+        }
+    }
+
+    /// The number of input positions.
+    pub fn width(&self) -> usize {
+        self.trits.len()
+    }
+
+    /// The ternary values of the cube.
+    pub fn trits(&self) -> &[TritValue] {
+        &self.trits
+    }
+
+    /// The value at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn trit(&self, i: usize) -> TritValue {
+        self.trits[i]
+    }
+
+    /// Number of don't-care positions.
+    pub fn dont_care_count(&self) -> usize {
+        self.trits.iter().filter(|t| matches!(t, TritValue::DontCare)).count()
+    }
+
+    /// Number of input vectors covered by the cube (`2^dont_cares`).
+    pub fn minterm_count(&self) -> u64 {
+        1u64 << self.dont_care_count().min(63)
+    }
+
+    /// Returns `true` if the cube matches the concrete input vector `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the cube width.
+    pub fn matches(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.trits.len(), "input vector width mismatch");
+        self.trits.iter().zip(bits).all(|(t, &b)| t.matches(b))
+    }
+
+    /// Returns `true` if the two cubes share at least one input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn intersects(&self, other: &InputCube) -> bool {
+        assert_eq!(self.width(), other.width(), "cube width mismatch");
+        self.trits.iter().zip(&other.trits).all(|(a, &b)| a.compatible(b))
+    }
+
+    /// Returns `true` if this cube covers every vector of `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn covers(&self, other: &InputCube) -> bool {
+        assert_eq!(self.width(), other.width(), "cube width mismatch");
+        self.trits.iter().zip(&other.trits).all(|(a, b)| match a {
+            TritValue::DontCare => true,
+            _ => a == b,
+        })
+    }
+
+    /// Enumerates all concrete input vectors covered by the cube.
+    ///
+    /// Intended for small cubes (tests, simulation of individual machines);
+    /// the number of vectors grows as `2^dont_cares`.
+    pub fn minterms(&self) -> Vec<Vec<bool>> {
+        let dc_positions: Vec<usize> = self
+            .trits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| matches!(t, TritValue::DontCare).then_some(i))
+            .collect();
+        let mut result = Vec::with_capacity(1 << dc_positions.len().min(20));
+        for combo in 0u64..(1 << dc_positions.len().min(20)) {
+            let mut bits: Vec<bool> = self
+                .trits
+                .iter()
+                .map(|t| matches!(t, TritValue::One))
+                .collect();
+            for (k, &pos) in dc_positions.iter().enumerate() {
+                bits[pos] = (combo >> k) & 1 == 1;
+            }
+            result.push(bits);
+        }
+        result
+    }
+}
+
+impl fmt::Display for InputCube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.trits {
+            write!(f, "{}", t.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+/// A pattern over the primary outputs: one [`TritValue`] per output bit
+/// (don't-care outputs are legal in KISS2 and exploited by logic
+/// minimization).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OutputPattern {
+    trits: Vec<TritValue>,
+}
+
+impl OutputPattern {
+    /// Parses a pattern from a string of `0`, `1` and `-` characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] on any other character.
+    pub fn parse(text: &str) -> Result<Self> {
+        let trits = text.chars().map(TritValue::from_char).collect::<Result<Vec<_>>>()?;
+        Ok(Self { trits })
+    }
+
+    /// An all-don't-care pattern of the given width.
+    pub fn unspecified(width: usize) -> Self {
+        Self { trits: vec![TritValue::DontCare; width] }
+    }
+
+    /// Builds a fully specified pattern from concrete bits.
+    pub fn from_bits(bits: &[bool]) -> Self {
+        Self {
+            trits: bits.iter().map(|&b| if b { TritValue::One } else { TritValue::Zero }).collect(),
+        }
+    }
+
+    /// The number of output positions.
+    pub fn width(&self) -> usize {
+        self.trits.len()
+    }
+
+    /// The ternary values of the pattern.
+    pub fn trits(&self) -> &[TritValue] {
+        &self.trits
+    }
+
+    /// The value at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn trit(&self, i: usize) -> TritValue {
+        self.trits[i]
+    }
+
+    /// Returns `true` if the two patterns agree on every position where both
+    /// are specified.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn compatible(&self, other: &OutputPattern) -> bool {
+        assert_eq!(self.width(), other.width(), "output width mismatch");
+        self.trits.iter().zip(&other.trits).all(|(a, &b)| a.compatible(b))
+    }
+}
+
+impl fmt::Display for OutputPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.trits {
+            write!(f, "{}", t.to_char())?;
+        }
+        Ok(())
+    }
+}
+
+/// One row of the symbolic transition table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    /// Input cube under which the transition is taken.
+    pub input: InputCube,
+    /// Present state.
+    pub from: StateId,
+    /// Next state; `None` models the KISS2 `*` (don't-care next state).
+    pub to: Option<StateId>,
+    /// Output pattern asserted while the transition is taken (Mealy
+    /// semantics).
+    pub output: OutputPattern,
+}
+
+/// A symbolic Mealy finite state machine described by a cube table.
+///
+/// Use [`FsmBuilder`] or [`Fsm::from_kiss2`] to construct machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fsm {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    state_names: Vec<String>,
+    reset: Option<StateId>,
+    transitions: Vec<Transition>,
+}
+
+impl Fsm {
+    /// Starts building a machine with the given name and interface widths.
+    pub fn builder(name: impl Into<String>, num_inputs: usize, num_outputs: usize) -> FsmBuilder {
+        FsmBuilder::new(name, num_inputs, num_outputs)
+    }
+
+    /// Parses a machine from KISS2 text (see [`crate::kiss`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or validation error if the text is not valid KISS2.
+    pub fn from_kiss2(text: &str) -> Result<Self> {
+        crate::kiss::parse(text)
+    }
+
+    /// Serialises the machine to KISS2 text.
+    pub fn to_kiss2(&self) -> String {
+        crate::kiss::write(self)
+    }
+
+    /// The machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// Number of symbolic states.
+    pub fn state_count(&self) -> usize {
+        self.state_names.len()
+    }
+
+    /// Number of transition-table rows.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The names of all states, indexed by [`StateId`].
+    pub fn state_names(&self) -> &[String] {
+        &self.state_names
+    }
+
+    /// The name of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn state_name(&self, id: StateId) -> &str {
+        &self.state_names[id.0]
+    }
+
+    /// Looks up a state id by name.
+    pub fn state_id(&self, name: &str) -> Option<StateId> {
+        self.state_names.iter().position(|n| n == name).map(StateId)
+    }
+
+    /// The designated reset state, if one was declared.
+    pub fn reset_state(&self) -> Option<StateId> {
+        self.reset
+    }
+
+    /// All transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// All transitions leaving the given state.
+    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = &Transition> {
+        self.transitions.iter().filter(move |t| t.from == state)
+    }
+
+    /// The minimum number of state bits `r₀ = ⌈log₂ |S|⌉` needed to encode
+    /// the machine.
+    pub fn min_state_bits(&self) -> usize {
+        let n = self.state_count();
+        if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Evaluates the machine on a concrete input vector from a given state.
+    ///
+    /// Returns the first matching transition's next state and output; `None`
+    /// if no transition matches (incompletely specified machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Fsm::num_inputs`].
+    pub fn step(&self, state: StateId, inputs: &[bool]) -> Option<(Option<StateId>, &OutputPattern)> {
+        assert_eq!(inputs.len(), self.num_inputs, "input vector width mismatch");
+        self.transitions
+            .iter()
+            .find(|t| t.from == state && t.input.matches(inputs))
+            .map(|t| (t.to, &t.output))
+    }
+
+    /// Structural analysis of the machine (reachability, connectivity, …).
+    pub fn analysis(&self) -> crate::analysis::FsmAnalysis {
+        crate::analysis::analyze(self)
+    }
+
+    /// Checks that no two transitions from the same state overlap with
+    /// incompatible next states or outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Conflict`] naming the first conflicting pair found.
+    pub fn check_deterministic(&self) -> Result<()> {
+        for (i, a) in self.transitions.iter().enumerate() {
+            for (j, b) in self.transitions.iter().enumerate().skip(i + 1) {
+                if a.from != b.from || !a.input.intersects(&b.input) {
+                    continue;
+                }
+                let next_conflict = match (a.to, b.to) {
+                    (Some(x), Some(y)) => x != y,
+                    _ => false,
+                };
+                if next_conflict || !a.output.compatible(&b.output) {
+                    return Err(Error::Conflict {
+                        state: self.state_name(a.from).to_string(),
+                        first: i,
+                        second: j,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Fsm`].
+///
+/// # Example
+///
+/// ```
+/// use stfsm_fsm::Fsm;
+///
+/// let fsm = Fsm::builder("toggle", 1, 1)
+///     .transition("0", "OFF", "OFF", "0")?
+///     .transition("1", "OFF", "ON", "1")?
+///     .transition("-", "ON", "OFF", "0")?
+///     .reset("OFF")
+///     .build()?;
+/// assert_eq!(fsm.state_count(), 2);
+/// # Ok::<(), stfsm_fsm::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FsmBuilder {
+    name: String,
+    num_inputs: usize,
+    num_outputs: usize,
+    state_names: Vec<String>,
+    state_index: HashMap<String, StateId>,
+    reset: Option<String>,
+    transitions: Vec<(InputCube, String, Option<String>, OutputPattern)>,
+}
+
+impl FsmBuilder {
+    /// Creates a builder for a machine with the given interface widths.
+    pub fn new(name: impl Into<String>, num_inputs: usize, num_outputs: usize) -> Self {
+        Self {
+            name: name.into(),
+            num_inputs,
+            num_outputs,
+            state_names: Vec::new(),
+            state_index: HashMap::new(),
+            reset: None,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Adds a transition given as KISS2-style strings.  `next_state` may be
+    /// `"*"` for a don't-care next state.
+    ///
+    /// # Errors
+    ///
+    /// Returns width or symbol errors if the cube strings do not match the
+    /// declared interface.
+    pub fn transition(
+        mut self,
+        input: &str,
+        present_state: &str,
+        next_state: &str,
+        output: &str,
+    ) -> Result<Self> {
+        let cube = InputCube::parse(input)?;
+        if cube.width() != self.num_inputs {
+            return Err(Error::InputWidthMismatch { expected: self.num_inputs, found: cube.width() });
+        }
+        let pattern = OutputPattern::parse(output)?;
+        if pattern.width() != self.num_outputs {
+            return Err(Error::OutputWidthMismatch {
+                expected: self.num_outputs,
+                found: pattern.width(),
+            });
+        }
+        self.intern(present_state);
+        let next = if next_state == "*" {
+            None
+        } else {
+            self.intern(next_state);
+            Some(next_state.to_string())
+        };
+        self.transitions.push((cube, present_state.to_string(), next, pattern));
+        Ok(self)
+    }
+
+    /// Declares the reset state.
+    pub fn reset(mut self, state: &str) -> Self {
+        self.reset = Some(state.to_string());
+        self
+    }
+
+    fn intern(&mut self, name: &str) {
+        if !self.state_index.contains_key(name) {
+            let id = StateId(self.state_names.len());
+            self.state_names.push(name.to_string());
+            self.state_index.insert(name.to_string(), id);
+        }
+    }
+
+    /// Finalises the machine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyMachine`] if no transitions were added and
+    /// [`Error::UnknownState`] if the reset state never appears in the
+    /// transition table.
+    pub fn build(mut self) -> Result<Fsm> {
+        if self.transitions.is_empty() || self.state_names.is_empty() {
+            return Err(Error::EmptyMachine);
+        }
+        if self.num_inputs > 32 {
+            return Err(Error::LimitExceeded { what: format!("{} primary inputs (max 32)", self.num_inputs) });
+        }
+        let reset = match &self.reset {
+            Some(name) => Some(
+                *self
+                    .state_index
+                    .get(name)
+                    .ok_or_else(|| Error::UnknownState { name: name.clone() })?,
+            ),
+            None => Some(StateId(0)),
+        };
+        let transitions = std::mem::take(&mut self.transitions)
+            .into_iter()
+            .map(|(input, from, to, output)| {
+                let from = self.state_index[&from];
+                let to = to.map(|n| self.state_index[&n]);
+                Transition { input, from, to, output }
+            })
+            .collect();
+        Ok(Fsm {
+            name: self.name,
+            num_inputs: self.num_inputs,
+            num_outputs: self.num_outputs,
+            state_names: self.state_names,
+            reset,
+            transitions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toggle() -> Fsm {
+        Fsm::builder("toggle", 1, 1)
+            .transition("0", "OFF", "OFF", "0")
+            .unwrap()
+            .transition("1", "OFF", "ON", "1")
+            .unwrap()
+            .transition("-", "ON", "OFF", "0")
+            .unwrap()
+            .reset("OFF")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn trit_parsing_and_matching() {
+        assert_eq!(TritValue::from_char('0').unwrap(), TritValue::Zero);
+        assert_eq!(TritValue::from_char('1').unwrap(), TritValue::One);
+        assert_eq!(TritValue::from_char('-').unwrap(), TritValue::DontCare);
+        assert_eq!(TritValue::from_char('2').unwrap(), TritValue::DontCare);
+        assert!(TritValue::from_char('x').is_err());
+        assert!(TritValue::One.matches(true));
+        assert!(!TritValue::One.matches(false));
+        assert!(TritValue::DontCare.matches(false));
+        assert!(TritValue::Zero.compatible(TritValue::DontCare));
+        assert!(!TritValue::Zero.compatible(TritValue::One));
+        assert_eq!(TritValue::DontCare.to_char(), '-');
+    }
+
+    #[test]
+    fn input_cube_operations() {
+        let a = InputCube::parse("01-").unwrap();
+        assert_eq!(a.width(), 3);
+        assert_eq!(a.dont_care_count(), 1);
+        assert_eq!(a.minterm_count(), 2);
+        assert!(a.matches(&[false, true, true]));
+        assert!(!a.matches(&[true, true, true]));
+        let b = InputCube::parse("0-1").unwrap();
+        assert!(a.intersects(&b));
+        let c = InputCube::parse("10-").unwrap();
+        assert!(!a.intersects(&c));
+        let full = InputCube::full(3);
+        assert!(full.covers(&a));
+        assert!(!a.covers(&full));
+        assert_eq!(a.minterms().len(), 2);
+        assert_eq!(a.to_string(), "01-");
+        assert_eq!(InputCube::from_bits(&[true, false]).to_string(), "10");
+        assert_eq!(a.trit(2), TritValue::DontCare);
+        assert_eq!(a.trits().len(), 3);
+    }
+
+    #[test]
+    fn output_pattern_operations() {
+        let a = OutputPattern::parse("1-0").unwrap();
+        let b = OutputPattern::parse("110").unwrap();
+        let c = OutputPattern::parse("0-0").unwrap();
+        assert!(a.compatible(&b));
+        assert!(!a.compatible(&c));
+        assert_eq!(a.width(), 3);
+        assert_eq!(a.to_string(), "1-0");
+        assert_eq!(OutputPattern::unspecified(2).to_string(), "--");
+        assert_eq!(OutputPattern::from_bits(&[false, true]).to_string(), "01");
+        assert_eq!(a.trit(1), TritValue::DontCare);
+        assert_eq!(a.trits().len(), 3);
+    }
+
+    #[test]
+    fn builder_constructs_machine() {
+        let fsm = toggle();
+        assert_eq!(fsm.name(), "toggle");
+        assert_eq!(fsm.num_inputs(), 1);
+        assert_eq!(fsm.num_outputs(), 1);
+        assert_eq!(fsm.state_count(), 2);
+        assert_eq!(fsm.transition_count(), 3);
+        assert_eq!(fsm.min_state_bits(), 1);
+        assert_eq!(fsm.state_name(StateId(0)), "OFF");
+        assert_eq!(fsm.state_id("ON"), Some(StateId(1)));
+        assert_eq!(fsm.state_id("MISSING"), None);
+        assert_eq!(fsm.reset_state(), Some(StateId(0)));
+        assert_eq!(fsm.transitions_from(StateId(0)).count(), 2);
+        assert_eq!(fsm.state_names().len(), 2);
+    }
+
+    #[test]
+    fn step_follows_matching_transition() {
+        let fsm = toggle();
+        let off = fsm.state_id("OFF").unwrap();
+        let on = fsm.state_id("ON").unwrap();
+        let (next, out) = fsm.step(off, &[true]).unwrap();
+        assert_eq!(next, Some(on));
+        assert_eq!(out.to_string(), "1");
+        let (next, _) = fsm.step(on, &[false]).unwrap();
+        assert_eq!(next, Some(off));
+    }
+
+    #[test]
+    fn builder_validates_widths() {
+        let r = Fsm::builder("bad", 2, 1).transition("0", "A", "B", "0");
+        assert!(matches!(r, Err(Error::InputWidthMismatch { .. })));
+        let r = Fsm::builder("bad", 1, 2).transition("0", "A", "B", "0");
+        assert!(matches!(r, Err(Error::OutputWidthMismatch { .. })));
+        let r = Fsm::builder("bad", 1, 1).build();
+        assert!(matches!(r, Err(Error::EmptyMachine)));
+        let r = Fsm::builder("bad", 1, 1)
+            .transition("0", "A", "B", "0")
+            .unwrap()
+            .reset("MISSING")
+            .build();
+        assert!(matches!(r, Err(Error::UnknownState { .. })));
+    }
+
+    #[test]
+    fn dont_care_next_state_is_supported() {
+        let fsm = Fsm::builder("dc", 1, 1)
+            .transition("0", "A", "*", "-")
+            .unwrap()
+            .transition("1", "A", "A", "1")
+            .unwrap()
+            .build()
+            .unwrap();
+        let a = fsm.state_id("A").unwrap();
+        let (next, _) = fsm.step(a, &[false]).unwrap();
+        assert_eq!(next, None);
+        assert_eq!(fsm.state_count(), 1);
+    }
+
+    #[test]
+    fn determinism_check_finds_conflicts() {
+        let good = toggle();
+        assert!(good.check_deterministic().is_ok());
+        let bad = Fsm::builder("bad", 1, 1)
+            .transition("-", "A", "A", "0")
+            .unwrap()
+            .transition("1", "A", "B", "0")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(bad.check_deterministic(), Err(Error::Conflict { .. })));
+        // Overlapping with compatible targets is fine.
+        let ok = Fsm::builder("ok", 1, 1)
+            .transition("-", "A", "B", "-")
+            .unwrap()
+            .transition("1", "A", "B", "1")
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(ok.check_deterministic().is_ok());
+    }
+
+    #[test]
+    fn min_state_bits_is_ceil_log2() {
+        let mut b = Fsm::builder("many", 1, 1);
+        for i in 0..9 {
+            b = b.transition("-", &format!("s{i}"), &format!("s{}", (i + 1) % 9), "0").unwrap();
+        }
+        let fsm = b.build().unwrap();
+        assert_eq!(fsm.state_count(), 9);
+        assert_eq!(fsm.min_state_bits(), 4);
+    }
+
+    #[test]
+    fn too_many_inputs_rejected() {
+        let r = Fsm::builder("wide", 40, 1)
+            .transition(&"-".repeat(40), "A", "A", "0")
+            .unwrap()
+            .build();
+        assert!(matches!(r, Err(Error::LimitExceeded { .. })));
+    }
+}

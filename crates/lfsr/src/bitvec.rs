@@ -1,0 +1,383 @@
+//! Fixed-width bit vectors over GF(2).
+
+use crate::{Error, Result, MAX_WIDTH};
+use std::fmt;
+use std::ops::{BitAnd, BitXor, BitXorAssign};
+
+/// A fixed-width vector over GF(2), backed by a single machine word.
+///
+/// Bit `0` is the *least significant* bit of the backing word and, by the
+/// convention used throughout the synthesis flow, corresponds to state
+/// variable `s₁` of the paper (the stage that receives the feedback value of
+/// the MISR).  Widths between 1 and [`MAX_WIDTH`] bits are supported.
+///
+/// # Example
+///
+/// ```
+/// use stfsm_lfsr::Gf2Vec;
+///
+/// let a = Gf2Vec::from_bits(&[true, false, true]);
+/// let b = Gf2Vec::from_bits(&[true, true, false]);
+/// let c = a ^ b;
+/// assert_eq!(c.to_bits(), vec![false, true, true]);
+/// assert_eq!(c.weight(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf2Vec {
+    bits: u64,
+    width: usize,
+}
+
+impl Gf2Vec {
+    /// Creates an all-zero vector of the given width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `width` is zero or larger than
+    /// [`MAX_WIDTH`].
+    pub fn zero(width: usize) -> Result<Self> {
+        if width == 0 || width > MAX_WIDTH {
+            return Err(Error::InvalidWidth { width });
+        }
+        Ok(Self { bits: 0, width })
+    }
+
+    /// Creates a vector of the given width from the low bits of `value`.
+    ///
+    /// Bits of `value` above `width` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `width` is zero or larger than
+    /// [`MAX_WIDTH`].
+    pub fn from_value(value: u64, width: usize) -> Result<Self> {
+        let mut v = Self::zero(width)?;
+        v.bits = value & v.mask();
+        Ok(v)
+    }
+
+    /// Creates a vector from a slice of booleans; `bits[0]` becomes bit 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty or longer than [`MAX_WIDTH`].
+    pub fn from_bits(bits: &[bool]) -> Self {
+        assert!(
+            !bits.is_empty() && bits.len() <= MAX_WIDTH,
+            "Gf2Vec::from_bits requires 1..={MAX_WIDTH} bits, got {}",
+            bits.len()
+        );
+        let mut value = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                value |= 1 << i;
+            }
+        }
+        Self { bits: value, width: bits.len() }
+    }
+
+    /// Number of bits in the vector.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The raw value of the vector as an integer (bit 0 = LSB).
+    pub fn value(&self) -> u64 {
+        self.bits
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        if value {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+    }
+
+    /// Returns the bits as a vector of booleans (`result[0]` = bit 0).
+    pub fn to_bits(&self) -> Vec<bool> {
+        (0..self.width).map(|i| self.bit(i)).collect()
+    }
+
+    /// Number of bits set to one (Hamming weight).
+    pub fn weight(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Hamming distance to another vector of the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the widths differ.
+    pub fn hamming_distance(&self, other: &Self) -> Result<u32> {
+        if self.width != other.width {
+            return Err(Error::WidthMismatch { left: self.width, right: other.width });
+        }
+        Ok((self.bits ^ other.bits).count_ones())
+    }
+
+    /// Parity (XOR of all bits) of the vector.
+    pub fn parity(&self) -> bool {
+        self.bits.count_ones() % 2 == 1
+    }
+
+    /// Dot product over GF(2) with another vector of the same width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the widths differ.
+    pub fn dot(&self, other: &Self) -> Result<bool> {
+        if self.width != other.width {
+            return Err(Error::WidthMismatch { left: self.width, right: other.width });
+        }
+        Ok((self.bits & other.bits).count_ones() % 2 == 1)
+    }
+
+    /// Returns a copy shifted one stage "down" the register: bit `i` moves to
+    /// bit `i + 1`, bit 0 becomes `fill`, the former top bit is dropped.
+    ///
+    /// This models the shift path of a Fibonacci-style shift register in
+    /// which stage `s₁` (bit 0) feeds stage `s₂` (bit 1) and so on.
+    pub fn shifted_in(&self, fill: bool) -> Self {
+        let mut bits = (self.bits << 1) & self.mask();
+        if fill {
+            bits |= 1;
+        }
+        Self { bits, width: self.width }
+    }
+
+    /// Returns `true` if every bit is zero.
+    pub fn is_zero(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Iterates over all vectors of the given width in increasing numeric
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `width` is zero or larger than 32
+    /// (enumerating more than 2³² values is never useful for FSM encodings).
+    pub fn enumerate_all(width: usize) -> Result<impl Iterator<Item = Gf2Vec>> {
+        if width == 0 || width > 32 {
+            return Err(Error::InvalidWidth { width });
+        }
+        Ok((0..(1u64 << width)).map(move |v| Gf2Vec { bits: v, width }))
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+impl BitXor for Gf2Vec {
+    type Output = Gf2Vec;
+
+    /// Bitwise XOR (addition over GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    fn bitxor(self, rhs: Self) -> Self::Output {
+        assert_eq!(self.width, rhs.width, "XOR of vectors with different widths");
+        Gf2Vec { bits: self.bits ^ rhs.bits, width: self.width }
+    }
+}
+
+impl BitXorAssign for Gf2Vec {
+    fn bitxor_assign(&mut self, rhs: Self) {
+        assert_eq!(self.width, rhs.width, "XOR of vectors with different widths");
+        self.bits ^= rhs.bits;
+    }
+}
+
+impl BitAnd for Gf2Vec {
+    type Output = Gf2Vec;
+
+    /// Bitwise AND (componentwise multiplication over GF(2)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand widths differ.
+    fn bitand(self, rhs: Self) -> Self::Output {
+        assert_eq!(self.width, rhs.width, "AND of vectors with different widths");
+        Gf2Vec { bits: self.bits & rhs.bits, width: self.width }
+    }
+}
+
+impl fmt::Debug for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Vec({})", self)
+    }
+}
+
+impl fmt::Display for Gf2Vec {
+    /// Displays the vector MSB-first (bit `width-1` … bit `0`), matching the
+    /// way state codes are written in the paper (`s_r … s_1`).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::LowerHex for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::UpperHex for Gf2Vec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_width_bounds() {
+        assert!(Gf2Vec::zero(0).is_err());
+        assert!(Gf2Vec::zero(65).is_err());
+        let v = Gf2Vec::zero(64).unwrap();
+        assert!(v.is_zero());
+        assert_eq!(v.width(), 64);
+    }
+
+    #[test]
+    fn from_value_masks_high_bits() {
+        let v = Gf2Vec::from_value(0b1111_0101, 4).unwrap();
+        assert_eq!(v.value(), 0b0101);
+        assert_eq!(v.width(), 4);
+    }
+
+    #[test]
+    fn from_bits_round_trips() {
+        let bits = [true, false, false, true, true];
+        let v = Gf2Vec::from_bits(&bits);
+        assert_eq!(v.to_bits(), bits.to_vec());
+        assert_eq!(v.value(), 0b11001);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_bits requires")]
+    fn from_bits_rejects_empty() {
+        let _ = Gf2Vec::from_bits(&[]);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut v = Gf2Vec::zero(5).unwrap();
+        v.set_bit(3, true);
+        assert!(v.bit(3));
+        assert!(!v.bit(2));
+        v.set_bit(3, false);
+        assert!(v.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let v = Gf2Vec::zero(3).unwrap();
+        let _ = v.bit(3);
+    }
+
+    #[test]
+    fn xor_and_weight() {
+        let a = Gf2Vec::from_value(0b1100, 4).unwrap();
+        let b = Gf2Vec::from_value(0b1010, 4).unwrap();
+        assert_eq!((a ^ b).value(), 0b0110);
+        assert_eq!((a & b).value(), 0b1000);
+        assert_eq!(a.weight(), 2);
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c.value(), 0b0110);
+    }
+
+    #[test]
+    fn hamming_distance_and_mismatch() {
+        let a = Gf2Vec::from_value(0b111, 3).unwrap();
+        let b = Gf2Vec::from_value(0b001, 3).unwrap();
+        assert_eq!(a.hamming_distance(&b).unwrap(), 2);
+        let c = Gf2Vec::from_value(0b1, 4).unwrap();
+        assert!(matches!(a.hamming_distance(&c), Err(Error::WidthMismatch { .. })));
+    }
+
+    #[test]
+    fn parity_and_dot() {
+        let a = Gf2Vec::from_value(0b1011, 4).unwrap();
+        assert!(a.parity());
+        let b = Gf2Vec::from_value(0b0011, 4).unwrap();
+        // overlap = 0b0011, two ones -> even parity dot product
+        assert!(!a.dot(&b).unwrap());
+        let c = Gf2Vec::from_value(0b0001, 4).unwrap();
+        assert!(a.dot(&c).unwrap());
+    }
+
+    #[test]
+    fn shift_in_models_fibonacci_shift() {
+        let v = Gf2Vec::from_value(0b011, 3).unwrap();
+        let s = v.shifted_in(true);
+        // bit0 -> bit1, bit1 -> bit2, top bit dropped, new bit0 = 1
+        assert_eq!(s.value(), 0b111);
+        let s2 = s.shifted_in(false);
+        assert_eq!(s2.value(), 0b110);
+    }
+
+    #[test]
+    fn enumerate_all_counts() {
+        let all: Vec<_> = Gf2Vec::enumerate_all(3).unwrap().collect();
+        assert_eq!(all.len(), 8);
+        assert!(all[0].is_zero());
+        assert_eq!(all[7].value(), 7);
+        assert!(Gf2Vec::enumerate_all(0).is_err());
+        assert!(Gf2Vec::enumerate_all(33).is_err());
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let v = Gf2Vec::from_value(0b0110, 4).unwrap();
+        assert_eq!(v.to_string(), "0110");
+        assert_eq!(format!("{v:b}"), "0110");
+        assert_eq!(format!("{v:x}"), "6");
+        assert_eq!(format!("{v:X}"), "6");
+        assert!(format!("{v:?}").contains("0110"));
+    }
+
+    #[test]
+    fn width_64_mask_does_not_overflow() {
+        let v = Gf2Vec::from_value(u64::MAX, 64).unwrap();
+        assert_eq!(v.weight(), 64);
+        let s = v.shifted_in(false);
+        assert_eq!(s.weight(), 63);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by the GF(2) register models.
+
+use std::fmt;
+
+/// Errors produced when constructing or operating on GF(2) registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A register or vector width of zero or above [`crate::MAX_WIDTH`] was
+    /// requested.
+    InvalidWidth {
+        /// The rejected width.
+        width: usize,
+    },
+    /// Two operands of a bitwise operation had different widths.
+    WidthMismatch {
+        /// Width of the left operand.
+        left: usize,
+        /// Width of the right operand.
+        right: usize,
+    },
+    /// A polynomial of degree zero was used where a feedback polynomial is
+    /// required.
+    DegenerateFeedback,
+    /// No primitive polynomial of the requested degree is known/representable.
+    NoPrimitivePolynomial {
+        /// The requested degree.
+        degree: usize,
+    },
+    /// A matrix operation received operands of incompatible dimensions.
+    DimensionMismatch {
+        /// Rows × columns of the left operand.
+        left: (usize, usize),
+        /// Rows × columns of the right operand.
+        right: (usize, usize),
+    },
+    /// The matrix is singular and cannot be inverted.
+    SingularMatrix,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidWidth { width } => {
+                write!(f, "invalid register width {width} (must be 1..={})", crate::MAX_WIDTH)
+            }
+            Error::WidthMismatch { left, right } => {
+                write!(f, "width mismatch between operands ({left} vs {right})")
+            }
+            Error::DegenerateFeedback => write!(f, "feedback polynomial must have degree >= 1"),
+            Error::NoPrimitivePolynomial { degree } => {
+                write!(f, "no primitive polynomial of degree {degree} available")
+            }
+            Error::DimensionMismatch { left, right } => write!(
+                f,
+                "matrix dimension mismatch ({}x{} vs {}x{})",
+                left.0, left.1, right.0, right.1
+            ),
+            Error::SingularMatrix => write!(f, "matrix is singular"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidWidth { width: 0 };
+        assert!(e.to_string().contains("invalid register width 0"));
+        let e = Error::WidthMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+        let e = Error::NoPrimitivePolynomial { degree: 99 };
+        assert!(e.to_string().contains("99"));
+        let e = Error::DimensionMismatch { left: (2, 3), right: (4, 5) };
+        assert!(e.to_string().contains("2x3"));
+        assert!(Error::SingularMatrix.to_string().contains("singular"));
+        assert!(Error::DegenerateFeedback.to_string().contains("degree"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,282 @@
+//! Autonomous linear feedback shift registers (test pattern generators).
+
+use crate::{Error, Gf2Matrix, Gf2Poly, Gf2Vec, Result};
+
+/// Implementation style of a linear feedback shift register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LfsrKind {
+    /// External-XOR (Fibonacci) register: a single XOR tree computes the
+    /// feedback bit which is shifted into stage 1.  This is the convention
+    /// used throughout the paper (`M(s)₁ = m(s)`, `M(s)ᵢ = sᵢ₋₁`).
+    #[default]
+    Fibonacci,
+    /// Internal-XOR (Galois) register: XOR gates sit between the stages.
+    /// Provided for completeness; both styles generate maximum-length
+    /// sequences for primitive feedback polynomials.
+    Galois,
+}
+
+/// An autonomous linear feedback shift register.
+///
+/// In the synthesis flow the LFSR plays two roles: it is the test pattern
+/// generator of the DFF and SIG structures, and in the PAT structure its
+/// autonomous successor function is reused as part of the *system* next-state
+/// function (Fig. 3/4 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use stfsm_lfsr::{Gf2Poly, Gf2Vec, Lfsr};
+///
+/// let lfsr = Lfsr::new(Gf2Poly::from_coefficients(&[0, 1, 3]))?;
+/// let start = Gf2Vec::from_value(0b001, 3)?;
+/// // A primitive degree-3 polynomial yields a cycle through all 7 non-zero states.
+/// assert_eq!(lfsr.period_from(start), 7);
+/// # Ok::<(), stfsm_lfsr::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr {
+    poly: Gf2Poly,
+    kind: LfsrKind,
+    width: usize,
+}
+
+impl Lfsr {
+    /// Creates a Fibonacci-style LFSR with the given feedback polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DegenerateFeedback`] if the polynomial has degree 0.
+    pub fn new(poly: Gf2Poly) -> Result<Self> {
+        Self::with_kind(poly, LfsrKind::Fibonacci)
+    }
+
+    /// Creates an LFSR with an explicit implementation style.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DegenerateFeedback`] if the polynomial has degree 0.
+    pub fn with_kind(poly: Gf2Poly, kind: LfsrKind) -> Result<Self> {
+        let width = poly.degree();
+        if width == 0 {
+            return Err(Error::DegenerateFeedback);
+        }
+        Ok(Self { poly, kind, width })
+    }
+
+    /// The feedback polynomial.
+    pub fn polynomial(&self) -> Gf2Poly {
+        self.poly
+    }
+
+    /// The register width (= polynomial degree).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The implementation style.
+    pub fn kind(&self) -> LfsrKind {
+        self.kind
+    }
+
+    /// The feedback bit `m(s)` computed from the current state.
+    ///
+    /// For the Fibonacci convention this is the XOR of the tapped stages:
+    /// stage `i` (bit `i−1`) is tapped when the coefficient of `xⁱ` is one
+    /// (`i = 1..r−1`), and the last stage is always tapped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the register width.
+    pub fn feedback(&self, state: &Gf2Vec) -> bool {
+        assert_eq!(state.width(), self.width, "state width must match LFSR width");
+        let mut acc = state.bit(self.width - 1);
+        for i in 1..self.width {
+            if self.poly.coefficient(i) {
+                acc ^= state.bit(i - 1);
+            }
+        }
+        acc
+    }
+
+    /// The autonomous successor `M(s)` of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the register width.
+    pub fn step(&self, state: &Gf2Vec) -> Gf2Vec {
+        assert_eq!(state.width(), self.width, "state width must match LFSR width");
+        match self.kind {
+            LfsrKind::Fibonacci => state.shifted_in(self.feedback(state)),
+            LfsrKind::Galois => {
+                // Galois: shift towards higher indices, and if the bit shifted
+                // out (previous top bit) is one, XOR the tap pattern into the
+                // new state and set bit 0.
+                let out = state.bit(self.width - 1);
+                let mut next = state.shifted_in(false);
+                if out {
+                    for i in 1..self.width {
+                        if self.poly.coefficient(i) {
+                            next.set_bit(i, next.bit(i) ^ true);
+                        }
+                    }
+                    next.set_bit(0, true);
+                }
+                next
+            }
+        }
+    }
+
+    /// The state-transition matrix `T` with `M(s) = T·s` (Fibonacci style
+    /// only; the Galois matrix is its similarity transform).
+    pub fn transition_matrix(&self) -> Gf2Matrix {
+        Gf2Matrix::companion(&self.poly)
+    }
+
+    /// Generates `count` successive states starting from (and including)
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the register width.
+    pub fn sequence(&self, start: Gf2Vec, count: usize) -> Vec<Gf2Vec> {
+        let mut out = Vec::with_capacity(count);
+        let mut s = start;
+        for _ in 0..count {
+            out.push(s);
+            s = self.step(&s);
+        }
+        out
+    }
+
+    /// The cycle containing `start`: successive states until `start` recurs.
+    ///
+    /// The all-zero state is a fixed point of every autonomous LFSR, so its
+    /// cycle has length 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the register width.
+    pub fn cycle_from(&self, start: Gf2Vec) -> Vec<Gf2Vec> {
+        let mut out = vec![start];
+        let mut s = self.step(&start);
+        while s != start {
+            out.push(s);
+            s = self.step(&s);
+            if out.len() > (1usize << self.width.min(32)) {
+                break; // defensive: cannot happen for a linear map
+            }
+        }
+        out
+    }
+
+    /// Length of the cycle containing `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state width does not match the register width.
+    pub fn period_from(&self, start: Gf2Vec) -> usize {
+        self.cycle_from(start).len()
+    }
+
+    /// Returns `true` if the register cycles through all `2^r − 1` non-zero
+    /// states (maximum length), which holds exactly when the feedback
+    /// polynomial is primitive.
+    pub fn is_maximum_length(&self) -> bool {
+        if self.width > 24 {
+            return self.poly.is_primitive();
+        }
+        let start = Gf2Vec::from_value(1, self.width).expect("width validated");
+        self.period_from(start) == (1usize << self.width) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive_polynomial;
+
+    #[test]
+    fn degenerate_polynomial_is_rejected() {
+        assert!(matches!(Lfsr::new(Gf2Poly::ONE), Err(Error::DegenerateFeedback)));
+        assert!(matches!(Lfsr::new(Gf2Poly::ZERO), Err(Error::DegenerateFeedback)));
+    }
+
+    #[test]
+    fn paper_fig3_cycle() {
+        // Fig. 3b: LFSR with polynomial 1 + x + x^2 cycles through the three
+        // non-zero 2-bit states.
+        let lfsr = Lfsr::new(Gf2Poly::from_coefficients(&[0, 1, 2])).unwrap();
+        let start = Gf2Vec::from_value(0b01, 2).unwrap();
+        let cycle = lfsr.cycle_from(start);
+        assert_eq!(cycle.len(), 3);
+        let values: Vec<u64> = cycle.iter().map(|s| s.value()).collect();
+        assert!(values.contains(&0b01));
+        assert!(values.contains(&0b10));
+        assert!(values.contains(&0b11));
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        let lfsr = Lfsr::new(primitive_polynomial(4).unwrap()).unwrap();
+        let zero = Gf2Vec::zero(4).unwrap();
+        assert_eq!(lfsr.step(&zero), zero);
+        assert_eq!(lfsr.period_from(zero), 1);
+    }
+
+    #[test]
+    fn primitive_polynomials_give_maximum_length() {
+        for degree in 2..=10 {
+            let lfsr = Lfsr::new(primitive_polynomial(degree).unwrap()).unwrap();
+            assert!(lfsr.is_maximum_length(), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn non_primitive_polynomial_is_not_maximum_length() {
+        // x^4 + x^3 + x^2 + x + 1 is irreducible with order 5.
+        let lfsr = Lfsr::new(Gf2Poly::from_mask(0b11111)).unwrap();
+        assert!(!lfsr.is_maximum_length());
+        let start = Gf2Vec::from_value(1, 4).unwrap();
+        assert_eq!(lfsr.period_from(start), 5);
+    }
+
+    #[test]
+    fn step_matches_transition_matrix() {
+        let lfsr = Lfsr::new(primitive_polynomial(5).unwrap()).unwrap();
+        let t = lfsr.transition_matrix();
+        for v in Gf2Vec::enumerate_all(5).unwrap() {
+            assert_eq!(lfsr.step(&v), t.mul_vec(&v).unwrap());
+        }
+    }
+
+    #[test]
+    fn galois_register_is_also_maximum_length() {
+        let poly = primitive_polynomial(6).unwrap();
+        let lfsr = Lfsr::with_kind(poly, LfsrKind::Galois).unwrap();
+        assert_eq!(lfsr.kind(), LfsrKind::Galois);
+        let start = Gf2Vec::from_value(1, 6).unwrap();
+        assert_eq!(lfsr.period_from(start), 63);
+    }
+
+    #[test]
+    fn sequence_has_requested_length_and_is_consistent() {
+        let lfsr = Lfsr::new(primitive_polynomial(4).unwrap()).unwrap();
+        let start = Gf2Vec::from_value(0b1001, 4).unwrap();
+        let seq = lfsr.sequence(start, 6);
+        assert_eq!(seq.len(), 6);
+        assert_eq!(seq[0], start);
+        for w in seq.windows(2) {
+            assert_eq!(lfsr.step(&w[0]), w[1]);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let poly = primitive_polynomial(3).unwrap();
+        let lfsr = Lfsr::new(poly).unwrap();
+        assert_eq!(lfsr.width(), 3);
+        assert_eq!(lfsr.polynomial(), poly);
+        assert_eq!(lfsr.kind(), LfsrKind::Fibonacci);
+    }
+}

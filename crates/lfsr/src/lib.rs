@@ -1,0 +1,55 @@
+//! GF(2) linear algebra and linear-feedback register models.
+//!
+//! This crate is the mathematical substrate of the self-testable FSM synthesis
+//! flow described in Eschermann & Wunderlich, *A Unified Approach for the
+//! Synthesis of Self-Testable Finite State Machines*, DAC 1991.  It provides
+//!
+//! * [`Gf2Vec`] — fixed-width bit vectors over GF(2),
+//! * [`Gf2Poly`] — polynomials over GF(2) with irreducibility / primitivity
+//!   tests and tables of primitive polynomials,
+//! * [`Gf2Matrix`] — dense GF(2) matrices (companion matrices, rank,
+//!   inversion),
+//! * [`Lfsr`] — autonomous linear feedback shift registers used as test
+//!   pattern generators,
+//! * [`Misr`] — multiple input signature registers used as state registers in
+//!   the PST / SIG structures of the paper, including the excitation relation
+//!   `y = s⁺ ⊕ M(s)` from Section 2.4.
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_lfsr::{Gf2Poly, Lfsr, Gf2Vec};
+//!
+//! // The paper's Fig. 3 uses the feedback polynomial 1 + x + x^2.
+//! let poly = Gf2Poly::from_coefficients(&[0, 1, 2]);
+//! assert!(poly.is_primitive());
+//! let lfsr = Lfsr::new(poly).expect("degree must be positive");
+//! let s = Gf2Vec::from_bits(&[true, false]);
+//! // An autonomous LFSR of degree 2 with a primitive polynomial cycles
+//! // through all 3 non-zero states.
+//! assert_eq!(lfsr.cycle_from(s).len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod error;
+mod lfsr_reg;
+mod matrix;
+mod misr;
+mod poly;
+
+pub use bitvec::Gf2Vec;
+pub use error::{Error, Result};
+pub use lfsr_reg::{Lfsr, LfsrKind};
+pub use matrix::Gf2Matrix;
+pub use misr::{Misr, SignatureRun};
+pub use poly::{primitive_polynomial, primitive_polynomials, Gf2Poly};
+
+/// The maximum register width (in bits) supported by this crate.
+///
+/// State registers of controllers are small (the paper's largest benchmark
+/// needs 7 state bits), so a 64-bit limit is far beyond anything the
+/// synthesis flow requires while keeping all bit-vector operations O(1).
+pub const MAX_WIDTH: usize = 64;

@@ -1,0 +1,425 @@
+//! Dense matrices over GF(2).
+
+use crate::{Error, Gf2Poly, Gf2Vec, Result};
+use std::fmt;
+
+/// A dense matrix over GF(2) with at most 64 columns.
+///
+/// Rows are stored as [`Gf2Vec`]s.  The matrix is used to describe the linear
+/// state-transition function of LFSRs and MISRs (`s⁺ = T·s ⊕ y`), to compute
+/// register periods via matrix powers, and to reason about the reachability
+/// of encodings in the PST structure.
+///
+/// # Example
+///
+/// ```
+/// use stfsm_lfsr::{Gf2Matrix, Gf2Poly};
+///
+/// let t = Gf2Matrix::companion(&Gf2Poly::from_coefficients(&[0, 1, 3]));
+/// assert_eq!(t.rows(), 3);
+/// assert!(t.is_invertible());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Gf2Matrix {
+    rows: Vec<Gf2Vec>,
+    cols: usize,
+}
+
+impl Gf2Matrix {
+    /// Creates a zero matrix with the given dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `cols` is zero or above
+    /// [`crate::MAX_WIDTH`], or if `rows` is zero.
+    pub fn zero(rows: usize, cols: usize) -> Result<Self> {
+        if rows == 0 {
+            return Err(Error::InvalidWidth { width: rows });
+        }
+        let row = Gf2Vec::zero(cols)?;
+        Ok(Self { rows: vec![row; rows], cols })
+    }
+
+    /// Creates the identity matrix of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `n` is zero or above
+    /// [`crate::MAX_WIDTH`].
+    pub fn identity(n: usize) -> Result<Self> {
+        let mut m = Self::zero(n, n)?;
+        for i in 0..n {
+            m.rows[i].set_bit(i, true);
+        }
+        Ok(m)
+    }
+
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidWidth`] if `rows` is empty and
+    /// [`Error::WidthMismatch`] if the rows do not all have the same width.
+    pub fn from_rows(rows: Vec<Gf2Vec>) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(Error::InvalidWidth { width: 0 });
+        };
+        let cols = first.width();
+        for r in &rows {
+            if r.width() != cols {
+                return Err(Error::WidthMismatch { left: cols, right: r.width() });
+            }
+        }
+        Ok(Self { rows, cols })
+    }
+
+    /// The companion matrix of a feedback polynomial, i.e. the state
+    /// transition matrix `T` of the autonomous register `s⁺ = T·s` using the
+    /// Fibonacci convention of the paper: stage 1 (bit 0) receives the
+    /// feedback `m(s)` and stage `i` receives stage `i−1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial has degree 0.
+    pub fn companion(poly: &Gf2Poly) -> Self {
+        let r = poly.degree();
+        assert!(r >= 1, "companion matrix needs a polynomial of degree >= 1");
+        let mut m = Self::zero(r, r).expect("degree bounded by MAX_WIDTH");
+        // Row 0 (stage s1): feedback taps. The feedback polynomial
+        // 1 + c1 x + ... + x^r means m(s) = XOR of s_i for each tap c_i;
+        // following the BIST literature we tap stage i for coefficient of x^i
+        // (i = 1..r-1) and always tap the last stage.
+        for i in 1..r {
+            if poly.coefficient(i) {
+                m.rows[0].set_bit(i - 1, true);
+            }
+        }
+        m.rows[0].set_bit(r - 1, true);
+        // Row i (stage s_{i+1}): copy of stage s_i.
+        for i in 1..r {
+            m.rows[i].set_bit(i - 1, true);
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        self.rows[row].bit(col)
+    }
+
+    /// Sets the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: bool) {
+        self.rows[row].set_bit(col, value);
+    }
+
+    /// Returns row `i` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> Gf2Vec {
+        self.rows[i]
+    }
+
+    /// Matrix–vector product over GF(2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the vector width differs from the
+    /// column count.
+    pub fn mul_vec(&self, v: &Gf2Vec) -> Result<Gf2Vec> {
+        if v.width() != self.cols {
+            return Err(Error::WidthMismatch { left: self.cols, right: v.width() });
+        }
+        let mut out = Gf2Vec::zero(self.rows.len())?;
+        for (i, row) in self.rows.iter().enumerate() {
+            out.set_bit(i, row.dot(v)?);
+        }
+        Ok(out)
+    }
+
+    /// Matrix–matrix product over GF(2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if `self.cols() != other.rows()`.
+    pub fn mul(&self, other: &Gf2Matrix) -> Result<Gf2Matrix> {
+        if self.cols != other.rows() {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows(), self.cols),
+                right: (other.rows(), other.cols),
+            });
+        }
+        let mut result = Gf2Matrix::zero(self.rows(), other.cols)?;
+        for i in 0..self.rows() {
+            for k in 0..self.cols {
+                if self.get(i, k) {
+                    let mut row = result.rows[i];
+                    row ^= other.rows[k];
+                    result.rows[i] = row;
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Matrix power `self^e` (square matrices only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the matrix is not square.
+    pub fn pow(&self, e: u64) -> Result<Gf2Matrix> {
+        if self.rows() != self.cols {
+            return Err(Error::DimensionMismatch {
+                left: (self.rows(), self.cols),
+                right: (self.cols, self.rows()),
+            });
+        }
+        let mut result = Gf2Matrix::identity(self.cols)?;
+        let mut base = self.clone();
+        let mut exp = e;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result.mul(&base)?;
+            }
+            base = base.mul(&base)?;
+            exp >>= 1;
+        }
+        Ok(result)
+    }
+
+    /// Rank of the matrix over GF(2), computed by Gaussian elimination.
+    pub fn rank(&self) -> usize {
+        let mut rows: Vec<u64> = self.rows.iter().map(|r| r.value()).collect();
+        let mut rank = 0;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..rows.len()).find(|&r| (rows[r] >> col) & 1 == 1) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && (*row >> col) & 1 == 1 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Returns `true` if the matrix is square and has full rank.
+    pub fn is_invertible(&self) -> bool {
+        self.rows() == self.cols && self.rank() == self.cols
+    }
+
+    /// Inverse of the matrix over GF(2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] for non-square matrices and
+    /// [`Error::SingularMatrix`] if no inverse exists.
+    pub fn inverse(&self) -> Result<Gf2Matrix> {
+        let n = self.rows();
+        if n != self.cols {
+            return Err(Error::DimensionMismatch {
+                left: (n, self.cols),
+                right: (self.cols, n),
+            });
+        }
+        let mut a: Vec<u64> = self.rows.iter().map(|r| r.value()).collect();
+        let mut inv: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+        for col in 0..n {
+            let Some(pivot) = (col..n).find(|&r| (a[r] >> col) & 1 == 1) else {
+                return Err(Error::SingularMatrix);
+            };
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            for r in 0..n {
+                if r != col && (a[r] >> col) & 1 == 1 {
+                    a[r] ^= a[col];
+                    inv[r] ^= inv[col];
+                }
+            }
+        }
+        let rows = inv
+            .into_iter()
+            .map(|v| Gf2Vec::from_value(v, n))
+            .collect::<Result<Vec<_>>>()?;
+        Gf2Matrix::from_rows(rows)
+    }
+
+    /// The multiplicative order of the matrix, i.e. the smallest `e ≥ 1`
+    /// with `self^e = I`, searched up to `limit`.  Returns `None` if the
+    /// matrix is singular or no such `e ≤ limit` exists.
+    pub fn order(&self, limit: u64) -> Option<u64> {
+        if !self.is_invertible() {
+            return None;
+        }
+        let identity = Gf2Matrix::identity(self.cols).ok()?;
+        let mut acc = self.clone();
+        for e in 1..=limit {
+            if acc == identity {
+                return Some(e);
+            }
+            acc = acc.mul(self).ok()?;
+        }
+        None
+    }
+}
+
+impl fmt::Debug for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Gf2Matrix {}x{} [", self.rows(), self.cols)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Gf2Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive_polynomial;
+
+    #[test]
+    fn identity_and_zero() {
+        let i = Gf2Matrix::identity(4).unwrap();
+        assert_eq!(i.rank(), 4);
+        assert!(i.is_invertible());
+        let z = Gf2Matrix::zero(3, 4).unwrap();
+        assert_eq!(z.rank(), 0);
+        assert!(!z.is_invertible());
+        assert!(Gf2Matrix::zero(0, 4).is_err());
+    }
+
+    #[test]
+    fn from_rows_validation() {
+        let rows = vec![Gf2Vec::from_value(0b01, 2).unwrap(), Gf2Vec::from_value(0b10, 2).unwrap()];
+        let m = Gf2Matrix::from_rows(rows).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert!(Gf2Matrix::from_rows(vec![]).is_err());
+        let bad = vec![Gf2Vec::zero(2).unwrap(), Gf2Vec::zero(3).unwrap()];
+        assert!(Gf2Matrix::from_rows(bad).is_err());
+    }
+
+    #[test]
+    fn mul_vec_matches_manual_computation() {
+        // T = [[1,1],[1,0]] over GF(2)
+        let mut t = Gf2Matrix::zero(2, 2).unwrap();
+        t.set(0, 0, true);
+        t.set(0, 1, true);
+        t.set(1, 0, true);
+        let v = Gf2Vec::from_bits(&[true, true]);
+        let out = t.mul_vec(&v).unwrap();
+        assert_eq!(out.to_bits(), vec![false, true]);
+        let wrong = Gf2Vec::zero(3).unwrap();
+        assert!(t.mul_vec(&wrong).is_err());
+    }
+
+    #[test]
+    fn matrix_multiplication_and_power() {
+        let p = primitive_polynomial(3).unwrap();
+        let t = Gf2Matrix::companion(&p);
+        let t2 = t.mul(&t).unwrap();
+        assert_eq!(t.pow(2).unwrap(), t2);
+        assert_eq!(t.pow(0).unwrap(), Gf2Matrix::identity(3).unwrap());
+        // The companion matrix of a primitive degree-3 polynomial has order 7.
+        assert_eq!(t.order(10), Some(7));
+    }
+
+    #[test]
+    fn companion_matrix_of_paper_example() {
+        // 1 + x + x^2: feedback m(s) = s1 xor s2, shift s1 -> s2.
+        let t = Gf2Matrix::companion(&Gf2Poly::from_coefficients(&[0, 1, 2]));
+        assert!(t.get(0, 0));
+        assert!(t.get(0, 1));
+        assert!(t.get(1, 0));
+        assert!(!t.get(1, 1));
+        assert_eq!(t.order(5), Some(3));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = primitive_polynomial(4).unwrap();
+        let t = Gf2Matrix::companion(&p);
+        let inv = t.inverse().unwrap();
+        assert_eq!(t.mul(&inv).unwrap(), Gf2Matrix::identity(4).unwrap());
+        assert_eq!(inv.mul(&t).unwrap(), Gf2Matrix::identity(4).unwrap());
+        let z = Gf2Matrix::zero(3, 3).unwrap();
+        assert!(matches!(z.inverse(), Err(Error::SingularMatrix)));
+        let rect = Gf2Matrix::zero(2, 3).unwrap();
+        assert!(matches!(rect.inverse(), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn rank_of_dependent_rows() {
+        let rows = vec![
+            Gf2Vec::from_value(0b101, 3).unwrap(),
+            Gf2Vec::from_value(0b011, 3).unwrap(),
+            Gf2Vec::from_value(0b110, 3).unwrap(), // sum of the first two
+        ];
+        let m = Gf2Matrix::from_rows(rows).unwrap();
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_invertible());
+        assert!(m.order(4).is_none());
+    }
+
+    #[test]
+    fn companion_matrix_order_equals_lfsr_period() {
+        for degree in 2..=8 {
+            let p = primitive_polynomial(degree).unwrap();
+            let t = Gf2Matrix::companion(&p);
+            let period = (1u64 << degree) - 1;
+            assert_eq!(t.order(period + 1), Some(period), "degree {degree}");
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = Gf2Matrix::zero(2, 3).unwrap();
+        let b = Gf2Matrix::zero(2, 3).unwrap();
+        assert!(matches!(a.mul(&b), Err(Error::DimensionMismatch { .. })));
+        assert!(matches!(a.pow(2), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let m = Gf2Matrix::identity(2).unwrap();
+        let s = m.to_string();
+        assert!(s.contains('\n'));
+        assert!(format!("{m:?}").contains("2x2"));
+    }
+}

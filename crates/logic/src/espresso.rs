@@ -1,0 +1,355 @@
+//! Espresso-style heuristic two-level minimization.
+//!
+//! The minimizer follows the classical EXPAND / IRREDUNDANT loop of espresso
+//! on a multi-output cover with "fr" semantics (see [`crate::Pla`]): the
+//! OFF-set is exactly the set of rows specifying `0`, every input vector not
+//! covered by a specification row is a global don't-care.  These are the
+//! semantics of an encoded FSM transition table, where unused state codes and
+//! unspecified input combinations may be used freely by the optimizer — the
+//! effect the paper's synthesis procedures exploit (Section 2.3).
+
+use crate::{Cover, Cube, Pla, Trit};
+
+/// Tuning knobs of the minimizer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeConfig {
+    /// Number of EXPAND / IRREDUNDANT passes (each pass uses a different cube
+    /// ordering).  Two passes give near-espresso quality on controller-sized
+    /// covers; one pass is noticeably faster for huge sweeps.
+    pub passes: usize,
+    /// Whether cubes may also expand in the output part (sharing product
+    /// terms between outputs).
+    pub output_expansion: bool,
+    /// Whether the redundant-cube removal step runs.
+    pub irredundant: bool,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        Self { passes: 2, output_expansion: true, irredundant: true }
+    }
+}
+
+impl MinimizeConfig {
+    /// A faster single-pass configuration for large parameter sweeps.
+    pub fn fast() -> Self {
+        Self { passes: 1, output_expansion: true, irredundant: true }
+    }
+}
+
+/// Statistics of one minimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Cubes in the initial ON-cover (specification rows with at least one
+    /// `1` output).
+    pub initial_cubes: usize,
+    /// Cubes in the final cover (the "number of product terms" reported in
+    /// the paper's tables).
+    pub final_cubes: usize,
+    /// Input literals of the final cover.
+    pub literals: usize,
+    /// Output (OR-plane) connections of the final cover.
+    pub output_literals: usize,
+    /// Number of EXPAND/IRREDUNDANT passes executed.
+    pub passes: usize,
+}
+
+/// The result of minimization: the final cover plus statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinimizeResult {
+    /// The minimized multi-output cover.
+    pub cover: Cover,
+    /// Run statistics.
+    pub stats: MinimizeStats,
+}
+
+impl MinimizeResult {
+    /// The number of product terms of the minimized cover.
+    pub fn product_terms(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// The number of input literals of the minimized cover.
+    pub fn literals(&self) -> usize {
+        self.cover.literal_count()
+    }
+}
+
+/// Minimizes a specification with the default configuration.
+pub fn minimize(pla: &Pla) -> MinimizeResult {
+    minimize_with(pla, &MinimizeConfig::default())
+}
+
+/// Minimizes a specification with an explicit configuration.
+pub fn minimize_with(pla: &Pla, config: &MinimizeConfig) -> MinimizeResult {
+    let mut cover = pla.on_cover();
+    let off = pla.off_cover();
+    let initial_cubes = cover.len();
+
+    let passes = config.passes.max(1);
+    for pass in 0..passes {
+        expand(&mut cover, &off, config.output_expansion, pass % 2 == 1);
+        cover.remove_single_cube_containment();
+        if config.irredundant {
+            irredundant(&mut cover);
+        }
+    }
+
+    let stats = MinimizeStats {
+        initial_cubes,
+        final_cubes: cover.len(),
+        literals: cover.literal_count(),
+        output_literals: cover.output_literal_count(),
+        passes,
+    };
+    MinimizeResult { cover, stats }
+}
+
+/// EXPAND: raise literals of every cube to don't-care (and optionally grow
+/// the output set) as long as the cube stays disjoint from the OFF-set of
+/// every output it drives.
+fn expand(cover: &mut Cover, off: &Cover, output_expansion: bool, reverse_order: bool) {
+    let num_inputs = cover.num_inputs();
+    let num_outputs = cover.num_outputs();
+
+    // Process the most specific cubes first (they profit most from
+    // expansion); alternate the ordering between passes for diversity.
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by_key(|&i| cover.cubes()[i].literal_count());
+    if reverse_order {
+        order.reverse();
+    }
+
+    for &idx in &order {
+        let mut cube = cover.cubes()[idx].clone();
+        // Try to raise each specified input literal.
+        for v in 0..num_inputs {
+            if matches!(cube.input(v), Trit::DontCare) {
+                continue;
+            }
+            let saved = cube.input(v);
+            cube.set_input(v, Trit::DontCare);
+            if conflicts_with_off(&cube, off) {
+                cube.set_input(v, saved);
+            }
+        }
+        // Try to add further outputs.
+        if output_expansion {
+            for j in 0..num_outputs {
+                if cube.output(j) {
+                    continue;
+                }
+                cube.set_output(j, true);
+                if conflicts_with_off(&cube, off) {
+                    cube.set_output(j, false);
+                }
+            }
+        }
+        cover.cubes_mut()[idx] = cube;
+    }
+}
+
+/// Whether the cube intersects the OFF-set of any output it drives.
+fn conflicts_with_off(cube: &Cube, off: &Cover) -> bool {
+    off.cubes().iter().any(|o| o.intersects(cube))
+}
+
+/// IRREDUNDANT: greedily drop cubes that are entirely covered by the rest of
+/// the cover.  (This is a sufficient condition for removability; parts of a
+/// cube reaching into the global don't-care space would not strictly need to
+/// be covered, so the result is conservative but always correct.)
+fn irredundant(cover: &mut Cover) {
+    // Removing large cubes first tends to keep the prime cubes produced by
+    // EXPAND and drop the leftovers they absorbed.
+    let mut order: Vec<usize> = (0..cover.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(cover.cubes()[i].literal_count()));
+
+    let mut removed = vec![false; cover.len()];
+    for &idx in &order {
+        let candidate = cover.cubes()[idx].clone();
+        let rest: Vec<Cube> = cover
+            .cubes()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx && !removed[*i])
+            .map(|(_, c)| c.clone())
+            .collect();
+        let rest_cover = Cover::from_cubes(cover.num_inputs(), cover.num_outputs(), rest)
+            .expect("dimensions preserved");
+        if rest_cover.covers_cube(&candidate) {
+            removed[idx] = true;
+        }
+    }
+    let mut idx = 0;
+    cover.cubes_mut().retain(|_| {
+        let keep = !removed[idx];
+        idx += 1;
+        keep
+    });
+}
+
+/// Exact verification that a cover implements a specification:
+///
+/// * every `1` entry of the specification is covered by the cover, and
+/// * no cube of the cover intersects a `0` entry of the specification on an
+///   output the cube drives.
+///
+/// Returns `true` if both conditions hold.
+pub fn verify(pla: &Pla, cover: &Cover) -> bool {
+    // Correctness on the OFF-set.
+    let off = pla.off_cover();
+    for c in cover.cubes() {
+        if off.cubes().iter().any(|o| o.intersects(c)) {
+            return false;
+        }
+    }
+    // Coverage of the ON-set.
+    let on = pla.on_cover();
+    for row in on.cubes() {
+        if !cover.covers_cube(row) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pla(num_inputs: usize, num_outputs: usize, rows: &[(&str, &str)]) -> Pla {
+        let mut p = Pla::new(num_inputs, num_outputs);
+        for (i, o) in rows {
+            p.add_row(i, o).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn already_minimal_function_is_preserved() {
+        let p = pla(2, 1, &[("01", "1"), ("10", "1"), ("00", "0"), ("11", "0")]);
+        let r = minimize(&p);
+        assert_eq!(r.product_terms(), 2);
+        assert!(verify(&p, &r.cover));
+        assert_eq!(r.stats.initial_cubes, 2);
+        assert_eq!(r.stats.final_cubes, 2);
+    }
+
+    #[test]
+    fn dont_cares_enable_merging() {
+        // XOR with 11 as a don't-care can be covered by two larger cubes or
+        // even fewer terms.
+        let p = pla(2, 1, &[("01", "1"), ("10", "1"), ("00", "0"), ("11", "-")]);
+        let r = minimize(&p);
+        assert!(r.product_terms() <= 2);
+        assert!(r.literals() <= 2);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn unspecified_space_is_a_dont_care() {
+        // Only two rows are given; the rest of the input space is free, so a
+        // single universal-ish cube should suffice.
+        let p = pla(3, 1, &[("000", "1"), ("111", "1")]);
+        let r = minimize(&p);
+        assert_eq!(r.product_terms(), 1);
+        assert_eq!(r.cover.cubes()[0].literal_count(), 0);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn redundant_rows_are_removed() {
+        let p = pla(
+            3,
+            1,
+            &[("0-0", "1"), ("00-", "1"), ("0-1", "1"), ("1--", "0")],
+        );
+        let r = minimize(&p);
+        assert!(r.product_terms() <= 2);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn multi_output_sharing() {
+        // Both outputs have the same ON cube; output expansion should let a
+        // single product term drive both.
+        let p = pla(2, 2, &[("11", "11"), ("00", "00"), ("01", "00"), ("10", "00")]);
+        let r = minimize(&p);
+        assert_eq!(r.product_terms(), 1);
+        assert_eq!(r.cover.cubes()[0].output_count(), 2);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn output_expansion_can_be_disabled() {
+        let p = pla(2, 2, &[("11", "1-"), ("11", "-1"), ("0-", "00"), ("10", "00")]);
+        let cfg = MinimizeConfig { output_expansion: false, ..MinimizeConfig::default() };
+        let r = minimize_with(&p, &cfg);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn fast_config_still_verifies() {
+        let p = pla(
+            4,
+            2,
+            &[
+                ("0000", "10"),
+                ("0001", "10"),
+                ("0011", "1-"),
+                ("0111", "01"),
+                ("1111", "01"),
+                ("1000", "00"),
+                ("1100", "00"),
+            ],
+        );
+        let r = minimize_with(&p, &MinimizeConfig::fast());
+        assert_eq!(r.stats.passes, 1);
+        assert!(verify(&p, &r.cover));
+        let full = minimize(&p);
+        assert!(full.product_terms() <= r.product_terms());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_covers() {
+        let p = pla(2, 1, &[("01", "1"), ("10", "1"), ("00", "0"), ("11", "0")]);
+        // A cover that also asserts 11 conflicts with the OFF-set.
+        let wrong = Cover::from_cubes(2, 1, vec![Cube::parse("--", "1").unwrap()]).unwrap();
+        assert!(!verify(&p, &wrong));
+        // A cover missing the 10 minterm does not cover the ON-set.
+        let missing = Cover::from_cubes(2, 1, vec![Cube::parse("01", "1").unwrap()]).unwrap();
+        assert!(!verify(&p, &missing));
+    }
+
+    #[test]
+    fn three_variable_majority_function() {
+        let p = pla(
+            3,
+            1,
+            &[
+                ("110", "1"),
+                ("101", "1"),
+                ("011", "1"),
+                ("111", "1"),
+                ("000", "0"),
+                ("001", "0"),
+                ("010", "0"),
+                ("100", "0"),
+            ],
+        );
+        let r = minimize(&p);
+        assert_eq!(r.product_terms(), 3);
+        assert_eq!(r.literals(), 6);
+        assert!(verify(&p, &r.cover));
+    }
+
+    #[test]
+    fn stats_are_consistent_with_cover() {
+        let p = pla(3, 2, &[("000", "11"), ("001", "10"), ("111", "01"), ("010", "00")]);
+        let r = minimize(&p);
+        assert_eq!(r.stats.final_cubes, r.cover.len());
+        assert_eq!(r.stats.literals, r.cover.literal_count());
+        assert_eq!(r.stats.output_literals, r.cover.output_literal_count());
+        assert!(r.stats.passes >= 1);
+    }
+}

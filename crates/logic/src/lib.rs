@@ -1,0 +1,48 @@
+//! Two-level logic minimization for self-testable FSM synthesis.
+//!
+//! The synthesis flow of the paper (Fig. 7) produces, after state assignment
+//! and excitation-function construction, a multi-output boolean function
+//! given as a cube table; the quality metric of Tables 2 and 3 is the number
+//! of product terms (and literals) after two-level minimization.  This crate
+//! provides that minimizer:
+//!
+//! * [`Cube`] / [`Cover`] — the cube calculus (containment, intersection,
+//!   cofactors, tautology checking),
+//! * [`Pla`] — a multi-output specification table with `0` / `1` / `-`
+//!   outputs and "unspecified input space is don't-care" semantics, exactly
+//!   the semantics of an FSM transition table after encoding,
+//! * [`espresso`] — an espresso-style EXPAND / IRREDUNDANT loop producing a
+//!   compact prime cover,
+//! * [`multilevel`] — literal counting and a greedy factoring estimate used
+//!   for the "number of literals" columns of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_logic::{Pla, espresso::minimize};
+//!
+//! // A 2-input, 1-output function: XOR with a don't-care on input 11.
+//! let mut pla = Pla::new(2, 1);
+//! pla.add_row("01", "1")?;
+//! pla.add_row("10", "1")?;
+//! pla.add_row("00", "0")?;
+//! pla.add_row("11", "-")?;
+//! let result = minimize(&pla);
+//! assert!(result.cover.len() <= 2);
+//! # Ok::<(), stfsm_logic::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cover;
+mod cube;
+mod error;
+pub mod espresso;
+pub mod multilevel;
+mod pla;
+
+pub use cover::Cover;
+pub use cube::{Cube, Trit};
+pub use error::{Error, Result};
+pub use pla::{Pla, PlaRow};

@@ -1,0 +1,172 @@
+//! Literal counting and a greedy factoring estimate.
+//!
+//! Table 3 of the paper reports "number of literals" after multi-level logic
+//! minimization with `mustang`/`misII`.  A full multi-level synthesis system
+//! is outside the scope of this reproduction; instead this module provides
+//! the standard two-level literal count plus a greedy common-divisor
+//! (factoring) estimate that approximates the literal savings a multi-level
+//! optimizer obtains from shared sub-expressions.  The estimate is computed
+//! identically for all BIST structures, so the *relative* comparison of
+//! Table 3 is preserved.
+
+use crate::{Cover, Trit};
+use std::collections::HashMap;
+
+/// A literal: an input variable together with its polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// Input variable index.
+    pub variable: usize,
+    /// `true` for the positive literal, `false` for the complemented one.
+    pub positive: bool,
+}
+
+/// Breakdown of the multi-level literal estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiteralEstimate {
+    /// Literals of the flat two-level cover (AND-plane contacts).
+    pub two_level: usize,
+    /// Output (OR-plane) contacts of the flat cover.
+    pub output_connections: usize,
+    /// Literals saved by greedily extracting common literal pairs
+    /// (single-cube divisors of size 2).
+    pub factoring_savings: usize,
+    /// The resulting factored-literal estimate
+    /// (`two_level - factoring_savings`, never below the number of cubes).
+    pub factored: usize,
+}
+
+/// Counts the literals of every cube and estimates the factored literal count
+/// by greedy extraction of common literal pairs.
+///
+/// The extraction loop repeatedly finds the pair of literals that co-occurs
+/// in the largest number of cubes; if it occurs in `k ≥ 2` cubes, replacing
+/// it by a new intermediate signal saves `2k − (2 + k) = k − 2` literals
+/// (two literals per cube become one reference, plus the divisor itself costs
+/// two literals).  The loop stops when no pair saves anything.
+pub fn estimate_literals(cover: &Cover) -> LiteralEstimate {
+    let two_level = cover.literal_count();
+    let output_connections = cover.output_literal_count();
+
+    // Represent each cube as a set of literals.
+    let mut cubes: Vec<Vec<Literal>> = cover
+        .cubes()
+        .iter()
+        .map(|c| {
+            c.inputs()
+                .iter()
+                .enumerate()
+                .filter_map(|(v, t)| match t {
+                    Trit::Zero => Some(Literal { variable: v, positive: false }),
+                    Trit::One => Some(Literal { variable: v, positive: true }),
+                    Trit::DontCare => None,
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut savings = 0usize;
+    let mut next_intermediate = cover.num_inputs();
+    // Bound the number of extraction rounds to keep the estimate cheap even
+    // for very large covers.
+    for _ in 0..cover.len().max(16) {
+        let mut pair_counts: HashMap<(Literal, Literal), usize> = HashMap::new();
+        for cube in &cubes {
+            for i in 0..cube.len() {
+                for j in (i + 1)..cube.len() {
+                    let (a, b) = if cube[i] <= cube[j] { (cube[i], cube[j]) } else { (cube[j], cube[i]) };
+                    *pair_counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+        // Deterministic selection: highest count, ties broken by the pair
+        // itself (HashMap iteration order must not influence the result).
+        let Some((&pair, &count)) = pair_counts.iter().max_by_key(|(&pair, &c)| (c, std::cmp::Reverse(pair))) else {
+            break;
+        };
+        if count < 3 {
+            // k - 2 <= 0: no saving from extracting this pair.
+            break;
+        }
+        savings += count - 2;
+        // Replace the pair by a fresh intermediate literal in every cube that
+        // contains it, so later rounds can stack factors.
+        let replacement = Literal { variable: next_intermediate, positive: true };
+        next_intermediate += 1;
+        for cube in &mut cubes {
+            let has_a = cube.contains(&pair.0);
+            let has_b = cube.contains(&pair.1);
+            if has_a && has_b {
+                cube.retain(|l| *l != pair.0 && *l != pair.1);
+                cube.push(replacement);
+            }
+        }
+    }
+
+    let factored = two_level.saturating_sub(savings).max(cover.len());
+    LiteralEstimate { two_level, output_connections, factoring_savings: savings, factored }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cube;
+
+    fn cover(num_inputs: usize, cubes: &[&str]) -> Cover {
+        let cubes = cubes.iter().map(|i| Cube::parse(i, "1").unwrap()).collect();
+        Cover::from_cubes(num_inputs, 1, cubes).unwrap()
+    }
+
+    #[test]
+    fn two_level_count_matches_cover() {
+        let c = cover(3, &["01-", "1-0", "111"]);
+        let est = estimate_literals(&c);
+        assert_eq!(est.two_level, 2 + 2 + 3);
+        assert_eq!(est.output_connections, 3);
+        assert!(est.factored <= est.two_level);
+    }
+
+    #[test]
+    fn shared_pair_is_factored() {
+        // Four cubes all containing the pair (x0=1, x1=1): extracting it
+        // saves 4 - 2 = 2 literals.
+        let c = cover(4, &["11-0", "11-1", "110-", "111-"]);
+        let est = estimate_literals(&c);
+        assert_eq!(est.two_level, 12);
+        assert!(est.factoring_savings >= 2);
+        assert_eq!(est.factored, est.two_level - est.factoring_savings);
+    }
+
+    #[test]
+    fn no_sharing_means_no_savings() {
+        let c = cover(4, &["1---", "-0--", "--1-", "---0"]);
+        let est = estimate_literals(&c);
+        assert_eq!(est.two_level, 4);
+        assert_eq!(est.factoring_savings, 0);
+        assert_eq!(est.factored, 4);
+    }
+
+    #[test]
+    fn factored_never_drops_below_cube_count() {
+        let c = cover(3, &["111", "111", "111", "111"]);
+        let est = estimate_literals(&c);
+        assert!(est.factored >= c.len());
+    }
+
+    #[test]
+    fn empty_cover() {
+        let c = Cover::new(4, 1);
+        let est = estimate_literals(&c);
+        assert_eq!(est.two_level, 0);
+        assert_eq!(est.factored, 0);
+        assert_eq!(est.factoring_savings, 0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let c = cover(5, &["11--0", "11-1-", "1-1-0", "0-11-", "00--1"]);
+        let a = estimate_literals(&c);
+        let b = estimate_literals(&c);
+        assert_eq!(a, b);
+    }
+}

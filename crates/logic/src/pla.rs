@@ -1,0 +1,400 @@
+//! Multi-output specification tables ("PLA" descriptions).
+
+use crate::{Cover, Cube, Error, Result, Trit};
+use std::fmt;
+
+/// One specification row: an input cube and a ternary value per output.
+///
+/// Output semantics follow the espresso "fr" convention, which is also the
+/// natural reading of an encoded FSM transition table:
+///
+/// * `1` — the row is part of the output's ON-set,
+/// * `0` — the row is part of the output's OFF-set,
+/// * `-` — the output value is a don't-care on this row.
+///
+/// Any input vector not covered by *any* row is a don't-care for *all*
+/// outputs (unspecified transitions / unused state codes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlaRow {
+    /// The input cube.
+    pub inputs: Vec<Trit>,
+    /// One ternary value per output.
+    pub outputs: Vec<Trit>,
+}
+
+impl PlaRow {
+    /// Parses a row from cube strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSymbol`] on malformed characters.
+    pub fn parse(inputs: &str, outputs: &str) -> Result<Self> {
+        Ok(Self {
+            inputs: inputs.chars().map(Trit::from_char).collect::<Result<Vec<_>>>()?,
+            outputs: outputs
+                .chars()
+                .map(|c| match c {
+                    '0' => Ok(Trit::Zero),
+                    '1' | '4' => Ok(Trit::One),
+                    '-' | '2' | '~' => Ok(Trit::DontCare),
+                    other => Err(Error::InvalidSymbol { symbol: other }),
+                })
+                .collect::<Result<Vec<_>>>()?,
+        })
+    }
+
+    /// The input part as a string.
+    pub fn inputs_string(&self) -> String {
+        self.inputs.iter().map(|t| t.to_char()).collect()
+    }
+
+    /// The output part as a string.
+    pub fn outputs_string(&self) -> String {
+        self.outputs.iter().map(|t| t.to_char()).collect()
+    }
+}
+
+/// A multi-output incompletely specified boolean function given as a list of
+/// rows (the input of two-level minimization).
+///
+/// # Example
+///
+/// ```
+/// use stfsm_logic::Pla;
+///
+/// let mut pla = Pla::new(2, 1);
+/// pla.add_row("01", "1")?;
+/// pla.add_row("10", "1")?;
+/// pla.add_row("11", "0")?;
+/// assert_eq!(pla.rows().len(), 3);
+/// assert_eq!(pla.on_cover().len(), 2);
+/// # Ok::<(), stfsm_logic::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pla {
+    num_inputs: usize,
+    num_outputs: usize,
+    rows: Vec<PlaRow>,
+}
+
+impl Pla {
+    /// Creates an empty specification.
+    pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
+        Self { num_inputs, num_outputs, rows: Vec::new() }
+    }
+
+    /// Number of input variables.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.num_outputs
+    }
+
+    /// The specification rows.
+    pub fn rows(&self) -> &[PlaRow] {
+        &self.rows
+    }
+
+    /// Adds a row given as cube strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns width or symbol errors if the strings do not match the
+    /// declared interface.
+    pub fn add_row(&mut self, inputs: &str, outputs: &str) -> Result<()> {
+        let row = PlaRow::parse(inputs, outputs)?;
+        self.push_row(row)
+    }
+
+    /// Adds an already-parsed row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::WidthMismatch`] if the row widths do not match.
+    pub fn push_row(&mut self, row: PlaRow) -> Result<()> {
+        if row.inputs.len() != self.num_inputs {
+            return Err(Error::WidthMismatch { expected: self.num_inputs, found: row.inputs.len() });
+        }
+        if row.outputs.len() != self.num_outputs {
+            return Err(Error::WidthMismatch {
+                expected: self.num_outputs,
+                found: row.outputs.len(),
+            });
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// The ON-set as a multi-output cover: one cube per row, with the output
+    /// set containing the outputs specified `1`.  Rows without any `1`
+    /// output are omitted.
+    pub fn on_cover(&self) -> Cover {
+        let cubes: Vec<Cube> = self
+            .rows
+            .iter()
+            .filter_map(|row| {
+                let outputs: Vec<bool> =
+                    row.outputs.iter().map(|t| matches!(t, Trit::One)).collect();
+                if outputs.iter().any(|&b| b) {
+                    Some(Cube::new(row.inputs.clone(), outputs))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Cover::from_cubes(self.num_inputs, self.num_outputs, cubes)
+            .expect("rows validated at insertion")
+    }
+
+    /// The OFF-set as a multi-output cover: one cube per row, with the output
+    /// set containing the outputs specified `0`.
+    pub fn off_cover(&self) -> Cover {
+        let cubes: Vec<Cube> = self
+            .rows
+            .iter()
+            .filter_map(|row| {
+                let outputs: Vec<bool> =
+                    row.outputs.iter().map(|t| matches!(t, Trit::Zero)).collect();
+                if outputs.iter().any(|&b| b) {
+                    Some(Cube::new(row.inputs.clone(), outputs))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Cover::from_cubes(self.num_inputs, self.num_outputs, cubes)
+            .expect("rows validated at insertion")
+    }
+
+    /// Checks that no two rows assert conflicting values (0 vs 1) for the
+    /// same output on intersecting input cubes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Inconsistent`] naming the first conflicting pair.
+    pub fn check_consistent(&self) -> Result<()> {
+        for i in 0..self.rows.len() {
+            for j in (i + 1)..self.rows.len() {
+                let (a, b) = (&self.rows[i], &self.rows[j]);
+                let intersect = a
+                    .inputs
+                    .iter()
+                    .zip(&b.inputs)
+                    .all(|(x, y)| !matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)));
+                if !intersect {
+                    continue;
+                }
+                for (k, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
+                    if matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)) {
+                        return Err(Error::Inconsistent { first: i, second: j, output: k });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The value of output `j` on a concrete input vector according to the
+    /// specification: `Some(true/false)` if a row specifies it, `None` if it
+    /// is a don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` or the vector width is out of range.
+    pub fn specified_value(&self, bits: &[bool], output: usize) -> Option<bool> {
+        assert!(output < self.num_outputs, "output index out of range");
+        assert_eq!(bits.len(), self.num_inputs, "input vector width mismatch");
+        for row in &self.rows {
+            if row.inputs.iter().zip(bits).all(|(t, &b)| t.matches(b)) {
+                match row.outputs[output] {
+                    Trit::One => return Some(true),
+                    Trit::Zero => return Some(false),
+                    Trit::DontCare => {}
+                }
+            }
+        }
+        None
+    }
+
+    /// Parses an espresso-style `.pla` text (directives `.i`, `.o`, `.p`,
+    /// `.type`, `.e` are understood; others are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParsePla`] with line information on malformed input.
+    pub fn parse(text: &str) -> Result<Self> {
+        let mut num_inputs = None;
+        let mut num_outputs = None;
+        let mut rows = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('.') {
+                let mut parts = rest.split_whitespace();
+                match parts.next().unwrap_or("") {
+                    "i" => {
+                        num_inputs = Some(parse_number(parts.next(), line_no)?);
+                    }
+                    "o" => {
+                        num_outputs = Some(parse_number(parts.next(), line_no)?);
+                    }
+                    "e" | "end" => break,
+                    // .p, .type, .ilb, .ob and friends carry no semantic
+                    // information for this reader.
+                    _ => {}
+                }
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            if fields.len() != 2 {
+                return Err(Error::ParsePla {
+                    line: line_no,
+                    message: format!("expected `<inputs> <outputs>`, found {} fields", fields.len()),
+                });
+            }
+            rows.push((line_no, fields[0].to_string(), fields[1].to_string()));
+        }
+        let num_inputs = num_inputs
+            .or_else(|| rows.first().map(|r| r.1.len()))
+            .ok_or(Error::ParsePla { line: 0, message: "no .i directive and no rows".into() })?;
+        let num_outputs = num_outputs
+            .or_else(|| rows.first().map(|r| r.2.len()))
+            .ok_or(Error::ParsePla { line: 0, message: "no .o directive and no rows".into() })?;
+        let mut pla = Pla::new(num_inputs, num_outputs);
+        for (line_no, i, o) in rows {
+            let row = PlaRow::parse(&i, &o)
+                .map_err(|e| Error::ParsePla { line: line_no, message: e.to_string() })?;
+            pla.push_row(row)
+                .map_err(|e| Error::ParsePla { line: line_no, message: e.to_string() })?;
+        }
+        Ok(pla)
+    }
+
+    /// Serialises the specification in espresso `.pla` syntax (type `fr`).
+    pub fn to_pla_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(".i {}\n.o {}\n.p {}\n.type fr\n", self.num_inputs, self.num_outputs, self.rows.len()));
+        for row in &self.rows {
+            out.push_str(&format!("{} {}\n", row.inputs_string(), row.outputs_string()));
+        }
+        out.push_str(".e\n");
+        out
+    }
+}
+
+fn parse_number(field: Option<&str>, line: usize) -> Result<usize> {
+    field
+        .ok_or(Error::ParsePla { line, message: "missing numeric argument".into() })?
+        .parse()
+        .map_err(|_| Error::ParsePla { line, message: "argument is not a number".into() })
+}
+
+impl fmt::Display for Pla {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pla_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_pla() -> Pla {
+        let mut pla = Pla::new(2, 1);
+        pla.add_row("01", "1").unwrap();
+        pla.add_row("10", "1").unwrap();
+        pla.add_row("00", "0").unwrap();
+        pla.add_row("11", "0").unwrap();
+        pla
+    }
+
+    #[test]
+    fn construction_and_covers() {
+        let pla = xor_pla();
+        assert_eq!(pla.num_inputs(), 2);
+        assert_eq!(pla.num_outputs(), 1);
+        assert_eq!(pla.rows().len(), 4);
+        assert_eq!(pla.on_cover().len(), 2);
+        assert_eq!(pla.off_cover().len(), 2);
+        assert!(pla.check_consistent().is_ok());
+    }
+
+    #[test]
+    fn width_and_symbol_validation() {
+        let mut pla = Pla::new(2, 1);
+        assert!(pla.add_row("011", "1").is_err());
+        assert!(pla.add_row("01", "10").is_err());
+        assert!(pla.add_row("0x", "1").is_err());
+        assert!(pla.add_row("01", "z").is_err());
+    }
+
+    #[test]
+    fn specified_value_semantics() {
+        let mut pla = Pla::new(2, 2);
+        pla.add_row("0-", "1-").unwrap();
+        pla.add_row("11", "01").unwrap();
+        assert_eq!(pla.specified_value(&[false, true], 0), Some(true));
+        assert_eq!(pla.specified_value(&[false, true], 1), None);
+        assert_eq!(pla.specified_value(&[true, true], 1), Some(true));
+        assert_eq!(pla.specified_value(&[true, false], 0), None);
+    }
+
+    #[test]
+    fn inconsistency_detection() {
+        let mut pla = Pla::new(2, 1);
+        pla.add_row("0-", "1").unwrap();
+        pla.add_row("00", "0").unwrap();
+        assert!(matches!(pla.check_consistent(), Err(Error::Inconsistent { output: 0, .. })));
+        let mut ok = Pla::new(2, 1);
+        ok.add_row("0-", "1").unwrap();
+        ok.add_row("1-", "0").unwrap();
+        assert!(ok.check_consistent().is_ok());
+    }
+
+    #[test]
+    fn pla_text_round_trip() {
+        let pla = xor_pla();
+        let text = pla.to_pla_text();
+        assert!(text.contains(".i 2"));
+        assert!(text.contains(".type fr"));
+        let parsed = Pla::parse(&text).unwrap();
+        assert_eq!(parsed, pla);
+        assert_eq!(pla.to_string(), text);
+    }
+
+    #[test]
+    fn parse_without_directives_infers_widths() {
+        let parsed = Pla::parse("01 1\n10 1\n").unwrap();
+        assert_eq!(parsed.num_inputs(), 2);
+        assert_eq!(parsed.num_outputs(), 1);
+        assert_eq!(parsed.rows().len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        assert!(matches!(
+            Pla::parse(".i 2\n.o 1\n0 1 1\n"),
+            Err(Error::ParsePla { line: 3, .. })
+        ));
+        assert!(matches!(
+            Pla::parse(".i 2\n.o 1\n0x 1\n"),
+            Err(Error::ParsePla { line: 3, .. })
+        ));
+        assert!(matches!(Pla::parse(""), Err(Error::ParsePla { .. })));
+    }
+
+    #[test]
+    fn rows_without_ones_are_not_in_on_cover() {
+        let mut pla = Pla::new(2, 2);
+        pla.add_row("00", "00").unwrap();
+        pla.add_row("01", "0-").unwrap();
+        assert!(pla.on_cover().is_empty());
+        assert_eq!(pla.off_cover().len(), 2);
+    }
+}

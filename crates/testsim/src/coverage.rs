@@ -1,0 +1,381 @@
+//! Self-test fault-coverage campaigns.
+//!
+//! A campaign drives the synthesized netlist with random primary-input
+//! patterns, stimulates the state lines the way the chosen BIST structure
+//! does, and checks for every single stuck-at fault whether the response at
+//! the observation points ever deviates from the fault-free machine:
+//!
+//! * **DFF / PAT / SIG** — the state lines are driven by a pattern-generation
+//!   register, so every cycle applies an (almost) independent random state
+//!   to the combinational logic ("random state" stimulation);
+//! * **PST** — there is no pattern-generation mode at all: after a scan
+//!   initialisation the state register follows the *system* behaviour, so the
+//!   state lines only take values the machine actually reaches ("system
+//!   state" stimulation).  This is exactly the effect that makes the PST test
+//!   somewhat longer for the same confidence (the ≈ 30 % of [EsWu 91]).
+//!
+//! Signature aliasing is not modelled cycle by cycle; the standard `2^{-r}`
+//! masking probability of an `r`-bit MISR is reported alongside the results.
+
+use crate::faults::{Fault, FaultList};
+use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
+use crate::sim::Simulator;
+use stfsm_bist::netlist::Netlist;
+use stfsm_bist::BistStructure;
+
+/// How the state lines are stimulated during self-test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateStimulation {
+    /// The state register acts as a pattern generator (DFF, PAT, SIG).
+    RandomState,
+    /// The state register follows the system behaviour (PST).
+    SystemState,
+}
+
+impl StateStimulation {
+    /// The stimulation mode implied by a BIST structure.
+    pub fn for_structure(structure: BistStructure) -> Self {
+        match structure {
+            BistStructure::Dff | BistStructure::Pat | BistStructure::Sig => {
+                StateStimulation::RandomState
+            }
+            BistStructure::Pst => StateStimulation::SystemState,
+        }
+    }
+}
+
+/// Configuration of a self-test campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfTestConfig {
+    /// Maximum number of test patterns (clock cycles) applied.
+    pub max_patterns: usize,
+    /// Seed of the pattern generators.
+    pub seed: u64,
+    /// Optional per-input one-probabilities (weighted random test); `None`
+    /// uses unbiased patterns.
+    pub input_weights: Option<Vec<f64>>,
+    /// Use the structurally collapsed fault list instead of the full one.
+    pub collapse_faults: bool,
+    /// Keep only every n-th fault (1 = all faults); used to bound campaigns
+    /// on very large netlists.
+    pub fault_sample: usize,
+    /// Override of the state stimulation mode; `None` derives it from the
+    /// netlist's structure.
+    pub stimulation: Option<StateStimulation>,
+}
+
+impl Default for SelfTestConfig {
+    fn default() -> Self {
+        Self {
+            max_patterns: 2048,
+            seed: 0xBEEF_1991,
+            input_weights: None,
+            collapse_faults: true,
+            fault_sample: 1,
+            stimulation: None,
+        }
+    }
+}
+
+/// The outcome of a self-test campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageResult {
+    /// The structure of the netlist under test.
+    pub structure: BistStructure,
+    /// The stimulation mode that was used.
+    pub stimulation: StateStimulation,
+    /// Number of faults simulated.
+    pub total_faults: usize,
+    /// Number of faults whose effect reached an observation point.
+    pub detected_faults: usize,
+    /// Number of patterns applied.
+    pub patterns_applied: usize,
+    /// For every fault: the index of the first pattern that detected it.
+    pub detection_pattern: Vec<Option<usize>>,
+    /// `(patterns, coverage)` checkpoints for plotting the coverage curve.
+    pub coverage_curve: Vec<(usize, f64)>,
+    /// The signature-aliasing probability of the response compactor
+    /// (`2^{-r}` for the `r` observation bits of the structure).
+    pub aliasing_probability: f64,
+}
+
+impl CoverageResult {
+    /// Final fault coverage (detected / total).
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            1.0
+        } else {
+            self.detected_faults as f64 / self.total_faults as f64
+        }
+    }
+
+    /// The smallest number of patterns after which the coverage reaches
+    /// `target` (0 < target ≤ 1), or `None` if it never does within the
+    /// campaign.
+    pub fn test_length_for_coverage(&self, target: f64) -> Option<usize> {
+        if self.total_faults == 0 {
+            return Some(0);
+        }
+        let needed = (target * self.total_faults as f64).ceil() as usize;
+        let mut times: Vec<usize> = self.detection_pattern.iter().flatten().copied().collect();
+        if times.len() < needed {
+            return None;
+        }
+        times.sort_unstable();
+        Some(times[needed - 1] + 1)
+    }
+
+    /// Faults that escaped the campaign.
+    pub fn undetected_faults(&self) -> usize {
+        self.total_faults - self.detected_faults
+    }
+}
+
+/// Runs a self-test campaign on a netlist.
+pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResult {
+    let stimulation =
+        config.stimulation.unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
+    let fault_list = if config.collapse_faults {
+        FaultList::collapsed(netlist)
+    } else {
+        FaultList::full(netlist)
+    };
+    let fault_list = fault_list.sampled(config.fault_sample.max(1));
+
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+
+    // Pre-generate the stimulus so the fault-free and every faulty machine
+    // see exactly the same sequence.
+    let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
+        Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
+        None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
+    };
+    let mut state_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
+    let stimulus: Vec<(Vec<bool>, Vec<bool>)> = (0..config.max_patterns)
+        .map(|_| {
+            let pi = if num_inputs == 0 { Vec::new() } else { pi_source.next_pattern() };
+            let st = state_source.next_pattern();
+            (pi, st)
+        })
+        .collect();
+
+    // Fault-free reference responses.
+    let good = simulate(netlist, None, &stimulus, stimulation, None);
+
+    // Faulty machines: simulate until the first mismatch (fault dropping).
+    let mut detection_pattern = Vec::with_capacity(fault_list.len());
+    for fault in &fault_list {
+        let detected_at = simulate(netlist, Some(*fault), &stimulus, stimulation, Some(&good));
+        detection_pattern.push(detected_at.first_mismatch);
+    }
+
+    let detected_faults = detection_pattern.iter().filter(|d| d.is_some()).count();
+    let total_faults = fault_list.len();
+
+    // Coverage curve at roughly 32 checkpoints.
+    let mut coverage_curve = Vec::new();
+    let step = (config.max_patterns / 32).max(1);
+    let mut checkpoint = 1;
+    while checkpoint <= config.max_patterns {
+        let covered = detection_pattern.iter().flatten().filter(|&&p| p < checkpoint).count();
+        coverage_curve.push((checkpoint, if total_faults == 0 { 1.0 } else { covered as f64 / total_faults as f64 }));
+        checkpoint += step;
+    }
+
+    let r = netlist.observation_points().len();
+    CoverageResult {
+        structure: netlist.structure(),
+        stimulation,
+        total_faults,
+        detected_faults,
+        patterns_applied: config.max_patterns,
+        detection_pattern,
+        coverage_curve,
+        aliasing_probability: (0.5f64).powi(r.min(64) as i32),
+    }
+}
+
+/// Result of one machine simulation.
+struct SimulationOutcome {
+    /// Observation vectors per cycle (only kept for the fault-free run).
+    observations: Vec<Vec<bool>>,
+    /// First cycle at which the observations differed from the reference.
+    first_mismatch: Option<usize>,
+}
+
+fn simulate(
+    netlist: &Netlist,
+    fault: Option<Fault>,
+    stimulus: &[(Vec<bool>, Vec<bool>)],
+    stimulation: StateStimulation,
+    reference: Option<&SimulationOutcome>,
+) -> SimulationOutcome {
+    let mut sim = match fault {
+        Some(f) => Simulator::with_fault(netlist, f),
+        None => Simulator::new(netlist),
+    };
+    // Scan initialisation: load the first random state.
+    if let Some((_, st)) = stimulus.first() {
+        sim.set_state(st);
+    }
+    let keep_observations = reference.is_none();
+    let mut observations = Vec::with_capacity(if keep_observations { stimulus.len() } else { 0 });
+    let mut first_mismatch = None;
+
+    for (cycle, (pi, st)) in stimulus.iter().enumerate() {
+        if stimulation == StateStimulation::RandomState {
+            // The pattern-generation register overrides the state each cycle.
+            sim.set_state(st);
+        }
+        sim.evaluate(pi);
+        let obs = sim.observations();
+        if let Some(reference) = reference {
+            if obs != reference.observations[cycle] {
+                first_mismatch = Some(cycle);
+                break;
+            }
+        }
+        if keep_observations {
+            observations.push(obs);
+        }
+        sim.clock();
+    }
+    SimulationOutcome { observations, first_mismatch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_encode::StateEncoding;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_fsm::Fsm;
+    use stfsm_lfsr::{primitive_polynomial, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn netlist_for(fsm: &Fsm, structure: BistStructure) -> Netlist {
+        let encoding = StateEncoding::natural(fsm).unwrap();
+        let r = encoding.num_bits();
+        match structure {
+            BistStructure::Dff => {
+                let transform = RegisterTransform::Dff;
+                let pla = build_pla(fsm, &encoding, &transform).unwrap();
+                let cover = minimize(&pla).cover;
+                let lay = layout(fsm, &encoding, &transform);
+                build_netlist(fsm.name(), &cover, &lay, BistStructure::Dff, None).unwrap()
+            }
+            BistStructure::Sig | BistStructure::Pst => {
+                let poly = primitive_polynomial(r).unwrap();
+                let transform = RegisterTransform::Misr(Misr::new(poly).unwrap());
+                let pla = build_pla(fsm, &encoding, &transform).unwrap();
+                let cover = minimize(&pla).cover;
+                let lay = layout(fsm, &encoding, &transform);
+                build_netlist(fsm.name(), &cover, &lay, structure, Some(poly)).unwrap()
+            }
+            BistStructure::Pat => unreachable!("not used in these tests"),
+        }
+    }
+
+    #[test]
+    fn dff_self_test_reaches_high_coverage() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
+        assert_eq!(result.stimulation, StateStimulation::RandomState);
+        assert!(result.fault_coverage() > 0.9, "coverage {}", result.fault_coverage());
+        assert!(result.total_faults > 0);
+        assert_eq!(result.patterns_applied, 512);
+        assert!(result.aliasing_probability < 0.5);
+    }
+
+    #[test]
+    fn pst_self_test_reaches_high_coverage() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Pst);
+        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
+        assert_eq!(result.stimulation, StateStimulation::SystemState);
+        assert!(result.fault_coverage() > 0.85, "coverage {}", result.fault_coverage());
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let fsm = modulo12_exact().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 256, ..Default::default() });
+        let mut last = 0.0;
+        for &(_, c) in &result.coverage_curve {
+            assert!(c >= last - 1e-12);
+            last = c;
+        }
+        assert!(!result.coverage_curve.is_empty());
+    }
+
+    #[test]
+    fn test_length_for_coverage_is_consistent() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
+        let half = result.test_length_for_coverage(0.5).expect("should reach 50% quickly");
+        let ninety = result.test_length_for_coverage(0.9).expect("should reach 90%");
+        assert!(half <= ninety);
+        assert!(result.test_length_for_coverage(1.01).is_none() || result.fault_coverage() >= 1.0);
+        assert_eq!(result.undetected_faults(), result.total_faults - result.detected_faults);
+    }
+
+    #[test]
+    fn weighted_patterns_and_sampling_are_supported() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let config = SelfTestConfig {
+            max_patterns: 128,
+            input_weights: Some(vec![0.7]),
+            fault_sample: 2,
+            collapse_faults: false,
+            ..Default::default()
+        };
+        let result = run_self_test(&netlist, &config);
+        assert!(result.total_faults > 0);
+        assert!(result.fault_coverage() > 0.0);
+    }
+
+    #[test]
+    fn reproducible_with_same_seed() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Pst);
+        let cfg = SelfTestConfig { max_patterns: 128, ..Default::default() };
+        let a = run_self_test(&netlist, &cfg);
+        let b = run_self_test(&netlist, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stimulation_override_is_honoured() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Pst);
+        let cfg = SelfTestConfig {
+            max_patterns: 128,
+            stimulation: Some(StateStimulation::RandomState),
+            ..Default::default()
+        };
+        let result = run_self_test(&netlist, &cfg);
+        assert_eq!(result.stimulation, StateStimulation::RandomState);
+    }
+
+    #[test]
+    fn structure_to_stimulation_mapping() {
+        assert_eq!(
+            StateStimulation::for_structure(BistStructure::Dff),
+            StateStimulation::RandomState
+        );
+        assert_eq!(
+            StateStimulation::for_structure(BistStructure::Sig),
+            StateStimulation::RandomState
+        );
+        assert_eq!(
+            StateStimulation::for_structure(BistStructure::Pst),
+            StateStimulation::SystemState
+        );
+    }
+}

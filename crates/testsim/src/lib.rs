@@ -1,0 +1,49 @@
+//! Gate-level simulation and stuck-at fault simulation for self-testable
+//! controllers.
+//!
+//! The paper's Table 1 rows "test length", "fault coverage" and "dynamic
+//! fault detection" rest on an analysis of how the different BIST structures
+//! stimulate and observe the next-state logic ([EsWu 91]).  This crate makes
+//! those rows measurable for the synthesized netlists of `stfsm-bist`:
+//!
+//! * [`sim`] — a deterministic gate-level simulator (combinational evaluation
+//!   plus sequential stepping of the state register),
+//! * [`faults`] — single stuck-at fault enumeration and collapsing,
+//! * [`patterns`] — pseudo-random and weighted-random primary-input sources,
+//! * [`coverage`] — self-test campaigns: fault coverage over pattern count,
+//!   test length to reach a target coverage, and the comparison between the
+//!   "random state" stimulation of DFF/PAT/SIG and the "system state"
+//!   stimulation of the parallel self-test (PST).
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_fsm::suite::fig3_example;
+//! use stfsm_encode::StateEncoding;
+//! use stfsm_bist::{BistStructure, excitation::{build_pla, layout, RegisterTransform}, netlist::build_netlist};
+//! use stfsm_logic::espresso::minimize;
+//! use stfsm_testsim::coverage::{run_self_test, SelfTestConfig};
+//!
+//! let fsm = fig3_example()?;
+//! let encoding = StateEncoding::natural(&fsm)?;
+//! let transform = RegisterTransform::Dff;
+//! let pla = build_pla(&fsm, &encoding, &transform)?;
+//! let cover = minimize(&pla).cover;
+//! let lay = layout(&fsm, &encoding, &transform);
+//! let netlist = build_netlist("fig3", &cover, &lay, BistStructure::Dff, None)?;
+//! let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 256, ..SelfTestConfig::default() });
+//! assert!(result.fault_coverage() > 0.5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coverage;
+pub mod faults;
+pub mod patterns;
+pub mod sim;
+
+pub use coverage::{run_self_test, CoverageResult, SelfTestConfig};
+pub use faults::{Fault, FaultList, FaultSite};
+pub use sim::Simulator;

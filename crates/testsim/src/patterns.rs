@@ -1,0 +1,170 @@
+//! Primary-input pattern sources for the self-test.
+//!
+//! The paper's testability analysis ([EsWu 91]) assumes the primary inputs
+//! are driven by a (possibly weighted) random pattern generator while the
+//! state lines are stimulated either by the pattern-generation register
+//! (DFF/PAT/SIG) or by the system behaviour itself (PST).  This module
+//! provides the input sources: unbiased pseudo-random patterns and weighted
+//! random patterns with per-input one-probabilities.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of primary-input patterns.
+pub trait PatternSource {
+    /// The next input vector.
+    fn next_pattern(&mut self) -> Vec<bool>;
+
+    /// Number of input bits per pattern.
+    fn width(&self) -> usize;
+}
+
+/// Unbiased pseudo-random patterns (probability ½ per input).
+#[derive(Debug, Clone)]
+pub struct RandomPatterns {
+    width: usize,
+    rng: StdRng,
+}
+
+impl RandomPatterns {
+    /// Creates a source of `width`-bit patterns from a seed.
+    pub fn new(width: usize, seed: u64) -> Self {
+        Self { width, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl PatternSource for RandomPatterns {
+    fn next_pattern(&mut self) -> Vec<bool> {
+        (0..self.width).map(|_| self.rng.gen_bool(0.5)).collect()
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// Weighted random patterns: each input has its own probability of being 1.
+///
+/// Weighted patterns are the paper's answer to hard-to-stimulate inputs; for
+/// some circuits several different weight sets are needed to reach acceptable
+/// test lengths (Section 2.5).
+#[derive(Debug, Clone)]
+pub struct WeightedPatterns {
+    weights: Vec<f64>,
+    rng: StdRng,
+}
+
+impl WeightedPatterns {
+    /// Creates a weighted source; `weights[i]` is the probability that input
+    /// `i` is 1 (clamped to `[0, 1]`).
+    pub fn new(weights: Vec<f64>, seed: u64) -> Self {
+        let weights = weights.into_iter().map(|w| w.clamp(0.0, 1.0)).collect();
+        Self { weights, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The per-input weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl PatternSource for WeightedPatterns {
+    fn next_pattern(&mut self) -> Vec<bool> {
+        self.weights.iter().map(|&w| self.rng.gen_bool(w)).collect()
+    }
+
+    fn width(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+/// An exhaustive counter source (useful for very small input counts and for
+/// deterministic tests).
+#[derive(Debug, Clone)]
+pub struct ExhaustivePatterns {
+    width: usize,
+    counter: u64,
+}
+
+impl ExhaustivePatterns {
+    /// Creates a counting source of `width`-bit patterns (width ≤ 32).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` exceeds 32.
+    pub fn new(width: usize) -> Self {
+        assert!(width <= 32, "exhaustive patterns limited to 32 inputs");
+        Self { width, counter: 0 }
+    }
+}
+
+impl PatternSource for ExhaustivePatterns {
+    fn next_pattern(&mut self) -> Vec<bool> {
+        let v = self.counter;
+        self.counter = self.counter.wrapping_add(1);
+        (0..self.width).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn width(&self) -> usize {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_patterns_are_reproducible() {
+        let mut a = RandomPatterns::new(8, 42);
+        let mut b = RandomPatterns::new(8, 42);
+        for _ in 0..10 {
+            assert_eq!(a.next_pattern(), b.next_pattern());
+        }
+        assert_eq!(a.width(), 8);
+        let mut c = RandomPatterns::new(8, 43);
+        let differs = (0..10).any(|_| a.next_pattern() != c.next_pattern());
+        assert!(differs);
+    }
+
+    #[test]
+    fn weighted_patterns_respect_extreme_weights() {
+        let mut always = WeightedPatterns::new(vec![1.0, 0.0, 1.0], 1);
+        for _ in 0..20 {
+            assert_eq!(always.next_pattern(), vec![true, false, true]);
+        }
+        assert_eq!(always.width(), 3);
+        assert_eq!(always.weights(), &[1.0, 0.0, 1.0]);
+        // Out-of-range weights are clamped rather than panicking.
+        let mut clamped = WeightedPatterns::new(vec![2.0, -1.0], 1);
+        assert_eq!(clamped.next_pattern(), vec![true, false]);
+    }
+
+    #[test]
+    fn weighted_patterns_are_biased() {
+        let mut biased = WeightedPatterns::new(vec![0.9; 4], 7);
+        let ones: usize =
+            (0..200).map(|_| biased.next_pattern().iter().filter(|&&b| b).count()).sum();
+        // Expectation is 720 of 800; allow generous slack.
+        assert!(ones > 600, "ones = {ones}");
+    }
+
+    #[test]
+    fn exhaustive_patterns_count_through_the_space() {
+        let mut e = ExhaustivePatterns::new(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..8 {
+            seen.insert(e.next_pattern());
+        }
+        assert_eq!(seen.len(), 8);
+        assert_eq!(e.width(), 3);
+        // wraps around afterwards
+        assert_eq!(e.next_pattern(), vec![false, false, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited to 32")]
+    fn exhaustive_patterns_reject_wide_inputs() {
+        let _ = ExhaustivePatterns::new(33);
+    }
+}

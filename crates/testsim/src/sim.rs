@@ -1,0 +1,312 @@
+//! Deterministic gate-level simulation.
+
+use crate::faults::{Fault, FaultSite};
+use stfsm_bist::netlist::{Gate, Netlist};
+
+/// A gate-level simulator for one [`Netlist`].
+///
+/// The simulator separates combinational evaluation from the sequential
+/// update of the state register, mirroring how the BIST structures operate:
+/// every clock cycle the combinational logic is evaluated for the current
+/// primary inputs and register state, the observation points are sampled
+/// (that is what the signature register compacts), and then the flip-flops
+/// load their D inputs.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    state: Vec<bool>,
+    fault: Option<Fault>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a fault-free simulator with the register initialised to zero.
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self {
+            netlist,
+            values: vec![false; netlist.gates().len()],
+            state: vec![false; netlist.flip_flops().len()],
+            fault: None,
+        }
+    }
+
+    /// Creates a simulator with a single stuck-at fault injected.
+    pub fn with_fault(netlist: &'a Netlist, fault: Fault) -> Self {
+        let mut sim = Self::new(netlist);
+        sim.fault = Some(fault);
+        sim
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// The current register state (stage 1 first).
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Overrides the register state (used to model the scan-based
+    /// initialisation of the self-test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of flip-flops.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Evaluates the combinational logic for the given primary inputs and the
+    /// current register state.  Returns nothing; use the probe methods to
+    /// read nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.netlist.primary_inputs().len(),
+            "primary input width mismatch"
+        );
+        let mut input_iter = 0usize;
+        for (id, gate) in self.netlist.gates().iter().enumerate() {
+            let value = match gate {
+                Gate::Input { .. } => {
+                    let v = inputs[input_iter];
+                    input_iter += 1;
+                    v
+                }
+                Gate::FlipFlopOutput { flip_flop } => self.state[*flip_flop],
+                Gate::Constant(c) => *c,
+                Gate::And(ins) => ins.iter().enumerate().all(|(pin, &n)| self.pin_value(id, pin, n)),
+                Gate::Or(ins) => ins.iter().enumerate().any(|(pin, &n)| self.pin_value(id, pin, n)),
+                Gate::Xor(ins) => ins
+                    .iter()
+                    .enumerate()
+                    .fold(false, |acc, (pin, &n)| acc ^ self.pin_value(id, pin, n)),
+                Gate::Not(a) => !self.pin_value(id, 0, *a),
+            };
+            self.values[id] = self.apply_output_fault(id, value);
+        }
+    }
+
+    fn pin_value(&self, gate: usize, pin: usize, source: usize) -> bool {
+        if let Some(fault) = &self.fault {
+            if let FaultSite::GateInput { gate: fg, pin: fp } = fault.site {
+                if fg == gate && fp == pin {
+                    return fault.stuck_at;
+                }
+            }
+        }
+        self.values[source]
+    }
+
+    fn apply_output_fault(&self, net: usize, value: bool) -> bool {
+        if let Some(fault) = &self.fault {
+            if let FaultSite::GateOutput(fn_) = fault.site {
+                if fn_ == net {
+                    return fault.stuck_at;
+                }
+            }
+        }
+        value
+    }
+
+    /// The value of a net after the last [`Simulator::evaluate`] call.
+    pub fn net(&self, net: usize) -> bool {
+        self.values[net]
+    }
+
+    /// The primary output values after the last evaluation.
+    pub fn outputs(&self) -> Vec<bool> {
+        self.netlist.primary_outputs().iter().map(|&n| self.values[n]).collect()
+    }
+
+    /// The observation-point values after the last evaluation (what the
+    /// response compactor sees this cycle).
+    pub fn observations(&self) -> Vec<bool> {
+        self.netlist.observation_points().iter().map(|&n| self.values[n]).collect()
+    }
+
+    /// Loads the flip-flops from their D inputs (one clock edge).
+    pub fn clock(&mut self) {
+        let next: Vec<bool> =
+            self.netlist.flip_flops().iter().map(|ff| self.values[ff.d]).collect();
+        self.state.copy_from_slice(&next);
+    }
+
+    /// Convenience: evaluate, sample the observation points, clock.
+    pub fn cycle(&mut self, inputs: &[bool]) -> Vec<bool> {
+        self.evaluate(inputs);
+        let obs = self.observations();
+        self.clock();
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_bist::BistStructure;
+    use stfsm_encode::StateEncoding;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_fsm::{Fsm, StateId};
+    use stfsm_lfsr::{primitive_polynomial, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn dff_netlist(fsm: &Fsm) -> (stfsm_bist::netlist::Netlist, StateEncoding) {
+        let encoding = StateEncoding::natural(fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(fsm, &encoding, &transform);
+        (build_netlist(fsm.name(), &cover, &lay, BistStructure::Dff, None).unwrap(), encoding)
+    }
+
+    fn pst_netlist(fsm: &Fsm) -> (stfsm_bist::netlist::Netlist, StateEncoding, Misr) {
+        let encoding = StateEncoding::natural(fsm).unwrap();
+        let poly = primitive_polynomial(encoding.num_bits()).unwrap();
+        let misr = Misr::new(poly).unwrap();
+        let transform = RegisterTransform::Misr(misr.clone());
+        let pla = build_pla(fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(fsm, &encoding, &transform);
+        (
+            build_netlist(fsm.name(), &cover, &lay, BistStructure::Pst, Some(poly)).unwrap(),
+            encoding,
+            misr,
+        )
+    }
+
+    /// Drive the synthesized netlist and the symbolic machine in lockstep and
+    /// compare outputs and state codes — the fundamental correctness check of
+    /// the entire synthesis flow.
+    fn check_against_fsm(
+        fsm: &Fsm,
+        netlist: &stfsm_bist::netlist::Netlist,
+        encoding: &StateEncoding,
+        cycles: usize,
+    ) {
+        let mut sim = Simulator::new(netlist);
+        let reset = fsm.reset_state().unwrap_or(StateId(0));
+        let reset_code = encoding.code(reset);
+        let bits: Vec<bool> = (0..encoding.num_bits()).map(|b| reset_code.bit(b)).collect();
+        sim.set_state(&bits);
+        let mut symbolic = reset;
+        let mut lcg = 0x12345678u64;
+        for cycle in 0..cycles {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let inputs: Vec<bool> =
+                (0..fsm.num_inputs()).map(|i| (lcg >> (i + 7)) & 1 == 1).collect();
+            let Some((next, output)) = fsm.step(symbolic, &inputs) else {
+                // Unspecified input combination: symbolic machine stalls, skip.
+                continue;
+            };
+            sim.evaluate(&inputs);
+            // Primary outputs must match wherever the machine specifies them.
+            let sim_outputs = sim.outputs();
+            for (j, trit) in output.trits().iter().enumerate() {
+                match trit {
+                    stfsm_fsm::TritValue::One => assert!(sim_outputs[j], "cycle {cycle} output {j}"),
+                    stfsm_fsm::TritValue::Zero => {
+                        assert!(!sim_outputs[j], "cycle {cycle} output {j}")
+                    }
+                    stfsm_fsm::TritValue::DontCare => {}
+                }
+            }
+            sim.clock();
+            if let Some(next) = next {
+                let expected = encoding.code(next);
+                for b in 0..encoding.num_bits() {
+                    assert_eq!(sim.state()[b], expected.bit(b), "cycle {cycle} state bit {b}");
+                }
+                symbolic = next;
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn dff_netlist_reproduces_the_machine() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, encoding) = dff_netlist(&fsm);
+        check_against_fsm(&fsm, &netlist, &encoding, 50);
+    }
+
+    #[test]
+    fn dff_netlist_reproduces_the_counter() {
+        let fsm = modulo12_exact().unwrap();
+        let (netlist, encoding) = dff_netlist(&fsm);
+        check_against_fsm(&fsm, &netlist, &encoding, 100);
+    }
+
+    #[test]
+    fn pst_netlist_reproduces_the_machine_through_the_misr() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, encoding, _misr) = pst_netlist(&fsm);
+        check_against_fsm(&fsm, &netlist, &encoding, 50);
+    }
+
+    #[test]
+    fn pst_netlist_reproduces_the_counter_through_the_misr() {
+        let fsm = modulo12_exact().unwrap();
+        let (netlist, encoding, _misr) = pst_netlist(&fsm);
+        check_against_fsm(&fsm, &netlist, &encoding, 100);
+    }
+
+    #[test]
+    fn fault_injection_changes_behaviour() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _encoding) = dff_netlist(&fsm);
+        // Find an AND gate to break.
+        let target = netlist
+            .gates()
+            .iter()
+            .position(|g| matches!(g, Gate::And(_) | Gate::Or(_)))
+            .expect("netlist has logic gates");
+        let fault = Fault { site: FaultSite::GateOutput(target), stuck_at: true };
+        let mut good = Simulator::new(&netlist);
+        let mut bad = Simulator::with_fault(&netlist, fault);
+        let mut diverged = false;
+        for i in 0..32u32 {
+            let inputs = vec![i % 2 == 0];
+            let g = good.cycle(&inputs);
+            let b = bad.cycle(&inputs);
+            if g != b {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged, "a stuck-at-1 on a logic gate should be observable");
+    }
+
+    #[test]
+    fn observations_and_state_access() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let mut sim = Simulator::new(&netlist);
+        assert_eq!(sim.state().len(), 2);
+        sim.set_state(&[true, false]);
+        assert_eq!(sim.state(), &[true, false]);
+        sim.evaluate(&[true]);
+        assert_eq!(sim.observations().len(), netlist.observation_points().len());
+        assert_eq!(sim.outputs().len(), 1);
+        assert_eq!(sim.netlist().name(), "fig3");
+        let _ = sim.net(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input width mismatch")]
+    fn wrong_input_width_panics() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let mut sim = Simulator::new(&netlist);
+        sim.evaluate(&[true, false]);
+    }
+}

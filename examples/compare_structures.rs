@@ -1,0 +1,63 @@
+//! Experiment E1: the quantified version of the paper's Table 1.
+//!
+//! Synthesizes a handful of benchmark controllers for all four BIST
+//! structures and prints the structural comparison: combinational area,
+//! storage elements, control signals, data-path XORs/multiplexers, measured
+//! fault coverage and test length.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example compare_structures [benchmark ...]
+//! ```
+
+use stfsm::experiments::{table1_rows, ExperimentConfig};
+use stfsm::fsm::suite::{benchmark, fig3_example, modulo12_exact, traffic_light};
+use stfsm::fsm::Fsm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut machines: Vec<Fsm> = Vec::new();
+    if args.is_empty() {
+        machines.push(fig3_example()?);
+        machines.push(modulo12_exact()?);
+        machines.push(traffic_light()?);
+        if let Some(info) = benchmark("dk512") {
+            machines.push(info.fsm()?);
+        }
+    } else {
+        for name in &args {
+            match benchmark(name) {
+                Some(info) => machines.push(info.fsm()?),
+                None => eprintln!("unknown benchmark `{name}` (skipped)"),
+            }
+        }
+    }
+
+    let config = ExperimentConfig { max_patterns: 1024, fault_sample: 1, ..ExperimentConfig::default() };
+    println!(
+        "{:<12} {:<5} {:>6} {:>9} {:>8} {:>5} {:>5} {:>5} {:>10} {:>9} {:>8}",
+        "benchmark", "struct", "terms", "literals", "storage", "ctrl", "xor", "mux", "dyn-fault", "coverage", "test-len"
+    );
+    for fsm in &machines {
+        let rows = table1_rows(fsm, &config, true)?;
+        for row in rows {
+            println!(
+                "{:<12} {:<5} {:>6} {:>9} {:>8} {:>5} {:>5} {:>5} {:>10} {:>8.1}% {:>8}",
+                row.benchmark,
+                row.structure,
+                row.product_terms,
+                row.literals,
+                row.storage_bits,
+                row.control_signals,
+                row.xor_gates,
+                row.mode_multiplexers,
+                if row.dynamic_fault_detection { "all" } else { "partial" },
+                row.fault_coverage.unwrap_or(0.0) * 100.0,
+                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

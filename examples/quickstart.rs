@@ -1,0 +1,70 @@
+//! Quickstart: synthesize the paper's Fig. 3 example machine for every BIST
+//! structure and print what the unified flow produces.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stfsm::fsm::suite::fig3_example;
+use stfsm::lfsr::{Gf2Poly, Gf2Vec, Lfsr};
+use stfsm::{BistStructure, SynthesisFlow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The worked example of the paper (Fig. 3): a three-state controller
+    // whose transitions under input 1 coincide with the autonomous cycle of
+    // the LFSR with feedback polynomial 1 + x + x².
+    let fsm = fig3_example()?;
+    println!("machine `{}`:", fsm.name());
+    println!("{}", fsm.to_kiss2());
+
+    // The LFSR of Fig. 3b.
+    let lfsr = Lfsr::new(Gf2Poly::from_coefficients(&[0, 1, 2]))?;
+    let start = Gf2Vec::from_value(0b01, 2)?;
+    let cycle: Vec<String> = lfsr.cycle_from(start).iter().map(|s| s.to_string()).collect();
+    println!("autonomous LFSR cycle of 1 + x + x^2: {}", cycle.join(" -> "));
+    println!();
+
+    // Synthesize the machine for all four target structures.
+    println!(
+        "{:<5} {:>6} {:>9} {:>8} {:>6} {:>6}  encoding",
+        "struct", "terms", "literals", "storage", "ctrl", "xor"
+    );
+    for structure in BistStructure::ALL {
+        let result = SynthesisFlow::new(structure).synthesize(&fsm)?;
+        let codes: Vec<String> = (0..fsm.state_count())
+            .map(|i| {
+                format!(
+                    "{}={}",
+                    fsm.state_name(stfsm::fsm::StateId(i)),
+                    result.encoding.code(stfsm::fsm::StateId(i))
+                )
+            })
+            .collect();
+        println!(
+            "{:<5} {:>6} {:>9} {:>8} {:>6} {:>6}  {}",
+            structure.name(),
+            result.metrics.product_terms,
+            result.metrics.factored_literals,
+            result.metrics.storage_bits,
+            result.metrics.control_signals,
+            result.metrics.xor_gates_in_path,
+            codes.join(" ")
+        );
+        if structure == BistStructure::Pat {
+            println!(
+                "      -> {} of {} transitions follow the LFSR and need no next-state logic",
+                result.covered_transitions.len(),
+                fsm.transition_count()
+            );
+        }
+        if structure == BistStructure::Pst {
+            println!(
+                "      -> MISR feedback polynomial m(s): {}",
+                result.feedback
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Experiment E5: fault coverage and test length of the self-test for each
+//! BIST structure (the measured counterpart of Table 1's "test length" and
+//! "fault coverage" rows and of the ≈ +30 % test-length claim for PST).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example selftest_coverage [--patterns N] [benchmark ...]
+//! ```
+
+use stfsm::experiments::{coverage_comparison, ExperimentConfig};
+use stfsm::fsm::suite::{benchmark, fig3_example, modulo12_exact, traffic_light};
+use stfsm::fsm::Fsm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let patterns = args
+        .iter()
+        .position(|a| a == "--patterns")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048);
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && benchmark(a).is_some())
+        .map(String::as_str)
+        .collect();
+
+    let mut machines: Vec<Fsm> = Vec::new();
+    if named.is_empty() {
+        machines.push(fig3_example()?);
+        machines.push(modulo12_exact()?);
+        machines.push(traffic_light()?);
+    } else {
+        for name in named {
+            machines.push(benchmark(name).expect("filtered above").fsm()?);
+        }
+    }
+
+    let config = ExperimentConfig { max_patterns: patterns, target_coverage: 0.95, ..ExperimentConfig::default() };
+    for fsm in &machines {
+        let cmp = coverage_comparison(fsm, &config)?;
+        println!("benchmark `{}` ({} patterns, target coverage {:.0}%):", cmp.benchmark, patterns, cmp.target_coverage * 100.0);
+        println!(
+            "  {:<5} {:>8} {:>9} {:>9} {:>10}",
+            "struct", "faults", "detected", "coverage", "test-len"
+        );
+        for row in &cmp.rows {
+            println!(
+                "  {:<5} {:>8} {:>9} {:>8.1}% {:>10}",
+                row.structure,
+                row.total_faults,
+                row.detected_faults,
+                row.coverage * 100.0,
+                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+            );
+        }
+        match cmp.pst_vs_dff_test_length_ratio() {
+            Some(ratio) => println!("  PST / DFF test-length ratio at {:.0}% coverage: {ratio:.2} (paper: ~1.3)\n", cmp.target_coverage * 100.0),
+            None => println!("  PST / DFF test-length ratio: target coverage not reached within the pattern budget\n"),
+        }
+    }
+    Ok(())
+}

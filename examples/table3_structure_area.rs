@@ -1,0 +1,48 @@
+//! Experiment E3: reproduction of Table 3 — product terms and literals of
+//! the PST/SIG, DFF and PAT solutions.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example table3_structure_area [--full] [benchmark ...]
+//! ```
+//!
+//! Without `--full` only the small and medium benchmarks are synthesized.
+
+use stfsm::experiments::{format_table3, table3_row, ExperimentConfig};
+use stfsm::fsm::suite::{benchmark, quick_benchmarks, BENCHMARKS};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && benchmark(a).is_some())
+        .map(String::as_str)
+        .collect();
+
+    let infos: Vec<_> = if !named.is_empty() {
+        named.iter().filter_map(|n| benchmark(n)).collect()
+    } else if full {
+        BENCHMARKS.iter().collect()
+    } else {
+        quick_benchmarks()
+    };
+
+    let config = ExperimentConfig::default();
+    let mut rows = Vec::new();
+    for info in infos {
+        eprintln!("synthesizing {} for PST/SIG, DFF and PAT...", info.name);
+        let fsm = info.fsm()?;
+        rows.push(table3_row(&fsm, Some(info), &config)?);
+    }
+    println!("{}", format_table3(&rows));
+
+    let avg_overhead: f64 =
+        rows.iter().map(|r| r.pst_overhead_terms()).sum::<f64>() / rows.len().max(1) as f64;
+    let avg_pat_saving: f64 =
+        rows.iter().map(|r| r.pat_saving_terms()).sum::<f64>() / rows.len().max(1) as f64;
+    println!("average PST/SIG : DFF product-term ratio : {avg_overhead:.2}");
+    println!("average PAT saving vs DFF               : {:.1}%", avg_pat_saving * 100.0);
+    Ok(())
+}

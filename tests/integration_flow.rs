@@ -1,0 +1,114 @@
+//! Integration tests of the complete synthesis flow: behavioural description
+//! in, verified netlist out, across all BIST structures and assignment
+//! methods.
+
+use stfsm::encode::StateEncoding;
+use stfsm::fsm::suite::{fig3_example, modulo12_exact, traffic_light};
+use stfsm::fsm::{Fsm, StateId, TritValue};
+use stfsm::logic::espresso::verify;
+use stfsm::testsim::Simulator;
+use stfsm::{AssignmentMethod, BistStructure, SynthesisFlow};
+
+/// Drives the synthesized netlist and the symbolic machine in lockstep for a
+/// pseudo-random input sequence and checks that outputs and state codes
+/// agree wherever the specification defines them.
+fn assert_netlist_implements_fsm(fsm: &Fsm, structure: BistStructure) {
+    let result = SynthesisFlow::new(structure).synthesize(fsm).unwrap();
+    assert!(verify(&result.pla, &result.cover), "{structure}: cover does not match the spec");
+
+    let encoding: &StateEncoding = &result.encoding;
+    let mut sim = Simulator::new(&result.netlist);
+    let reset = fsm.reset_state().unwrap_or(StateId(0));
+    let code = encoding.code(reset);
+    let state_bits: Vec<bool> = (0..encoding.num_bits()).map(|b| code.bit(b)).collect();
+    sim.set_state(&state_bits);
+
+    let mut symbolic = reset;
+    let mut lcg: u64 = 0x0123_4567_89AB_CDEF;
+    let mut checked_cycles = 0;
+    for _ in 0..200 {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let inputs: Vec<bool> = (0..fsm.num_inputs()).map(|i| (lcg >> (13 + i)) & 1 == 1).collect();
+        let Some((next, output)) = fsm.step(symbolic, &inputs) else { continue };
+        sim.evaluate(&inputs);
+        let sim_out = sim.outputs();
+        for (j, trit) in output.trits().iter().enumerate() {
+            match trit {
+                TritValue::One => assert!(sim_out[j], "{structure}: output {j} should be 1"),
+                TritValue::Zero => assert!(!sim_out[j], "{structure}: output {j} should be 0"),
+                TritValue::DontCare => {}
+            }
+        }
+        sim.clock();
+        let Some(next) = next else { break };
+        let expected = encoding.code(next);
+        for b in 0..encoding.num_bits() {
+            assert_eq!(
+                sim.state()[b],
+                expected.bit(b),
+                "{structure}: state bit {b} after transition {symbolic:?} -> {next:?}"
+            );
+        }
+        symbolic = next;
+        checked_cycles += 1;
+    }
+    assert!(checked_cycles > 10, "{structure}: too few cycles were exercised");
+}
+
+#[test]
+fn every_structure_implements_the_fig3_machine() {
+    let fsm = fig3_example().unwrap();
+    for structure in BistStructure::ALL {
+        assert_netlist_implements_fsm(&fsm, structure);
+    }
+}
+
+#[test]
+fn every_structure_implements_the_modulo12_counter() {
+    let fsm = modulo12_exact().unwrap();
+    for structure in BistStructure::ALL {
+        assert_netlist_implements_fsm(&fsm, structure);
+    }
+}
+
+#[test]
+fn every_structure_implements_the_traffic_light() {
+    let fsm = traffic_light().unwrap();
+    for structure in BistStructure::ALL {
+        assert_netlist_implements_fsm(&fsm, structure);
+    }
+}
+
+#[test]
+fn random_and_natural_assignments_also_yield_correct_circuits() {
+    let fsm = modulo12_exact().unwrap();
+    for method in [AssignmentMethod::Natural, AssignmentMethod::Random { seed: 17 }] {
+        let result = SynthesisFlow::new(BistStructure::Pst)
+            .with_assignment(method.clone())
+            .synthesize(&fsm)
+            .unwrap();
+        assert!(verify(&result.pla, &result.cover), "{method:?}");
+    }
+}
+
+#[test]
+fn synthesis_is_deterministic_across_runs() {
+    let fsm = traffic_light().unwrap();
+    for structure in BistStructure::ALL {
+        let a = SynthesisFlow::new(structure).synthesize(&fsm).unwrap();
+        let b = SynthesisFlow::new(structure).synthesize(&fsm).unwrap();
+        assert_eq!(a.encoding, b.encoding, "{structure}");
+        assert_eq!(a.cover, b.cover, "{structure}");
+        assert_eq!(a.metrics, b.metrics, "{structure}");
+    }
+}
+
+#[test]
+fn kiss2_round_trip_feeds_the_flow() {
+    let fsm = traffic_light().unwrap();
+    let text = fsm.to_kiss2();
+    let parsed = Fsm::from_kiss2(&text).unwrap();
+    let direct = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+    let via_kiss = SynthesisFlow::new(BistStructure::Pst).synthesize(&parsed).unwrap();
+    assert_eq!(direct.product_terms(), via_kiss.product_terms());
+}
