@@ -12,15 +12,30 @@ fn bench_ablation(c: &mut Criterion) {
     let fsm = medium_machine();
     let variants: [(&str, CostWeights); 3] = [
         ("full", CostWeights::default()),
-        ("input_only", CostWeights { input_incompatibility: 1.0, output_incompatibility: 0.0 }),
-        ("output_only", CostWeights { input_incompatibility: 0.0, output_incompatibility: 1.0 }),
+        (
+            "input_only",
+            CostWeights {
+                input_incompatibility: 1.0,
+                output_incompatibility: 0.0,
+            },
+        ),
+        (
+            "output_only",
+            CostWeights {
+                input_incompatibility: 0.0,
+                output_incompatibility: 1.0,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("misr_assignment_cost_ablation");
     group.sample_size(10);
     for (name, weights) in variants {
         group.bench_with_input(BenchmarkId::from_parameter(name), &weights, |b, weights| {
             b.iter(|| {
-                let config = MisrAssignmentConfig { weights: *weights, ..MisrAssignmentConfig::default() };
+                let config = MisrAssignmentConfig {
+                    weights: *weights,
+                    ..MisrAssignmentConfig::default()
+                };
                 assign(&fsm, &config).final_implicants
             })
         });

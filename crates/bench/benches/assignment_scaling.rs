@@ -13,7 +13,10 @@ fn bench_branch_width(c: &mut Criterion) {
     for k in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
             b.iter(|| {
-                let config = MisrAssignmentConfig { branch_width: k, ..MisrAssignmentConfig::default() };
+                let config = MisrAssignmentConfig {
+                    branch_width: k,
+                    ..MisrAssignmentConfig::default()
+                };
                 assign(&fsm, &config).cost
             })
         });

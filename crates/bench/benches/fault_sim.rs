@@ -1,0 +1,39 @@
+//! Criterion bench: scalar vs. 64-way packed fault simulation on the
+//! modulo-12 PST controller (the acceptance benchmark of the packed engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+use stfsm::{BistStructure, SynthesisFlow};
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let fsm = stfsm::fsm::suite::modulo12_exact().expect("fixed machine");
+    let netlist = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .expect("synthesis succeeds")
+        .netlist;
+    let mut group = c.benchmark_group("fault_sim_mod12_pst");
+    group.sample_size(10);
+    for (engine, label) in [(SimEngine::Scalar, "scalar"), (SimEngine::Packed, "packed")] {
+        group.bench_with_input(
+            BenchmarkId::new(label, 4096usize),
+            &netlist,
+            |b, netlist| {
+                b.iter(|| {
+                    run_self_test(
+                        netlist,
+                        &SelfTestConfig {
+                            max_patterns: 4096,
+                            engine,
+                            ..SelfTestConfig::default()
+                        },
+                    )
+                    .detected_faults
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

@@ -14,17 +14,16 @@ fn bench_minimizer(c: &mut Criterion) {
     group.sample_size(10);
     for fsm in &machines {
         let encoding = StateEncoding::natural(fsm).expect("encoding fits");
-        let misr = Misr::new(primitive_polynomial(encoding.num_bits()).expect("primitive"))
-            .expect("misr");
+        let misr =
+            Misr::new(primitive_polynomial(encoding.num_bits()).expect("primitive")).expect("misr");
         let pla = build_pla(fsm, &encoding, &RegisterTransform::Misr(misr)).expect("pla");
-        for (name, config) in
-            [("two_pass", MinimizeConfig::default()), ("single_pass", MinimizeConfig::fast())]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(name, fsm.name()),
-                &pla,
-                |b, pla| b.iter(|| minimize_with(pla, &config).product_terms()),
-            );
+        for (name, config) in [
+            ("two_pass", MinimizeConfig::default()),
+            ("single_pass", MinimizeConfig::fast()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, fsm.name()), &pla, |b, pla| {
+                b.iter(|| minimize_with(pla, &config).product_terms())
+            });
         }
     }
     group.finish();

@@ -23,7 +23,11 @@ fn bench_coverage(c: &mut Criterion) {
                     b.iter(|| {
                         run_self_test(
                             netlist,
-                            &SelfTestConfig { max_patterns: 256, fault_sample: 2, ..SelfTestConfig::default() },
+                            &SelfTestConfig {
+                                max_patterns: 256,
+                                fault_sample: 2,
+                                ..SelfTestConfig::default()
+                            },
                         )
                         .detected_faults
                     })

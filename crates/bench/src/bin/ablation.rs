@@ -14,7 +14,10 @@ use stfsm::{BistStructure, SynthesisFlow};
 use stfsm_bench::{full_flag, selected_benchmarks};
 
 fn terms_with(fsm: &stfsm::fsm::Fsm, weights: CostWeights) -> Result<usize, stfsm::Error> {
-    let config = MisrAssignmentConfig { weights, ..MisrAssignmentConfig::default() };
+    let config = MisrAssignmentConfig {
+        weights,
+        ..MisrAssignmentConfig::default()
+    };
     Ok(SynthesisFlow::new(BistStructure::Pst)
         .with_misr_config(config)
         .synthesize(fsm)?
@@ -30,12 +33,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for info in selected_benchmarks(full) {
         let fsm = info.fsm()?;
         let full_cost = terms_with(&fsm, CostWeights::default())?;
-        let input_only =
-            terms_with(&fsm, CostWeights { input_incompatibility: 1.0, output_incompatibility: 0.0 })?;
-        let output_only =
-            terms_with(&fsm, CostWeights { input_incompatibility: 0.0, output_incompatibility: 1.0 })?;
-        let none =
-            terms_with(&fsm, CostWeights { input_incompatibility: 0.0, output_incompatibility: 0.0 })?;
+        let input_only = terms_with(
+            &fsm,
+            CostWeights {
+                input_incompatibility: 1.0,
+                output_incompatibility: 0.0,
+            },
+        )?;
+        let output_only = terms_with(
+            &fsm,
+            CostWeights {
+                input_incompatibility: 0.0,
+                output_incompatibility: 1.0,
+            },
+        )?;
+        let none = terms_with(
+            &fsm,
+            CostWeights {
+                input_incompatibility: 0.0,
+                output_incompatibility: 0.0,
+            },
+        )?;
         println!(
             "{:<12} {:>10} {:>12} {:>12} {:>10}",
             info.name, full_cost, input_only, output_only, none

@@ -12,12 +12,24 @@ use stfsm_bench::{full_flag, selected_benchmarks, table_config};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = full_flag();
     let base = table_config(full);
-    let config = ExperimentConfig { max_patterns: 4096, fault_sample: if full { 1 } else { 2 }, ..base };
-    for info in selected_benchmarks(full).into_iter().filter(|i| i.states <= 32) {
+    let config = ExperimentConfig {
+        max_patterns: 4096,
+        fault_sample: if full { 1 } else { 2 },
+        ..base
+    };
+    for info in selected_benchmarks(full)
+        .into_iter()
+        .filter(|i| i.states <= 32)
+    {
         let fsm = info.fsm()?;
         eprintln!("coverage: {} ({} states)", info.name, info.states);
         let cmp = coverage_comparison(&fsm, &config)?;
-        println!("{} (target {:.0}% coverage, {} patterns):", cmp.benchmark, cmp.target_coverage * 100.0, config.max_patterns);
+        println!(
+            "{} (target {:.0}% coverage, {} patterns):",
+            cmp.benchmark,
+            cmp.target_coverage * 100.0,
+            config.max_patterns
+        );
         for row in &cmp.rows {
             println!(
                 "  {:<4} faults {:>5}  detected {:>5}  coverage {:>6.2}%  test-length {}",
@@ -25,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.total_faults,
                 row.detected_faults,
                 row.coverage * 100.0,
-                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+                row.test_length
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into())
             );
         }
         if let Some(ratio) = cmp.pst_vs_dff_test_length_ratio() {

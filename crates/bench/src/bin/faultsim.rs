@@ -1,0 +1,152 @@
+//! Acceptance benchmark of the packed fault-simulation engine: the
+//! modulo-12 PST controller, 4096 patterns, full collapsed fault list.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin faultsim
+//! ```
+//!
+//! Times three engines over the identical campaign and verifies that all
+//! three produce the same detection pattern vector:
+//!
+//! * `seed_scalar` — the frozen seed implementation (one fault at a time,
+//!   per-cycle allocations); the baseline the speedup is quoted against,
+//! * `scalar` — the current lean scalar engine,
+//! * `packed` — the 64-way bit-parallel engine.
+//!
+//! Writes the measurements to `BENCH_fault_sim.json` in the working
+//! directory.
+
+use std::time::Instant;
+use stfsm::json::{JsonObject, RawJson};
+use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+use stfsm::testsim::patterns::{PatternSource, RandomPatterns};
+use stfsm::testsim::FaultList;
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::seed_baseline::seed_scalar_detection;
+
+const MAX_PATTERNS: usize = 4096;
+const RUNS: u32 = 5;
+
+fn best_of<T>(mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best_ns = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let value = std::hint::black_box(f());
+        best_ns = best_ns.min(start.elapsed().as_nanos() as f64);
+        result = Some(value);
+    }
+    (result.expect("RUNS > 0"), best_ns)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let fsm = stfsm::fsm::suite::modulo12_exact()?;
+    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm)?;
+    let netlist = &result.netlist;
+    let config = SelfTestConfig {
+        max_patterns: MAX_PATTERNS,
+        ..SelfTestConfig::default()
+    };
+
+    // Reconstruct the campaign stimulus for the frozen seed loop (the same
+    // generator sequence `run_self_test` draws internally).
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let mut pi_source = RandomPatterns::new(num_inputs.max(1), config.seed);
+    let mut st_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
+    let stimulus: Vec<(Vec<bool>, Vec<bool>)> = (0..MAX_PATTERNS)
+        .map(|_| {
+            let pi = if num_inputs == 0 {
+                Vec::new()
+            } else {
+                pi_source.next_pattern()
+            };
+            (pi, st_source.next_pattern())
+        })
+        .collect();
+    let faults = FaultList::collapsed(netlist);
+
+    let (seed_pattern, seed_ns) = best_of(|| seed_scalar_detection(netlist, &faults, &stimulus));
+    let (scalar_result, scalar_ns) = best_of(|| {
+        run_self_test(
+            netlist,
+            &SelfTestConfig {
+                engine: SimEngine::Scalar,
+                ..config.clone()
+            },
+        )
+    });
+    let (packed_result, packed_ns) = best_of(|| {
+        run_self_test(
+            netlist,
+            &SelfTestConfig {
+                engine: SimEngine::Packed,
+                ..config.clone()
+            },
+        )
+    });
+
+    // The whole point: three implementations, one detection pattern.
+    assert_eq!(
+        seed_pattern, scalar_result.detection_pattern,
+        "seed vs scalar"
+    );
+    assert_eq!(scalar_result, packed_result, "scalar vs packed");
+
+    let per_pattern = |ns: f64| ns / MAX_PATTERNS as f64;
+    let speedup_seed = seed_ns / packed_ns;
+    let speedup_scalar = scalar_ns / packed_ns;
+
+    let mut engines = JsonObject::new();
+    let engine = |name: &str, ns: f64| {
+        let mut obj = JsonObject::new();
+        obj.field("total_ms", ns / 1e6)
+            .field("ns_per_pattern", per_pattern(ns));
+        (name.to_string(), obj.finish())
+    };
+    let (n1, v1) = engine("seed_scalar", seed_ns);
+    let (n2, v2) = engine("scalar", scalar_ns);
+    let (n3, v3) = engine("packed", packed_ns);
+    engines
+        .field(&n1, RawJson(v1))
+        .field(&n2, RawJson(v2))
+        .field(&n3, RawJson(v3));
+
+    let mut report = JsonObject::new();
+    report
+        .field("benchmark", "fault_sim")
+        .field("machine", fsm.name())
+        .field("structure", "PST")
+        .field("max_patterns", MAX_PATTERNS)
+        .field("total_faults", packed_result.total_faults)
+        .field("detected_faults", packed_result.detected_faults)
+        .field("engines", RawJson(engines.finish()))
+        .field("speedup_packed_vs_seed_scalar", speedup_seed)
+        .field("speedup_packed_vs_scalar", speedup_scalar)
+        .field("detection_patterns_identical", true);
+    let json = report.finish();
+    std::fs::write("BENCH_fault_sim.json", format!("{json}\n"))?;
+
+    println!(
+        "faults: {} ({} detected)",
+        packed_result.total_faults, packed_result.detected_faults
+    );
+    println!(
+        "seed scalar : {:9.3} ms  ({:7.1} ns/pattern)",
+        seed_ns / 1e6,
+        per_pattern(seed_ns)
+    );
+    println!(
+        "scalar      : {:9.3} ms  ({:7.1} ns/pattern)",
+        scalar_ns / 1e6,
+        per_pattern(scalar_ns)
+    );
+    println!(
+        "packed      : {:9.3} ms  ({:7.1} ns/pattern)",
+        packed_ns / 1e6,
+        per_pattern(packed_ns)
+    );
+    println!("speedup     : {speedup_seed:.1}x vs seed scalar, {speedup_scalar:.1}x vs scalar");
+    println!("wrote BENCH_fault_sim.json");
+    Ok(())
+}

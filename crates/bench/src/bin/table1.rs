@@ -13,7 +13,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = table_config(full);
     println!(
         "{:<12} {:<5} {:>6} {:>9} {:>8} {:>5} {:>5} {:>5} {:>10} {:>9} {:>9}",
-        "benchmark", "struct", "terms", "literals", "storage", "ctrl", "xor", "mux", "dyn-fault", "coverage", "test-len"
+        "benchmark",
+        "struct",
+        "terms",
+        "literals",
+        "storage",
+        "ctrl",
+        "xor",
+        "mux",
+        "dyn-fault",
+        "coverage",
+        "test-len"
     );
     for info in selected_benchmarks(full) {
         let fsm = info.fsm()?;
@@ -30,9 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.control_signals,
                 row.xor_gates,
                 row.mode_multiplexers,
-                if row.dynamic_fault_detection { "all" } else { "partial" },
+                if row.dynamic_fault_detection {
+                    "all"
+                } else {
+                    "partial"
+                },
                 row.fault_coverage.map(|c| c * 100.0).unwrap_or(f64::NAN),
-                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+                row.test_length
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into())
             );
         }
         println!();

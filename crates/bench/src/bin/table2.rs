@@ -26,6 +26,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{}", format_table2(&rows));
     let holds = rows.iter().filter(|r| r.ordering_holds()).count();
-    println!("heuristic <= best-random <= avg-random holds for {holds}/{} machines", rows.len());
+    println!(
+        "heuristic <= best-random <= avg-random holds for {holds}/{} machines",
+        rows.len()
+    );
     Ok(())
 }

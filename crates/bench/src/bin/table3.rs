@@ -22,6 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows.iter().map(|r| r.pst_overhead_terms()).sum::<f64>() / rows.len().max(1) as f64;
     let avg_saving: f64 =
         rows.iter().map(|r| r.pat_saving_terms()).sum::<f64>() / rows.len().max(1) as f64;
-    println!("average PST/SIG : DFF term ratio: {avg_overhead:.2}   average PAT saving vs DFF: {:.1}%", avg_saving * 100.0);
+    println!(
+        "average PST/SIG : DFF term ratio: {avg_overhead:.2}   average PAT saving vs DFF: {:.1}%",
+        avg_saving * 100.0
+    );
     Ok(())
 }

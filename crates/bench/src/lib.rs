@@ -5,6 +5,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_baseline;
+
 use stfsm::encode::misr::MisrAssignmentConfig;
 use stfsm::experiments::ExperimentConfig;
 use stfsm::fsm::suite::{benchmark, quick_benchmarks, BenchmarkInfo, BENCHMARKS};
@@ -27,7 +29,10 @@ pub fn timing_machines() -> Vec<Fsm> {
 
 /// A medium-size machine for scaling studies (the `ex4`-shaped controller).
 pub fn medium_machine() -> Fsm {
-    benchmark("ex4").expect("suite entry").fsm().expect("generator succeeds")
+    benchmark("ex4")
+        .expect("suite entry")
+        .fsm()
+        .expect("generator succeeds")
 }
 
 /// The benchmark set selected by a `--full` flag: the whole suite when full,

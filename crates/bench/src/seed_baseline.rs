@@ -1,0 +1,149 @@
+//! Frozen copy of the *seed* scalar fault-simulation path, kept verbatim as
+//! the performance baseline for `BENCH_fault_sim.json`.
+//!
+//! This reproduces the original one-fault-at-a-time inner loop exactly as it
+//! shipped in the seed tree (per-gate `Gate` enum dispatch through
+//! heap-allocated fan-in `Vec`s, a fresh observation `Vec` per cycle, and a
+//! staging `Vec` per clock edge) so the measured speedup of the packed
+//! engine is relative to a fixed, historical implementation rather than to
+//! the ever-improving production scalar path.  Do not optimise this module.
+
+use stfsm::bist::netlist::{Gate, Netlist};
+use stfsm::testsim::{Fault, FaultList, FaultSite};
+
+/// The seed's scalar gate-level simulator (verbatim behaviour).
+struct SeedSimulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<bool>,
+    state: Vec<bool>,
+    fault: Option<Fault>,
+}
+
+impl<'a> SeedSimulator<'a> {
+    fn new(netlist: &'a Netlist, fault: Option<Fault>) -> Self {
+        Self {
+            netlist,
+            values: vec![false; netlist.gates().len()],
+            state: vec![false; netlist.flip_flops().len()],
+            fault,
+        }
+    }
+
+    fn set_state(&mut self, state: &[bool]) {
+        self.state.copy_from_slice(state);
+    }
+
+    fn evaluate(&mut self, inputs: &[bool]) {
+        let mut input_iter = 0usize;
+        for (id, gate) in self.netlist.gates().iter().enumerate() {
+            let value = match gate {
+                Gate::Input { .. } => {
+                    let v = inputs[input_iter];
+                    input_iter += 1;
+                    v
+                }
+                Gate::FlipFlopOutput { flip_flop } => self.state[*flip_flop],
+                Gate::Constant(c) => *c,
+                Gate::And(ins) => ins
+                    .iter()
+                    .enumerate()
+                    .all(|(pin, &n)| self.pin_value(id, pin, n)),
+                Gate::Or(ins) => ins
+                    .iter()
+                    .enumerate()
+                    .any(|(pin, &n)| self.pin_value(id, pin, n)),
+                Gate::Xor(ins) => ins
+                    .iter()
+                    .enumerate()
+                    .fold(false, |acc, (pin, &n)| acc ^ self.pin_value(id, pin, n)),
+                Gate::Not(a) => !self.pin_value(id, 0, *a),
+            };
+            self.values[id] = self.apply_output_fault(id, value);
+        }
+    }
+
+    fn pin_value(&self, gate: usize, pin: usize, source: usize) -> bool {
+        if let Some(fault) = &self.fault {
+            if let FaultSite::GateInput { gate: fg, pin: fp } = fault.site {
+                if fg == gate && fp == pin {
+                    return fault.stuck_at;
+                }
+            }
+        }
+        self.values[source]
+    }
+
+    fn apply_output_fault(&self, net: usize, value: bool) -> bool {
+        if let Some(fault) = &self.fault {
+            if let FaultSite::GateOutput(fn_) = fault.site {
+                if fn_ == net {
+                    return fault.stuck_at;
+                }
+            }
+        }
+        value
+    }
+
+    /// Fresh `Vec` per cycle, exactly like the seed.
+    fn observations(&self) -> Vec<bool> {
+        self.netlist
+            .observation_points()
+            .iter()
+            .map(|&n| self.values[n])
+            .collect()
+    }
+
+    /// Staging `Vec` per clock edge, exactly like the seed.
+    fn clock(&mut self) {
+        let next: Vec<bool> = self
+            .netlist
+            .flip_flops()
+            .iter()
+            .map(|ff| self.values[ff.d])
+            .collect();
+        self.state.copy_from_slice(&next);
+    }
+}
+
+/// Runs the seed's full scalar campaign (system-state stimulation, i.e. the
+/// PST test mode) and returns the detection pattern, exactly as the seed's
+/// `run_self_test` computed it for a PST netlist.
+///
+/// `stimulus` is the flat `(pi, st)` sequence per cycle.
+pub fn seed_scalar_detection(
+    netlist: &Netlist,
+    faults: &FaultList,
+    stimulus: &[(Vec<bool>, Vec<bool>)],
+) -> Vec<Option<usize>> {
+    // Fault-free reference responses (observations stored per cycle).
+    let mut good = SeedSimulator::new(netlist, None);
+    if let Some((_, st)) = stimulus.first() {
+        good.set_state(st);
+    }
+    let mut reference: Vec<Vec<bool>> = Vec::with_capacity(stimulus.len());
+    for (pi, _) in stimulus {
+        good.evaluate(pi);
+        reference.push(good.observations());
+        good.clock();
+    }
+
+    // One faulty machine at a time, dropped at its first mismatch.
+    faults
+        .faults()
+        .iter()
+        .map(|&fault| {
+            let mut sim = SeedSimulator::new(netlist, Some(fault));
+            if let Some((_, st)) = stimulus.first() {
+                sim.set_state(st);
+            }
+            for (cycle, (pi, _)) in stimulus.iter().enumerate() {
+                sim.evaluate(pi);
+                if sim.observations() != reference[cycle] {
+                    return Some(cycle);
+                }
+                sim.clock();
+            }
+            None
+        })
+        .collect()
+}

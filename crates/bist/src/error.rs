@@ -34,7 +34,10 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::EncodingMismatch { fsm_states, encoding_states } => write!(
+            Error::EncodingMismatch {
+                fsm_states,
+                encoding_states,
+            } => write!(
                 f,
                 "encoding covers {encoding_states} states but the machine has {fsm_states}"
             ),
@@ -80,16 +83,24 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e = Error::EncodingMismatch { fsm_states: 4, encoding_states: 3 };
+        let e = Error::EncodingMismatch {
+            fsm_states: 4,
+            encoding_states: 3,
+        };
         assert!(e.to_string().contains('4'));
-        let e = Error::RegisterWidthMismatch { encoding: 3, register: 2 };
+        let e = Error::RegisterWidthMismatch {
+            encoding: 3,
+            register: 2,
+        };
         assert!(e.to_string().contains('2'));
         let e: Error = stfsm_logic::Error::InvalidSymbol { symbol: 'q' }.into();
         assert!(e.to_string().contains("logic"));
         assert!(std::error::Error::source(&e).is_some());
         let e: Error = stfsm_lfsr::Error::DegenerateFeedback.into();
         assert!(e.to_string().contains("gf(2)"));
-        let e = Error::Netlist { message: "missing net".into() };
+        let e = Error::Netlist {
+            message: "missing net".into(),
+        };
         assert!(e.to_string().contains("missing net"));
     }
 }

@@ -120,7 +120,11 @@ pub fn layout(fsm: &Fsm, encoding: &StateEncoding, transform: &RegisterTransform
 ///
 /// Returns an error if the encoding does not match the machine or the
 /// register width does not match the encoding.
-pub fn build_pla(fsm: &Fsm, encoding: &StateEncoding, transform: &RegisterTransform) -> Result<Pla> {
+pub fn build_pla(
+    fsm: &Fsm,
+    encoding: &StateEncoding,
+    transform: &RegisterTransform,
+) -> Result<Pla> {
     if encoding.state_count() != fsm.state_count() {
         return Err(Error::EncodingMismatch {
             fsm_states: fsm.state_count(),
@@ -129,7 +133,10 @@ pub fn build_pla(fsm: &Fsm, encoding: &StateEncoding, transform: &RegisterTransf
     }
     if let Some(w) = transform.width() {
         if w != encoding.num_bits() {
-            return Err(Error::RegisterWidthMismatch { encoding: encoding.num_bits(), register: w });
+            return Err(Error::RegisterWidthMismatch {
+                encoding: encoding.num_bits(),
+                register: w,
+            });
         }
     }
     let lay = layout(fsm, encoding, transform);
@@ -250,11 +257,16 @@ mod tests {
         let pla = build_pla(&fsm, &encoding, &RegisterTransform::Misr(misr.clone())).unwrap();
         for (row, t) in pla.rows().iter().zip(fsm.transitions()) {
             let Some(to) = t.to else { continue };
-            let y = misr.excitation(&encoding.code(t.from), &encoding.code(to)).unwrap();
+            let y = misr
+                .excitation(&encoding.code(t.from), &encoding.code(to))
+                .unwrap();
             for b in 0..encoding.num_bits() {
                 let expected = if y.bit(b) { '1' } else { '0' };
                 assert_eq!(
-                    row.outputs_string().chars().nth(fsm.num_outputs() + b).unwrap(),
+                    row.outputs_string()
+                        .chars()
+                        .nth(fsm.num_outputs() + b)
+                        .unwrap(),
                     expected
                 );
             }
@@ -268,19 +280,29 @@ mod tests {
         let assignment = pat_assign(&fsm, &PatAssignmentConfig::default()).unwrap();
         let lfsr = Lfsr::new(assignment.polynomial).unwrap();
         let covered: HashSet<usize> = assignment.covered_transitions.iter().copied().collect();
-        let transform = RegisterTransform::SmartLfsr { lfsr, covered: covered.clone() };
+        let transform = RegisterTransform::SmartLfsr {
+            lfsr,
+            covered: covered.clone(),
+        };
         let pla = build_pla(&fsm, &assignment.encoding, &transform).unwrap();
         let lay = layout(&fsm, &assignment.encoding, &transform);
         assert!(lay.has_mode);
         assert_eq!(pla.num_outputs(), 1 + 2 + 1);
         for (idx, row) in pla.rows().iter().enumerate() {
-            let mode = row.outputs_string().chars().nth(lay.mode_output_column()).unwrap();
+            let mode = row
+                .outputs_string()
+                .chars()
+                .nth(lay.mode_output_column())
+                .unwrap();
             if covered.contains(&idx) {
                 assert_eq!(mode, '0');
                 // excitation bits are free
                 for b in 0..2 {
                     assert_eq!(
-                        row.outputs_string().chars().nth(lay.excitation_output_column(b)).unwrap(),
+                        row.outputs_string()
+                            .chars()
+                            .nth(lay.excitation_output_column(b))
+                            .unwrap(),
                         '-'
                     );
                 }
@@ -345,7 +367,10 @@ mod tests {
         let misr = Misr::new(primitive_polynomial(3).unwrap()).unwrap();
         assert_eq!(RegisterTransform::Misr(misr).width(), Some(3));
         let lfsr = Lfsr::new(primitive_polynomial(3).unwrap()).unwrap();
-        let t = RegisterTransform::SmartLfsr { lfsr, covered: HashSet::new() };
+        let t = RegisterTransform::SmartLfsr {
+            lfsr,
+            covered: HashSet::new(),
+        };
         assert_eq!(t.width(), Some(3));
         assert!(t.has_mode_output());
     }

@@ -51,14 +51,25 @@ pub struct StructureMetrics {
 
 impl StructureMetrics {
     /// Computes the metrics for a minimized cover and its netlist.
-    pub fn from_cover(structure: BistStructure, state_bits: usize, cover: &Cover, netlist: Option<&Netlist>) -> Self {
+    pub fn from_cover(
+        structure: BistStructure,
+        state_bits: usize,
+        cover: &Cover,
+        netlist: Option<&Netlist>,
+    ) -> Self {
         let literals = estimate_literals(cover);
-        let storage_bits = if structure.uses_misr_state_register() { state_bits } else { 2 * state_bits };
+        let storage_bits = if structure.uses_misr_state_register() {
+            state_bits
+        } else {
+            2 * state_bits
+        };
         let (xor_gates_in_path, mode_multiplexers) = match structure {
             BistStructure::Dff => (0, state_bits),
             BistStructure::Pat => (0, state_bits),
             BistStructure::Sig | BistStructure::Pst => {
-                let xors = netlist.map(Netlist::xor_gate_count).unwrap_or(state_bits + 1);
+                let xors = netlist
+                    .map(Netlist::xor_gate_count)
+                    .unwrap_or(state_bits + 1);
                 (xors, 0)
             }
         };
@@ -99,15 +110,22 @@ impl StructureMetrics {
 /// Renders a comparison table (one row per structure) resembling Table 1 of
 /// the paper, with measured values instead of `++`/`--` judgements.
 pub fn comparison_table(metrics: &[StructureMetrics]) -> String {
-    let mut out = String::from(
-        "struct  terms literals storage ctrl  xor  mux  dyn-faults  separate-TPG\n",
-    );
+    let mut out =
+        String::from("struct  terms literals storage ctrl  xor  mux  dyn-faults  separate-TPG\n");
     for m in metrics {
         out.push_str(&format!(
             "{}   {:>9}  {:>11}\n",
             m.table_row(),
-            if m.detects_system_dynamic_faults { "all" } else { "partial" },
-            if m.needs_separate_pattern_generator { "yes" } else { "no" }
+            if m.detects_system_dynamic_faults {
+                "all"
+            } else {
+                "partial"
+            },
+            if m.needs_separate_pattern_generator {
+                "yes"
+            } else {
+                "no"
+            }
         ));
     }
     out
@@ -122,7 +140,10 @@ mod tests {
         Cover::from_cubes(
             4,
             3,
-            vec![Cube::parse("01--", "110").unwrap(), Cube::parse("1--0", "011").unwrap()],
+            vec![
+                Cube::parse("01--", "110").unwrap(),
+                Cube::parse("1--0", "011").unwrap(),
+            ],
         )
         .unwrap()
     }

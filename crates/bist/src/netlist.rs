@@ -52,7 +52,10 @@ impl Gate {
 
     /// Whether this gate is a combinational gate (not an input or constant).
     pub fn is_logic(&self) -> bool {
-        matches!(self, Gate::And(_) | Gate::Or(_) | Gate::Xor(_) | Gate::Not(_))
+        matches!(
+            self,
+            Gate::And(_) | Gate::Or(_) | Gate::Xor(_) | Gate::Not(_)
+        )
     }
 }
 
@@ -78,6 +81,8 @@ pub struct Netlist {
     /// outputs plus, depending on the structure, the excitation lines or the
     /// register itself (represented by its D inputs).
     observation_points: Vec<NetId>,
+    /// Flattened evaluation plan, precomputed once at construction.
+    plan: EvalPlan,
 }
 
 impl Netlist {
@@ -116,6 +121,12 @@ impl Netlist {
         &self.observation_points
     }
 
+    /// The flattened evaluation plan of the combinational logic, computed
+    /// once when the netlist was built.
+    pub fn plan(&self) -> &EvalPlan {
+        &self.plan
+    }
+
     /// Number of combinational gates (excludes inputs, constants and
     /// flip-flop outputs).
     pub fn logic_gate_count(&self) -> usize {
@@ -125,12 +136,160 @@ impl Netlist {
     /// Number of XOR gates in the next-state data path — the speed penalty
     /// the paper attributes to MISR state registers.
     pub fn xor_gate_count(&self) -> usize {
-        self.gates.iter().filter(|g| matches!(g, Gate::Xor(_))).count()
+        self.gates
+            .iter()
+            .filter(|g| matches!(g, Gate::Xor(_)))
+            .count()
     }
 
     /// Total number of gate input pins (a crude area/wiring measure).
     pub fn pin_count(&self) -> usize {
         self.gates.iter().map(|g| g.fanin().len()).sum()
+    }
+}
+
+/// Opcode of one step of the flattened evaluation plan.
+///
+/// The operand nets of a step live in the shared dense fan-in array of the
+/// plan ([`EvalPlan::fanin`]), addressed by the step's `fanin_start ..
+/// fanin_end` range, so evaluating a netlist touches two flat arrays instead
+/// of chasing one heap-allocated `Vec` per gate per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// Load primary input `k` (machine order).
+    Input(u32),
+    /// Load the Q output of flip-flop `k`.
+    FlipFlop(u32),
+    /// Load a constant.
+    Const(bool),
+    /// AND of the operand range.
+    And,
+    /// OR of the operand range.
+    Or,
+    /// XOR of the operand range.
+    Xor,
+    /// Complement of the single operand.
+    Not,
+}
+
+/// One step of the evaluation plan; step `i` produces the value of net `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanStep {
+    /// What the step computes.
+    pub op: PlanOp,
+    /// Start of the operand range in [`EvalPlan::fanin`].
+    pub fanin_start: u32,
+    /// End (exclusive) of the operand range in [`EvalPlan::fanin`].
+    pub fanin_end: u32,
+}
+
+impl PlanStep {
+    /// The operand range of this step as array indices.
+    pub fn fanin_range(&self) -> std::ops::Range<usize> {
+        self.fanin_start as usize..self.fanin_end as usize
+    }
+}
+
+/// A flattened, cache-friendly evaluation plan of a netlist.
+///
+/// The gates of a [`Netlist`] are stored in topological order (every fan-in
+/// net of gate `i` has an index `< i`), so a single forward sweep evaluates
+/// the combinational logic.  The plan precomputes everything that sweep
+/// needs — opcodes, dense operand indices, the D nets of the register and
+/// the observation points — once per netlist instead of per gate per cycle.
+/// Both the scalar [`stfsm-testsim`] simulator and the 64-way packed fault
+/// simulator execute this plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalPlan {
+    steps: Vec<PlanStep>,
+    fanin: Vec<u32>,
+    ff_d: Vec<u32>,
+    observation_points: Vec<u32>,
+    primary_outputs: Vec<u32>,
+    num_inputs: usize,
+}
+
+impl EvalPlan {
+    fn build(
+        gates: &[Gate],
+        flip_flops: &[FlipFlop],
+        observation_points: &[NetId],
+        primary_outputs: &[NetId],
+        num_inputs: usize,
+    ) -> Self {
+        let mut steps = Vec::with_capacity(gates.len());
+        let mut fanin: Vec<u32> = Vec::with_capacity(gates.iter().map(|g| g.fanin().len()).sum());
+        let mut input_index = 0u32;
+        for gate in gates {
+            let fanin_start = fanin.len() as u32;
+            fanin.extend(gate.fanin().iter().map(|&n| n as u32));
+            let op = match gate {
+                Gate::Input { .. } => {
+                    let op = PlanOp::Input(input_index);
+                    input_index += 1;
+                    op
+                }
+                Gate::FlipFlopOutput { flip_flop } => PlanOp::FlipFlop(*flip_flop as u32),
+                Gate::Constant(c) => PlanOp::Const(*c),
+                Gate::And(_) => PlanOp::And,
+                Gate::Or(_) => PlanOp::Or,
+                Gate::Xor(_) => PlanOp::Xor,
+                Gate::Not(_) => PlanOp::Not,
+            };
+            steps.push(PlanStep {
+                op,
+                fanin_start,
+                fanin_end: fanin.len() as u32,
+            });
+        }
+        Self {
+            steps,
+            fanin,
+            ff_d: flip_flops.iter().map(|ff| ff.d as u32).collect(),
+            observation_points: observation_points.iter().map(|&n| n as u32).collect(),
+            primary_outputs: primary_outputs.iter().map(|&n| n as u32).collect(),
+            num_inputs,
+        }
+    }
+
+    /// The evaluation steps, one per net, in topological order.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// The dense operand array shared by all steps.
+    pub fn fanin(&self) -> &[u32] {
+        &self.fanin
+    }
+
+    /// The operand nets of step `i`.
+    pub fn step_fanin(&self, i: usize) -> &[u32] {
+        &self.fanin[self.steps[i].fanin_range()]
+    }
+
+    /// The D-input net of every flip-flop (stage 1 first).
+    pub fn flip_flop_inputs(&self) -> &[u32] {
+        &self.ff_d
+    }
+
+    /// The observation-point nets.
+    pub fn observation_points(&self) -> &[u32] {
+        &self.observation_points
+    }
+
+    /// The primary-output nets.
+    pub fn primary_outputs(&self) -> &[u32] {
+        &self.primary_outputs
+    }
+
+    /// Number of primary inputs the plan expects.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of flip-flops of the register.
+    pub fn num_flip_flops(&self) -> usize {
+        self.ff_d.len()
     }
 }
 
@@ -234,8 +393,9 @@ pub fn build_netlist(
     let mut b = NetlistBuilder::new();
 
     // Primary inputs.
-    let primary_inputs: Vec<NetId> =
-        (0..layout.primary_inputs).map(|i| b.input(format!("in{i}"))).collect();
+    let primary_inputs: Vec<NetId> = (0..layout.primary_inputs)
+        .map(|i| b.input(format!("in{i}")))
+        .collect();
 
     // Flip-flop outputs (present state).
     let q_nets: Vec<NetId> = (0..r)
@@ -291,10 +451,12 @@ pub fn build_netlist(
         column_nets.push(b.or(ins));
     }
 
-    let primary_outputs: Vec<NetId> =
-        (0..layout.primary_outputs).map(|j| column_nets[j]).collect();
-    let excitation_nets: Vec<NetId> =
-        (0..r).map(|i| column_nets[layout.excitation_output_column(i)]).collect();
+    let primary_outputs: Vec<NetId> = (0..layout.primary_outputs)
+        .map(|j| column_nets[j])
+        .collect();
+    let excitation_nets: Vec<NetId> = (0..r)
+        .map(|i| column_nets[layout.excitation_output_column(i)])
+        .collect();
 
     // Register structure.
     let mut flip_flops: Vec<FlipFlop> = Vec::with_capacity(r);
@@ -305,7 +467,10 @@ pub fn build_netlist(
             // D_i = y_i; the excitation lines are observed by the separate
             // MISR added for testing (Fig. 2a).
             for i in 0..r {
-                flip_flops.push(FlipFlop { d: excitation_nets[i], q: q_nets[i] });
+                flip_flops.push(FlipFlop {
+                    d: excitation_nets[i],
+                    q: q_nets[i],
+                });
             }
             observation_points.extend(excitation_nets.iter().copied());
         }
@@ -356,6 +521,13 @@ pub fn build_netlist(
         }
     }
 
+    let plan = EvalPlan::build(
+        &b.gates,
+        &flip_flops,
+        &observation_points,
+        &primary_outputs,
+        primary_inputs.len(),
+    );
     Ok(Netlist {
         name: name.to_string(),
         structure,
@@ -364,6 +536,7 @@ pub fn build_netlist(
         primary_outputs,
         flip_flops,
         observation_points,
+        plan,
     })
 }
 
@@ -433,9 +606,14 @@ mod tests {
         let pla = build_pla(&fsm, &assignment.encoding, &transform).unwrap();
         let cover = minimize(&pla).cover;
         let lay = layout(&fsm, &assignment.encoding, &transform);
-        let netlist =
-            build_netlist("pat", &cover, &lay, BistStructure::Pat, Some(assignment.polynomial))
-                .unwrap();
+        let netlist = build_netlist(
+            "pat",
+            &cover,
+            &lay,
+            BistStructure::Pat,
+            Some(assignment.polynomial),
+        )
+        .unwrap();
         assert_eq!(netlist.structure(), BistStructure::Pat);
         assert_eq!(netlist.flip_flops().len(), 2);
         // Each stage has two AND gates + one OR gate for the mode mux.
@@ -476,6 +654,52 @@ mod tests {
             Some(primitive_polynomial(2).unwrap())
         )
         .is_err());
+    }
+
+    #[test]
+    fn eval_plan_mirrors_the_gate_list() {
+        let netlist = dff_netlist("plan");
+        let plan = netlist.plan();
+        assert_eq!(plan.steps().len(), netlist.gates().len());
+        assert_eq!(plan.num_inputs(), netlist.primary_inputs().len());
+        assert_eq!(plan.num_flip_flops(), netlist.flip_flops().len());
+        assert_eq!(plan.flip_flop_inputs().len(), netlist.flip_flops().len());
+        assert_eq!(
+            plan.observation_points().len(),
+            netlist.observation_points().len()
+        );
+        assert_eq!(
+            plan.primary_outputs().len(),
+            netlist.primary_outputs().len()
+        );
+        let mut inputs_seen = 0u32;
+        for (i, (step, gate)) in plan.steps().iter().zip(netlist.gates()).enumerate() {
+            // Dense fan-in matches the gate's fan-in exactly.
+            let dense: Vec<usize> = plan.step_fanin(i).iter().map(|&n| n as usize).collect();
+            assert_eq!(dense, gate.fanin().to_vec(), "step {i}");
+            match (step.op, gate) {
+                (PlanOp::Input(k), Gate::Input { .. }) => {
+                    assert_eq!(k, inputs_seen);
+                    inputs_seen += 1;
+                }
+                (PlanOp::FlipFlop(k), Gate::FlipFlopOutput { flip_flop }) => {
+                    assert_eq!(k as usize, *flip_flop)
+                }
+                (PlanOp::Const(c), Gate::Constant(b)) => assert_eq!(c, *b),
+                (PlanOp::And, Gate::And(_))
+                | (PlanOp::Or, Gate::Or(_))
+                | (PlanOp::Xor, Gate::Xor(_))
+                | (PlanOp::Not, Gate::Not(_)) => {}
+                (op, gate) => panic!("step {i}: {op:?} does not match {gate:?}"),
+            }
+        }
+        assert_eq!(plan.fanin().len(), netlist.pin_count());
+        // All steps are in topological order over the dense indices.
+        for (i, _) in plan.steps().iter().enumerate() {
+            for &f in plan.step_fanin(i) {
+                assert!((f as usize) < i);
+            }
+        }
     }
 
     #[test]

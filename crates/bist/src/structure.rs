@@ -25,8 +25,12 @@ pub enum BistStructure {
 
 impl BistStructure {
     /// All structures, in the order used by the paper's tables.
-    pub const ALL: [BistStructure; 4] =
-        [BistStructure::Dff, BistStructure::Pat, BistStructure::Sig, BistStructure::Pst];
+    pub const ALL: [BistStructure; 4] = [
+        BistStructure::Dff,
+        BistStructure::Pat,
+        BistStructure::Sig,
+        BistStructure::Pst,
+    ];
 
     /// The short name used in the paper ("DFF", "PAT", "SIG", "PST").
     pub fn name(self) -> &'static str {

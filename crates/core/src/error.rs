@@ -97,9 +97,14 @@ mod tests {
         assert!(e.to_string().contains("logic"));
         let e: Error = stfsm_encode::Error::MissingState { state: 1 }.into();
         assert!(e.to_string().contains("assignment"));
-        let e: Error = stfsm_bist::Error::Netlist { message: "m".into() }.into();
+        let e: Error = stfsm_bist::Error::Netlist {
+            message: "m".into(),
+        }
+        .into();
         assert!(e.to_string().contains("bist"));
-        let e = Error::Config { message: "bad".into() };
+        let e = Error::Config {
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("bad"));
         assert!(std::error::Error::source(&e).is_none());
     }

@@ -17,7 +17,7 @@ use stfsm_encode::misr::MisrAssignmentConfig;
 use stfsm_fsm::suite::BenchmarkInfo;
 use stfsm_fsm::Fsm;
 use stfsm_logic::espresso::MinimizeConfig;
-use stfsm_testsim::coverage::{run_self_test, SelfTestConfig};
+use stfsm_testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
 
 /// Parameters shared by the experiment drivers.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +37,9 @@ pub struct ExperimentConfig {
     pub target_coverage: f64,
     /// Keep only every n-th fault in coverage campaigns (1 = all).
     pub fault_sample: usize,
+    /// Fault-simulation engine for coverage campaigns (packed 64-way by
+    /// default; scalar is the slow differential-testing reference).
+    pub engine: SimEngine,
 }
 
 impl Default for ExperimentConfig {
@@ -49,6 +52,7 @@ impl Default for ExperimentConfig {
             max_patterns: 2048,
             target_coverage: 0.95,
             fault_sample: 1,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -83,7 +87,9 @@ pub fn table2_row(
     let mut random_terms: Vec<usize> = Vec::with_capacity(config.random_encodings);
     for i in 0..config.random_encodings {
         let result = SynthesisFlow::new(BistStructure::Pst)
-            .with_assignment(AssignmentMethod::Random { seed: config.seed.wrapping_add(i as u64) })
+            .with_assignment(AssignmentMethod::Random {
+                seed: config.seed.wrapping_add(i as u64),
+            })
             .with_minimizer(config.minimizer.clone())
             .synthesize(fsm)?;
         random_terms.push(result.product_terms());
@@ -137,12 +143,21 @@ pub fn table3_row(
 
     Ok(Table3Row {
         benchmark: fsm.name().to_string(),
-        product_terms: [pst.product_terms(), dff.product_terms(), pat.product_terms()],
+        product_terms: [
+            pst.product_terms(),
+            dff.product_terms(),
+            pat.product_terms(),
+        ],
         literals: [pst.literals(), dff.literals(), pat.literals()],
         paper_product_terms: info
             .map(|i| [i.paper.pst_sig_terms, i.paper.dff_terms, i.paper.pat_terms]),
-        paper_literals: info
-            .map(|i| [i.paper.pst_sig_literals, i.paper.dff_literals, i.paper.pat_literals]),
+        paper_literals: info.map(|i| {
+            [
+                i.paper.pst_sig_literals,
+                i.paper.dff_literals,
+                i.paper.pat_literals,
+            ]
+        }),
     })
 }
 
@@ -170,6 +185,7 @@ pub fn table1_rows(
                     max_patterns: config.max_patterns,
                     seed: config.seed,
                     fault_sample: config.fault_sample,
+                    engine: config.engine,
                     ..SelfTestConfig::default()
                 },
             );
@@ -216,6 +232,7 @@ pub fn coverage_comparison(fsm: &Fsm, config: &ExperimentConfig) -> Result<Cover
                 max_patterns: config.max_patterns,
                 seed: config.seed,
                 fault_sample: config.fault_sample,
+                engine: config.engine,
                 ..SelfTestConfig::default()
             },
         );
@@ -241,7 +258,11 @@ pub fn format_table2(rows: &[Table2Row]) -> String {
         "benchmark     states  avg-random  best-random  heuristic   (paper: avg / best / heur)\n",
     );
     for r in rows {
-        let paper = match (r.paper_random_average, r.paper_random_best, r.paper_heuristic) {
+        let paper = match (
+            r.paper_random_average,
+            r.paper_random_best,
+            r.paper_heuristic,
+        ) {
             (Some(a), Some(b), Some(h)) => format!("({a:.1} / {b} / {h})"),
             _ => String::from("(-)"),
         };

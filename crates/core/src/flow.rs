@@ -121,8 +121,13 @@ impl SynthesisFlow {
             BistStructure::Dff => None,
             _ => Some(feedback),
         };
-        let netlist =
-            build_netlist(fsm.name(), &minimized.cover, &lay, self.structure, netlist_feedback)?;
+        let netlist = build_netlist(
+            fsm.name(),
+            &minimized.cover,
+            &lay,
+            self.structure,
+            netlist_feedback,
+        )?;
 
         let metrics = StructureMetrics::from_cover(
             self.structure,
@@ -155,7 +160,11 @@ impl SynthesisFlow {
             }
             (AssignmentMethod::Heuristic, BistStructure::Pat) => {
                 let result = pat_assign(fsm, &self.pat_config)?;
-                Ok((result.encoding, result.polynomial, result.covered_transitions))
+                Ok((
+                    result.encoding,
+                    result.polynomial,
+                    result.covered_transitions,
+                ))
             }
             (AssignmentMethod::Heuristic, BistStructure::Dff) => {
                 let result = dff_assign(fsm, &self.dff_config)?;
@@ -307,7 +316,9 @@ mod tests {
     #[test]
     fn heuristic_assignment_not_worse_than_random_for_pst() {
         let fsm = traffic_light().unwrap();
-        let heuristic = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+        let heuristic = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&fsm)
+            .unwrap();
         let random = SynthesisFlow::new(BistStructure::Pst)
             .with_assignment(AssignmentMethod::Random { seed: 5 })
             .synthesize(&fsm)
@@ -325,7 +336,9 @@ mod tests {
     #[test]
     fn pat_synthesis_reports_covered_transitions() {
         let fsm = modulo12_exact().unwrap();
-        let result = SynthesisFlow::new(BistStructure::Pat).synthesize(&fsm).unwrap();
+        let result = SynthesisFlow::new(BistStructure::Pat)
+            .synthesize(&fsm)
+            .unwrap();
         assert!(!result.covered_transitions.is_empty());
         assert!(result.layout.has_mode);
         assert_eq!(result.layout.num_outputs(), 1 + 4 + 1);
@@ -347,7 +360,9 @@ mod tests {
     #[test]
     fn dff_feedback_polynomial_is_primitive() {
         let fsm = fig3_example().unwrap();
-        let result = SynthesisFlow::new(BistStructure::Dff).synthesize(&fsm).unwrap();
+        let result = SynthesisFlow::new(BistStructure::Dff)
+            .synthesize(&fsm)
+            .unwrap();
         assert!(result.feedback.is_primitive());
         assert_eq!(result.literals(), result.metrics.factored_literals);
     }

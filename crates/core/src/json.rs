@@ -1,0 +1,200 @@
+//! Minimal JSON emission for experiment reports and benchmark artefacts.
+//!
+//! The reproduction runs in offline environments without serde, so the
+//! report types implement the tiny [`ToJson`] trait instead.  Only emission
+//! is supported — the artefacts (`BENCH_*.json`, experiment dumps) are
+//! write-only from this codebase's point of view.
+
+use std::fmt::Write as _;
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// Appends the JSON representation of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+
+    /// The JSON representation as a fresh string.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+}
+
+impl ToJson for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn write_json(&self, out: &mut String) {
+                let _ = write!(out, "{self}");
+            }
+        }
+    )*};
+}
+
+int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f64 {
+    fn write_json(&self, out: &mut String) {
+        if self.is_finite() {
+            let _ = write!(out, "{self}");
+        } else {
+            // JSON has no NaN/Infinity.
+            out.push_str("null");
+        }
+    }
+}
+
+impl ToJson for str {
+    fn write_json(&self, out: &mut String) {
+        out.push('"');
+        for c in self.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+impl ToJson for String {
+    fn write_json(&self, out: &mut String) {
+        self.as_str().write_json(out);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+/// Incremental writer for a JSON object.
+///
+/// ```
+/// use stfsm::json::{JsonObject, ToJson};
+///
+/// let mut obj = JsonObject::new();
+/// obj.field("name", "pst").field("terms", 17usize);
+/// assert_eq!(obj.finish(), r#"{"name":"pst","terms":17}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    out: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self {
+            out: String::from("{"),
+        }
+    }
+
+    /// Appends one `"key": value` member.
+    pub fn field(&mut self, key: &str, value: impl ToJson) -> &mut Self {
+        if self.out.len() > 1 {
+            self.out.push(',');
+        }
+        key.write_json(&mut self.out);
+        self.out.push(':');
+        value.write_json(&mut self.out);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(&mut self) -> String {
+        let mut out = std::mem::take(&mut self.out);
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(true.to_json(), "true");
+        assert_eq!(42usize.to_json(), "42");
+        assert_eq!((-3i32).to_json(), "-3");
+        assert_eq!(1.5f64.to_json(), "1.5");
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!("a\"b\\c\n".to_json(), r#""a\"b\\c\n""#);
+        assert_eq!('\u{1}'.to_string().to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(Some(1u32).to_json(), "1");
+        assert_eq!(Option::<u32>::None.to_json(), "null");
+        assert_eq!(vec![1u8, 2, 3].to_json(), "[1,2,3]");
+        assert_eq!([1usize, 2, 3].to_json(), "[1,2,3]");
+    }
+
+    #[test]
+    fn objects_nest() {
+        let mut inner = JsonObject::new();
+        let inner = inner.field("x", 1u8).finish();
+        let mut obj = JsonObject::new();
+        obj.field("name", "n").field("inner", RawJson(inner));
+        assert_eq!(obj.finish(), r#"{"name":"n","inner":{"x":1}}"#);
+    }
+}
+
+/// Pre-rendered JSON spliced verbatim (for nesting objects/arrays).
+#[derive(Debug, Clone)]
+pub struct RawJson(pub String);
+
+impl ToJson for RawJson {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(&self.0);
+    }
+}

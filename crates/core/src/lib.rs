@@ -43,6 +43,7 @@
 mod error;
 pub mod experiments;
 mod flow;
+pub mod json;
 pub mod report;
 
 pub use error::{Error, Result};
@@ -50,15 +51,15 @@ pub use flow::{AssignmentMethod, SynthesisFlow, SynthesisResult};
 
 pub use stfsm_bist::BistStructure;
 
+/// Re-export of the BIST structures and netlists (`stfsm-bist`).
+pub use stfsm_bist as bist;
+/// Re-export of the state-assignment algorithms (`stfsm-encode`).
+pub use stfsm_encode as encode;
 /// Re-export of the FSM substrate (`stfsm-fsm`).
 pub use stfsm_fsm as fsm;
 /// Re-export of the GF(2)/LFSR substrate (`stfsm-lfsr`).
 pub use stfsm_lfsr as lfsr;
 /// Re-export of the logic-minimization substrate (`stfsm-logic`).
 pub use stfsm_logic as logic;
-/// Re-export of the state-assignment algorithms (`stfsm-encode`).
-pub use stfsm_encode as encode;
-/// Re-export of the BIST structures and netlists (`stfsm-bist`).
-pub use stfsm_bist as bist;
 /// Re-export of the fault-simulation substrate (`stfsm-testsim`).
 pub use stfsm_testsim as testsim;

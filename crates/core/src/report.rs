@@ -1,11 +1,12 @@
-//! Machine-readable experiment reports (serde-serialisable).
+//! Machine-readable experiment reports (JSON-serialisable via
+//! [`crate::json::ToJson`]).
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonObject, RawJson, ToJson};
 use stfsm_bist::BistStructure;
 
 /// One row of the Table 2 reproduction: the PST/SIG state-assignment quality
 /// compared with random encodings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -32,14 +33,29 @@ impl Table2Row {
     /// Whether the measured ordering matches the paper's finding
     /// (heuristic ≤ best random ≤ average random).
     pub fn ordering_holds(&self) -> bool {
-        (self.heuristic as f64) <= self.random_average
-            && self.heuristic <= self.random_best
+        (self.heuristic as f64) <= self.random_average && self.heuristic <= self.random_best
+    }
+}
+
+impl ToJson for Table2Row {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("states", self.states)
+            .field("random_count", self.random_count)
+            .field("random_average", self.random_average)
+            .field("random_best", self.random_best)
+            .field("heuristic", self.heuristic)
+            .field("paper_random_average", self.paper_random_average)
+            .field("paper_random_best", self.paper_random_best)
+            .field("paper_heuristic", self.paper_heuristic);
+        out.push_str(&obj.finish());
     }
 }
 
 /// One row of the Table 3 reproduction: area of the PST/SIG, DFF and PAT
 /// solutions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -75,8 +91,28 @@ impl Table3Row {
     }
 }
 
+impl ToJson for Table3Row {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("product_terms", self.product_terms)
+            .field("literals", self.literals)
+            .field(
+                "paper_product_terms",
+                self.paper_product_terms
+                    .as_ref()
+                    .map(|a| a.as_slice().to_vec()),
+            )
+            .field(
+                "paper_literals",
+                self.paper_literals.as_ref().map(|a| a.as_slice().to_vec()),
+            );
+        out.push_str(&obj.finish());
+    }
+}
+
 /// One row of the structure comparison (quantified Table 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -102,9 +138,27 @@ pub struct Table1Row {
     pub test_length: Option<usize>,
 }
 
+impl ToJson for Table1Row {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("structure", &self.structure)
+            .field("product_terms", self.product_terms)
+            .field("literals", self.literals)
+            .field("storage_bits", self.storage_bits)
+            .field("control_signals", self.control_signals)
+            .field("xor_gates", self.xor_gates)
+            .field("mode_multiplexers", self.mode_multiplexers)
+            .field("dynamic_fault_detection", self.dynamic_fault_detection)
+            .field("fault_coverage", self.fault_coverage)
+            .field("test_length", self.test_length);
+        out.push_str(&obj.finish());
+    }
+}
+
 /// The coverage comparison of experiment E5 (PST vs. conventional test
 /// length at equal coverage).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageComparison {
     /// Benchmark name.
     pub benchmark: String,
@@ -114,8 +168,19 @@ pub struct CoverageComparison {
     pub rows: Vec<CoverageRow>,
 }
 
+impl ToJson for CoverageComparison {
+    fn write_json(&self, out: &mut String) {
+        let rows: Vec<RawJson> = self.rows.iter().map(|r| RawJson(r.to_json())).collect();
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("target_coverage", self.target_coverage)
+            .field("rows", rows);
+        out.push_str(&obj.finish());
+    }
+}
+
 /// One structure's coverage outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageRow {
     /// Structure name.
     pub structure: String,
@@ -129,13 +194,28 @@ pub struct CoverageRow {
     pub test_length: Option<usize>,
 }
 
+impl ToJson for CoverageRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("structure", &self.structure)
+            .field("total_faults", self.total_faults)
+            .field("detected_faults", self.detected_faults)
+            .field("coverage", self.coverage)
+            .field("test_length", self.test_length);
+        out.push_str(&obj.finish());
+    }
+}
+
 impl CoverageComparison {
     /// Ratio of the PST test length to the DFF test length at the target
     /// coverage — the paper's ≈ 1.3 claim.  `None` when either structure did
     /// not reach the target.
     pub fn pst_vs_dff_test_length_ratio(&self) -> Option<f64> {
         let find = |name: &str| {
-            self.rows.iter().find(|r| r.structure == name).and_then(|r| r.test_length)
+            self.rows
+                .iter()
+                .find(|r| r.structure == name)
+                .and_then(|r| r.test_length)
         };
         let pst = find(BistStructure::Pst.name())?;
         let dff = find(BistStructure::Dff.name())?;
@@ -165,7 +245,10 @@ mod tests {
             paper_heuristic: Some(16),
         };
         assert!(row.ordering_holds());
-        let bad = Table2Row { heuristic: 25, ..row };
+        let bad = Table2Row {
+            heuristic: 25,
+            ..row
+        };
         assert!(!bad.ordering_holds());
     }
 
@@ -180,7 +263,10 @@ mod tests {
         };
         assert!((row.pst_overhead_terms() - 1.0).abs() < 1e-9);
         assert!((row.pat_saving_terms() - 0.2).abs() < 1e-9);
-        let degenerate = Table3Row { product_terms: [5, 0, 3], ..row };
+        let degenerate = Table3Row {
+            product_terms: [5, 0, 3],
+            ..row
+        };
         assert_eq!(degenerate.pst_overhead_terms(), 0.0);
         assert_eq!(degenerate.pat_saving_terms(), 0.0);
     }
@@ -208,17 +294,70 @@ mod tests {
             ],
         };
         assert!((cmp.pst_vs_dff_test_length_ratio().unwrap() - 1.3).abs() < 1e-9);
-        let missing = CoverageComparison { rows: vec![], ..cmp };
+        let missing = CoverageComparison {
+            rows: vec![],
+            ..cmp
+        };
         assert!(missing.pst_vs_dff_test_length_ratio().is_none());
     }
 
     #[test]
     fn report_types_are_serializable() {
-        fn assert_serializable<T: Serialize + for<'de> Deserialize<'de>>() {}
-        assert_serializable::<Table1Row>();
-        assert_serializable::<Table2Row>();
-        assert_serializable::<Table3Row>();
-        assert_serializable::<CoverageComparison>();
-        assert_serializable::<CoverageRow>();
+        let row = Table2Row {
+            benchmark: "m\"x".into(),
+            states: 8,
+            random_count: 10,
+            random_average: 20.5,
+            random_best: 18,
+            heuristic: 15,
+            paper_random_average: None,
+            paper_random_best: Some(19),
+            paper_heuristic: None,
+        };
+        let json = row.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""benchmark":"m\"x""#));
+        assert!(json.contains(r#""random_average":20.5"#));
+        assert!(json.contains(r#""paper_random_average":null"#));
+        assert!(json.contains(r#""paper_random_best":19"#));
+
+        let t3 = Table3Row {
+            benchmark: "x".into(),
+            product_terms: [20, 20, 16],
+            literals: [80, 82, 70],
+            paper_product_terms: Some([1, 2, 3]),
+            paper_literals: None,
+        };
+        assert!(t3.to_json().contains(r#""product_terms":[20,20,16]"#));
+        assert!(t3.to_json().contains(r#""paper_product_terms":[1,2,3]"#));
+
+        let cmp = CoverageComparison {
+            benchmark: "x".into(),
+            target_coverage: 0.95,
+            rows: vec![CoverageRow {
+                structure: "PST".into(),
+                total_faults: 10,
+                detected_faults: 9,
+                coverage: 0.9,
+                test_length: None,
+            }],
+        };
+        let json = cmp.to_json();
+        assert!(json.contains(r#""rows":[{"structure":"PST""#));
+
+        let t1 = Table1Row {
+            benchmark: "x".into(),
+            structure: "DFF".into(),
+            product_terms: 1,
+            literals: 2,
+            storage_bits: 3,
+            control_signals: 4,
+            xor_gates: 5,
+            mode_multiplexers: 6,
+            dynamic_fault_detection: true,
+            fault_coverage: Some(0.5),
+            test_length: Some(7),
+        };
+        assert!(t1.to_json().contains(r#""dynamic_fault_detection":true"#));
     }
 }

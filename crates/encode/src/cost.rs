@@ -49,11 +49,13 @@ pub fn symbolic_implicants(fsm: &Fsm) -> Vec<SymbolicImplicant> {
             t.output.to_string(),
             t.to.map(StateId::index),
         );
-        let entry = groups.entry(key.clone()).or_insert_with(|| SymbolicImplicant {
-            transitions: Vec::new(),
-            present_states: BTreeSet::new(),
-            next_state: key.2,
-        });
+        let entry = groups
+            .entry(key.clone())
+            .or_insert_with(|| SymbolicImplicant {
+                transitions: Vec::new(),
+                present_states: BTreeSet::new(),
+                next_state: key.2,
+            });
         entry.transitions.push(idx);
         entry.present_states.insert(t.from.index());
     }
@@ -75,7 +77,10 @@ pub struct CostWeights {
 
 impl Default for CostWeights {
     fn default() -> Self {
-        Self { input_incompatibility: 1.0, output_incompatibility: 1.0 }
+        Self {
+            input_incompatibility: 1.0,
+            output_incompatibility: 1.0,
+        }
     }
 }
 
@@ -146,9 +151,15 @@ pub fn column_cost(
                 .into_iter()
                 .filter(|p| !p.is_empty())
                 .map(|transitions| {
-                    let present_states =
-                        transitions.iter().map(|&i| fsm.transitions()[i].from.index()).collect();
-                    SymbolicImplicant { transitions, present_states, next_state: group.next_state }
+                    let present_states = transitions
+                        .iter()
+                        .map(|&i| fsm.transitions()[i].from.index())
+                        .collect();
+                    SymbolicImplicant {
+                        transitions,
+                        present_states,
+                        next_state: group.next_state,
+                    }
                 })
                 .collect()
         } else {
@@ -175,7 +186,12 @@ pub fn column_cost(
 
     let total = weights.input_incompatibility * input_violations as f64
         + weights.output_incompatibility * output_splits as f64;
-    ColumnCost { total, output_splits, input_violations, refined_groups: refined }
+    ColumnCost {
+        total,
+        output_splits,
+        input_violations,
+        refined_groups: refined,
+    }
 }
 
 /// Whether the minimal face (sub-space of the code bits assigned so far,
@@ -190,7 +206,11 @@ fn face_captures_foreign_state(
     // Determine, for every column, whether all members agree; if so the face
     // fixes that bit, otherwise the face leaves it free.
     let mut fixed: Vec<Option<bool>> = Vec::with_capacity(assigned_columns.len() + 1);
-    for col in assigned_columns.iter().map(Vec::as_slice).chain(std::iter::once(new_column)) {
+    for col in assigned_columns
+        .iter()
+        .map(Vec::as_slice)
+        .chain(std::iter::once(new_column))
+    {
         let mut iter = states.iter();
         let first = col[*iter.next().expect("face check needs a non-empty state set")];
         let all_same = iter.all(|&s| col[s] == first);
@@ -198,20 +218,17 @@ fn face_captures_foreign_state(
     }
     // A foreign state is captured if it matches every fixed bit.
     (0..state_count).filter(|s| !states.contains(s)).any(|s| {
-        fixed
-            .iter()
-            .enumerate()
-            .all(|(ci, f)| match f {
-                Some(v) => {
-                    let col: &[bool] = if ci < assigned_columns.len() {
-                        &assigned_columns[ci]
-                    } else {
-                        new_column
-                    };
-                    col[s] == *v
-                }
-                None => true,
-            })
+        fixed.iter().enumerate().all(|(ci, f)| match f {
+            Some(v) => {
+                let col: &[bool] = if ci < assigned_columns.len() {
+                    &assigned_columns[ci]
+                } else {
+                    new_column
+                };
+                col[s] == *v
+            }
+            None => true,
+        })
     })
 }
 
@@ -219,16 +236,16 @@ fn face_captures_foreign_state(
 /// assignment: re-plays [`column_cost`] column by column and sums the costs.
 /// Used to compare full encodings (e.g. during feedback-polynomial selection
 /// and in tests).
-pub fn total_assignment_cost(
-    fsm: &Fsm,
-    columns: &[Vec<bool>],
-    weights: &CostWeights,
-) -> f64 {
+pub fn total_assignment_cost(fsm: &Fsm, columns: &[Vec<bool>], weights: &CostWeights) -> f64 {
     let mut groups = symbolic_implicants(fsm);
     let mut total = 0.0;
     let mut assigned: Vec<Vec<bool>> = Vec::new();
     for (i, col) in columns.iter().enumerate() {
-        let prev = if i == 0 { None } else { Some(columns[i - 1].as_slice()) };
+        let prev = if i == 0 {
+            None
+        } else {
+            Some(columns[i - 1].as_slice())
+        };
         let cost = column_cost(fsm, &groups, prev, &assigned, col, weights);
         total += cost.total;
         groups = cost.refined_groups;
@@ -308,11 +325,14 @@ mod tests {
             &fsm,
             &groups,
             Some(&prev),
-            &[prev.clone()],
+            std::slice::from_ref(&prev),
             &candidate,
             &CostWeights::default(),
         );
-        assert!(cost.output_splits >= 1, "expected a split for the shared A/B implicant");
+        assert!(
+            cost.output_splits >= 1,
+            "expected a split for the shared A/B implicant"
+        );
         assert!(cost.refined_groups.len() > groups.len());
         assert!(cost.total > 0.0);
         let _ = a;
@@ -323,7 +343,14 @@ mod tests {
         let fsm = fig3_example().unwrap();
         let groups = symbolic_implicants(&fsm);
         let candidate = vec![false, true, false];
-        let cost = column_cost(&fsm, &groups, None, &[], &candidate, &CostWeights::default());
+        let cost = column_cost(
+            &fsm,
+            &groups,
+            None,
+            &[],
+            &candidate,
+            &CostWeights::default(),
+        );
         assert_eq!(cost.output_splits, 0);
         assert_eq!(cost.refined_groups.len(), groups.len());
     }
@@ -337,7 +364,12 @@ mod tests {
         assert!(face_captures_foreign_state(&states, &[], &col, 3));
         // With a column separating them, no capture.
         let col2 = vec![true, false, true];
-        assert!(!face_captures_foreign_state(&states, &[col2.clone()], &col, 3));
+        assert!(!face_captures_foreign_state(
+            &states,
+            std::slice::from_ref(&col2),
+            &col,
+            3
+        ));
     }
 
     #[test]
@@ -347,14 +379,24 @@ mod tests {
         let n = fsm.state_count();
         let prev = vec![false; n];
         let candidate: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
-        let unit = column_cost(&fsm, &groups, Some(&prev), &[prev.clone()], &candidate, &CostWeights::default());
+        let unit = column_cost(
+            &fsm,
+            &groups,
+            Some(&prev),
+            std::slice::from_ref(&prev),
+            &candidate,
+            &CostWeights::default(),
+        );
         let double = column_cost(
             &fsm,
             &groups,
             Some(&prev),
-            &[prev.clone()],
+            std::slice::from_ref(&prev),
             &candidate,
-            &CostWeights { input_incompatibility: 2.0, output_incompatibility: 2.0 },
+            &CostWeights {
+                input_incompatibility: 2.0,
+                output_incompatibility: 2.0,
+            },
         );
         assert!((double.total - 2.0 * unit.total).abs() < 1e-9);
     }

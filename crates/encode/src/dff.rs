@@ -59,7 +59,10 @@ pub struct DffAssignment {
 pub fn assign(fsm: &Fsm, config: &DffAssignmentConfig) -> Result<DffAssignment> {
     let bits = config.bits.unwrap_or_else(|| fsm.min_state_bits());
     if (1usize << bits.min(63)) < fsm.state_count() {
-        return Err(crate::Error::TooFewBits { states: fsm.state_count(), bits });
+        return Err(crate::Error::TooFewBits {
+            states: fsm.state_count(),
+            bits,
+        });
     }
     let n = fsm.state_count();
     let weights = affinity_weights(fsm, config);
@@ -69,7 +72,14 @@ pub fn assign(fsm: &Fsm, config: &DffAssignmentConfig) -> Result<DffAssignment> 
     // the free code that minimises the weighted distance to already placed
     // neighbours.
     let mut total_affinity: Vec<(usize, f64)> = (0..n)
-        .map(|s| (s, (0..n).map(|t| weights.get(&pair(s, t)).copied().unwrap_or(0.0)).sum()))
+        .map(|s| {
+            (
+                s,
+                (0..n)
+                    .map(|t| weights.get(&pair(s, t)).copied().unwrap_or(0.0))
+                    .sum(),
+            )
+        })
         .collect();
     total_affinity.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 
@@ -85,8 +95,8 @@ pub fn assign(fsm: &Fsm, config: &DffAssignmentConfig) -> Result<DffAssignment> 
                 continue;
             }
             let mut cost = 0.0;
-            for other in 0..n {
-                if let Some(oc) = code_of[other] {
+            for (other, oc) in code_of.iter().enumerate().take(n) {
+                if let Some(oc) = *oc {
                     let w = weights.get(&pair(state, other)).copied().unwrap_or(0.0);
                     if w > 0.0 {
                         cost += w * (code ^ oc).count_ones() as f64;
@@ -104,7 +114,10 @@ pub fn assign(fsm: &Fsm, config: &DffAssignmentConfig) -> Result<DffAssignment> 
         code_of[state] = Some(code_space[ci]);
     }
 
-    let mut codes: Vec<u64> = code_of.into_iter().map(|c| c.expect("all states placed")).collect();
+    let mut codes: Vec<u64> = code_of
+        .into_iter()
+        .map(|c| c.expect("all states placed"))
+        .collect();
 
     // ---- pairwise swap improvement -----------------------------------------
     for _ in 0..config.improvement_passes {
@@ -131,7 +144,10 @@ pub fn assign(fsm: &Fsm, config: &DffAssignmentConfig) -> Result<DffAssignment> 
         .iter()
         .map(|&c| Gf2Vec::from_value(c, bits).map_err(crate::Error::from))
         .collect::<Result<Vec<_>>>()?;
-    Ok(DffAssignment { encoding: StateEncoding::new(fsm, code_vecs)?, embedding_cost: cost })
+    Ok(DffAssignment {
+        encoding: StateEncoding::new(fsm, code_vecs)?,
+        embedding_cost: cost,
+    })
 }
 
 fn pair(a: usize, b: usize) -> (usize, usize) {
@@ -169,7 +185,10 @@ fn affinity_weights(fsm: &Fsm, config: &DffAssignmentConfig) -> HashMap<(usize, 
     let mut by_successor: HashMap<usize, Vec<usize>> = HashMap::new();
     for t in fsm.transitions() {
         if let Some(to) = t.to {
-            by_successor.entry(to.index()).or_default().push(t.from.index());
+            by_successor
+                .entry(to.index())
+                .or_default()
+                .push(t.from.index());
         }
     }
     for preds in by_successor.values() {
@@ -209,7 +228,11 @@ fn affinity_weights(fsm: &Fsm, config: &DffAssignmentConfig) -> HashMap<(usize, 
 }
 
 /// Cost contribution of the pairs touching the given states.
-fn embedding_cost_for(codes: &[u64], weights: &HashMap<(usize, usize), f64>, touched: &[usize]) -> f64 {
+fn embedding_cost_for(
+    codes: &[u64],
+    weights: &HashMap<(usize, usize), f64>,
+    touched: &[usize],
+) -> f64 {
     let mut cost = 0.0;
     for &a in touched {
         for b in 0..codes.len() {
@@ -237,8 +260,8 @@ pub fn full_embedding_cost(codes: &[u64], weights: &HashMap<(usize, usize), f64>
 mod tests {
     use super::*;
     use crate::random::random_encoding;
-    use stfsm_fsm::suite::{modulo12_exact, traffic_light};
     use stfsm_fsm::generate::{controller, ControllerSpec};
+    use stfsm_fsm::suite::{modulo12_exact, traffic_light};
 
     #[test]
     fn assignment_is_injective_and_minimal_width() {
@@ -251,10 +274,16 @@ mod tests {
     #[test]
     fn extra_bits_can_be_requested() {
         let fsm = traffic_light().unwrap();
-        let cfg = DffAssignmentConfig { bits: Some(5), ..DffAssignmentConfig::default() };
+        let cfg = DffAssignmentConfig {
+            bits: Some(5),
+            ..DffAssignmentConfig::default()
+        };
         let result = assign(&fsm, &cfg).unwrap();
         assert_eq!(result.encoding.num_bits(), 5);
-        let too_few = DffAssignmentConfig { bits: Some(2), ..DffAssignmentConfig::default() };
+        let too_few = DffAssignmentConfig {
+            bits: Some(2),
+            ..DffAssignmentConfig::default()
+        };
         assert!(assign(&fsm, &too_few).is_err());
     }
 
@@ -266,8 +295,7 @@ mod tests {
         let heuristic = assign(&fsm, &DffAssignmentConfig::default()).unwrap();
         let random = random_encoding(&fsm, 4, 3).unwrap();
         assert!(
-            heuristic.encoding.transition_bit_changes(&fsm)
-                <= random.transition_bit_changes(&fsm)
+            heuristic.encoding.transition_bit_changes(&fsm) <= random.transition_bit_changes(&fsm)
         );
     }
 
@@ -285,7 +313,10 @@ mod tests {
         let fsm = controller(&ControllerSpec::new("dffimp", 12, 3, 2)).unwrap();
         let no_improve = assign(
             &fsm,
-            &DffAssignmentConfig { improvement_passes: 0, ..DffAssignmentConfig::default() },
+            &DffAssignmentConfig {
+                improvement_passes: 0,
+                ..DffAssignmentConfig::default()
+            },
         )
         .unwrap();
         let improved = assign(&fsm, &DffAssignmentConfig::default()).unwrap();
@@ -296,7 +327,7 @@ mod tests {
     fn affinity_weights_are_symmetric_keys() {
         let fsm = traffic_light().unwrap();
         let w = affinity_weights(&fsm, &DffAssignmentConfig::default());
-        for (&(a, b), _) in &w {
+        for &(a, b) in w.keys() {
             assert!(a < b);
         }
         assert!(!w.is_empty());

@@ -44,22 +44,37 @@ impl StateEncoding {
     /// distinguish all states, or if two states share a code.
     pub fn new(fsm: &Fsm, codes: Vec<Gf2Vec>) -> Result<Self> {
         if codes.len() != fsm.state_count() {
-            return Err(Error::MissingState { state: codes.len().min(fsm.state_count()) });
+            return Err(Error::MissingState {
+                state: codes.len().min(fsm.state_count()),
+            });
         }
         let num_bits = codes.first().map(Gf2Vec::width).unwrap_or(1);
         if (1usize << num_bits.min(63)) < fsm.state_count() {
-            return Err(Error::TooFewBits { states: fsm.state_count(), bits: num_bits });
+            return Err(Error::TooFewBits {
+                states: fsm.state_count(),
+                bits: num_bits,
+            });
         }
         let mut by_code = HashMap::with_capacity(codes.len());
         for (i, code) in codes.iter().enumerate() {
             if code.width() != num_bits {
-                return Err(Error::WidthMismatch { expected: num_bits, found: code.width() });
+                return Err(Error::WidthMismatch {
+                    expected: num_bits,
+                    found: code.width(),
+                });
             }
             if let Some(prev) = by_code.insert(code.value(), StateId(i)) {
-                return Err(Error::DuplicateCode { first: prev.index(), second: i });
+                return Err(Error::DuplicateCode {
+                    first: prev.index(),
+                    second: i,
+                });
             }
         }
-        Ok(Self { codes, num_bits, by_code })
+        Ok(Self {
+            codes,
+            num_bits,
+            by_code,
+        })
     }
 
     /// The natural binary encoding (state `i` gets code `i`) with the minimum
@@ -131,7 +146,10 @@ impl StateEncoding {
             .iter()
             .filter_map(|t| {
                 let to = t.to?;
-                self.code(t.from).hamming_distance(&self.code(to)).ok().map(|d| d as usize)
+                self.code(t.from)
+                    .hamming_distance(&self.code(to))
+                    .ok()
+                    .map(|d| d as usize)
             })
             .sum()
     }
@@ -178,21 +196,30 @@ mod tests {
             Gf2Vec::from_value(1, 2).unwrap(),
             Gf2Vec::from_value(2, 2).unwrap(),
         ];
-        assert!(matches!(StateEncoding::new(&fsm, dup), Err(Error::DuplicateCode { .. })));
+        assert!(matches!(
+            StateEncoding::new(&fsm, dup),
+            Err(Error::DuplicateCode { .. })
+        ));
         // too few bits
         let narrow = vec![
             Gf2Vec::from_value(0, 1).unwrap(),
             Gf2Vec::from_value(1, 1).unwrap(),
             Gf2Vec::from_value(0, 1).unwrap(),
         ];
-        assert!(matches!(StateEncoding::new(&fsm, narrow), Err(Error::TooFewBits { .. })));
+        assert!(matches!(
+            StateEncoding::new(&fsm, narrow),
+            Err(Error::TooFewBits { .. })
+        ));
         // inconsistent widths
         let mixed = vec![
             Gf2Vec::from_value(0, 2).unwrap(),
             Gf2Vec::from_value(1, 3).unwrap(),
             Gf2Vec::from_value(2, 2).unwrap(),
         ];
-        assert!(matches!(StateEncoding::new(&fsm, mixed), Err(Error::WidthMismatch { .. })));
+        assert!(matches!(
+            StateEncoding::new(&fsm, mixed),
+            Err(Error::WidthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -47,7 +47,10 @@ impl fmt::Display for Error {
             }
             Error::MissingState { state } => write!(f, "state {state} has no code"),
             Error::WidthMismatch { expected, found } => {
-                write!(f, "code width {found} does not match encoding width {expected}")
+                write!(
+                    f,
+                    "code width {found} does not match encoding width {expected}"
+                )
             }
             Error::Lfsr(e) => write!(f, "gf(2) substrate error: {e}"),
         }
@@ -78,10 +81,22 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(Error::TooFewBits { states: 5, bits: 2 }.to_string().contains('5'));
-        assert!(Error::DuplicateCode { first: 1, second: 3 }.to_string().contains('3'));
+        assert!(Error::TooFewBits { states: 5, bits: 2 }
+            .to_string()
+            .contains('5'));
+        assert!(Error::DuplicateCode {
+            first: 1,
+            second: 3
+        }
+        .to_string()
+        .contains('3'));
         assert!(Error::MissingState { state: 2 }.to_string().contains('2'));
-        assert!(Error::WidthMismatch { expected: 3, found: 4 }.to_string().contains('4'));
+        assert!(Error::WidthMismatch {
+            expected: 3,
+            found: 4
+        }
+        .to_string()
+        .contains('4'));
         let inner = stfsm_lfsr::Error::InvalidWidth { width: 0 };
         let e = Error::from(inner);
         assert!(e.to_string().contains("substrate"));

@@ -131,11 +131,18 @@ struct BeamState {
 /// primitive (maximum-length MISR), as required "for testability reasons".
 pub fn assign(fsm: &Fsm, config: &MisrAssignmentConfig) -> MisrAssignment {
     let n = fsm.state_count();
-    let bits = config.bits.unwrap_or_else(|| fsm.min_state_bits()).max(fsm.min_state_bits());
+    let bits = config
+        .bits
+        .unwrap_or_else(|| fsm.min_state_bits())
+        .max(fsm.min_state_bits());
     let initial_groups = symbolic_implicants(fsm);
     let initial_implicants = initial_groups.len();
 
-    let mut beam = vec![BeamState { columns: Vec::new(), groups: initial_groups, cost: 0.0 }];
+    let mut beam = vec![BeamState {
+        columns: Vec::new(),
+        groups: initial_groups,
+        cost: 0.0,
+    }];
 
     for column_index in 0..bits {
         let mut extended: Vec<BeamState> = Vec::new();
@@ -203,7 +210,10 @@ pub fn assign(fsm: &Fsm, config: &MisrAssignmentConfig) -> MisrAssignment {
         .collect();
 
     if config.evaluated_candidates <= 1 {
-        return finished.into_iter().next().expect("beam always keeps at least one state");
+        return finished
+            .into_iter()
+            .next()
+            .expect("beam always keeps at least one state");
     }
 
     // "If automatic synthesis procedures are available for all the self-test
@@ -211,17 +221,32 @@ pub fn assign(fsm: &Fsm, config: &MisrAssignmentConfig) -> MisrAssignment {
     // about the actual implementation" (Section 2.5): evaluate the best beam
     // states plus two structurally different encodings by minimizing the
     // actual MISR excitation logic, and keep the smallest result.
-    let mut candidates: Vec<MisrAssignment> =
-        finished.into_iter().take(config.evaluated_candidates).collect();
+    let mut candidates: Vec<MisrAssignment> = finished
+        .into_iter()
+        .take(config.evaluated_candidates)
+        .collect();
     if let Ok(adjacency) = crate::dff::assign(
         fsm,
-        &crate::dff::DffAssignmentConfig { bits: Some(bits), ..Default::default() },
+        &crate::dff::DffAssignmentConfig {
+            bits: Some(bits),
+            ..Default::default()
+        },
     ) {
-        candidates.push(complete_assignment(fsm, adjacency.encoding, initial_implicants, config));
+        candidates.push(complete_assignment(
+            fsm,
+            adjacency.encoding,
+            initial_implicants,
+            config,
+        ));
     }
     if let Ok(natural) = StateEncoding::natural(fsm) {
         if natural.num_bits() == bits {
-            candidates.push(complete_assignment(fsm, natural, initial_implicants, config));
+            candidates.push(complete_assignment(
+                fsm,
+                natural,
+                initial_implicants,
+                config,
+            ));
         }
     }
 
@@ -308,9 +333,10 @@ pub fn pst_product_terms(fsm: &Fsm, encoding: &StateEncoding, misr: &Misr) -> us
                     outputs.push(if y.bit(b) { Trit::One } else { Trit::Zero });
                 }
             }
-            None => outputs.extend(std::iter::repeat(Trit::DontCare).take(r)),
+            None => outputs.extend(std::iter::repeat_n(Trit::DontCare, r)),
         }
-        pla.push_row(PlaRow { inputs, outputs }).expect("row widths are consistent");
+        pla.push_row(PlaRow { inputs, outputs })
+            .expect("row widths are consistent");
     }
     minimize_with(&pla, &MinimizeConfig::fast()).product_terms()
 }
@@ -362,7 +388,13 @@ fn candidate_partitions(
     // Seed 1: "keep implicants together" — iterate the symbolic implicants by
     // decreasing size and put all their states on the same side if capacity
     // allows; remaining states balance the blocks.
-    candidates.push(implicant_driven_partition(fsm, state, &prefix_groups, capacity, n));
+    candidates.push(implicant_driven_partition(
+        fsm,
+        state,
+        &prefix_groups,
+        capacity,
+        n,
+    ));
     // Seed 2: the natural binary split (by position within each prefix group).
     candidates.push(positional_partition(&prefix_groups, capacity, n, false));
     candidates.push(positional_partition(&prefix_groups, capacity, n, true));
@@ -380,11 +412,27 @@ fn candidate_partitions(
         for _ in 0..improvement_passes {
             let mut improved = false;
             for s in 0..n {
-                let current = column_cost(fsm, &state.groups, prev, &state.columns, candidate, &config.weights).total;
+                let current = column_cost(
+                    fsm,
+                    &state.groups,
+                    prev,
+                    &state.columns,
+                    candidate,
+                    &config.weights,
+                )
+                .total;
                 candidate[s] = !candidate[s];
                 let feasible = partition_is_feasible(&prefix_groups, candidate, capacity);
                 let flipped = if feasible {
-                    column_cost(fsm, &state.groups, prev, &state.columns, candidate, &config.weights).total
+                    column_cost(
+                        fsm,
+                        &state.groups,
+                        prev,
+                        &state.columns,
+                        candidate,
+                        &config.weights,
+                    )
+                    .total
                 } else {
                     f64::INFINITY
                 };
@@ -435,8 +483,14 @@ fn implicant_driven_partition(
         // Decide a side for the whole implicant: the side with more already
         // assigned members, defaulting to 0.
         let members: Vec<usize> = implicant.present_states.iter().copied().collect();
-        let zeros = members.iter().filter(|&&s| assigned[s] && !column[s]).count();
-        let ones = members.iter().filter(|&&s| assigned[s] && column[s]).count();
+        let zeros = members
+            .iter()
+            .filter(|&&s| assigned[s] && !column[s])
+            .count();
+        let ones = members
+            .iter()
+            .filter(|&&s| assigned[s] && column[s])
+            .count();
         let preferred = ones > zeros;
         for &s in &members {
             if assigned[s] {
@@ -444,15 +498,9 @@ fn implicant_driven_partition(
             }
             let gi = group_of_state[s];
             let side = if preferred {
-                if one_count[gi] < capacity {
-                    true
-                } else {
-                    false
-                }
-            } else if zero_count[gi] < capacity {
-                false
+                one_count[gi] < capacity
             } else {
-                true
+                zero_count[gi] >= capacity
             };
             column[s] = side;
             if side {
@@ -468,7 +516,13 @@ fn implicant_driven_partition(
         if !assigned[s] {
             let gi = group_of_state[s];
             let side = zero_count[gi] > one_count[gi] || zero_count[gi] >= capacity;
-            let side = if zero_count[gi] >= capacity { true } else if one_count[gi] >= capacity { false } else { side };
+            let side = if zero_count[gi] >= capacity {
+                true
+            } else if one_count[gi] >= capacity {
+                false
+            } else {
+                side
+            };
             column[s] = side;
             if side {
                 one_count[gi] += 1;
@@ -504,7 +558,12 @@ fn positional_partition(
 }
 
 /// Random feasible partition.
-fn random_partition(prefix_groups: &[Vec<usize>], capacity: usize, n: usize, rng: &mut Rng) -> Vec<bool> {
+fn random_partition(
+    prefix_groups: &[Vec<usize>],
+    capacity: usize,
+    n: usize,
+    rng: &mut Rng,
+) -> Vec<bool> {
     let mut column = vec![false; n];
     for group in prefix_groups {
         for &s in group {
@@ -611,7 +670,10 @@ fn choose_feedback(
 
 /// Convenience wrapper: runs the assignment and also returns the MISR model
 /// built from the chosen feedback polynomial.
-pub fn assign_with_misr(fsm: &Fsm, config: &MisrAssignmentConfig) -> Result<(MisrAssignment, Misr)> {
+pub fn assign_with_misr(
+    fsm: &Fsm,
+    config: &MisrAssignmentConfig,
+) -> Result<(MisrAssignment, Misr)> {
     let assignment = assign(fsm, config);
     let misr = Misr::new(assignment.feedback)?;
     Ok((assignment, misr))
@@ -622,11 +684,7 @@ pub fn assign_with_misr(fsm: &Fsm, config: &MisrAssignmentConfig) -> Result<(Mis
 /// combinational logic has to produce (Section 3.2, case PST / SIG).
 ///
 /// Transitions with don't-care next states yield `None`.
-pub fn excitation_table(
-    fsm: &Fsm,
-    encoding: &StateEncoding,
-    misr: &Misr,
-) -> Vec<Option<Gf2Vec>> {
+pub fn excitation_table(fsm: &Fsm, encoding: &StateEncoding, misr: &Misr) -> Vec<Option<Gf2Vec>> {
     fsm.transitions()
         .iter()
         .map(|t| {
@@ -675,11 +733,19 @@ mod tests {
         let fsm = controller(&ControllerSpec::new("beam", 12, 3, 3)).unwrap();
         let narrow = assign(
             &fsm,
-            &MisrAssignmentConfig { branch_width: 1, evaluated_candidates: 1, ..MisrAssignmentConfig::default() },
+            &MisrAssignmentConfig {
+                branch_width: 1,
+                evaluated_candidates: 1,
+                ..MisrAssignmentConfig::default()
+            },
         );
         let wide = assign(
             &fsm,
-            &MisrAssignmentConfig { branch_width: 6, evaluated_candidates: 1, ..MisrAssignmentConfig::default() },
+            &MisrAssignmentConfig {
+                branch_width: 6,
+                evaluated_candidates: 1,
+                ..MisrAssignmentConfig::default()
+            },
         );
         assert!(wide.cost <= narrow.cost + 1e-9);
     }
@@ -689,14 +755,20 @@ mod tests {
         let fsm = controller(&ControllerSpec::new("evalcand", 14, 3, 3)).unwrap();
         let pure = assign(
             &fsm,
-            &MisrAssignmentConfig { evaluated_candidates: 1, ..MisrAssignmentConfig::default() },
+            &MisrAssignmentConfig {
+                evaluated_candidates: 1,
+                ..MisrAssignmentConfig::default()
+            },
         );
         let evaluated = assign(&fsm, &MisrAssignmentConfig::default());
         let misr_pure = Misr::new(pure.feedback).unwrap();
         let misr_eval = Misr::new(evaluated.feedback).unwrap();
         let terms_pure = pst_product_terms(&fsm, &pure.encoding, &misr_pure);
         let terms_eval = pst_product_terms(&fsm, &evaluated.encoding, &misr_eval);
-        assert!(terms_eval <= terms_pure, "evaluated {terms_eval} vs pure {terms_pure}");
+        assert!(
+            terms_eval <= terms_pure,
+            "evaluated {terms_eval} vs pure {terms_pure}"
+        );
     }
 
     #[test]
@@ -706,13 +778,18 @@ mod tests {
         // surrogate cost model, not the minimization-based candidate pick.
         let heuristic = assign(
             &fsm,
-            &MisrAssignmentConfig { evaluated_candidates: 1, ..MisrAssignmentConfig::default() },
+            &MisrAssignmentConfig {
+                evaluated_candidates: 1,
+                ..MisrAssignmentConfig::default()
+            },
         );
         let bits = fsm.min_state_bits();
         let weights = CostWeights::default();
         let heuristic_cost = total_assignment_cost(
             &fsm,
-            &(0..bits).map(|c| heuristic.encoding.column(c)).collect::<Vec<_>>(),
+            &(0..bits)
+                .map(|c| heuristic.encoding.column(c))
+                .collect::<Vec<_>>(),
             &weights,
         );
         let random_costs: Vec<f64> = random_encodings(&fsm, bits, 10, 99)
@@ -761,11 +838,17 @@ mod tests {
     #[test]
     fn extra_bits_request_is_honoured() {
         let fsm = fig3_example().unwrap();
-        let cfg = MisrAssignmentConfig { bits: Some(3), ..MisrAssignmentConfig::default() };
+        let cfg = MisrAssignmentConfig {
+            bits: Some(3),
+            ..MisrAssignmentConfig::default()
+        };
         let result = assign(&fsm, &cfg);
         assert_eq!(result.encoding.num_bits(), 3);
         // requesting fewer bits than needed falls back to the minimum
-        let cfg = MisrAssignmentConfig { bits: Some(1), ..MisrAssignmentConfig::default() };
+        let cfg = MisrAssignmentConfig {
+            bits: Some(1),
+            ..MisrAssignmentConfig::default()
+        };
         let result = assign(&fsm, &cfg);
         assert_eq!(result.encoding.num_bits(), 2);
     }
@@ -777,7 +860,10 @@ mod tests {
         let no_output = assign(
             &fsm,
             &MisrAssignmentConfig {
-                weights: CostWeights { input_incompatibility: 1.0, output_incompatibility: 0.0 },
+                weights: CostWeights {
+                    input_incompatibility: 1.0,
+                    output_incompatibility: 0.0,
+                },
                 ..MisrAssignmentConfig::default()
             },
         );

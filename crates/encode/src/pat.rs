@@ -36,7 +36,11 @@ pub struct PatAssignmentConfig {
 
 impl Default for PatAssignmentConfig {
     fn default() -> Self {
-        Self { bits: None, polynomial: None, chain_attempts: 8 }
+        Self {
+            bits: None,
+            polynomial: None,
+            chain_attempts: 8,
+        }
     }
 }
 
@@ -73,9 +77,15 @@ impl PatAssignment {
 /// Returns an error if no primitive polynomial of the required degree is
 /// available or the requested width cannot distinguish the states.
 pub fn assign(fsm: &Fsm, config: &PatAssignmentConfig) -> Result<PatAssignment> {
-    let bits = config.bits.unwrap_or_else(|| fsm.min_state_bits()).max(fsm.min_state_bits());
+    let bits = config
+        .bits
+        .unwrap_or_else(|| fsm.min_state_bits())
+        .max(fsm.min_state_bits());
     if (1usize << bits.min(63)) < fsm.state_count() {
-        return Err(crate::Error::TooFewBits { states: fsm.state_count(), bits });
+        return Err(crate::Error::TooFewBits {
+            states: fsm.state_count(),
+            bits,
+        });
     }
     let polynomial = match config.polynomial {
         Some(p) if p.degree() == bits => p,
@@ -131,7 +141,10 @@ pub fn assign(fsm: &Fsm, config: &PatAssignmentConfig) -> Result<PatAssignment> 
         codes[state] = Some(free.swap_remove(best_idx));
     }
 
-    let codes: Vec<Gf2Vec> = codes.into_iter().map(|c| c.expect("all states placed")).collect();
+    let codes: Vec<Gf2Vec> = codes
+        .into_iter()
+        .map(|c| c.expect("all states placed"))
+        .collect();
     let encoding = StateEncoding::new(fsm, codes)?;
 
     // 4. Determine which transitions are covered by the autonomous cycle.
@@ -146,7 +159,12 @@ pub fn assign(fsm: &Fsm, config: &PatAssignmentConfig) -> Result<PatAssignment> 
         })
         .collect();
 
-    Ok(PatAssignment { encoding, polynomial, chain, covered_transitions })
+    Ok(PatAssignment {
+        encoding,
+        polynomial,
+        chain,
+        covered_transitions,
+    })
 }
 
 /// Finds a long simple path in the state graph by greedy depth-first walks
@@ -187,15 +205,13 @@ fn longest_chain(fsm: &Fsm, attempts: usize) -> Vec<StateId> {
                         .filter(|s| !visited.contains(s))
                         .collect();
                     cands.sort_unstable();
-                    cands
-                        .into_iter()
-                        .max_by_key(|&c| {
-                            let onward = succ
-                                .get(&StateId(c))
-                                .map(|s2| s2.iter().filter(|x| !visited.contains(&x.index())).count())
-                                .unwrap_or(0);
-                            (onward, std::cmp::Reverse(c))
-                        })
+                    cands.into_iter().max_by_key(|&c| {
+                        let onward = succ
+                            .get(&StateId(c))
+                            .map(|s2| s2.iter().filter(|x| !visited.contains(&x.index())).count())
+                            .unwrap_or(0);
+                        (onward, std::cmp::Reverse(c))
+                    })
                 })
                 .unwrap_or(None);
             match next {
@@ -235,7 +251,11 @@ mod tests {
         assert_eq!(result.polynomial, primitive_polynomial(2).unwrap());
         // The input-1 transitions form a ring A -> B -> C -> A; at least two
         // of the three can follow the LFSR cycle (the third closes the ring).
-        assert!(result.covered_transitions.len() >= 2, "covered: {:?}", result.covered_transitions);
+        assert!(
+            result.covered_transitions.len() >= 2,
+            "covered: {:?}",
+            result.covered_transitions
+        );
         assert!(result.coverage(&fsm) > 0.0);
         assert_eq!(result.chain.len(), 3);
     }
@@ -255,8 +275,9 @@ mod tests {
         let result = assign(&fsm, &PatAssignmentConfig::default()).unwrap();
         assert_eq!(result.encoding.state_count(), 20);
         assert_eq!(result.encoding.num_bits(), 5);
-        let codes: std::collections::HashSet<u64> =
-            (0..20).map(|i| result.encoding.code(StateId(i)).value()).collect();
+        let codes: std::collections::HashSet<u64> = (0..20)
+            .map(|i| result.encoding.code(StateId(i)).value())
+            .collect();
         assert_eq!(codes.len(), 20);
     }
 

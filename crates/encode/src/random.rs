@@ -30,16 +30,28 @@ pub fn random_encoding(fsm: &Fsm, bits: usize, seed: u64) -> Result<StateEncodin
 /// # Errors
 ///
 /// Returns an error if `bits` cannot distinguish all states.
-pub fn random_encodings(fsm: &Fsm, bits: usize, count: usize, seed: u64) -> Result<Vec<StateEncoding>> {
-    (0..count).map(|i| random_encoding(fsm, bits, seed.wrapping_add(i as u64))).collect()
+pub fn random_encodings(
+    fsm: &Fsm,
+    bits: usize,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<StateEncoding>> {
+    (0..count)
+        .map(|i| random_encoding(fsm, bits, seed.wrapping_add(i as u64)))
+        .collect()
 }
 
 fn sample(fsm: &Fsm, bits: usize, rng: &mut StdRng) -> Result<StateEncoding> {
     if bits > 32 {
-        return Err(crate::Error::Lfsr(stfsm_lfsr::Error::InvalidWidth { width: bits }));
+        return Err(crate::Error::Lfsr(stfsm_lfsr::Error::InvalidWidth {
+            width: bits,
+        }));
     }
     if (1usize << bits) < fsm.state_count() {
-        return Err(crate::Error::TooFewBits { states: fsm.state_count(), bits });
+        return Err(crate::Error::TooFewBits {
+            states: fsm.state_count(),
+            bits,
+        });
     }
     let mut all: Vec<u64> = (0..(1u64 << bits)).collect();
     all.shuffle(rng);

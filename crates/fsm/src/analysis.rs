@@ -97,8 +97,9 @@ pub fn analyze(fsm: &Fsm) -> FsmAnalysis {
 /// The set of distinct successor states of every state (don't-care next
 /// states are ignored).
 pub fn successor_map(fsm: &Fsm) -> HashMap<StateId, HashSet<StateId>> {
-    let mut map: HashMap<StateId, HashSet<StateId>> =
-        (0..fsm.state_count()).map(|i| (StateId(i), HashSet::new())).collect();
+    let mut map: HashMap<StateId, HashSet<StateId>> = (0..fsm.state_count())
+        .map(|i| (StateId(i), HashSet::new()))
+        .collect();
     for t in fsm.transitions() {
         if let Some(to) = t.to {
             map.entry(t.from).or_default().insert(to);
@@ -109,8 +110,9 @@ pub fn successor_map(fsm: &Fsm) -> HashMap<StateId, HashSet<StateId>> {
 
 /// The set of distinct predecessor states of every state.
 pub fn predecessor_map(fsm: &Fsm) -> HashMap<StateId, HashSet<StateId>> {
-    let mut map: HashMap<StateId, HashSet<StateId>> =
-        (0..fsm.state_count()).map(|i| (StateId(i), HashSet::new())).collect();
+    let mut map: HashMap<StateId, HashSet<StateId>> = (0..fsm.state_count())
+        .map(|i| (StateId(i), HashSet::new()))
+        .collect();
     for t in fsm.transitions() {
         if let Some(to) = t.to {
             map.entry(to).or_default().insert(t.from);
@@ -159,8 +161,9 @@ pub fn strongly_connected(
     if forward.iter().any(|d| d.is_none()) {
         return false;
     }
-    let mut reversed: HashMap<StateId, HashSet<StateId>> =
-        (0..state_count).map(|i| (StateId(i), HashSet::new())).collect();
+    let mut reversed: HashMap<StateId, HashSet<StateId>> = (0..state_count)
+        .map(|i| (StateId(i), HashSet::new()))
+        .collect();
     for (&from, tos) in successors {
         for &to in tos {
             reversed.entry(to).or_default().insert(from);

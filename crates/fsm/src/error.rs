@@ -63,19 +63,31 @@ pub enum Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::ParseKiss { line, message } => write!(f, "kiss2 parse error at line {line}: {message}"),
+            Error::ParseKiss { line, message } => {
+                write!(f, "kiss2 parse error at line {line}: {message}")
+            }
             Error::UnknownState { name } => write!(f, "unknown state `{name}`"),
             Error::InputWidthMismatch { expected, found } => {
-                write!(f, "input cube has {found} bits, machine declares {expected} inputs")
+                write!(
+                    f,
+                    "input cube has {found} bits, machine declares {expected} inputs"
+                )
             }
             Error::OutputWidthMismatch { expected, found } => {
-                write!(f, "output pattern has {found} bits, machine declares {expected} outputs")
+                write!(
+                    f,
+                    "output pattern has {found} bits, machine declares {expected} outputs"
+                )
             }
             Error::InvalidSymbol { symbol } => {
                 write!(f, "invalid symbol `{symbol}` (expected 0, 1 or -)")
             }
             Error::EmptyMachine => write!(f, "machine has no states or no transitions"),
-            Error::Conflict { state, first, second } => write!(
+            Error::Conflict {
+                state,
+                first,
+                second,
+            } => write!(
                 f,
                 "conflicting transitions {first} and {second} from state `{state}`"
             ),
@@ -95,16 +107,41 @@ mod tests {
 
     #[test]
     fn messages_mention_key_details() {
-        let e = Error::ParseKiss { line: 7, message: "bad directive".into() };
+        let e = Error::ParseKiss {
+            line: 7,
+            message: "bad directive".into(),
+        };
         assert!(e.to_string().contains("line 7"));
-        assert!(Error::UnknownState { name: "foo".into() }.to_string().contains("foo"));
-        assert!(Error::InputWidthMismatch { expected: 3, found: 2 }.to_string().contains('3'));
-        assert!(Error::OutputWidthMismatch { expected: 1, found: 4 }.to_string().contains('4'));
-        assert!(Error::InvalidSymbol { symbol: 'x' }.to_string().contains('x'));
+        assert!(Error::UnknownState { name: "foo".into() }
+            .to_string()
+            .contains("foo"));
+        assert!(Error::InputWidthMismatch {
+            expected: 3,
+            found: 2
+        }
+        .to_string()
+        .contains('3'));
+        assert!(Error::OutputWidthMismatch {
+            expected: 1,
+            found: 4
+        }
+        .to_string()
+        .contains('4'));
+        assert!(Error::InvalidSymbol { symbol: 'x' }
+            .to_string()
+            .contains('x'));
         assert!(Error::EmptyMachine.to_string().contains("no states"));
-        let c = Error::Conflict { state: "S".into(), first: 0, second: 1 };
+        let c = Error::Conflict {
+            state: "S".into(),
+            first: 0,
+            second: 1,
+        };
         assert!(c.to_string().contains('S'));
-        assert!(Error::LimitExceeded { what: "inputs".into() }.to_string().contains("inputs"));
+        assert!(Error::LimitExceeded {
+            what: "inputs".into()
+        }
+        .to_string()
+        .contains("inputs"));
     }
 
     #[test]

@@ -38,7 +38,14 @@ impl ControllerSpec {
         let seed = name.bytes().fold(0xE5C0_1991u64, |acc, b| {
             acc.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b))
         });
-        Self { name, states, inputs, outputs, decision_vars: 2, seed }
+        Self {
+            name,
+            states,
+            inputs,
+            outputs,
+            decision_vars: 2,
+            seed,
+        }
     }
 
     /// Overrides the number of decision variables per state.
@@ -106,10 +113,14 @@ impl SplitMix64 {
 /// inputs/outputs, or more decision variables than inputs).
 pub fn controller(spec: &ControllerSpec) -> Result<Fsm> {
     if spec.states < 2 {
-        return Err(crate::Error::LimitExceeded { what: "controller needs at least 2 states".into() });
+        return Err(crate::Error::LimitExceeded {
+            what: "controller needs at least 2 states".into(),
+        });
     }
     if spec.inputs == 0 || spec.outputs == 0 {
-        return Err(crate::Error::LimitExceeded { what: "controller needs inputs and outputs".into() });
+        return Err(crate::Error::LimitExceeded {
+            what: "controller needs inputs and outputs".into(),
+        });
     }
     let decision_vars = spec.decision_vars.clamp(1, 3).min(spec.inputs);
     let mut rng = SplitMix64::new(spec.seed);
@@ -245,7 +256,8 @@ mod tests {
             let analysis = fsm.analysis();
             assert!(analysis.is_strongly_connected, "seed {seed}");
             assert!(analysis.is_complete, "seed {seed}");
-            fsm.check_deterministic().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            fsm.check_deterministic()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -260,8 +272,24 @@ mod tests {
     #[test]
     fn degenerate_specs_are_rejected() {
         assert!(controller(&ControllerSpec::new("one", 1, 1, 1)).is_err());
-        assert!(controller(&ControllerSpec { name: "z".into(), states: 4, inputs: 0, outputs: 1, decision_vars: 1, seed: 0 }).is_err());
-        assert!(controller(&ControllerSpec { name: "z".into(), states: 4, inputs: 1, outputs: 0, decision_vars: 1, seed: 0 }).is_err());
+        assert!(controller(&ControllerSpec {
+            name: "z".into(),
+            states: 4,
+            inputs: 0,
+            outputs: 1,
+            decision_vars: 1,
+            seed: 0
+        })
+        .is_err());
+        assert!(controller(&ControllerSpec {
+            name: "z".into(),
+            states: 4,
+            inputs: 1,
+            outputs: 0,
+            decision_vars: 1,
+            seed: 0
+        })
+        .is_err());
     }
 
     #[test]

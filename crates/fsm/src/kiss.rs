@@ -93,9 +93,12 @@ pub fn parse(text: &str) -> Result<Fsm> {
         ));
     }
 
-    let num_inputs = num_inputs.or_else(|| rows.first().map(|r| r.1.len())).ok_or(Error::EmptyMachine)?;
-    let num_outputs =
-        num_outputs.or_else(|| rows.first().map(|r| r.4.len())).ok_or(Error::EmptyMachine)?;
+    let num_inputs = num_inputs
+        .or_else(|| rows.first().map(|r| r.1.len()))
+        .ok_or(Error::EmptyMachine)?;
+    let num_outputs = num_outputs
+        .or_else(|| rows.first().map(|r| r.4.len()))
+        .ok_or(Error::EmptyMachine)?;
 
     let mut builder = FsmBuilder::new(name, num_inputs, num_outputs);
     for (line_no, input, from, to, output) in &rows {
@@ -112,7 +115,10 @@ pub fn parse(text: &str) -> Result<Fsm> {
 fn annotate(e: Error, line: usize) -> Error {
     match e {
         Error::ParseKiss { .. } => e,
-        other => Error::ParseKiss { line, message: other.to_string() },
+        other => Error::ParseKiss {
+            line,
+            message: other.to_string(),
+        },
     }
 }
 

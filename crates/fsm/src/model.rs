@@ -92,20 +92,28 @@ impl InputCube {
     ///
     /// Returns [`Error::InvalidSymbol`] on any other character.
     pub fn parse(text: &str) -> Result<Self> {
-        let trits = text.chars().map(TritValue::from_char).collect::<Result<Vec<_>>>()?;
+        let trits = text
+            .chars()
+            .map(TritValue::from_char)
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self { trits })
     }
 
     /// A cube of the given width consisting solely of don't-cares (matches
     /// every input vector).
     pub fn full(width: usize) -> Self {
-        Self { trits: vec![TritValue::DontCare; width] }
+        Self {
+            trits: vec![TritValue::DontCare; width],
+        }
     }
 
     /// Builds a fully specified cube from concrete input bits.
     pub fn from_bits(bits: &[bool]) -> Self {
         Self {
-            trits: bits.iter().map(|&b| if b { TritValue::One } else { TritValue::Zero }).collect(),
+            trits: bits
+                .iter()
+                .map(|&b| if b { TritValue::One } else { TritValue::Zero })
+                .collect(),
         }
     }
 
@@ -130,7 +138,10 @@ impl InputCube {
 
     /// Number of don't-care positions.
     pub fn dont_care_count(&self) -> usize {
-        self.trits.iter().filter(|t| matches!(t, TritValue::DontCare)).count()
+        self.trits
+            .iter()
+            .filter(|t| matches!(t, TritValue::DontCare))
+            .count()
     }
 
     /// Number of input vectors covered by the cube (`2^dont_cares`).
@@ -155,7 +166,10 @@ impl InputCube {
     /// Panics if the widths differ.
     pub fn intersects(&self, other: &InputCube) -> bool {
         assert_eq!(self.width(), other.width(), "cube width mismatch");
-        self.trits.iter().zip(&other.trits).all(|(a, &b)| a.compatible(b))
+        self.trits
+            .iter()
+            .zip(&other.trits)
+            .all(|(a, &b)| a.compatible(b))
     }
 
     /// Returns `true` if this cube covers every vector of `other`.
@@ -222,19 +236,27 @@ impl OutputPattern {
     ///
     /// Returns [`Error::InvalidSymbol`] on any other character.
     pub fn parse(text: &str) -> Result<Self> {
-        let trits = text.chars().map(TritValue::from_char).collect::<Result<Vec<_>>>()?;
+        let trits = text
+            .chars()
+            .map(TritValue::from_char)
+            .collect::<Result<Vec<_>>>()?;
         Ok(Self { trits })
     }
 
     /// An all-don't-care pattern of the given width.
     pub fn unspecified(width: usize) -> Self {
-        Self { trits: vec![TritValue::DontCare; width] }
+        Self {
+            trits: vec![TritValue::DontCare; width],
+        }
     }
 
     /// Builds a fully specified pattern from concrete bits.
     pub fn from_bits(bits: &[bool]) -> Self {
         Self {
-            trits: bits.iter().map(|&b| if b { TritValue::One } else { TritValue::Zero }).collect(),
+            trits: bits
+                .iter()
+                .map(|&b| if b { TritValue::One } else { TritValue::Zero })
+                .collect(),
         }
     }
 
@@ -265,7 +287,10 @@ impl OutputPattern {
     /// Panics if the widths differ.
     pub fn compatible(&self, other: &OutputPattern) -> bool {
         assert_eq!(self.width(), other.width(), "output width mismatch");
-        self.trits.iter().zip(&other.trits).all(|(a, &b)| a.compatible(b))
+        self.trits
+            .iter()
+            .zip(&other.trits)
+            .all(|(a, &b)| a.compatible(b))
     }
 }
 
@@ -403,7 +428,11 @@ impl Fsm {
     /// # Panics
     ///
     /// Panics if `inputs.len()` differs from [`Fsm::num_inputs`].
-    pub fn step(&self, state: StateId, inputs: &[bool]) -> Option<(Option<StateId>, &OutputPattern)> {
+    pub fn step(
+        &self,
+        state: StateId,
+        inputs: &[bool],
+    ) -> Option<(Option<StateId>, &OutputPattern)> {
         assert_eq!(inputs.len(), self.num_inputs, "input vector width mismatch");
         self.transitions
             .iter()
@@ -502,7 +531,10 @@ impl FsmBuilder {
     ) -> Result<Self> {
         let cube = InputCube::parse(input)?;
         if cube.width() != self.num_inputs {
-            return Err(Error::InputWidthMismatch { expected: self.num_inputs, found: cube.width() });
+            return Err(Error::InputWidthMismatch {
+                expected: self.num_inputs,
+                found: cube.width(),
+            });
         }
         let pattern = OutputPattern::parse(output)?;
         if pattern.width() != self.num_outputs {
@@ -518,7 +550,8 @@ impl FsmBuilder {
             self.intern(next_state);
             Some(next_state.to_string())
         };
-        self.transitions.push((cube, present_state.to_string(), next, pattern));
+        self.transitions
+            .push((cube, present_state.to_string(), next, pattern));
         Ok(self)
     }
 
@@ -548,7 +581,9 @@ impl FsmBuilder {
             return Err(Error::EmptyMachine);
         }
         if self.num_inputs > 32 {
-            return Err(Error::LimitExceeded { what: format!("{} primary inputs (max 32)", self.num_inputs) });
+            return Err(Error::LimitExceeded {
+                what: format!("{} primary inputs (max 32)", self.num_inputs),
+            });
         }
         let reset = match &self.reset {
             Some(name) => Some(
@@ -564,7 +599,12 @@ impl FsmBuilder {
             .map(|(input, from, to, output)| {
                 let from = self.state_index[&from];
                 let to = to.map(|n| self.state_index[&n]);
-                Transition { input, from, to, output }
+                Transition {
+                    input,
+                    from,
+                    to,
+                    output,
+                }
             })
             .collect();
         Ok(Fsm {
@@ -718,7 +758,10 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        assert!(matches!(bad.check_deterministic(), Err(Error::Conflict { .. })));
+        assert!(matches!(
+            bad.check_deterministic(),
+            Err(Error::Conflict { .. })
+        ));
         // Overlapping with compatible targets is fine.
         let ok = Fsm::builder("ok", 1, 1)
             .transition("-", "A", "B", "-")
@@ -734,7 +777,9 @@ mod tests {
     fn min_state_bits_is_ceil_log2() {
         let mut b = Fsm::builder("many", 1, 1);
         for i in 0..9 {
-            b = b.transition("-", &format!("s{i}"), &format!("s{}", (i + 1) % 9), "0").unwrap();
+            b = b
+                .transition("-", &format!("s{i}"), &format!("s{}", (i + 1) % 9), "0")
+                .unwrap();
         }
         let fsm = b.build().unwrap();
         assert_eq!(fsm.state_count(), 9);

@@ -70,7 +70,9 @@ impl BenchmarkInfo {
     /// Propagates generator errors (which cannot occur for positive scale
     /// factors).
     pub fn fsm_scaled(&self, factor: f64) -> Result<Fsm> {
-        let states = ((self.states as f64 * factor).round() as usize).max(4).min(self.states);
+        let states = ((self.states as f64 * factor).round() as usize)
+            .max(4)
+            .min(self.states);
         let spec = ControllerSpec::new(self.name, states, self.inputs, self.outputs);
         controller(&spec)
     }
@@ -438,7 +440,11 @@ mod tests {
                 "{}",
                 info.name
             );
-            assert!(info.paper.pst_sig_terms <= info.paper.random_best_terms, "{}", info.name);
+            assert!(
+                info.paper.pst_sig_terms <= info.paper.random_best_terms,
+                "{}",
+                info.name
+            );
         }
     }
 

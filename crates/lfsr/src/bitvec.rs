@@ -1,8 +1,91 @@
-//! Fixed-width bit vectors over GF(2).
+//! Fixed-width bit vectors over GF(2) and machine-word lane packing.
+//!
+//! Besides [`Gf2Vec`], this module provides the word-level packing helpers
+//! used by the 64-way parallel fault simulator of `stfsm-testsim`: a `u64`
+//! is treated as 64 independent one-bit *lanes* (lane `i` = bit `i`), so a
+//! single logic operation advances 64 simulated machines at once.
 
 use crate::{Error, Result, MAX_WIDTH};
 use std::fmt;
 use std::ops::{BitAnd, BitXor, BitXorAssign};
+
+/// Number of one-bit lanes in a packing word.
+pub const WORD_LANES: usize = 64;
+
+/// Broadcasts one bit to all 64 lanes of a word.
+#[inline]
+pub fn broadcast(bit: bool) -> u64 {
+    // Branch-free: true -> all ones, false -> all zeros.
+    (bit as u64).wrapping_neg()
+}
+
+/// Extracts lane `lane` from a packed word.
+///
+/// # Panics
+///
+/// Panics if `lane >= 64`.
+#[inline]
+pub fn lane(word: u64, lane: usize) -> bool {
+    assert!(lane < WORD_LANES, "lane index {lane} out of range");
+    (word >> lane) & 1 == 1
+}
+
+/// Packs up to 64 lane bits into a word (`bits[i]` becomes lane `i`; missing
+/// high lanes are zero).
+///
+/// # Panics
+///
+/// Panics if more than 64 bits are given.
+pub fn pack_lanes(bits: &[bool]) -> u64 {
+    assert!(
+        bits.len() <= WORD_LANES,
+        "cannot pack {} bits into a word",
+        bits.len()
+    );
+    let mut word = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        word |= (b as u64) << i;
+    }
+    word
+}
+
+/// Unpacks the low `count` lanes of a word into booleans.
+///
+/// # Panics
+///
+/// Panics if `count > 64`.
+pub fn unpack_lanes(word: u64, count: usize) -> Vec<bool> {
+    assert!(
+        count <= WORD_LANES,
+        "cannot unpack {count} lanes from a word"
+    );
+    (0..count).map(|i| (word >> i) & 1 == 1).collect()
+}
+
+/// Transposes a 64×64 bit matrix in place (`rows[i]` bit `j` ⇄ `rows[j]` bit
+/// `i`), using the classic recursive block-swap algorithm.
+///
+/// This converts between *cycle-major* packing (one word per cycle holding
+/// 64 signals) and *signal-major* packing (one word per signal holding 64
+/// cycles), which is how bit-parallel simulators re-shape stimulus and
+/// response streams.
+pub fn transpose64(rows: &mut [u64; 64]) {
+    // Hacker's Delight, fig. 7-3, widened to 64×64: swap ever-smaller
+    // off-diagonal blocks with masked XORs.
+    let mut j = 32usize;
+    let mut m = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            let t = ((rows[k] >> j) ^ rows[k + j]) & m;
+            rows[k] ^= t << j;
+            rows[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
 
 /// A fixed-width vector over GF(2), backed by a single machine word.
 ///
@@ -73,7 +156,10 @@ impl Gf2Vec {
                 value |= 1 << i;
             }
         }
-        Self { bits: value, width: bits.len() }
+        Self {
+            bits: value,
+            width: bits.len(),
+        }
     }
 
     /// Number of bits in the vector.
@@ -92,7 +178,11 @@ impl Gf2Vec {
     ///
     /// Panics if `i >= self.width()`.
     pub fn bit(&self, i: usize) -> bool {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         (self.bits >> i) & 1 == 1
     }
 
@@ -102,7 +192,11 @@ impl Gf2Vec {
     ///
     /// Panics if `i >= self.width()`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
-        assert!(i < self.width, "bit index {i} out of range for width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit index {i} out of range for width {}",
+            self.width
+        );
         if value {
             self.bits |= 1 << i;
         } else {
@@ -127,7 +221,10 @@ impl Gf2Vec {
     /// Returns [`Error::WidthMismatch`] if the widths differ.
     pub fn hamming_distance(&self, other: &Self) -> Result<u32> {
         if self.width != other.width {
-            return Err(Error::WidthMismatch { left: self.width, right: other.width });
+            return Err(Error::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            });
         }
         Ok((self.bits ^ other.bits).count_ones())
     }
@@ -144,7 +241,10 @@ impl Gf2Vec {
     /// Returns [`Error::WidthMismatch`] if the widths differ.
     pub fn dot(&self, other: &Self) -> Result<bool> {
         if self.width != other.width {
-            return Err(Error::WidthMismatch { left: self.width, right: other.width });
+            return Err(Error::WidthMismatch {
+                left: self.width,
+                right: other.width,
+            });
         }
         Ok((self.bits & other.bits).count_ones() % 2 == 1)
     }
@@ -159,7 +259,10 @@ impl Gf2Vec {
         if fill {
             bits |= 1;
         }
-        Self { bits, width: self.width }
+        Self {
+            bits,
+            width: self.width,
+        }
     }
 
     /// Returns `true` if every bit is zero.
@@ -199,14 +302,23 @@ impl BitXor for Gf2Vec {
     ///
     /// Panics if the operand widths differ.
     fn bitxor(self, rhs: Self) -> Self::Output {
-        assert_eq!(self.width, rhs.width, "XOR of vectors with different widths");
-        Gf2Vec { bits: self.bits ^ rhs.bits, width: self.width }
+        assert_eq!(
+            self.width, rhs.width,
+            "XOR of vectors with different widths"
+        );
+        Gf2Vec {
+            bits: self.bits ^ rhs.bits,
+            width: self.width,
+        }
     }
 }
 
 impl BitXorAssign for Gf2Vec {
     fn bitxor_assign(&mut self, rhs: Self) {
-        assert_eq!(self.width, rhs.width, "XOR of vectors with different widths");
+        assert_eq!(
+            self.width, rhs.width,
+            "XOR of vectors with different widths"
+        );
         self.bits ^= rhs.bits;
     }
 }
@@ -220,8 +332,14 @@ impl BitAnd for Gf2Vec {
     ///
     /// Panics if the operand widths differ.
     fn bitand(self, rhs: Self) -> Self::Output {
-        assert_eq!(self.width, rhs.width, "AND of vectors with different widths");
-        Gf2Vec { bits: self.bits & rhs.bits, width: self.width }
+        assert_eq!(
+            self.width, rhs.width,
+            "AND of vectors with different widths"
+        );
+        Gf2Vec {
+            bits: self.bits & rhs.bits,
+            width: self.width,
+        }
     }
 }
 
@@ -329,7 +447,10 @@ mod tests {
         let b = Gf2Vec::from_value(0b001, 3).unwrap();
         assert_eq!(a.hamming_distance(&b).unwrap(), 2);
         let c = Gf2Vec::from_value(0b1, 4).unwrap();
-        assert!(matches!(a.hamming_distance(&c), Err(Error::WidthMismatch { .. })));
+        assert!(matches!(
+            a.hamming_distance(&c),
+            Err(Error::WidthMismatch { .. })
+        ));
     }
 
     #[test]
@@ -371,6 +492,58 @@ mod tests {
         assert_eq!(format!("{v:x}"), "6");
         assert_eq!(format!("{v:X}"), "6");
         assert!(format!("{v:?}").contains("0110"));
+    }
+
+    #[test]
+    fn broadcast_and_lane_round_trip() {
+        assert_eq!(broadcast(true), u64::MAX);
+        assert_eq!(broadcast(false), 0);
+        let word = pack_lanes(&[true, false, true, true]);
+        assert_eq!(word, 0b1101);
+        assert!(lane(word, 0));
+        assert!(!lane(word, 1));
+        assert!(lane(word, 3));
+        assert!(!lane(word, 63));
+        assert_eq!(unpack_lanes(word, 4), vec![true, false, true, true]);
+        assert_eq!(unpack_lanes(u64::MAX, 64).len(), 64);
+        assert_eq!(pack_lanes(&unpack_lanes(0xDEAD_BEEF, 64)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index")]
+    fn lane_out_of_range_panics() {
+        let _ = lane(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pack")]
+    fn pack_too_many_lanes_panics() {
+        let _ = pack_lanes(&[false; 65]);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn transpose64_matches_bit_indexing() {
+        // Pseudo-random matrix from a SplitMix64 stream.
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let original: [u64; 64] = std::array::from_fn(|_| next());
+        let mut t = original;
+        transpose64(&mut t);
+        for i in 0..64 {
+            for j in 0..64 {
+                assert_eq!(lane(t[i], j), lane(original[j], i), "({i}, {j})");
+            }
+        }
+        // An involution: transposing twice restores the matrix.
+        transpose64(&mut t);
+        assert_eq!(t, original);
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidWidth { width } => {
-                write!(f, "invalid register width {width} (must be 1..={})", crate::MAX_WIDTH)
+                write!(
+                    f,
+                    "invalid register width {width} (must be 1..={})",
+                    crate::MAX_WIDTH
+                )
             }
             Error::WidthMismatch { left, right } => {
                 write!(f, "width mismatch between operands ({left} vs {right})")
@@ -79,7 +83,10 @@ mod tests {
         assert!(e.to_string().contains("5"));
         let e = Error::NoPrimitivePolynomial { degree: 99 };
         assert!(e.to_string().contains("99"));
-        let e = Error::DimensionMismatch { left: (2, 3), right: (4, 5) };
+        let e = Error::DimensionMismatch {
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert!(e.to_string().contains("2x3"));
         assert!(Error::SingularMatrix.to_string().contains("singular"));
         assert!(Error::DegenerateFeedback.to_string().contains("degree"));

@@ -89,7 +89,11 @@ impl Lfsr {
     ///
     /// Panics if the state width does not match the register width.
     pub fn feedback(&self, state: &Gf2Vec) -> bool {
-        assert_eq!(state.width(), self.width, "state width must match LFSR width");
+        assert_eq!(
+            state.width(),
+            self.width,
+            "state width must match LFSR width"
+        );
         let mut acc = state.bit(self.width - 1);
         for i in 1..self.width {
             if self.poly.coefficient(i) {
@@ -105,7 +109,11 @@ impl Lfsr {
     ///
     /// Panics if the state width does not match the register width.
     pub fn step(&self, state: &Gf2Vec) -> Gf2Vec {
-        assert_eq!(state.width(), self.width, "state width must match LFSR width");
+        assert_eq!(
+            state.width(),
+            self.width,
+            "state width must match LFSR width"
+        );
         match self.kind {
             LfsrKind::Fibonacci => state.shifted_in(self.feedback(state)),
             LfsrKind::Galois => {
@@ -198,8 +206,14 @@ mod tests {
 
     #[test]
     fn degenerate_polynomial_is_rejected() {
-        assert!(matches!(Lfsr::new(Gf2Poly::ONE), Err(Error::DegenerateFeedback)));
-        assert!(matches!(Lfsr::new(Gf2Poly::ZERO), Err(Error::DegenerateFeedback)));
+        assert!(matches!(
+            Lfsr::new(Gf2Poly::ONE),
+            Err(Error::DegenerateFeedback)
+        ));
+        assert!(matches!(
+            Lfsr::new(Gf2Poly::ZERO),
+            Err(Error::DegenerateFeedback)
+        ));
     }
 
     #[test]

@@ -33,14 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod bitvec;
+pub mod bitvec;
 mod error;
 mod lfsr_reg;
 mod matrix;
 mod misr;
 mod poly;
 
-pub use bitvec::Gf2Vec;
+pub use bitvec::{broadcast, lane, pack_lanes, transpose64, unpack_lanes, Gf2Vec};
 pub use error::{Error, Result};
 pub use lfsr_reg::{Lfsr, LfsrKind};
 pub use matrix::Gf2Matrix;

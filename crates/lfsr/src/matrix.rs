@@ -37,7 +37,10 @@ impl Gf2Matrix {
             return Err(Error::InvalidWidth { width: rows });
         }
         let row = Gf2Vec::zero(cols)?;
-        Ok(Self { rows: vec![row; rows], cols })
+        Ok(Self {
+            rows: vec![row; rows],
+            cols,
+        })
     }
 
     /// Creates the identity matrix of the given size.
@@ -67,7 +70,10 @@ impl Gf2Matrix {
         let cols = first.width();
         for r in &rows {
             if r.width() != cols {
-                return Err(Error::WidthMismatch { left: cols, right: r.width() });
+                return Err(Error::WidthMismatch {
+                    left: cols,
+                    right: r.width(),
+                });
             }
         }
         Ok(Self { rows, cols })
@@ -147,7 +153,10 @@ impl Gf2Matrix {
     /// column count.
     pub fn mul_vec(&self, v: &Gf2Vec) -> Result<Gf2Vec> {
         if v.width() != self.cols {
-            return Err(Error::WidthMismatch { left: self.cols, right: v.width() });
+            return Err(Error::WidthMismatch {
+                left: self.cols,
+                right: v.width(),
+            });
         }
         let mut out = Gf2Vec::zero(self.rows.len())?;
         for (i, row) in self.rows.iter().enumerate() {
@@ -326,7 +335,10 @@ mod tests {
 
     #[test]
     fn from_rows_validation() {
-        let rows = vec![Gf2Vec::from_value(0b01, 2).unwrap(), Gf2Vec::from_value(0b10, 2).unwrap()];
+        let rows = vec![
+            Gf2Vec::from_value(0b01, 2).unwrap(),
+            Gf2Vec::from_value(0b10, 2).unwrap(),
+        ];
         let m = Gf2Matrix::from_rows(rows).unwrap();
         assert_eq!(m.rows(), 2);
         assert_eq!(m.cols(), 2);
@@ -381,7 +393,10 @@ mod tests {
         let z = Gf2Matrix::zero(3, 3).unwrap();
         assert!(matches!(z.inverse(), Err(Error::SingularMatrix)));
         let rect = Gf2Matrix::zero(2, 3).unwrap();
-        assert!(matches!(rect.inverse(), Err(Error::DimensionMismatch { .. })));
+        assert!(matches!(
+            rect.inverse(),
+            Err(Error::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

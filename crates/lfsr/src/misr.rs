@@ -46,7 +46,9 @@ impl Misr {
     ///
     /// Returns [`Error::DegenerateFeedback`] if the polynomial has degree 0.
     pub fn new(poly: Gf2Poly) -> Result<Self> {
-        Ok(Self { lfsr: Lfsr::new(poly)? })
+        Ok(Self {
+            lfsr: Lfsr::new(poly)?,
+        })
     }
 
     /// The feedback polynomial.
@@ -161,7 +163,10 @@ impl Misr {
 
     fn check_width(&self, v: &Gf2Vec) -> Result<()> {
         if v.width() != self.width() {
-            return Err(Error::WidthMismatch { left: self.width(), right: v.width() });
+            return Err(Error::WidthMismatch {
+                left: self.width(),
+                right: v.width(),
+            });
         }
         Ok(())
     }
@@ -264,8 +269,10 @@ mod tests {
     fn run_records_every_state() {
         let m = misr(3);
         let seed = Gf2Vec::from_value(0b001, 3).unwrap();
-        let inputs: Vec<Gf2Vec> =
-            [2u64, 5, 7].iter().map(|&v| Gf2Vec::from_value(v, 3).unwrap()).collect();
+        let inputs: Vec<Gf2Vec> = [2u64, 5, 7]
+            .iter()
+            .map(|&v| Gf2Vec::from_value(v, 3).unwrap())
+            .collect();
         let run = m.run(seed, &inputs).unwrap();
         assert_eq!(run.len(), 3);
         assert!(!run.is_empty());
@@ -283,7 +290,9 @@ mod tests {
         // multiple of the feedback polynomial.
         let m = misr(4);
         let zero = Gf2Vec::zero(4).unwrap();
-        let stream: Vec<Gf2Vec> = (0..10u64).map(|v| Gf2Vec::from_value(v % 16, 4).unwrap()).collect();
+        let stream: Vec<Gf2Vec> = (0..10u64)
+            .map(|v| Gf2Vec::from_value(v % 16, 4).unwrap())
+            .collect();
         let good = m.signature(zero, &stream).unwrap();
         for pos in 0..stream.len() {
             for bit in 0..4 {

@@ -95,7 +95,9 @@ impl Gf2Poly {
 
     /// Polynomial addition over GF(2) (= XOR of coefficient masks).
     pub fn add(&self, other: &Gf2Poly) -> Gf2Poly {
-        Gf2Poly { coeffs: self.coeffs ^ other.coeffs }
+        Gf2Poly {
+            coeffs: self.coeffs ^ other.coeffs,
+        }
     }
 
     /// Polynomial multiplication over GF(2).
@@ -135,7 +137,11 @@ impl Gf2Poly {
         let ddeg = divisor.degree();
         let mut r = self.coeffs;
         loop {
-            let rdeg = if r == 0 { 0 } else { 63 - r.leading_zeros() as usize };
+            let rdeg = if r == 0 {
+                0
+            } else {
+                63 - r.leading_zeros() as usize
+            };
             if r == 0 || rdeg < ddeg {
                 break;
             }
@@ -296,9 +302,9 @@ fn prime_factors(mut n: u64) -> Vec<u64> {
     let mut factors = Vec::new();
     let mut d = 2u64;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             factors.push(d);
-            while n % d == 0 {
+            while n.is_multiple_of(d) {
                 n /= d;
             }
         }
@@ -343,21 +349,21 @@ impl fmt::Display for Gf2Poly {
 /// literature; each entry is the coefficient mask (bit i = coefficient of
 /// x^i).
 const PRIMITIVE_TABLE: &[u64] = &[
-    0b11,                  // degree 1:  x + 1
-    0b111,                 // degree 2:  x^2 + x + 1
-    0b1011,                // degree 3:  x^3 + x + 1
-    0b1_0011,              // degree 4:  x^4 + x + 1
-    0b10_0101,             // degree 5:  x^5 + x^2 + 1
-    0b100_0011,            // degree 6:  x^6 + x + 1
-    0b1000_1001,           // degree 7:  x^7 + x^3 + 1
-    0b1_0001_1101,         // degree 8:  x^8 + x^4 + x^3 + x^2 + 1
-    0b10_0001_0001,        // degree 9:  x^9 + x^4 + 1
-    0b100_0000_1001,       // degree 10: x^10 + x^3 + 1
-    0b1000_0000_0101,      // degree 11: x^11 + x^2 + 1
-    0b1_0000_0101_0011,    // degree 12: x^12 + x^6 + x^4 + x + 1
-    0b10_0000_0001_1011,   // degree 13: x^13 + x^4 + x^3 + x + 1
-    0b100_0010_1000_0011,  // degree 14: x^14 + x^10 + x^6 + x + 1  (see test)
-    0b1000_0000_0000_0011, // degree 15: x^15 + x + 1
+    0b11,                    // degree 1:  x + 1
+    0b111,                   // degree 2:  x^2 + x + 1
+    0b1011,                  // degree 3:  x^3 + x + 1
+    0b1_0011,                // degree 4:  x^4 + x + 1
+    0b10_0101,               // degree 5:  x^5 + x^2 + 1
+    0b100_0011,              // degree 6:  x^6 + x + 1
+    0b1000_1001,             // degree 7:  x^7 + x^3 + 1
+    0b1_0001_1101,           // degree 8:  x^8 + x^4 + x^3 + x^2 + 1
+    0b10_0001_0001,          // degree 9:  x^9 + x^4 + 1
+    0b100_0000_1001,         // degree 10: x^10 + x^3 + 1
+    0b1000_0000_0101,        // degree 11: x^11 + x^2 + 1
+    0b1_0000_0101_0011,      // degree 12: x^12 + x^6 + x^4 + x + 1
+    0b10_0000_0001_1011,     // degree 13: x^13 + x^4 + x^3 + x + 1
+    0b100_0010_1000_0011,    // degree 14: x^14 + x^10 + x^6 + x + 1  (see test)
+    0b1000_0000_0000_0011,   // degree 15: x^15 + x + 1
     0b1_0000_0000_0010_1101, // degree 16: x^16 + x^5 + x^3 + x^2 + 1
 ];
 

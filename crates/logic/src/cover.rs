@@ -18,7 +18,11 @@ pub struct Cover {
 impl Cover {
     /// Creates an empty cover.
     pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
-        Self { num_inputs, num_outputs, cubes: Vec::new() }
+        Self {
+            num_inputs,
+            num_outputs,
+            cubes: Vec::new(),
+        }
     }
 
     /// Creates a cover from existing cubes.
@@ -29,13 +33,23 @@ impl Cover {
     pub fn from_cubes(num_inputs: usize, num_outputs: usize, cubes: Vec<Cube>) -> Result<Self> {
         for c in &cubes {
             if c.num_inputs() != num_inputs {
-                return Err(Error::WidthMismatch { expected: num_inputs, found: c.num_inputs() });
+                return Err(Error::WidthMismatch {
+                    expected: num_inputs,
+                    found: c.num_inputs(),
+                });
             }
             if c.num_outputs() != num_outputs {
-                return Err(Error::WidthMismatch { expected: num_outputs, found: c.num_outputs() });
+                return Err(Error::WidthMismatch {
+                    expected: num_outputs,
+                    found: c.num_outputs(),
+                });
             }
         }
-        Ok(Self { num_inputs, num_outputs, cubes })
+        Ok(Self {
+            num_inputs,
+            num_outputs,
+            cubes,
+        })
     }
 
     /// Number of input variables.
@@ -75,10 +89,16 @@ impl Cover {
     /// Returns [`Error::WidthMismatch`] if the cube has different dimensions.
     pub fn push(&mut self, cube: Cube) -> Result<()> {
         if cube.num_inputs() != self.num_inputs {
-            return Err(Error::WidthMismatch { expected: self.num_inputs, found: cube.num_inputs() });
+            return Err(Error::WidthMismatch {
+                expected: self.num_inputs,
+                found: cube.num_inputs(),
+            });
         }
         if cube.num_outputs() != self.num_outputs {
-            return Err(Error::WidthMismatch { expected: self.num_outputs, found: cube.num_outputs() });
+            return Err(Error::WidthMismatch {
+                expected: self.num_outputs,
+                found: cube.num_outputs(),
+            });
         }
         self.cubes.push(cube);
         Ok(())
@@ -109,7 +129,11 @@ impl Cover {
             .filter(|c| c.output(output))
             .map(|c| Cube::new(c.inputs().to_vec(), vec![true]))
             .collect();
-        Cover { num_inputs: self.num_inputs, num_outputs: 1, cubes }
+        Cover {
+            num_inputs: self.num_inputs,
+            num_outputs: 1,
+            cubes,
+        }
     }
 
     /// Evaluates output `j` of the cover on a concrete input vector.
@@ -119,7 +143,9 @@ impl Cover {
     /// Panics if `j` or the vector width is out of range.
     pub fn evaluate(&self, bits: &[bool], output: usize) -> bool {
         assert!(output < self.num_outputs, "output index out of range");
-        self.cubes.iter().any(|c| c.output(output) && c.contains_point(bits))
+        self.cubes
+            .iter()
+            .any(|c| c.output(output) && c.contains_point(bits))
     }
 
     /// Removes cubes whose output set became empty.
@@ -168,7 +194,8 @@ impl Cover {
 
     fn tautology_recursive(cubes: &[&Cube], num_inputs: usize) -> bool {
         if cubes.is_empty() {
-            return num_inputs == 0 && false;
+            // An empty cover covers nothing, regardless of the input count.
+            return false;
         }
         // Any universal cube makes the cover a tautology.
         if cubes.iter().any(|c| c.literal_count() == 0) {
@@ -260,7 +287,11 @@ impl Cover {
                 }
                 cofactored.push(Cube::new(inputs, vec![true]));
             }
-            let cof = Cover { num_inputs: self.num_inputs, num_outputs: 1, cubes: cofactored };
+            let cof = Cover {
+                num_inputs: self.num_inputs,
+                num_outputs: 1,
+                cubes: cofactored,
+            };
             if !cof.is_tautology() {
                 return false;
             }
@@ -277,7 +308,10 @@ impl Cover {
     pub fn equivalent_exhaustive(&self, other: &Cover) -> bool {
         assert_eq!(self.num_inputs, other.num_inputs, "input width mismatch");
         assert_eq!(self.num_outputs, other.num_outputs, "output width mismatch");
-        assert!(self.num_inputs <= 20, "exhaustive comparison limited to 20 inputs");
+        assert!(
+            self.num_inputs <= 20,
+            "exhaustive comparison limited to 20 inputs"
+        );
         for v in 0u64..(1 << self.num_inputs) {
             let bits: Vec<bool> = (0..self.num_inputs).map(|i| (v >> i) & 1 == 1).collect();
             for j in 0..self.num_outputs {
@@ -304,7 +338,10 @@ mod tests {
     use super::*;
 
     fn cover(num_inputs: usize, num_outputs: usize, cubes: &[(&str, &str)]) -> Cover {
-        let cubes = cubes.iter().map(|(i, o)| Cube::parse(i, o).unwrap()).collect();
+        let cubes = cubes
+            .iter()
+            .map(|(i, o)| Cube::parse(i, o).unwrap())
+            .collect();
         Cover::from_cubes(num_inputs, num_outputs, cubes).unwrap()
     }
 
@@ -353,7 +390,10 @@ mod tests {
         let cubes: Vec<(String, String)> = (0u32..8)
             .map(|v| (format!("{:03b}", v), "1".to_string()))
             .collect();
-        let refs: Vec<(&str, &str)> = cubes.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let refs: Vec<(&str, &str)> = cubes
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         assert!(cover(3, 1, &refs).is_tautology());
         // Remove one minterm: no longer a tautology.
         let refs_missing = &refs[..7];
@@ -375,7 +415,11 @@ mod tests {
 
     #[test]
     fn single_cube_containment_removal() {
-        let mut c = cover(3, 1, &[("010", "1"), ("01-", "1"), ("0--", "1"), ("1--", "1")]);
+        let mut c = cover(
+            3,
+            1,
+            &[("010", "1"), ("01-", "1"), ("0--", "1"), ("1--", "1")],
+        );
         c.remove_single_cube_containment();
         assert_eq!(c.len(), 2);
         // duplicates: exactly one copy survives

@@ -75,7 +75,10 @@ impl Cube {
     ///
     /// Returns [`Error::InvalidSymbol`] on malformed characters.
     pub fn parse(inputs: &str, outputs: &str) -> Result<Self> {
-        let inputs = inputs.chars().map(Trit::from_char).collect::<Result<Vec<_>>>()?;
+        let inputs = inputs
+            .chars()
+            .map(Trit::from_char)
+            .collect::<Result<Vec<_>>>()?;
         let outputs = outputs
             .chars()
             .map(|c| match c {
@@ -89,7 +92,10 @@ impl Cube {
 
     /// The universal cube (all inputs don't-care) for the given output set.
     pub fn universal(num_inputs: usize, outputs: Vec<bool>) -> Self {
-        Self { inputs: vec![Trit::DontCare; num_inputs], outputs }
+        Self {
+            inputs: vec![Trit::DontCare; num_inputs],
+            outputs,
+        }
     }
 
     /// Number of input variables.
@@ -150,7 +156,10 @@ impl Cube {
 
     /// Number of specified (non-don't-care) input literals.
     pub fn literal_count(&self) -> usize {
-        self.inputs.iter().filter(|t| !matches!(t, Trit::DontCare)).count()
+        self.inputs
+            .iter()
+            .filter(|t| !matches!(t, Trit::DontCare))
+            .count()
     }
 
     /// Number of outputs the cube belongs to.
@@ -171,9 +180,10 @@ impl Cube {
     /// Panics if the input widths differ.
     pub fn inputs_intersect(&self, other: &Cube) -> bool {
         assert_eq!(self.num_inputs(), other.num_inputs(), "cube width mismatch");
-        self.inputs.iter().zip(&other.inputs).all(|(a, b)| {
-            !matches!((a, b), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero))
-        })
+        self.inputs
+            .iter()
+            .zip(&other.inputs)
+            .all(|(a, b)| !matches!((a, b), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)))
     }
 
     /// Whether the cubes intersect both in input space and in at least one
@@ -183,9 +193,17 @@ impl Cube {
     ///
     /// Panics if the dimensions differ.
     pub fn intersects(&self, other: &Cube) -> bool {
-        assert_eq!(self.num_outputs(), other.num_outputs(), "output width mismatch");
+        assert_eq!(
+            self.num_outputs(),
+            other.num_outputs(),
+            "output width mismatch"
+        );
         self.inputs_intersect(other)
-            && self.outputs.iter().zip(&other.outputs).any(|(&a, &b)| a && b)
+            && self
+                .outputs
+                .iter()
+                .zip(&other.outputs)
+                .any(|(&a, &b)| a && b)
     }
 
     /// Whether this cube's input part covers the other cube's input part.
@@ -208,9 +226,17 @@ impl Cube {
     ///
     /// Panics if the dimensions differ.
     pub fn covers(&self, other: &Cube) -> bool {
-        assert_eq!(self.num_outputs(), other.num_outputs(), "output width mismatch");
+        assert_eq!(
+            self.num_outputs(),
+            other.num_outputs(),
+            "output width mismatch"
+        );
         self.inputs_cover(other)
-            && self.outputs.iter().zip(&other.outputs).all(|(&a, &b)| a || !b)
+            && self
+                .outputs
+                .iter()
+                .zip(&other.outputs)
+                .all(|(&a, &b)| a || !b)
     }
 
     /// Whether the cube's input part contains the concrete input vector.
@@ -244,7 +270,12 @@ impl Cube {
                 (x, _) => *x,
             })
             .collect();
-        let outputs = self.outputs.iter().zip(&other.outputs).map(|(&a, &b)| a && b).collect();
+        let outputs = self
+            .outputs
+            .iter()
+            .zip(&other.outputs)
+            .map(|(&a, &b)| a && b)
+            .collect();
         Some(Cube { inputs, outputs })
     }
 
@@ -302,7 +333,10 @@ impl Cube {
 
     /// The output part as a string of `0` / `1`.
     pub fn outputs_string(&self) -> String {
-        self.outputs.iter().map(|&b| if b { '1' } else { '0' }).collect()
+        self.outputs
+            .iter()
+            .map(|&b| if b { '1' } else { '0' })
+            .collect()
     }
 }
 

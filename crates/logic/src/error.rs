@@ -42,10 +42,19 @@ impl fmt::Display for Error {
         match self {
             Error::InvalidSymbol { symbol } => write!(f, "invalid cube symbol `{symbol}`"),
             Error::WidthMismatch { expected, found } => {
-                write!(f, "cube width {found} does not match cover width {expected}")
+                write!(
+                    f,
+                    "cube width {found} does not match cover width {expected}"
+                )
             }
-            Error::ParsePla { line, message } => write!(f, "pla parse error at line {line}: {message}"),
-            Error::Inconsistent { first, second, output } => write!(
+            Error::ParsePla { line, message } => {
+                write!(f, "pla parse error at line {line}: {message}")
+            }
+            Error::Inconsistent {
+                first,
+                second,
+                output,
+            } => write!(
                 f,
                 "rows {first} and {second} assert conflicting values for output {output}"
             ),
@@ -64,10 +73,28 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(Error::InvalidSymbol { symbol: 'z' }.to_string().contains('z'));
-        assert!(Error::WidthMismatch { expected: 4, found: 2 }.to_string().contains('4'));
-        assert!(Error::ParsePla { line: 3, message: "bad".into() }.to_string().contains("line 3"));
-        assert!(Error::Inconsistent { first: 1, second: 2, output: 0 }.to_string().contains("output 0"));
+        assert!(Error::InvalidSymbol { symbol: 'z' }
+            .to_string()
+            .contains('z'));
+        assert!(Error::WidthMismatch {
+            expected: 4,
+            found: 2
+        }
+        .to_string()
+        .contains('4'));
+        assert!(Error::ParsePla {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(Error::Inconsistent {
+            first: 1,
+            second: 2,
+            output: 0
+        }
+        .to_string()
+        .contains("output 0"));
     }
 
     #[test]

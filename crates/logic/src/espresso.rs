@@ -26,14 +26,22 @@ pub struct MinimizeConfig {
 
 impl Default for MinimizeConfig {
     fn default() -> Self {
-        Self { passes: 2, output_expansion: true, irredundant: true }
+        Self {
+            passes: 2,
+            output_expansion: true,
+            irredundant: true,
+        }
     }
 }
 
 impl MinimizeConfig {
     /// A faster single-pass configuration for large parameter sweeps.
     pub fn fast() -> Self {
-        Self { passes: 1, output_expansion: true, irredundant: true }
+        Self {
+            passes: 1,
+            output_expansion: true,
+            irredundant: true,
+        }
     }
 }
 
@@ -273,7 +281,11 @@ mod tests {
     fn multi_output_sharing() {
         // Both outputs have the same ON cube; output expansion should let a
         // single product term drive both.
-        let p = pla(2, 2, &[("11", "11"), ("00", "00"), ("01", "00"), ("10", "00")]);
+        let p = pla(
+            2,
+            2,
+            &[("11", "11"), ("00", "00"), ("01", "00"), ("10", "00")],
+        );
         let r = minimize(&p);
         assert_eq!(r.product_terms(), 1);
         assert_eq!(r.cover.cubes()[0].output_count(), 2);
@@ -282,8 +294,15 @@ mod tests {
 
     #[test]
     fn output_expansion_can_be_disabled() {
-        let p = pla(2, 2, &[("11", "1-"), ("11", "-1"), ("0-", "00"), ("10", "00")]);
-        let cfg = MinimizeConfig { output_expansion: false, ..MinimizeConfig::default() };
+        let p = pla(
+            2,
+            2,
+            &[("11", "1-"), ("11", "-1"), ("0-", "00"), ("10", "00")],
+        );
+        let cfg = MinimizeConfig {
+            output_expansion: false,
+            ..MinimizeConfig::default()
+        };
         let r = minimize_with(&p, &cfg);
         assert!(verify(&p, &r.cover));
     }
@@ -345,7 +364,11 @@ mod tests {
 
     #[test]
     fn stats_are_consistent_with_cover() {
-        let p = pla(3, 2, &[("000", "11"), ("001", "10"), ("111", "01"), ("010", "00")]);
+        let p = pla(
+            3,
+            2,
+            &[("000", "11"), ("001", "10"), ("111", "01"), ("010", "00")],
+        );
         let r = minimize(&p);
         assert_eq!(r.stats.final_cubes, r.cover.len());
         assert_eq!(r.stats.literals, r.cover.literal_count());

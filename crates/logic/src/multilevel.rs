@@ -57,8 +57,14 @@ pub fn estimate_literals(cover: &Cover) -> LiteralEstimate {
                 .iter()
                 .enumerate()
                 .filter_map(|(v, t)| match t {
-                    Trit::Zero => Some(Literal { variable: v, positive: false }),
-                    Trit::One => Some(Literal { variable: v, positive: true }),
+                    Trit::Zero => Some(Literal {
+                        variable: v,
+                        positive: false,
+                    }),
+                    Trit::One => Some(Literal {
+                        variable: v,
+                        positive: true,
+                    }),
                     Trit::DontCare => None,
                 })
                 .collect()
@@ -68,20 +74,29 @@ pub fn estimate_literals(cover: &Cover) -> LiteralEstimate {
     let mut savings = 0usize;
     let mut next_intermediate = cover.num_inputs();
     // Bound the number of extraction rounds to keep the estimate cheap even
-    // for very large covers.
+    // for very large covers.  (`next_intermediate` is not a plain counter:
+    // it numbers freshly introduced literals across rounds.)
+    #[allow(clippy::explicit_counter_loop)]
     for _ in 0..cover.len().max(16) {
         let mut pair_counts: HashMap<(Literal, Literal), usize> = HashMap::new();
         for cube in &cubes {
             for i in 0..cube.len() {
                 for j in (i + 1)..cube.len() {
-                    let (a, b) = if cube[i] <= cube[j] { (cube[i], cube[j]) } else { (cube[j], cube[i]) };
+                    let (a, b) = if cube[i] <= cube[j] {
+                        (cube[i], cube[j])
+                    } else {
+                        (cube[j], cube[i])
+                    };
                     *pair_counts.entry((a, b)).or_insert(0) += 1;
                 }
             }
         }
         // Deterministic selection: highest count, ties broken by the pair
         // itself (HashMap iteration order must not influence the result).
-        let Some((&pair, &count)) = pair_counts.iter().max_by_key(|(&pair, &c)| (c, std::cmp::Reverse(pair))) else {
+        let Some((&pair, &count)) = pair_counts
+            .iter()
+            .max_by_key(|(&pair, &c)| (c, std::cmp::Reverse(pair)))
+        else {
             break;
         };
         if count < 3 {
@@ -91,7 +106,10 @@ pub fn estimate_literals(cover: &Cover) -> LiteralEstimate {
         savings += count - 2;
         // Replace the pair by a fresh intermediate literal in every cube that
         // contains it, so later rounds can stack factors.
-        let replacement = Literal { variable: next_intermediate, positive: true };
+        let replacement = Literal {
+            variable: next_intermediate,
+            positive: true,
+        };
         next_intermediate += 1;
         for cube in &mut cubes {
             let has_a = cube.contains(&pair.0);
@@ -104,7 +122,12 @@ pub fn estimate_literals(cover: &Cover) -> LiteralEstimate {
     }
 
     let factored = two_level.saturating_sub(savings).max(cover.len());
-    LiteralEstimate { two_level, output_connections, factoring_savings: savings, factored }
+    LiteralEstimate {
+        two_level,
+        output_connections,
+        factoring_savings: savings,
+        factored,
+    }
 }
 
 #[cfg(test)]

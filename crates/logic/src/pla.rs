@@ -30,7 +30,10 @@ impl PlaRow {
     /// Returns [`Error::InvalidSymbol`] on malformed characters.
     pub fn parse(inputs: &str, outputs: &str) -> Result<Self> {
         Ok(Self {
-            inputs: inputs.chars().map(Trit::from_char).collect::<Result<Vec<_>>>()?,
+            inputs: inputs
+                .chars()
+                .map(Trit::from_char)
+                .collect::<Result<Vec<_>>>()?,
             outputs: outputs
                 .chars()
                 .map(|c| match c {
@@ -80,7 +83,11 @@ pub struct Pla {
 impl Pla {
     /// Creates an empty specification.
     pub fn new(num_inputs: usize, num_outputs: usize) -> Self {
-        Self { num_inputs, num_outputs, rows: Vec::new() }
+        Self {
+            num_inputs,
+            num_outputs,
+            rows: Vec::new(),
+        }
     }
 
     /// Number of input variables.
@@ -116,7 +123,10 @@ impl Pla {
     /// Returns [`Error::WidthMismatch`] if the row widths do not match.
     pub fn push_row(&mut self, row: PlaRow) -> Result<()> {
         if row.inputs.len() != self.num_inputs {
-            return Err(Error::WidthMismatch { expected: self.num_inputs, found: row.inputs.len() });
+            return Err(Error::WidthMismatch {
+                expected: self.num_inputs,
+                found: row.inputs.len(),
+            });
         }
         if row.outputs.len() != self.num_outputs {
             return Err(Error::WidthMismatch {
@@ -156,8 +166,11 @@ impl Pla {
             .rows
             .iter()
             .filter_map(|row| {
-                let outputs: Vec<bool> =
-                    row.outputs.iter().map(|t| matches!(t, Trit::Zero)).collect();
+                let outputs: Vec<bool> = row
+                    .outputs
+                    .iter()
+                    .map(|t| matches!(t, Trit::Zero))
+                    .collect();
                 if outputs.iter().any(|&b| b) {
                     Some(Cube::new(row.inputs.clone(), outputs))
                 } else {
@@ -179,17 +192,19 @@ impl Pla {
         for i in 0..self.rows.len() {
             for j in (i + 1)..self.rows.len() {
                 let (a, b) = (&self.rows[i], &self.rows[j]);
-                let intersect = a
-                    .inputs
-                    .iter()
-                    .zip(&b.inputs)
-                    .all(|(x, y)| !matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)));
+                let intersect = a.inputs.iter().zip(&b.inputs).all(|(x, y)| {
+                    !matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero))
+                });
                 if !intersect {
                     continue;
                 }
                 for (k, (x, y)) in a.outputs.iter().zip(&b.outputs).enumerate() {
                     if matches!((x, y), (Trit::Zero, Trit::One) | (Trit::One, Trit::Zero)) {
-                        return Err(Error::Inconsistent { first: i, second: j, output: k });
+                        return Err(Error::Inconsistent {
+                            first: i,
+                            second: j,
+                            output: k,
+                        });
                     }
                 }
             }
@@ -255,23 +270,36 @@ impl Pla {
             if fields.len() != 2 {
                 return Err(Error::ParsePla {
                     line: line_no,
-                    message: format!("expected `<inputs> <outputs>`, found {} fields", fields.len()),
+                    message: format!(
+                        "expected `<inputs> <outputs>`, found {} fields",
+                        fields.len()
+                    ),
                 });
             }
             rows.push((line_no, fields[0].to_string(), fields[1].to_string()));
         }
         let num_inputs = num_inputs
             .or_else(|| rows.first().map(|r| r.1.len()))
-            .ok_or(Error::ParsePla { line: 0, message: "no .i directive and no rows".into() })?;
+            .ok_or(Error::ParsePla {
+                line: 0,
+                message: "no .i directive and no rows".into(),
+            })?;
         let num_outputs = num_outputs
             .or_else(|| rows.first().map(|r| r.2.len()))
-            .ok_or(Error::ParsePla { line: 0, message: "no .o directive and no rows".into() })?;
+            .ok_or(Error::ParsePla {
+                line: 0,
+                message: "no .o directive and no rows".into(),
+            })?;
         let mut pla = Pla::new(num_inputs, num_outputs);
         for (line_no, i, o) in rows {
-            let row = PlaRow::parse(&i, &o)
-                .map_err(|e| Error::ParsePla { line: line_no, message: e.to_string() })?;
-            pla.push_row(row)
-                .map_err(|e| Error::ParsePla { line: line_no, message: e.to_string() })?;
+            let row = PlaRow::parse(&i, &o).map_err(|e| Error::ParsePla {
+                line: line_no,
+                message: e.to_string(),
+            })?;
+            pla.push_row(row).map_err(|e| Error::ParsePla {
+                line: line_no,
+                message: e.to_string(),
+            })?;
         }
         Ok(pla)
     }
@@ -279,9 +307,18 @@ impl Pla {
     /// Serialises the specification in espresso `.pla` syntax (type `fr`).
     pub fn to_pla_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!(".i {}\n.o {}\n.p {}\n.type fr\n", self.num_inputs, self.num_outputs, self.rows.len()));
+        out.push_str(&format!(
+            ".i {}\n.o {}\n.p {}\n.type fr\n",
+            self.num_inputs,
+            self.num_outputs,
+            self.rows.len()
+        ));
         for row in &self.rows {
-            out.push_str(&format!("{} {}\n", row.inputs_string(), row.outputs_string()));
+            out.push_str(&format!(
+                "{} {}\n",
+                row.inputs_string(),
+                row.outputs_string()
+            ));
         }
         out.push_str(".e\n");
         out
@@ -290,9 +327,15 @@ impl Pla {
 
 fn parse_number(field: Option<&str>, line: usize) -> Result<usize> {
     field
-        .ok_or(Error::ParsePla { line, message: "missing numeric argument".into() })?
+        .ok_or(Error::ParsePla {
+            line,
+            message: "missing numeric argument".into(),
+        })?
         .parse()
-        .map_err(|_| Error::ParsePla { line, message: "argument is not a number".into() })
+        .map_err(|_| Error::ParsePla {
+            line,
+            message: "argument is not a number".into(),
+        })
 }
 
 impl fmt::Display for Pla {
@@ -350,7 +393,10 @@ mod tests {
         let mut pla = Pla::new(2, 1);
         pla.add_row("0-", "1").unwrap();
         pla.add_row("00", "0").unwrap();
-        assert!(matches!(pla.check_consistent(), Err(Error::Inconsistent { output: 0, .. })));
+        assert!(matches!(
+            pla.check_consistent(),
+            Err(Error::Inconsistent { output: 0, .. })
+        ));
         let mut ok = Pla::new(2, 1);
         ok.add_row("0-", "1").unwrap();
         ok.add_row("1-", "0").unwrap();

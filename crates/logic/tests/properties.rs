@@ -12,28 +12,27 @@ use stfsm_logic::{Pla, Trit};
 fn arb_pla(max_inputs: usize, max_outputs: usize) -> impl Strategy<Value = Pla> {
     (2usize..=max_inputs, 1usize..=max_outputs).prop_flat_map(|(ni, no)| {
         let rows = 1usize << ni;
-        proptest::collection::vec(
-            proptest::collection::vec(0u8..3, no),
-            rows..=rows,
+        proptest::collection::vec(proptest::collection::vec(0u8..3, no), rows..=rows).prop_map(
+            move |outputs| {
+                let mut pla = Pla::new(ni, no);
+                for (minterm, outs) in outputs.iter().enumerate() {
+                    let input: String = (0..ni)
+                        .map(|b| if (minterm >> b) & 1 == 1 { '1' } else { '0' })
+                        .collect();
+                    let output: String = outs
+                        .iter()
+                        .map(|&v| match v {
+                            0 => '0',
+                            1 => '1',
+                            _ => '-',
+                        })
+                        .collect();
+                    pla.add_row(&input, &output)
+                        .expect("row widths are consistent");
+                }
+                pla
+            },
         )
-        .prop_map(move |outputs| {
-            let mut pla = Pla::new(ni, no);
-            for (minterm, outs) in outputs.iter().enumerate() {
-                let input: String = (0..ni)
-                    .map(|b| if (minterm >> b) & 1 == 1 { '1' } else { '0' })
-                    .collect();
-                let output: String = outs
-                    .iter()
-                    .map(|&v| match v {
-                        0 => '0',
-                        1 => '1',
-                        _ => '-',
-                    })
-                    .collect();
-                pla.add_row(&input, &output).expect("row widths are consistent");
-            }
-            pla
-        })
     })
 }
 

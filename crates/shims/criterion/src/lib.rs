@@ -1,0 +1,267 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Provides the subset of the criterion API the workspace benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! with real wall-clock measurement: each benchmark is calibrated to a
+//! per-sample time budget and the median over the sample count is reported.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches`
+//! does), every benchmark body runs exactly once so the benches double as
+//! smoke tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising a value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter part.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures; handed to benchmark bodies.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// Median nanoseconds per iteration of the last [`Bencher::iter`] call.
+    last_ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures the closure: calibrates an iteration count to a ~5 ms
+    /// sample, collects `sample_size` samples and records the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.last_ns_per_iter = None;
+            return;
+        }
+        // Calibration: find an iteration count filling the sample budget.
+        let budget = Duration::from_millis(5);
+        let mut iters = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget || iters >= 1 << 20 {
+                break;
+            }
+            let grow = if elapsed.is_zero() {
+                8
+            } else {
+                (budget.as_nanos() / elapsed.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            iters = iters.saturating_mul(grow);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.last_ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            sample_size: 10,
+            last_ns_per_iter: None,
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark of the group with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            last_ns_per_iter: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Runs one benchmark of the group without an input value.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            last_ns_per_iter: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, b: &Bencher) {
+    match b.last_ns_per_iter {
+        Some(ns) => println!("{id:<60} time: {}", human_ns(ns)),
+        None => println!("{id:<60} ok (test mode)"),
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` function of a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_with_input(BenchmarkId::new("f", 1), &41u64, |b, &x| {
+            b.iter(|| black_box(x) + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert!(human_ns(10.0).contains("ns"));
+        assert!(human_ns(1e4).contains("µs"));
+        assert!(human_ns(1e7).contains("ms"));
+        assert!(human_ns(2e9).contains('s'));
+    }
+}

@@ -18,10 +18,28 @@
 //! masking probability of an `r`-bit MISR is reported alongside the results.
 
 use crate::faults::{Fault, FaultList};
+use crate::packed::{PackedSimulator, FAULT_LANES};
 use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
 use crate::sim::Simulator;
 use stfsm_bist::netlist::Netlist;
 use stfsm_bist::BistStructure;
+use stfsm_lfsr::bitvec::broadcast;
+
+/// Which simulation engine drives the fault-coverage campaign.
+///
+/// Both engines produce bit-for-bit identical [`CoverageResult`]s; the
+/// packed engine simulates up to [`FAULT_LANES`] faulty machines per word
+/// operation and is roughly an order of magnitude faster.  The scalar
+/// engine is retained as the differential-testing reference and for
+/// debugging single faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// One fault at a time on the boolean [`Simulator`].
+    Scalar,
+    /// 63 faults per chunk on the word-parallel [`PackedSimulator`].
+    #[default]
+    Packed,
+}
 
 /// How the state lines are stimulated during self-test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +80,8 @@ pub struct SelfTestConfig {
     /// Override of the state stimulation mode; `None` derives it from the
     /// netlist's structure.
     pub stimulation: Option<StateStimulation>,
+    /// Simulation engine (packed 64-way by default).
+    pub engine: SimEngine,
 }
 
 impl Default for SelfTestConfig {
@@ -73,6 +93,7 @@ impl Default for SelfTestConfig {
             collapse_faults: true,
             fault_sample: 1,
             stimulation: None,
+            engine: SimEngine::default(),
         }
     }
 }
@@ -133,8 +154,9 @@ impl CoverageResult {
 
 /// Runs a self-test campaign on a netlist.
 pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResult {
-    let stimulation =
-        config.stimulation.unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
+    let stimulation = config
+        .stimulation
+        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
     let fault_list = if config.collapse_faults {
         FaultList::collapsed(netlist)
     } else {
@@ -146,29 +168,31 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
     let num_state = netlist.flip_flops().len();
 
     // Pre-generate the stimulus so the fault-free and every faulty machine
-    // see exactly the same sequence.
+    // see exactly the same sequence.  Flat row-major buffers: the campaign
+    // makes no further allocations per cycle.
     let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
         Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
         None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
     };
     let mut state_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
-    let stimulus: Vec<(Vec<bool>, Vec<bool>)> = (0..config.max_patterns)
-        .map(|_| {
-            let pi = if num_inputs == 0 { Vec::new() } else { pi_source.next_pattern() };
-            let st = state_source.next_pattern();
-            (pi, st)
-        })
-        .collect();
-
-    // Fault-free reference responses.
-    let good = simulate(netlist, None, &stimulus, stimulation, None);
-
-    // Faulty machines: simulate until the first mismatch (fault dropping).
-    let mut detection_pattern = Vec::with_capacity(fault_list.len());
-    for fault in &fault_list {
-        let detected_at = simulate(netlist, Some(*fault), &stimulus, stimulation, Some(&good));
-        detection_pattern.push(detected_at.first_mismatch);
+    let mut stimulus = Stimulus {
+        cycles: config.max_patterns,
+        pi_width: num_inputs,
+        st_width: num_state.max(1),
+        pi: vec![false; config.max_patterns * num_inputs],
+        st: vec![false; config.max_patterns * num_state.max(1)],
+    };
+    for cycle in 0..config.max_patterns {
+        if num_inputs > 0 {
+            pi_source.fill(stimulus.pi_mut(cycle));
+        }
+        state_source.fill(stimulus.st_mut(cycle));
     }
+
+    let detection_pattern = match config.engine {
+        SimEngine::Scalar => scalar_detection(netlist, &fault_list, &stimulus, stimulation),
+        SimEngine::Packed => packed_detection(netlist, &fault_list, &stimulus, stimulation),
+    };
 
     let detected_faults = detection_pattern.iter().filter(|d| d.is_some()).count();
     let total_faults = fault_list.len();
@@ -178,12 +202,22 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
     let step = (config.max_patterns / 32).max(1);
     let mut checkpoint = 1;
     while checkpoint <= config.max_patterns {
-        let covered = detection_pattern.iter().flatten().filter(|&&p| p < checkpoint).count();
-        coverage_curve.push((checkpoint, if total_faults == 0 { 1.0 } else { covered as f64 / total_faults as f64 }));
+        let covered = detection_pattern
+            .iter()
+            .flatten()
+            .filter(|&&p| p < checkpoint)
+            .count();
+        coverage_curve.push((
+            checkpoint,
+            if total_faults == 0 {
+                1.0
+            } else {
+                covered as f64 / total_faults as f64
+            },
+        ));
         checkpoint += step;
     }
 
-    let r = netlist.observation_points().len();
     CoverageResult {
         structure: netlist.structure(),
         stimulation,
@@ -192,7 +226,360 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
         patterns_applied: config.max_patterns,
         detection_pattern,
         coverage_curve,
-        aliasing_probability: (0.5f64).powi(r.min(64) as i32),
+        aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
+    }
+}
+
+/// The signature-aliasing (fault-masking) probability `2^{-r}` of an
+/// `r`-bit response compactor.
+///
+/// Computed as `exp2(-r)` without clamping the width: every result up to
+/// `r = 1074` is the exact IEEE-754 value (subnormal below `r = 1023`), and
+/// wider compactors underflow to `0.0`, which is the honest double-precision
+/// answer (the probability is below the smallest representable number).
+pub fn misr_aliasing_probability(r: usize) -> f64 {
+    f64::exp2(-(r.min(u32::MAX as usize) as f64))
+}
+
+/// Scalar engine: one fault at a time against the stored reference
+/// responses, with fault dropping at the first mismatch.
+fn scalar_detection(
+    netlist: &Netlist,
+    fault_list: &FaultList,
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+) -> Vec<Option<usize>> {
+    // Fault-free reference responses.
+    let good = simulate(netlist, None, stimulus, stimulation, None);
+    fault_list
+        .faults()
+        .iter()
+        .map(|&fault| {
+            simulate(netlist, Some(fault), stimulus, stimulation, Some(&good)).first_mismatch
+        })
+        .collect()
+}
+
+/// A still-undetected fault between compaction segments: its position in
+/// the fault list and the register state its machine has reached.
+struct AliveFault {
+    index: usize,
+    fault: Fault,
+    state: Vec<bool>,
+}
+
+/// Per-lane transition/observation tables for one fault chunk, built by
+/// evaluating the packed simulator over the whole `2^(m + r)` input/state
+/// space.  For small controllers this turns the long low-occupancy tail of
+/// a campaign (a handful of stubborn faults times thousands of patterns)
+/// into two table lookups per machine per cycle.
+struct LaneTables {
+    r: usize,
+    combos: usize,
+    /// `obs_sig[lane * combos + idx]`: the observation vector of lane
+    /// `lane` for input/state combination `idx`, packed into a word.
+    obs_sig: Vec<u32>,
+    /// `next_state[lane * combos + idx]`: the register state the lane loads
+    /// at the clock edge.
+    next_state: Vec<u16>,
+}
+
+impl LaneTables {
+    /// Hard limits under which table mode is exact and worthwhile:
+    /// all observation bits must fit one `u32` signature, the state one
+    /// `u16`, and the table must stay small enough to build and cache.
+    fn applicable(netlist: &Netlist, lanes: usize, remaining_cycles: usize) -> bool {
+        let r = netlist.flip_flops().len();
+        let m = netlist.primary_inputs().len();
+        let bits = r + m;
+        bits <= 16
+            && r <= 16
+            && netlist.observation_points().len() <= 32
+            && (1usize << bits) * lanes <= 1 << 20
+            // Building costs ~2 packed evaluations per combination; only
+            // switch when the remaining tail clearly amortises it.
+            && (1usize << bits) * 4 <= remaining_cycles.saturating_mul(lanes.max(8))
+    }
+
+    fn build(netlist: &Netlist, faults: &[Fault]) -> Self {
+        let plan = netlist.plan();
+        let r = netlist.flip_flops().len();
+        let m = netlist.primary_inputs().len();
+        let combos = 1usize << (r + m);
+        let lanes = faults.len() + 1;
+        let mut sim = PackedSimulator::with_faults(netlist, faults);
+        let mut obs_sig = vec![0u32; lanes * combos];
+        let mut next_state = vec![0u16; lanes * combos];
+        let mut state_bits = vec![false; r];
+        let mut input_words = vec![0u64; m];
+        for combo in 0..combos {
+            for (j, bit) in state_bits.iter_mut().enumerate() {
+                *bit = (combo >> j) & 1 == 1;
+            }
+            for (k, word) in input_words.iter_mut().enumerate() {
+                *word = broadcast((combo >> (r + k)) & 1 == 1);
+            }
+            sim.set_state_broadcast(&state_bits);
+            sim.evaluate(&input_words);
+            for (bit, &net) in plan.observation_points().iter().enumerate() {
+                let w = sim.net_word(net as usize);
+                for (lane, sig) in obs_sig.iter_mut().skip(combo).step_by(combos).enumerate() {
+                    *sig |= (((w >> lane) & 1) as u32) << bit;
+                }
+            }
+            for (bit, &d) in plan.flip_flop_inputs().iter().enumerate() {
+                let w = sim.net_word(d as usize);
+                for (lane, ns) in next_state
+                    .iter_mut()
+                    .skip(combo)
+                    .step_by(combos)
+                    .enumerate()
+                {
+                    *ns |= (((w >> lane) & 1) as u16) << bit;
+                }
+            }
+        }
+        Self {
+            r,
+            combos,
+            obs_sig,
+            next_state,
+        }
+    }
+
+    fn sig(&self, lane: usize, idx: usize) -> u32 {
+        self.obs_sig[lane * self.combos + idx]
+    }
+
+    fn next(&self, lane: usize, idx: usize) -> u16 {
+        self.next_state[lane * self.combos + idx]
+    }
+}
+
+fn bits_to_index(bits: &[bool]) -> usize {
+    bits.iter()
+        .enumerate()
+        .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i))
+}
+
+/// Runs the remaining cycles of a campaign for one chunk of faults through
+/// precomputed [`LaneTables`].  Produces exactly the detection cycles the
+/// word-parallel (and scalar) engines would.
+#[allow(clippy::too_many_arguments)]
+fn table_tail(
+    netlist: &Netlist,
+    alive: &[AliveFault],
+    reference_state: &[bool],
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+    from: usize,
+    detection_pattern: &mut [Option<usize>],
+) {
+    let faults: Vec<Fault> = alive.iter().map(|a| a.fault).collect();
+    let tables = LaneTables::build(netlist, &faults);
+    let r = tables.r;
+    // (lane, detection index, current state) of the still-active machines.
+    let mut live: Vec<(usize, usize, u16)> = alive
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i + 1, a.index, bits_to_index(&a.state) as u16))
+        .collect();
+    let mut ref_state = bits_to_index(reference_state) as u16;
+    for cycle in from..stimulus.cycles {
+        if live.is_empty() {
+            break;
+        }
+        let input_bits = bits_to_index(stimulus.pi(cycle)) << r;
+        match stimulation {
+            StateStimulation::SystemState => {
+                let ref_idx = input_bits | ref_state as usize;
+                let ref_sig = tables.sig(0, ref_idx);
+                live.retain_mut(|(lane, index, state)| {
+                    let idx = input_bits | *state as usize;
+                    if tables.sig(*lane, idx) != ref_sig {
+                        detection_pattern[*index] = Some(cycle);
+                        false
+                    } else {
+                        *state = tables.next(*lane, idx);
+                        true
+                    }
+                });
+                ref_state = tables.next(0, ref_idx);
+            }
+            StateStimulation::RandomState => {
+                // The pattern register overrides the state: all machines
+                // (including the reference) share the same index.
+                let idx = input_bits | (bits_to_index(&stimulus.st(cycle)[..r]));
+                let ref_sig = tables.sig(0, idx);
+                live.retain_mut(|(lane, index, _)| {
+                    if tables.sig(*lane, idx) != ref_sig {
+                        detection_pattern[*index] = Some(cycle);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// Packed engine: faults are simulated in chunks of up to [`FAULT_LANES`]
+/// per machine word, with the fault-free reference in lane 0 of every
+/// chunk.  The stimulus is packed into broadcast words once, up front.
+///
+/// Most faults are caught within a few dozen patterns, which would leave
+/// later cycles of a chunk running for just one or two stubborn lanes.  The
+/// campaign therefore proceeds in segments of doubling length and
+/// *compacts* the surviving faults into fresh, dense chunks between
+/// segments, carrying each machine's register state across the boundary —
+/// the per-fault trajectories (and hence the detection pattern) are exactly
+/// those of the scalar engine.
+fn packed_detection(
+    netlist: &Netlist,
+    fault_list: &FaultList,
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+) -> Vec<Option<usize>> {
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let total_cycles = stimulus.cycles;
+    let mut detection_pattern = vec![None; fault_list.len()];
+    if total_cycles == 0 || fault_list.is_empty() {
+        return detection_pattern;
+    }
+    // Pre-pack the stimulus: every machine sees the same inputs, so each bit
+    // becomes one broadcast word, stored flat (cycle-major).
+    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+    let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
+
+    // Scan initialisation: every machine starts from the first random state
+    // (the generated rows are at least as wide as the register).
+    let init_state = stimulus.st(0)[..num_state].to_vec();
+    let mut reference_state = init_state.clone();
+    let mut alive: Vec<AliveFault> = fault_list
+        .faults()
+        .iter()
+        .enumerate()
+        .map(|(index, &fault)| AliveFault {
+            index,
+            fault,
+            state: init_state.clone(),
+        })
+        .collect();
+
+    let mut from = 0usize;
+    let mut segment_len = 64usize;
+    while from < total_cycles && !alive.is_empty() {
+        // Once the survivors fit a single chunk and the machine is small
+        // enough, finish the campaign on compiled transition tables.
+        if alive.len() <= FAULT_LANES
+            && LaneTables::applicable(netlist, alive.len() + 1, total_cycles - from)
+        {
+            table_tail(
+                netlist,
+                &alive,
+                &reference_state,
+                stimulus,
+                stimulation,
+                from,
+                &mut detection_pattern,
+            );
+            return detection_pattern;
+        }
+        let to = (from + segment_len).min(total_cycles);
+        segment_len = segment_len.saturating_mul(2);
+        let mut survivors: Vec<AliveFault> = Vec::new();
+        let mut next_reference_state = None;
+        for chunk in alive.chunks(FAULT_LANES) {
+            let faults: Vec<Fault> = chunk.iter().map(|a| a.fault).collect();
+            let mut sim = PackedSimulator::with_faults(netlist, &faults);
+            // Seed the lanes: lane 0 resumes the fault-free reference, lane
+            // `i + 1` resumes faulty machine `chunk[i]`.
+            let mut state_words = vec![0u64; num_state];
+            for (ff, word) in state_words.iter_mut().enumerate() {
+                let mut w = reference_state[ff] as u64;
+                for (i, a) in chunk.iter().enumerate() {
+                    w |= (a.state[ff] as u64) << (i + 1);
+                }
+                *word = w;
+            }
+            sim.set_state_words(&state_words);
+            let mut active = sim.fault_lanes_mask();
+            for cycle in from..to {
+                if active == 0 {
+                    break; // every fault of the chunk has been detected
+                }
+                if stimulation == StateStimulation::RandomState {
+                    // The pattern-generation register overrides the state.
+                    let row = cycle * stimulus.st_width;
+                    sim.set_state_words(&st_words[row..row + num_state]);
+                }
+                let row = cycle * num_inputs;
+                let mut detected = sim.step_detect(&pi_words[row..row + num_inputs]) & active;
+                active &= !detected;
+                while detected != 0 {
+                    let lane = detected.trailing_zeros() as usize;
+                    detection_pattern[chunk[lane - 1].index] = Some(cycle);
+                    detected &= detected - 1;
+                }
+            }
+            if active != 0 {
+                // This chunk ran the full segment, so its lane 0 holds the
+                // fault-free state at `to` for seeding the next segment.
+                let words = sim.state_words();
+                if next_reference_state.is_none() {
+                    next_reference_state =
+                        Some(words.iter().map(|&w| w & 1 == 1).collect::<Vec<bool>>());
+                }
+                while active != 0 {
+                    let lane = active.trailing_zeros() as usize;
+                    active &= active - 1;
+                    let a = &chunk[lane - 1];
+                    survivors.push(AliveFault {
+                        index: a.index,
+                        fault: a.fault,
+                        state: words.iter().map(|&w| (w >> lane) & 1 == 1).collect(),
+                    });
+                }
+            }
+        }
+        if let Some(state) = next_reference_state {
+            reference_state = state;
+        }
+        alive = survivors;
+        from = to;
+    }
+    detection_pattern
+}
+
+/// The pre-generated campaign stimulus in flat row-major buffers: cycle `c`
+/// occupies `pi[c * pi_width ..]` and `st[c * st_width ..]`.
+struct Stimulus {
+    cycles: usize,
+    pi_width: usize,
+    /// Width of the generated state rows (`num_state.max(1)`, mirroring the
+    /// state pattern source).
+    st_width: usize,
+    pi: Vec<bool>,
+    st: Vec<bool>,
+}
+
+impl Stimulus {
+    fn pi(&self, cycle: usize) -> &[bool] {
+        &self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
+    }
+
+    fn pi_mut(&mut self, cycle: usize) -> &mut [bool] {
+        &mut self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
+    }
+
+    fn st(&self, cycle: usize) -> &[bool] {
+        &self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
+    }
+
+    fn st_mut(&mut self, cycle: usize) -> &mut [bool] {
+        &mut self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
     }
 }
 
@@ -207,7 +594,7 @@ struct SimulationOutcome {
 fn simulate(
     netlist: &Netlist,
     fault: Option<Fault>,
-    stimulus: &[(Vec<bool>, Vec<bool>)],
+    stimulus: &Stimulus,
     stimulation: StateStimulation,
     reference: Option<&SimulationOutcome>,
 ) -> SimulationOutcome {
@@ -216,20 +603,27 @@ fn simulate(
         None => Simulator::new(netlist),
     };
     // Scan initialisation: load the first random state.
-    if let Some((_, st)) = stimulus.first() {
-        sim.set_state(st);
+    if stimulus.cycles > 0 {
+        sim.set_state(stimulus.st(0));
     }
     let keep_observations = reference.is_none();
-    let mut observations = Vec::with_capacity(if keep_observations { stimulus.len() } else { 0 });
+    let mut observations = Vec::with_capacity(if keep_observations {
+        stimulus.cycles
+    } else {
+        0
+    });
     let mut first_mismatch = None;
+    // One scratch buffer for the whole run instead of a fresh `Vec` per
+    // cycle (only pushed into `observations` on the reference run).
+    let mut obs = Vec::with_capacity(netlist.observation_points().len());
 
-    for (cycle, (pi, st)) in stimulus.iter().enumerate() {
+    for cycle in 0..stimulus.cycles {
         if stimulation == StateStimulation::RandomState {
             // The pattern-generation register overrides the state each cycle.
-            sim.set_state(st);
+            sim.set_state(stimulus.st(cycle));
         }
-        sim.evaluate(pi);
-        let obs = sim.observations();
+        sim.evaluate(stimulus.pi(cycle));
+        sim.observations_into(&mut obs);
         if let Some(reference) = reference {
             if obs != reference.observations[cycle] {
                 first_mismatch = Some(cycle);
@@ -237,11 +631,14 @@ fn simulate(
             }
         }
         if keep_observations {
-            observations.push(obs);
+            observations.push(obs.clone());
         }
         sim.clock();
     }
-    SimulationOutcome { observations, first_mismatch }
+    SimulationOutcome {
+        observations,
+        first_mismatch,
+    }
 }
 
 #[cfg(test)]
@@ -282,9 +679,19 @@ mod tests {
     fn dff_self_test_reaches_high_coverage() {
         let fsm = fig3_example().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Dff);
-        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
+        let result = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 512,
+                ..Default::default()
+            },
+        );
         assert_eq!(result.stimulation, StateStimulation::RandomState);
-        assert!(result.fault_coverage() > 0.9, "coverage {}", result.fault_coverage());
+        assert!(
+            result.fault_coverage() > 0.9,
+            "coverage {}",
+            result.fault_coverage()
+        );
         assert!(result.total_faults > 0);
         assert_eq!(result.patterns_applied, 512);
         assert!(result.aliasing_probability < 0.5);
@@ -294,16 +701,32 @@ mod tests {
     fn pst_self_test_reaches_high_coverage() {
         let fsm = fig3_example().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Pst);
-        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
+        let result = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 512,
+                ..Default::default()
+            },
+        );
         assert_eq!(result.stimulation, StateStimulation::SystemState);
-        assert!(result.fault_coverage() > 0.85, "coverage {}", result.fault_coverage());
+        assert!(
+            result.fault_coverage() > 0.85,
+            "coverage {}",
+            result.fault_coverage()
+        );
     }
 
     #[test]
     fn coverage_curve_is_monotone() {
         let fsm = modulo12_exact().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Dff);
-        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 256, ..Default::default() });
+        let result = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 256,
+                ..Default::default()
+            },
+        );
         let mut last = 0.0;
         for &(_, c) in &result.coverage_curve {
             assert!(c >= last - 1e-12);
@@ -316,12 +739,25 @@ mod tests {
     fn test_length_for_coverage_is_consistent() {
         let fsm = fig3_example().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Dff);
-        let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 512, ..Default::default() });
-        let half = result.test_length_for_coverage(0.5).expect("should reach 50% quickly");
-        let ninety = result.test_length_for_coverage(0.9).expect("should reach 90%");
+        let result = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 512,
+                ..Default::default()
+            },
+        );
+        let half = result
+            .test_length_for_coverage(0.5)
+            .expect("should reach 50% quickly");
+        let ninety = result
+            .test_length_for_coverage(0.9)
+            .expect("should reach 90%");
         assert!(half <= ninety);
         assert!(result.test_length_for_coverage(1.01).is_none() || result.fault_coverage() >= 1.0);
-        assert_eq!(result.undetected_faults(), result.total_faults - result.detected_faults);
+        assert_eq!(
+            result.undetected_faults(),
+            result.total_faults - result.detected_faults
+        );
     }
 
     #[test]
@@ -344,7 +780,10 @@ mod tests {
     fn reproducible_with_same_seed() {
         let fsm = fig3_example().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Pst);
-        let cfg = SelfTestConfig { max_patterns: 128, ..Default::default() };
+        let cfg = SelfTestConfig {
+            max_patterns: 128,
+            ..Default::default()
+        };
         let a = run_self_test(&netlist, &cfg);
         let b = run_self_test(&netlist, &cfg);
         assert_eq!(a, b);
@@ -361,6 +800,83 @@ mod tests {
         };
         let result = run_self_test(&netlist, &cfg);
         assert_eq!(result.stimulation, StateStimulation::RandomState);
+    }
+
+    #[test]
+    fn packed_and_scalar_engines_agree_bit_for_bit() {
+        for structure in [BistStructure::Dff, BistStructure::Sig, BistStructure::Pst] {
+            for fsm in [fig3_example().unwrap(), modulo12_exact().unwrap()] {
+                let netlist = netlist_for(&fsm, structure);
+                let base = SelfTestConfig {
+                    max_patterns: 512,
+                    ..Default::default()
+                };
+                let scalar = run_self_test(
+                    &netlist,
+                    &SelfTestConfig {
+                        engine: SimEngine::Scalar,
+                        ..base.clone()
+                    },
+                );
+                let packed = run_self_test(
+                    &netlist,
+                    &SelfTestConfig {
+                        engine: SimEngine::Packed,
+                        ..base
+                    },
+                );
+                assert_eq!(
+                    scalar.detection_pattern,
+                    packed.detection_pattern,
+                    "{structure} on {}",
+                    fsm.name()
+                );
+                assert_eq!(scalar, packed, "{structure} on {}", fsm.name());
+            }
+        }
+    }
+
+    #[test]
+    fn packed_engine_handles_uncollapsed_and_wide_fault_lists() {
+        // An uncollapsed list exercises input-pin faults and needs multiple
+        // 63-fault chunks.
+        let fsm = modulo12_exact().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let cfg = SelfTestConfig {
+            max_patterns: 256,
+            collapse_faults: false,
+            ..Default::default()
+        };
+        let scalar = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                engine: SimEngine::Scalar,
+                ..cfg.clone()
+            },
+        );
+        assert!(
+            scalar.total_faults > crate::packed::FAULT_LANES,
+            "need more than one chunk, got {} faults",
+            scalar.total_faults
+        );
+        let packed = run_self_test(&netlist, &cfg);
+        assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn aliasing_probability_is_exact_for_wide_misrs() {
+        assert_eq!(misr_aliasing_probability(1), 0.5);
+        assert_eq!(misr_aliasing_probability(4), 0.0625);
+        assert_eq!(misr_aliasing_probability(64), (0.5f64).powi(64));
+        // The old implementation clamped to 2^-64; wide compactors must keep
+        // shrinking instead.
+        assert!(misr_aliasing_probability(100) < misr_aliasing_probability(64));
+        assert_eq!(misr_aliasing_probability(100), f64::exp2(-100.0));
+        // Subnormal but still non-zero…
+        assert!(misr_aliasing_probability(1074) > 0.0);
+        // …and a documented graceful underflow beyond double precision.
+        assert_eq!(misr_aliasing_probability(1100), 0.0);
+        assert_eq!(misr_aliasing_probability(usize::MAX), 0.0);
     }
 
     #[test]

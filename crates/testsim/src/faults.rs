@@ -53,12 +53,18 @@ impl FaultList {
                 continue;
             }
             for stuck_at in [false, true] {
-                faults.push(Fault { site: FaultSite::GateOutput(id), stuck_at });
+                faults.push(Fault {
+                    site: FaultSite::GateOutput(id),
+                    stuck_at,
+                });
             }
             if gate.fanin().len() > 1 {
                 for pin in 0..gate.fanin().len() {
                     for stuck_at in [false, true] {
-                        faults.push(Fault { site: FaultSite::GateInput { gate: id, pin }, stuck_at });
+                        faults.push(Fault {
+                            site: FaultSite::GateInput { gate: id, pin },
+                            stuck_at,
+                        });
                     }
                 }
             }
@@ -159,7 +165,11 @@ mod tests {
         let list = FaultList::full(&n);
         assert!(!list.is_empty());
         // Two polarities per gate output at least.
-        let non_const = n.gates().iter().filter(|g| !matches!(g, Gate::Constant(_))).count();
+        let non_const = n
+            .gates()
+            .iter()
+            .filter(|g| !matches!(g, Gate::Constant(_)))
+            .count();
         assert!(list.len() >= 2 * non_const);
         // Display formatting.
         let s = list.faults()[0].to_string();

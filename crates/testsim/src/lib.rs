@@ -6,14 +6,24 @@
 //! stimulate and observe the next-state logic ([EsWu 91]).  This crate makes
 //! those rows measurable for the synthesized netlists of `stfsm-bist`:
 //!
-//! * [`sim`] — a deterministic gate-level simulator (combinational evaluation
-//!   plus sequential stepping of the state register),
+//! * [`sim`] — a deterministic scalar gate-level simulator (combinational
+//!   evaluation plus sequential stepping of the state register), executing
+//!   the netlist's precomputed evaluation plan with no per-cycle
+//!   allocation,
+//! * [`packed`] — the 64-way bit-parallel fault simulator: lane 0 of every
+//!   `u64` runs the fault-free reference, lanes 1–63 run one injected
+//!   stuck-at fault each, and mismatch detection/fault dropping are
+//!   word-wide XOR/mask operations,
 //! * [`faults`] — single stuck-at fault enumeration and collapsing,
 //! * [`patterns`] — pseudo-random and weighted-random primary-input sources,
 //! * [`coverage`] — self-test campaigns: fault coverage over pattern count,
 //!   test length to reach a target coverage, and the comparison between the
 //!   "random state" stimulation of DFF/PAT/SIG and the "system state"
-//!   stimulation of the parallel self-test (PST).
+//!   stimulation of the parallel self-test (PST).  Campaigns batch the
+//!   collapsed fault list into chunks of 63 and run on the packed engine by
+//!   default ([`coverage::SimEngine`]); the scalar engine produces
+//!   bit-for-bit identical results and serves as the differential-testing
+//!   reference (see `examples/packed_coverage.rs` at the repository root).
 //!
 //! # Example
 //!
@@ -41,9 +51,11 @@
 
 pub mod coverage;
 pub mod faults;
+pub mod packed;
 pub mod patterns;
 pub mod sim;
 
-pub use coverage::{run_self_test, CoverageResult, SelfTestConfig};
+pub use coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
 pub use faults::{Fault, FaultList, FaultSite};
+pub use packed::PackedSimulator;
 pub use sim::Simulator;

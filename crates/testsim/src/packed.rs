@@ -1,0 +1,658 @@
+//! 64-way bit-parallel (packed) fault simulation.
+//!
+//! A [`PackedSimulator`] evaluates a netlist on `u64` words instead of
+//! booleans: bit `i` of every word is an independent simulated machine
+//! ("lane" `i`).  Lane 0 always runs the fault-free reference; lanes
+//! `1..=63` each carry one injected single stuck-at fault.  One sweep over
+//! the evaluation plan therefore advances the reference *and* up to
+//! [`FAULT_LANES`] faulty machines at once, turning the inner loop of a
+//! fault-coverage campaign into word-wide AND/OR/XOR operations — the
+//! classic parallel-fault simulation technique.
+//!
+//! Fault injection is branch-free on the hot path:
+//!
+//! * **output faults** become per-net `set` / `clear` lane masks applied to
+//!   every computed value (`v & !clear | set` — two ops per gate, almost
+//!   always with zero masks);
+//! * **input-pin faults** are rare (at most 63 per chunk), so gates with a
+//!   patched pin are flagged once and evaluated through a slow path that
+//!   rewrites the affected operand word.
+//!
+//! Detection is word-wide too: XOR-ing each observation word with the
+//! broadcast of its lane-0 bit yields a word whose set bits are exactly the
+//! lanes that currently disagree with the fault-free machine
+//! ([`PackedSimulator::mismatch_word`]).  Retired (already detected) lanes
+//! are simply masked out by the caller — fault dropping without any
+//! per-fault state.
+
+use crate::faults::{Fault, FaultSite};
+use stfsm_bist::netlist::{Netlist, PlanOp};
+use stfsm_lfsr::bitvec::{broadcast, WORD_LANES};
+
+/// Number of faulty machines per packed word (lane 0 is the reference).
+pub const FAULT_LANES: usize = WORD_LANES - 1;
+
+/// An input-pin stuck-at patch: lanes in `set` see the pin stuck at 1,
+/// lanes in `clear` see it stuck at 0.
+#[derive(Debug, Clone, Copy)]
+struct PinPatch {
+    gate: u32,
+    pin: u32,
+    set: u64,
+    clear: u64,
+}
+
+/// Compiled opcodes of the packed evaluator.  The generic [`PlanOp`] +
+/// fan-in-range interpretation is specialised per gate once per chunk:
+/// one- and two-operand gates carry their operand net ids inline
+/// (`a` / `b`), wider gates fall back to the shared fan-in array, and the
+/// rare gates with a stuck input pin or an injected output fault take a
+/// patched slow path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    /// Primary input `a`.
+    In,
+    /// Flip-flop output `a`.
+    Ff,
+    /// Constant-0 / constant-1 word.
+    Const0,
+    Const1,
+    /// Single-operand complement of net `a`.
+    Not,
+    /// Two-operand gates over nets `a`, `b`.
+    And2,
+    Or2,
+    Xor2,
+    /// N-ary gates over the fan-in range `a..b`.
+    AndN,
+    OrN,
+    XorN,
+    /// Any gate with an injected fault (output mask or stuck pin);
+    /// `a` indexes into [`PackedSimulator::patched`].
+    Patched,
+}
+
+/// One compiled instruction; instruction `i` produces the value of net `i`.
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    op: Op,
+    a: u32,
+    b: u32,
+}
+
+/// Side table entry for a faulted gate: the original opcode, its fan-in
+/// range, its pin-patch range and its output masks.
+#[derive(Debug, Clone, Copy)]
+struct PatchedGate {
+    op: PlanOp,
+    fanin_start: u32,
+    fanin_end: u32,
+    patch_start: u32,
+    patch_end: u32,
+    out_set: u64,
+    out_clear: u64,
+}
+
+/// A 64-lane parallel-fault simulator for one [`Netlist`].
+#[derive(Debug, Clone)]
+pub struct PackedSimulator<'a> {
+    netlist: &'a Netlist,
+    values: Vec<u64>,
+    state: Vec<u64>,
+    /// Compiled instruction per net.
+    code: Vec<Instr>,
+    /// Faulted gates (output masks and/or stuck pins).
+    patched: Vec<PatchedGate>,
+    /// The pin patches, sorted by (gate, pin); at most [`FAULT_LANES`].
+    pin_patches: Vec<PinPatch>,
+    num_faults: usize,
+}
+
+impl<'a> PackedSimulator<'a> {
+    /// Creates a packed simulator with no faults injected (all 64 lanes run
+    /// the fault-free machine).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_faults(netlist, &[])
+    }
+
+    /// Creates a packed simulator with `faults[i]` injected into lane
+    /// `i + 1`; lane 0 stays fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`FAULT_LANES`] faults are given.
+    pub fn with_faults(netlist: &'a Netlist, faults: &[Fault]) -> Self {
+        assert!(
+            faults.len() <= FAULT_LANES,
+            "at most {FAULT_LANES} faults per packed chunk, got {}",
+            faults.len()
+        );
+        let num_nets = netlist.gates().len();
+        let mut out_set = vec![0u64; num_nets];
+        let mut out_clear = vec![0u64; num_nets];
+        let mut pin_patches: Vec<PinPatch> = Vec::new();
+        for (i, fault) in faults.iter().enumerate() {
+            let mask = 1u64 << (i + 1);
+            match fault.site {
+                FaultSite::GateOutput(net) => {
+                    if fault.stuck_at {
+                        out_set[net] |= mask;
+                    } else {
+                        out_clear[net] |= mask;
+                    }
+                }
+                FaultSite::GateInput { gate, pin } => {
+                    let (gate, pin) = (gate as u32, pin as u32);
+                    match pin_patches
+                        .iter_mut()
+                        .find(|p| p.gate == gate && p.pin == pin)
+                    {
+                        Some(patch) => {
+                            if fault.stuck_at {
+                                patch.set |= mask;
+                            } else {
+                                patch.clear |= mask;
+                            }
+                        }
+                        None => pin_patches.push(PinPatch {
+                            gate,
+                            pin,
+                            set: if fault.stuck_at { mask } else { 0 },
+                            clear: if fault.stuck_at { 0 } else { mask },
+                        }),
+                    }
+                }
+            }
+        }
+        pin_patches.sort_by_key(|p| (p.gate, p.pin));
+        // Group the patches per gate so the evaluator scans only a gate's
+        // own (tiny) patch list.
+        let mut patch_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < pin_patches.len() {
+            let gate = pin_patches[i].gate as usize;
+            let start = i;
+            while i < pin_patches.len() && pin_patches[i].gate as usize == gate {
+                i += 1;
+            }
+            patch_ranges[gate] = (start as u32, i as u32);
+        }
+
+        // Compile the evaluation plan for this fault chunk: inline operands
+        // for arity <= 2, shared fan-in ranges for wider gates, and a side
+        // table for the few faulted gates.
+        let plan = netlist.plan();
+        let fanin = plan.fanin();
+        let mut code = Vec::with_capacity(num_nets);
+        let mut patched = Vec::new();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let (patch_start, patch_end) = patch_ranges[id];
+            if patch_start != patch_end || out_set[id] != 0 || out_clear[id] != 0 {
+                patched.push(PatchedGate {
+                    op: step.op,
+                    fanin_start: step.fanin_start,
+                    fanin_end: step.fanin_end,
+                    patch_start,
+                    patch_end,
+                    out_set: out_set[id],
+                    out_clear: out_clear[id],
+                });
+                code.push(Instr {
+                    op: Op::Patched,
+                    a: (patched.len() - 1) as u32,
+                    b: 0,
+                });
+                continue;
+            }
+            let ops = &fanin[step.fanin_range()];
+            let instr = match step.op {
+                PlanOp::Input(k) => Instr {
+                    op: Op::In,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::FlipFlop(k) => Instr {
+                    op: Op::Ff,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::Const(false) => Instr {
+                    op: Op::Const0,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Const(true) => Instr {
+                    op: Op::Const1,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Not => Instr {
+                    op: Op::Not,
+                    a: ops[0],
+                    b: 0,
+                },
+                PlanOp::And if ops.len() == 2 => Instr {
+                    op: Op::And2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Or if ops.len() == 2 => Instr {
+                    op: Op::Or2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Xor if ops.len() == 2 => Instr {
+                    op: Op::Xor2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::And => Instr {
+                    op: Op::AndN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Or => Instr {
+                    op: Op::OrN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Xor => Instr {
+                    op: Op::XorN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+            };
+            code.push(instr);
+        }
+
+        Self {
+            netlist,
+            values: vec![0; num_nets],
+            state: vec![0; netlist.flip_flops().len()],
+            code,
+            patched,
+            pin_patches,
+            num_faults: faults.len(),
+        }
+    }
+
+    /// The netlist under simulation.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Number of injected faults (lanes `1..=num_faults` are faulty).
+    pub fn num_faults(&self) -> usize {
+        self.num_faults
+    }
+
+    /// The lane mask covering all injected faults.
+    pub fn fault_lanes_mask(&self) -> u64 {
+        if self.num_faults == 0 {
+            0
+        } else {
+            ((1u128 << (self.num_faults + 1)) - 2) as u64
+        }
+    }
+
+    /// Sets every lane of the register to the same state (the scan
+    /// initialisation and the pattern-generation override both load one
+    /// shared value into all machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of flip-flops.
+    pub fn set_state_broadcast(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.state.len(), "state width mismatch");
+        for (w, &b) in self.state.iter_mut().zip(bits) {
+            *w = broadcast(b);
+        }
+    }
+
+    /// Sets the register from per-lane words (stage 1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of flip-flops.
+    pub fn set_state_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.state.len(), "state width mismatch");
+        self.state.copy_from_slice(words);
+    }
+
+    /// The packed register state (one word per flip-flop, stage 1 first).
+    pub fn state_words(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Evaluates the combinational logic for broadcast primary-input words
+    /// (one word per input, typically `broadcast(bit)` since all machines
+    /// see the same stimulus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn evaluate(&mut self, inputs: &[u64]) {
+        let plan = self.netlist.plan();
+        assert_eq!(
+            inputs.len(),
+            plan.num_inputs(),
+            "primary input width mismatch"
+        );
+        let fanin = plan.fanin();
+        for id in 0..self.code.len() {
+            let instr = self.code[id];
+            let value = self.eval_instr(instr, fanin, inputs);
+            self.values[id] = value;
+        }
+    }
+
+    #[inline(always)]
+    fn eval_instr(&self, Instr { op, a, b }: Instr, fanin: &[u32], inputs: &[u64]) -> u64 {
+        match op {
+            Op::In => inputs[a as usize],
+            Op::Ff => self.state[a as usize],
+            Op::Const0 => 0,
+            Op::Const1 => u64::MAX,
+            Op::Not => !self.values[a as usize],
+            Op::And2 => self.values[a as usize] & self.values[b as usize],
+            Op::Or2 => self.values[a as usize] | self.values[b as usize],
+            Op::Xor2 => self.values[a as usize] ^ self.values[b as usize],
+            Op::AndN => fanin[a as usize..b as usize]
+                .iter()
+                .fold(u64::MAX, |acc, &n| acc & self.values[n as usize]),
+            Op::OrN => fanin[a as usize..b as usize]
+                .iter()
+                .fold(0u64, |acc, &n| acc | self.values[n as usize]),
+            Op::XorN => fanin[a as usize..b as usize]
+                .iter()
+                .fold(0u64, |acc, &n| acc ^ self.values[n as usize]),
+            Op::Patched => self.eval_patched(self.patched[a as usize], fanin, inputs),
+        }
+    }
+
+    /// Slow path for the (at most 63) gates carrying a fault: applies the
+    /// pin patches while folding the operands and the output masks after.
+    fn eval_patched(&self, gate: PatchedGate, fanin: &[u32], inputs: &[u64]) -> u64 {
+        let patches = &self.pin_patches[gate.patch_start as usize..gate.patch_end as usize];
+        let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
+        let value = match patches {
+            // Output-fault only: fold the operands unpatched.
+            [] => match gate.op {
+                PlanOp::Input(k) => inputs[k as usize],
+                PlanOp::FlipFlop(k) => self.state[k as usize],
+                PlanOp::Const(c) => broadcast(c),
+                PlanOp::And => ops
+                    .iter()
+                    .fold(u64::MAX, |acc, &n| acc & self.values[n as usize]),
+                PlanOp::Or => ops
+                    .iter()
+                    .fold(0u64, |acc, &n| acc | self.values[n as usize]),
+                PlanOp::Xor => ops
+                    .iter()
+                    .fold(0u64, |acc, &n| acc ^ self.values[n as usize]),
+                PlanOp::Not => !self.values[ops[0] as usize],
+            },
+            // The common faulted case: exactly one stuck pin.
+            [patch] => {
+                let one = |pin: usize, net: u32| -> u64 {
+                    let w = self.values[net as usize];
+                    if pin as u32 == patch.pin {
+                        (w & !patch.clear) | patch.set
+                    } else {
+                        w
+                    }
+                };
+                match gate.op {
+                    PlanOp::Input(k) => inputs[k as usize],
+                    PlanOp::FlipFlop(k) => self.state[k as usize],
+                    PlanOp::Const(c) => broadcast(c),
+                    PlanOp::And => ops
+                        .iter()
+                        .enumerate()
+                        .fold(u64::MAX, |acc, (pin, &n)| acc & one(pin, n)),
+                    PlanOp::Or => ops
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (pin, &n)| acc | one(pin, n)),
+                    PlanOp::Xor => ops
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (pin, &n)| acc ^ one(pin, n)),
+                    PlanOp::Not => !one(0, ops[0]),
+                }
+            }
+            // Several stuck pins on one gate: scan the patch list per pin.
+            patches => {
+                let operand = |pin: usize, net: u32| -> u64 {
+                    let mut w = self.values[net as usize];
+                    for patch in patches {
+                        if patch.pin == pin as u32 {
+                            w = (w & !patch.clear) | patch.set;
+                        }
+                    }
+                    w
+                };
+                match gate.op {
+                    PlanOp::Input(k) => inputs[k as usize],
+                    PlanOp::FlipFlop(k) => self.state[k as usize],
+                    PlanOp::Const(c) => broadcast(c),
+                    PlanOp::And => ops
+                        .iter()
+                        .enumerate()
+                        .fold(u64::MAX, |acc, (pin, &n)| acc & operand(pin, n)),
+                    PlanOp::Or => ops
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (pin, &n)| acc | operand(pin, n)),
+                    PlanOp::Xor => ops
+                        .iter()
+                        .enumerate()
+                        .fold(0u64, |acc, (pin, &n)| acc ^ operand(pin, n)),
+                    PlanOp::Not => !operand(0, ops[0]),
+                }
+            }
+        };
+        // Branch-free gate-output fault injection.
+        (value & !gate.out_clear) | gate.out_set
+    }
+
+    /// One fused self-test cycle: evaluate the logic, compare every lane's
+    /// observation points against fault-free lane 0, clock the register.
+    /// Returns the mismatch word of this cycle (bit `i` set iff machine `i`
+    /// disagreed with the reference before the clock edge).
+    pub fn step_detect(&mut self, inputs: &[u64]) -> u64 {
+        self.evaluate(inputs);
+        let mismatch = self.mismatch_word();
+        self.clock();
+        mismatch
+    }
+
+    /// The packed value of a net after the last [`PackedSimulator::evaluate`].
+    pub fn net_word(&self, net: usize) -> u64 {
+        self.values[net]
+    }
+
+    /// Lanes whose observation points currently differ from the fault-free
+    /// lane 0: bit `i` is set iff machine `i` disagrees with the reference
+    /// on at least one observation point this cycle.  Bit 0 is always zero.
+    #[inline]
+    pub fn mismatch_word(&self) -> u64 {
+        let mut acc = 0u64;
+        for &net in self.netlist.plan().observation_points() {
+            let w = self.values[net as usize];
+            acc |= w ^ broadcast(w & 1 == 1);
+        }
+        acc
+    }
+
+    /// Loads the flip-flops from their D inputs (one clock edge, all lanes).
+    #[inline]
+    pub fn clock(&mut self) {
+        for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
+            self.state[i] = self.values[d as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_bist::BistStructure;
+    use stfsm_encode::StateEncoding;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_lfsr::bitvec::lane;
+    use stfsm_lfsr::{primitive_polynomial, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn pst_netlist() -> Netlist {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let poly = primitive_polynomial(encoding.num_bits()).unwrap();
+        let transform = RegisterTransform::Misr(Misr::new(poly).unwrap());
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("pst", &cover, &lay, BistStructure::Pst, Some(poly)).unwrap()
+    }
+
+    fn dff_netlist() -> Netlist {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("dff", &cover, &lay, BistStructure::Dff, None).unwrap()
+    }
+
+    /// Lane 0 of a fault-free packed run must equal the scalar simulator on
+    /// every net, every cycle.
+    #[test]
+    fn fault_free_lane_matches_scalar() {
+        for netlist in [pst_netlist(), dff_netlist()] {
+            let mut scalar = Simulator::new(&netlist);
+            let mut packed = PackedSimulator::new(&netlist);
+            let ni = netlist.primary_inputs().len();
+            let mut lcg = 0xABCD_EF01u64;
+            for _ in 0..200 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let inputs: Vec<bool> = (0..ni).map(|i| (lcg >> (i + 13)) & 1 == 1).collect();
+                let words: Vec<u64> = inputs.iter().map(|&b| broadcast(b)).collect();
+                scalar.evaluate(&inputs);
+                packed.evaluate(&words);
+                for net in 0..netlist.gates().len() {
+                    assert_eq!(scalar.net(net), lane(packed.net_word(net), 0), "net {net}");
+                    // No faults: all lanes agree.
+                    assert!(
+                        packed.net_word(net) == 0 || packed.net_word(net) == u64::MAX,
+                        "net {net} diverged without faults"
+                    );
+                }
+                assert_eq!(packed.mismatch_word(), 0);
+                scalar.clock();
+                packed.clock();
+            }
+        }
+    }
+
+    /// Each faulty lane must track its scalar single-fault counterpart.
+    #[test]
+    fn faulty_lanes_match_scalar_single_fault_runs() {
+        let netlist = pst_netlist();
+        let faults: Vec<Fault> = crate::faults::FaultList::collapsed(&netlist)
+            .faults()
+            .iter()
+            .copied()
+            .take(FAULT_LANES)
+            .collect();
+        let mut packed = PackedSimulator::with_faults(&netlist, &faults);
+        let mut scalars: Vec<Simulator<'_>> = faults
+            .iter()
+            .map(|&f| Simulator::with_fault(&netlist, f))
+            .collect();
+        let mut reference = Simulator::new(&netlist);
+        let ni = netlist.primary_inputs().len();
+        let mut lcg = 0x5EED_0001u64;
+        for cycle in 0..100 {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let inputs: Vec<bool> = (0..ni).map(|i| (lcg >> (i + 17)) & 1 == 1).collect();
+            let words: Vec<u64> = inputs.iter().map(|&b| broadcast(b)).collect();
+            packed.evaluate(&words);
+            reference.evaluate(&inputs);
+            let mismatch = packed.mismatch_word();
+            let ref_obs = reference.observations();
+            for (i, scalar) in scalars.iter_mut().enumerate() {
+                scalar.evaluate(&inputs);
+                for net in 0..netlist.gates().len() {
+                    assert_eq!(
+                        scalar.net(net),
+                        lane(packed.net_word(net), i + 1),
+                        "cycle {cycle} fault {i} net {net}"
+                    );
+                }
+                let differs = scalar.observations() != ref_obs;
+                assert_eq!(differs, lane(mismatch, i + 1), "cycle {cycle} fault {i}");
+                scalar.clock();
+            }
+            assert!(
+                !lane(mismatch, 0),
+                "reference lane can never mismatch itself"
+            );
+            reference.clock();
+            packed.clock();
+        }
+    }
+
+    #[test]
+    fn state_broadcast_and_words() {
+        let netlist = dff_netlist();
+        let mut packed = PackedSimulator::new(&netlist);
+        packed.set_state_broadcast(&[true, false]);
+        assert_eq!(packed.state_words(), &[u64::MAX, 0]);
+        packed.set_state_words(&[5, 9]);
+        assert_eq!(packed.state_words(), &[5, 9]);
+        assert_eq!(packed.num_faults(), 0);
+        assert_eq!(packed.fault_lanes_mask(), 0);
+        assert_eq!(packed.netlist().name(), "dff");
+    }
+
+    #[test]
+    fn fault_lanes_mask_covers_exactly_the_faulty_lanes() {
+        let netlist = dff_netlist();
+        let faults = crate::faults::FaultList::collapsed(&netlist);
+        for n in [1usize, 2, 5, FAULT_LANES.min(faults.len())] {
+            let chunk: Vec<Fault> = faults.faults().iter().copied().take(n).collect();
+            let packed = PackedSimulator::with_faults(&netlist, &chunk);
+            let mask = packed.fault_lanes_mask();
+            assert_eq!(mask.count_ones() as usize, n);
+            assert_eq!(mask & 1, 0, "lane 0 must stay fault-free");
+            assert_eq!(packed.num_faults(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_faults_panics() {
+        let netlist = dff_netlist();
+        let fault = Fault {
+            site: FaultSite::GateOutput(0),
+            stuck_at: true,
+        };
+        let _ = PackedSimulator::with_faults(&netlist, &vec![fault; FAULT_LANES + 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input width mismatch")]
+    fn wrong_input_width_panics() {
+        let netlist = dff_netlist();
+        let mut packed = PackedSimulator::new(&netlist);
+        packed.evaluate(&[0, 0, 0]);
+    }
+}

@@ -17,6 +17,20 @@ pub trait PatternSource {
 
     /// Number of input bits per pattern.
     fn width(&self) -> usize;
+
+    /// Writes the next pattern into `buf` instead of allocating.
+    ///
+    /// Draws exactly the same random sequence as [`PatternSource::next_pattern`];
+    /// the default implementation delegates to it, concrete sources override
+    /// this with an allocation-free fill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from [`PatternSource::width`].
+    fn fill(&mut self, buf: &mut [bool]) {
+        let pattern = self.next_pattern();
+        buf.copy_from_slice(&pattern);
+    }
 }
 
 /// Unbiased pseudo-random patterns (probability ½ per input).
@@ -29,7 +43,10 @@ pub struct RandomPatterns {
 impl RandomPatterns {
     /// Creates a source of `width`-bit patterns from a seed.
     pub fn new(width: usize, seed: u64) -> Self {
-        Self { width, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            width,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -40,6 +57,13 @@ impl PatternSource for RandomPatterns {
 
     fn width(&self) -> usize {
         self.width
+    }
+
+    fn fill(&mut self, buf: &mut [bool]) {
+        assert_eq!(buf.len(), self.width, "pattern width mismatch");
+        for b in buf {
+            *b = self.rng.gen_bool(0.5);
+        }
     }
 }
 
@@ -59,7 +83,10 @@ impl WeightedPatterns {
     /// `i` is 1 (clamped to `[0, 1]`).
     pub fn new(weights: Vec<f64>, seed: u64) -> Self {
         let weights = weights.into_iter().map(|w| w.clamp(0.0, 1.0)).collect();
-        Self { weights, rng: StdRng::seed_from_u64(seed) }
+        Self {
+            weights,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// The per-input weights.
@@ -75,6 +102,13 @@ impl PatternSource for WeightedPatterns {
 
     fn width(&self) -> usize {
         self.weights.len()
+    }
+
+    fn fill(&mut self, buf: &mut [bool]) {
+        assert_eq!(buf.len(), self.weights.len(), "pattern width mismatch");
+        for (b, &w) in buf.iter_mut().zip(&self.weights) {
+            *b = self.rng.gen_bool(w);
+        }
     }
 }
 
@@ -107,6 +141,15 @@ impl PatternSource for ExhaustivePatterns {
 
     fn width(&self) -> usize {
         self.width
+    }
+
+    fn fill(&mut self, buf: &mut [bool]) {
+        assert_eq!(buf.len(), self.width, "pattern width mismatch");
+        let v = self.counter;
+        self.counter = self.counter.wrapping_add(1);
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = (v >> i) & 1 == 1;
+        }
     }
 }
 
@@ -143,8 +186,9 @@ mod tests {
     #[test]
     fn weighted_patterns_are_biased() {
         let mut biased = WeightedPatterns::new(vec![0.9; 4], 7);
-        let ones: usize =
-            (0..200).map(|_| biased.next_pattern().iter().filter(|&&b| b).count()).sum();
+        let ones: usize = (0..200)
+            .map(|_| biased.next_pattern().iter().filter(|&&b| b).count())
+            .sum();
         // Expectation is 720 of 800; allow generous slack.
         assert!(ones > 600, "ones = {ones}");
     }
@@ -166,5 +210,30 @@ mod tests {
     #[should_panic(expected = "limited to 32")]
     fn exhaustive_patterns_reject_wide_inputs() {
         let _ = ExhaustivePatterns::new(33);
+    }
+
+    #[test]
+    fn fill_draws_the_same_sequence_as_next_pattern() {
+        let mut by_vec = RandomPatterns::new(6, 99);
+        let mut by_fill = RandomPatterns::new(6, 99);
+        let mut buf = vec![false; 6];
+        for _ in 0..50 {
+            by_fill.fill(&mut buf);
+            assert_eq!(by_vec.next_pattern(), buf);
+        }
+        let mut wv = WeightedPatterns::new(vec![0.3, 0.8, 0.5], 5);
+        let mut wf = WeightedPatterns::new(vec![0.3, 0.8, 0.5], 5);
+        let mut buf = vec![false; 3];
+        for _ in 0..50 {
+            wf.fill(&mut buf);
+            assert_eq!(wv.next_pattern(), buf);
+        }
+        let mut ev = ExhaustivePatterns::new(4);
+        let mut ef = ExhaustivePatterns::new(4);
+        let mut buf = vec![false; 4];
+        for _ in 0..20 {
+            ef.fill(&mut buf);
+            assert_eq!(ev.next_pattern(), buf);
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Deterministic gate-level simulation.
 
 use crate::faults::{Fault, FaultSite};
-use stfsm_bist::netlist::{Gate, Netlist};
+use stfsm_bist::netlist::{EvalPlan, Netlist, PlanOp};
 
 /// A gate-level simulator for one [`Netlist`].
 ///
@@ -11,6 +11,12 @@ use stfsm_bist::netlist::{Gate, Netlist};
 /// primary inputs and register state, the observation points are sampled
 /// (that is what the signature register compacts), and then the flip-flops
 /// load their D inputs.
+///
+/// Evaluation executes the netlist's precomputed [`EvalPlan`] — a flat
+/// opcode array with dense operand indices — and the whole simulate cycle
+/// (`evaluate` / [`Simulator::observations_into`] / [`Simulator::clock`])
+/// performs no heap allocation, so this scalar path is a lean reference for
+/// the 64-way packed engine in [`crate::packed`].
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
@@ -66,53 +72,74 @@ impl<'a> Simulator<'a> {
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&mut self, inputs: &[bool]) {
+        let plan = self.netlist.plan();
         assert_eq!(
             inputs.len(),
-            self.netlist.primary_inputs().len(),
+            plan.num_inputs(),
             "primary input width mismatch"
         );
-        let mut input_iter = 0usize;
-        for (id, gate) in self.netlist.gates().iter().enumerate() {
-            let value = match gate {
-                Gate::Input { .. } => {
-                    let v = inputs[input_iter];
-                    input_iter += 1;
-                    v
-                }
-                Gate::FlipFlopOutput { flip_flop } => self.state[*flip_flop],
-                Gate::Constant(c) => *c,
-                Gate::And(ins) => ins.iter().enumerate().all(|(pin, &n)| self.pin_value(id, pin, n)),
-                Gate::Or(ins) => ins.iter().enumerate().any(|(pin, &n)| self.pin_value(id, pin, n)),
-                Gate::Xor(ins) => ins
+        match self.fault {
+            None => self.evaluate_fault_free(plan, inputs),
+            Some(fault) => self.evaluate_with_fault(plan, inputs, fault),
+        }
+    }
+
+    /// The hot path of the fault-free reference machine: a straight sweep
+    /// over the plan with no per-gate fault checks.
+    fn evaluate_fault_free(&mut self, plan: &EvalPlan, inputs: &[bool]) {
+        let fanin = plan.fanin();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let ops = &fanin[step.fanin_range()];
+            let value = match step.op {
+                PlanOp::Input(k) => inputs[k as usize],
+                PlanOp::FlipFlop(k) => self.state[k as usize],
+                PlanOp::Const(c) => c,
+                PlanOp::And => ops.iter().all(|&n| self.values[n as usize]),
+                PlanOp::Or => ops.iter().any(|&n| self.values[n as usize]),
+                PlanOp::Xor => ops
+                    .iter()
+                    .fold(false, |acc, &n| acc ^ self.values[n as usize]),
+                PlanOp::Not => !self.values[ops[0] as usize],
+            };
+            self.values[id] = value;
+        }
+    }
+
+    fn evaluate_with_fault(&mut self, plan: &EvalPlan, inputs: &[bool], fault: Fault) {
+        let fanin = plan.fanin();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let ops = &fanin[step.fanin_range()];
+            let value = match step.op {
+                PlanOp::Input(k) => inputs[k as usize],
+                PlanOp::FlipFlop(k) => self.state[k as usize],
+                PlanOp::Const(c) => c,
+                PlanOp::And => ops
                     .iter()
                     .enumerate()
-                    .fold(false, |acc, (pin, &n)| acc ^ self.pin_value(id, pin, n)),
-                Gate::Not(a) => !self.pin_value(id, 0, *a),
+                    .all(|(pin, &n)| self.pin_value(&fault, id, pin, n)),
+                PlanOp::Or => ops
+                    .iter()
+                    .enumerate()
+                    .any(|(pin, &n)| self.pin_value(&fault, id, pin, n)),
+                PlanOp::Xor => ops.iter().enumerate().fold(false, |acc, (pin, &n)| {
+                    acc ^ self.pin_value(&fault, id, pin, n)
+                }),
+                PlanOp::Not => !self.pin_value(&fault, id, 0, ops[0]),
             };
-            self.values[id] = self.apply_output_fault(id, value);
+            self.values[id] = match fault.site {
+                FaultSite::GateOutput(net) if net == id => fault.stuck_at,
+                _ => value,
+            };
         }
     }
 
-    fn pin_value(&self, gate: usize, pin: usize, source: usize) -> bool {
-        if let Some(fault) = &self.fault {
-            if let FaultSite::GateInput { gate: fg, pin: fp } = fault.site {
-                if fg == gate && fp == pin {
-                    return fault.stuck_at;
-                }
+    fn pin_value(&self, fault: &Fault, gate: usize, pin: usize, source: u32) -> bool {
+        if let FaultSite::GateInput { gate: fg, pin: fp } = fault.site {
+            if fg == gate && fp == pin {
+                return fault.stuck_at;
             }
         }
-        self.values[source]
-    }
-
-    fn apply_output_fault(&self, net: usize, value: bool) -> bool {
-        if let Some(fault) = &self.fault {
-            if let FaultSite::GateOutput(fn_) = fault.site {
-                if fn_ == net {
-                    return fault.stuck_at;
-                }
-            }
-        }
-        value
+        self.values[source as usize]
     }
 
     /// The value of a net after the last [`Simulator::evaluate`] call.
@@ -122,28 +149,69 @@ impl<'a> Simulator<'a> {
 
     /// The primary output values after the last evaluation.
     pub fn outputs(&self) -> Vec<bool> {
-        self.netlist.primary_outputs().iter().map(|&n| self.values[n]).collect()
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|&n| self.values[n])
+            .collect()
+    }
+
+    /// Writes the primary output values after the last evaluation into
+    /// `buf` (cleared first), avoiding a fresh allocation per cycle.
+    pub fn outputs_into(&self, buf: &mut Vec<bool>) {
+        buf.clear();
+        buf.extend(
+            self.netlist
+                .primary_outputs()
+                .iter()
+                .map(|&n| self.values[n]),
+        );
     }
 
     /// The observation-point values after the last evaluation (what the
     /// response compactor sees this cycle).
     pub fn observations(&self) -> Vec<bool> {
-        self.netlist.observation_points().iter().map(|&n| self.values[n]).collect()
+        self.netlist
+            .observation_points()
+            .iter()
+            .map(|&n| self.values[n])
+            .collect()
+    }
+
+    /// Writes the observation-point values after the last evaluation into
+    /// `buf` (cleared first), avoiding a fresh allocation per cycle.
+    pub fn observations_into(&self, buf: &mut Vec<bool>) {
+        buf.clear();
+        buf.extend(
+            self.netlist
+                .observation_points()
+                .iter()
+                .map(|&n| self.values[n]),
+        );
     }
 
     /// Loads the flip-flops from their D inputs (one clock edge).
     pub fn clock(&mut self) {
-        let next: Vec<bool> =
-            self.netlist.flip_flops().iter().map(|ff| self.values[ff.d]).collect();
-        self.state.copy_from_slice(&next);
+        // `values` and `state` are disjoint arrays, so the flip-flops can be
+        // loaded directly without staging the next state in a scratch `Vec`.
+        for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
+            self.state[i] = self.values[d as usize];
+        }
     }
 
     /// Convenience: evaluate, sample the observation points, clock.
     pub fn cycle(&mut self, inputs: &[bool]) -> Vec<bool> {
-        self.evaluate(inputs);
-        let obs = self.observations();
-        self.clock();
+        let mut obs = Vec::new();
+        self.cycle_into(inputs, &mut obs);
         obs
+    }
+
+    /// Allocation-free variant of [`Simulator::cycle`]: evaluate, sample the
+    /// observation points into `obs`, clock.
+    pub fn cycle_into(&mut self, inputs: &[bool], obs: &mut Vec<bool>) {
+        self.evaluate(inputs);
+        self.observations_into(obs);
+        self.clock();
     }
 }
 
@@ -151,7 +219,7 @@ impl<'a> Simulator<'a> {
 mod tests {
     use super::*;
     use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
-    use stfsm_bist::netlist::build_netlist;
+    use stfsm_bist::netlist::{build_netlist, Gate};
     use stfsm_bist::BistStructure;
     use stfsm_encode::StateEncoding;
     use stfsm_fsm::suite::{fig3_example, modulo12_exact};
@@ -165,7 +233,10 @@ mod tests {
         let pla = build_pla(fsm, &encoding, &transform).unwrap();
         let cover = minimize(&pla).cover;
         let lay = layout(fsm, &encoding, &transform);
-        (build_netlist(fsm.name(), &cover, &lay, BistStructure::Dff, None).unwrap(), encoding)
+        (
+            build_netlist(fsm.name(), &cover, &lay, BistStructure::Dff, None).unwrap(),
+            encoding,
+        )
     }
 
     fn pst_netlist(fsm: &Fsm) -> (stfsm_bist::netlist::Netlist, StateEncoding, Misr) {
@@ -195,14 +266,19 @@ mod tests {
         let mut sim = Simulator::new(netlist);
         let reset = fsm.reset_state().unwrap_or(StateId(0));
         let reset_code = encoding.code(reset);
-        let bits: Vec<bool> = (0..encoding.num_bits()).map(|b| reset_code.bit(b)).collect();
+        let bits: Vec<bool> = (0..encoding.num_bits())
+            .map(|b| reset_code.bit(b))
+            .collect();
         sim.set_state(&bits);
         let mut symbolic = reset;
         let mut lcg = 0x12345678u64;
         for cycle in 0..cycles {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let inputs: Vec<bool> =
-                (0..fsm.num_inputs()).map(|i| (lcg >> (i + 7)) & 1 == 1).collect();
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let inputs: Vec<bool> = (0..fsm.num_inputs())
+                .map(|i| (lcg >> (i + 7)) & 1 == 1)
+                .collect();
             let Some((next, output)) = fsm.step(symbolic, &inputs) else {
                 // Unspecified input combination: symbolic machine stalls, skip.
                 continue;
@@ -212,7 +288,9 @@ mod tests {
             let sim_outputs = sim.outputs();
             for (j, trit) in output.trits().iter().enumerate() {
                 match trit {
-                    stfsm_fsm::TritValue::One => assert!(sim_outputs[j], "cycle {cycle} output {j}"),
+                    stfsm_fsm::TritValue::One => {
+                        assert!(sim_outputs[j], "cycle {cycle} output {j}")
+                    }
                     stfsm_fsm::TritValue::Zero => {
                         assert!(!sim_outputs[j], "cycle {cycle} output {j}")
                     }
@@ -223,7 +301,11 @@ mod tests {
             if let Some(next) = next {
                 let expected = encoding.code(next);
                 for b in 0..encoding.num_bits() {
-                    assert_eq!(sim.state()[b], expected.bit(b), "cycle {cycle} state bit {b}");
+                    assert_eq!(
+                        sim.state()[b],
+                        expected.bit(b),
+                        "cycle {cycle} state bit {b}"
+                    );
                 }
                 symbolic = next;
             } else {
@@ -270,7 +352,10 @@ mod tests {
             .iter()
             .position(|g| matches!(g, Gate::And(_) | Gate::Or(_)))
             .expect("netlist has logic gates");
-        let fault = Fault { site: FaultSite::GateOutput(target), stuck_at: true };
+        let fault = Fault {
+            site: FaultSite::GateOutput(target),
+            stuck_at: true,
+        };
         let mut good = Simulator::new(&netlist);
         let mut bad = Simulator::with_fault(&netlist, fault);
         let mut diverged = false;
@@ -283,7 +368,10 @@ mod tests {
                 break;
             }
         }
-        assert!(diverged, "a stuck-at-1 on a logic gate should be observable");
+        assert!(
+            diverged,
+            "a stuck-at-1 on a logic gate should be observable"
+        );
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Randomized differential test: the 64-way packed fault-simulation engine
+//! must produce detection patterns bit-for-bit identical to the scalar
+//! engine on randomly generated controllers, across structures, seeds and
+//! campaign configurations.
+
+use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+use stfsm_bist::netlist::{build_netlist, Netlist};
+use stfsm_bist::BistStructure;
+use stfsm_encode::StateEncoding;
+use stfsm_fsm::generate::small_random;
+use stfsm_lfsr::{primitive_polynomial, Misr};
+use stfsm_logic::espresso::minimize;
+use stfsm_testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+
+fn synthesize(fsm: &stfsm_fsm::Fsm, structure: BistStructure) -> Netlist {
+    let encoding = StateEncoding::natural(fsm).expect("encodable");
+    let (transform, poly) = match structure {
+        BistStructure::Dff => (RegisterTransform::Dff, None),
+        BistStructure::Sig | BistStructure::Pst => {
+            let poly = primitive_polynomial(encoding.num_bits()).expect("tabled polynomial");
+            (
+                RegisterTransform::Misr(Misr::new(poly).expect("positive degree")),
+                Some(poly),
+            )
+        }
+        BistStructure::Pat => unreachable!("PAT needs its own assignment; not used here"),
+    };
+    let pla = build_pla(fsm, &encoding, &transform).expect("pla");
+    let cover = minimize(&pla).cover;
+    let lay = layout(fsm, &encoding, &transform);
+    build_netlist(fsm.name(), &cover, &lay, structure, poly).expect("netlist")
+}
+
+#[test]
+fn packed_matches_scalar_on_random_controllers() {
+    for seed in 0..12u64 {
+        let fsm = small_random(seed);
+        for structure in [BistStructure::Dff, BistStructure::Sig, BistStructure::Pst] {
+            let netlist = synthesize(&fsm, structure);
+            // Vary the campaign shape with the seed: pattern count, fault
+            // collapsing and sampling all change chunk layouts.
+            let base = SelfTestConfig {
+                max_patterns: 64 + 32 * (seed as usize % 5),
+                seed: 0xD1FF ^ seed,
+                collapse_faults: seed % 2 == 0,
+                fault_sample: 1 + seed as usize % 3,
+                ..Default::default()
+            };
+            let scalar = run_self_test(
+                &netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Scalar,
+                    ..base.clone()
+                },
+            );
+            let packed = run_self_test(
+                &netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Packed,
+                    ..base
+                },
+            );
+            assert_eq!(
+                scalar,
+                packed,
+                "engines disagree: seed {seed}, {structure} on {}",
+                fsm.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_matches_scalar_with_weighted_inputs() {
+    for seed in 0..4u64 {
+        let fsm = small_random(100 + seed);
+        let netlist = synthesize(&fsm, BistStructure::Dff);
+        let weights: Vec<f64> = (0..netlist.primary_inputs().len())
+            .map(|i| 0.2 + 0.15 * (i as f64 + seed as f64))
+            .collect();
+        let base = SelfTestConfig {
+            max_patterns: 128,
+            input_weights: Some(weights),
+            ..Default::default()
+        };
+        let scalar = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                engine: SimEngine::Scalar,
+                ..base.clone()
+            },
+        );
+        let packed = run_self_test(&netlist, &base);
+        assert_eq!(scalar, packed, "seed {seed}");
+    }
+}

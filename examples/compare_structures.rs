@@ -34,10 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let config = ExperimentConfig { max_patterns: 1024, fault_sample: 1, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        max_patterns: 1024,
+        fault_sample: 1,
+        ..ExperimentConfig::default()
+    };
     println!(
         "{:<12} {:<5} {:>6} {:>9} {:>8} {:>5} {:>5} {:>5} {:>10} {:>9} {:>8}",
-        "benchmark", "struct", "terms", "literals", "storage", "ctrl", "xor", "mux", "dyn-fault", "coverage", "test-len"
+        "benchmark",
+        "struct",
+        "terms",
+        "literals",
+        "storage",
+        "ctrl",
+        "xor",
+        "mux",
+        "dyn-fault",
+        "coverage",
+        "test-len"
     );
     for fsm in &machines {
         let rows = table1_rows(fsm, &config, true)?;
@@ -52,9 +66,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.control_signals,
                 row.xor_gates,
                 row.mode_multiplexers,
-                if row.dynamic_fault_detection { "all" } else { "partial" },
+                if row.dynamic_fault_detection {
+                    "all"
+                } else {
+                    "partial"
+                },
                 row.fault_coverage.unwrap_or(0.0) * 100.0,
-                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+                row.test_length
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into())
             );
         }
         println!();

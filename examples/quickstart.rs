@@ -22,8 +22,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The LFSR of Fig. 3b.
     let lfsr = Lfsr::new(Gf2Poly::from_coefficients(&[0, 1, 2]))?;
     let start = Gf2Vec::from_value(0b01, 2)?;
-    let cycle: Vec<String> = lfsr.cycle_from(start).iter().map(|s| s.to_string()).collect();
-    println!("autonomous LFSR cycle of 1 + x + x^2: {}", cycle.join(" -> "));
+    let cycle: Vec<String> = lfsr
+        .cycle_from(start)
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    println!(
+        "autonomous LFSR cycle of 1 + x + x^2: {}",
+        cycle.join(" -> ")
+    );
     println!();
 
     // Synthesize the machine for all four target structures.

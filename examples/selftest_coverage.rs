@@ -37,10 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let config = ExperimentConfig { max_patterns: patterns, target_coverage: 0.95, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        max_patterns: patterns,
+        target_coverage: 0.95,
+        ..ExperimentConfig::default()
+    };
     for fsm in &machines {
         let cmp = coverage_comparison(fsm, &config)?;
-        println!("benchmark `{}` ({} patterns, target coverage {:.0}%):", cmp.benchmark, patterns, cmp.target_coverage * 100.0);
+        println!(
+            "benchmark `{}` ({} patterns, target coverage {:.0}%):",
+            cmp.benchmark,
+            patterns,
+            cmp.target_coverage * 100.0
+        );
         println!(
             "  {:<5} {:>8} {:>9} {:>9} {:>10}",
             "struct", "faults", "detected", "coverage", "test-len"
@@ -52,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 row.total_faults,
                 row.detected_faults,
                 row.coverage * 100.0,
-                row.test_length.map(|t| t.to_string()).unwrap_or_else(|| "-".into())
+                row.test_length
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into())
             );
         }
         match cmp.pst_vs_dff_test_length_ratio() {

@@ -41,11 +41,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         quick_benchmarks()
     };
 
-    let config = ExperimentConfig { random_encodings: random_count, ..ExperimentConfig::default() };
+    let config = ExperimentConfig {
+        random_encodings: random_count,
+        ..ExperimentConfig::default()
+    };
 
     let mut rows = Vec::new();
     for info in infos {
-        eprintln!("synthesizing {} ({} states, {} random encodings)...", info.name, info.states, random_count);
+        eprintln!(
+            "synthesizing {} ({} states, {} random encodings)...",
+            info.name, info.states, random_count
+        );
         let fsm = info.fsm()?;
         let row = table2_row(&fsm, Some(info), &config)?;
         rows.push(row);

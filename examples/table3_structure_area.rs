@@ -43,6 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let avg_pat_saving: f64 =
         rows.iter().map(|r| r.pat_saving_terms()).sum::<f64>() / rows.len().max(1) as f64;
     println!("average PST/SIG : DFF product-term ratio : {avg_overhead:.2}");
-    println!("average PAT saving vs DFF               : {:.1}%", avg_pat_saving * 100.0);
+    println!(
+        "average PAT saving vs DFF               : {:.1}%",
+        avg_pat_saving * 100.0
+    );
     Ok(())
 }

@@ -1,0 +1,11 @@
+//! Umbrella package of the Eschermann/Wunderlich DAC'91 reproduction.
+//!
+//! This crate carries no code of its own: it exists so that the repository
+//! root can host the cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`).  All functionality lives in the
+//! workspace crates and is re-exported through [`stfsm`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use stfsm;

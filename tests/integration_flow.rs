@@ -14,7 +14,10 @@ use stfsm::{AssignmentMethod, BistStructure, SynthesisFlow};
 /// agree wherever the specification defines them.
 fn assert_netlist_implements_fsm(fsm: &Fsm, structure: BistStructure) {
     let result = SynthesisFlow::new(structure).synthesize(fsm).unwrap();
-    assert!(verify(&result.pla, &result.cover), "{structure}: cover does not match the spec");
+    assert!(
+        verify(&result.pla, &result.cover),
+        "{structure}: cover does not match the spec"
+    );
 
     let encoding: &StateEncoding = &result.encoding;
     let mut sim = Simulator::new(&result.netlist);
@@ -28,8 +31,12 @@ fn assert_netlist_implements_fsm(fsm: &Fsm, structure: BistStructure) {
     let mut checked_cycles = 0;
     for _ in 0..200 {
         lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
-        let inputs: Vec<bool> = (0..fsm.num_inputs()).map(|i| (lcg >> (13 + i)) & 1 == 1).collect();
-        let Some((next, output)) = fsm.step(symbolic, &inputs) else { continue };
+        let inputs: Vec<bool> = (0..fsm.num_inputs())
+            .map(|i| (lcg >> (13 + i)) & 1 == 1)
+            .collect();
+        let Some((next, output)) = fsm.step(symbolic, &inputs) else {
+            continue;
+        };
         sim.evaluate(&inputs);
         let sim_out = sim.outputs();
         for (j, trit) in output.trits().iter().enumerate() {
@@ -52,7 +59,10 @@ fn assert_netlist_implements_fsm(fsm: &Fsm, structure: BistStructure) {
         symbolic = next;
         checked_cycles += 1;
     }
-    assert!(checked_cycles > 10, "{structure}: too few cycles were exercised");
+    assert!(
+        checked_cycles > 10,
+        "{structure}: too few cycles were exercised"
+    );
 }
 
 #[test]
@@ -82,7 +92,10 @@ fn every_structure_implements_the_traffic_light() {
 #[test]
 fn random_and_natural_assignments_also_yield_correct_circuits() {
     let fsm = modulo12_exact().unwrap();
-    for method in [AssignmentMethod::Natural, AssignmentMethod::Random { seed: 17 }] {
+    for method in [
+        AssignmentMethod::Natural,
+        AssignmentMethod::Random { seed: 17 },
+    ] {
         let result = SynthesisFlow::new(BistStructure::Pst)
             .with_assignment(method.clone())
             .synthesize(&fsm)
@@ -108,7 +121,11 @@ fn kiss2_round_trip_feeds_the_flow() {
     let fsm = traffic_light().unwrap();
     let text = fsm.to_kiss2();
     let parsed = Fsm::from_kiss2(&text).unwrap();
-    let direct = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
-    let via_kiss = SynthesisFlow::new(BistStructure::Pst).synthesize(&parsed).unwrap();
+    let direct = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
+    let via_kiss = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&parsed)
+        .unwrap();
     assert_eq!(direct.product_terms(), via_kiss.product_terms());
 }

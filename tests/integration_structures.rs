@@ -36,7 +36,10 @@ fn pat_structure_injects_dont_cares_for_covered_transitions() {
     let lfsr = stfsm::lfsr::Lfsr::new(assignment.polynomial).unwrap();
     let covered: std::collections::HashSet<usize> =
         assignment.covered_transitions.iter().copied().collect();
-    let transform = RegisterTransform::SmartLfsr { lfsr, covered: covered.clone() };
+    let transform = RegisterTransform::SmartLfsr {
+        lfsr,
+        covered: covered.clone(),
+    };
     let pla = build_pla(&fsm, &assignment.encoding, &transform).unwrap();
     let lay = layout(&fsm, &assignment.encoding, &transform);
     for (idx, row) in pla.rows().iter().enumerate() {
@@ -60,8 +63,12 @@ fn sig_and_pst_share_the_same_combinational_logic() {
     // synthesized next-state/output logic is identical (the paper treats the
     // state assignment problem "PST / SIG" as one).
     let fsm = fig3_example().unwrap();
-    let sig = SynthesisFlow::new(BistStructure::Sig).synthesize(&fsm).unwrap();
-    let pst = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+    let sig = SynthesisFlow::new(BistStructure::Sig)
+        .synthesize(&fsm)
+        .unwrap();
+    let pst = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
     assert_eq!(sig.product_terms(), pst.product_terms());
     assert_eq!(sig.encoding, pst.encoding);
     assert_eq!(sig.feedback, pst.feedback);
@@ -78,7 +85,13 @@ fn table1_accounting_matches_the_paper_qualitative_ordering() {
         let result = SynthesisFlow::new(structure).synthesize(&fsm).unwrap();
         metrics.push(result.metrics);
     }
-    let by_name = |n: &str| metrics.iter().find(|m| m.structure.name() == n).unwrap().clone();
+    let by_name = |n: &str| {
+        metrics
+            .iter()
+            .find(|m| m.structure.name() == n)
+            .unwrap()
+            .clone()
+    };
     let dff = by_name("DFF");
     let pat = by_name("PAT");
     let sig = by_name("SIG");
@@ -108,7 +121,10 @@ fn table1_accounting_matches_the_paper_qualitative_ordering() {
 #[test]
 fn every_structure_cover_verifies_on_a_generated_controller() {
     let fsm = stfsm::fsm::generate::controller(&stfsm::fsm::generate::ControllerSpec::new(
-        "integration", 18, 4, 5,
+        "integration",
+        18,
+        4,
+        5,
     ))
     .unwrap();
     for structure in BistStructure::ALL {
@@ -124,7 +140,9 @@ fn every_structure_cover_verifies_on_a_generated_controller() {
 #[test]
 fn structure_metrics_standalone_constructor_is_consistent_with_flow() {
     let fsm = fig3_example().unwrap();
-    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+    let result = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
     let standalone = StructureMetrics::from_cover(
         BistStructure::Pst,
         result.encoding.num_bits(),

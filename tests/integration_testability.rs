@@ -3,9 +3,9 @@
 //! and the relative test-length behaviour.
 
 use stfsm::experiments::{coverage_comparison, ExperimentConfig};
-use stfsm::fsm::suite::{fig3_example, modulo12_exact, traffic_light};
+use stfsm::fsm::suite::{fig3_example, modulo12_exact, quick_benchmarks, traffic_light};
 use stfsm::lfsr::Misr;
-use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, StateStimulation};
+use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine, StateStimulation};
 use stfsm::{BistStructure, SynthesisFlow};
 
 #[test]
@@ -15,7 +15,10 @@ fn self_test_reaches_high_stuck_at_coverage_on_small_machines() {
             let result = SynthesisFlow::new(structure).synthesize(&fsm).unwrap();
             let campaign = run_self_test(
                 &result.netlist,
-                &SelfTestConfig { max_patterns: 1024, ..SelfTestConfig::default() },
+                &SelfTestConfig {
+                    max_patterns: 1024,
+                    ..SelfTestConfig::default()
+                },
             );
             assert!(
                 campaign.fault_coverage() > 0.9,
@@ -28,23 +31,78 @@ fn self_test_reaches_high_stuck_at_coverage_on_small_machines() {
 }
 
 #[test]
+fn packed_engine_matches_scalar_on_every_suite_machine_and_structure() {
+    // The packed 64-way engine must be indistinguishable from the scalar
+    // reference — same detection pattern vector, same curve, same totals —
+    // on every machine of the benchmark suite and every BIST structure.
+    let mut machines = vec![
+        fig3_example().unwrap(),
+        modulo12_exact().unwrap(),
+        traffic_light().unwrap(),
+    ];
+    for info in quick_benchmarks() {
+        machines.push(info.fsm().unwrap());
+    }
+    for fsm in &machines {
+        for structure in BistStructure::ALL {
+            let Ok(result) = SynthesisFlow::new(structure).synthesize(fsm) else {
+                // Some structures reject some machines (e.g. PAT needs an
+                // overlappable transition chain); nothing to compare then.
+                continue;
+            };
+            let base = SelfTestConfig {
+                max_patterns: 192,
+                fault_sample: 2,
+                ..SelfTestConfig::default()
+            };
+            let scalar = run_self_test(
+                &result.netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Scalar,
+                    ..base.clone()
+                },
+            );
+            let packed = run_self_test(
+                &result.netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Packed,
+                    ..base
+                },
+            );
+            assert_eq!(
+                scalar,
+                packed,
+                "engines disagree on {} / {structure}",
+                fsm.name()
+            );
+        }
+    }
+}
+
+#[test]
 fn pst_self_test_keeps_all_system_states_reachable() {
     // Because the PST self-test *is* system operation, every state reachable
     // in system mode stays reachable during the test (Section 2.4).  We check
     // that the fault-free self-test run actually visits every state code of
     // the machine.
     let fsm = modulo12_exact().unwrap();
-    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+    let result = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
     let mut sim = stfsm::testsim::Simulator::new(&result.netlist);
     let reset_code = result.encoding.code(fsm.reset_state().unwrap());
-    let bits: Vec<bool> = (0..result.encoding.num_bits()).map(|b| reset_code.bit(b)).collect();
+    let bits: Vec<bool> = (0..result.encoding.num_bits())
+        .map(|b| reset_code.bit(b))
+        .collect();
     sim.set_state(&bits);
     let mut visited = std::collections::HashSet::new();
     let mut lcg = 7u64;
     for _ in 0..4096 {
-        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         // Bias towards count-enable so the counter advances often.
-        let inputs = vec![lcg % 4 != 0];
+        let inputs = vec![!lcg.is_multiple_of(4)];
         sim.evaluate(&inputs);
         sim.clock();
         let code: u64 = sim
@@ -71,17 +129,28 @@ fn pst_needs_no_more_patterns_than_its_own_random_state_variant_by_a_bounded_fac
     // system-state stimulation reaches the target at all and that its test
     // length is within a small multiple of the random-state variant.
     let fsm = traffic_light().unwrap();
-    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
-    let base = SelfTestConfig { max_patterns: 4096, ..SelfTestConfig::default() };
+    let result = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
+    let base = SelfTestConfig {
+        max_patterns: 4096,
+        ..SelfTestConfig::default()
+    };
     let system = run_self_test(&result.netlist, &base);
     let random = run_self_test(
         &result.netlist,
-        &SelfTestConfig { stimulation: Some(StateStimulation::RandomState), ..base.clone() },
+        &SelfTestConfig {
+            stimulation: Some(StateStimulation::RandomState),
+            ..base.clone()
+        },
     );
     let target = 0.90;
     let len_system = system.test_length_for_coverage(target);
     let len_random = random.test_length_for_coverage(target);
-    assert!(len_random.is_some(), "random-state stimulation should reach {target}");
+    assert!(
+        len_random.is_some(),
+        "random-state stimulation should reach {target}"
+    );
     if let (Some(ls), Some(lr)) = (len_system, len_random) {
         assert!(
             (ls as f64) <= (lr as f64) * 8.0 + 64.0,
@@ -93,7 +162,14 @@ fn pst_needs_no_more_patterns_than_its_own_random_state_variant_by_a_bounded_fac
 #[test]
 fn coverage_comparison_reports_all_structures_and_reasonable_coverage() {
     let fsm = fig3_example().unwrap();
-    let cmp = coverage_comparison(&fsm, &ExperimentConfig { max_patterns: 1024, ..ExperimentConfig::default() }).unwrap();
+    let cmp = coverage_comparison(
+        &fsm,
+        &ExperimentConfig {
+            max_patterns: 1024,
+            ..ExperimentConfig::default()
+        },
+    )
+    .unwrap();
     assert_eq!(cmp.rows.len(), 4);
     for row in &cmp.rows {
         assert!(row.total_faults > 0);
@@ -116,7 +192,9 @@ fn single_bit_response_errors_are_not_masked_by_the_signature_register() {
     // Complements the fault simulation: the MISR itself never aliases a
     // single corrupted response word (error polynomial with one term).
     let fsm = traffic_light().unwrap();
-    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm).unwrap();
+    let result = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .unwrap();
     let misr = Misr::new(result.feedback).unwrap();
     let width = result.encoding.num_bits();
     let zero = stfsm::lfsr::Gf2Vec::zero(width).unwrap();
