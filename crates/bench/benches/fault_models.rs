@@ -1,0 +1,61 @@
+//! Criterion bench: packed fault-simulation campaigns per fault model on
+//! the modulo-12 PST controller, plus the multi-threaded driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::faults::all_models;
+use stfsm::testsim::coverage::{run_injection_campaign, SelfTestConfig, SimEngine};
+use stfsm::{BistStructure, SynthesisFlow};
+
+fn bench_fault_models(c: &mut Criterion) {
+    let fsm = stfsm::fsm::suite::modulo12_exact().expect("fixed machine");
+    let netlist = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .expect("synthesis succeeds")
+        .netlist;
+    let mut group = c.benchmark_group("fault_models_mod12_pst");
+    group.sample_size(10);
+    for model in all_models() {
+        let faults = model.fault_list(&netlist, true);
+        group.bench_with_input(
+            BenchmarkId::new(model.name(), faults.len()),
+            &faults,
+            |b, faults| {
+                b.iter(|| {
+                    run_injection_campaign(
+                        &netlist,
+                        faults,
+                        &SelfTestConfig {
+                            max_patterns: 1024,
+                            ..SelfTestConfig::default()
+                        },
+                    )
+                    .detected_faults
+                })
+            },
+        );
+    }
+    let faults = all_models()[0].fault_list(&netlist, true);
+    group.bench_with_input(
+        BenchmarkId::new("stuck_at_threaded", faults.len()),
+        &faults,
+        |b, faults| {
+            b.iter(|| {
+                run_injection_campaign(
+                    &netlist,
+                    faults,
+                    &SelfTestConfig {
+                        max_patterns: 1024,
+                        engine: SimEngine::Threaded,
+                        threads: Some(4),
+                        ..SelfTestConfig::default()
+                    },
+                )
+                .detected_faults
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_models);
+criterion_main!(benches);

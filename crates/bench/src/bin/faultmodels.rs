@@ -1,0 +1,204 @@
+//! Acceptance benchmark of the pluggable fault-model subsystem: coverage of
+//! the stuck-at, transition-delay and bridging models over the full
+//! benchmark suite, plus the multi-threaded campaign driver against the
+//! single-threaded packed engine on the largest suite machine.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin faultmodels
+//! ```
+//!
+//! Verifies two invariants while it measures:
+//!
+//! * the stuck-at campaign of the model subsystem is **bit-for-bit
+//!   identical** to the classic `run_self_test` packed engine on every
+//!   machine of the suite;
+//! * the sharded multi-threaded driver produces the identical result, and —
+//!   when the host actually has ≥ 4 cores — beats the single-threaded
+//!   packed run on the largest suite machine.
+//!
+//! Writes the measurements to `BENCH_fault_models.json` in the working
+//! directory.
+
+use stfsm::faults::{all_models, FaultModel, StuckAt};
+use stfsm::json::{JsonObject, RawJson, ToJson};
+use stfsm::report::{DictionaryReport, FaultModelRow};
+use stfsm::testsim::coverage::{run_injection_campaign, run_self_test, SelfTestConfig, SimEngine};
+use stfsm::testsim::dictionary::build_fault_dictionary;
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::best_of;
+
+const SUITE_PATTERNS: usize = 1024;
+const MT_PATTERNS: usize = 2048;
+const MT_RUNS: u32 = 3;
+/// Extra best-of runs before the speedup assertion is allowed to fail (the
+/// first measurement can lose to transient load on shared CI hosts).
+const MT_RETRY_RUNS: u32 = 5;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let models = all_models();
+    let mut rows: Vec<FaultModelRow> = Vec::new();
+    let mut largest: Option<(String, stfsm::bist::netlist::Netlist)> = None;
+
+    println!(
+        "{:<10} {:>6}  {:<10} {:>7} {:>9} {:>9}",
+        "machine", "gates", "model", "faults", "detected", "coverage"
+    );
+    for info in stfsm::fsm::suite::BENCHMARKS {
+        let fsm = info.fsm()?;
+        let netlist = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&fsm)?
+            .netlist;
+        let config = SelfTestConfig {
+            max_patterns: SUITE_PATTERNS,
+            ..SelfTestConfig::default()
+        };
+
+        // The stuck-at numbers of the model subsystem must be bit-for-bit
+        // those of the classic packed self-test path.
+        let classic = run_self_test(&netlist, &config);
+        let via_model =
+            run_injection_campaign(&netlist, &StuckAt.fault_list(&netlist, true), &config);
+        assert_eq!(
+            classic, via_model,
+            "stuck-at model diverges from run_self_test on {}",
+            info.name
+        );
+
+        for model in &models {
+            let faults = model.fault_list(&netlist, true);
+            let result = run_injection_campaign(&netlist, &faults, &config);
+            println!(
+                "{:<10} {:>6}  {:<10} {:>7} {:>9} {:>8.1}%",
+                info.name,
+                netlist.gates().len(),
+                model.name(),
+                result.total_faults,
+                result.detected_faults,
+                result.fault_coverage() * 100.0
+            );
+            rows.push(FaultModelRow::from_result(info.name, model.name(), &result));
+        }
+
+        if largest
+            .as_ref()
+            .map(|(_, n)| n.gates().len() < netlist.gates().len())
+            .unwrap_or(true)
+        {
+            largest = Some((info.name.to_string(), netlist));
+        }
+    }
+
+    // ---- multi-threaded driver vs single-threaded packed ----------------
+    let (mt_machine, netlist) = largest.expect("suite is not empty");
+    let faults = StuckAt.fault_list(&netlist, true);
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = host_parallelism.max(4);
+    let packed_config = SelfTestConfig {
+        max_patterns: MT_PATTERNS,
+        ..SelfTestConfig::default()
+    };
+    let threaded_config = SelfTestConfig {
+        engine: SimEngine::Threaded,
+        threads: Some(threads),
+        ..packed_config.clone()
+    };
+    let (packed_result, mut packed_ns) = best_of(MT_RUNS, || {
+        run_injection_campaign(&netlist, &faults, &packed_config)
+    });
+    let (threaded_result, mut threaded_ns) = best_of(MT_RUNS, || {
+        run_injection_campaign(&netlist, &faults, &threaded_config)
+    });
+    assert_eq!(
+        packed_result, threaded_result,
+        "threaded driver diverges on {mt_machine}"
+    );
+    // The acceptance claim is about real hardware: only enforce the win
+    // where ≥ 4 workers can actually run in parallel, and re-measure once
+    // with more runs before failing, so a transiently loaded host does not
+    // flake the build.
+    let enforced = host_parallelism >= 4;
+    if enforced && packed_ns <= threaded_ns {
+        packed_ns = packed_ns.min(
+            best_of(MT_RETRY_RUNS, || {
+                run_injection_campaign(&netlist, &faults, &packed_config)
+            })
+            .1,
+        );
+        threaded_ns = threaded_ns.min(
+            best_of(MT_RETRY_RUNS, || {
+                run_injection_campaign(&netlist, &faults, &threaded_config)
+            })
+            .1,
+        );
+    }
+    let mt_speedup = packed_ns / threaded_ns;
+    println!(
+        "\n{mt_machine}: {} faults x {MT_PATTERNS} patterns — packed {:.3} ms, \
+         {threads}-thread {:.3} ms ({mt_speedup:.2}x, host has {host_parallelism} cores)",
+        faults.len(),
+        packed_ns / 1e6,
+        threaded_ns / 1e6
+    );
+    if enforced {
+        assert!(
+            mt_speedup > 1.0,
+            "{threads}-thread driver ({:.3} ms) must beat single-threaded packed ({:.3} ms)",
+            threaded_ns / 1e6,
+            packed_ns / 1e6
+        );
+    }
+
+    // ---- fault dictionary sample -----------------------------------------
+    let dict_fsm = stfsm::fsm::suite::modulo12_exact()?;
+    let dict_netlist = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&dict_fsm)?
+        .netlist;
+    let dict_faults = StuckAt.fault_list(&dict_netlist, true);
+    let dictionary = build_fault_dictionary(
+        &dict_netlist,
+        &dict_faults,
+        &SelfTestConfig {
+            max_patterns: SUITE_PATTERNS,
+            ..SelfTestConfig::default()
+        },
+    );
+    let dict_report =
+        DictionaryReport::from_dictionary(dict_fsm.name(), StuckAt.name(), &dictionary, 12);
+    println!(
+        "dictionary: {} faults on {}, {} detected, {} aliased (reference {})",
+        dictionary.entries.len(),
+        dict_fsm.name(),
+        dictionary.detected_count(),
+        dictionary.aliased_count(),
+        dict_report.reference_signature
+    );
+
+    // ---- artefact --------------------------------------------------------
+    let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
+    let mut mt = JsonObject::new();
+    mt.field("machine", &mt_machine)
+        .field("total_faults", faults.len())
+        .field("max_patterns", MT_PATTERNS)
+        .field("threads", threads)
+        .field("host_parallelism", host_parallelism)
+        .field("packed_ms", packed_ns / 1e6)
+        .field("threaded_ms", threaded_ns / 1e6)
+        .field("speedup_threaded_vs_packed", mt_speedup)
+        .field("speedup_enforced", enforced)
+        .field("results_identical", true);
+    let mut report = JsonObject::new();
+    report
+        .field("benchmark", "fault_models")
+        .field("structure", "PST")
+        .field("max_patterns", SUITE_PATTERNS)
+        .field("stuck_at_identical_to_classic_engine", true)
+        .field("rows", row_json)
+        .field("multithreaded", RawJson(mt.finish()))
+        .field("dictionary", RawJson(dict_report.to_json()));
+    let json = report.finish();
+    std::fs::write("BENCH_fault_models.json", format!("{json}\n"))?;
+    println!("wrote BENCH_fault_models.json");
+    Ok(())
+}

@@ -16,28 +16,16 @@
 //! Writes the measurements to `BENCH_fault_sim.json` in the working
 //! directory.
 
-use std::time::Instant;
 use stfsm::json::{JsonObject, RawJson};
 use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
 use stfsm::testsim::patterns::{PatternSource, RandomPatterns};
 use stfsm::testsim::FaultList;
 use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::best_of;
 use stfsm_bench::seed_baseline::seed_scalar_detection;
 
 const MAX_PATTERNS: usize = 4096;
 const RUNS: u32 = 5;
-
-fn best_of<T>(mut f: impl FnMut() -> T) -> (T, f64) {
-    let mut best_ns = f64::INFINITY;
-    let mut result = None;
-    for _ in 0..RUNS {
-        let start = Instant::now();
-        let value = std::hint::black_box(f());
-        best_ns = best_ns.min(start.elapsed().as_nanos() as f64);
-        result = Some(value);
-    }
-    (result.expect("RUNS > 0"), best_ns)
-}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fsm = stfsm::fsm::suite::modulo12_exact()?;
@@ -66,8 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let faults = FaultList::collapsed(netlist);
 
-    let (seed_pattern, seed_ns) = best_of(|| seed_scalar_detection(netlist, &faults, &stimulus));
-    let (scalar_result, scalar_ns) = best_of(|| {
+    let (seed_pattern, seed_ns) =
+        best_of(RUNS, || seed_scalar_detection(netlist, &faults, &stimulus));
+    let (scalar_result, scalar_ns) = best_of(RUNS, || {
         run_self_test(
             netlist,
             &SelfTestConfig {
@@ -76,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
         )
     });
-    let (packed_result, packed_ns) = best_of(|| {
+    let (packed_result, packed_ns) = best_of(RUNS, || {
         run_self_test(
             netlist,
             &SelfTestConfig {

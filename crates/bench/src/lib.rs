@@ -73,6 +73,26 @@ pub fn full_flag() -> bool {
     std::env::args().any(|a| a == "--full")
 }
 
+/// Runs `f` `runs` times and returns the last result together with the best
+/// (minimum) wall-clock time in nanoseconds — the timing discipline of the
+/// acceptance binaries (best-of-N damps the ~20 % run-to-run noise).
+///
+/// # Panics
+///
+/// Panics if `runs` is zero.
+pub fn best_of<T>(runs: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(runs > 0, "best_of needs at least one run");
+    let mut best_ns = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..runs {
+        let start = std::time::Instant::now();
+        let value = std::hint::black_box(f());
+        best_ns = best_ns.min(start.elapsed().as_nanos() as f64);
+        result = Some(value);
+    }
+    (result.expect("runs > 0"), best_ns)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

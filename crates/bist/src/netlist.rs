@@ -146,6 +146,33 @@ impl Netlist {
     pub fn pin_count(&self) -> usize {
         self.gates.iter().map(|g| g.fanin().len()).sum()
     }
+
+    /// Pairs of distinct nets that run physically adjacent in a naive
+    /// standard-cell placement of this netlist: nets feeding neighbouring
+    /// input pins of the same gate, and the D lines of neighbouring register
+    /// stages.  This is the site universe of bridging-fault models.
+    ///
+    /// Pairs are normalized (`low < high`), sorted and deduplicated, so the
+    /// enumeration order is deterministic.
+    pub fn adjacent_net_pairs(&self) -> Vec<(NetId, NetId)> {
+        let mut pairs: Vec<(NetId, NetId)> = Vec::new();
+        let mut push = |a: NetId, b: NetId| {
+            if a != b {
+                pairs.push((a.min(b), a.max(b)));
+            }
+        };
+        for gate in &self.gates {
+            for w in gate.fanin().windows(2) {
+                push(w[0], w[1]);
+            }
+        }
+        for w in self.flip_flops.windows(2) {
+            push(w[0].d, w[1].d);
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
 }
 
 /// Opcode of one step of the flattened evaluation plan.
@@ -698,6 +725,40 @@ mod tests {
         for (i, _) in plan.steps().iter().enumerate() {
             for &f in plan.step_fanin(i) {
                 assert!((f as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_net_pairs_are_normalized_and_deduplicated() {
+        let netlist = dff_netlist("adjacent");
+        let pairs = netlist.adjacent_net_pairs();
+        assert!(!pairs.is_empty(), "multi-input gates imply adjacent nets");
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(pairs, sorted, "pairs are sorted and unique");
+        for &(low, high) in &pairs {
+            assert!(low < high, "pairs are normalized");
+            assert!(high < netlist.gates().len());
+        }
+        // Every pair of neighbouring pins of a multi-input gate is present.
+        for gate in netlist.gates() {
+            for w in gate.fanin().windows(2) {
+                if w[0] != w[1] {
+                    let key = (w[0].min(w[1]), w[0].max(w[1]));
+                    assert!(pairs.binary_search(&key).is_ok(), "missing {key:?}");
+                }
+            }
+        }
+        // Neighbouring register stages are adjacent too.
+        for w in netlist.flip_flops().windows(2) {
+            if w[0].d != w[1].d {
+                let key = (w[0].d.min(w[1].d), w[0].d.max(w[1].d));
+                assert!(
+                    pairs.binary_search(&key).is_ok(),
+                    "missing register {key:?}"
+                );
             }
         }
     }

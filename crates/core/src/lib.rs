@@ -55,6 +55,8 @@ pub use stfsm_bist::BistStructure;
 pub use stfsm_bist as bist;
 /// Re-export of the state-assignment algorithms (`stfsm-encode`).
 pub use stfsm_encode as encode;
+/// Re-export of the pluggable fault models (`stfsm-faults`).
+pub use stfsm_faults as faults;
 /// Re-export of the FSM substrate (`stfsm-fsm`).
 pub use stfsm_fsm as fsm;
 /// Re-export of the GF(2)/LFSR substrate (`stfsm-lfsr`).

@@ -3,6 +3,8 @@
 
 use crate::json::{JsonObject, RawJson, ToJson};
 use stfsm_bist::BistStructure;
+use stfsm_testsim::coverage::CoverageResult;
+use stfsm_testsim::dictionary::FaultDictionary;
 
 /// One row of the Table 2 reproduction: the PST/SIG state-assignment quality
 /// compared with random encodings.
@@ -206,6 +208,146 @@ impl ToJson for CoverageRow {
     }
 }
 
+/// One row of the fault-model comparison: the coverage a self-test campaign
+/// reached for one (benchmark, structure, fault model) combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultModelRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Structure the netlist implements.
+    pub structure: String,
+    /// Fault-model name (`stuck_at`, `transition`, `bridging`, …).
+    pub model: String,
+    /// Faults simulated (after collapsing).
+    pub total_faults: usize,
+    /// Faults whose effect reached an observation point.
+    pub detected_faults: usize,
+    /// Final fault coverage.
+    pub fault_coverage: f64,
+    /// Patterns applied.
+    pub patterns_applied: usize,
+}
+
+impl FaultModelRow {
+    /// Builds a row from a campaign result.
+    pub fn from_result(benchmark: &str, model: &str, result: &CoverageResult) -> Self {
+        Self {
+            benchmark: benchmark.to_string(),
+            structure: result.structure.name().to_string(),
+            model: model.to_string(),
+            total_faults: result.total_faults,
+            detected_faults: result.detected_faults,
+            fault_coverage: result.fault_coverage(),
+            patterns_applied: result.patterns_applied,
+        }
+    }
+}
+
+impl ToJson for FaultModelRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("structure", &self.structure)
+            .field("model", &self.model)
+            .field("total_faults", self.total_faults)
+            .field("detected_faults", self.detected_faults)
+            .field("fault_coverage", self.fault_coverage)
+            .field("patterns_applied", self.patterns_applied);
+        out.push_str(&obj.finish());
+    }
+}
+
+/// One fault's entry in a diagnosis report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryEntryReport {
+    /// Human-readable fault name (the `Display` form of the injection).
+    pub fault: String,
+    /// First pattern index whose response deviated, if any.
+    pub first_detect: Option<usize>,
+    /// The full-campaign MISR signature, as a hex string.
+    pub signature: String,
+    /// Detected, but the signature collides with the fault-free one.
+    pub aliased: bool,
+}
+
+impl ToJson for DictionaryEntryReport {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("fault", &self.fault)
+            .field("first_detect", self.first_detect)
+            .field("signature", &self.signature)
+            .field("aliased", self.aliased);
+        out.push_str(&obj.finish());
+    }
+}
+
+/// A fault dictionary rendered for diagnosis reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Fault-model name.
+    pub model: String,
+    /// Width of the signature register.
+    pub signature_bits: usize,
+    /// The fault-free signature, as a hex string.
+    pub reference_signature: String,
+    /// Patterns compacted into every signature.
+    pub patterns_applied: usize,
+    /// Detected faults whose signature collides with the reference.
+    pub aliased_count: usize,
+    /// Per-fault entries (possibly truncated by the caller).
+    pub entries: Vec<DictionaryEntryReport>,
+}
+
+impl DictionaryReport {
+    /// Renders a dictionary, keeping at most `max_entries` per-fault rows
+    /// (the summary fields always describe the complete dictionary).
+    pub fn from_dictionary(
+        benchmark: &str,
+        model: &str,
+        dictionary: &FaultDictionary,
+        max_entries: usize,
+    ) -> Self {
+        let hex_width = dictionary.signature_bits.div_ceil(4);
+        let hex = |sig: u64| format!("{sig:0width$x}", width = hex_width);
+        Self {
+            benchmark: benchmark.to_string(),
+            model: model.to_string(),
+            signature_bits: dictionary.signature_bits,
+            reference_signature: hex(dictionary.reference_signature),
+            patterns_applied: dictionary.patterns_applied,
+            aliased_count: dictionary.aliased_count(),
+            entries: dictionary
+                .entries
+                .iter()
+                .take(max_entries)
+                .map(|e| DictionaryEntryReport {
+                    fault: e.fault.to_string(),
+                    first_detect: e.first_detect,
+                    signature: hex(e.signature),
+                    aliased: dictionary.aliased(e),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ToJson for DictionaryReport {
+    fn write_json(&self, out: &mut String) {
+        let entries: Vec<RawJson> = self.entries.iter().map(|e| RawJson(e.to_json())).collect();
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("model", &self.model)
+            .field("signature_bits", self.signature_bits)
+            .field("reference_signature", &self.reference_signature)
+            .field("patterns_applied", self.patterns_applied)
+            .field("aliased_count", self.aliased_count)
+            .field("entries", entries);
+        out.push_str(&obj.finish());
+    }
+}
+
 impl CoverageComparison {
     /// Ratio of the PST test length to the DFF test length at the target
     /// coverage — the paper's ≈ 1.3 claim.  `None` when either structure did
@@ -359,5 +501,75 @@ mod tests {
             test_length: Some(7),
         };
         assert!(t1.to_json().contains(r#""dynamic_fault_detection":true"#));
+    }
+
+    #[test]
+    fn fault_model_row_serializes() {
+        let row = FaultModelRow {
+            benchmark: "mod12".into(),
+            structure: "PST".into(),
+            model: "bridging".into(),
+            total_faults: 40,
+            detected_faults: 38,
+            fault_coverage: 0.95,
+            patterns_applied: 1024,
+        };
+        let json = row.to_json();
+        assert!(json.contains(r#""model":"bridging""#));
+        assert!(json.contains(r#""fault_coverage":0.95"#));
+        assert!(json.contains(r#""patterns_applied":1024"#));
+    }
+
+    #[test]
+    fn dictionary_report_serializes_and_truncates() {
+        use stfsm_testsim::dictionary::{DictionaryEntry, FaultDictionary};
+        use stfsm_testsim::Injection;
+        let dictionary = FaultDictionary {
+            signature_bits: 5,
+            reference_signature: 0b10110,
+            patterns_applied: 128,
+            entries: vec![
+                DictionaryEntry {
+                    fault: Injection::StuckOutput {
+                        net: 3,
+                        value: true,
+                    },
+                    first_detect: Some(2),
+                    signature: 0b00111,
+                },
+                DictionaryEntry {
+                    fault: Injection::DelayedTransition {
+                        net: 4,
+                        slow_to_rise: false,
+                    },
+                    first_detect: Some(9),
+                    signature: 0b10110,
+                },
+                DictionaryEntry {
+                    fault: Injection::Bridge {
+                        victim: 7,
+                        aggressor: 1,
+                        wired_and: true,
+                    },
+                    first_detect: None,
+                    signature: 0b10110,
+                },
+            ],
+        };
+        let report = DictionaryReport::from_dictionary("mod12", "mixed", &dictionary, 2);
+        // Truncation keeps the first two rows but the aliased count covers
+        // the whole dictionary (entry 1 aliases, entry 2 was never
+        // detected).
+        assert_eq!(report.entries.len(), 2);
+        assert_eq!(report.aliased_count, 1);
+        assert_eq!(report.reference_signature, "16");
+        assert_eq!(report.entries[0].fault, "net3/SA1");
+        assert!(!report.entries[0].aliased);
+        assert_eq!(report.entries[1].fault, "net4/STF");
+        assert!(report.entries[1].aliased);
+        let json = report.to_json();
+        assert!(json.contains(r#""entries":[{"fault":"net3/SA1""#));
+        assert!(json.contains(r#""signature_bits":5"#));
+        assert!(json.contains(r#""first_detect":2"#));
     }
 }

@@ -1,0 +1,99 @@
+//! The bridging (wired-AND / wired-OR short) fault model.
+
+use crate::injection::Injection;
+use crate::model::{observable_nets, FaultModel};
+use stfsm_bist::netlist::{Gate, Netlist};
+
+/// Bridging faults over physically adjacent net pairs.
+///
+/// The site universe comes from
+/// [`Netlist::adjacent_net_pairs`](stfsm_bist::netlist::Netlist::adjacent_net_pairs):
+/// nets wired to neighbouring input pins of the same gate and to
+/// neighbouring register stages — the places where a naive standard-cell
+/// layout actually routes two wires side by side.  Each pair yields a
+/// wired-AND and a wired-OR bridge in the aggressor–victim style: the
+/// topologically later net of the pair is the victim whose value is pulled
+/// towards the aggressor, the aggressor keeps its value (see
+/// [`Injection::Bridge`]).
+///
+/// Collapsing drops bridges to constant nets (equivalent to stuck-at faults,
+/// which the [`StuckAt`](crate::StuckAt) model already covers) and bridges
+/// whose victim is structurally unobservable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bridging;
+
+impl FaultModel for Bridging {
+    fn name(&self) -> &'static str {
+        "bridging"
+    }
+
+    fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
+        let mut faults = Vec::new();
+        for (low, high) in netlist.adjacent_net_pairs() {
+            for wired_and in [true, false] {
+                faults.push(Injection::Bridge {
+                    victim: high,
+                    aggressor: low,
+                    wired_and,
+                });
+            }
+        }
+        faults
+    }
+
+    fn collapse(&self, netlist: &Netlist, faults: Vec<Injection>) -> Vec<Injection> {
+        let observable = observable_nets(netlist);
+        let constant = |net: usize| matches!(netlist.gates()[net], Gate::Constant(_));
+        faults
+            .into_iter()
+            .filter(|injection| match *injection {
+                Injection::Bridge {
+                    victim, aggressor, ..
+                } => observable[victim] && !constant(victim) && !constant(aggressor),
+                _ => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig3_netlist, fig3_pst_netlist};
+
+    #[test]
+    fn enumerates_two_bridges_per_adjacent_pair() {
+        for netlist in [fig3_netlist(), fig3_pst_netlist()] {
+            let pairs = netlist.adjacent_net_pairs();
+            let faults = Bridging.enumerate(&netlist);
+            assert_eq!(faults.len(), 2 * pairs.len());
+            for injection in &faults {
+                match *injection {
+                    Injection::Bridge {
+                        victim, aggressor, ..
+                    } => {
+                        assert!(aggressor < victim, "victim must be the later net");
+                        assert!(pairs.contains(&(aggressor, victim)));
+                    }
+                    other => panic!("foreign injection {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_drops_constant_partners() {
+        let netlist = fig3_netlist();
+        let collapsed = Bridging.fault_list(&netlist, true);
+        assert!(!collapsed.is_empty());
+        for injection in &collapsed {
+            if let Injection::Bridge {
+                victim, aggressor, ..
+            } = *injection
+            {
+                assert!(!matches!(netlist.gates()[victim], Gate::Constant(_)));
+                assert!(!matches!(netlist.gates()[aggressor], Gate::Constant(_)));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Model-agnostic fault-injection descriptors.
+//!
+//! An [`Injection`] tells a simulation engine how one fault patches one gate
+//! or pin of the netlist, without saying anything about the defect mechanism
+//! behind it.  Every fault model reduces its faults to this vocabulary, so
+//! the scalar, packed and multi-threaded engines of `stfsm-testsim` support
+//! any present or future model for free.
+
+use std::fmt;
+
+/// How a single fault patches the netlist during simulation.
+///
+/// All variants describe the patch of exactly one lane (one faulty machine):
+/// either a gate output, one input pin, a delayed output transition or a
+/// resistive bridge pulling the output towards a neighbouring net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Injection {
+    /// The output net of a gate is stuck at a constant.
+    StuckOutput {
+        /// The stuck net (gate index; net `i` is the output of gate `i`).
+        net: usize,
+        /// The stuck value (`false` = stuck-at-0, `true` = stuck-at-1).
+        value: bool,
+    },
+    /// One input pin of a gate is stuck at a constant (the driving net
+    /// itself is healthy).
+    StuckPin {
+        /// Index of the gate whose pin is faulty.
+        gate: usize,
+        /// Pin position within the gate's fan-in list.
+        pin: usize,
+        /// The stuck value.
+        value: bool,
+    },
+    /// The gate output propagates a transition one clock cycle late in one
+    /// direction (gross-delay / transition fault).
+    ///
+    /// A slow-to-rise output stays 0 for the cycle in which the fault-free
+    /// gate would have risen; a slow-to-fall output stays 1 symmetrically.
+    /// With the previous-cycle value `p` and the currently computed value
+    /// `v`, the faulty output is `v ∧ p` (slow-to-rise) or `v ∨ p`
+    /// (slow-to-fall) — a one-cycle memory on the faulty lane.
+    DelayedTransition {
+        /// The late net.
+        net: usize,
+        /// `true` = slow-to-rise, `false` = slow-to-fall.
+        slow_to_rise: bool,
+    },
+    /// A resistive short between two physically adjacent nets, in the
+    /// aggressor–victim style: the victim net takes the wired-AND or
+    /// wired-OR of both nets, the aggressor keeps its value.
+    ///
+    /// The aggressor must precede the victim in the topological net order so
+    /// a single forward sweep sees its final value (enforced by the
+    /// simulation engines).
+    Bridge {
+        /// The victim net whose value is overridden.
+        victim: usize,
+        /// The aggressor net it is shorted to (`aggressor < victim`).
+        aggressor: usize,
+        /// `true` = wired-AND bridge, `false` = wired-OR bridge.
+        wired_and: bool,
+    },
+}
+
+impl Injection {
+    /// Whether the faulty machine carries state beyond the register (the
+    /// one-cycle transition memory).  Stateful injections cannot be driven
+    /// through precomputed transition tables.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Injection::DelayedTransition { .. })
+    }
+
+    /// The gate whose evaluation is patched by this injection.
+    pub fn patched_gate(&self) -> usize {
+        match *self {
+            Injection::StuckOutput { net, .. } => net,
+            Injection::StuckPin { gate, .. } => gate,
+            Injection::DelayedTransition { net, .. } => net,
+            Injection::Bridge { victim, .. } => victim,
+        }
+    }
+}
+
+impl fmt::Display for Injection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Injection::StuckOutput { net, value } => {
+                write!(f, "net{net}/SA{}", value as u8)
+            }
+            Injection::StuckPin { gate, pin, value } => {
+                write!(f, "gate{gate}.pin{pin}/SA{}", value as u8)
+            }
+            Injection::DelayedTransition { net, slow_to_rise } => {
+                write!(f, "net{net}/{}", if slow_to_rise { "STR" } else { "STF" })
+            }
+            Injection::Bridge {
+                victim,
+                aggressor,
+                wired_and,
+            } => write!(
+                f,
+                "net{victim}{}net{aggressor}/BR",
+                if wired_and { "&" } else { "|" }
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_are_readable() {
+        assert_eq!(
+            Injection::StuckOutput {
+                net: 3,
+                value: true
+            }
+            .to_string(),
+            "net3/SA1"
+        );
+        assert_eq!(
+            Injection::StuckPin {
+                gate: 7,
+                pin: 1,
+                value: false
+            }
+            .to_string(),
+            "gate7.pin1/SA0"
+        );
+        assert_eq!(
+            Injection::DelayedTransition {
+                net: 4,
+                slow_to_rise: true
+            }
+            .to_string(),
+            "net4/STR"
+        );
+        assert_eq!(
+            Injection::DelayedTransition {
+                net: 4,
+                slow_to_rise: false
+            }
+            .to_string(),
+            "net4/STF"
+        );
+        assert_eq!(
+            Injection::Bridge {
+                victim: 9,
+                aggressor: 2,
+                wired_and: true
+            }
+            .to_string(),
+            "net9&net2/BR"
+        );
+        assert_eq!(
+            Injection::Bridge {
+                victim: 9,
+                aggressor: 2,
+                wired_and: false
+            }
+            .to_string(),
+            "net9|net2/BR"
+        );
+    }
+
+    #[test]
+    fn statefulness_and_patched_gate() {
+        let tr = Injection::DelayedTransition {
+            net: 5,
+            slow_to_rise: false,
+        };
+        assert!(tr.is_stateful());
+        assert_eq!(tr.patched_gate(), 5);
+        let br = Injection::Bridge {
+            victim: 8,
+            aggressor: 1,
+            wired_and: true,
+        };
+        assert!(!br.is_stateful());
+        assert_eq!(br.patched_gate(), 8);
+        assert_eq!(
+            Injection::StuckPin {
+                gate: 2,
+                pin: 0,
+                value: true
+            }
+            .patched_gate(),
+            2
+        );
+        assert_eq!(
+            Injection::StuckOutput {
+                net: 1,
+                value: false
+            }
+            .patched_gate(),
+            1
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! The transition-delay (gross-delay) fault model.
+
+use crate::injection::Injection;
+use crate::model::{observable_nets, FaultModel};
+use stfsm_bist::netlist::{Gate, Netlist};
+
+/// Transition-delay faults: every non-constant gate output can be
+/// slow-to-rise or slow-to-fall.
+///
+/// The faulty output propagates a transition in the slow direction one clock
+/// cycle late (see [`Injection::DelayedTransition`]); the opposite edge and
+/// stable values are unaffected.  Because the self-test applies one pattern
+/// per clock cycle, this is the standard cycle-accurate approximation of a
+/// gross delay defect on the net.
+///
+/// Collapsing drops faults on structurally unobservable nets (no fan-out pin
+/// and not an observation point); unlike stuck-at faults there is no
+/// controlling-value equivalence between pin and output transitions, so the
+/// per-gate list is not reduced further.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransitionDelay;
+
+impl FaultModel for TransitionDelay {
+    fn name(&self) -> &'static str {
+        "transition"
+    }
+
+    fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
+        let mut faults = Vec::new();
+        for (id, gate) in netlist.gates().iter().enumerate() {
+            if matches!(gate, Gate::Constant(_)) {
+                continue;
+            }
+            for slow_to_rise in [true, false] {
+                faults.push(Injection::DelayedTransition {
+                    net: id,
+                    slow_to_rise,
+                });
+            }
+        }
+        faults
+    }
+
+    fn collapse(&self, netlist: &Netlist, faults: Vec<Injection>) -> Vec<Injection> {
+        let observable = observable_nets(netlist);
+        faults
+            .into_iter()
+            .filter(|injection| match *injection {
+                Injection::DelayedTransition { net, .. } => observable[net],
+                _ => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fig3_netlist;
+
+    #[test]
+    fn enumerates_both_directions_per_gate() {
+        let n = fig3_netlist();
+        let faults = TransitionDelay.enumerate(&n);
+        let non_const = n
+            .gates()
+            .iter()
+            .filter(|g| !matches!(g, Gate::Constant(_)))
+            .count();
+        assert_eq!(faults.len(), 2 * non_const);
+        for pair in faults.chunks(2) {
+            match (pair[0], pair[1]) {
+                (
+                    Injection::DelayedTransition {
+                        net: a,
+                        slow_to_rise: true,
+                    },
+                    Injection::DelayedTransition {
+                        net: b,
+                        slow_to_rise: false,
+                    },
+                ) => assert_eq!(a, b),
+                other => panic!("unexpected pair {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn collapse_keeps_only_observable_sites() {
+        let n = fig3_netlist();
+        let collapsed = TransitionDelay.fault_list(&n, true);
+        let observable = observable_nets(&n);
+        assert!(!collapsed.is_empty());
+        for injection in &collapsed {
+            match *injection {
+                Injection::DelayedTransition { net, .. } => assert!(observable[net]),
+                other => panic!("foreign injection {other}"),
+            }
+        }
+    }
+}

@@ -17,7 +17,7 @@
 //! Signature aliasing is not modelled cycle by cycle; the standard `2^{-r}`
 //! masking probability of an `r`-bit MISR is reported alongside the results.
 
-use crate::faults::{Fault, FaultList};
+use crate::faults::{FaultList, Injection};
 use crate::packed::{PackedSimulator, FAULT_LANES};
 use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
 use crate::sim::Simulator;
@@ -27,11 +27,12 @@ use stfsm_lfsr::bitvec::broadcast;
 
 /// Which simulation engine drives the fault-coverage campaign.
 ///
-/// Both engines produce bit-for-bit identical [`CoverageResult`]s; the
-/// packed engine simulates up to [`FAULT_LANES`] faulty machines per word
-/// operation and is roughly an order of magnitude faster.  The scalar
-/// engine is retained as the differential-testing reference and for
-/// debugging single faults.
+/// All engines produce bit-for-bit identical [`CoverageResult`]s for any
+/// fault model; the packed engine simulates up to [`FAULT_LANES`] faulty
+/// machines per word operation and is roughly an order of magnitude faster
+/// than the scalar reference, and the threaded engine shards the fault list
+/// over packed workers on top of that.  The scalar engine is retained as
+/// the differential-testing reference and for debugging single faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimEngine {
     /// One fault at a time on the boolean [`Simulator`].
@@ -39,6 +40,12 @@ pub enum SimEngine {
     /// 63 faults per chunk on the word-parallel [`PackedSimulator`].
     #[default]
     Packed,
+    /// The fault list sharded across [`SelfTestConfig::threads`] packed
+    /// workers (`std::thread::scope`).  The shard split is a deterministic
+    /// function of the fault list alone and every fault's trajectory is
+    /// independent of its chunk, so the merged result is bit-for-bit
+    /// independent of the thread count.
+    Threaded,
 }
 
 /// How the state lines are stimulated during self-test.
@@ -82,6 +89,9 @@ pub struct SelfTestConfig {
     pub stimulation: Option<StateStimulation>,
     /// Simulation engine (packed 64-way by default).
     pub engine: SimEngine,
+    /// Worker count of the [`SimEngine::Threaded`] engine; `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
 }
 
 impl Default for SelfTestConfig {
@@ -94,7 +104,19 @@ impl Default for SelfTestConfig {
             fault_sample: 1,
             stimulation: None,
             engine: SimEngine::default(),
+            threads: None,
         }
+    }
+}
+
+impl SelfTestConfig {
+    /// The worker count the [`SimEngine::Threaded`] engine will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
     }
 }
 
@@ -122,9 +144,12 @@ pub struct CoverageResult {
 
 impl CoverageResult {
     /// Final fault coverage (detected / total).
+    ///
+    /// A degenerate campaign with no faults reports zero coverage — nothing
+    /// was demonstrated, so nothing is claimed.
     pub fn fault_coverage(&self) -> f64 {
         if self.total_faults == 0 {
-            1.0
+            0.0
         } else {
             self.detected_faults as f64 / self.total_faults as f64
         }
@@ -132,12 +157,12 @@ impl CoverageResult {
 
     /// The smallest number of patterns after which the coverage reaches
     /// `target` (0 < target ≤ 1), or `None` if it never does within the
-    /// campaign.
+    /// campaign (in particular for a degenerate campaign without faults).
     pub fn test_length_for_coverage(&self, target: f64) -> Option<usize> {
         if self.total_faults == 0 {
-            return Some(0);
+            return None;
         }
-        let needed = (target * self.total_faults as f64).ceil() as usize;
+        let needed = ((target * self.total_faults as f64).ceil() as usize).max(1);
         let mut times: Vec<usize> = self.detection_pattern.iter().flatten().copied().collect();
         if times.len() < needed {
             return None;
@@ -152,50 +177,61 @@ impl CoverageResult {
     }
 }
 
-/// Runs a self-test campaign on a netlist.
+/// Runs a single stuck-at self-test campaign on a netlist (the paper's
+/// fault model; [`SelfTestConfig::collapse_faults`] and
+/// [`SelfTestConfig::fault_sample`] select the fault list).
+///
+/// Degenerate campaigns are total: an empty fault list or
+/// `max_patterns == 0` yields a zero-coverage result instead of panicking.
 pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResult {
-    let stimulation = config
-        .stimulation
-        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
     let fault_list = if config.collapse_faults {
         FaultList::collapsed(netlist)
     } else {
         FaultList::full(netlist)
     };
     let fault_list = fault_list.sampled(config.fault_sample.max(1));
+    let injections: Vec<Injection> = fault_list.faults().iter().map(|&f| f.into()).collect();
+    run_injection_campaign(netlist, &injections, config)
+}
 
-    let num_inputs = netlist.primary_inputs().len();
-    let num_state = netlist.flip_flops().len();
-
-    // Pre-generate the stimulus so the fault-free and every faulty machine
-    // see exactly the same sequence.  Flat row-major buffers: the campaign
-    // makes no further allocations per cycle.
-    let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
-        Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
-        None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
-    };
-    let mut state_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
-    let mut stimulus = Stimulus {
-        cycles: config.max_patterns,
-        pi_width: num_inputs,
-        st_width: num_state.max(1),
-        pi: vec![false; config.max_patterns * num_inputs],
-        st: vec![false; config.max_patterns * num_state.max(1)],
-    };
-    for cycle in 0..config.max_patterns {
-        if num_inputs > 0 {
-            pi_source.fill(stimulus.pi_mut(cycle));
+/// Runs a self-test campaign over an explicit, model-agnostic fault list.
+///
+/// This is the engine room shared by every fault model: `faults[i]` occupies
+/// index `i` of [`CoverageResult::detection_pattern`].  The
+/// [`SelfTestConfig::collapse_faults`] and [`SelfTestConfig::fault_sample`]
+/// knobs do not apply — enumeration and collapsing already happened in the
+/// fault model that produced `faults` (see `stfsm_faults::FaultModel`).
+///
+/// Degenerate campaigns are total: an empty fault list or
+/// `max_patterns == 0` yields a zero-coverage result instead of panicking.
+pub fn run_injection_campaign(
+    netlist: &Netlist,
+    faults: &[Injection],
+    config: &SelfTestConfig,
+) -> CoverageResult {
+    let stimulation = config
+        .stimulation
+        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
+    let detection_pattern = if faults.is_empty() {
+        // Degenerate campaign: skip the stimulus generation entirely.
+        Vec::new()
+    } else {
+        let stimulus = generate_stimulus(netlist, config);
+        match config.engine {
+            SimEngine::Scalar => scalar_detection(netlist, faults, &stimulus, stimulation),
+            SimEngine::Packed => packed_detection(netlist, faults, &stimulus, stimulation),
+            SimEngine::Threaded => threaded_detection(
+                netlist,
+                faults,
+                &stimulus,
+                stimulation,
+                config.effective_threads(),
+            ),
         }
-        state_source.fill(stimulus.st_mut(cycle));
-    }
-
-    let detection_pattern = match config.engine {
-        SimEngine::Scalar => scalar_detection(netlist, &fault_list, &stimulus, stimulation),
-        SimEngine::Packed => packed_detection(netlist, &fault_list, &stimulus, stimulation),
     };
 
     let detected_faults = detection_pattern.iter().filter(|d| d.is_some()).count();
-    let total_faults = fault_list.len();
+    let total_faults = faults.len();
 
     // Coverage curve at roughly 32 checkpoints.
     let mut coverage_curve = Vec::new();
@@ -210,7 +246,7 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
         coverage_curve.push((
             checkpoint,
             if total_faults == 0 {
-                1.0
+                0.0
             } else {
                 covered as f64 / total_faults as f64
             },
@@ -230,6 +266,34 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
     }
 }
 
+/// Pre-generates the campaign stimulus so the fault-free and every faulty
+/// machine (on every engine and every thread) see exactly the same
+/// sequence.  Flat row-major buffers: the campaign makes no further
+/// allocations per cycle.
+pub(crate) fn generate_stimulus(netlist: &Netlist, config: &SelfTestConfig) -> Stimulus {
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
+        Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
+        None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
+    };
+    let mut state_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
+    let mut stimulus = Stimulus {
+        cycles: config.max_patterns,
+        pi_width: num_inputs,
+        st_width: num_state.max(1),
+        pi: vec![false; config.max_patterns * num_inputs],
+        st: vec![false; config.max_patterns * num_state.max(1)],
+    };
+    for cycle in 0..config.max_patterns {
+        if num_inputs > 0 {
+            pi_source.fill(stimulus.pi_mut(cycle));
+        }
+        state_source.fill(stimulus.st_mut(cycle));
+    }
+    stimulus
+}
+
 /// The signature-aliasing (fault-masking) probability `2^{-r}` of an
 /// `r`-bit response compactor.
 ///
@@ -245,14 +309,16 @@ pub fn misr_aliasing_probability(r: usize) -> f64 {
 /// responses, with fault dropping at the first mismatch.
 fn scalar_detection(
     netlist: &Netlist,
-    fault_list: &FaultList,
+    faults: &[Injection],
     stimulus: &Stimulus,
     stimulation: StateStimulation,
 ) -> Vec<Option<usize>> {
+    if faults.is_empty() {
+        return Vec::new();
+    }
     // Fault-free reference responses.
     let good = simulate(netlist, None, stimulus, stimulation, None);
-    fault_list
-        .faults()
+    faults
         .iter()
         .map(|&fault| {
             simulate(netlist, Some(fault), stimulus, stimulation, Some(&good)).first_mismatch
@@ -260,12 +326,52 @@ fn scalar_detection(
         .collect()
 }
 
+/// Threaded engine: the fault list sharded into one contiguous slice per
+/// worker, each worker running the full packed campaign (segmented
+/// compaction and table tail included) on its shard.
+///
+/// Every fault's trajectory is that of its own isolated machine — chunk
+/// packing never changes results, only wall-clock time — and the shard
+/// boundaries depend on nothing but `faults.len()` and the worker count, so
+/// the concatenated result is bit-for-bit identical to the single-threaded
+/// engines regardless of scheduling.
+fn threaded_detection(
+    netlist: &Netlist,
+    faults: &[Injection],
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+    threads: usize,
+) -> Vec<Option<usize>> {
+    let threads = threads
+        .max(1)
+        .min(faults.len().div_ceil(FAULT_LANES).max(1));
+    if threads == 1 {
+        return packed_detection(netlist, faults, stimulus, stimulation);
+    }
+    let shard_len = faults.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = faults
+            .chunks(shard_len)
+            .map(|shard| {
+                scope.spawn(move || packed_detection(netlist, shard, stimulus, stimulation))
+            })
+            .collect();
+        // Deterministic merge: shard order, not completion order.
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("fault-simulation worker panicked"))
+            .collect()
+    })
+}
+
 /// A still-undetected fault between compaction segments: its position in
-/// the fault list and the register state its machine has reached.
+/// the fault list, the register state its machine has reached and (for
+/// delayed-transition faults) the one-cycle memory of its faulty net.
 struct AliveFault {
     index: usize,
-    fault: Fault,
+    fault: Injection,
     state: Vec<bool>,
+    memory: Option<bool>,
 }
 
 /// Per-lane transition/observation tables for one fault chunk, built by
@@ -288,11 +394,20 @@ impl LaneTables {
     /// Hard limits under which table mode is exact and worthwhile:
     /// all observation bits must fit one `u32` signature, the state one
     /// `u16`, and the table must stay small enough to build and cache.
-    fn applicable(netlist: &Netlist, lanes: usize, remaining_cycles: usize) -> bool {
+    /// Stateful injections (delayed transitions) carry memory beyond the
+    /// register, so their lanes are no pure function of (state, input) and
+    /// table mode is ruled out for the chunk.
+    fn applicable(
+        netlist: &Netlist,
+        faults: &[AliveFault],
+        lanes: usize,
+        remaining_cycles: usize,
+    ) -> bool {
         let r = netlist.flip_flops().len();
         let m = netlist.primary_inputs().len();
         let bits = r + m;
-        bits <= 16
+        faults.iter().all(|a| !a.fault.is_stateful())
+            && bits <= 16
             && r <= 16
             && netlist.observation_points().len() <= 32
             && (1usize << bits) * lanes <= 1 << 20
@@ -301,13 +416,13 @@ impl LaneTables {
             && (1usize << bits) * 4 <= remaining_cycles.saturating_mul(lanes.max(8))
     }
 
-    fn build(netlist: &Netlist, faults: &[Fault]) -> Self {
+    fn build(netlist: &Netlist, faults: &[Injection]) -> Self {
         let plan = netlist.plan();
         let r = netlist.flip_flops().len();
         let m = netlist.primary_inputs().len();
         let combos = 1usize << (r + m);
         let lanes = faults.len() + 1;
-        let mut sim = PackedSimulator::with_faults(netlist, faults);
+        let mut sim = PackedSimulator::with_injections(netlist, faults);
         let mut obs_sig = vec![0u32; lanes * combos];
         let mut next_state = vec![0u16; lanes * combos];
         let mut state_bits = vec![false; r];
@@ -375,7 +490,7 @@ fn table_tail(
     from: usize,
     detection_pattern: &mut [Option<usize>],
 ) {
-    let faults: Vec<Fault> = alive.iter().map(|a| a.fault).collect();
+    let faults: Vec<Injection> = alive.iter().map(|a| a.fault).collect();
     let tables = LaneTables::build(netlist, &faults);
     let r = tables.r;
     // (lane, detection index, current state) of the still-active machines.
@@ -437,15 +552,15 @@ fn table_tail(
 /// those of the scalar engine.
 fn packed_detection(
     netlist: &Netlist,
-    fault_list: &FaultList,
+    faults: &[Injection],
     stimulus: &Stimulus,
     stimulation: StateStimulation,
 ) -> Vec<Option<usize>> {
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
     let total_cycles = stimulus.cycles;
-    let mut detection_pattern = vec![None; fault_list.len()];
-    if total_cycles == 0 || fault_list.is_empty() {
+    let mut detection_pattern = vec![None; faults.len()];
+    if total_cycles == 0 || faults.is_empty() {
         return detection_pattern;
     }
     // Pre-pack the stimulus: every machine sees the same inputs, so each bit
@@ -457,14 +572,18 @@ fn packed_detection(
     // (the generated rows are at least as wide as the register).
     let init_state = stimulus.st(0)[..num_state].to_vec();
     let mut reference_state = init_state.clone();
-    let mut alive: Vec<AliveFault> = fault_list
-        .faults()
+    let mut alive: Vec<AliveFault> = faults
         .iter()
         .enumerate()
         .map(|(index, &fault)| AliveFault {
             index,
             fault,
             state: init_state.clone(),
+            // Transition memories start at the direction's identity value.
+            memory: match fault {
+                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
+                _ => None,
+            },
         })
         .collect();
 
@@ -474,7 +593,7 @@ fn packed_detection(
         // Once the survivors fit a single chunk and the machine is small
         // enough, finish the campaign on compiled transition tables.
         if alive.len() <= FAULT_LANES
-            && LaneTables::applicable(netlist, alive.len() + 1, total_cycles - from)
+            && LaneTables::applicable(netlist, &alive, alive.len() + 1, total_cycles - from)
         {
             table_tail(
                 netlist,
@@ -492,8 +611,8 @@ fn packed_detection(
         let mut survivors: Vec<AliveFault> = Vec::new();
         let mut next_reference_state = None;
         for chunk in alive.chunks(FAULT_LANES) {
-            let faults: Vec<Fault> = chunk.iter().map(|a| a.fault).collect();
-            let mut sim = PackedSimulator::with_faults(netlist, &faults);
+            let faults: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+            let mut sim = PackedSimulator::with_injections(netlist, &faults);
             // Seed the lanes: lane 0 resumes the fault-free reference, lane
             // `i + 1` resumes faulty machine `chunk[i]`.
             let mut state_words = vec![0u64; num_state];
@@ -505,6 +624,12 @@ fn packed_detection(
                 *word = w;
             }
             sim.set_state_words(&state_words);
+            // Stateful lanes also resume their one-cycle transition memory.
+            for (i, a) in chunk.iter().enumerate() {
+                if let Some(bit) = a.memory {
+                    sim.seed_transition_memory(i + 1, bit);
+                }
+            }
             let mut active = sim.fault_lanes_mask();
             for cycle in from..to {
                 if active == 0 {
@@ -540,6 +665,7 @@ fn packed_detection(
                         index: a.index,
                         fault: a.fault,
                         state: words.iter().map(|&w| (w >> lane) & 1 == 1).collect(),
+                        memory: sim.transition_memory(lane),
                     });
                 }
             }
@@ -555,18 +681,18 @@ fn packed_detection(
 
 /// The pre-generated campaign stimulus in flat row-major buffers: cycle `c`
 /// occupies `pi[c * pi_width ..]` and `st[c * st_width ..]`.
-struct Stimulus {
-    cycles: usize,
-    pi_width: usize,
+pub(crate) struct Stimulus {
+    pub(crate) cycles: usize,
+    pub(crate) pi_width: usize,
     /// Width of the generated state rows (`num_state.max(1)`, mirroring the
     /// state pattern source).
-    st_width: usize,
-    pi: Vec<bool>,
-    st: Vec<bool>,
+    pub(crate) st_width: usize,
+    pub(crate) pi: Vec<bool>,
+    pub(crate) st: Vec<bool>,
 }
 
 impl Stimulus {
-    fn pi(&self, cycle: usize) -> &[bool] {
+    pub(crate) fn pi(&self, cycle: usize) -> &[bool] {
         &self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
     }
 
@@ -574,7 +700,7 @@ impl Stimulus {
         &mut self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
     }
 
-    fn st(&self, cycle: usize) -> &[bool] {
+    pub(crate) fn st(&self, cycle: usize) -> &[bool] {
         &self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
     }
 
@@ -593,13 +719,13 @@ struct SimulationOutcome {
 
 fn simulate(
     netlist: &Netlist,
-    fault: Option<Fault>,
+    fault: Option<Injection>,
     stimulus: &Stimulus,
     stimulation: StateStimulation,
     reference: Option<&SimulationOutcome>,
 ) -> SimulationOutcome {
     let mut sim = match fault {
-        Some(f) => Simulator::with_fault(netlist, f),
+        Some(f) => Simulator::with_injection(netlist, f),
         None => Simulator::new(netlist),
     };
     // Scan initialisation: load the first random state.
@@ -861,6 +987,58 @@ mod tests {
         );
         let packed = run_self_test(&netlist, &cfg);
         assert_eq!(scalar, packed);
+    }
+
+    #[test]
+    fn degenerate_campaigns_are_total() {
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        for engine in [SimEngine::Scalar, SimEngine::Packed, SimEngine::Threaded] {
+            // Zero patterns: nothing applied, nothing detected, no panic.
+            let zero_patterns = run_self_test(
+                &netlist,
+                &SelfTestConfig {
+                    max_patterns: 0,
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(zero_patterns.patterns_applied, 0, "{engine:?}");
+            assert!(zero_patterns.total_faults > 0);
+            assert_eq!(zero_patterns.detected_faults, 0);
+            assert_eq!(zero_patterns.fault_coverage(), 0.0);
+            assert!(zero_patterns.coverage_curve.is_empty());
+            assert!(zero_patterns.test_length_for_coverage(0.9).is_none());
+
+            // Empty fault list: a zero-coverage result, no panic.
+            let no_faults = run_injection_campaign(
+                &netlist,
+                &[],
+                &SelfTestConfig {
+                    max_patterns: 64,
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(no_faults.total_faults, 0, "{engine:?}");
+            assert!(no_faults.detection_pattern.is_empty());
+            assert_eq!(no_faults.fault_coverage(), 0.0);
+            assert_eq!(no_faults.undetected_faults(), 0);
+            assert!(no_faults.test_length_for_coverage(0.5).is_none());
+            assert!(no_faults.coverage_curve.iter().all(|&(_, c)| c == 0.0));
+
+            // Both at once.
+            let both = run_injection_campaign(
+                &netlist,
+                &[],
+                &SelfTestConfig {
+                    max_patterns: 0,
+                    engine,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(both.fault_coverage(), 0.0);
+        }
     }
 
     #[test]

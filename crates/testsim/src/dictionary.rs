@@ -1,0 +1,360 @@
+//! Fault dictionaries: per-fault first-detect pattern indices and MISR
+//! signatures for diagnosis.
+//!
+//! A coverage campaign only asks *whether* a fault is detected; diagnosis
+//! asks *which* fault explains an observed failure.  The classic answer is a
+//! fault dictionary: simulate every fault over the full test, compact each
+//! faulty machine's observation stream in the same MISR the hardware uses,
+//! and record the final signature next to the first-detect pattern index.
+//! Comparing a failing chip's signature against the dictionary then narrows
+//! the defect down to the faults that produce it.
+//!
+//! The dictionary pass reuses the packed engine: signatures of all 64 lanes
+//! advance word-parallel through the bit-plane form of the MISR recurrence
+//! `s⁺₁ = m(s) ⊕ y₁`, `s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ` (the same Fibonacci convention as
+//! [`stfsm_lfsr::Misr`]), so building a dictionary costs one un-dropped
+//! campaign instead of one serial simulation per fault.  Unlike the coverage
+//! campaign, faulty machines keep running after their first detection —
+//! the signature covers the whole test — which also measures *actual*
+//! signature aliasing against the `2^{-r}` estimate of
+//! [`crate::coverage::misr_aliasing_probability`].
+
+use crate::coverage::{generate_stimulus, SelfTestConfig, StateStimulation};
+use crate::faults::Injection;
+use crate::packed::{PackedSimulator, FAULT_LANES};
+use stfsm_bist::netlist::Netlist;
+use stfsm_lfsr::bitvec::broadcast;
+use stfsm_lfsr::primitive_polynomial;
+
+/// The widest MISR the dictionary can instantiate (the primitive-polynomial
+/// table of `stfsm-lfsr` ends here); wider observation vectors are folded
+/// onto the register by XOR.
+pub const MAX_SIGNATURE_BITS: usize = 24;
+
+/// One fault's dictionary entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictionaryEntry {
+    /// The fault.
+    pub fault: Injection,
+    /// Index of the first pattern whose response deviated from the
+    /// fault-free machine (identical to the campaign's detection pattern).
+    pub first_detect: Option<usize>,
+    /// The MISR signature of the faulty machine after the full campaign
+    /// (bit `i` of the word is stage `i + 1` of the register).
+    pub signature: u64,
+}
+
+/// A fault dictionary for one netlist and fault list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDictionary {
+    /// Width of the signature register (observation count, capped at
+    /// [`MAX_SIGNATURE_BITS`]).
+    pub signature_bits: usize,
+    /// The fault-free machine's signature.
+    pub reference_signature: u64,
+    /// Patterns compacted into every signature.
+    pub patterns_applied: usize,
+    /// One entry per fault, in fault-list order.
+    pub entries: Vec<DictionaryEntry>,
+}
+
+impl FaultDictionary {
+    /// Whether an entry's fault was detected but its full-campaign
+    /// signature collides with the fault-free one (signature aliasing: the
+    /// compactor would mask this fault even though the responses differed).
+    pub fn aliased(&self, entry: &DictionaryEntry) -> bool {
+        entry.first_detect.is_some() && entry.signature == self.reference_signature
+    }
+
+    /// Number of detected faults.
+    pub fn detected_count(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.first_detect.is_some())
+            .count()
+    }
+
+    /// Number of detected-but-aliased faults.
+    pub fn aliased_count(&self) -> usize {
+        self.entries.iter().filter(|e| self.aliased(e)).count()
+    }
+
+    /// The entries whose signature equals `signature` — the diagnosis
+    /// candidates for an observed failing signature.
+    pub fn candidates(&self, signature: u64) -> Vec<&DictionaryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.signature == signature)
+            .collect()
+    }
+}
+
+/// Builds the fault dictionary of a netlist over an explicit fault list.
+///
+/// The stimulus, stimulation mode and scan initialisation replicate
+/// [`crate::coverage::run_injection_campaign`] with the same configuration,
+/// so `first_detect` is bit-for-bit the campaign's `detection_pattern`;
+/// [`SelfTestConfig::engine`] is ignored (the dictionary pass is always
+/// packed).
+pub fn build_fault_dictionary(
+    netlist: &Netlist,
+    faults: &[Injection],
+    config: &SelfTestConfig,
+) -> FaultDictionary {
+    let stimulation = config
+        .stimulation
+        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
+    let stimulus = generate_stimulus(netlist, config);
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+
+    let obs_count = netlist.observation_points().len();
+    let signature_bits = obs_count.clamp(1, MAX_SIGNATURE_BITS);
+    let poly = primitive_polynomial(signature_bits)
+        .expect("the polynomial table covers 1..=MAX_SIGNATURE_BITS");
+
+    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+    let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
+
+    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
+    let mut reference_signature = 0u64;
+    if stimulus.cycles == 0 {
+        // Degenerate dictionary: nothing compacted, the all-zero reset
+        // signature for every machine including the reference.
+        entries.extend(faults.iter().map(|&fault| DictionaryEntry {
+            fault,
+            first_detect: None,
+            signature: 0,
+        }));
+        return FaultDictionary {
+            signature_bits,
+            reference_signature,
+            patterns_applied: stimulus.cycles,
+            entries,
+        };
+    }
+
+    let init_state = stimulus.st(0)[..num_state].to_vec();
+    // An empty fault list still compacts the fault-free reference (one pass
+    // with no injected lanes), so `reference_signature` always honours its
+    // contract.
+    let chunks: Vec<&[Injection]> = if faults.is_empty() {
+        vec![&[]]
+    } else {
+        faults.chunks(FAULT_LANES).collect()
+    };
+    for chunk in chunks {
+        let mut sim = PackedSimulator::with_injections(netlist, chunk);
+        sim.set_state_broadcast(&init_state);
+        let fault_mask = sim.fault_lanes_mask();
+        let mut detected = 0u64;
+        let mut first_detect = vec![None; chunk.len()];
+        // Signature bit-planes: `planes[i]` carries stage `i + 1` of all 64
+        // MISRs, one lane per machine.
+        let mut planes = vec![0u64; signature_bits];
+        let mut folded = vec![0u64; signature_bits];
+        for cycle in 0..stimulus.cycles {
+            if stimulation == StateStimulation::RandomState {
+                let row = cycle * stimulus.st_width;
+                sim.set_state_words(&st_words[row..row + num_state]);
+            }
+            let row = cycle * num_inputs;
+            sim.evaluate(&pi_words[row..row + num_inputs]);
+            let mut newly = sim.mismatch_word() & fault_mask & !detected;
+            detected |= newly;
+            while newly != 0 {
+                let lane = newly.trailing_zeros() as usize;
+                first_detect[lane - 1] = Some(cycle);
+                newly &= newly - 1;
+            }
+            // Fold the observation vector onto the register width and clock
+            // all 64 MISRs at once: s⁺₁ = m(s) ⊕ y₁, s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ.
+            folded.fill(0);
+            for (bit, &net) in netlist.plan().observation_points().iter().enumerate() {
+                folded[bit % signature_bits] ^= sim.net_word(net as usize);
+            }
+            let mut feedback = planes[signature_bits - 1];
+            for i in 1..signature_bits {
+                if poly.coefficient(i) {
+                    feedback ^= planes[i - 1];
+                }
+            }
+            for i in (1..signature_bits).rev() {
+                planes[i] = planes[i - 1] ^ folded[i];
+            }
+            planes[0] = feedback ^ folded[0];
+            sim.clock();
+        }
+        let lane_signature = |lane: usize| -> u64 {
+            planes
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, &plane)| acc | (((plane >> lane) & 1) << i))
+        };
+        reference_signature = lane_signature(0);
+        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
+            fault,
+            first_detect: first_detect[i],
+            signature: lane_signature(i + 1),
+        }));
+    }
+
+    FaultDictionary {
+        signature_bits,
+        reference_signature,
+        patterns_applied: stimulus.cycles,
+        entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::run_injection_campaign;
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_bist::BistStructure;
+    use stfsm_encode::StateEncoding;
+    use stfsm_faults::{all_models, FaultModel};
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_lfsr::{Gf2Vec, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn pst_netlist() -> Netlist {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let poly = primitive_polynomial(encoding.num_bits()).unwrap();
+        let transform = RegisterTransform::Misr(Misr::new(poly).unwrap());
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("dict", &cover, &lay, BistStructure::Pst, Some(poly)).unwrap()
+    }
+
+    fn dff_netlist() -> Netlist {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("dict-dff", &cover, &lay, BistStructure::Dff, None).unwrap()
+    }
+
+    #[test]
+    fn first_detect_matches_the_campaign_for_every_model() {
+        let config = SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        };
+        for netlist in [pst_netlist(), dff_netlist()] {
+            for model in all_models() {
+                let faults = model.fault_list(&netlist, true);
+                let campaign = run_injection_campaign(&netlist, &faults, &config);
+                let dictionary = build_fault_dictionary(&netlist, &faults, &config);
+                let first: Vec<Option<usize>> =
+                    dictionary.entries.iter().map(|e| e.first_detect).collect();
+                assert_eq!(
+                    first,
+                    campaign.detection_pattern,
+                    "{} on {}",
+                    model.name(),
+                    netlist.name()
+                );
+                assert_eq!(dictionary.patterns_applied, 256);
+                assert_eq!(dictionary.detected_count(), campaign.detected_faults);
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_separate_most_detected_faults() {
+        let netlist = pst_netlist();
+        let faults = crate::faults::StuckAt.fault_list(&netlist, true);
+        let config = SelfTestConfig {
+            max_patterns: 512,
+            ..Default::default()
+        };
+        let dictionary = build_fault_dictionary(&netlist, &faults, &config);
+        // Detected faults should overwhelmingly produce non-reference
+        // signatures; the aliasing probability of the compactor is 2^-bits.
+        let detected = dictionary.detected_count();
+        assert!(detected > 0);
+        assert!(
+            dictionary.aliased_count() * 4 <= detected,
+            "{} of {} detected faults aliased",
+            dictionary.aliased_count(),
+            detected
+        );
+        // Undetected faults compact to exactly the reference signature (the
+        // responses never differed), and are not counted as aliased.
+        for entry in &dictionary.entries {
+            if entry.first_detect.is_none() {
+                assert_eq!(entry.signature, dictionary.reference_signature);
+                assert!(!dictionary.aliased(entry));
+            }
+        }
+        // Candidate lookup finds at least the reference group.
+        let candidates = dictionary.candidates(dictionary.reference_signature);
+        assert!(candidates.len() >= dictionary.entries.len() - detected);
+    }
+
+    #[test]
+    fn packed_signatures_match_the_scalar_misr() {
+        // The bit-plane recurrence must equal stfsm-lfsr's Misr stepping on
+        // the fault-free machine's observation stream.
+        let netlist = dff_netlist();
+        let config = SelfTestConfig {
+            max_patterns: 64,
+            ..Default::default()
+        };
+        let faults = crate::faults::StuckAt.fault_list(&netlist, true);
+        let dictionary = build_fault_dictionary(&netlist, &faults, &config);
+        let w = dictionary.signature_bits;
+        let misr = Misr::new(primitive_polynomial(w).unwrap()).unwrap();
+
+        // Re-simulate the fault-free machine through the scalar engine.
+        let stimulus = generate_stimulus(&netlist, &config);
+        let mut sim = crate::sim::Simulator::new(&netlist);
+        sim.set_state(&stimulus.st(0)[..netlist.flip_flops().len()]);
+        let mut state = Gf2Vec::zero(w).unwrap();
+        for cycle in 0..stimulus.cycles {
+            sim.set_state(&stimulus.st(cycle)[..netlist.flip_flops().len()]);
+            sim.evaluate(stimulus.pi(cycle));
+            let obs = sim.observations();
+            let mut input = Gf2Vec::zero(w).unwrap();
+            for (bit, &v) in obs.iter().enumerate() {
+                if v {
+                    let i = bit % w;
+                    input.set_bit(i, input.bit(i) ^ true);
+                }
+            }
+            state = misr.step(&state, &input).unwrap();
+            sim.clock();
+        }
+        assert_eq!(state.value(), dictionary.reference_signature);
+    }
+
+    #[test]
+    fn degenerate_dictionaries_are_total() {
+        let netlist = dff_netlist();
+        let faults = crate::faults::StuckAt.fault_list(&netlist, true);
+        // An empty fault list still reports the true fault-free signature.
+        let empty = build_fault_dictionary(&netlist, &[], &SelfTestConfig::default());
+        let full = build_fault_dictionary(&netlist, &faults, &SelfTestConfig::default());
+        assert!(empty.entries.is_empty());
+        assert_eq!(empty.reference_signature, full.reference_signature);
+        assert_ne!(empty.reference_signature, 0);
+        let no_patterns = build_fault_dictionary(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                max_patterns: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(no_patterns.entries.len(), faults.len());
+        assert_eq!(no_patterns.detected_count(), 0);
+        assert_eq!(no_patterns.aliased_count(), 0);
+    }
+}

@@ -1,224 +1,11 @@
 //! Single stuck-at fault enumeration and collapsing.
+//!
+//! The fault universe migrated to the `stfsm-faults` crate when fault models
+//! became a pluggable subsystem; this module re-exports the stuck-at types
+//! so existing `stfsm_testsim::faults::…` paths keep working.  New code
+//! should prefer `stfsm_faults` directly, where the stuck-at model sits next
+//! to [`TransitionDelay`](stfsm_faults::TransitionDelay) and
+//! [`Bridging`](stfsm_faults::Bridging).
 
-use std::fmt;
-use stfsm_bist::netlist::{Gate, Netlist};
-
-/// Where a stuck-at fault is injected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum FaultSite {
-    /// The output net of a gate is stuck.
-    GateOutput(usize),
-    /// One input pin of a gate is stuck (the driving net itself is healthy).
-    GateInput {
-        /// Index of the gate whose pin is faulty.
-        gate: usize,
-        /// Pin position within the gate's fan-in list.
-        pin: usize,
-    },
-}
-
-/// A single stuck-at fault.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Fault {
-    /// Fault location.
-    pub site: FaultSite,
-    /// Stuck-at value (`false` = stuck-at-0, `true` = stuck-at-1).
-    pub stuck_at: bool,
-}
-
-impl fmt::Display for Fault {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let v = if self.stuck_at { 1 } else { 0 };
-        match self.site {
-            FaultSite::GateOutput(net) => write!(f, "net{net}/SA{v}"),
-            FaultSite::GateInput { gate, pin } => write!(f, "gate{gate}.pin{pin}/SA{v}"),
-        }
-    }
-}
-
-/// The single stuck-at fault list of a netlist.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FaultList {
-    faults: Vec<Fault>,
-}
-
-impl FaultList {
-    /// Enumerates the complete (uncollapsed) single stuck-at fault list:
-    /// both polarities on every gate output and on every input pin of every
-    /// multi-input gate.
-    pub fn full(netlist: &Netlist) -> Self {
-        let mut faults = Vec::new();
-        for (id, gate) in netlist.gates().iter().enumerate() {
-            if matches!(gate, Gate::Constant(_)) {
-                continue;
-            }
-            for stuck_at in [false, true] {
-                faults.push(Fault {
-                    site: FaultSite::GateOutput(id),
-                    stuck_at,
-                });
-            }
-            if gate.fanin().len() > 1 {
-                for pin in 0..gate.fanin().len() {
-                    for stuck_at in [false, true] {
-                        faults.push(Fault {
-                            site: FaultSite::GateInput { gate: id, pin },
-                            stuck_at,
-                        });
-                    }
-                }
-            }
-        }
-        Self { faults }
-    }
-
-    /// Structural fault collapsing:
-    ///
-    /// * input-pin faults of single-input gates are equivalent to the
-    ///   corresponding output fault of the driver (they are never generated
-    ///   by [`FaultList::full`]);
-    /// * for an AND gate, stuck-at-0 on any input pin is equivalent to
-    ///   stuck-at-0 on the output; for an OR gate, stuck-at-1 on any input
-    ///   pin is equivalent to stuck-at-1 on the output — those pin faults are
-    ///   dropped;
-    /// * faults on nets with a single fan-out pin that leads into an AND/OR
-    ///   gate keep only the representative on the gate side.
-    pub fn collapsed(netlist: &Netlist) -> Self {
-        let full = Self::full(netlist);
-        let mut faults = Vec::new();
-        for fault in full.faults {
-            if let FaultSite::GateInput { gate, .. } = fault.site {
-                match &netlist.gates()[gate] {
-                    Gate::And(_) if !fault.stuck_at => continue,
-                    Gate::Or(_) if fault.stuck_at => continue,
-                    _ => {}
-                }
-            }
-            faults.push(fault);
-        }
-        Self { faults }
-    }
-
-    /// The faults in the list.
-    pub fn faults(&self) -> &[Fault] {
-        &self.faults
-    }
-
-    /// Number of faults.
-    pub fn len(&self) -> usize {
-        self.faults.len()
-    }
-
-    /// Whether the list is empty.
-    pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
-    }
-
-    /// Restricts the list to every `n`-th fault (deterministic sampling used
-    /// to bound very long fault-simulation campaigns).
-    pub fn sampled(&self, keep_every: usize) -> Self {
-        let step = keep_every.max(1);
-        Self {
-            faults: self
-                .faults
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % step == 0)
-                .map(|(_, f)| *f)
-                .collect(),
-        }
-    }
-}
-
-impl<'a> IntoIterator for &'a FaultList {
-    type Item = &'a Fault;
-    type IntoIter = std::slice::Iter<'a, Fault>;
-
-    fn into_iter(self) -> Self::IntoIter {
-        self.faults.iter()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
-    use stfsm_bist::netlist::build_netlist;
-    use stfsm_bist::BistStructure;
-    use stfsm_encode::StateEncoding;
-    use stfsm_fsm::suite::fig3_example;
-    use stfsm_logic::espresso::minimize;
-
-    fn netlist() -> stfsm_bist::netlist::Netlist {
-        let fsm = fig3_example().unwrap();
-        let encoding = StateEncoding::natural(&fsm).unwrap();
-        let transform = RegisterTransform::Dff;
-        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
-        let cover = minimize(&pla).cover;
-        let lay = layout(&fsm, &encoding, &transform);
-        build_netlist("faults", &cover, &lay, BistStructure::Dff, None).unwrap()
-    }
-
-    #[test]
-    fn full_list_covers_outputs_and_pins() {
-        let n = netlist();
-        let list = FaultList::full(&n);
-        assert!(!list.is_empty());
-        // Two polarities per gate output at least.
-        let non_const = n
-            .gates()
-            .iter()
-            .filter(|g| !matches!(g, Gate::Constant(_)))
-            .count();
-        assert!(list.len() >= 2 * non_const);
-        // Display formatting.
-        let s = list.faults()[0].to_string();
-        assert!(s.contains("SA"));
-    }
-
-    #[test]
-    fn collapsing_reduces_the_list_but_keeps_output_faults() {
-        let n = netlist();
-        let full = FaultList::full(&n);
-        let collapsed = FaultList::collapsed(&n);
-        assert!(collapsed.len() < full.len());
-        for (id, gate) in n.gates().iter().enumerate() {
-            if matches!(gate, Gate::Constant(_)) {
-                continue;
-            }
-            for stuck_at in [false, true] {
-                assert!(collapsed
-                    .faults()
-                    .iter()
-                    .any(|f| f.site == FaultSite::GateOutput(id) && f.stuck_at == stuck_at));
-            }
-        }
-    }
-
-    #[test]
-    fn collapsed_list_drops_controlling_value_pin_faults() {
-        let n = netlist();
-        let collapsed = FaultList::collapsed(&n);
-        for fault in collapsed.faults() {
-            if let FaultSite::GateInput { gate, .. } = fault.site {
-                match &n.gates()[gate] {
-                    Gate::And(_) => assert!(fault.stuck_at),
-                    Gate::Or(_) => assert!(!fault.stuck_at),
-                    _ => {}
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn sampling_keeps_every_nth_fault() {
-        let n = netlist();
-        let list = FaultList::collapsed(&n);
-        let sampled = list.sampled(3);
-        assert!(sampled.len() <= list.len() / 3 + 1);
-        assert_eq!(list.sampled(1).len(), list.len());
-        assert_eq!(list.sampled(0).len(), list.len());
-        // Iteration works.
-        assert_eq!((&sampled).into_iter().count(), sampled.len());
-    }
-}
+pub use stfsm_faults::stuck::{Fault, FaultList, FaultSite};
+pub use stfsm_faults::{FaultModel, Injection, StuckAt};

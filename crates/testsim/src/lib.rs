@@ -11,19 +11,29 @@
 //!   the netlist's precomputed evaluation plan with no per-cycle
 //!   allocation,
 //! * [`packed`] — the 64-way bit-parallel fault simulator: lane 0 of every
-//!   `u64` runs the fault-free reference, lanes 1–63 run one injected
-//!   stuck-at fault each, and mismatch detection/fault dropping are
+//!   `u64` runs the fault-free reference, lanes 1–63 each run one injected
+//!   fault of *any* model, and mismatch detection/fault dropping are
 //!   word-wide XOR/mask operations,
-//! * [`faults`] — single stuck-at fault enumeration and collapsing,
+//! * [`faults`] — compatibility re-export of the stuck-at fault universe,
+//!   which now lives in the `stfsm-faults` crate next to the
+//!   transition-delay and bridging models; both simulators accept any
+//!   model's faults through the model-agnostic
+//!   [`Injection`](stfsm_faults::Injection) descriptors,
 //! * [`patterns`] — pseudo-random and weighted-random primary-input sources,
 //! * [`coverage`] — self-test campaigns: fault coverage over pattern count,
 //!   test length to reach a target coverage, and the comparison between the
 //!   "random state" stimulation of DFF/PAT/SIG and the "system state"
 //!   stimulation of the parallel self-test (PST).  Campaigns batch the
-//!   collapsed fault list into chunks of 63 and run on the packed engine by
-//!   default ([`coverage::SimEngine`]); the scalar engine produces
-//!   bit-for-bit identical results and serves as the differential-testing
-//!   reference (see `examples/packed_coverage.rs` at the repository root).
+//!   fault list into chunks of 63 and run on the packed engine by default
+//!   ([`coverage::SimEngine`]); [`coverage::run_injection_campaign`] drives
+//!   any fault model's list, the scalar engine produces bit-for-bit
+//!   identical results as the differential-testing reference, and the
+//!   threaded engine shards the fault list across cores with a
+//!   deterministic merge (see `examples/packed_coverage.rs` and
+//!   `examples/fault_models.rs` at the repository root),
+//! * [`dictionary`] — fault dictionaries for diagnosis: per-fault
+//!   first-detect indices plus full-campaign MISR signatures, computed
+//!   word-parallel across all 64 lanes.
 //!
 //! # Example
 //!
@@ -50,12 +60,16 @@
 #![warn(missing_docs)]
 
 pub mod coverage;
+pub mod dictionary;
 pub mod faults;
 pub mod packed;
 pub mod patterns;
 pub mod sim;
 
-pub use coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
-pub use faults::{Fault, FaultList, FaultSite};
+pub use coverage::{
+    run_injection_campaign, run_self_test, CoverageResult, SelfTestConfig, SimEngine,
+};
+pub use dictionary::{build_fault_dictionary, DictionaryEntry, FaultDictionary};
+pub use faults::{Fault, FaultList, FaultSite, Injection};
 pub use packed::PackedSimulator;
 pub use sim::Simulator;

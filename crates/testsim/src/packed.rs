@@ -3,18 +3,24 @@
 //! A [`PackedSimulator`] evaluates a netlist on `u64` words instead of
 //! booleans: bit `i` of every word is an independent simulated machine
 //! ("lane" `i`).  Lane 0 always runs the fault-free reference; lanes
-//! `1..=63` each carry one injected single stuck-at fault.  One sweep over
-//! the evaluation plan therefore advances the reference *and* up to
-//! [`FAULT_LANES`] faulty machines at once, turning the inner loop of a
-//! fault-coverage campaign into word-wide AND/OR/XOR operations — the
-//! classic parallel-fault simulation technique.
+//! `1..=63` each carry one injected fault of any model ([`Injection`]).
+//! One sweep over the evaluation plan therefore advances the reference
+//! *and* up to [`FAULT_LANES`] faulty machines at once, turning the inner
+//! loop of a fault-coverage campaign into word-wide AND/OR/XOR operations —
+//! the classic parallel-fault simulation technique, generalized to
+//! model-agnostic lanes.
 //!
 //! Fault injection is branch-free on the hot path:
 //!
-//! * **output faults** become per-net `set` / `clear` lane masks applied to
+//! * **stuck outputs** become per-net `set` / `clear` lane masks applied to
 //!   every computed value (`v & !clear | set` — two ops per gate, almost
 //!   always with zero masks);
-//! * **input-pin faults** are rare (at most 63 per chunk), so gates with a
+//! * **delayed transitions** become per-net `rise` / `fall` lane masks
+//!   combined with a one-cycle memory word of the net's raw value
+//!   (`v∧prev` on slow-to-rise lanes, `v∨prev` on slow-to-fall lanes);
+//! * **bridges** mix the victim's raw value with the aggressor net's word
+//!   (`v∧agg` / `v∨agg`) on the bridged lanes;
+//! * **stuck input pins** are rare (at most 63 per chunk), so gates with a
 //!   patched pin are flagged once and evaluated through a slow path that
 //!   rewrites the affected operand word.
 //!
@@ -25,7 +31,7 @@
 //! are simply masked out by the caller — fault dropping without any
 //! per-fault state.
 
-use crate::faults::{Fault, FaultSite};
+use crate::faults::{Fault, Injection};
 use stfsm_bist::netlist::{Netlist, PlanOp};
 use stfsm_lfsr::bitvec::{broadcast, WORD_LANES};
 
@@ -40,6 +46,16 @@ struct PinPatch {
     pin: u32,
     set: u64,
     clear: u64,
+}
+
+/// A bridge patch on one victim net: lanes in `and_mask` see the wired-AND
+/// with the aggressor net, lanes in `or_mask` the wired-OR.
+#[derive(Debug, Clone, Copy)]
+struct BridgePatch {
+    victim: u32,
+    aggressor: u32,
+    and_mask: u64,
+    or_mask: u64,
 }
 
 /// Compiled opcodes of the packed evaluator.  The generic [`PlanOp`] +
@@ -81,16 +97,29 @@ struct Instr {
 }
 
 /// Side table entry for a faulted gate: the original opcode, its fan-in
-/// range, its pin-patch range and its output masks.
+/// range, its pin-patch and bridge-patch ranges and its output masks.
 #[derive(Debug, Clone, Copy)]
 struct PatchedGate {
     op: PlanOp,
+    /// The net this gate produces (for the transition-memory accessors).
+    net: u32,
     fanin_start: u32,
     fanin_end: u32,
     patch_start: u32,
     patch_end: u32,
+    bridge_start: u32,
+    bridge_end: u32,
     out_set: u64,
     out_clear: u64,
+    /// Lanes with a slow-to-rise / slow-to-fall output.
+    rise: u64,
+    fall: u64,
+}
+
+impl PatchedGate {
+    fn transition_mask(&self) -> u64 {
+        self.rise | self.fall
+    }
 }
 
 /// A 64-lane parallel-fault simulator for one [`Netlist`].
@@ -101,11 +130,21 @@ pub struct PackedSimulator<'a> {
     state: Vec<u64>,
     /// Compiled instruction per net.
     code: Vec<Instr>,
-    /// Faulted gates (output masks and/or stuck pins).
+    /// Faulted gates (output masks, stuck pins, delayed transitions or
+    /// bridges).
     patched: Vec<PatchedGate>,
     /// The pin patches, sorted by (gate, pin); at most [`FAULT_LANES`].
     pin_patches: Vec<PinPatch>,
-    num_faults: usize,
+    /// The bridge patches, grouped per victim gate.
+    bridges: Vec<BridgePatch>,
+    /// Per patched gate: the raw (pre-injection) value word of the previous
+    /// clock cycle — the one-cycle memory of the transition-fault lanes.
+    trans_prev: Vec<u64>,
+    /// Per patched gate: the raw value of the current evaluation, committed
+    /// into `trans_prev` at the clock edge.
+    trans_next: Vec<u64>,
+    /// The injected faults (lane `i + 1` carries `injections[i]`).
+    injections: Vec<Injection>,
 }
 
 impl<'a> PackedSimulator<'a> {
@@ -122,33 +161,49 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if more than [`FAULT_LANES`] faults are given.
     pub fn with_faults(netlist: &'a Netlist, faults: &[Fault]) -> Self {
+        let injections: Vec<Injection> = faults.iter().map(|&f| f.into()).collect();
+        Self::with_injections(netlist, &injections)
+    }
+
+    /// Creates a packed simulator with `injections[i]` (any fault model)
+    /// injected into lane `i + 1`; lane 0 stays fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`FAULT_LANES`] injections are given, or if a
+    /// [`Injection::Bridge`] aggressor does not precede its victim in the
+    /// topological net order.
+    pub fn with_injections(netlist: &'a Netlist, injections: &[Injection]) -> Self {
         assert!(
-            faults.len() <= FAULT_LANES,
+            injections.len() <= FAULT_LANES,
             "at most {FAULT_LANES} faults per packed chunk, got {}",
-            faults.len()
+            injections.len()
         );
         let num_nets = netlist.gates().len();
         let mut out_set = vec![0u64; num_nets];
         let mut out_clear = vec![0u64; num_nets];
+        let mut rise = vec![0u64; num_nets];
+        let mut fall = vec![0u64; num_nets];
         let mut pin_patches: Vec<PinPatch> = Vec::new();
-        for (i, fault) in faults.iter().enumerate() {
+        let mut bridge_patches: Vec<BridgePatch> = Vec::new();
+        for (i, injection) in injections.iter().enumerate() {
             let mask = 1u64 << (i + 1);
-            match fault.site {
-                FaultSite::GateOutput(net) => {
-                    if fault.stuck_at {
+            match *injection {
+                Injection::StuckOutput { net, value } => {
+                    if value {
                         out_set[net] |= mask;
                     } else {
                         out_clear[net] |= mask;
                     }
                 }
-                FaultSite::GateInput { gate, pin } => {
+                Injection::StuckPin { gate, pin, value } => {
                     let (gate, pin) = (gate as u32, pin as u32);
                     match pin_patches
                         .iter_mut()
                         .find(|p| p.gate == gate && p.pin == pin)
                     {
                         Some(patch) => {
-                            if fault.stuck_at {
+                            if value {
                                 patch.set |= mask;
                             } else {
                                 patch.clear |= mask;
@@ -157,14 +212,51 @@ impl<'a> PackedSimulator<'a> {
                         None => pin_patches.push(PinPatch {
                             gate,
                             pin,
-                            set: if fault.stuck_at { mask } else { 0 },
-                            clear: if fault.stuck_at { 0 } else { mask },
+                            set: if value { mask } else { 0 },
+                            clear: if value { 0 } else { mask },
+                        }),
+                    }
+                }
+                Injection::DelayedTransition { net, slow_to_rise } => {
+                    if slow_to_rise {
+                        rise[net] |= mask;
+                    } else {
+                        fall[net] |= mask;
+                    }
+                }
+                Injection::Bridge {
+                    victim,
+                    aggressor,
+                    wired_and,
+                } => {
+                    assert!(
+                        aggressor < victim,
+                        "bridge aggressor must precede the victim in net order"
+                    );
+                    let (victim, aggressor) = (victim as u32, aggressor as u32);
+                    match bridge_patches
+                        .iter_mut()
+                        .find(|b| b.victim == victim && b.aggressor == aggressor)
+                    {
+                        Some(patch) => {
+                            if wired_and {
+                                patch.and_mask |= mask;
+                            } else {
+                                patch.or_mask |= mask;
+                            }
+                        }
+                        None => bridge_patches.push(BridgePatch {
+                            victim,
+                            aggressor,
+                            and_mask: if wired_and { mask } else { 0 },
+                            or_mask: if wired_and { 0 } else { mask },
                         }),
                     }
                 }
             }
         }
         pin_patches.sort_by_key(|p| (p.gate, p.pin));
+        bridge_patches.sort_by_key(|b| (b.victim, b.aggressor));
         // Group the patches per gate so the evaluator scans only a gate's
         // own (tiny) patch list.
         let mut patch_ranges = vec![(0u32, 0u32); num_nets];
@@ -177,6 +269,16 @@ impl<'a> PackedSimulator<'a> {
             }
             patch_ranges[gate] = (start as u32, i as u32);
         }
+        let mut bridge_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < bridge_patches.len() {
+            let victim = bridge_patches[i].victim as usize;
+            let start = i;
+            while i < bridge_patches.len() && bridge_patches[i].victim as usize == victim {
+                i += 1;
+            }
+            bridge_ranges[victim] = (start as u32, i as u32);
+        }
 
         // Compile the evaluation plan for this fault chunk: inline operands
         // for arity <= 2, shared fan-in ranges for wider gates, and a side
@@ -187,15 +289,27 @@ impl<'a> PackedSimulator<'a> {
         let mut patched = Vec::new();
         for (id, step) in plan.steps().iter().enumerate() {
             let (patch_start, patch_end) = patch_ranges[id];
-            if patch_start != patch_end || out_set[id] != 0 || out_clear[id] != 0 {
+            let (bridge_start, bridge_end) = bridge_ranges[id];
+            if patch_start != patch_end
+                || bridge_start != bridge_end
+                || out_set[id] != 0
+                || out_clear[id] != 0
+                || rise[id] != 0
+                || fall[id] != 0
+            {
                 patched.push(PatchedGate {
                     op: step.op,
+                    net: id as u32,
                     fanin_start: step.fanin_start,
                     fanin_end: step.fanin_end,
                     patch_start,
                     patch_end,
+                    bridge_start,
+                    bridge_end,
                     out_set: out_set[id],
                     out_clear: out_clear[id],
+                    rise: rise[id],
+                    fall: fall[id],
                 });
                 code.push(Instr {
                     op: Op::Patched,
@@ -265,6 +379,11 @@ impl<'a> PackedSimulator<'a> {
             code.push(instr);
         }
 
+        // The transition memory starts at each lane's identity value (1 on
+        // slow-to-rise lanes, 0 on slow-to-fall lanes), so the first cycle
+        // is injection-free.
+        let trans_prev: Vec<u64> = patched.iter().map(|g| g.rise).collect();
+        let trans_next = trans_prev.clone();
         Self {
             netlist,
             values: vec![0; num_nets],
@@ -272,7 +391,10 @@ impl<'a> PackedSimulator<'a> {
             code,
             patched,
             pin_patches,
-            num_faults: faults.len(),
+            bridges: bridge_patches,
+            trans_prev,
+            trans_next,
+            injections: injections.to_vec(),
         }
     }
 
@@ -283,15 +405,71 @@ impl<'a> PackedSimulator<'a> {
 
     /// Number of injected faults (lanes `1..=num_faults` are faulty).
     pub fn num_faults(&self) -> usize {
-        self.num_faults
+        self.injections.len()
+    }
+
+    /// The injected faults (lane `i + 1` carries fault `i`).
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
     }
 
     /// The lane mask covering all injected faults.
     pub fn fault_lanes_mask(&self) -> u64 {
-        if self.num_faults == 0 {
+        if self.injections.is_empty() {
             0
         } else {
-            ((1u128 << (self.num_faults + 1)) - 2) as u64
+            ((1u128 << (self.injections.len() + 1)) - 2) as u64
+        }
+    }
+
+    /// The one-cycle transition memory of a faulty lane: the raw value its
+    /// [`Injection::DelayedTransition`] net carried at the previous clock
+    /// cycle.  `None` for lanes whose injection is stateless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or exceeds the number of injected faults.
+    pub fn transition_memory(&self, lane: usize) -> Option<bool> {
+        let (idx, _) = self.transition_patch(lane)?;
+        Some((self.trans_prev[idx] >> lane) & 1 == 1)
+    }
+
+    /// Seeds the one-cycle transition memory of a faulty lane (used when a
+    /// campaign migrates a surviving fault into a fresh chunk).  No-op for
+    /// stateless injections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or exceeds the number of injected faults.
+    pub fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
+        if let Some((idx, _)) = self.transition_patch(lane) {
+            let mask = 1u64 << lane;
+            for word in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
+                if bit {
+                    *word |= mask;
+                } else {
+                    *word &= !mask;
+                }
+            }
+        }
+    }
+
+    /// The patched-gate index carrying the transition fault of `lane`.
+    fn transition_patch(&self, lane: usize) -> Option<(usize, u32)> {
+        assert!(
+            lane >= 1 && lane <= self.injections.len(),
+            "lane {lane} carries no injected fault"
+        );
+        match self.injections[lane - 1] {
+            Injection::DelayedTransition { net, .. } => {
+                let idx = self
+                    .patched
+                    .iter()
+                    .position(|g| g.net as usize == net)
+                    .expect("transition fault compiles to a patched gate");
+                Some((idx, net as u32))
+            }
+            _ => None,
         }
     }
 
@@ -341,7 +519,15 @@ impl<'a> PackedSimulator<'a> {
         let fanin = plan.fanin();
         for id in 0..self.code.len() {
             let instr = self.code[id];
-            let value = self.eval_instr(instr, fanin, inputs);
+            let value = if instr.op == Op::Patched {
+                let idx = instr.a as usize;
+                let (value, raw) =
+                    self.eval_patched(self.patched[idx], self.trans_prev[idx], fanin, inputs);
+                self.trans_next[idx] = raw;
+                value
+            } else {
+                self.eval_instr(instr, fanin, inputs)
+            };
             self.values[id] = value;
         }
     }
@@ -366,16 +552,24 @@ impl<'a> PackedSimulator<'a> {
             Op::XorN => fanin[a as usize..b as usize]
                 .iter()
                 .fold(0u64, |acc, &n| acc ^ self.values[n as usize]),
-            Op::Patched => self.eval_patched(self.patched[a as usize], fanin, inputs),
+            Op::Patched => unreachable!("patched gates are dispatched by `evaluate`"),
         }
     }
 
     /// Slow path for the (at most 63) gates carrying a fault: applies the
-    /// pin patches while folding the operands and the output masks after.
-    fn eval_patched(&self, gate: PatchedGate, fanin: &[u32], inputs: &[u64]) -> u64 {
+    /// pin patches while folding the operands, then the transition, bridge
+    /// and output-mask injections.  Returns the injected value and the raw
+    /// (pre-injection) value that feeds the transition memory.
+    fn eval_patched(
+        &self,
+        gate: PatchedGate,
+        prev: u64,
+        fanin: &[u32],
+        inputs: &[u64],
+    ) -> (u64, u64) {
         let patches = &self.pin_patches[gate.patch_start as usize..gate.patch_end as usize];
         let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
-        let value = match patches {
+        let raw = match patches {
             // Output-fault only: fold the operands unpatched.
             [] => match gate.op {
                 PlanOp::Input(k) => inputs[k as usize],
@@ -452,8 +646,23 @@ impl<'a> PackedSimulator<'a> {
                 }
             }
         };
-        // Branch-free gate-output fault injection.
-        (value & !gate.out_clear) | gate.out_set
+        // Branch-free fault injection: delayed transitions first (they
+        // rewrite the raw value through the one-cycle memory), then bridges,
+        // then stuck outputs.  Each lane carries at most one fault, so the
+        // mask classes never overlap on a lane.
+        let mut value = raw;
+        let tmask = gate.transition_mask();
+        if tmask != 0 {
+            value = (value & !tmask) | (raw & prev & gate.rise) | ((raw | prev) & gate.fall);
+        }
+        for bridge in &self.bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
+            let aggressor = self.values[bridge.aggressor as usize];
+            let bmask = bridge.and_mask | bridge.or_mask;
+            value = (value & !bmask)
+                | (raw & aggressor & bridge.and_mask)
+                | ((raw | aggressor) & bridge.or_mask);
+        }
+        ((value & !gate.out_clear) | gate.out_set, raw)
     }
 
     /// One fused self-test cycle: evaluate the logic, compare every lane's
@@ -491,12 +700,16 @@ impl<'a> PackedSimulator<'a> {
         for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
             self.state[i] = self.values[d as usize];
         }
+        // The transition memories advance once per clock cycle, regardless
+        // of how many combinational evaluations happened in between.
+        self.trans_prev.copy_from_slice(&self.trans_next);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSite;
     use crate::sim::Simulator;
     use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
     use stfsm_bist::netlist::build_netlist;

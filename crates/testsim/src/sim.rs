@@ -1,6 +1,6 @@
 //! Deterministic gate-level simulation.
 
-use crate::faults::{Fault, FaultSite};
+use crate::faults::{Fault, Injection};
 use stfsm_bist::netlist::{EvalPlan, Netlist, PlanOp};
 
 /// A gate-level simulator for one [`Netlist`].
@@ -22,7 +22,13 @@ pub struct Simulator<'a> {
     netlist: &'a Netlist,
     values: Vec<bool>,
     state: Vec<bool>,
-    fault: Option<Fault>,
+    injection: Option<Injection>,
+    /// One-cycle memory of a [`Injection::DelayedTransition`] fault: the raw
+    /// (pre-injection) value of the faulty net at the previous clock cycle.
+    transition_prev: bool,
+    /// The raw value of the faulty net this cycle, committed into
+    /// `transition_prev` at the clock edge.
+    transition_next: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -32,14 +38,42 @@ impl<'a> Simulator<'a> {
             netlist,
             values: vec![false; netlist.gates().len()],
             state: vec![false; netlist.flip_flops().len()],
-            fault: None,
+            injection: None,
+            transition_prev: false,
+            transition_next: false,
         }
     }
 
     /// Creates a simulator with a single stuck-at fault injected.
     pub fn with_fault(netlist: &'a Netlist, fault: Fault) -> Self {
+        Self::with_injection(netlist, fault.into())
+    }
+
+    /// Creates a simulator with one model-agnostic fault injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`Injection::Bridge`] aggressor does not precede its
+    /// victim in the topological net order (the enumeration in
+    /// `stfsm-faults` guarantees this).
+    pub fn with_injection(netlist: &'a Netlist, injection: Injection) -> Self {
+        if let Injection::Bridge {
+            victim, aggressor, ..
+        } = injection
+        {
+            assert!(
+                aggressor < victim,
+                "bridge aggressor must precede the victim in net order"
+            );
+        }
         let mut sim = Self::new(netlist);
-        sim.fault = Some(fault);
+        // The transition memory starts at the direction's identity value, so
+        // the first cycle is injection-free.
+        if let Injection::DelayedTransition { slow_to_rise, .. } = injection {
+            sim.transition_prev = slow_to_rise;
+            sim.transition_next = slow_to_rise;
+        }
+        sim.injection = Some(injection);
         sim
     }
 
@@ -78,9 +112,12 @@ impl<'a> Simulator<'a> {
             plan.num_inputs(),
             "primary input width mismatch"
         );
-        match self.fault {
+        match self.injection {
             None => self.evaluate_fault_free(plan, inputs),
-            Some(fault) => self.evaluate_with_fault(plan, inputs, fault),
+            Some(Injection::StuckPin { gate, pin, value }) => {
+                self.evaluate_with_stuck_pin(plan, inputs, gate, pin, value)
+            }
+            Some(injection) => self.evaluate_with_output_patch(plan, inputs, injection),
         }
     }
 
@@ -105,41 +142,92 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn evaluate_with_fault(&mut self, plan: &EvalPlan, inputs: &[bool], fault: Fault) {
+    /// A single stuck input pin: the pin-aware sweep of the seed engine.
+    fn evaluate_with_stuck_pin(
+        &mut self,
+        plan: &EvalPlan,
+        inputs: &[bool],
+        faulty_gate: usize,
+        faulty_pin: usize,
+        stuck_at: bool,
+    ) {
         let fanin = plan.fanin();
         for (id, step) in plan.steps().iter().enumerate() {
             let ops = &fanin[step.fanin_range()];
+            let pin_value = |pin: usize, source: u32| -> bool {
+                if id == faulty_gate && pin == faulty_pin {
+                    stuck_at
+                } else {
+                    self.values[source as usize]
+                }
+            };
             let value = match step.op {
                 PlanOp::Input(k) => inputs[k as usize],
                 PlanOp::FlipFlop(k) => self.state[k as usize],
                 PlanOp::Const(c) => c,
-                PlanOp::And => ops
+                PlanOp::And => ops.iter().enumerate().all(|(pin, &n)| pin_value(pin, n)),
+                PlanOp::Or => ops.iter().enumerate().any(|(pin, &n)| pin_value(pin, n)),
+                PlanOp::Xor => ops
                     .iter()
                     .enumerate()
-                    .all(|(pin, &n)| self.pin_value(&fault, id, pin, n)),
-                PlanOp::Or => ops
-                    .iter()
-                    .enumerate()
-                    .any(|(pin, &n)| self.pin_value(&fault, id, pin, n)),
-                PlanOp::Xor => ops.iter().enumerate().fold(false, |acc, (pin, &n)| {
-                    acc ^ self.pin_value(&fault, id, pin, n)
-                }),
-                PlanOp::Not => !self.pin_value(&fault, id, 0, ops[0]),
+                    .fold(false, |acc, (pin, &n)| acc ^ pin_value(pin, n)),
+                PlanOp::Not => !pin_value(0, ops[0]),
             };
-            self.values[id] = match fault.site {
-                FaultSite::GateOutput(net) if net == id => fault.stuck_at,
-                _ => value,
-            };
+            self.values[id] = value;
         }
     }
 
-    fn pin_value(&self, fault: &Fault, gate: usize, pin: usize, source: u32) -> bool {
-        if let FaultSite::GateInput { gate: fg, pin: fp } = fault.site {
-            if fg == gate && fp == pin {
-                return fault.stuck_at;
+    /// Injections that rewrite one gate's output (stuck output, delayed
+    /// transition, bridge): a fault-free sweep with a post-override at the
+    /// patched net.
+    fn evaluate_with_output_patch(
+        &mut self,
+        plan: &EvalPlan,
+        inputs: &[bool],
+        injection: Injection,
+    ) {
+        let fanin = plan.fanin();
+        let patched = injection.patched_gate();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let ops = &fanin[step.fanin_range()];
+            let mut value = match step.op {
+                PlanOp::Input(k) => inputs[k as usize],
+                PlanOp::FlipFlop(k) => self.state[k as usize],
+                PlanOp::Const(c) => c,
+                PlanOp::And => ops.iter().all(|&n| self.values[n as usize]),
+                PlanOp::Or => ops.iter().any(|&n| self.values[n as usize]),
+                PlanOp::Xor => ops
+                    .iter()
+                    .fold(false, |acc, &n| acc ^ self.values[n as usize]),
+                PlanOp::Not => !self.values[ops[0] as usize],
+            };
+            if id == patched {
+                value = match injection {
+                    Injection::StuckOutput { value: stuck, .. } => stuck,
+                    Injection::DelayedTransition { slow_to_rise, .. } => {
+                        self.transition_next = value;
+                        if slow_to_rise {
+                            value && self.transition_prev
+                        } else {
+                            value || self.transition_prev
+                        }
+                    }
+                    Injection::Bridge {
+                        aggressor,
+                        wired_and,
+                        ..
+                    } => {
+                        if wired_and {
+                            value && self.values[aggressor]
+                        } else {
+                            value || self.values[aggressor]
+                        }
+                    }
+                    Injection::StuckPin { .. } => unreachable!("handled by the pin-aware sweep"),
+                };
             }
+            self.values[id] = value;
         }
-        self.values[source as usize]
     }
 
     /// The value of a net after the last [`Simulator::evaluate`] call.
@@ -197,6 +285,9 @@ impl<'a> Simulator<'a> {
         for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
             self.state[i] = self.values[d as usize];
         }
+        // The transition memory advances once per clock cycle, regardless of
+        // how many combinational evaluations happened in between.
+        self.transition_prev = self.transition_next;
     }
 
     /// Convenience: evaluate, sample the observation points, clock.
@@ -218,6 +309,7 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultSite;
     use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
     use stfsm_bist::netlist::{build_netlist, Gate};
     use stfsm_bist::BistStructure;
@@ -371,6 +463,118 @@ mod tests {
         assert!(
             diverged,
             "a stuck-at-1 on a logic gate should be observable"
+        );
+    }
+
+    /// With the register forced from outside every cycle (the random-state
+    /// stimulation), the faulty machine's raw values equal the fault-free
+    /// ones, so the transition-fault semantics are exactly checkable: the
+    /// faulty net carries `v ∧ v_prev` (slow-to-rise) or `v ∨ v_prev`
+    /// (slow-to-fall), with the first cycle injection-free.
+    #[test]
+    fn transition_fault_delays_the_slow_edge_by_one_cycle() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let target = netlist
+            .gates()
+            .iter()
+            .position(|g| g.is_logic())
+            .expect("netlist has logic gates");
+        for slow_to_rise in [true, false] {
+            let mut good = Simulator::new(&netlist);
+            let mut bad = Simulator::with_injection(
+                &netlist,
+                Injection::DelayedTransition {
+                    net: target,
+                    slow_to_rise,
+                },
+            );
+            let mut prev = slow_to_rise; // the identity value
+            let mut lcg = 0x0123_4567u64;
+            let r = netlist.flip_flops().len();
+            for cycle in 0..64 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let state: Vec<bool> = (0..r).map(|i| (lcg >> (i + 5)) & 1 == 1).collect();
+                let inputs = vec![(lcg >> 23) & 1 == 1];
+                good.set_state(&state);
+                bad.set_state(&state);
+                good.evaluate(&inputs);
+                bad.evaluate(&inputs);
+                let raw = good.net(target);
+                let expected = if slow_to_rise {
+                    raw && prev
+                } else {
+                    raw || prev
+                };
+                assert_eq!(
+                    bad.net(target),
+                    expected,
+                    "cycle {cycle}, slow_to_rise {slow_to_rise}"
+                );
+                prev = raw;
+                good.clock();
+                bad.clock();
+            }
+        }
+    }
+
+    /// Same forced-state setup for bridges: the victim carries the wired
+    /// AND/OR of its raw value with the aggressor, which equals the
+    /// fault-free values of both nets.
+    #[test]
+    fn bridge_fault_ties_the_victim_to_the_aggressor() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let (aggressor, victim) = *netlist
+            .adjacent_net_pairs()
+            .first()
+            .expect("adjacent pairs exist");
+        for wired_and in [true, false] {
+            let mut good = Simulator::new(&netlist);
+            let mut bad = Simulator::with_injection(
+                &netlist,
+                Injection::Bridge {
+                    victim,
+                    aggressor,
+                    wired_and,
+                },
+            );
+            let mut lcg = 0x89AB_CDEFu64;
+            let r = netlist.flip_flops().len();
+            for cycle in 0..64 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let state: Vec<bool> = (0..r).map(|i| (lcg >> (i + 11)) & 1 == 1).collect();
+                let inputs = vec![(lcg >> 31) & 1 == 1];
+                good.set_state(&state);
+                bad.set_state(&state);
+                good.evaluate(&inputs);
+                bad.evaluate(&inputs);
+                let (v, a) = (good.net(victim), good.net(aggressor));
+                let expected = if wired_and { v && a } else { v || a };
+                assert_eq!(bad.net(victim), expected, "cycle {cycle}, and {wired_and}");
+                assert_eq!(bad.net(aggressor), a, "the aggressor keeps its value");
+                good.clock();
+                bad.clock();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aggressor must precede")]
+    fn reversed_bridge_is_rejected() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let _ = Simulator::with_injection(
+            &netlist,
+            Injection::Bridge {
+                victim: 1,
+                aggressor: 5,
+                wired_and: true,
+            },
         );
     }
 

@@ -1,16 +1,18 @@
-//! Randomized differential test: the 64-way packed fault-simulation engine
-//! must produce detection patterns bit-for-bit identical to the scalar
-//! engine on randomly generated controllers, across structures, seeds and
-//! campaign configurations.
+//! Randomized differential tests: the 64-way packed and the sharded
+//! multi-threaded fault-simulation engines must produce detection patterns
+//! bit-for-bit identical to the scalar engine on randomly generated
+//! controllers, across fault models, structures, seeds and campaign
+//! configurations.
 
 use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
 use stfsm_bist::netlist::{build_netlist, Netlist};
 use stfsm_bist::BistStructure;
 use stfsm_encode::StateEncoding;
+use stfsm_faults::all_models;
 use stfsm_fsm::generate::small_random;
 use stfsm_lfsr::{primitive_polynomial, Misr};
 use stfsm_logic::espresso::minimize;
-use stfsm_testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+use stfsm_testsim::coverage::{run_injection_campaign, run_self_test, SelfTestConfig, SimEngine};
 
 fn synthesize(fsm: &stfsm_fsm::Fsm, structure: BistStructure) -> Netlist {
     let encoding = StateEncoding::natural(fsm).expect("encodable");
@@ -67,6 +69,91 @@ fn packed_matches_scalar_on_random_controllers() {
                 fsm.name()
             );
         }
+    }
+}
+
+/// The randomized-netlist property: for every fault model, the scalar,
+/// packed and multi-threaded engines agree bit-for-bit — across random
+/// controllers, structures and thread counts (including more threads than
+/// shards and a worker count that does not divide the fault list).
+#[test]
+fn all_engines_agree_for_every_model_on_random_controllers() {
+    for seed in 0..8u64 {
+        let fsm = small_random(400 + seed);
+        for structure in [BistStructure::Dff, BistStructure::Sig, BistStructure::Pst] {
+            let netlist = synthesize(&fsm, structure);
+            for model in all_models() {
+                let faults = model.fault_list(&netlist, seed % 2 == 0);
+                let base = SelfTestConfig {
+                    max_patterns: 64 + 48 * (seed as usize % 4),
+                    seed: 0xFA_0715 ^ seed,
+                    ..Default::default()
+                };
+                let scalar = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Scalar,
+                        ..base.clone()
+                    },
+                );
+                let packed = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Packed,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    scalar,
+                    packed,
+                    "scalar vs packed: seed {seed}, {} faults, {structure} on {}",
+                    model.name(),
+                    fsm.name()
+                );
+                for threads in [2, 3, 64] {
+                    let threaded = run_injection_campaign(
+                        &netlist,
+                        &faults,
+                        &SelfTestConfig {
+                            engine: SimEngine::Threaded,
+                            threads: Some(threads),
+                            ..base.clone()
+                        },
+                    );
+                    assert_eq!(
+                        scalar,
+                        threaded,
+                        "scalar vs {threads}-thread: seed {seed}, {} faults, {structure} on {}",
+                        model.name(),
+                        fsm.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_stuck_at_self_test_matches_packed() {
+    for seed in 0..4u64 {
+        let fsm = small_random(500 + seed);
+        let netlist = synthesize(&fsm, BistStructure::Pst);
+        let base = SelfTestConfig {
+            max_patterns: 192,
+            ..Default::default()
+        };
+        let packed = run_self_test(&netlist, &base);
+        let threaded = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                engine: SimEngine::Threaded,
+                threads: Some(4),
+                ..base
+            },
+        );
+        assert_eq!(packed, threaded, "seed {seed}");
     }
 }
 
