@@ -1,0 +1,62 @@
+//! Criterion bench: fault-dictionary (MISR signature) construction on the
+//! largest suite machine, on the classic packed pass and on the
+//! cone-restricted differential block engine.
+//!
+//! Signature construction is the un-dropped worst case of the simulators —
+//! every faulty machine keeps running for the whole campaign — so it is
+//! where the differential engine's cone restriction has to prove itself
+//! without the help of fault dropping.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stfsm::faults::{FaultModel, StuckAt};
+use stfsm::testsim::coverage::{SelfTestConfig, SimEngine};
+use stfsm::testsim::dictionary::build_fault_dictionary;
+use stfsm::{BistStructure, SynthesisFlow};
+
+const DICT_PATTERNS: usize = 64;
+
+fn bench_dictionary(c: &mut Criterion) {
+    let largest = stfsm::fsm::suite::BENCHMARKS
+        .iter()
+        .map(|info| {
+            let fsm = info.fsm().expect("suite machine generates");
+            let netlist = SynthesisFlow::new(BistStructure::Pst)
+                .synthesize(&fsm)
+                .expect("synthesis succeeds")
+                .netlist;
+            (info.name, netlist)
+        })
+        .max_by_key(|(_, n)| n.gates().len())
+        .expect("suite is not empty");
+    let (name, netlist) = largest;
+    let faults = StuckAt.fault_list(&netlist, true);
+    let mut group = c.benchmark_group(format!("dictionary_{name}_pst"));
+    group.sample_size(10);
+    for (label, engine) in [
+        ("packed", SimEngine::Packed),
+        ("differential", SimEngine::Differential),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, faults.len()),
+            &faults,
+            |b, faults| {
+                b.iter(|| {
+                    build_fault_dictionary(
+                        &netlist,
+                        faults,
+                        &SelfTestConfig {
+                            max_patterns: DICT_PATTERNS,
+                            engine,
+                            ..SelfTestConfig::default()
+                        },
+                    )
+                    .detected_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Acceptance benchmark of the cone-restricted differential engine:
+//! packed-vs-differential timing of identical stuck-at campaigns over the
+//! whole benchmark suite, plus the headline comparison on the largest
+//! suite machine at 4096 patterns.
+//!
+//! ```text
+//! cargo run --release -p stfsm-bench --bin faultsim_v2
+//! ```
+//!
+//! Verifies two invariants while it measures:
+//!
+//! * the differential engine produces **bit-for-bit identical** detection
+//!   patterns to the packed engine on every machine of the suite;
+//! * on the largest suite machine at 4096 patterns, the differential
+//!   engine beats the PR 1 packed engine by at least 2x — enforced only
+//!   when the host actually has ≥ 4 cores (the same shared-CI discipline
+//!   as the `faultmodels` acceptance gate), and re-measured once with more
+//!   runs before failing so a transiently loaded host does not flake.
+//!
+//! Writes the measurements to `BENCH_fault_sim_v2.json` in the working
+//! directory.
+
+use stfsm::json::{JsonObject, RawJson, ToJson};
+use stfsm::report::EngineTimingRow;
+use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+use stfsm::{BistStructure, SynthesisFlow};
+use stfsm_bench::best_of;
+
+const SUITE_PATTERNS: usize = 512;
+const LARGE_PATTERNS: usize = 4096;
+const SUITE_RUNS: u32 = 2;
+const LARGE_RUNS: u32 = 3;
+/// Extra best-of runs before the speedup assertion is allowed to fail.
+const RETRY_RUNS: u32 = 5;
+/// The acceptance claim on the largest machine.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+fn engine_config(engine: SimEngine, max_patterns: usize) -> SelfTestConfig {
+    SelfTestConfig {
+        max_patterns,
+        engine,
+        ..SelfTestConfig::default()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rows: Vec<EngineTimingRow> = Vec::new();
+    let mut largest: Option<(String, stfsm::bist::netlist::Netlist)> = None;
+
+    println!(
+        "{:<10} {:>6} {:>7} {:>11} {:>13} {:>8}",
+        "machine", "gates", "faults", "packed_ms", "diff_ms", "speedup"
+    );
+    for info in stfsm::fsm::suite::BENCHMARKS {
+        let fsm = info.fsm()?;
+        let netlist = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&fsm)?
+            .netlist;
+        let (packed_result, packed_ns) = best_of(SUITE_RUNS, || {
+            run_self_test(&netlist, &engine_config(SimEngine::Packed, SUITE_PATTERNS))
+        });
+        let (differential_result, differential_ns) = best_of(SUITE_RUNS, || {
+            run_self_test(
+                &netlist,
+                &engine_config(SimEngine::Differential, SUITE_PATTERNS),
+            )
+        });
+        assert_eq!(
+            packed_result, differential_result,
+            "differential engine diverges from packed on {}",
+            info.name
+        );
+        let row = EngineTimingRow {
+            benchmark: info.name.to_string(),
+            gates: netlist.gates().len(),
+            total_faults: packed_result.total_faults,
+            max_patterns: SUITE_PATTERNS,
+            packed_ms: packed_ns / 1e6,
+            differential_ms: differential_ns / 1e6,
+            speedup: packed_ns / differential_ns,
+            detection_patterns_identical: true,
+        };
+        println!(
+            "{:<10} {:>6} {:>7} {:>11.3} {:>13.3} {:>7.2}x",
+            row.benchmark,
+            row.gates,
+            row.total_faults,
+            row.packed_ms,
+            row.differential_ms,
+            row.speedup
+        );
+        rows.push(row);
+        if largest
+            .as_ref()
+            .map(|(_, n)| n.gates().len() < netlist.gates().len())
+            .unwrap_or(true)
+        {
+            largest = Some((info.name.to_string(), netlist));
+        }
+    }
+
+    // ---- headline: the largest suite machine at 4096 patterns ------------
+    let (large_machine, netlist) = largest.expect("suite is not empty");
+    let packed_config = engine_config(SimEngine::Packed, LARGE_PATTERNS);
+    let differential_config = engine_config(SimEngine::Differential, LARGE_PATTERNS);
+    let (packed_result, mut packed_ns) =
+        best_of(LARGE_RUNS, || run_self_test(&netlist, &packed_config));
+    let (differential_result, mut differential_ns) =
+        best_of(LARGE_RUNS, || run_self_test(&netlist, &differential_config));
+    assert_eq!(
+        packed_result, differential_result,
+        "differential engine diverges from packed on {large_machine} at {LARGE_PATTERNS} patterns"
+    );
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // The acceptance claim is about real hardware: only enforce the win
+    // where the host is a multi-core machine (matching the `faultmodels`
+    // precedent), and re-measure once with more runs before failing.
+    let enforced = host_parallelism >= 4;
+    if enforced && packed_ns < REQUIRED_SPEEDUP * differential_ns {
+        packed_ns =
+            packed_ns.min(best_of(RETRY_RUNS, || run_self_test(&netlist, &packed_config)).1);
+        differential_ns = differential_ns
+            .min(best_of(RETRY_RUNS, || run_self_test(&netlist, &differential_config)).1);
+    }
+    let speedup = packed_ns / differential_ns;
+    println!(
+        "\n{large_machine}: {} faults x {LARGE_PATTERNS} patterns — packed {:.3} ms, \
+         differential {:.3} ms ({speedup:.2}x, host has {host_parallelism} cores)",
+        packed_result.total_faults,
+        packed_ns / 1e6,
+        differential_ns / 1e6
+    );
+    if enforced {
+        assert!(
+            speedup >= REQUIRED_SPEEDUP,
+            "differential engine ({:.3} ms) must beat packed ({:.3} ms) by >= {REQUIRED_SPEEDUP}x \
+             on {large_machine}",
+            differential_ns / 1e6,
+            packed_ns / 1e6
+        );
+    }
+
+    // ---- artefact --------------------------------------------------------
+    let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
+    let all_identical = rows.iter().all(|r| r.detection_patterns_identical);
+    let mut large = JsonObject::new();
+    large
+        .field("machine", &large_machine)
+        .field("gates", netlist.gates().len())
+        .field("total_faults", packed_result.total_faults)
+        .field("max_patterns", LARGE_PATTERNS)
+        .field("packed_ms", packed_ns / 1e6)
+        .field("differential_ms", differential_ns / 1e6)
+        .field("speedup_differential_vs_packed", speedup)
+        .field("required_speedup", REQUIRED_SPEEDUP)
+        .field("host_parallelism", host_parallelism)
+        .field("speedup_enforced", enforced)
+        .field("detection_patterns_identical", true);
+    let mut report = JsonObject::new();
+    report
+        .field("benchmark", "fault_sim_v2")
+        .field("structure", "PST")
+        .field("max_patterns", SUITE_PATTERNS)
+        .field("rows", row_json)
+        .field("largest", RawJson(large.finish()))
+        .field("detection_patterns_identical", all_identical);
+    let json = report.finish();
+    std::fs::write("BENCH_fault_sim_v2.json", format!("{json}\n"))?;
+    println!("wrote BENCH_fault_sim_v2.json");
+    Ok(())
+}

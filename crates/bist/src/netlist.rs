@@ -83,6 +83,9 @@ pub struct Netlist {
     observation_points: Vec<NetId>,
     /// Flattened evaluation plan, precomputed once at construction.
     plan: EvalPlan,
+    /// Physically adjacent net pairs, precomputed once at construction
+    /// (normalized, sorted, deduplicated).
+    adjacent_pairs: Vec<(NetId, NetId)>,
 }
 
 impl Netlist {
@@ -153,26 +156,34 @@ impl Netlist {
     /// stages.  This is the site universe of bridging-fault models.
     ///
     /// Pairs are normalized (`low < high`), sorted and deduplicated, so the
-    /// enumeration order is deterministic.
-    pub fn adjacent_net_pairs(&self) -> Vec<(NetId, NetId)> {
-        let mut pairs: Vec<(NetId, NetId)> = Vec::new();
-        let mut push = |a: NetId, b: NetId| {
-            if a != b {
-                pairs.push((a.min(b), a.max(b)));
-            }
-        };
-        for gate in &self.gates {
-            for w in gate.fanin().windows(2) {
-                push(w[0], w[1]);
-            }
-        }
-        for w in self.flip_flops.windows(2) {
-            push(w[0].d, w[1].d);
-        }
-        pairs.sort_unstable();
-        pairs.dedup();
-        pairs
+    /// enumeration order is deterministic.  The list is computed once when
+    /// the netlist is built (alongside the structural cone metadata of the
+    /// [`EvalPlan`]) and returned as a slice.
+    pub fn adjacent_net_pairs(&self) -> &[(NetId, NetId)] {
+        &self.adjacent_pairs
     }
+}
+
+/// Computes the normalized, sorted, deduplicated adjacent-net-pair list of
+/// a gate network (see [`Netlist::adjacent_net_pairs`]).
+fn compute_adjacent_pairs(gates: &[Gate], flip_flops: &[FlipFlop]) -> Vec<(NetId, NetId)> {
+    let mut pairs: Vec<(NetId, NetId)> = Vec::new();
+    let mut push = |a: NetId, b: NetId| {
+        if a != b {
+            pairs.push((a.min(b), a.max(b)));
+        }
+    };
+    for gate in gates {
+        for w in gate.fanin().windows(2) {
+            push(w[0], w[1]);
+        }
+    }
+    for w in flip_flops.windows(2) {
+        push(w[0].d, w[1].d);
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
 }
 
 /// Opcode of one step of the flattened evaluation plan.
@@ -226,14 +237,40 @@ impl PlanStep {
 /// the observation points — once per netlist instead of per gate per cycle.
 /// Both the scalar [`stfsm-testsim`] simulator and the 64-way packed fault
 /// simulator execute this plan.
+///
+/// The plan also carries **levelized structural metadata**, computed once at
+/// netlist build and shared by every cone-restricted engine:
+///
+/// * per-step topological **levels** ([`EvalPlan::level`]): inputs,
+///   flip-flop outputs and constants sit at level 0, a gate one level above
+///   its deepest operand — the backbone of path enumeration and delay-fault
+///   models;
+/// * per-net **fanout cones** ([`EvalPlan::fanout_cone`]): for every net the
+///   set of nets it can structurally influence (its transitive fanout,
+///   including itself), stored as fixed-width `u64` bit planes — the step
+///   universe a fault at that net can ever perturb;
+/// * per-flip-flop **support cones** ([`EvalPlan::flip_flop_support`]): the
+///   transitive fanin of each register stage's D input — the nets whose
+///   values the stage can observe within one cycle.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalPlan {
     steps: Vec<PlanStep>,
     fanin: Vec<u32>,
     ff_d: Vec<u32>,
+    ff_q: Vec<u32>,
     observation_points: Vec<u32>,
     primary_outputs: Vec<u32>,
     num_inputs: usize,
+    /// Topological level of every step (0 for inputs/FF outputs/constants).
+    levels: Vec<u32>,
+    /// Words per cone bitset row (`ceil(steps / 64)`).
+    cone_stride: usize,
+    /// Fanout-cone bit planes, `steps.len() * cone_stride` words; bit `j` of
+    /// row `i` is set iff net `j` lies in the transitive fanout of net `i`.
+    fanout_cones: Vec<u64>,
+    /// Support-cone bit planes of the flip-flops, `ff_d.len() * cone_stride`
+    /// words; bit `j` of row `k` is set iff net `j` feeds flip-flop `k`.
+    ff_support: Vec<u64>,
 }
 
 impl EvalPlan {
@@ -269,13 +306,67 @@ impl EvalPlan {
                 fanin_end: fanin.len() as u32,
             });
         }
+
+        // Levelized structural metadata: topological levels, per-net fanout
+        // cones (reverse sweep: a net's cone is itself plus the cones of
+        // every gate it feeds) and per-flip-flop support cones (forward
+        // sweep over transitive fanins, keeping only the register rows).
+        let num_nets = steps.len();
+        let cone_stride = num_nets.div_ceil(64);
+        let mut levels = vec![0u32; num_nets];
+        for (id, step) in steps.iter().enumerate() {
+            let ops = &fanin[step.fanin_range()];
+            levels[id] = match step.op {
+                PlanOp::Input(_) | PlanOp::FlipFlop(_) | PlanOp::Const(_) => 0,
+                _ => 1 + ops.iter().map(|&n| levels[n as usize]).max().unwrap_or(0),
+            };
+        }
+        let mut fanout_cones = vec![0u64; num_nets * cone_stride];
+        for (id, step) in steps.iter().enumerate().rev() {
+            let (head, tail) = fanout_cones.split_at_mut(id * cone_stride);
+            let row = &mut tail[..cone_stride];
+            row[id / 64] |= 1u64 << (id % 64);
+            for &f in &fanin[step.fanin_range()] {
+                let dst = &mut head[f as usize * cone_stride..][..cone_stride];
+                for (d, &s) in dst.iter_mut().zip(row.iter()) {
+                    *d |= s;
+                }
+            }
+        }
+        let mut supports = vec![0u64; num_nets * cone_stride];
+        for (id, step) in steps.iter().enumerate() {
+            let (head, tail) = supports.split_at_mut(id * cone_stride);
+            let row = &mut tail[..cone_stride];
+            row[id / 64] |= 1u64 << (id % 64);
+            for &f in &fanin[step.fanin_range()] {
+                let src = &head[f as usize * cone_stride..][..cone_stride];
+                for (d, &s) in row.iter_mut().zip(src.iter()) {
+                    *d |= s;
+                }
+            }
+        }
+        let ff_d: Vec<u32> = flip_flops.iter().map(|ff| ff.d as u32).collect();
+        let ff_support: Vec<u64> = ff_d
+            .iter()
+            .flat_map(|&d| {
+                supports[d as usize * cone_stride..][..cone_stride]
+                    .iter()
+                    .copied()
+            })
+            .collect();
+
         Self {
             steps,
             fanin,
-            ff_d: flip_flops.iter().map(|ff| ff.d as u32).collect(),
+            ff_d,
+            ff_q: flip_flops.iter().map(|ff| ff.q as u32).collect(),
             observation_points: observation_points.iter().map(|&n| n as u32).collect(),
             primary_outputs: primary_outputs.iter().map(|&n| n as u32).collect(),
             num_inputs,
+            levels,
+            cone_stride,
+            fanout_cones,
+            ff_support,
         }
     }
 
@@ -297,6 +388,55 @@ impl EvalPlan {
     /// The D-input net of every flip-flop (stage 1 first).
     pub fn flip_flop_inputs(&self) -> &[u32] {
         &self.ff_d
+    }
+
+    /// The Q-output net of every flip-flop (stage 1 first) — the pseudo
+    /// primary inputs of the combinational part.
+    pub fn flip_flop_outputs(&self) -> &[u32] {
+        &self.ff_q
+    }
+
+    /// The topological level of net `net`: 0 for primary inputs, flip-flop
+    /// outputs and constants, one above the deepest operand for gates.
+    pub fn level(&self, net: usize) -> u32 {
+        self.levels[net]
+    }
+
+    /// The topological level of every step (indexed by net).
+    pub fn levels(&self) -> &[u32] {
+        &self.levels
+    }
+
+    /// The deepest topological level of the plan (an estimate of the
+    /// combinational depth of the netlist).
+    pub fn max_level(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Words per cone bitset row (`ceil(steps / 64)`).
+    pub fn cone_stride(&self) -> usize {
+        self.cone_stride
+    }
+
+    /// The fanout cone of net `net` as a fixed-width bitset row of
+    /// [`EvalPlan::cone_stride`] words: bit `j` (word `j / 64`, bit
+    /// `j % 64`) is set iff net `j` lies in the transitive fanout of `net`
+    /// (the cone includes `net` itself).
+    pub fn fanout_cone(&self, net: usize) -> &[u64] {
+        &self.fanout_cones[net * self.cone_stride..][..self.cone_stride]
+    }
+
+    /// The support cone of flip-flop `k`: the bitset of nets in the
+    /// transitive fanin of its D input (same row layout as
+    /// [`EvalPlan::fanout_cone`]).
+    pub fn flip_flop_support(&self, k: usize) -> &[u64] {
+        &self.ff_support[k * self.cone_stride..][..self.cone_stride]
+    }
+
+    /// Whether a cone bitset row (from [`EvalPlan::fanout_cone`] or
+    /// [`EvalPlan::flip_flop_support`]) contains net `net`.
+    pub fn cone_contains(cone: &[u64], net: usize) -> bool {
+        (cone[net / 64] >> (net % 64)) & 1 == 1
     }
 
     /// The observation-point nets.
@@ -555,6 +695,7 @@ pub fn build_netlist(
         &primary_outputs,
         primary_inputs.len(),
     );
+    let adjacent_pairs = compute_adjacent_pairs(&b.gates, &flip_flops);
     Ok(Netlist {
         name: name.to_string(),
         structure,
@@ -564,6 +705,7 @@ pub fn build_netlist(
         flip_flops,
         observation_points,
         plan,
+        adjacent_pairs,
     })
 }
 
@@ -730,15 +872,93 @@ mod tests {
     }
 
     #[test]
+    fn levels_are_topological() {
+        let netlist = dff_netlist("levels");
+        let plan = netlist.plan();
+        assert_eq!(plan.levels().len(), netlist.gates().len());
+        for (id, step) in plan.steps().iter().enumerate() {
+            match step.op {
+                PlanOp::Input(_) | PlanOp::FlipFlop(_) | PlanOp::Const(_) => {
+                    assert_eq!(plan.level(id), 0, "sources sit at level 0")
+                }
+                _ => {
+                    let deepest = plan
+                        .step_fanin(id)
+                        .iter()
+                        .map(|&f| plan.level(f as usize))
+                        .max()
+                        .unwrap_or(0);
+                    assert_eq!(plan.level(id), deepest + 1, "net {id}");
+                }
+            }
+        }
+        assert!(plan.max_level() >= 2, "AND/OR planes imply depth >= 2");
+        assert_eq!(
+            plan.max_level(),
+            plan.levels().iter().copied().max().unwrap()
+        );
+    }
+
+    /// The fanout cones must equal the reachability relation of the gate
+    /// graph, and the register support cones the reverse reachability of
+    /// each D input (checked against a brute-force transitive closure).
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn cones_match_brute_force_reachability() {
+        let netlist = dff_netlist("cones");
+        let plan = netlist.plan();
+        let n = netlist.gates().len();
+        assert_eq!(plan.cone_stride(), n.div_ceil(64));
+        // reach[i][j] = net i reaches net j (forward).
+        let mut reach = vec![vec![false; n]; n];
+        for (i, row) in reach.iter_mut().enumerate() {
+            row[i] = true;
+        }
+        for id in (0..n).rev() {
+            for &f in plan.step_fanin(id) {
+                for j in 0..n {
+                    let via = reach[id][j];
+                    reach[f as usize][j] |= via;
+                }
+            }
+        }
+        for i in 0..n {
+            let cone = plan.fanout_cone(i);
+            for (j, reachable) in reach[i].iter().enumerate() {
+                assert_eq!(
+                    EvalPlan::cone_contains(cone, j),
+                    *reachable,
+                    "cone({i}) vs net {j}"
+                );
+            }
+        }
+        for (k, ff) in netlist.flip_flops().iter().enumerate() {
+            let support = plan.flip_flop_support(k);
+            for j in 0..n {
+                assert_eq!(
+                    EvalPlan::cone_contains(support, j),
+                    reach[j][ff.d],
+                    "support({k}) vs net {j}"
+                );
+            }
+        }
+        // Q nets are exposed in stage order.
+        assert_eq!(plan.flip_flop_outputs().len(), netlist.flip_flops().len());
+        for (k, ff) in netlist.flip_flops().iter().enumerate() {
+            assert_eq!(plan.flip_flop_outputs()[k] as usize, ff.q);
+        }
+    }
+
+    #[test]
     fn adjacent_net_pairs_are_normalized_and_deduplicated() {
         let netlist = dff_netlist("adjacent");
         let pairs = netlist.adjacent_net_pairs();
         assert!(!pairs.is_empty(), "multi-input gates imply adjacent nets");
-        let mut sorted = pairs.clone();
+        let mut sorted = pairs.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(pairs, sorted, "pairs are sorted and unique");
-        for &(low, high) in &pairs {
+        for &(low, high) in pairs {
             assert!(low < high, "pairs are normalized");
             assert!(high < netlist.gates().len());
         }

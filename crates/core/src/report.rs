@@ -257,6 +257,47 @@ impl ToJson for FaultModelRow {
     }
 }
 
+/// One row of the engine-comparison benchmark: packed vs differential
+/// timing of the identical campaign on one suite machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineTimingRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of gates of the synthesized netlist.
+    pub gates: usize,
+    /// Faults simulated (collapsed stuck-at list).
+    pub total_faults: usize,
+    /// Patterns applied by both engines.
+    pub max_patterns: usize,
+    /// Wall-clock milliseconds of the packed engine (best of N).
+    pub packed_ms: f64,
+    /// Wall-clock milliseconds of the differential engine (best of N).
+    pub differential_ms: f64,
+    /// `packed_ms / differential_ms`.
+    pub speedup: f64,
+    /// Whether the two engines produced identical detection patterns
+    /// (asserted by the benchmark before the row is emitted).
+    pub detection_patterns_identical: bool,
+}
+
+impl ToJson for EngineTimingRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("gates", self.gates)
+            .field("total_faults", self.total_faults)
+            .field("max_patterns", self.max_patterns)
+            .field("packed_ms", self.packed_ms)
+            .field("differential_ms", self.differential_ms)
+            .field("speedup", self.speedup)
+            .field(
+                "detection_patterns_identical",
+                self.detection_patterns_identical,
+            );
+        out.push_str(&obj.finish());
+    }
+}
+
 /// One fault's entry in a diagnosis report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DictionaryEntryReport {
@@ -518,6 +559,25 @@ mod tests {
         assert!(json.contains(r#""model":"bridging""#));
         assert!(json.contains(r#""fault_coverage":0.95"#));
         assert!(json.contains(r#""patterns_applied":1024"#));
+    }
+
+    #[test]
+    fn engine_timing_row_serializes() {
+        let row = EngineTimingRow {
+            benchmark: "scf".into(),
+            gates: 622,
+            total_faults: 19963,
+            max_patterns: 4096,
+            packed_ms: 18500.0,
+            differential_ms: 7700.0,
+            speedup: 18500.0 / 7700.0,
+            detection_patterns_identical: true,
+        };
+        let json = row.to_json();
+        assert!(json.contains(r#""benchmark":"scf""#));
+        assert!(json.contains(r#""total_faults":19963"#));
+        assert!(json.contains(r#""detection_patterns_identical":true"#));
+        assert!(json.contains(r#""differential_ms":7700"#));
     }
 
     #[test]

@@ -29,7 +29,7 @@ impl FaultModel for Bridging {
 
     fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
         let mut faults = Vec::new();
-        for (low, high) in netlist.adjacent_net_pairs() {
+        for &(low, high) in netlist.adjacent_net_pairs() {
             for wired_and in [true, false] {
                 faults.push(Injection::Bridge {
                     victim: high,

@@ -30,9 +30,11 @@ use stfsm_lfsr::bitvec::broadcast;
 /// All engines produce bit-for-bit identical [`CoverageResult`]s for any
 /// fault model; the packed engine simulates up to [`FAULT_LANES`] faulty
 /// machines per word operation and is roughly an order of magnitude faster
-/// than the scalar reference, and the threaded engine shards the fault list
-/// over packed workers on top of that.  The scalar engine is retained as
-/// the differential-testing reference and for debugging single faults.
+/// than the scalar reference, the differential engine restricts each
+/// multi-word lane block to the fanout cones of its faults on top of that,
+/// and the threaded engine shards the fault list over differential workers.
+/// The scalar engine is retained as the differential-testing reference and
+/// for debugging single faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SimEngine {
     /// One fault at a time on the boolean [`Simulator`].
@@ -40,11 +42,16 @@ pub enum SimEngine {
     /// 63 faults per chunk on the word-parallel [`PackedSimulator`].
     #[default]
     Packed,
-    /// The fault list sharded across [`SelfTestConfig::threads`] packed
-    /// workers (`std::thread::scope`).  The shard split is a deterministic
-    /// function of the fault list alone and every fault's trajectory is
-    /// independent of its chunk, so the merged result is bit-for-bit
-    /// independent of the thread count.
+    /// Cone-restricted differential simulation: the good machine runs once
+    /// per pattern, faults run in 255-lane multi-word blocks that evaluate
+    /// only the plan steps their active faults (or diverged register
+    /// states) can actually perturb (see [`crate::differential`]).
+    Differential,
+    /// The fault list sharded across [`SelfTestConfig::threads`]
+    /// differential workers (`std::thread::scope`).  The shard split is a
+    /// deterministic function of the fault list alone and every fault's
+    /// trajectory is independent of its shard and block, so the merged
+    /// result is bit-for-bit independent of the thread count.
     Threaded,
 }
 
@@ -111,8 +118,13 @@ impl Default for SelfTestConfig {
 
 impl SelfTestConfig {
     /// The worker count the [`SimEngine::Threaded`] engine will use.
+    ///
+    /// An explicit `Some(0)` is clamped to 1 (a campaign always needs at
+    /// least one worker); `None` defaults to
+    /// [`std::thread::available_parallelism`] (falling back to 1 when the
+    /// host cannot report its parallelism).
     pub fn effective_threads(&self) -> usize {
-        self.threads.unwrap_or_else(|| {
+        self.threads.map(|t| t.max(1)).unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
@@ -220,6 +232,9 @@ pub fn run_injection_campaign(
         match config.engine {
             SimEngine::Scalar => scalar_detection(netlist, faults, &stimulus, stimulation),
             SimEngine::Packed => packed_detection(netlist, faults, &stimulus, stimulation),
+            SimEngine::Differential => {
+                crate::differential::differential_detection(netlist, faults, &stimulus, stimulation)
+            }
             SimEngine::Threaded => threaded_detection(
                 netlist,
                 faults,
@@ -327,10 +342,10 @@ fn scalar_detection(
 }
 
 /// Threaded engine: the fault list sharded into one contiguous slice per
-/// worker, each worker running the full packed campaign (segmented
-/// compaction and table tail included) on its shard.
+/// worker, each worker running the full differential campaign (cone
+/// restriction, segmented compaction and table tail included) on its shard.
 ///
-/// Every fault's trajectory is that of its own isolated machine — chunk
+/// Every fault's trajectory is that of its own isolated machine — block
 /// packing never changes results, only wall-clock time — and the shard
 /// boundaries depend on nothing but `faults.len()` and the worker count, so
 /// the concatenated result is bit-for-bit identical to the single-threaded
@@ -342,18 +357,32 @@ fn threaded_detection(
     stimulation: StateStimulation,
     threads: usize,
 ) -> Vec<Option<usize>> {
-    let threads = threads
-        .max(1)
-        .min(faults.len().div_ceil(FAULT_LANES).max(1));
+    // Size shards in whole differential lane blocks: more workers than
+    // blocks would only split the work into underfilled blocks that still
+    // pay the full multi-word evaluation cost (and re-record the good
+    // trace) each.
+    let threads = threads.max(1).min(
+        faults
+            .len()
+            .div_ceil(crate::differential::BLOCK_FAULT_LANES)
+            .max(1),
+    );
     if threads == 1 {
-        return packed_detection(netlist, faults, stimulus, stimulation);
+        return crate::differential::differential_detection(netlist, faults, stimulus, stimulation);
     }
     let shard_len = faults.len().div_ceil(threads);
     std::thread::scope(|scope| {
         let workers: Vec<_> = faults
             .chunks(shard_len)
             .map(|shard| {
-                scope.spawn(move || packed_detection(netlist, shard, stimulus, stimulation))
+                scope.spawn(move || {
+                    crate::differential::differential_detection(
+                        netlist,
+                        shard,
+                        stimulus,
+                        stimulation,
+                    )
+                })
             })
             .collect();
         // Deterministic merge: shard order, not completion order.
@@ -367,11 +396,11 @@ fn threaded_detection(
 /// A still-undetected fault between compaction segments: its position in
 /// the fault list, the register state its machine has reached and (for
 /// delayed-transition faults) the one-cycle memory of its faulty net.
-struct AliveFault {
-    index: usize,
-    fault: Injection,
-    state: Vec<bool>,
-    memory: Option<bool>,
+pub(crate) struct AliveFault {
+    pub(crate) index: usize,
+    pub(crate) fault: Injection,
+    pub(crate) state: Vec<bool>,
+    pub(crate) memory: Option<bool>,
 }
 
 /// Per-lane transition/observation tables for one fault chunk, built by
@@ -379,7 +408,7 @@ struct AliveFault {
 /// space.  For small controllers this turns the long low-occupancy tail of
 /// a campaign (a handful of stubborn faults times thousands of patterns)
 /// into two table lookups per machine per cycle.
-struct LaneTables {
+pub(crate) struct LaneTables {
     r: usize,
     combos: usize,
     /// `obs_sig[lane * combos + idx]`: the observation vector of lane
@@ -397,7 +426,7 @@ impl LaneTables {
     /// Stateful injections (delayed transitions) carry memory beyond the
     /// register, so their lanes are no pure function of (state, input) and
     /// table mode is ruled out for the chunk.
-    fn applicable(
+    pub(crate) fn applicable(
         netlist: &Netlist,
         faults: &[AliveFault],
         lanes: usize,
@@ -416,7 +445,7 @@ impl LaneTables {
             && (1usize << bits) * 4 <= remaining_cycles.saturating_mul(lanes.max(8))
     }
 
-    fn build(netlist: &Netlist, faults: &[Injection]) -> Self {
+    pub(crate) fn build(netlist: &Netlist, faults: &[Injection]) -> Self {
         let plan = netlist.plan();
         let r = netlist.flip_flops().len();
         let m = netlist.primary_inputs().len();
@@ -481,7 +510,7 @@ fn bits_to_index(bits: &[bool]) -> usize {
 /// precomputed [`LaneTables`].  Produces exactly the detection cycles the
 /// word-parallel (and scalar) engines would.
 #[allow(clippy::too_many_arguments)]
-fn table_tail(
+pub(crate) fn table_tail(
     netlist: &Netlist,
     alive: &[AliveFault],
     reference_state: &[bool],
@@ -993,7 +1022,12 @@ mod tests {
     fn degenerate_campaigns_are_total() {
         let fsm = fig3_example().unwrap();
         let netlist = netlist_for(&fsm, BistStructure::Dff);
-        for engine in [SimEngine::Scalar, SimEngine::Packed, SimEngine::Threaded] {
+        for engine in [
+            SimEngine::Scalar,
+            SimEngine::Packed,
+            SimEngine::Differential,
+            SimEngine::Threaded,
+        ] {
             // Zero patterns: nothing applied, nothing detected, no panic.
             let zero_patterns = run_self_test(
                 &netlist,
@@ -1055,6 +1089,48 @@ mod tests {
         // …and a documented graceful underflow beyond double precision.
         assert_eq!(misr_aliasing_probability(1100), 0.0);
         assert_eq!(misr_aliasing_probability(usize::MAX), 0.0);
+    }
+
+    #[test]
+    fn effective_threads_clamps_zero_and_defaults_to_parallelism() {
+        // An explicit zero is clamped to one worker.
+        let zero = SelfTestConfig {
+            threads: Some(0),
+            ..Default::default()
+        };
+        assert_eq!(zero.effective_threads(), 1);
+        // Explicit positive counts pass through.
+        let four = SelfTestConfig {
+            threads: Some(4),
+            ..Default::default()
+        };
+        assert_eq!(four.effective_threads(), 4);
+        // The default follows the host's available parallelism.
+        let default = SelfTestConfig::default();
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(default.effective_threads(), host);
+        // A zero-thread campaign still runs (and agrees with packed).
+        let fsm = fig3_example().unwrap();
+        let netlist = netlist_for(&fsm, BistStructure::Dff);
+        let threaded = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 128,
+                engine: SimEngine::Threaded,
+                threads: Some(0),
+                ..Default::default()
+            },
+        );
+        let packed = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 128,
+                ..Default::default()
+            },
+        );
+        assert_eq!(threaded, packed);
     }
 
     #[test]

@@ -9,22 +9,30 @@
 //! Comparing a failing chip's signature against the dictionary then narrows
 //! the defect down to the faults that produce it.
 //!
-//! The dictionary pass reuses the packed engine: signatures of all 64 lanes
-//! advance word-parallel through the bit-plane form of the MISR recurrence
-//! `s⁺₁ = m(s) ⊕ y₁`, `s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ` (the same Fibonacci convention as
-//! [`stfsm_lfsr::Misr`]), so building a dictionary costs one un-dropped
-//! campaign instead of one serial simulation per fault.  Unlike the coverage
-//! campaign, faulty machines keep running after their first detection —
-//! the signature covers the whole test — which also measures *actual*
-//! signature aliasing against the `2^{-r}` estimate of
+//! The dictionary pass reuses the word-parallel engines: signatures of all
+//! lanes advance word-parallel through the bit-plane form of the MISR
+//! recurrence `s⁺₁ = m(s) ⊕ y₁`, `s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ` (the same Fibonacci
+//! convention as [`stfsm_lfsr::Misr`]), so building a dictionary costs one
+//! un-dropped campaign instead of one serial simulation per fault.  Unlike
+//! the coverage campaign, faulty machines keep running after their first
+//! detection — the signature covers the whole test — which also measures
+//! *actual* signature aliasing against the `2^{-r}` estimate of
 //! [`crate::coverage::misr_aliasing_probability`].
+//!
+//! [`SelfTestConfig::engine`] selects how the faulty machines are advanced:
+//! `Differential` and `Threaded` compact signatures on the cone-restricted
+//! differential block engine of [`crate::differential`] (255 fault lanes
+//! per 4-word block, only the perturbable steps evaluated), `Scalar` and
+//! `Packed` on the classic 64-lane packed simulator.  Both paths produce
+//! identical dictionaries.
 
-use crate::coverage::{generate_stimulus, SelfTestConfig, StateStimulation};
+use crate::coverage::{generate_stimulus, SelfTestConfig, SimEngine, StateStimulation};
+use crate::differential::{DiffSimulator, GoodTrace, BLOCK_FAULT_LANES, BLOCK_WORDS};
 use crate::faults::Injection;
 use crate::packed::{PackedSimulator, FAULT_LANES};
 use stfsm_bist::netlist::Netlist;
 use stfsm_lfsr::bitvec::broadcast;
-use stfsm_lfsr::primitive_polynomial;
+use stfsm_lfsr::{primitive_polynomial, Gf2Poly};
 
 /// The widest MISR the dictionary can instantiate (the primitive-polynomial
 /// table of `stfsm-lfsr` ends here); wider observation vectors are folded
@@ -93,9 +101,11 @@ impl FaultDictionary {
 ///
 /// The stimulus, stimulation mode and scan initialisation replicate
 /// [`crate::coverage::run_injection_campaign`] with the same configuration,
-/// so `first_detect` is bit-for-bit the campaign's `detection_pattern`;
-/// [`SelfTestConfig::engine`] is ignored (the dictionary pass is always
-/// packed).
+/// so `first_detect` is bit-for-bit the campaign's `detection_pattern`.
+/// [`SelfTestConfig::engine`] selects the word-parallel engine of the pass:
+/// `Differential` / `Threaded` run the cone-restricted differential block
+/// engine, `Scalar` / `Packed` the classic 64-lane packed simulator; the
+/// resulting dictionaries are identical.
 pub fn build_fault_dictionary(
     netlist: &Netlist,
     faults: &[Injection],
@@ -105,35 +115,73 @@ pub fn build_fault_dictionary(
         .stimulation
         .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
     let stimulus = generate_stimulus(netlist, config);
-    let num_inputs = netlist.primary_inputs().len();
-    let num_state = netlist.flip_flops().len();
 
     let obs_count = netlist.observation_points().len();
     let signature_bits = obs_count.clamp(1, MAX_SIGNATURE_BITS);
     let poly = primitive_polynomial(signature_bits)
         .expect("the polynomial table covers 1..=MAX_SIGNATURE_BITS");
 
+    if stimulus.cycles == 0 {
+        // Degenerate dictionary: nothing compacted, the all-zero reset
+        // signature for every machine including the reference.
+        return FaultDictionary {
+            signature_bits,
+            reference_signature: 0,
+            patterns_applied: 0,
+            entries: faults
+                .iter()
+                .map(|&fault| DictionaryEntry {
+                    fault,
+                    first_detect: None,
+                    signature: 0,
+                })
+                .collect(),
+        };
+    }
+
+    let (entries, reference_signature) = match config.engine {
+        SimEngine::Differential | SimEngine::Threaded => differential_signatures(
+            netlist,
+            faults,
+            &stimulus,
+            stimulation,
+            signature_bits,
+            poly,
+        ),
+        SimEngine::Scalar | SimEngine::Packed => packed_signatures(
+            netlist,
+            faults,
+            &stimulus,
+            stimulation,
+            signature_bits,
+            poly,
+        ),
+    };
+
+    FaultDictionary {
+        signature_bits,
+        reference_signature,
+        patterns_applied: stimulus.cycles,
+        entries,
+    }
+}
+
+/// The classic dictionary pass on the 64-lane packed simulator.
+fn packed_signatures(
+    netlist: &Netlist,
+    faults: &[Injection],
+    stimulus: &crate::coverage::Stimulus,
+    stimulation: StateStimulation,
+    signature_bits: usize,
+    poly: Gf2Poly,
+) -> (Vec<DictionaryEntry>, u64) {
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
     let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
     let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
 
     let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
     let mut reference_signature = 0u64;
-    if stimulus.cycles == 0 {
-        // Degenerate dictionary: nothing compacted, the all-zero reset
-        // signature for every machine including the reference.
-        entries.extend(faults.iter().map(|&fault| DictionaryEntry {
-            fault,
-            first_detect: None,
-            signature: 0,
-        }));
-        return FaultDictionary {
-            signature_bits,
-            reference_signature,
-            patterns_applied: stimulus.cycles,
-            entries,
-        };
-    }
-
     let init_state = stimulus.st(0)[..num_state].to_vec();
     // An empty fault list still compacts the fault-free reference (one pass
     // with no injected lanes), so `reference_signature` always honours its
@@ -198,13 +246,137 @@ pub fn build_fault_dictionary(
             signature: lane_signature(i + 1),
         }));
     }
+    (entries, reference_signature)
+}
 
-    FaultDictionary {
-        signature_bits,
-        reference_signature,
-        patterns_applied: stimulus.cycles,
-        entries,
+/// The dictionary pass on the cone-restricted differential block engine:
+/// the good machine's trajectory is recorded once, each 255-fault block
+/// evaluates only the steps its faults (or diverged register states) can
+/// perturb, and the MISR bit-planes advance over [`BLOCK_WORDS`]-word
+/// words.  Because faulty machines are never dropped, a block stays on the
+/// wide step set while any of its lanes has diverged and re-narrows when
+/// they all reconverge.
+fn differential_signatures(
+    netlist: &Netlist,
+    faults: &[Injection],
+    stimulus: &crate::coverage::Stimulus,
+    stimulation: StateStimulation,
+    signature_bits: usize,
+    poly: Gf2Poly,
+) -> (Vec<DictionaryEntry>, u64) {
+    const W: usize = BLOCK_WORDS;
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+    let init_state = stimulus.st(0)[..num_state].to_vec();
+    let obs = netlist.plan().observation_points();
+
+    let trace = GoodTrace::record(
+        netlist,
+        stimulus,
+        stimulation,
+        &init_state,
+        0,
+        stimulus.cycles,
+    );
+
+    // The fault-free reference signature from the recorded good trajectory
+    // (the same recurrence the lane planes run, on one machine).
+    let mut ref_state = vec![false; signature_bits];
+    let mut ref_folded = vec![false; signature_bits];
+    for cycle in 0..stimulus.cycles {
+        let row = trace.row(cycle);
+        ref_folded.fill(false);
+        for (bit, &net) in obs.iter().enumerate() {
+            ref_folded[bit % signature_bits] ^= (row[net as usize / 64] >> (net % 64)) & 1 == 1;
+        }
+        let mut feedback = ref_state[signature_bits - 1];
+        for i in 1..signature_bits {
+            if poly.coefficient(i) {
+                feedback ^= ref_state[i - 1];
+            }
+        }
+        for i in (1..signature_bits).rev() {
+            ref_state[i] = ref_state[i - 1] ^ ref_folded[i];
+        }
+        ref_state[0] = feedback ^ ref_folded[0];
     }
+    let reference_signature = ref_state
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+
+    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
+    for chunk in faults.chunks(BLOCK_FAULT_LANES) {
+        let mut sim = DiffSimulator::<W>::with_injections(netlist, chunk);
+        sim.set_state_broadcast_bits(&init_state);
+        let fault_mask = sim.active();
+        let mut detected = [0u64; W];
+        let mut first_detect = vec![None; chunk.len()];
+        let mut planes = vec![[0u64; W]; signature_bits];
+        let mut folded = vec![[0u64; W]; signature_bits];
+        for cycle in 0..stimulus.cycles {
+            if stimulation == StateStimulation::RandomState {
+                sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
+            }
+            let good_row = trace.row(cycle);
+            let wide = sim.needs_wide(trace.pre_state(cycle));
+            let row = cycle * num_inputs;
+            sim.eval_cycle(wide, good_row, &pi_words[row..row + num_inputs]);
+            let mismatch = sim.mismatch(wide, good_row);
+            for (w, &word) in mismatch.iter().enumerate() {
+                let mut newly = word & fault_mask[w] & !detected[w];
+                detected[w] |= newly;
+                while newly != 0 {
+                    let lane = w * 64 + newly.trailing_zeros() as usize;
+                    first_detect[lane - 1] = Some(cycle);
+                    newly &= newly - 1;
+                }
+            }
+            for f in folded.iter_mut() {
+                *f = [0u64; W];
+            }
+            for (bit, &net) in obs.iter().enumerate() {
+                let value = sim.net_value(wide, net as usize, good_row);
+                let acc = &mut folded[bit % signature_bits];
+                for (a, &v) in acc.iter_mut().zip(value.iter()) {
+                    *a ^= v;
+                }
+            }
+            let mut feedback = planes[signature_bits - 1];
+            for i in 1..signature_bits {
+                if poly.coefficient(i) {
+                    let tap = planes[i - 1];
+                    for (f, &t) in feedback.iter_mut().zip(tap.iter()) {
+                        *f ^= t;
+                    }
+                }
+            }
+            for i in (1..signature_bits).rev() {
+                let below = planes[i - 1];
+                for ((p, &b), &f) in planes[i].iter_mut().zip(below.iter()).zip(folded[i].iter()) {
+                    *p = b ^ f;
+                }
+            }
+            for (k, (p, &f)) in planes[0].iter_mut().zip(folded[0].iter()).enumerate() {
+                *p = feedback[k] ^ f;
+            }
+            sim.clock_cycle(wide, good_row);
+        }
+        let lane_signature = |lane: usize| -> u64 {
+            let (w, b) = (lane / 64, lane % 64);
+            planes
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (i, plane)| acc | (((plane[w] >> b) & 1) << i))
+        };
+        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
+            fault,
+            first_detect: first_detect[i],
+            signature: lane_signature(i + 1),
+        }));
+    }
+    (entries, reference_signature)
 }
 
 #[cfg(test)]
@@ -333,6 +505,40 @@ mod tests {
             sim.clock();
         }
         assert_eq!(state.value(), dictionary.reference_signature);
+    }
+
+    /// The differential block engine must produce dictionaries identical
+    /// to the classic packed pass — entries, signatures and reference —
+    /// for every fault model and both stimulation styles.
+    #[test]
+    fn differential_dictionary_matches_packed() {
+        let packed_config = SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        };
+        let differential_config = SelfTestConfig {
+            max_patterns: 256,
+            engine: SimEngine::Differential,
+            ..Default::default()
+        };
+        for netlist in [pst_netlist(), dff_netlist()] {
+            for model in all_models() {
+                let faults = model.fault_list(&netlist, true);
+                let packed = build_fault_dictionary(&netlist, &faults, &packed_config);
+                let differential = build_fault_dictionary(&netlist, &faults, &differential_config);
+                assert_eq!(
+                    packed,
+                    differential,
+                    "{} on {}",
+                    model.name(),
+                    netlist.name()
+                );
+            }
+            // The empty-fault-list reference contract holds on both paths.
+            let packed = build_fault_dictionary(&netlist, &[], &packed_config);
+            let differential = build_fault_dictionary(&netlist, &[], &differential_config);
+            assert_eq!(packed, differential);
+        }
     }
 
     #[test]

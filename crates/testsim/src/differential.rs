@@ -1,0 +1,1252 @@
+//! Cone-restricted differential fault simulation over multi-word lane
+//! blocks.
+//!
+//! The 64-way packed engine of [`crate::packed`] still pays for work that
+//! provably cannot matter: it re-simulates the fault-free machine in lane 0
+//! of every chunk, and every lane evaluates the *entire* evaluation plan
+//! even though an injected fault can only perturb the nets in its fanout
+//! cone until its effect reaches a flip-flop.  The differential engine
+//! (the PROOFS-style concurrent/differential technique) removes both costs:
+//!
+//! * the **good machine is simulated once per pattern** on the scalar
+//!   simulator and its net values are broadcast to every lane block
+//!   ([`GoodTrace`]);
+//! * faults are packed into **multi-word lane blocks**
+//!   ([`LaneBlock`]; the campaign uses [`BLOCK_WORDS`] words = 255 fault
+//!   lanes plus the shared good reference in lane 0), so one sweep advances
+//!   four packed words per step instead of one;
+//! * each block evaluates only the steps in the **union of its active
+//!   faults' fanout cones** (the `narrow` step set, from
+//!   [`stfsm_bist::netlist::EvalPlan::fanout_cone`]) while every lane's register state still
+//!   agrees with the good machine; a per-lane divergence check **widens**
+//!   the block to the step set that additionally covers the register
+//!   fanout cones once a lane's flip-flop state actually splits from the
+//!   reference, and **re-narrows** when all lanes reconverge;
+//! * detected faults are dropped from the active mask inside a segment,
+//!   detected lanes are clamped back onto the good state so they stop
+//!   forcing wide evaluation, and the narrow cone union is rebuilt
+//!   (swap-compacted) whenever at least half of the block's faults have
+//!   been retired.
+//!
+//! The engine is model-agnostic over [`Injection`] — stuck outputs, stuck
+//! pins, delayed transitions (with the one-cycle memory carried per word)
+//! and bridges all keep working — and produces detection patterns
+//! bit-for-bit identical to the scalar and packed engines.
+
+use crate::coverage::{table_tail, AliveFault, LaneTables, StateStimulation, Stimulus};
+use crate::faults::Injection;
+use crate::packed::FAULT_LANES as PACKED_FAULT_LANES;
+use crate::sim::Simulator;
+use stfsm_bist::netlist::{EvalPlan, Netlist, PlanOp};
+use stfsm_lfsr::bitvec::broadcast;
+
+/// A block of `W` 64-lane packing words: `64 * W` simulated machines that
+/// advance together through word-wide logic operations.
+///
+/// Lane 0 of word 0 carries the shared good reference (it is seeded from —
+/// and always agrees with — the good machine), the remaining
+/// [`LaneBlock::FAULT_LANES`] lanes each carry one injected fault.
+pub struct LaneBlock<const W: usize>;
+
+impl<const W: usize> LaneBlock<W> {
+    /// Total number of lanes in the block.
+    pub const LANES: usize = 64 * W;
+    /// Number of fault lanes (all lanes except the good reference).
+    pub const FAULT_LANES: usize = 64 * W - 1;
+    /// Number of packing words.
+    pub const WORDS: usize = W;
+}
+
+/// Words per lane block of the differential campaign engine: 4 words = 255
+/// fault lanes plus the shared good reference.
+pub const BLOCK_WORDS: usize = 4;
+
+/// Fault lanes per campaign block.
+pub(crate) const BLOCK_FAULT_LANES: usize = LaneBlock::<BLOCK_WORDS>::FAULT_LANES;
+
+/// Extracts bit `net` from a bitset row (layout of
+/// [`stfsm_bist::netlist::EvalPlan::fanout_cone`] and [`GoodTrace`] rows).
+#[inline(always)]
+fn row_bit(row: &[u64], net: usize) -> bool {
+    EvalPlan::cone_contains(row, net)
+}
+
+/// The good machine's trajectory over one campaign segment, recorded once
+/// on the scalar simulator and shared (read-only) by every lane block.
+pub(crate) struct GoodTrace {
+    stride: usize,
+    num_state: usize,
+    from: usize,
+    /// Per cycle: all net values as a bitset row of `stride` words.
+    bits: Vec<u64>,
+    /// Per cycle: the register state at evaluation time (after a
+    /// random-state override, before the clock edge).
+    pre_states: Vec<bool>,
+    /// The register state after the last cycle of the segment.
+    end_state: Vec<bool>,
+}
+
+impl GoodTrace {
+    /// Simulates the fault-free machine over cycles `from..to` of the
+    /// stimulus, starting from `start_state`.
+    pub(crate) fn record(
+        netlist: &Netlist,
+        stimulus: &Stimulus,
+        stimulation: StateStimulation,
+        start_state: &[bool],
+        from: usize,
+        to: usize,
+    ) -> Self {
+        let num_nets = netlist.gates().len();
+        let stride = num_nets.div_ceil(64);
+        let num_state = netlist.flip_flops().len();
+        let cycles = to - from;
+        let mut sim = Simulator::new(netlist);
+        sim.set_state(start_state);
+        let mut bits = vec![0u64; cycles * stride];
+        let mut pre_states = Vec::with_capacity(cycles * num_state);
+        for cycle in from..to {
+            if stimulation == StateStimulation::RandomState {
+                sim.set_state(&stimulus.st(cycle)[..num_state]);
+            }
+            pre_states.extend_from_slice(sim.state());
+            sim.evaluate(stimulus.pi(cycle));
+            let row = &mut bits[(cycle - from) * stride..][..stride];
+            for net in 0..num_nets {
+                if sim.net(net) {
+                    row[net / 64] |= 1u64 << (net % 64);
+                }
+            }
+            sim.clock();
+        }
+        Self {
+            stride,
+            num_state,
+            from,
+            bits,
+            pre_states,
+            end_state: sim.state().to_vec(),
+        }
+    }
+
+    /// The net-value bitset of (absolute) cycle `cycle`.
+    pub(crate) fn row(&self, cycle: usize) -> &[u64] {
+        &self.bits[(cycle - self.from) * self.stride..][..self.stride]
+    }
+
+    /// The register state the good machine carried into cycle `cycle`.
+    pub(crate) fn pre_state(&self, cycle: usize) -> &[bool] {
+        &self.pre_states[(cycle - self.from) * self.num_state..][..self.num_state]
+    }
+
+    /// The register state after the last recorded cycle.
+    pub(crate) fn end_state(&self) -> &[bool] {
+        &self.end_state
+    }
+}
+
+/// Compiled opcodes, mirroring the packed engine's specialisation of
+/// [`PlanOp`] (inline operands for arity ≤ 2, shared fan-in ranges for
+/// wider gates, a side table for faulted gates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    In,
+    Ff,
+    Const0,
+    Const1,
+    Not,
+    And2,
+    Or2,
+    Xor2,
+    AndN,
+    OrN,
+    XorN,
+    Patched,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    op: Op,
+    a: u32,
+    b: u32,
+}
+
+/// An input-pin stuck-at patch with per-word lane masks.
+#[derive(Debug, Clone, Copy)]
+struct PinPatch<const W: usize> {
+    gate: u32,
+    pin: u32,
+    set: [u64; W],
+    clear: [u64; W],
+}
+
+/// A bridge patch on one victim net with per-word lane masks.
+#[derive(Debug, Clone, Copy)]
+struct BridgePatch<const W: usize> {
+    victim: u32,
+    aggressor: u32,
+    and_mask: [u64; W],
+    or_mask: [u64; W],
+}
+
+/// Side-table entry for a faulted gate (see [`crate::packed`]'s
+/// `PatchedGate`), widened to `W`-word lane masks.
+#[derive(Debug, Clone, Copy)]
+struct PatchedGate<const W: usize> {
+    op: PlanOp,
+    net: u32,
+    fanin_start: u32,
+    fanin_end: u32,
+    patch_start: u32,
+    patch_end: u32,
+    bridge_start: u32,
+    bridge_end: u32,
+    out_set: [u64; W],
+    out_clear: [u64; W],
+    rise: [u64; W],
+    fall: [u64; W],
+}
+
+/// A restricted evaluation schedule: the member bitset over nets, the
+/// member steps in topological order, the frontier (nets read by member
+/// steps but computed outside the set, seeded from the good machine each
+/// cycle), the observable members and the per-flip-flop membership of the
+/// D nets.
+struct StepSet {
+    member: Vec<u64>,
+    steps: Vec<u32>,
+    frontier: Vec<u32>,
+    obs: Vec<u32>,
+    ff_d_in: Vec<bool>,
+}
+
+/// A `W`-word differential lane-block simulator for one [`Netlist`].
+///
+/// Lane `i + 1` (word `(i + 1) / 64`, bit `(i + 1) % 64`) carries
+/// `injections[i]`; lane 0 of word 0 is the good reference.
+pub(crate) struct DiffSimulator<'a, const W: usize> {
+    netlist: &'a Netlist,
+    values: Vec<[u64; W]>,
+    state: Vec<[u64; W]>,
+    code: Vec<Instr>,
+    patched: Vec<PatchedGate<W>>,
+    pin_patches: Vec<PinPatch<W>>,
+    bridges: Vec<BridgePatch<W>>,
+    trans_prev: Vec<[u64; W]>,
+    trans_next: Vec<[u64; W]>,
+    injections: Vec<Injection>,
+    /// Lanes whose fault has not been detected yet.
+    active: [u64; W],
+    narrow: StepSet,
+    wide: StepSet,
+    /// Active-fault count the narrow cone union was last built for.
+    narrow_basis: usize,
+}
+
+impl<'a, const W: usize> DiffSimulator<'a, W> {
+    /// Compiles a block with `injections[i]` on lane `i + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LaneBlock::FAULT_LANES`] injections are given
+    /// or a bridge aggressor does not precede its victim.
+    pub(crate) fn with_injections(netlist: &'a Netlist, injections: &[Injection]) -> Self {
+        assert!(
+            injections.len() <= LaneBlock::<W>::FAULT_LANES,
+            "at most {} faults per {W}-word block, got {}",
+            LaneBlock::<W>::FAULT_LANES,
+            injections.len()
+        );
+        let num_nets = netlist.gates().len();
+        let zero = [0u64; W];
+        let mut out_set = vec![zero; num_nets];
+        let mut out_clear = vec![zero; num_nets];
+        let mut rise = vec![zero; num_nets];
+        let mut fall = vec![zero; num_nets];
+        let mut pin_patches: Vec<PinPatch<W>> = Vec::new();
+        let mut bridge_patches: Vec<BridgePatch<W>> = Vec::new();
+        for (i, injection) in injections.iter().enumerate() {
+            let lane = i + 1;
+            let (word, bit) = (lane / 64, lane % 64);
+            let mask = 1u64 << bit;
+            match *injection {
+                Injection::StuckOutput { net, value } => {
+                    if value {
+                        out_set[net][word] |= mask;
+                    } else {
+                        out_clear[net][word] |= mask;
+                    }
+                }
+                Injection::StuckPin { gate, pin, value } => {
+                    let (gate, pin) = (gate as u32, pin as u32);
+                    let patch = match pin_patches
+                        .iter_mut()
+                        .find(|p| p.gate == gate && p.pin == pin)
+                    {
+                        Some(patch) => patch,
+                        None => {
+                            pin_patches.push(PinPatch {
+                                gate,
+                                pin,
+                                set: zero,
+                                clear: zero,
+                            });
+                            pin_patches.last_mut().expect("just pushed")
+                        }
+                    };
+                    if value {
+                        patch.set[word] |= mask;
+                    } else {
+                        patch.clear[word] |= mask;
+                    }
+                }
+                Injection::DelayedTransition { net, slow_to_rise } => {
+                    if slow_to_rise {
+                        rise[net][word] |= mask;
+                    } else {
+                        fall[net][word] |= mask;
+                    }
+                }
+                Injection::Bridge {
+                    victim,
+                    aggressor,
+                    wired_and,
+                } => {
+                    assert!(
+                        aggressor < victim,
+                        "bridge aggressor must precede the victim in net order"
+                    );
+                    let (victim, aggressor) = (victim as u32, aggressor as u32);
+                    let patch = match bridge_patches
+                        .iter_mut()
+                        .find(|b| b.victim == victim && b.aggressor == aggressor)
+                    {
+                        Some(patch) => patch,
+                        None => {
+                            bridge_patches.push(BridgePatch {
+                                victim,
+                                aggressor,
+                                and_mask: zero,
+                                or_mask: zero,
+                            });
+                            bridge_patches.last_mut().expect("just pushed")
+                        }
+                    };
+                    if wired_and {
+                        patch.and_mask[word] |= mask;
+                    } else {
+                        patch.or_mask[word] |= mask;
+                    }
+                }
+            }
+        }
+        pin_patches.sort_by_key(|p| (p.gate, p.pin));
+        bridge_patches.sort_by_key(|b| (b.victim, b.aggressor));
+        let mut patch_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < pin_patches.len() {
+            let gate = pin_patches[i].gate as usize;
+            let start = i;
+            while i < pin_patches.len() && pin_patches[i].gate as usize == gate {
+                i += 1;
+            }
+            patch_ranges[gate] = (start as u32, i as u32);
+        }
+        let mut bridge_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < bridge_patches.len() {
+            let victim = bridge_patches[i].victim as usize;
+            let start = i;
+            while i < bridge_patches.len() && bridge_patches[i].victim as usize == victim {
+                i += 1;
+            }
+            bridge_ranges[victim] = (start as u32, i as u32);
+        }
+
+        let plan = netlist.plan();
+        let fanin = plan.fanin();
+        let mut code = Vec::with_capacity(num_nets);
+        let mut patched = Vec::new();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let (patch_start, patch_end) = patch_ranges[id];
+            let (bridge_start, bridge_end) = bridge_ranges[id];
+            if patch_start != patch_end
+                || bridge_start != bridge_end
+                || out_set[id] != zero
+                || out_clear[id] != zero
+                || rise[id] != zero
+                || fall[id] != zero
+            {
+                patched.push(PatchedGate {
+                    op: step.op,
+                    net: id as u32,
+                    fanin_start: step.fanin_start,
+                    fanin_end: step.fanin_end,
+                    patch_start,
+                    patch_end,
+                    bridge_start,
+                    bridge_end,
+                    out_set: out_set[id],
+                    out_clear: out_clear[id],
+                    rise: rise[id],
+                    fall: fall[id],
+                });
+                code.push(Instr {
+                    op: Op::Patched,
+                    a: (patched.len() - 1) as u32,
+                    b: 0,
+                });
+                continue;
+            }
+            let ops = &fanin[step.fanin_range()];
+            let instr = match step.op {
+                PlanOp::Input(k) => Instr {
+                    op: Op::In,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::FlipFlop(k) => Instr {
+                    op: Op::Ff,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::Const(false) => Instr {
+                    op: Op::Const0,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Const(true) => Instr {
+                    op: Op::Const1,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Not => Instr {
+                    op: Op::Not,
+                    a: ops[0],
+                    b: 0,
+                },
+                PlanOp::And if ops.len() == 2 => Instr {
+                    op: Op::And2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Or if ops.len() == 2 => Instr {
+                    op: Op::Or2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Xor if ops.len() == 2 => Instr {
+                    op: Op::Xor2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::And => Instr {
+                    op: Op::AndN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Or => Instr {
+                    op: Op::OrN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Xor => Instr {
+                    op: Op::XorN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+            };
+            code.push(instr);
+        }
+
+        // The transition memory starts at each lane's identity value.
+        let trans_prev: Vec<[u64; W]> = patched.iter().map(|g| g.rise).collect();
+        let trans_next = trans_prev.clone();
+
+        let mut active = [0u64; W];
+        for i in 0..injections.len() {
+            let lane = i + 1;
+            active[lane / 64] |= 1u64 << (lane % 64);
+        }
+
+        let mut sim = Self {
+            netlist,
+            values: vec![zero; num_nets],
+            state: vec![zero; netlist.flip_flops().len()],
+            code,
+            patched,
+            pin_patches,
+            bridges: bridge_patches,
+            trans_prev,
+            trans_next,
+            injections: injections.to_vec(),
+            active,
+            narrow: StepSet {
+                member: Vec::new(),
+                steps: Vec::new(),
+                frontier: Vec::new(),
+                obs: Vec::new(),
+                ff_d_in: Vec::new(),
+            },
+            wide: StepSet {
+                member: Vec::new(),
+                steps: Vec::new(),
+                frontier: Vec::new(),
+                obs: Vec::new(),
+                ff_d_in: Vec::new(),
+            },
+            narrow_basis: 0,
+        };
+        sim.rebuild_sets();
+        sim
+    }
+
+    /// The lanes whose fault is still undetected (word-major lane masks).
+    pub(crate) fn active(&self) -> [u64; W] {
+        self.active
+    }
+
+    /// Whether every fault of the block has been detected.
+    pub(crate) fn active_is_empty(&self) -> bool {
+        self.active.iter().all(|&w| w == 0)
+    }
+
+    fn active_count(&self) -> usize {
+        self.active.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Rebuilds the narrow/wide step sets from the currently active faults:
+    /// narrow = union of the active fault sites' fanout cones, wide = narrow
+    /// plus the fanout cones of every register stage's Q output.
+    fn rebuild_sets(&mut self) {
+        let plan = self.netlist.plan();
+        let stride = plan.cone_stride();
+        let mut narrow_bits = vec![0u64; stride];
+        for (w, &aw) in self.active.iter().enumerate() {
+            let mut lanes = aw;
+            while lanes != 0 {
+                let bit = lanes.trailing_zeros() as usize;
+                lanes &= lanes - 1;
+                let lane = w * 64 + bit;
+                let site = self.injections[lane - 1].patched_gate();
+                for (dst, &src) in narrow_bits.iter_mut().zip(plan.fanout_cone(site)) {
+                    *dst |= src;
+                }
+            }
+        }
+        let mut wide_bits = narrow_bits.clone();
+        for &q in plan.flip_flop_outputs() {
+            for (dst, &src) in wide_bits.iter_mut().zip(plan.fanout_cone(q as usize)) {
+                *dst |= src;
+            }
+        }
+        self.narrow = self.make_set(narrow_bits);
+        self.wide = self.make_set(wide_bits);
+        self.narrow_basis = self.active_count();
+    }
+
+    fn make_set(&self, member: Vec<u64>) -> StepSet {
+        let plan = self.netlist.plan();
+        let num_nets = self.code.len();
+        let mut steps = Vec::new();
+        let mut frontier_bits = vec![0u64; member.len()];
+        for id in 0..num_nets {
+            if !row_bit(&member, id) {
+                continue;
+            }
+            steps.push(id as u32);
+            for &f in plan.step_fanin(id) {
+                if !row_bit(&member, f as usize) {
+                    frontier_bits[f as usize / 64] |= 1u64 << (f % 64);
+                }
+            }
+            if self.code[id].op == Op::Patched {
+                let gate = &self.patched[self.code[id].a as usize];
+                for bridge in &self.bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
+                    let agg = bridge.aggressor as usize;
+                    if !row_bit(&member, agg) {
+                        frontier_bits[agg / 64] |= 1u64 << (agg % 64);
+                    }
+                }
+            }
+        }
+        let mut frontier = Vec::new();
+        for (w, &word) in frontier_bits.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                frontier.push((w * 64 + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
+        let obs: Vec<u32> = plan
+            .observation_points()
+            .iter()
+            .copied()
+            .filter(|&n| row_bit(&member, n as usize))
+            .collect();
+        let ff_d_in: Vec<bool> = plan
+            .flip_flop_inputs()
+            .iter()
+            .map(|&d| row_bit(&member, d as usize))
+            .collect();
+        StepSet {
+            member,
+            steps,
+            frontier,
+            obs,
+            ff_d_in,
+        }
+    }
+
+    /// Seeds the register: lane 0 (and every unused lane) resumes the good
+    /// reference, lane `i + 1` resumes faulty machine `chunk[i]`.
+    pub(crate) fn set_state_lanes(&mut self, reference: &[bool], chunk: &[AliveFault]) {
+        assert_eq!(reference.len(), self.state.len(), "state width mismatch");
+        for (ff, words) in self.state.iter_mut().enumerate() {
+            let mut row = [broadcast(reference[ff]); W];
+            for (i, alive) in chunk.iter().enumerate() {
+                let lane = i + 1;
+                let (w, b) = (lane / 64, lane % 64);
+                if alive.state[ff] {
+                    row[w] |= 1u64 << b;
+                } else {
+                    row[w] &= !(1u64 << b);
+                }
+            }
+            *words = row;
+        }
+    }
+
+    /// Sets every lane of the register to the same state (the
+    /// pattern-generation override of the random-state stimulation).
+    pub(crate) fn set_state_broadcast_bits(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.state.len(), "state width mismatch");
+        for (words, &bit) in self.state.iter_mut().zip(bits) {
+            *words = [broadcast(bit); W];
+        }
+    }
+
+    /// Reads the register state of one lane (stage 1 first).
+    pub(crate) fn lane_state(&self, lane: usize) -> Vec<bool> {
+        let (w, b) = (lane / 64, lane % 64);
+        self.state
+            .iter()
+            .map(|row| (row[w] >> b) & 1 == 1)
+            .collect()
+    }
+
+    /// The one-cycle transition memory of a faulty lane (`None` for
+    /// stateless injections).
+    pub(crate) fn transition_memory(&self, lane: usize) -> Option<bool> {
+        let idx = self.transition_patch(lane)?;
+        let (w, b) = (lane / 64, lane % 64);
+        Some((self.trans_prev[idx][w] >> b) & 1 == 1)
+    }
+
+    /// Seeds the one-cycle transition memory of a faulty lane (no-op for
+    /// stateless injections).
+    pub(crate) fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
+        if let Some(idx) = self.transition_patch(lane) {
+            let (w, b) = (lane / 64, lane % 64);
+            let mask = 1u64 << b;
+            for words in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
+                if bit {
+                    words[w] |= mask;
+                } else {
+                    words[w] &= !mask;
+                }
+            }
+        }
+    }
+
+    fn transition_patch(&self, lane: usize) -> Option<usize> {
+        assert!(
+            lane >= 1 && lane <= self.injections.len(),
+            "lane {lane} carries no injected fault"
+        );
+        match self.injections[lane - 1] {
+            Injection::DelayedTransition { net, .. } => Some(
+                self.patched
+                    .iter()
+                    .position(|g| g.net as usize == net)
+                    .expect("transition fault compiles to a patched gate"),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Whether the block needs the wide step set this cycle: true iff any
+    /// lane's register state differs from the good machine's state.
+    pub(crate) fn needs_wide(&self, good_pre_state: &[bool]) -> bool {
+        self.state.iter().zip(good_pre_state).any(|(row, &bit)| {
+            let good = broadcast(bit);
+            row.iter().any(|&w| w != good)
+        })
+    }
+
+    /// Evaluates the selected step set: seeds the frontier nets from the
+    /// good machine's values, then sweeps the member steps.
+    pub(crate) fn eval_cycle(&mut self, wide: bool, good_row: &[u64], inputs: &[u64]) {
+        let plan = self.netlist.plan();
+        assert_eq!(
+            inputs.len(),
+            plan.num_inputs(),
+            "primary input width mismatch"
+        );
+        let Self {
+            values,
+            state,
+            code,
+            patched,
+            pin_patches,
+            bridges,
+            trans_prev,
+            trans_next,
+            narrow,
+            wide: wide_set,
+            ..
+        } = self;
+        let set = if wide { wide_set } else { narrow };
+        let fanin = plan.fanin();
+        for &n in &set.frontier {
+            values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
+        }
+        for &s in &set.steps {
+            let id = s as usize;
+            let instr = code[id];
+            let value = if instr.op == Op::Patched {
+                let idx = instr.a as usize;
+                let (value, raw) = eval_patched(
+                    values,
+                    state,
+                    inputs,
+                    fanin,
+                    pin_patches,
+                    bridges,
+                    patched[idx],
+                    trans_prev[idx],
+                );
+                trans_next[idx] = raw;
+                value
+            } else {
+                eval_instr(values, state, inputs, fanin, instr)
+            };
+            values[id] = value;
+        }
+    }
+
+    /// The lanes whose observation points differ from the good machine
+    /// after the last [`DiffSimulator::eval_cycle`] (pass the same `wide`).
+    pub(crate) fn mismatch(&self, wide: bool, good_row: &[u64]) -> [u64; W] {
+        let set = if wide { &self.wide } else { &self.narrow };
+        let mut acc = [0u64; W];
+        for &net in &set.obs {
+            let good = broadcast(row_bit(good_row, net as usize));
+            let value = &self.values[net as usize];
+            for (a, &v) in acc.iter_mut().zip(value.iter()) {
+                *a |= v ^ good;
+            }
+        }
+        acc
+    }
+
+    /// The packed value of `net` after the last evaluation: the computed
+    /// lane words if the net was in the evaluated set, the broadcast good
+    /// value otherwise (every lane provably agrees with the reference).
+    pub(crate) fn net_value(&self, wide: bool, net: usize, good_row: &[u64]) -> [u64; W] {
+        let set = if wide { &self.wide } else { &self.narrow };
+        if row_bit(&set.member, net) {
+            self.values[net]
+        } else {
+            [broadcast(row_bit(good_row, net)); W]
+        }
+    }
+
+    /// Clocks the register: member D nets load their computed lane words,
+    /// the rest load the broadcast good value.  Also commits the one-cycle
+    /// transition memories.
+    pub(crate) fn clock_cycle(&mut self, wide: bool, good_row: &[u64]) {
+        let plan = self.netlist.plan();
+        let set = if wide { &self.wide } else { &self.narrow };
+        for (i, &d) in plan.flip_flop_inputs().iter().enumerate() {
+            self.state[i] = if set.ff_d_in[i] {
+                self.values[d as usize]
+            } else {
+                [broadcast(row_bit(good_row, d as usize)); W]
+            };
+        }
+        for (prev, next) in self.trans_prev.iter_mut().zip(&self.trans_next) {
+            *prev = *next;
+        }
+    }
+
+    /// One fused campaign cycle: pick narrow/wide from the divergence
+    /// check, evaluate, compare against the good machine, drop newly
+    /// detected lanes from the active mask, clock, clamp retired lanes back
+    /// onto the good state and re-narrow the cone union if at least half of
+    /// the block's faults have been retired since it was last built.
+    /// Returns the newly detected lanes.
+    pub(crate) fn step_detect(
+        &mut self,
+        good_row: &[u64],
+        good_pre_state: &[bool],
+        inputs: &[u64],
+    ) -> [u64; W] {
+        let wide = self.needs_wide(good_pre_state);
+        self.eval_cycle(wide, good_row, inputs);
+        let mut detected = self.mismatch(wide, good_row);
+        for (d, a) in detected.iter_mut().zip(self.active.iter_mut()) {
+            *d &= *a;
+            *a &= !*d;
+        }
+        self.clock_cycle(wide, good_row);
+        // Clamp every retired (and unused) lane back onto the good state so
+        // it stops forcing wide evaluation; the good next state is the
+        // broadcast of the good machine's D values.
+        let plan = self.netlist.plan();
+        let live = self.active;
+        for (i, &d) in plan.flip_flop_inputs().iter().enumerate() {
+            let good = broadcast(row_bit(good_row, d as usize));
+            for (s, &l) in self.state[i].iter_mut().zip(live.iter()) {
+                *s = (*s & l) | (good & !l);
+            }
+        }
+        let count = self.active_count();
+        if count > 0 && count * 2 <= self.narrow_basis {
+            self.rebuild_sets();
+        }
+        detected
+    }
+}
+
+#[inline(always)]
+fn eval_instr<const W: usize>(
+    values: &[[u64; W]],
+    state: &[[u64; W]],
+    inputs: &[u64],
+    fanin: &[u32],
+    Instr { op, a, b }: Instr,
+) -> [u64; W] {
+    match op {
+        Op::In => [inputs[a as usize]; W],
+        Op::Ff => state[a as usize],
+        Op::Const0 => [0; W],
+        Op::Const1 => [u64::MAX; W],
+        Op::Not => {
+            let x = values[a as usize];
+            std::array::from_fn(|k| !x[k])
+        }
+        Op::And2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] & y[k])
+        }
+        Op::Or2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] | y[k])
+        }
+        Op::Xor2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] ^ y[k])
+        }
+        Op::AndN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([u64::MAX; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] & v[k])
+            }),
+        Op::OrN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([0u64; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] | v[k])
+            }),
+        Op::XorN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([0u64; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] ^ v[k])
+            }),
+        Op::Patched => unreachable!("patched gates are dispatched by `eval_cycle`"),
+    }
+}
+
+/// Slow path for faulted gates: applies pin patches while folding the
+/// operands, then the transition, bridge and output-mask injections (the
+/// `W`-word generalisation of the packed engine's patched path).  Returns
+/// the injected value and the raw value feeding the transition memory.
+#[allow(clippy::too_many_arguments)]
+fn eval_patched<const W: usize>(
+    values: &[[u64; W]],
+    state: &[[u64; W]],
+    inputs: &[u64],
+    fanin: &[u32],
+    pin_patches: &[PinPatch<W>],
+    bridges: &[BridgePatch<W>],
+    gate: PatchedGate<W>,
+    prev: [u64; W],
+) -> ([u64; W], [u64; W]) {
+    let patches = &pin_patches[gate.patch_start as usize..gate.patch_end as usize];
+    let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
+    let operand = |pin: usize, net: u32| -> [u64; W] {
+        let mut w = values[net as usize];
+        for patch in patches {
+            if patch.pin == pin as u32 {
+                w = std::array::from_fn(|k| (w[k] & !patch.clear[k]) | patch.set[k]);
+            }
+        }
+        w
+    };
+    let raw: [u64; W] = match gate.op {
+        PlanOp::Input(k) => [inputs[k as usize]; W],
+        PlanOp::FlipFlop(k) => state[k as usize],
+        PlanOp::Const(c) => [broadcast(c); W],
+        PlanOp::And => ops
+            .iter()
+            .enumerate()
+            .fold([u64::MAX; W], |acc, (pin, &n)| {
+                let v = operand(pin, n);
+                std::array::from_fn(|k| acc[k] & v[k])
+            }),
+        PlanOp::Or => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
+            let v = operand(pin, n);
+            std::array::from_fn(|k| acc[k] | v[k])
+        }),
+        PlanOp::Xor => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
+            let v = operand(pin, n);
+            std::array::from_fn(|k| acc[k] ^ v[k])
+        }),
+        PlanOp::Not => {
+            let v = operand(0, ops[0]);
+            std::array::from_fn(|k| !v[k])
+        }
+    };
+    let mut value = raw;
+    let tmask: [u64; W] = std::array::from_fn(|k| gate.rise[k] | gate.fall[k]);
+    if tmask.iter().any(|&t| t != 0) {
+        value = std::array::from_fn(|k| {
+            (value[k] & !tmask[k])
+                | (raw[k] & prev[k] & gate.rise[k])
+                | ((raw[k] | prev[k]) & gate.fall[k])
+        });
+    }
+    for bridge in &bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
+        let aggressor = values[bridge.aggressor as usize];
+        value = std::array::from_fn(|k| {
+            let bmask = bridge.and_mask[k] | bridge.or_mask[k];
+            (value[k] & !bmask)
+                | (raw[k] & aggressor[k] & bridge.and_mask[k])
+                | ((raw[k] | aggressor[k]) & bridge.or_mask[k])
+        });
+    }
+    (
+        std::array::from_fn(|k| (value[k] & !gate.out_clear[k]) | gate.out_set[k]),
+        raw,
+    )
+}
+
+/// Differential engine of a coverage campaign: the good machine runs once
+/// per pattern on the scalar simulator, faults run in cone-restricted
+/// [`BLOCK_WORDS`]-word lane blocks, with the same segmented survivor
+/// compaction and compiled-table tail as the packed engine — the detection
+/// patterns are bit-for-bit those of the scalar/packed engines.
+pub(crate) fn differential_detection(
+    netlist: &Netlist,
+    faults: &[Injection],
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+) -> Vec<Option<usize>> {
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let total_cycles = stimulus.cycles;
+    let mut detection_pattern = vec![None; faults.len()];
+    if total_cycles == 0 || faults.is_empty() {
+        return detection_pattern;
+    }
+    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+
+    let init_state = stimulus.st(0)[..num_state].to_vec();
+    let mut reference_state = init_state.clone();
+    let mut alive: Vec<AliveFault> = faults
+        .iter()
+        .enumerate()
+        .map(|(index, &fault)| AliveFault {
+            index,
+            fault,
+            state: init_state.clone(),
+            memory: match fault {
+                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
+                _ => None,
+            },
+        })
+        .collect();
+
+    let mut from = 0usize;
+    let mut segment_len = 64usize;
+    while from < total_cycles && !alive.is_empty() {
+        // The same compiled-table tail as the packed engine, under the same
+        // conditions, so the two engines stay bit-for-bit interchangeable.
+        if alive.len() <= PACKED_FAULT_LANES
+            && LaneTables::applicable(netlist, &alive, alive.len() + 1, total_cycles - from)
+        {
+            table_tail(
+                netlist,
+                &alive,
+                &reference_state,
+                stimulus,
+                stimulation,
+                from,
+                &mut detection_pattern,
+            );
+            return detection_pattern;
+        }
+        let to = (from + segment_len).min(total_cycles);
+        segment_len = segment_len.saturating_mul(2);
+        let trace = GoodTrace::record(netlist, stimulus, stimulation, &reference_state, from, to);
+        let mut survivors: Vec<AliveFault> = Vec::new();
+        for chunk in alive.chunks(BLOCK_FAULT_LANES) {
+            let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+            let mut sim = DiffSimulator::<BLOCK_WORDS>::with_injections(netlist, &injections);
+            sim.set_state_lanes(&reference_state, chunk);
+            for (i, alive_fault) in chunk.iter().enumerate() {
+                if let Some(bit) = alive_fault.memory {
+                    sim.seed_transition_memory(i + 1, bit);
+                }
+            }
+            for cycle in from..to {
+                if sim.active_is_empty() {
+                    break;
+                }
+                if stimulation == StateStimulation::RandomState {
+                    sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
+                }
+                let row = cycle * num_inputs;
+                let detected = sim.step_detect(
+                    trace.row(cycle),
+                    trace.pre_state(cycle),
+                    &pi_words[row..row + num_inputs],
+                );
+                for (w, &word) in detected.iter().enumerate() {
+                    let mut lanes = word;
+                    while lanes != 0 {
+                        let lane = w * 64 + lanes.trailing_zeros() as usize;
+                        detection_pattern[chunk[lane - 1].index] = Some(cycle);
+                        lanes &= lanes - 1;
+                    }
+                }
+            }
+            let active = sim.active();
+            for (w, &word) in active.iter().enumerate() {
+                let mut lanes = word;
+                while lanes != 0 {
+                    let lane = w * 64 + lanes.trailing_zeros() as usize;
+                    lanes &= lanes - 1;
+                    let alive_fault = &chunk[lane - 1];
+                    survivors.push(AliveFault {
+                        index: alive_fault.index,
+                        fault: alive_fault.fault,
+                        state: sim.lane_state(lane),
+                        memory: sim.transition_memory(lane),
+                    });
+                }
+            }
+        }
+        reference_state = trace.end_state().to_vec();
+        alive = survivors;
+        from = to;
+    }
+    detection_pattern
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{run_injection_campaign, run_self_test, SelfTestConfig, SimEngine};
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_bist::BistStructure;
+    use stfsm_encode::StateEncoding;
+    use stfsm_faults::all_models;
+    use stfsm_fsm::suite::{fig3_example, modulo12_exact};
+    use stfsm_lfsr::{primitive_polynomial, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn pst_netlist() -> Netlist {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let poly = primitive_polynomial(encoding.num_bits()).unwrap();
+        let transform = RegisterTransform::Misr(Misr::new(poly).unwrap());
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("pst", &cover, &lay, BistStructure::Pst, Some(poly)).unwrap()
+    }
+
+    fn dff_netlist() -> Netlist {
+        let fsm = fig3_example().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let transform = RegisterTransform::Dff;
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("dff", &cover, &lay, BistStructure::Dff, None).unwrap()
+    }
+
+    #[test]
+    fn lane_block_geometry() {
+        assert_eq!(LaneBlock::<1>::LANES, 64);
+        assert_eq!(LaneBlock::<1>::FAULT_LANES, 63);
+        assert_eq!(LaneBlock::<4>::LANES, 256);
+        assert_eq!(LaneBlock::<4>::FAULT_LANES, 255);
+        assert_eq!(LaneBlock::<4>::WORDS, 4);
+        assert_eq!(BLOCK_FAULT_LANES, 255);
+    }
+
+    /// The narrow set must contain every active fault site, the frontier
+    /// must be disjoint from the members, and the wide set must be a
+    /// superset of the narrow one.
+    #[test]
+    fn step_sets_are_consistent() {
+        let netlist = pst_netlist();
+        let faults: Vec<Injection> = crate::faults::FaultList::collapsed(&netlist)
+            .faults()
+            .iter()
+            .map(|&f| f.into())
+            .take(100)
+            .collect();
+        let sim = DiffSimulator::<4>::with_injections(&netlist, &faults);
+        for injection in &faults {
+            assert!(
+                row_bit(&sim.narrow.member, injection.patched_gate()),
+                "site of {injection} missing from the narrow set"
+            );
+        }
+        for &f in &sim.narrow.frontier {
+            assert!(!row_bit(&sim.narrow.member, f as usize));
+        }
+        for (w, &word) in sim.narrow.member.iter().enumerate() {
+            assert_eq!(word & !sim.wide.member[w], 0, "narrow ⊄ wide at word {w}");
+        }
+        // Steps are listed in topological (ascending net) order.
+        assert!(sim.narrow.steps.windows(2).all(|p| p[0] < p[1]));
+        assert!(sim.wide.steps.windows(2).all(|p| p[0] < p[1]));
+        // A single-fault block restricts to that fault's cone — strictly
+        // fewer steps than the full plan: the whole point of the engine.
+        let single = DiffSimulator::<4>::with_injections(&netlist, &faults[..1]);
+        assert_eq!(
+            single.narrow.steps.len(),
+            netlist
+                .plan()
+                .fanout_cone(faults[0].patched_gate())
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum::<usize>()
+        );
+        assert!(single.narrow.steps.len() < netlist.gates().len());
+    }
+
+    /// The differential campaign must reproduce the packed campaign
+    /// bit-for-bit on the suite machines, for stuck-at self-tests and for
+    /// every fault model (including the stateful transition faults whose
+    /// machines diverge for many cycles under system-state stimulation).
+    #[test]
+    fn differential_matches_packed_on_fixed_machines() {
+        for netlist in [pst_netlist(), dff_netlist()] {
+            let base = SelfTestConfig {
+                max_patterns: 768,
+                ..Default::default()
+            };
+            let packed = run_self_test(
+                &netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Packed,
+                    ..base.clone()
+                },
+            );
+            let differential = run_self_test(
+                &netlist,
+                &SelfTestConfig {
+                    engine: SimEngine::Differential,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(packed, differential, "stuck-at on {}", netlist.name());
+            for model in all_models() {
+                let faults = model.fault_list(&netlist, true);
+                let packed = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Packed,
+                        ..base.clone()
+                    },
+                );
+                let differential = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Differential,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    packed,
+                    differential,
+                    "{} on {}",
+                    model.name(),
+                    netlist.name()
+                );
+            }
+        }
+    }
+
+    /// A mixed-model fault universe exceeding one 255-lane block exercises
+    /// stuck-pin, transition and bridge patches across block boundaries.
+    #[test]
+    fn differential_handles_multi_block_fault_lists() {
+        let netlist = pst_netlist();
+        let faults: Vec<Injection> = all_models()
+            .iter()
+            .flat_map(|m| m.fault_list(&netlist, false))
+            .collect();
+        assert!(
+            faults.len() > BLOCK_FAULT_LANES,
+            "need more than one block, got {} faults",
+            faults.len()
+        );
+        let base = SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        };
+        let packed = run_injection_campaign(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                engine: SimEngine::Packed,
+                ..base.clone()
+            },
+        );
+        let differential = run_injection_campaign(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                engine: SimEngine::Differential,
+                ..base
+            },
+        );
+        assert_eq!(packed, differential);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_faults_panics() {
+        let netlist = dff_netlist();
+        let faults = vec![
+            Injection::StuckOutput {
+                net: 0,
+                value: true
+            };
+            LaneBlock::<1>::FAULT_LANES + 1
+        ];
+        let _ = DiffSimulator::<1>::with_injections(&netlist, &faults);
+    }
+}

@@ -14,6 +14,12 @@
 //!   `u64` runs the fault-free reference, lanes 1–63 each run one injected
 //!   fault of *any* model, and mismatch detection/fault dropping are
 //!   word-wide XOR/mask operations,
+//! * [`differential`] — the cone-restricted differential engine: the good
+//!   machine is simulated once per pattern, faults run in multi-word lane
+//!   blocks (255 fault lanes + the shared good reference) that evaluate
+//!   only the plan steps inside the union of their active faults' fanout
+//!   cones, widening to cover the register cones only while a lane's state
+//!   actually diverges from the reference,
 //! * [`faults`] — compatibility re-export of the stuck-at fault universe,
 //!   which now lives in the `stfsm-faults` crate next to the
 //!   transition-delay and bridging models; both simulators accept any
@@ -26,14 +32,23 @@
 //!   stimulation of the parallel self-test (PST).  Campaigns batch the
 //!   fault list into chunks of 63 and run on the packed engine by default
 //!   ([`coverage::SimEngine`]); [`coverage::run_injection_campaign`] drives
-//!   any fault model's list, the scalar engine produces bit-for-bit
-//!   identical results as the differential-testing reference, and the
-//!   threaded engine shards the fault list across cores with a
-//!   deterministic merge (see `examples/packed_coverage.rs` and
+//!   any fault model's list (see `examples/packed_coverage.rs` and
 //!   `examples/fault_models.rs` at the repository root),
 //! * [`dictionary`] — fault dictionaries for diagnosis: per-fault
 //!   first-detect indices plus full-campaign MISR signatures, computed
-//!   word-parallel across all 64 lanes.
+//!   word-parallel across all lanes of the selected engine.
+//!
+//! # The engine matrix
+//!
+//! Four engines drive campaigns, all bit-for-bit interchangeable
+//! ([`coverage::SimEngine`]):
+//!
+//! | Engine | Technique | When it wins |
+//! |---|---|---|
+//! | `Scalar` | one fault per boolean sweep | debugging a single fault; the differential-testing reference every other engine is checked against |
+//! | `Packed` | 63 faults + reference per `u64` word | small fault lists and tiny machines, where the cone bookkeeping of the differential engine cannot pay for itself |
+//! | `Differential` | good machine once per pattern, 255 faults per 4-word lane block, evaluation restricted to the active faults' fanout cones | large netlists and long campaigns — the bigger the netlist relative to the average fault cone, the bigger the win |
+//! | `Threaded` | fault list sharded over differential workers | multi-core hosts with fault lists spanning several shards; deterministic merge keeps results identical |
 //!
 //! # Example
 //!
@@ -61,6 +76,7 @@
 
 pub mod coverage;
 pub mod dictionary;
+pub mod differential;
 pub mod faults;
 pub mod packed;
 pub mod patterns;
@@ -70,6 +86,7 @@ pub use coverage::{
     run_injection_campaign, run_self_test, CoverageResult, SelfTestConfig, SimEngine,
 };
 pub use dictionary::{build_fault_dictionary, DictionaryEntry, FaultDictionary};
+pub use differential::LaneBlock;
 pub use faults::{Fault, FaultList, FaultSite, Injection};
 pub use packed::PackedSimulator;
 pub use sim::Simulator;

@@ -1,8 +1,10 @@
-//! Randomized differential tests: the 64-way packed and the sharded
-//! multi-threaded fault-simulation engines must produce detection patterns
-//! bit-for-bit identical to the scalar engine on randomly generated
-//! controllers, across fault models, structures, seeds and campaign
-//! configurations.
+//! Randomized differential tests: the 64-way packed, the cone-restricted
+//! differential and the sharded multi-threaded fault-simulation engines
+//! must produce detection patterns bit-for-bit identical to the scalar
+//! engine on randomly generated controllers, across fault models,
+//! structures, seeds and campaign configurations — and the fault
+//! dictionaries built on the differential block engine must equal the
+//! classic packed ones.
 
 use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
 use stfsm_bist::netlist::{build_netlist, Netlist};
@@ -13,6 +15,7 @@ use stfsm_fsm::generate::small_random;
 use stfsm_lfsr::{primitive_polynomial, Misr};
 use stfsm_logic::espresso::minimize;
 use stfsm_testsim::coverage::{run_injection_campaign, run_self_test, SelfTestConfig, SimEngine};
+use stfsm_testsim::dictionary::build_fault_dictionary;
 
 fn synthesize(fsm: &stfsm_fsm::Fsm, structure: BistStructure) -> Netlist {
     let encoding = StateEncoding::natural(fsm).expect("encodable");
@@ -112,6 +115,21 @@ fn all_engines_agree_for_every_model_on_random_controllers() {
                     model.name(),
                     fsm.name()
                 );
+                let differential = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Differential,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    scalar,
+                    differential,
+                    "scalar vs differential: seed {seed}, {} faults, {structure} on {}",
+                    model.name(),
+                    fsm.name()
+                );
                 for threads in [2, 3, 64] {
                     let threaded = run_injection_campaign(
                         &netlist,
@@ -154,6 +172,112 @@ fn threaded_stuck_at_self_test_matches_packed() {
             },
         );
         assert_eq!(packed, threaded, "seed {seed}");
+    }
+}
+
+/// Under system-state stimulation (PST), an undetected fault's register
+/// state can diverge from the reference for many cycles — sometimes for the
+/// entire campaign — before (ever) being observed.  The differential engine
+/// must widen those lane blocks to the register cones and still reproduce
+/// the packed engine's full result (detection pattern indices and coverage
+/// curve) over long campaigns.
+#[test]
+fn differential_matches_packed_through_long_divergence() {
+    for seed in 0..4u64 {
+        let fsm = small_random(700 + seed);
+        let netlist = synthesize(&fsm, BistStructure::Pst);
+        for model in all_models() {
+            let faults = model.fault_list(&netlist, true);
+            let base = SelfTestConfig {
+                max_patterns: 1024,
+                seed: 0xD1_FF00 ^ seed,
+                ..Default::default()
+            };
+            let packed = run_injection_campaign(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    engine: SimEngine::Packed,
+                    ..base.clone()
+                },
+            );
+            let differential = run_injection_campaign(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    engine: SimEngine::Differential,
+                    ..base
+                },
+            );
+            assert_eq!(
+                packed.detection_pattern,
+                differential.detection_pattern,
+                "detection indices: seed {seed}, {} faults on {}",
+                model.name(),
+                fsm.name()
+            );
+            assert_eq!(
+                packed.coverage_curve,
+                differential.coverage_curve,
+                "coverage curve: seed {seed} on {}",
+                fsm.name()
+            );
+            assert_eq!(packed, differential, "seed {seed} on {}", fsm.name());
+        }
+    }
+}
+
+/// Fault dictionaries built on the differential block engine must be
+/// bit-for-bit those of the classic packed pass — same first-detect
+/// indices, same MISR signatures, same reference — on random controllers
+/// for every model and structure.
+#[test]
+fn differential_dictionary_matches_packed_on_random_controllers() {
+    for seed in 0..4u64 {
+        let fsm = small_random(800 + seed);
+        for structure in [BistStructure::Dff, BistStructure::Pst] {
+            let netlist = synthesize(&fsm, structure);
+            for model in all_models() {
+                let faults = model.fault_list(&netlist, true);
+                let base = SelfTestConfig {
+                    max_patterns: 160 + 32 * (seed as usize % 3),
+                    seed: 0xD1C7 ^ seed,
+                    ..Default::default()
+                };
+                let packed = build_fault_dictionary(&netlist, &faults, &base);
+                let differential = build_fault_dictionary(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Differential,
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    packed,
+                    differential,
+                    "dictionary: seed {seed}, {} faults, {structure} on {}",
+                    model.name(),
+                    fsm.name()
+                );
+                // The dictionary's first-detect column equals the campaign's
+                // detection pattern on the differential engine too.
+                let campaign = run_injection_campaign(
+                    &netlist,
+                    &faults,
+                    &SelfTestConfig {
+                        engine: SimEngine::Differential,
+                        ..base
+                    },
+                );
+                let first: Vec<Option<usize>> = differential
+                    .entries
+                    .iter()
+                    .map(|e| e.first_detect)
+                    .collect();
+                assert_eq!(first, campaign.detection_pattern);
+            }
+        }
     }
 }
 

@@ -1,27 +1,33 @@
-//! 64-way packed fault simulation: lane layout, fault chunking, and when
-//! the scalar engine is still the right tool.
+//! The fault-simulation engine matrix: selecting Scalar, Packed,
+//! Differential or Threaded through the public [`SelfTestConfig`] API, and
+//! when each engine wins.
 //!
 //! ```text
 //! cargo run --release --example packed_coverage
 //! ```
 //!
-//! The packed engine treats one `u64` as 64 independent simulated machines
-//! ("lanes").  Lane 0 always runs the fault-free reference; each of the
-//! remaining 63 lanes carries one injected stuck-at fault.  Every AND/OR/XOR
-//! of the netlist is then evaluated once per *word* instead of once per
-//! *machine*, and comparing a lane against the reference is a single XOR
-//! with the broadcast of lane 0's bit.
+//! Every engine runs the *identical* campaign — same stimulus, same fault
+//! list, same detection semantics — so they are freely interchangeable:
 //!
-//! A full campaign therefore splits the collapsed fault list into chunks of
-//! 63, packs the shared stimulus into broadcast words once, and retires
-//! ("drops") each lane at its first observed mismatch.  The scalar engine
-//! remains available (`SimEngine::Scalar`) as the differential-testing
-//! reference — the two engines must produce bit-for-bit identical results —
-//! and for stepping through a single fault when debugging a netlist.
+//! * `Scalar` simulates one fault at a time on the boolean simulator; it is
+//!   the differential-testing reference and the tool for stepping through a
+//!   single fault.
+//! * `Packed` (the default) treats one `u64` as 64 machines: lane 0 runs
+//!   the fault-free reference, lanes 1–63 carry one injected fault each, so
+//!   a chunk of 63 faults advances per word operation.
+//! * `Differential` simulates the good machine once per pattern and packs
+//!   255 faults into 4-word lane blocks that evaluate only the plan steps
+//!   inside their faults' fanout cones — the bigger the netlist relative to
+//!   the average cone, the bigger the win.
+//! * `Threaded` shards the fault list over differential workers with a
+//!   deterministic merge; it needs a multi-core host and a fault list that
+//!   spans several shards to pay off.
+//!
+//! Engine selection is just a field of [`SelfTestConfig`]; no simulator is
+//! ever constructed by hand.
 
 use std::time::Instant;
-use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
-use stfsm::testsim::packed::FAULT_LANES;
+use stfsm::testsim::coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
 use stfsm::{BistStructure, SynthesisFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,32 +38,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm)?;
     let netlist = &result.netlist;
 
-    let config = SelfTestConfig {
-        max_patterns: 4096,
-        ..SelfTestConfig::default()
-    };
+    let engines = [
+        ("scalar", SimEngine::Scalar),
+        ("packed", SimEngine::Packed),
+        ("differential", SimEngine::Differential),
+        ("threaded", SimEngine::Threaded),
+    ];
 
-    // Packed engine (the default): chunks of 63 faults per machine word.
-    let start = Instant::now();
-    let packed = run_self_test(netlist, &config);
-    let packed_time = start.elapsed();
-
-    // Scalar reference engine: one fault at a time.
-    let start = Instant::now();
-    let scalar = run_self_test(
-        netlist,
-        &SelfTestConfig {
-            engine: SimEngine::Scalar,
-            ..config.clone()
-        },
-    );
-    let scalar_time = start.elapsed();
-
-    // The engines are interchangeable — identical detection patterns,
-    // coverage curve and totals.
-    assert_eq!(packed, scalar, "engines must agree bit for bit");
-
-    let chunks = packed.total_faults.div_ceil(FAULT_LANES);
     println!(
         "machine            : {} ({} states)",
         fsm.name(),
@@ -68,20 +55,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         netlist.structure(),
         netlist.gates().len()
     );
+
+    let mut reference: Option<CoverageResult> = None;
+    for (name, engine) in engines {
+        let config = SelfTestConfig {
+            max_patterns: 4096,
+            engine,
+            ..SelfTestConfig::default()
+        };
+        let start = Instant::now();
+        let outcome = run_self_test(netlist, &config);
+        let elapsed = start.elapsed();
+        println!(
+            "engine {name:<12}: {elapsed:>10.3?}  ({} / {} faults detected, {:.1} % coverage)",
+            outcome.detected_faults,
+            outcome.total_faults,
+            outcome.fault_coverage() * 100.0
+        );
+        // The engines are interchangeable — identical detection patterns,
+        // coverage curve and totals.
+        match &reference {
+            None => reference = Some(outcome),
+            Some(reference) => {
+                assert_eq!(reference, &outcome, "engines must agree bit for bit")
+            }
+        }
+    }
+    let reference = reference.expect("at least one engine ran");
+    println!("patterns applied   : {}", reference.patterns_applied);
     println!(
-        "faults simulated   : {} (in {chunks} chunks of <= {FAULT_LANES})",
-        packed.total_faults
-    );
-    println!("patterns applied   : {}", packed.patterns_applied);
-    println!(
-        "fault coverage     : {:.1} %",
-        packed.fault_coverage() * 100.0
-    );
-    println!("scalar engine      : {scalar_time:?}");
-    println!("packed engine      : {packed_time:?}");
-    println!(
-        "speedup            : {:.1}x",
-        scalar_time.as_secs_f64() / packed_time.as_secs_f64().max(1e-9)
+        "all four engines returned identical results ({} detections)",
+        reference.detected_faults
     );
     Ok(())
 }
