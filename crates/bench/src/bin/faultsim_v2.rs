@@ -7,7 +7,7 @@
 //! cargo run --release -p stfsm-bench --bin faultsim_v2
 //! ```
 //!
-//! Verifies two invariants while it measures:
+//! Verifies three invariants while it measures:
 //!
 //! * the differential engine produces **bit-for-bit identical** detection
 //!   patterns to the packed engine on every machine of the suite;
@@ -15,14 +15,21 @@
 //!   engine beats the PR 1 packed engine by at least 2x — enforced only
 //!   when the host actually has ≥ 4 cores (the same shared-CI discipline
 //!   as the `faultmodels` acceptance gate), and re-measured once with more
-//!   runs before failing so a transiently loaded host does not flake.
+//!   runs before failing so a transiently loaded host does not flake;
+//! * the unified `Campaign` API adds **no measurable overhead** over the
+//!   legacy one-shot entry point it wraps: identical results on the
+//!   largest machine, and campaign timing within 5 % of the legacy path
+//!   (same re-measure-before-failing discipline).
 //!
 //! Writes the measurements to `BENCH_fault_sim_v2.json` in the working
 //! directory.
 
 use stfsm::json::{JsonObject, RawJson, ToJson};
-use stfsm::report::EngineTimingRow;
-use stfsm::testsim::coverage::{run_self_test, SelfTestConfig, SimEngine};
+use stfsm::report::{CampaignTimingRow, EngineTimingRow};
+use stfsm::testsim::campaign::{Campaign, CoverageObserver};
+use stfsm::testsim::coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
+use stfsm::testsim::faults::FaultList;
+use stfsm::testsim::Injection;
 use stfsm::{BistStructure, SynthesisFlow};
 use stfsm_bench::best_of;
 
@@ -34,6 +41,11 @@ const LARGE_RUNS: u32 = 3;
 const RETRY_RUNS: u32 = 5;
 /// The acceptance claim on the largest machine.
 const REQUIRED_SPEEDUP: f64 = 2.0;
+/// The zero-overhead claim of the campaign redesign: campaign-API timing
+/// within this fraction of the legacy path it wraps.
+const MAX_CAMPAIGN_OVERHEAD: f64 = 0.05;
+/// Best-of runs for the campaign-vs-legacy comparison.
+const CAMPAIGN_RUNS: u32 = 3;
 
 fn engine_config(engine: SimEngine, max_patterns: usize) -> SelfTestConfig {
     SelfTestConfig {
@@ -142,6 +154,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // ---- campaign API vs legacy path on the largest machine --------------
+    // The redesign's zero-overhead claim: driving the identical stuck-at
+    // campaign through the `Campaign` builder + `CoverageObserver` must
+    // cost the same as the legacy `run_self_test` wrapper (now itself a
+    // thin shim over the campaign), within 5 %.
+    let legacy_config = engine_config(SimEngine::Packed, SUITE_PATTERNS);
+    let run_legacy = || run_self_test(&netlist, &legacy_config);
+    let run_campaign = || -> CoverageResult {
+        // Same work as the legacy path, including fault enumeration.
+        let faults: Vec<Injection> = FaultList::collapsed(&netlist)
+            .faults()
+            .iter()
+            .map(|&f| f.into())
+            .collect();
+        let mut coverage = CoverageObserver::new();
+        Campaign::new(&netlist)
+            .config(legacy_config.campaign())
+            .faults("stuck_at", faults)
+            .observe(&mut coverage)
+            .run();
+        coverage
+            .into_results()
+            .pop()
+            .expect("one section yields one result")
+    };
+    let (legacy_result, mut legacy_ns) = best_of(CAMPAIGN_RUNS, run_legacy);
+    let (campaign_result, mut campaign_ns) = best_of(CAMPAIGN_RUNS, run_campaign);
+    assert_eq!(
+        legacy_result, campaign_result,
+        "campaign API diverges from the legacy path on {large_machine}"
+    );
+    if campaign_ns > (1.0 + MAX_CAMPAIGN_OVERHEAD) * legacy_ns {
+        // Re-measure once with more runs before concluding anything on a
+        // transiently loaded host.
+        legacy_ns = legacy_ns.min(best_of(RETRY_RUNS, run_legacy).1);
+        campaign_ns = campaign_ns.min(best_of(RETRY_RUNS, run_campaign).1);
+    }
+    let overhead_pct = (campaign_ns - legacy_ns) / legacy_ns * 100.0;
+    let within_5_percent = campaign_ns <= (1.0 + MAX_CAMPAIGN_OVERHEAD) * legacy_ns;
+    println!(
+        "{large_machine}: campaign API {:.3} ms vs legacy {:.3} ms ({overhead_pct:+.2} % overhead)",
+        campaign_ns / 1e6,
+        legacy_ns / 1e6
+    );
+    if enforced {
+        assert!(
+            within_5_percent,
+            "campaign API ({:.3} ms) must stay within {:.0} % of the legacy path ({:.3} ms) \
+             on {large_machine}",
+            campaign_ns / 1e6,
+            MAX_CAMPAIGN_OVERHEAD * 100.0,
+            legacy_ns / 1e6
+        );
+    }
+    let campaign_row = CampaignTimingRow {
+        benchmark: large_machine.clone(),
+        total_faults: legacy_result.total_faults,
+        max_patterns: SUITE_PATTERNS,
+        legacy_ms: legacy_ns / 1e6,
+        campaign_ms: campaign_ns / 1e6,
+        overhead_pct,
+        results_identical: true,
+        within_5_percent,
+    };
+
     // ---- artefact --------------------------------------------------------
     let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
     let all_identical = rows.iter().all(|r| r.detection_patterns_identical);
@@ -165,6 +242,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("max_patterns", SUITE_PATTERNS)
         .field("rows", row_json)
         .field("largest", RawJson(large.finish()))
+        .field("campaign_api", RawJson(campaign_row.to_json()))
         .field("detection_patterns_identical", all_identical);
     let json = report.finish();
     std::fs::write("BENCH_fault_sim_v2.json", format!("{json}\n"))?;

@@ -235,7 +235,7 @@ impl PlanStep {
 /// the combinational logic.  The plan precomputes everything that sweep
 /// needs — opcodes, dense operand indices, the D nets of the register and
 /// the observation points — once per netlist instead of per gate per cycle.
-/// Both the scalar [`stfsm-testsim`] simulator and the 64-way packed fault
+/// Both the scalar `stfsm-testsim` simulator and the 64-way packed fault
 /// simulator execute this plan.
 ///
 /// The plan also carries **levelized structural metadata**, computed once at

@@ -256,6 +256,28 @@ pub struct SynthesisResult {
 }
 
 impl SynthesisResult {
+    /// A fault-simulation [`Campaign`](stfsm_testsim::campaign::Campaign)
+    /// over this result's netlist — the bridge from synthesis straight into
+    /// the self-test flow: add fault-model sections, observers
+    /// (coverage / dictionary / diagnosis) and run.
+    ///
+    /// ```
+    /// use stfsm::{BistStructure, SynthesisFlow};
+    /// use stfsm::fsm::suite::fig3_example;
+    /// use stfsm::testsim::campaign::CoverageObserver;
+    /// use stfsm::faults::StuckAt;
+    ///
+    /// let fsm = fig3_example()?;
+    /// let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm)?;
+    /// let mut coverage = CoverageObserver::new();
+    /// result.campaign().model(&StuckAt).patterns(256).observe(&mut coverage).run();
+    /// assert!(coverage.result().expect("one section").fault_coverage() > 0.5);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn campaign(&self) -> stfsm_testsim::campaign::Campaign<'_, '_> {
+        stfsm_testsim::campaign::Campaign::new(&self.netlist)
+    }
+
     /// Number of product terms of the combinational logic (the paper's main
     /// area metric).
     pub fn product_terms(&self) -> usize {

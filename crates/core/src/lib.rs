@@ -22,11 +22,21 @@
 //! The whole pipeline is available through [`SynthesisFlow`]; the individual
 //! building blocks live in the re-exported substrate crates
 //! ([`fsm`], [`lfsr`], [`logic`], [`encode`], [`bist`], [`testsim`]).
+//! Fault simulation and diagnosis of a synthesized result run through the
+//! unified [`Campaign`] builder
+//! ([`SynthesisResult::campaign`](crate::SynthesisResult::campaign)): one
+//! simulation pass, composable observers ([`CoverageObserver`],
+//! [`DictionaryObserver`], [`DiagnosisObserver`]).  The one-shot functions
+//! `testsim::run_self_test`, `testsim::run_injection_campaign` and
+//! `testsim::build_fault_dictionary` predate the campaign API and remain
+//! only as thin wrappers (bit-for-bit identical results), soft-deprecated
+//! in their docs in favour of [`Campaign`].
 //!
 //! # Quick start
 //!
 //! ```
-//! use stfsm::{SynthesisFlow, BistStructure};
+//! use stfsm::{SynthesisFlow, BistStructure, CoverageObserver};
+//! use stfsm::faults::StuckAt;
 //! use stfsm::fsm::suite::fig3_example;
 //!
 //! let fsm = fig3_example()?;
@@ -34,6 +44,10 @@
 //! println!("{} product terms, {} literals",
 //!          result.metrics.product_terms, result.metrics.factored_literals);
 //! assert!(result.metrics.product_terms >= 1);
+//! // From synthesis straight into the self-test campaign:
+//! let mut coverage = CoverageObserver::new();
+//! result.campaign().model(&StuckAt).patterns(256).observe(&mut coverage).run();
+//! assert!(coverage.result().expect("one section").fault_coverage() > 0.5);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -50,6 +64,11 @@ pub use error::{Error, Result};
 pub use flow::{AssignmentMethod, SynthesisFlow, SynthesisResult};
 
 pub use stfsm_bist::BistStructure;
+pub use stfsm_testsim::campaign::{
+    Campaign, CampaignObserver, CampaignOutcome, CoverageObserver, DictionaryObserver,
+};
+pub use stfsm_testsim::coverage::{CampaignConfig, SimEngine};
+pub use stfsm_testsim::diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};
 
 /// Re-export of the BIST structures and netlists (`stfsm-bist`).
 pub use stfsm_bist as bist;

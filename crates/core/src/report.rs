@@ -298,6 +298,45 @@ impl ToJson for EngineTimingRow {
     }
 }
 
+/// The campaign-API overhead row of the engine benchmark: the same
+/// campaign driven through the legacy one-shot entry point and through the
+/// unified `Campaign` builder, asserting the redesign costs nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignTimingRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Faults simulated (collapsed stuck-at list).
+    pub total_faults: usize,
+    /// Patterns applied by both paths.
+    pub max_patterns: usize,
+    /// Wall-clock milliseconds of the legacy entry point (best of N).
+    pub legacy_ms: f64,
+    /// Wall-clock milliseconds of the campaign API (best of N).
+    pub campaign_ms: f64,
+    /// `(campaign_ms - legacy_ms) / legacy_ms * 100`.
+    pub overhead_pct: f64,
+    /// Whether both paths produced identical coverage results (asserted by
+    /// the benchmark before the row is emitted).
+    pub results_identical: bool,
+    /// Whether the ≤ 5 % overhead claim held on this host.
+    pub within_5_percent: bool,
+}
+
+impl ToJson for CampaignTimingRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("total_faults", self.total_faults)
+            .field("max_patterns", self.max_patterns)
+            .field("legacy_ms", self.legacy_ms)
+            .field("campaign_ms", self.campaign_ms)
+            .field("overhead_pct", self.overhead_pct)
+            .field("results_identical", self.results_identical)
+            .field("within_5_percent", self.within_5_percent);
+        out.push_str(&obj.finish());
+    }
+}
+
 /// One fault's entry in a diagnosis report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DictionaryEntryReport {
@@ -584,11 +623,13 @@ mod tests {
     fn dictionary_report_serializes_and_truncates() {
         use stfsm_testsim::dictionary::{DictionaryEntry, FaultDictionary};
         use stfsm_testsim::Injection;
-        let dictionary = FaultDictionary {
-            signature_bits: 5,
-            reference_signature: 0b10110,
-            patterns_applied: 128,
-            entries: vec![
+        let dictionary = FaultDictionary::new(
+            5,
+            0b10110,
+            [0b00001, 0b01010, 0b10110],
+            [32, 64, 96],
+            128,
+            vec![
                 DictionaryEntry {
                     fault: Injection::StuckOutput {
                         net: 3,
@@ -596,6 +637,7 @@ mod tests {
                     },
                     first_detect: Some(2),
                     signature: 0b00111,
+                    segments: [0b00010, 0b01100, 0b00111],
                 },
                 DictionaryEntry {
                     fault: Injection::DelayedTransition {
@@ -604,6 +646,7 @@ mod tests {
                     },
                     first_detect: Some(9),
                     signature: 0b10110,
+                    segments: [0b00001, 0b01110, 0b10110],
                 },
                 DictionaryEntry {
                     fault: Injection::Bridge {
@@ -613,9 +656,10 @@ mod tests {
                     },
                     first_detect: None,
                     signature: 0b10110,
+                    segments: [0b00001, 0b01010, 0b10110],
                 },
             ],
-        };
+        );
         let report = DictionaryReport::from_dictionary("mod12", "mixed", &dictionary, 2);
         // Truncation keeps the first two rows but the aliased count covers
         // the whole dictionary (entry 1 aliases, entry 2 was never

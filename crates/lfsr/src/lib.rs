@@ -44,7 +44,7 @@ pub use bitvec::{broadcast, lane, pack_lanes, transpose64, unpack_lanes, Gf2Vec}
 pub use error::{Error, Result};
 pub use lfsr_reg::{Lfsr, LfsrKind};
 pub use matrix::Gf2Matrix;
-pub use misr::{Misr, SignatureRun};
+pub use misr::{Misr, PlaneSymbol, SignatureRun};
 pub use poly::{primitive_polynomial, primitive_polynomials, Gf2Poly};
 
 /// The maximum register width (in bits) supported by this crate.

@@ -172,6 +172,81 @@ impl Misr {
     }
 }
 
+/// A symbol over which the bit-plane form of the MISR recurrence runs.
+///
+/// [`Misr::step_planes`] represents the register *transposed*: plane `i`
+/// carries stage `i + 1` of many registers at once, one symbol per plane.
+/// Any type with a GF(2) addition works as a symbol — `bool` runs a single
+/// register (and must agree with [`Misr::step`] bit for bit), `u64` runs 64
+/// registers lane-parallel, and `[u64; N]` runs `64 * N` registers, which is
+/// how the fault-dictionary passes of `stfsm-testsim` compact the signatures
+/// of every simulated machine in one sweep.
+pub trait PlaneSymbol: Copy {
+    /// The additive identity (the all-zero symbol).
+    const ZERO: Self;
+
+    /// GF(2) addition: the lane-wise XOR of two symbols.
+    #[must_use]
+    fn xor(self, other: Self) -> Self;
+}
+
+impl PlaneSymbol for bool {
+    const ZERO: Self = false;
+
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+impl PlaneSymbol for u64 {
+    const ZERO: Self = 0;
+
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+}
+
+impl<const N: usize> PlaneSymbol for [u64; N] {
+    const ZERO: Self = [0; N];
+
+    fn xor(self, other: Self) -> Self {
+        std::array::from_fn(|k| self[k] ^ other[k])
+    }
+}
+
+impl Misr {
+    /// One MISR clock in bit-plane form: `planes[i]` holds stage `i + 1` of
+    /// one register per lane, `input[i]` the parallel input bit of that
+    /// stage, and every lane advances through `s⁺ = M(s) ⊕ y` at once.
+    ///
+    /// This is the transposed, word-parallel form of [`Misr::step`] — with
+    /// `bool` symbols it is exactly `step`, with wider symbols it runs one
+    /// independent register per lane.  It is the *single* implementation of
+    /// the recurrence shared by the scalar API and the packed fault-
+    /// dictionary engines (`y₁ = m(s) ⊕ input₁`, `yᵢ = sᵢ₋₁ ⊕ inputᵢ` in the
+    /// Fibonacci convention of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `planes` or `input` length differs from the register width.
+    pub fn step_planes<S: PlaneSymbol>(&self, planes: &mut [S], input: &[S]) {
+        let width = self.width();
+        assert_eq!(planes.len(), width, "plane count must equal the width");
+        assert_eq!(input.len(), width, "input count must equal the width");
+        let poly = self.polynomial();
+        let mut feedback = planes[width - 1];
+        for i in 1..width {
+            if poly.coefficient(i) {
+                feedback = feedback.xor(planes[i - 1]);
+            }
+        }
+        for i in (1..width).rev() {
+            planes[i] = planes[i - 1].xor(input[i]);
+        }
+        planes[0] = feedback.xor(input[0]);
+    }
+}
+
 /// The trace of a signature-analysis run: the register state after every
 /// input word (including the seed at index 0).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -318,6 +393,76 @@ mod tests {
         assert!(m.autonomous_step(&s3).is_err());
         assert!(m.signature(s3, &[]).is_err());
         assert!(m.run(s3, &[]).is_err());
+    }
+
+    #[test]
+    fn step_planes_on_bool_symbols_equals_step() {
+        for width in [1usize, 3, 4, 8] {
+            let m = misr(width);
+            let mut state = Gf2Vec::zero(width).unwrap();
+            let mut planes = vec![false; width];
+            let mut lcg = 0x1991_0604u64;
+            for _ in 0..64 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let input = Gf2Vec::from_value(lcg >> 13 & ((1 << width) - 1), width).unwrap();
+                let input_planes: Vec<bool> = (0..width).map(|i| input.bit(i)).collect();
+                state = m.step(&state, &input).unwrap();
+                m.step_planes(&mut planes, &input_planes);
+                for (i, &p) in planes.iter().enumerate() {
+                    assert_eq!(p, state.bit(i), "width {width} stage {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_planes_runs_independent_registers_per_lane() {
+        // 64 lanes of u64 symbols (and the [u64; 2] widening) must each
+        // follow their own scalar register.
+        let m = misr(4);
+        let mut planes = vec![0u64; 4];
+        let mut wide_planes = vec![[0u64; 2]; 4];
+        let mut scalar: Vec<Gf2Vec> = (0..64).map(|_| Gf2Vec::zero(4).unwrap()).collect();
+        let mut lcg = 0xABCD_0001u64;
+        for _ in 0..48 {
+            // Independent random input per lane.
+            let mut input_words = vec![0u64; 4];
+            let mut scalar_inputs = Vec::with_capacity(64);
+            for lane in 0..64u64 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let value = lcg >> 17 & 0xF;
+                scalar_inputs.push(Gf2Vec::from_value(value, 4).unwrap());
+                for (bit, word) in input_words.iter_mut().enumerate() {
+                    *word |= ((value >> bit) & 1) << lane;
+                }
+            }
+            let wide_inputs: Vec<[u64; 2]> =
+                input_words.iter().map(|&w| [w, w.rotate_left(7)]).collect();
+            m.step_planes(&mut planes, &input_words);
+            m.step_planes(&mut wide_planes, &wide_inputs);
+            for (lane, state) in scalar.iter_mut().enumerate() {
+                *state = m.step(state, &scalar_inputs[lane]).unwrap();
+                for (bit, &plane) in planes.iter().enumerate() {
+                    assert_eq!((plane >> lane) & 1 == 1, state.bit(bit), "lane {lane}");
+                }
+            }
+            // Word 0 of the wide run sees the same inputs as the u64 run.
+            for (bit, plane) in wide_planes.iter().enumerate() {
+                assert_eq!(plane[0], planes[bit], "wide word 0, stage {bit}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plane count")]
+    fn step_planes_checks_widths() {
+        let m = misr(4);
+        let mut planes = vec![0u64; 3];
+        m.step_planes(&mut planes, &[0u64; 4]);
     }
 
     #[test]

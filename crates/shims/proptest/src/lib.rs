@@ -3,7 +3,7 @@
 //! Supports the subset used by this workspace: the [`proptest!`] macro with
 //! an optional `#![proptest_config(..)]` attribute, `prop_assert!` /
 //! `prop_assert_eq!` / `prop_assert_ne!`, integer-range and tuple
-//! strategies, [`Strategy::prop_map`] / [`Strategy::prop_flat_map`] and
+//! strategies, `Strategy::prop_map` / `Strategy::prop_flat_map` and
 //! [`collection::vec`].  Inputs are sampled from a deterministic per-test
 //! RNG (seeded from the test name), so failures are reproducible; there is
 //! no shrinking.
@@ -173,7 +173,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// A length specification for [`vec`]: a fixed size or a range.
+    /// A length specification for [`vec()`]: a fixed size or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
@@ -214,7 +214,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -1,0 +1,604 @@
+//! The unified campaign API: one simulation pass, composable observers.
+//!
+//! The paper's self-test flow is one pipeline — synthesize a BIST
+//! structure, simulate the fault universe, compress the responses into a
+//! MISR signature, diagnose from that signature — but it used to be exposed
+//! as three disjoint one-shot functions
+//! ([`run_self_test`](crate::coverage::run_self_test),
+//! [`run_injection_campaign`](crate::coverage::run_injection_campaign),
+//! [`build_fault_dictionary`](crate::dictionary::build_fault_dictionary)),
+//! each re-simulating the same fault universe.  A [`Campaign`] runs the
+//! universe **once** and fans the results out to any number of composable,
+//! object-safe [`CampaignObserver`] sinks:
+//!
+//! * [`CoverageObserver`] — fault coverage, detection patterns and the
+//!   coverage curve (the body of the legacy coverage entry points);
+//! * [`DictionaryObserver`] — full fault dictionaries with final and
+//!   per-segment intermediate MISR signatures (the body of the legacy
+//!   dictionary entry point);
+//! * [`DiagnosisObserver`](crate::diagnosis::DiagnosisObserver) — a
+//!   [`Diagnosis`](crate::diagnosis::Diagnosis) that maps an observed
+//!   failing signature back to ranked candidate faults across models.
+//!
+//! Fault universes are declared as *sections* — one per fault model (or
+//! explicit injection list) — and observers see per-section results, so a
+//! single pass covers multi-model campaigns end to end.
+//!
+//! The campaign needs exactly one simulation style per run: if any observer
+//! requires signatures, the whole universe runs the un-dropped dictionary
+//! pass (whose first-detect indices are bit-for-bit the coverage
+//! campaign's detection patterns); otherwise it runs the cheaper
+//! drop-on-detect coverage pass.  Either way the engine matrix of
+//! [`SimEngine`] applies unchanged, including [`SimEngine::Auto`].
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm_fsm::suite::fig3_example;
+//! use stfsm_encode::StateEncoding;
+//! use stfsm_bist::{BistStructure, excitation::{build_pla, layout, RegisterTransform}, netlist::build_netlist};
+//! use stfsm_logic::espresso::minimize;
+//! use stfsm_faults::{StuckAt, TransitionDelay};
+//! use stfsm_testsim::campaign::{Campaign, CoverageObserver, DictionaryObserver};
+//! use stfsm_testsim::coverage::SimEngine;
+//!
+//! let fsm = fig3_example()?;
+//! let encoding = StateEncoding::natural(&fsm)?;
+//! let transform = RegisterTransform::Dff;
+//! let pla = build_pla(&fsm, &encoding, &transform)?;
+//! let cover = minimize(&pla).cover;
+//! let lay = layout(&fsm, &encoding, &transform);
+//! let netlist = build_netlist("fig3", &cover, &lay, BistStructure::Dff, None)?;
+//!
+//! let mut coverage = CoverageObserver::new();
+//! let mut dictionaries = DictionaryObserver::new();
+//! Campaign::new(&netlist)
+//!     .model(&StuckAt)
+//!     .model(&TransitionDelay)
+//!     .engine(SimEngine::Auto)
+//!     .patterns(256)
+//!     .observe(&mut coverage)
+//!     .observe(&mut dictionaries)
+//!     .run();
+//! for (model, result) in coverage.results() {
+//!     println!("{model}: {:.1} % coverage", result.fault_coverage() * 100.0);
+//! }
+//! assert_eq!(coverage.results().len(), 2);
+//! assert_eq!(dictionaries.dictionaries().len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::coverage::{
+    assemble_coverage, detect, misr_aliasing_probability, CampaignConfig, CoverageResult,
+    SimEngine, StateStimulation,
+};
+use crate::dictionary::{build_dictionary_core, FaultDictionary};
+use crate::faults::Injection;
+use stfsm_bist::netlist::Netlist;
+use stfsm_bist::BistStructure;
+use stfsm_faults::FaultModel;
+
+/// One fault universe of a campaign: a label (usually the fault-model
+/// name) and its injection list.
+#[derive(Debug, Clone)]
+struct Section {
+    label: String,
+    faults: Vec<Injection>,
+}
+
+/// A composable, object-safe sink for campaign results.
+///
+/// Observers declare up front whether they need full-campaign signatures
+/// ([`CampaignObserver::needs_signatures`]); the campaign runs the
+/// un-dropped dictionary pass iff at least one observer does, so a pure
+/// coverage campaign never pays for signatures it will not read.
+pub trait CampaignObserver {
+    /// Whether this observer needs MISR signatures (forcing the un-dropped
+    /// dictionary pass).  Defaults to `false`.
+    fn needs_signatures(&self) -> bool {
+        false
+    }
+
+    /// Called exactly once per [`Campaign::run`], after the simulation
+    /// pass, with the complete outcome.
+    fn observe(&mut self, outcome: &CampaignOutcome);
+}
+
+/// The per-section result of a campaign run.
+#[derive(Debug, Clone)]
+pub struct SectionOutcome {
+    /// The section's label (the fault-model name for [`Campaign::model`]
+    /// sections).
+    pub label: String,
+    /// The section's fault list, in simulation order.
+    pub faults: Vec<Injection>,
+    /// `detection_pattern[i]`: the first pattern that detected `faults[i]`.
+    pub detection_pattern: Vec<Option<usize>>,
+    /// The section's fault dictionary; present iff at least one observer
+    /// asked for signatures.
+    pub dictionary: Option<FaultDictionary>,
+}
+
+/// The complete outcome of one campaign run, handed to every observer.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The structure of the netlist under test.
+    pub structure: BistStructure,
+    /// The stimulation mode that was used.
+    pub stimulation: StateStimulation,
+    /// The engine that actually ran ([`SimEngine::Auto`] already resolved).
+    pub engine: SimEngine,
+    /// Number of patterns applied.
+    pub patterns_applied: usize,
+    /// The `2^{-r}` aliasing probability of the netlist's compactor.
+    pub aliasing_probability: f64,
+    /// One outcome per declared section, in declaration order.
+    pub sections: Vec<SectionOutcome>,
+}
+
+impl CampaignOutcome {
+    /// Assembles the [`CoverageResult`] of section `index` — bit-for-bit
+    /// what the legacy one-shot entry points produced for that fault list.
+    pub fn coverage(&self, index: usize) -> CoverageResult {
+        assemble_coverage(
+            self.structure,
+            self.stimulation,
+            self.aliasing_probability,
+            self.sections[index].detection_pattern.clone(),
+            self.patterns_applied,
+        )
+    }
+
+    /// Total number of faults across all sections.
+    pub fn total_faults(&self) -> usize {
+        self.sections.iter().map(|s| s.faults.len()).sum()
+    }
+}
+
+/// A fault-simulation campaign builder: one netlist, one configuration,
+/// any number of fault sections and observers; see the
+/// [module docs](self) for the full picture.
+///
+/// `'n` borrows the netlist, `'o` the observers.
+pub struct Campaign<'n, 'o> {
+    netlist: &'n Netlist,
+    config: CampaignConfig,
+    sections: Vec<Section>,
+    observers: Vec<&'o mut dyn CampaignObserver>,
+}
+
+impl<'n, 'o> Campaign<'n, 'o> {
+    /// A campaign over `netlist` with the default [`CampaignConfig`], no
+    /// sections and no observers.
+    pub fn new(netlist: &'n Netlist) -> Self {
+        Self {
+            netlist,
+            config: CampaignConfig::default(),
+            sections: Vec::new(),
+            observers: Vec::new(),
+        }
+    }
+
+    /// Replaces the whole simulation configuration.
+    pub fn config(mut self, config: CampaignConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds a fault section from a pluggable model (structurally collapsed
+    /// fault list, labelled with the model's name).  Repeatable; sections
+    /// run in declaration order within the single simulation pass.
+    pub fn model(self, model: &dyn FaultModel) -> Self {
+        let faults = model.fault_list(self.netlist, true);
+        self.faults(model.name(), faults)
+    }
+
+    /// Adds a fault section from the *uncollapsed* universe of a model.
+    pub fn model_uncollapsed(self, model: &dyn FaultModel) -> Self {
+        let faults = model.fault_list(self.netlist, false);
+        self.faults(model.name(), faults)
+    }
+
+    /// Adds an explicit fault section.
+    pub fn faults(mut self, label: impl Into<String>, faults: Vec<Injection>) -> Self {
+        self.sections.push(Section {
+            label: label.into(),
+            faults,
+        });
+        self
+    }
+
+    /// Selects the simulation engine ([`SimEngine::Auto`] resolves per
+    /// machine size at run time).
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the number of test patterns (clock cycles) applied.
+    pub fn patterns(mut self, max_patterns: usize) -> Self {
+        self.config.max_patterns = max_patterns;
+        self
+    }
+
+    /// Sets the seed of the pattern generators.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the worker count of the [`SimEngine::Threaded`] engine.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the state-stimulation mode (the default derives it from
+    /// the netlist's BIST structure).
+    pub fn stimulation(mut self, stimulation: StateStimulation) -> Self {
+        self.config.stimulation = Some(stimulation);
+        self
+    }
+
+    /// Sets per-input one-probabilities (weighted random test).
+    pub fn input_weights(mut self, weights: Vec<f64>) -> Self {
+        self.config.input_weights = Some(weights);
+        self
+    }
+
+    /// Registers an observer.  Repeatable; every observer sees the same
+    /// single simulation pass.
+    pub fn observe(mut self, observer: &'o mut dyn CampaignObserver) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Runs the campaign: one simulation pass over the concatenated fault
+    /// sections, fanned out to every observer.  Returns the outcome (so
+    /// running without observers is also useful).
+    ///
+    /// Degenerate campaigns are total: no sections, empty fault lists or
+    /// zero patterns all return cleanly.
+    pub fn run(self) -> CampaignOutcome {
+        let Campaign {
+            netlist,
+            config,
+            sections,
+            mut observers,
+        } = self;
+        let engine = config.engine.resolve(netlist);
+        let config = CampaignConfig { engine, ..config };
+        let stimulation = config.resolved_stimulation(netlist);
+        let all_faults: Vec<Injection> = sections
+            .iter()
+            .flat_map(|s| s.faults.iter().copied())
+            .collect();
+        let needs_signatures = observers.iter().any(|o| o.needs_signatures());
+
+        // The single pass: un-dropped with signatures when any observer
+        // asked for them (its first-detect indices are bit-for-bit the
+        // coverage detection patterns), drop-on-detect otherwise.
+        let (detection_pattern, mut dictionary) = if needs_signatures {
+            let dictionary = build_dictionary_core(netlist, &all_faults, &config);
+            let detection: Vec<Option<usize>> =
+                dictionary.entries.iter().map(|e| e.first_detect).collect();
+            (detection, Some(dictionary))
+        } else {
+            (detect(netlist, &all_faults, &config, stimulation), None)
+        };
+
+        // Split the concatenated results back into the declared sections
+        // (the common single-section case moves the dictionary instead of
+        // slicing a copy).
+        let single_section = sections.len() == 1;
+        let mut outcome_sections = Vec::with_capacity(sections.len());
+        let mut offset = 0usize;
+        for section in sections {
+            let count = section.faults.len();
+            let section_dictionary = if single_section {
+                dictionary.take()
+            } else {
+                dictionary.as_ref().map(|d| d.slice(offset..offset + count))
+            };
+            outcome_sections.push(SectionOutcome {
+                label: section.label,
+                faults: section.faults,
+                detection_pattern: detection_pattern[offset..offset + count].to_vec(),
+                dictionary: section_dictionary,
+            });
+            offset += count;
+        }
+
+        let outcome = CampaignOutcome {
+            structure: netlist.structure(),
+            stimulation,
+            engine,
+            patterns_applied: config.max_patterns,
+            aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
+            sections: outcome_sections,
+        };
+        for observer in observers.iter_mut() {
+            observer.observe(&outcome);
+        }
+        outcome
+    }
+}
+
+/// The coverage sink: one [`CoverageResult`] per section, bit-for-bit what
+/// the legacy [`run_self_test`](crate::coverage::run_self_test) /
+/// [`run_injection_campaign`](crate::coverage::run_injection_campaign)
+/// entry points produce — those wrappers are now implemented on top of
+/// this observer.
+#[derive(Debug, Default)]
+pub struct CoverageObserver {
+    results: Vec<(String, CoverageResult)>,
+}
+
+impl CoverageObserver {
+    /// An empty coverage sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The labelled coverage results, one per section in declaration
+    /// order; empty before the campaign ran.
+    pub fn results(&self) -> &[(String, CoverageResult)] {
+        &self.results
+    }
+
+    /// The first section's result (the common single-model case).
+    pub fn result(&self) -> Option<&CoverageResult> {
+        self.results.first().map(|(_, r)| r)
+    }
+
+    /// Consumes the observer into its results, dropping the labels.
+    pub fn into_results(self) -> Vec<CoverageResult> {
+        self.results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+impl CampaignObserver for CoverageObserver {
+    fn observe(&mut self, outcome: &CampaignOutcome) {
+        self.results = outcome
+            .sections
+            .iter()
+            .enumerate()
+            .map(|(i, section)| (section.label.clone(), outcome.coverage(i)))
+            .collect();
+    }
+}
+
+/// The dictionary sink: one [`FaultDictionary`] per section (final and
+/// per-segment intermediate MISR signatures included) — the body of the
+/// legacy
+/// [`build_fault_dictionary`](crate::dictionary::build_fault_dictionary)
+/// entry point, which is now a thin wrapper around this observer.
+#[derive(Debug, Default)]
+pub struct DictionaryObserver {
+    dictionaries: Vec<(String, FaultDictionary)>,
+}
+
+impl DictionaryObserver {
+    /// An empty dictionary sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The labelled dictionaries, one per section in declaration order;
+    /// empty before the campaign ran.
+    pub fn dictionaries(&self) -> &[(String, FaultDictionary)] {
+        &self.dictionaries
+    }
+
+    /// The first section's dictionary (the common single-model case).
+    pub fn dictionary(&self) -> Option<&FaultDictionary> {
+        self.dictionaries.first().map(|(_, d)| d)
+    }
+
+    /// Consumes the observer into its dictionaries, dropping the labels.
+    pub fn into_dictionaries(self) -> Vec<FaultDictionary> {
+        self.dictionaries.into_iter().map(|(_, d)| d).collect()
+    }
+}
+
+impl CampaignObserver for DictionaryObserver {
+    fn needs_signatures(&self) -> bool {
+        true
+    }
+
+    fn observe(&mut self, outcome: &CampaignOutcome) {
+        self.dictionaries = outcome
+            .sections
+            .iter()
+            .map(|section| {
+                (
+                    section.label.clone(),
+                    section
+                        .dictionary
+                        .clone()
+                        .expect("needs_signatures guarantees a dictionary"),
+                )
+            })
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::{run_injection_campaign, run_self_test, SelfTestConfig};
+    use crate::dictionary::build_fault_dictionary;
+    use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
+    use stfsm_bist::netlist::build_netlist;
+    use stfsm_encode::StateEncoding;
+    use stfsm_faults::{all_models, StuckAt};
+    use stfsm_fsm::suite::modulo12_exact;
+    use stfsm_lfsr::{primitive_polynomial, Misr};
+    use stfsm_logic::espresso::minimize;
+
+    fn pst_netlist() -> Netlist {
+        let fsm = modulo12_exact().unwrap();
+        let encoding = StateEncoding::natural(&fsm).unwrap();
+        let poly = primitive_polynomial(encoding.num_bits()).unwrap();
+        let transform = RegisterTransform::Misr(Misr::new(poly).unwrap());
+        let pla = build_pla(&fsm, &encoding, &transform).unwrap();
+        let cover = minimize(&pla).cover;
+        let lay = layout(&fsm, &encoding, &transform);
+        build_netlist("pst", &cover, &lay, BistStructure::Pst, Some(poly)).unwrap()
+    }
+
+    #[test]
+    fn coverage_observer_equals_legacy_entry_points() {
+        let netlist = pst_netlist();
+        let config = SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        };
+        let legacy = run_self_test(&netlist, &config);
+        let faults: Vec<Injection> = crate::faults::FaultList::collapsed(&netlist)
+            .faults()
+            .iter()
+            .map(|&f| f.into())
+            .collect();
+        let mut coverage = CoverageObserver::new();
+        Campaign::new(&netlist)
+            .config(config.campaign())
+            .faults("stuck_at", faults)
+            .observe(&mut coverage)
+            .run();
+        assert_eq!(coverage.results().len(), 1);
+        assert_eq!(coverage.results()[0].0, "stuck_at");
+        assert_eq!(coverage.result().unwrap(), &legacy);
+    }
+
+    #[test]
+    fn multi_section_campaign_matches_per_model_runs() {
+        let netlist = pst_netlist();
+        let config = SelfTestConfig {
+            max_patterns: 192,
+            ..Default::default()
+        };
+        let mut coverage = CoverageObserver::new();
+        let mut dictionaries = DictionaryObserver::new();
+        let models = all_models();
+        let mut campaign = Campaign::new(&netlist).config(config.campaign());
+        for model in &models {
+            campaign = campaign.model(model.as_ref());
+        }
+        let outcome = campaign
+            .observe(&mut coverage)
+            .observe(&mut dictionaries)
+            .run();
+        assert_eq!(outcome.sections.len(), models.len());
+        for (i, model) in models.iter().enumerate() {
+            let faults = model.fault_list(&netlist, true);
+            let legacy_coverage = run_injection_campaign(&netlist, &faults, &config);
+            let legacy_dictionary = build_fault_dictionary(&netlist, &faults, &config);
+            assert_eq!(coverage.results()[i].0, model.name());
+            assert_eq!(coverage.results()[i].1, legacy_coverage, "{}", model.name());
+            assert_eq!(
+                dictionaries.dictionaries()[i].1,
+                legacy_dictionary,
+                "{}",
+                model.name()
+            );
+            assert_eq!(
+                outcome.sections[i].detection_pattern,
+                legacy_coverage.detection_pattern
+            );
+            assert_eq!(outcome.coverage(i), legacy_coverage);
+        }
+        assert_eq!(
+            outcome.total_faults(),
+            models
+                .iter()
+                .map(|m| m.fault_list(&netlist, true).len())
+                .sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn degenerate_campaigns_are_total() {
+        let netlist = pst_netlist();
+        // No sections at all.
+        let mut coverage = CoverageObserver::new();
+        let outcome = Campaign::new(&netlist).observe(&mut coverage).run();
+        assert!(outcome.sections.is_empty());
+        assert_eq!(outcome.total_faults(), 0);
+        assert!(coverage.results().is_empty());
+        assert!(coverage.result().is_none());
+
+        // No observers.
+        let outcome = Campaign::new(&netlist).model(&StuckAt).patterns(16).run();
+        assert_eq!(outcome.sections.len(), 1);
+
+        // An empty fault section, with signatures requested.
+        let mut dictionaries = DictionaryObserver::new();
+        let outcome = Campaign::new(&netlist)
+            .faults("empty", Vec::new())
+            .patterns(16)
+            .observe(&mut dictionaries)
+            .run();
+        assert!(outcome.sections[0].detection_pattern.is_empty());
+        let dictionary = dictionaries.dictionary().unwrap();
+        assert!(dictionary.entries.is_empty());
+        assert_ne!(dictionary.reference_signature, 0);
+
+        // Zero patterns.
+        let mut coverage = CoverageObserver::new();
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(0)
+            .observe(&mut coverage)
+            .run();
+        assert_eq!(outcome.patterns_applied, 0);
+        let result = coverage.result().unwrap();
+        assert_eq!(result.detected_faults, 0);
+        assert!(result.total_faults > 0);
+    }
+
+    #[test]
+    fn auto_engine_resolves_by_machine_size() {
+        let netlist = pst_netlist();
+        assert!(netlist.gates().len() < SimEngine::AUTO_DIFFERENTIAL_GATES);
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .engine(SimEngine::Auto)
+            .patterns(64)
+            .run();
+        assert_eq!(outcome.engine, SimEngine::Packed);
+        assert_eq!(SimEngine::Packed.resolve(&netlist), SimEngine::Packed);
+        assert_eq!(
+            SimEngine::Differential.resolve(&netlist),
+            SimEngine::Differential
+        );
+    }
+
+    #[test]
+    fn observers_share_one_pass_with_identical_results() {
+        // A coverage observer riding along a dictionary observer sees the
+        // un-dropped pass; its results must still equal the standalone
+        // drop-on-detect pass.
+        let netlist = pst_netlist();
+        let config = SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        };
+        let faults = stfsm_faults::FaultModel::fault_list(&StuckAt, &netlist, true);
+        let mut coverage = CoverageObserver::new();
+        let mut dictionaries = DictionaryObserver::new();
+        Campaign::new(&netlist)
+            .config(config.campaign())
+            .faults("stuck_at", faults.clone())
+            .observe(&mut coverage)
+            .observe(&mut dictionaries)
+            .run();
+        let legacy = run_injection_campaign(&netlist, &faults, &config);
+        assert_eq!(coverage.result().unwrap(), &legacy);
+        let dictionary = dictionaries.dictionary().unwrap();
+        assert_eq!(
+            dictionary,
+            &build_fault_dictionary(&netlist, &faults, &config)
+        );
+    }
+}

@@ -47,12 +47,41 @@ pub enum SimEngine {
     /// only the plan steps their active faults (or diverged register
     /// states) can actually perturb (see [`crate::differential`]).
     Differential,
-    /// The fault list sharded across [`SelfTestConfig::threads`]
-    /// differential workers (`std::thread::scope`).  The shard split is a
+    /// The fault list sharded across [`CampaignConfig::threads`]
+    /// differential workers (`std::thread::scope`), all reading one shared
+    /// good-machine trace per campaign segment.  The block split is a
     /// deterministic function of the fault list alone and every fault's
-    /// trajectory is independent of its shard and block, so the merged
+    /// trajectory is independent of its block and worker, so the merged
     /// result is bit-for-bit independent of the thread count.
     Threaded,
+    /// Pick [`SimEngine::Packed`] or [`SimEngine::Differential`] per
+    /// machine size: the differential engine's cone bookkeeping only pays
+    /// off once the netlist is large relative to the average fault cone
+    /// (the crossover sits around [`SimEngine::AUTO_DIFFERENTIAL_GATES`]
+    /// gates on the benchmark suite, per `BENCH_fault_sim_v2.json`).
+    Auto,
+}
+
+impl SimEngine {
+    /// The gate count from which [`SimEngine::Auto`] selects the
+    /// differential engine (below it, the packed engine wins on the
+    /// benchmark suite).
+    pub const AUTO_DIFFERENTIAL_GATES: usize = 90;
+
+    /// Resolves [`SimEngine::Auto`] against a concrete netlist; every other
+    /// engine resolves to itself.
+    pub fn resolve(self, netlist: &Netlist) -> SimEngine {
+        match self {
+            SimEngine::Auto => {
+                if netlist.gates().len() >= Self::AUTO_DIFFERENTIAL_GATES {
+                    SimEngine::Differential
+                } else {
+                    SimEngine::Packed
+                }
+            }
+            engine => engine,
+        }
+    }
 }
 
 /// How the state lines are stimulated during self-test.
@@ -76,7 +105,83 @@ impl StateStimulation {
     }
 }
 
-/// Configuration of a self-test campaign.
+/// The simulation knobs shared by every campaign entry point — the
+/// [`Campaign`](crate::campaign::Campaign) builder, the legacy
+/// [`run_self_test`] / [`run_injection_campaign`] wrappers and the
+/// dictionary / diagnosis passes.
+///
+/// Fault *enumeration* knobs do not belong here: which faults run is the
+/// business of the fault model (or of the caller-supplied list), not of the
+/// simulation configuration.  [`SelfTestConfig`] remains as a compatibility
+/// shell that carries the stuck-at enumeration knobs on top of this
+/// configuration, with `From` conversions in both directions; the shared
+/// simulation knobs round-trip losslessly, while converting a
+/// [`CampaignConfig`] *into* a [`SelfTestConfig`] fills the enumeration
+/// knobs (`collapse_faults`, `fault_sample`) with their defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Maximum number of test patterns (clock cycles) applied.
+    pub max_patterns: usize,
+    /// Seed of the pattern generators.
+    pub seed: u64,
+    /// Optional per-input one-probabilities (weighted random test); `None`
+    /// uses unbiased patterns.
+    pub input_weights: Option<Vec<f64>>,
+    /// Override of the state stimulation mode; `None` derives it from the
+    /// netlist's structure.
+    pub stimulation: Option<StateStimulation>,
+    /// Simulation engine (packed 64-way by default; [`SimEngine::Auto`]
+    /// picks packed vs differential per machine size).
+    pub engine: SimEngine,
+    /// Worker count of the [`SimEngine::Threaded`] engine; `None` uses
+    /// [`std::thread::available_parallelism`].
+    pub threads: Option<usize>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            max_patterns: 2048,
+            seed: 0xBEEF_1991,
+            input_weights: None,
+            stimulation: None,
+            engine: SimEngine::default(),
+            threads: None,
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// The worker count the [`SimEngine::Threaded`] engine will use.
+    ///
+    /// An explicit `Some(0)` is clamped to 1 (a campaign always needs at
+    /// least one worker); `None` defaults to
+    /// [`std::thread::available_parallelism`] (falling back to 1 when the
+    /// host cannot report its parallelism).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.map(|t| t.max(1)).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// The stimulation mode a campaign over `netlist` will use: the
+    /// explicit override if set, the structure's natural mode otherwise.
+    pub fn resolved_stimulation(&self, netlist: &Netlist) -> StateStimulation {
+        self.stimulation
+            .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()))
+    }
+}
+
+/// Configuration of a self-test campaign: the shared [`CampaignConfig`]
+/// simulation knobs plus the stuck-at fault-enumeration knobs of
+/// [`run_self_test`].
+///
+/// Kept as the compatibility configuration of the legacy entry points;
+/// new code should build a [`CampaignConfig`] (or convert with
+/// [`SelfTestConfig::campaign`] / the `From` impls) and drive a
+/// [`Campaign`](crate::campaign::Campaign).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelfTestConfig {
     /// Maximum number of test patterns (clock cycles) applied.
@@ -103,32 +208,68 @@ pub struct SelfTestConfig {
 
 impl Default for SelfTestConfig {
     fn default() -> Self {
-        Self {
-            max_patterns: 2048,
-            seed: 0xBEEF_1991,
-            input_weights: None,
-            collapse_faults: true,
-            fault_sample: 1,
-            stimulation: None,
-            engine: SimEngine::default(),
-            threads: None,
-        }
+        CampaignConfig::default().into()
     }
 }
 
 impl SelfTestConfig {
-    /// The worker count the [`SimEngine::Threaded`] engine will use.
-    ///
-    /// An explicit `Some(0)` is clamped to 1 (a campaign always needs at
-    /// least one worker); `None` defaults to
-    /// [`std::thread::available_parallelism`] (falling back to 1 when the
-    /// host cannot report its parallelism).
+    /// The shared simulation knobs of this configuration (everything except
+    /// the stuck-at enumeration fields).
+    pub fn campaign(&self) -> CampaignConfig {
+        CampaignConfig {
+            max_patterns: self.max_patterns,
+            seed: self.seed,
+            input_weights: self.input_weights.clone(),
+            stimulation: self.stimulation,
+            engine: self.engine,
+            threads: self.threads,
+        }
+    }
+
+    /// The worker count the [`SimEngine::Threaded`] engine will use (see
+    /// [`CampaignConfig::effective_threads`]).
     pub fn effective_threads(&self) -> usize {
-        self.threads.map(|t| t.max(1)).unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+        self.campaign().effective_threads()
+    }
+}
+
+impl From<&SelfTestConfig> for CampaignConfig {
+    fn from(config: &SelfTestConfig) -> Self {
+        config.campaign()
+    }
+}
+
+impl From<SelfTestConfig> for CampaignConfig {
+    fn from(config: SelfTestConfig) -> Self {
+        Self {
+            max_patterns: config.max_patterns,
+            seed: config.seed,
+            input_weights: config.input_weights,
+            stimulation: config.stimulation,
+            engine: config.engine,
+            threads: config.threads,
+        }
+    }
+}
+
+impl From<CampaignConfig> for SelfTestConfig {
+    fn from(config: CampaignConfig) -> Self {
+        Self {
+            max_patterns: config.max_patterns,
+            seed: config.seed,
+            input_weights: config.input_weights,
+            collapse_faults: true,
+            fault_sample: 1,
+            stimulation: config.stimulation,
+            engine: config.engine,
+            threads: config.threads,
+        }
+    }
+}
+
+impl From<&CampaignConfig> for SelfTestConfig {
+    fn from(config: &CampaignConfig) -> Self {
+        config.clone().into()
     }
 }
 
@@ -193,6 +334,12 @@ impl CoverageResult {
 /// fault model; [`SelfTestConfig::collapse_faults`] and
 /// [`SelfTestConfig::fault_sample`] select the fault list).
 ///
+/// Legacy entry point, kept as a thin wrapper: it enumerates the stuck-at
+/// list and forwards to [`run_injection_campaign`], which itself drives a
+/// [`Campaign`](crate::campaign::Campaign) with a single
+/// [`CoverageObserver`](crate::campaign::CoverageObserver).  New code
+/// should use the campaign builder directly.
+///
 /// Degenerate campaigns are total: an empty fault list or
 /// `max_patterns == 0` yields a zero-coverage result instead of panicking.
 pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResult {
@@ -206,13 +353,17 @@ pub fn run_self_test(netlist: &Netlist, config: &SelfTestConfig) -> CoverageResu
     run_injection_campaign(netlist, &injections, config)
 }
 
-/// Runs a self-test campaign over an explicit, model-agnostic fault list.
+/// Runs a self-test campaign over an explicit, model-agnostic fault list:
+/// `faults[i]` occupies index `i` of [`CoverageResult::detection_pattern`].
+/// The [`SelfTestConfig::collapse_faults`] and
+/// [`SelfTestConfig::fault_sample`] knobs do not apply — enumeration and
+/// collapsing already happened in the fault model that produced `faults`
+/// (see `stfsm_faults::FaultModel`).
 ///
-/// This is the engine room shared by every fault model: `faults[i]` occupies
-/// index `i` of [`CoverageResult::detection_pattern`].  The
-/// [`SelfTestConfig::collapse_faults`] and [`SelfTestConfig::fault_sample`]
-/// knobs do not apply — enumeration and collapsing already happened in the
-/// fault model that produced `faults` (see `stfsm_faults::FaultModel`).
+/// Legacy entry point, kept as a thin wrapper over the unified
+/// [`Campaign`](crate::campaign::Campaign) API (one section, one
+/// [`CoverageObserver`](crate::campaign::CoverageObserver)); the result is
+/// bit-for-bit what the pre-campaign implementation produced.
 ///
 /// Degenerate campaigns are total: an empty fault list or
 /// `max_patterns == 0` yields a zero-coverage result instead of panicking.
@@ -221,38 +372,68 @@ pub fn run_injection_campaign(
     faults: &[Injection],
     config: &SelfTestConfig,
 ) -> CoverageResult {
-    let stimulation = config
-        .stimulation
-        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
-    let detection_pattern = if faults.is_empty() {
-        // Degenerate campaign: skip the stimulus generation entirely.
-        Vec::new()
-    } else {
-        let stimulus = generate_stimulus(netlist, config);
-        match config.engine {
-            SimEngine::Scalar => scalar_detection(netlist, faults, &stimulus, stimulation),
-            SimEngine::Packed => packed_detection(netlist, faults, &stimulus, stimulation),
-            SimEngine::Differential => {
-                crate::differential::differential_detection(netlist, faults, &stimulus, stimulation)
-            }
-            SimEngine::Threaded => threaded_detection(
-                netlist,
-                faults,
-                &stimulus,
-                stimulation,
-                config.effective_threads(),
-            ),
-        }
-    };
+    let mut coverage = crate::campaign::CoverageObserver::new();
+    crate::campaign::Campaign::new(netlist)
+        .config(config.campaign())
+        .faults("faults", faults.to_vec())
+        .observe(&mut coverage)
+        .run();
+    coverage
+        .into_results()
+        .pop()
+        .expect("a one-section campaign yields one coverage result")
+}
 
+/// The engine room of every campaign: dispatches an explicit fault list to
+/// the configured (resolved) simulation engine and returns the per-fault
+/// first-detection cycles.  Empty fault lists return an empty vector
+/// without generating any stimulus.
+pub(crate) fn detect(
+    netlist: &Netlist,
+    faults: &[Injection],
+    config: &CampaignConfig,
+    stimulation: StateStimulation,
+) -> Vec<Option<usize>> {
+    if faults.is_empty() {
+        return Vec::new();
+    }
+    let stimulus = generate_stimulus(netlist, config);
+    match config.engine.resolve(netlist) {
+        SimEngine::Scalar => scalar_detection(netlist, faults, &stimulus, stimulation),
+        SimEngine::Packed => packed_detection(netlist, faults, &stimulus, stimulation),
+        SimEngine::Differential => {
+            crate::differential::differential_detection(netlist, faults, &stimulus, stimulation)
+        }
+        SimEngine::Threaded => crate::differential::sharded_differential_detection(
+            netlist,
+            faults,
+            &stimulus,
+            stimulation,
+            config.effective_threads(),
+        ),
+        SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
+    }
+}
+
+/// Assembles a [`CoverageResult`] from a detection pattern: detected
+/// counts and the ~32-checkpoint coverage curve.  The single result
+/// assembly shared by [`CampaignOutcome::coverage`](crate::campaign::CampaignOutcome::coverage)
+/// and the [`CoverageObserver`](crate::campaign::CoverageObserver).
+pub(crate) fn assemble_coverage(
+    structure: BistStructure,
+    stimulation: StateStimulation,
+    aliasing_probability: f64,
+    detection_pattern: Vec<Option<usize>>,
+    max_patterns: usize,
+) -> CoverageResult {
     let detected_faults = detection_pattern.iter().filter(|d| d.is_some()).count();
-    let total_faults = faults.len();
+    let total_faults = detection_pattern.len();
 
     // Coverage curve at roughly 32 checkpoints.
     let mut coverage_curve = Vec::new();
-    let step = (config.max_patterns / 32).max(1);
+    let step = (max_patterns / 32).max(1);
     let mut checkpoint = 1;
-    while checkpoint <= config.max_patterns {
+    while checkpoint <= max_patterns {
         let covered = detection_pattern
             .iter()
             .flatten()
@@ -270,14 +451,14 @@ pub fn run_injection_campaign(
     }
 
     CoverageResult {
-        structure: netlist.structure(),
+        structure,
         stimulation,
         total_faults,
         detected_faults,
-        patterns_applied: config.max_patterns,
+        patterns_applied: max_patterns,
         detection_pattern,
         coverage_curve,
-        aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
+        aliasing_probability,
     }
 }
 
@@ -285,7 +466,7 @@ pub fn run_injection_campaign(
 /// machine (on every engine and every thread) see exactly the same
 /// sequence.  Flat row-major buffers: the campaign makes no further
 /// allocations per cycle.
-pub(crate) fn generate_stimulus(netlist: &Netlist, config: &SelfTestConfig) -> Stimulus {
+pub(crate) fn generate_stimulus(netlist: &Netlist, config: &CampaignConfig) -> Stimulus {
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
     let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
@@ -339,58 +520,6 @@ fn scalar_detection(
             simulate(netlist, Some(fault), stimulus, stimulation, Some(&good)).first_mismatch
         })
         .collect()
-}
-
-/// Threaded engine: the fault list sharded into one contiguous slice per
-/// worker, each worker running the full differential campaign (cone
-/// restriction, segmented compaction and table tail included) on its shard.
-///
-/// Every fault's trajectory is that of its own isolated machine — block
-/// packing never changes results, only wall-clock time — and the shard
-/// boundaries depend on nothing but `faults.len()` and the worker count, so
-/// the concatenated result is bit-for-bit identical to the single-threaded
-/// engines regardless of scheduling.
-fn threaded_detection(
-    netlist: &Netlist,
-    faults: &[Injection],
-    stimulus: &Stimulus,
-    stimulation: StateStimulation,
-    threads: usize,
-) -> Vec<Option<usize>> {
-    // Size shards in whole differential lane blocks: more workers than
-    // blocks would only split the work into underfilled blocks that still
-    // pay the full multi-word evaluation cost (and re-record the good
-    // trace) each.
-    let threads = threads.max(1).min(
-        faults
-            .len()
-            .div_ceil(crate::differential::BLOCK_FAULT_LANES)
-            .max(1),
-    );
-    if threads == 1 {
-        return crate::differential::differential_detection(netlist, faults, stimulus, stimulation);
-    }
-    let shard_len = faults.len().div_ceil(threads);
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = faults
-            .chunks(shard_len)
-            .map(|shard| {
-                scope.spawn(move || {
-                    crate::differential::differential_detection(
-                        netlist,
-                        shard,
-                        stimulus,
-                        stimulation,
-                    )
-                })
-            })
-            .collect();
-        // Deterministic merge: shard order, not completion order.
-        workers
-            .into_iter()
-            .flat_map(|w| w.join().expect("fault-simulation worker panicked"))
-            .collect()
-    })
 }
 
 /// A still-undetected fault between compaction segments: its position in
@@ -681,7 +810,7 @@ fn packed_detection(
             if active != 0 {
                 // This chunk ran the full segment, so its lane 0 holds the
                 // fault-free state at `to` for seeding the next segment.
-                let words = sim.state_words();
+                let words: Vec<u64> = sim.state_words();
                 if next_reference_state.is_none() {
                     next_reference_state =
                         Some(words.iter().map(|&w| w & 1 == 1).collect::<Vec<bool>>());

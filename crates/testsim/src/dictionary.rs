@@ -11,33 +11,59 @@
 //!
 //! The dictionary pass reuses the word-parallel engines: signatures of all
 //! lanes advance word-parallel through the bit-plane form of the MISR
-//! recurrence `s⁺₁ = m(s) ⊕ y₁`, `s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ` (the same Fibonacci
-//! convention as [`stfsm_lfsr::Misr`]), so building a dictionary costs one
-//! un-dropped campaign instead of one serial simulation per fault.  Unlike
-//! the coverage campaign, faulty machines keep running after their first
+//! recurrence — [`stfsm_lfsr::Misr::step_planes`], the *single*
+//! implementation of the recurrence shared with the scalar
+//! [`stfsm_lfsr::Misr`] API — so building a dictionary costs one un-dropped
+//! campaign instead of one serial simulation per fault.  Unlike the
+//! coverage campaign, faulty machines keep running after their first
 //! detection — the signature covers the whole test — which also measures
 //! *actual* signature aliasing against the `2^{-r}` estimate of
 //! [`crate::coverage::misr_aliasing_probability`].
 //!
-//! [`SelfTestConfig::engine`] selects how the faulty machines are advanced:
+//! Final signatures can collide (aliasing); to disambiguate, every entry
+//! additionally records the *intermediate* signatures at
+//! [`DICTIONARY_SEGMENTS`] evenly spaced checkpoints of the campaign
+//! ([`DictionaryEntry::segments`]).  Two faults that alias on the final
+//! signature almost never alias on every checkpoint as well, and
+//! [`crate::diagnosis::Diagnosis`] ranks candidates by how many checkpoint
+//! signatures match the observed response.
+//!
+//! [`CampaignConfig::engine`] selects how the faulty machines are advanced:
 //! `Differential` and `Threaded` compact signatures on the cone-restricted
 //! differential block engine of [`crate::differential`] (255 fault lanes
-//! per 4-word block, only the perturbable steps evaluated), `Scalar` and
-//! `Packed` on the classic 64-lane packed simulator.  Both paths produce
-//! identical dictionaries.
+//! per 4-word block, only the perturbable steps evaluated; `Threaded`
+//! additionally fans the independent blocks out over workers sharing one
+//! good-trace recording), `Scalar` and `Packed` on the classic 64-lane
+//! packed simulator, and `Auto` resolves per machine size first.  All
+//! paths produce identical dictionaries.
 
-use crate::coverage::{generate_stimulus, SelfTestConfig, SimEngine, StateStimulation};
+use crate::coverage::{
+    generate_stimulus, CampaignConfig, SelfTestConfig, SimEngine, StateStimulation,
+};
 use crate::differential::{DiffSimulator, GoodTrace, BLOCK_FAULT_LANES, BLOCK_WORDS};
 use crate::faults::Injection;
 use crate::packed::{PackedSimulator, FAULT_LANES};
+use std::collections::HashMap;
 use stfsm_bist::netlist::Netlist;
 use stfsm_lfsr::bitvec::broadcast;
-use stfsm_lfsr::{primitive_polynomial, Gf2Poly};
+use stfsm_lfsr::{primitive_polynomial, Misr, PlaneSymbol};
 
 /// The widest MISR the dictionary can instantiate (the primitive-polynomial
 /// table of `stfsm-lfsr` ends here); wider observation vectors are folded
 /// onto the register by XOR.
 pub const MAX_SIGNATURE_BITS: usize = 24;
+
+/// Number of intermediate-signature checkpoints recorded per entry (the
+/// final signature makes the campaign's last quarter, so the checkpoints
+/// sit at 1/4, 2/4 and 3/4 of the pattern budget).
+pub const DICTIONARY_SEGMENTS: usize = 3;
+
+/// The pattern counts after which the intermediate signatures of a
+/// `cycles`-pattern campaign are snapshotted: `ceil(cycles * k / 4)` for
+/// `k = 1..=DICTIONARY_SEGMENTS`.
+pub fn segment_checkpoints(cycles: usize) -> [usize; DICTIONARY_SEGMENTS] {
+    std::array::from_fn(|k| (cycles * (k + 1)).div_ceil(DICTIONARY_SEGMENTS + 1))
+}
 
 /// One fault's dictionary entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +76,10 @@ pub struct DictionaryEntry {
     /// The MISR signature of the faulty machine after the full campaign
     /// (bit `i` of the word is stage `i + 1` of the register).
     pub signature: u64,
+    /// The intermediate signatures at the campaign's
+    /// [`segment_checkpoints`] — the alias disambiguators of the diagnosis
+    /// flow.
+    pub segments: [u64; DICTIONARY_SEGMENTS],
 }
 
 /// A fault dictionary for one netlist and fault list.
@@ -60,13 +90,64 @@ pub struct FaultDictionary {
     pub signature_bits: usize,
     /// The fault-free machine's signature.
     pub reference_signature: u64,
+    /// The fault-free machine's intermediate signatures at the
+    /// [`FaultDictionary::segment_checkpoints`].
+    pub reference_segments: [u64; DICTIONARY_SEGMENTS],
+    /// Patterns applied at each intermediate-signature checkpoint.
+    pub segment_checkpoints: [usize; DICTIONARY_SEGMENTS],
     /// Patterns compacted into every signature.
     pub patterns_applied: usize,
     /// One entry per fault, in fault-list order.
+    ///
+    /// Treat as read-only: [`FaultDictionary::candidates`] answers from a
+    /// signature index built once at construction, so mutating the entries
+    /// of an owned dictionary in place would desynchronize the lookup.
+    /// Build a fresh dictionary through [`FaultDictionary::new`] instead.
     pub entries: Vec<DictionaryEntry>,
+    /// Signature → entry indices, built once at construction so
+    /// [`FaultDictionary::candidates`] is a hash lookup instead of a linear
+    /// scan per query.
+    index: HashMap<u64, Vec<u32>>,
 }
 
 impl FaultDictionary {
+    /// Assembles a dictionary and builds its signature index.
+    pub fn new(
+        signature_bits: usize,
+        reference_signature: u64,
+        reference_segments: [u64; DICTIONARY_SEGMENTS],
+        segment_checkpoints: [usize; DICTIONARY_SEGMENTS],
+        patterns_applied: usize,
+        entries: Vec<DictionaryEntry>,
+    ) -> Self {
+        let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (i, entry) in entries.iter().enumerate() {
+            index.entry(entry.signature).or_default().push(i as u32);
+        }
+        Self {
+            signature_bits,
+            reference_signature,
+            reference_segments,
+            segment_checkpoints,
+            patterns_applied,
+            entries,
+            index,
+        }
+    }
+
+    /// The dictionary restricted to an entry range (used by the campaign
+    /// layer to split a multi-model run into per-model dictionaries).
+    pub(crate) fn slice(&self, range: std::ops::Range<usize>) -> Self {
+        Self::new(
+            self.signature_bits,
+            self.reference_signature,
+            self.reference_segments,
+            self.segment_checkpoints,
+            self.patterns_applied,
+            self.entries[range].to_vec(),
+        )
+    }
+
     /// Whether an entry's fault was detected but its full-campaign
     /// signature collides with the fault-free one (signature aliasing: the
     /// compactor would mask this fault even though the responses differed).
@@ -88,12 +169,14 @@ impl FaultDictionary {
     }
 
     /// The entries whose signature equals `signature` — the diagnosis
-    /// candidates for an observed failing signature.
+    /// candidates for an observed failing signature — in fault-list order.
+    /// A hash-index lookup; the order matches what a linear scan over
+    /// [`FaultDictionary::entries`] would produce.
     pub fn candidates(&self, signature: u64) -> Vec<&DictionaryEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.signature == signature)
-            .collect()
+        self.index
+            .get(&signature)
+            .map(|indices| indices.iter().map(|&i| &self.entries[i as usize]).collect())
+            .unwrap_or_default()
     }
 }
 
@@ -102,68 +185,104 @@ impl FaultDictionary {
 /// The stimulus, stimulation mode and scan initialisation replicate
 /// [`crate::coverage::run_injection_campaign`] with the same configuration,
 /// so `first_detect` is bit-for-bit the campaign's `detection_pattern`.
-/// [`SelfTestConfig::engine`] selects the word-parallel engine of the pass:
-/// `Differential` / `Threaded` run the cone-restricted differential block
-/// engine, `Scalar` / `Packed` the classic 64-lane packed simulator; the
-/// resulting dictionaries are identical.
+///
+/// Legacy entry point, kept as a thin wrapper over the unified
+/// [`Campaign`](crate::campaign::Campaign) API (one section, one
+/// [`DictionaryObserver`](crate::campaign::DictionaryObserver)); new code
+/// should drive the campaign builder, which shares one simulation pass
+/// across all observers.
 pub fn build_fault_dictionary(
     netlist: &Netlist,
     faults: &[Injection],
     config: &SelfTestConfig,
 ) -> FaultDictionary {
-    let stimulation = config
-        .stimulation
-        .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()));
+    let mut dictionaries = crate::campaign::DictionaryObserver::new();
+    crate::campaign::Campaign::new(netlist)
+        .config(config.campaign())
+        .faults("faults", faults.to_vec())
+        .observe(&mut dictionaries)
+        .run();
+    dictionaries
+        .into_dictionaries()
+        .pop()
+        .expect("a one-section campaign yields one dictionary")
+}
+
+/// The dictionary engine room: one un-dropped campaign over `faults`,
+/// first-detect indices and final + intermediate signatures per lane.
+/// [`CampaignConfig::engine`] picks the word-parallel engine (resolving
+/// [`SimEngine::Auto`] per machine size first).
+pub(crate) fn build_dictionary_core(
+    netlist: &Netlist,
+    faults: &[Injection],
+    config: &CampaignConfig,
+) -> FaultDictionary {
+    let stimulation = config.resolved_stimulation(netlist);
     let stimulus = generate_stimulus(netlist, config);
 
     let obs_count = netlist.observation_points().len();
     let signature_bits = obs_count.clamp(1, MAX_SIGNATURE_BITS);
     let poly = primitive_polynomial(signature_bits)
         .expect("the polynomial table covers 1..=MAX_SIGNATURE_BITS");
+    let misr = Misr::new(poly).expect("positive degree");
 
     if stimulus.cycles == 0 {
         // Degenerate dictionary: nothing compacted, the all-zero reset
         // signature for every machine including the reference.
-        return FaultDictionary {
+        return FaultDictionary::new(
             signature_bits,
-            reference_signature: 0,
-            patterns_applied: 0,
-            entries: faults
+            0,
+            [0; DICTIONARY_SEGMENTS],
+            segment_checkpoints(0),
+            0,
+            faults
                 .iter()
                 .map(|&fault| DictionaryEntry {
                     fault,
                     first_detect: None,
                     signature: 0,
+                    segments: [0; DICTIONARY_SEGMENTS],
                 })
                 .collect(),
-        };
+        );
     }
 
-    let (entries, reference_signature) = match config.engine {
-        SimEngine::Differential | SimEngine::Threaded => differential_signatures(
+    let (entries, reference_signature, reference_segments) = match config.engine.resolve(netlist) {
+        SimEngine::Differential => {
+            differential_signatures(netlist, faults, &stimulus, stimulation, &misr, 1)
+        }
+        SimEngine::Threaded => differential_signatures(
             netlist,
             faults,
             &stimulus,
             stimulation,
-            signature_bits,
-            poly,
+            &misr,
+            config.effective_threads(),
         ),
-        SimEngine::Scalar | SimEngine::Packed => packed_signatures(
-            netlist,
-            faults,
-            &stimulus,
-            stimulation,
-            signature_bits,
-            poly,
-        ),
+        SimEngine::Scalar | SimEngine::Packed => {
+            packed_signatures(netlist, faults, &stimulus, stimulation, &misr)
+        }
+        SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
     };
 
-    FaultDictionary {
+    FaultDictionary::new(
         signature_bits,
         reference_signature,
-        patterns_applied: stimulus.cycles,
+        reference_segments,
+        segment_checkpoints(stimulus.cycles),
+        stimulus.cycles,
         entries,
-    }
+    )
+}
+
+/// Reads lane `lane` of the signature bit-planes back into one register
+/// word (bit `i` = stage `i + 1`).
+fn lane_signature<const W: usize>(planes: &[[u64; W]], lane: usize) -> u64 {
+    let (w, b) = (lane / 64, lane % 64);
+    planes
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, plane)| acc | (((plane[w] >> b) & 1) << i))
 }
 
 /// The classic dictionary pass on the 64-lane packed simulator.
@@ -172,16 +291,18 @@ fn packed_signatures(
     faults: &[Injection],
     stimulus: &crate::coverage::Stimulus,
     stimulation: StateStimulation,
-    signature_bits: usize,
-    poly: Gf2Poly,
-) -> (Vec<DictionaryEntry>, u64) {
+    misr: &Misr,
+) -> (Vec<DictionaryEntry>, u64, [u64; DICTIONARY_SEGMENTS]) {
+    let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
+    let checkpoints = segment_checkpoints(stimulus.cycles);
     let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
     let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
 
     let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
     let mut reference_signature = 0u64;
+    let mut reference_segments = [0u64; DICTIONARY_SEGMENTS];
     let init_state = stimulus.st(0)[..num_state].to_vec();
     // An empty fault list still compacts the fault-free reference (one pass
     // with no injected lanes), so `reference_signature` always honours its
@@ -198,9 +319,11 @@ fn packed_signatures(
         let mut detected = 0u64;
         let mut first_detect = vec![None; chunk.len()];
         // Signature bit-planes: `planes[i]` carries stage `i + 1` of all 64
-        // MISRs, one lane per machine.
-        let mut planes = vec![0u64; signature_bits];
-        let mut folded = vec![0u64; signature_bits];
+        // MISRs, one lane per machine (the `[u64; 1]` symbol keeps the
+        // snapshot helper shared with the multi-word differential pass).
+        let mut planes = vec![[0u64; 1]; signature_bits];
+        let mut folded = vec![[0u64; 1]; signature_bits];
+        let mut segments = vec![[0u64; DICTIONARY_SEGMENTS]; 64];
         for cycle in 0..stimulus.cycles {
             if stimulation == StateStimulation::RandomState {
                 let row = cycle * stimulus.st_width;
@@ -216,57 +339,60 @@ fn packed_signatures(
                 newly &= newly - 1;
             }
             // Fold the observation vector onto the register width and clock
-            // all 64 MISRs at once: s⁺₁ = m(s) ⊕ y₁, s⁺ᵢ = sᵢ₋₁ ⊕ yᵢ.
-            folded.fill(0);
-            for (bit, &net) in netlist.plan().observation_points().iter().enumerate() {
-                folded[bit % signature_bits] ^= sim.net_word(net as usize);
+            // all 64 MISRs at once through the shared bit-plane recurrence.
+            for f in folded.iter_mut() {
+                *f = [0];
             }
-            let mut feedback = planes[signature_bits - 1];
-            for i in 1..signature_bits {
-                if poly.coefficient(i) {
-                    feedback ^= planes[i - 1];
+            for (bit, &net) in netlist.plan().observation_points().iter().enumerate() {
+                folded[bit % signature_bits][0] ^= sim.net_word(net as usize);
+            }
+            misr.step_planes(&mut planes, &folded);
+            for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                if checkpoint == cycle + 1 {
+                    for (lane, seg) in segments.iter_mut().enumerate() {
+                        seg[k] = lane_signature(&planes, lane);
+                    }
                 }
             }
-            for i in (1..signature_bits).rev() {
-                planes[i] = planes[i - 1] ^ folded[i];
-            }
-            planes[0] = feedback ^ folded[0];
             sim.clock();
         }
-        let lane_signature = |lane: usize| -> u64 {
-            planes
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, &plane)| acc | (((plane >> lane) & 1) << i))
-        };
-        reference_signature = lane_signature(0);
+        reference_signature = lane_signature(&planes, 0);
+        reference_segments = segments[0];
         entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
             fault,
             first_detect: first_detect[i],
-            signature: lane_signature(i + 1),
+            signature: lane_signature(&planes, i + 1),
+            segments: segments[i + 1],
         }));
     }
-    (entries, reference_signature)
+    (entries, reference_signature, reference_segments)
 }
 
 /// The dictionary pass on the cone-restricted differential block engine:
 /// the good machine's trajectory is recorded once, each 255-fault block
 /// evaluates only the steps its faults (or diverged register states) can
 /// perturb, and the MISR bit-planes advance over [`BLOCK_WORDS`]-word
-/// words.  Because faulty machines are never dropped, a block stays on the
-/// wide step set while any of its lanes has diverged and re-narrows when
-/// they all reconverge.
+/// symbols.  Because faulty machines are never dropped, a block stays on
+/// the wide step set while any of its lanes has diverged and re-narrows
+/// when they all reconverge.
+///
+/// `threads > 1` (the [`SimEngine::Threaded`] dictionary pass) fans the
+/// independent signature blocks out over `std::thread::scope` workers, all
+/// reading the one shared good trace; the merge is in block order, so the
+/// dictionary is identical for any worker count.
 fn differential_signatures(
     netlist: &Netlist,
     faults: &[Injection],
     stimulus: &crate::coverage::Stimulus,
     stimulation: StateStimulation,
-    signature_bits: usize,
-    poly: Gf2Poly,
-) -> (Vec<DictionaryEntry>, u64) {
+    misr: &Misr,
+    threads: usize,
+) -> (Vec<DictionaryEntry>, u64, [u64; DICTIONARY_SEGMENTS]) {
     const W: usize = BLOCK_WORDS;
+    let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
+    let checkpoints = segment_checkpoints(stimulus.cycles);
     let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
     let init_state = stimulus.st(0)[..num_state].to_vec();
     let obs = netlist.plan().observation_points();
@@ -280,34 +406,35 @@ fn differential_signatures(
         stimulus.cycles,
     );
 
-    // The fault-free reference signature from the recorded good trajectory
-    // (the same recurrence the lane planes run, on one machine).
-    let mut ref_state = vec![false; signature_bits];
+    // The fault-free reference signature from the recorded good trajectory:
+    // the same shared recurrence the lane planes run, on `bool` symbols.
+    let mut ref_planes = vec![false; signature_bits];
     let mut ref_folded = vec![false; signature_bits];
+    let mut reference_segments = [0u64; DICTIONARY_SEGMENTS];
+    let plane_word = |planes: &[bool]| -> u64 {
+        planes
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    };
     for cycle in 0..stimulus.cycles {
         let row = trace.row(cycle);
         ref_folded.fill(false);
         for (bit, &net) in obs.iter().enumerate() {
             ref_folded[bit % signature_bits] ^= (row[net as usize / 64] >> (net % 64)) & 1 == 1;
         }
-        let mut feedback = ref_state[signature_bits - 1];
-        for i in 1..signature_bits {
-            if poly.coefficient(i) {
-                feedback ^= ref_state[i - 1];
+        misr.step_planes(&mut ref_planes, &ref_folded);
+        for (k, &checkpoint) in checkpoints.iter().enumerate() {
+            if checkpoint == cycle + 1 {
+                reference_segments[k] = plane_word(&ref_planes);
             }
         }
-        for i in (1..signature_bits).rev() {
-            ref_state[i] = ref_state[i - 1] ^ ref_folded[i];
-        }
-        ref_state[0] = feedback ^ ref_folded[0];
     }
-    let reference_signature = ref_state
-        .iter()
-        .enumerate()
-        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i));
+    let reference_signature = plane_word(&ref_planes);
 
-    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
-    for chunk in faults.chunks(BLOCK_FAULT_LANES) {
+    // One independent signature block per 255-fault chunk, against the
+    // shared good trace.
+    let signature_block = |chunk: &[Injection]| -> Vec<DictionaryEntry> {
         let mut sim = DiffSimulator::<W>::with_injections(netlist, chunk);
         sim.set_state_broadcast_bits(&init_state);
         let fault_mask = sim.active();
@@ -315,6 +442,7 @@ fn differential_signatures(
         let mut first_detect = vec![None; chunk.len()];
         let mut planes = vec![[0u64; W]; signature_bits];
         let mut folded = vec![[0u64; W]; signature_bits];
+        let mut segments = vec![[0u64; DICTIONARY_SEGMENTS]; 64 * W];
         for cycle in 0..stimulus.cycles {
             if stimulation == StateStimulation::RandomState {
                 sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
@@ -338,45 +466,41 @@ fn differential_signatures(
             }
             for (bit, &net) in obs.iter().enumerate() {
                 let value = sim.net_value(wide, net as usize, good_row);
-                let acc = &mut folded[bit % signature_bits];
-                for (a, &v) in acc.iter_mut().zip(value.iter()) {
-                    *a ^= v;
-                }
+                folded[bit % signature_bits] = folded[bit % signature_bits].xor(value);
             }
-            let mut feedback = planes[signature_bits - 1];
-            for i in 1..signature_bits {
-                if poly.coefficient(i) {
-                    let tap = planes[i - 1];
-                    for (f, &t) in feedback.iter_mut().zip(tap.iter()) {
-                        *f ^= t;
+            misr.step_planes(&mut planes, &folded);
+            for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                if checkpoint == cycle + 1 {
+                    for (lane, seg) in segments.iter_mut().enumerate().take(chunk.len() + 1) {
+                        seg[k] = lane_signature(&planes, lane);
                     }
                 }
             }
-            for i in (1..signature_bits).rev() {
-                let below = planes[i - 1];
-                for ((p, &b), &f) in planes[i].iter_mut().zip(below.iter()).zip(folded[i].iter()) {
-                    *p = b ^ f;
-                }
-            }
-            for (k, (p, &f)) in planes[0].iter_mut().zip(folded[0].iter()).enumerate() {
-                *p = feedback[k] ^ f;
-            }
             sim.clock_cycle(wide, good_row);
         }
-        let lane_signature = |lane: usize| -> u64 {
-            let (w, b) = (lane / 64, lane % 64);
-            planes
-                .iter()
-                .enumerate()
-                .fold(0u64, |acc, (i, plane)| acc | (((plane[w] >> b) & 1) << i))
-        };
-        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
-            fault,
-            first_detect: first_detect[i],
-            signature: lane_signature(i + 1),
-        }));
-    }
-    (entries, reference_signature)
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, &fault)| DictionaryEntry {
+                fault,
+                first_detect: first_detect[i],
+                signature: lane_signature(&planes, i + 1),
+                segments: segments[i + 1],
+            })
+            .collect()
+    };
+
+    // Every block's trajectory is independent of its worker, and
+    // `sharded_map` merges blocks in block order, so the dictionary is
+    // bit-for-bit identical for any worker count (the same discipline as
+    // the detection driver).
+    let chunks: Vec<&[Injection]> = faults.chunks(BLOCK_FAULT_LANES).collect();
+    let entries: Vec<DictionaryEntry> =
+        crate::differential::sharded_map(&chunks, threads, |chunk| signature_block(chunk))
+            .into_iter()
+            .flatten()
+            .collect();
+    (entries, reference_signature, reference_segments)
 }
 
 #[cfg(test)]
@@ -463,12 +587,77 @@ mod tests {
         for entry in &dictionary.entries {
             if entry.first_detect.is_none() {
                 assert_eq!(entry.signature, dictionary.reference_signature);
+                assert_eq!(entry.segments, dictionary.reference_segments);
                 assert!(!dictionary.aliased(entry));
             }
         }
         // Candidate lookup finds at least the reference group.
         let candidates = dictionary.candidates(dictionary.reference_signature);
         assert!(candidates.len() >= dictionary.entries.len() - detected);
+    }
+
+    #[test]
+    fn candidates_index_matches_a_linear_scan() {
+        let netlist = pst_netlist();
+        let faults = crate::faults::StuckAt.fault_list(&netlist, true);
+        let dictionary = build_fault_dictionary(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                max_patterns: 256,
+                ..Default::default()
+            },
+        );
+        let mut signatures: Vec<u64> = dictionary.entries.iter().map(|e| e.signature).collect();
+        signatures.push(0xDEAD_BEEF); // a signature no fault produces
+        signatures.dedup();
+        for signature in signatures {
+            let scanned: Vec<&DictionaryEntry> = dictionary
+                .entries
+                .iter()
+                .filter(|e| e.signature == signature)
+                .collect();
+            let indexed = dictionary.candidates(signature);
+            assert_eq!(scanned.len(), indexed.len(), "signature {signature:x}");
+            for (s, i) in scanned.iter().zip(&indexed) {
+                assert!(std::ptr::eq(*s, *i), "order differs for {signature:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn segment_signatures_checkpoint_the_final_signature() {
+        // A campaign truncated at a checkpoint must reproduce exactly the
+        // segment signature the full campaign recorded there.
+        let netlist = pst_netlist();
+        let faults = crate::faults::StuckAt.fault_list(&netlist, true);
+        let full_config = SelfTestConfig {
+            max_patterns: 512,
+            ..Default::default()
+        };
+        let full = build_fault_dictionary(&netlist, &faults, &full_config);
+        assert_eq!(full.segment_checkpoints, [128, 256, 384]);
+        for (k, &checkpoint) in full.segment_checkpoints.iter().enumerate() {
+            let truncated = build_fault_dictionary(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    max_patterns: checkpoint,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                truncated.reference_signature, full.reference_segments[k],
+                "reference at checkpoint {checkpoint}"
+            );
+            for (t, f) in truncated.entries.iter().zip(&full.entries) {
+                assert_eq!(
+                    t.signature, f.segments[k],
+                    "{} at checkpoint {checkpoint}",
+                    f.fault
+                );
+            }
+        }
     }
 
     #[test]
@@ -486,7 +675,7 @@ mod tests {
         let misr = Misr::new(primitive_polynomial(w).unwrap()).unwrap();
 
         // Re-simulate the fault-free machine through the scalar engine.
-        let stimulus = generate_stimulus(&netlist, &config);
+        let stimulus = generate_stimulus(&netlist, &config.campaign());
         let mut sim = crate::sim::Simulator::new(&netlist);
         sim.set_state(&stimulus.st(0)[..netlist.flip_flops().len()]);
         let mut state = Gf2Vec::zero(w).unwrap();
@@ -508,8 +697,8 @@ mod tests {
     }
 
     /// The differential block engine must produce dictionaries identical
-    /// to the classic packed pass — entries, signatures and reference —
-    /// for every fault model and both stimulation styles.
+    /// to the classic packed pass — entries, signatures, segments and
+    /// reference — for every fault model and both stimulation styles.
     #[test]
     fn differential_dictionary_matches_packed() {
         let packed_config = SelfTestConfig {
@@ -541,6 +730,38 @@ mod tests {
         }
     }
 
+    /// The threaded dictionary pass (blocks sharded over workers, one
+    /// shared good trace) must be bit-for-bit identical to the
+    /// single-threaded differential pass for any worker count, on a fault
+    /// universe spanning several blocks.
+    #[test]
+    fn threaded_dictionary_is_worker_count_invariant() {
+        let netlist = pst_netlist();
+        let faults: Vec<Injection> = all_models()
+            .iter()
+            .flat_map(|m| m.fault_list(&netlist, false))
+            .collect();
+        assert!(faults.len() > BLOCK_FAULT_LANES, "need several blocks");
+        let base = SelfTestConfig {
+            max_patterns: 128,
+            engine: SimEngine::Differential,
+            ..Default::default()
+        };
+        let single = build_fault_dictionary(&netlist, &faults, &base);
+        for threads in [2usize, 3, 64] {
+            let sharded = build_fault_dictionary(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    engine: SimEngine::Threaded,
+                    threads: Some(threads),
+                    ..base.clone()
+                },
+            );
+            assert_eq!(single, sharded, "{threads} workers");
+        }
+    }
+
     #[test]
     fn degenerate_dictionaries_are_total() {
         let netlist = dff_netlist();
@@ -550,6 +771,7 @@ mod tests {
         let full = build_fault_dictionary(&netlist, &faults, &SelfTestConfig::default());
         assert!(empty.entries.is_empty());
         assert_eq!(empty.reference_signature, full.reference_signature);
+        assert_eq!(empty.reference_segments, full.reference_segments);
         assert_ne!(empty.reference_signature, 0);
         let no_patterns = build_fault_dictionary(
             &netlist,

@@ -10,7 +10,9 @@
 //!
 //! * the **good machine is simulated once per pattern** on the scalar
 //!   simulator and its net values are broadcast to every lane block
-//!   ([`GoodTrace`]);
+//!   (`GoodTrace`); the trace of a campaign segment is recorded once and
+//!   shared read-only by every block *and every worker thread* of that
+//!   segment;
 //! * faults are packed into **multi-word lane blocks**
 //!   ([`LaneBlock`]; the campaign uses [`BLOCK_WORDS`] words = 255 fault
 //!   lanes plus the shared good reference in lane 0), so one sweep advances
@@ -28,16 +30,23 @@
 //!   (swap-compacted) whenever at least half of the block's faults have
 //!   been retired.
 //!
+//! The word-parallel compile/eval machinery itself — opcodes, patched
+//! gates, the injection algebra — is *not* duplicated here: it is the
+//! shared `engine::PackedCore<W>` that also powers [`crate::packed`] (the
+//! `W = 1` instance).  This module adds only the cone-restricted step
+//! scheduling and the differential campaign driver.
+//!
 //! The engine is model-agnostic over [`Injection`] — stuck outputs, stuck
 //! pins, delayed transitions (with the one-cycle memory carried per word)
 //! and bridges all keep working — and produces detection patterns
 //! bit-for-bit identical to the scalar and packed engines.
 
 use crate::coverage::{table_tail, AliveFault, LaneTables, StateStimulation, Stimulus};
+use crate::engine::{Op, PackedCore};
 use crate::faults::Injection;
 use crate::packed::FAULT_LANES as PACKED_FAULT_LANES;
 use crate::sim::Simulator;
-use stfsm_bist::netlist::{EvalPlan, Netlist, PlanOp};
+use stfsm_bist::netlist::{EvalPlan, Netlist};
 use stfsm_lfsr::bitvec::broadcast;
 
 /// A block of `W` 64-lane packing words: `64 * W` simulated machines that
@@ -72,7 +81,9 @@ fn row_bit(row: &[u64], net: usize) -> bool {
 }
 
 /// The good machine's trajectory over one campaign segment, recorded once
-/// on the scalar simulator and shared (read-only) by every lane block.
+/// on the scalar simulator and shared (read-only) by every lane block and
+/// every worker of the [`threaded`](crate::coverage::SimEngine::Threaded)
+/// engine.
 pub(crate) struct GoodTrace {
     stride: usize,
     num_state: usize,
@@ -145,68 +156,6 @@ impl GoodTrace {
     }
 }
 
-/// Compiled opcodes, mirroring the packed engine's specialisation of
-/// [`PlanOp`] (inline operands for arity ≤ 2, shared fan-in ranges for
-/// wider gates, a side table for faulted gates).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
-    In,
-    Ff,
-    Const0,
-    Const1,
-    Not,
-    And2,
-    Or2,
-    Xor2,
-    AndN,
-    OrN,
-    XorN,
-    Patched,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Instr {
-    op: Op,
-    a: u32,
-    b: u32,
-}
-
-/// An input-pin stuck-at patch with per-word lane masks.
-#[derive(Debug, Clone, Copy)]
-struct PinPatch<const W: usize> {
-    gate: u32,
-    pin: u32,
-    set: [u64; W],
-    clear: [u64; W],
-}
-
-/// A bridge patch on one victim net with per-word lane masks.
-#[derive(Debug, Clone, Copy)]
-struct BridgePatch<const W: usize> {
-    victim: u32,
-    aggressor: u32,
-    and_mask: [u64; W],
-    or_mask: [u64; W],
-}
-
-/// Side-table entry for a faulted gate (see [`crate::packed`]'s
-/// `PatchedGate`), widened to `W`-word lane masks.
-#[derive(Debug, Clone, Copy)]
-struct PatchedGate<const W: usize> {
-    op: PlanOp,
-    net: u32,
-    fanin_start: u32,
-    fanin_end: u32,
-    patch_start: u32,
-    patch_end: u32,
-    bridge_start: u32,
-    bridge_end: u32,
-    out_set: [u64; W],
-    out_clear: [u64; W],
-    rise: [u64; W],
-    fall: [u64; W],
-}
-
 /// A restricted evaluation schedule: the member bitset over nets, the
 /// member steps in topological order, the frontier (nets read by member
 /// steps but computed outside the set, seeded from the good machine each
@@ -220,21 +169,13 @@ struct StepSet {
     ff_d_in: Vec<bool>,
 }
 
-/// A `W`-word differential lane-block simulator for one [`Netlist`].
+/// A `W`-word differential lane-block simulator for one [`Netlist`]: the
+/// shared `PackedCore<W>` plus cone-restricted step scheduling.
 ///
 /// Lane `i + 1` (word `(i + 1) / 64`, bit `(i + 1) % 64`) carries
 /// `injections[i]`; lane 0 of word 0 is the good reference.
 pub(crate) struct DiffSimulator<'a, const W: usize> {
-    netlist: &'a Netlist,
-    values: Vec<[u64; W]>,
-    state: Vec<[u64; W]>,
-    code: Vec<Instr>,
-    patched: Vec<PatchedGate<W>>,
-    pin_patches: Vec<PinPatch<W>>,
-    bridges: Vec<BridgePatch<W>>,
-    trans_prev: Vec<[u64; W]>,
-    trans_next: Vec<[u64; W]>,
-    injections: Vec<Injection>,
+    core: PackedCore<'a, W>,
     /// Lanes whose fault has not been detected yet.
     active: [u64; W],
     narrow: StepSet,
@@ -251,235 +192,14 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// Panics if more than [`LaneBlock::FAULT_LANES`] injections are given
     /// or a bridge aggressor does not precede its victim.
     pub(crate) fn with_injections(netlist: &'a Netlist, injections: &[Injection]) -> Self {
-        assert!(
-            injections.len() <= LaneBlock::<W>::FAULT_LANES,
-            "at most {} faults per {W}-word block, got {}",
-            LaneBlock::<W>::FAULT_LANES,
-            injections.len()
-        );
-        let num_nets = netlist.gates().len();
-        let zero = [0u64; W];
-        let mut out_set = vec![zero; num_nets];
-        let mut out_clear = vec![zero; num_nets];
-        let mut rise = vec![zero; num_nets];
-        let mut fall = vec![zero; num_nets];
-        let mut pin_patches: Vec<PinPatch<W>> = Vec::new();
-        let mut bridge_patches: Vec<BridgePatch<W>> = Vec::new();
-        for (i, injection) in injections.iter().enumerate() {
-            let lane = i + 1;
-            let (word, bit) = (lane / 64, lane % 64);
-            let mask = 1u64 << bit;
-            match *injection {
-                Injection::StuckOutput { net, value } => {
-                    if value {
-                        out_set[net][word] |= mask;
-                    } else {
-                        out_clear[net][word] |= mask;
-                    }
-                }
-                Injection::StuckPin { gate, pin, value } => {
-                    let (gate, pin) = (gate as u32, pin as u32);
-                    let patch = match pin_patches
-                        .iter_mut()
-                        .find(|p| p.gate == gate && p.pin == pin)
-                    {
-                        Some(patch) => patch,
-                        None => {
-                            pin_patches.push(PinPatch {
-                                gate,
-                                pin,
-                                set: zero,
-                                clear: zero,
-                            });
-                            pin_patches.last_mut().expect("just pushed")
-                        }
-                    };
-                    if value {
-                        patch.set[word] |= mask;
-                    } else {
-                        patch.clear[word] |= mask;
-                    }
-                }
-                Injection::DelayedTransition { net, slow_to_rise } => {
-                    if slow_to_rise {
-                        rise[net][word] |= mask;
-                    } else {
-                        fall[net][word] |= mask;
-                    }
-                }
-                Injection::Bridge {
-                    victim,
-                    aggressor,
-                    wired_and,
-                } => {
-                    assert!(
-                        aggressor < victim,
-                        "bridge aggressor must precede the victim in net order"
-                    );
-                    let (victim, aggressor) = (victim as u32, aggressor as u32);
-                    let patch = match bridge_patches
-                        .iter_mut()
-                        .find(|b| b.victim == victim && b.aggressor == aggressor)
-                    {
-                        Some(patch) => patch,
-                        None => {
-                            bridge_patches.push(BridgePatch {
-                                victim,
-                                aggressor,
-                                and_mask: zero,
-                                or_mask: zero,
-                            });
-                            bridge_patches.last_mut().expect("just pushed")
-                        }
-                    };
-                    if wired_and {
-                        patch.and_mask[word] |= mask;
-                    } else {
-                        patch.or_mask[word] |= mask;
-                    }
-                }
-            }
-        }
-        pin_patches.sort_by_key(|p| (p.gate, p.pin));
-        bridge_patches.sort_by_key(|b| (b.victim, b.aggressor));
-        let mut patch_ranges = vec![(0u32, 0u32); num_nets];
-        let mut i = 0;
-        while i < pin_patches.len() {
-            let gate = pin_patches[i].gate as usize;
-            let start = i;
-            while i < pin_patches.len() && pin_patches[i].gate as usize == gate {
-                i += 1;
-            }
-            patch_ranges[gate] = (start as u32, i as u32);
-        }
-        let mut bridge_ranges = vec![(0u32, 0u32); num_nets];
-        let mut i = 0;
-        while i < bridge_patches.len() {
-            let victim = bridge_patches[i].victim as usize;
-            let start = i;
-            while i < bridge_patches.len() && bridge_patches[i].victim as usize == victim {
-                i += 1;
-            }
-            bridge_ranges[victim] = (start as u32, i as u32);
-        }
-
-        let plan = netlist.plan();
-        let fanin = plan.fanin();
-        let mut code = Vec::with_capacity(num_nets);
-        let mut patched = Vec::new();
-        for (id, step) in plan.steps().iter().enumerate() {
-            let (patch_start, patch_end) = patch_ranges[id];
-            let (bridge_start, bridge_end) = bridge_ranges[id];
-            if patch_start != patch_end
-                || bridge_start != bridge_end
-                || out_set[id] != zero
-                || out_clear[id] != zero
-                || rise[id] != zero
-                || fall[id] != zero
-            {
-                patched.push(PatchedGate {
-                    op: step.op,
-                    net: id as u32,
-                    fanin_start: step.fanin_start,
-                    fanin_end: step.fanin_end,
-                    patch_start,
-                    patch_end,
-                    bridge_start,
-                    bridge_end,
-                    out_set: out_set[id],
-                    out_clear: out_clear[id],
-                    rise: rise[id],
-                    fall: fall[id],
-                });
-                code.push(Instr {
-                    op: Op::Patched,
-                    a: (patched.len() - 1) as u32,
-                    b: 0,
-                });
-                continue;
-            }
-            let ops = &fanin[step.fanin_range()];
-            let instr = match step.op {
-                PlanOp::Input(k) => Instr {
-                    op: Op::In,
-                    a: k,
-                    b: 0,
-                },
-                PlanOp::FlipFlop(k) => Instr {
-                    op: Op::Ff,
-                    a: k,
-                    b: 0,
-                },
-                PlanOp::Const(false) => Instr {
-                    op: Op::Const0,
-                    a: 0,
-                    b: 0,
-                },
-                PlanOp::Const(true) => Instr {
-                    op: Op::Const1,
-                    a: 0,
-                    b: 0,
-                },
-                PlanOp::Not => Instr {
-                    op: Op::Not,
-                    a: ops[0],
-                    b: 0,
-                },
-                PlanOp::And if ops.len() == 2 => Instr {
-                    op: Op::And2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::Or if ops.len() == 2 => Instr {
-                    op: Op::Or2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::Xor if ops.len() == 2 => Instr {
-                    op: Op::Xor2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::And => Instr {
-                    op: Op::AndN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-                PlanOp::Or => Instr {
-                    op: Op::OrN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-                PlanOp::Xor => Instr {
-                    op: Op::XorN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-            };
-            code.push(instr);
-        }
-
-        // The transition memory starts at each lane's identity value.
-        let trans_prev: Vec<[u64; W]> = patched.iter().map(|g| g.rise).collect();
-        let trans_next = trans_prev.clone();
-
+        let core = PackedCore::compile(netlist, injections);
         let mut active = [0u64; W];
         for i in 0..injections.len() {
             let lane = i + 1;
             active[lane / 64] |= 1u64 << (lane % 64);
         }
-
         let mut sim = Self {
-            netlist,
-            values: vec![zero; num_nets],
-            state: vec![zero; netlist.flip_flops().len()],
-            code,
-            patched,
-            pin_patches,
-            bridges: bridge_patches,
-            trans_prev,
-            trans_next,
-            injections: injections.to_vec(),
+            core,
             active,
             narrow: StepSet {
                 member: Vec::new(),
@@ -519,7 +239,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// narrow = union of the active fault sites' fanout cones, wide = narrow
     /// plus the fanout cones of every register stage's Q output.
     fn rebuild_sets(&mut self) {
-        let plan = self.netlist.plan();
+        let plan = self.core.netlist.plan();
         let stride = plan.cone_stride();
         let mut narrow_bits = vec![0u64; stride];
         for (w, &aw) in self.active.iter().enumerate() {
@@ -528,7 +248,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                 let bit = lanes.trailing_zeros() as usize;
                 lanes &= lanes - 1;
                 let lane = w * 64 + bit;
-                let site = self.injections[lane - 1].patched_gate();
+                let site = self.core.injections[lane - 1].patched_gate();
                 for (dst, &src) in narrow_bits.iter_mut().zip(plan.fanout_cone(site)) {
                     *dst |= src;
                 }
@@ -546,8 +266,8 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     }
 
     fn make_set(&self, member: Vec<u64>) -> StepSet {
-        let plan = self.netlist.plan();
-        let num_nets = self.code.len();
+        let plan = self.core.netlist.plan();
+        let num_nets = self.core.code.len();
         let mut steps = Vec::new();
         let mut frontier_bits = vec![0u64; member.len()];
         for id in 0..num_nets {
@@ -560,9 +280,11 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                     frontier_bits[f as usize / 64] |= 1u64 << (f % 64);
                 }
             }
-            if self.code[id].op == Op::Patched {
-                let gate = &self.patched[self.code[id].a as usize];
-                for bridge in &self.bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
+            if self.core.code[id].op == Op::Patched {
+                let gate = &self.core.patched[self.core.code[id].a as usize];
+                for bridge in
+                    &self.core.bridges[gate.bridge_start as usize..gate.bridge_end as usize]
+                {
                     let agg = bridge.aggressor as usize;
                     if !row_bit(&member, agg) {
                         frontier_bits[agg / 64] |= 1u64 << (agg % 64);
@@ -601,8 +323,12 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// Seeds the register: lane 0 (and every unused lane) resumes the good
     /// reference, lane `i + 1` resumes faulty machine `chunk[i]`.
     pub(crate) fn set_state_lanes(&mut self, reference: &[bool], chunk: &[AliveFault]) {
-        assert_eq!(reference.len(), self.state.len(), "state width mismatch");
-        for (ff, words) in self.state.iter_mut().enumerate() {
+        assert_eq!(
+            reference.len(),
+            self.core.state.len(),
+            "state width mismatch"
+        );
+        for (ff, words) in self.core.state.iter_mut().enumerate() {
             let mut row = [broadcast(reference[ff]); W];
             for (i, alive) in chunk.iter().enumerate() {
                 let lane = i + 1;
@@ -620,119 +346,48 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// Sets every lane of the register to the same state (the
     /// pattern-generation override of the random-state stimulation).
     pub(crate) fn set_state_broadcast_bits(&mut self, bits: &[bool]) {
-        assert_eq!(bits.len(), self.state.len(), "state width mismatch");
-        for (words, &bit) in self.state.iter_mut().zip(bits) {
-            *words = [broadcast(bit); W];
-        }
+        self.core.set_state_broadcast_bits(bits);
     }
 
     /// Reads the register state of one lane (stage 1 first).
     pub(crate) fn lane_state(&self, lane: usize) -> Vec<bool> {
-        let (w, b) = (lane / 64, lane % 64);
-        self.state
-            .iter()
-            .map(|row| (row[w] >> b) & 1 == 1)
-            .collect()
+        self.core.lane_state(lane)
     }
 
     /// The one-cycle transition memory of a faulty lane (`None` for
     /// stateless injections).
     pub(crate) fn transition_memory(&self, lane: usize) -> Option<bool> {
-        let idx = self.transition_patch(lane)?;
-        let (w, b) = (lane / 64, lane % 64);
-        Some((self.trans_prev[idx][w] >> b) & 1 == 1)
+        self.core.transition_memory(lane)
     }
 
     /// Seeds the one-cycle transition memory of a faulty lane (no-op for
     /// stateless injections).
     pub(crate) fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
-        if let Some(idx) = self.transition_patch(lane) {
-            let (w, b) = (lane / 64, lane % 64);
-            let mask = 1u64 << b;
-            for words in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
-                if bit {
-                    words[w] |= mask;
-                } else {
-                    words[w] &= !mask;
-                }
-            }
-        }
-    }
-
-    fn transition_patch(&self, lane: usize) -> Option<usize> {
-        assert!(
-            lane >= 1 && lane <= self.injections.len(),
-            "lane {lane} carries no injected fault"
-        );
-        match self.injections[lane - 1] {
-            Injection::DelayedTransition { net, .. } => Some(
-                self.patched
-                    .iter()
-                    .position(|g| g.net as usize == net)
-                    .expect("transition fault compiles to a patched gate"),
-            ),
-            _ => None,
-        }
+        self.core.seed_transition_memory(lane, bit);
     }
 
     /// Whether the block needs the wide step set this cycle: true iff any
     /// lane's register state differs from the good machine's state.
     pub(crate) fn needs_wide(&self, good_pre_state: &[bool]) -> bool {
-        self.state.iter().zip(good_pre_state).any(|(row, &bit)| {
-            let good = broadcast(bit);
-            row.iter().any(|&w| w != good)
-        })
+        self.core
+            .state
+            .iter()
+            .zip(good_pre_state)
+            .any(|(row, &bit)| {
+                let good = broadcast(bit);
+                row.iter().any(|&w| w != good)
+            })
     }
 
     /// Evaluates the selected step set: seeds the frontier nets from the
-    /// good machine's values, then sweeps the member steps.
+    /// good machine's values, then sweeps the member steps on the shared
+    /// core.
     pub(crate) fn eval_cycle(&mut self, wide: bool, good_row: &[u64], inputs: &[u64]) {
-        let plan = self.netlist.plan();
-        assert_eq!(
-            inputs.len(),
-            plan.num_inputs(),
-            "primary input width mismatch"
-        );
-        let Self {
-            values,
-            state,
-            code,
-            patched,
-            pin_patches,
-            bridges,
-            trans_prev,
-            trans_next,
-            narrow,
-            wide: wide_set,
-            ..
-        } = self;
-        let set = if wide { wide_set } else { narrow };
-        let fanin = plan.fanin();
+        let set = if wide { &self.wide } else { &self.narrow };
         for &n in &set.frontier {
-            values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
+            self.core.values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
         }
-        for &s in &set.steps {
-            let id = s as usize;
-            let instr = code[id];
-            let value = if instr.op == Op::Patched {
-                let idx = instr.a as usize;
-                let (value, raw) = eval_patched(
-                    values,
-                    state,
-                    inputs,
-                    fanin,
-                    pin_patches,
-                    bridges,
-                    patched[idx],
-                    trans_prev[idx],
-                );
-                trans_next[idx] = raw;
-                value
-            } else {
-                eval_instr(values, state, inputs, fanin, instr)
-            };
-            values[id] = value;
-        }
+        self.core.eval_steps(&set.steps, inputs);
     }
 
     /// The lanes whose observation points differ from the good machine
@@ -742,7 +397,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         let mut acc = [0u64; W];
         for &net in &set.obs {
             let good = broadcast(row_bit(good_row, net as usize));
-            let value = &self.values[net as usize];
+            let value = &self.core.values[net as usize];
             for (a, &v) in acc.iter_mut().zip(value.iter()) {
                 *a |= v ^ good;
             }
@@ -756,7 +411,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     pub(crate) fn net_value(&self, wide: bool, net: usize, good_row: &[u64]) -> [u64; W] {
         let set = if wide { &self.wide } else { &self.narrow };
         if row_bit(&set.member, net) {
-            self.values[net]
+            self.core.values[net]
         } else {
             [broadcast(row_bit(good_row, net)); W]
         }
@@ -766,18 +421,16 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// the rest load the broadcast good value.  Also commits the one-cycle
     /// transition memories.
     pub(crate) fn clock_cycle(&mut self, wide: bool, good_row: &[u64]) {
-        let plan = self.netlist.plan();
+        let plan = self.core.netlist.plan();
         let set = if wide { &self.wide } else { &self.narrow };
         for (i, &d) in plan.flip_flop_inputs().iter().enumerate() {
-            self.state[i] = if set.ff_d_in[i] {
-                self.values[d as usize]
+            self.core.state[i] = if set.ff_d_in[i] {
+                self.core.values[d as usize]
             } else {
                 [broadcast(row_bit(good_row, d as usize)); W]
             };
         }
-        for (prev, next) in self.trans_prev.iter_mut().zip(&self.trans_next) {
-            *prev = *next;
-        }
+        self.core.commit_transitions();
     }
 
     /// One fused campaign cycle: pick narrow/wide from the divergence
@@ -803,11 +456,11 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         // Clamp every retired (and unused) lane back onto the good state so
         // it stops forcing wide evaluation; the good next state is the
         // broadcast of the good machine's D values.
-        let plan = self.netlist.plan();
+        let plan = self.core.netlist.plan();
         let live = self.active;
         for (i, &d) in plan.flip_flop_inputs().iter().enumerate() {
             let good = broadcast(row_bit(good_row, d as usize));
-            for (s, &l) in self.state[i].iter_mut().zip(live.iter()) {
+            for (s, &l) in self.core.state[i].iter_mut().zip(live.iter()) {
                 *s = (*s & l) | (good & !l);
             }
         }
@@ -819,129 +472,75 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     }
 }
 
-#[inline(always)]
-fn eval_instr<const W: usize>(
-    values: &[[u64; W]],
-    state: &[[u64; W]],
-    inputs: &[u64],
-    fanin: &[u32],
-    Instr { op, a, b }: Instr,
-) -> [u64; W] {
-    match op {
-        Op::In => [inputs[a as usize]; W],
-        Op::Ff => state[a as usize],
-        Op::Const0 => [0; W],
-        Op::Const1 => [u64::MAX; W],
-        Op::Not => {
-            let x = values[a as usize];
-            std::array::from_fn(|k| !x[k])
-        }
-        Op::And2 => {
-            let (x, y) = (values[a as usize], values[b as usize]);
-            std::array::from_fn(|k| x[k] & y[k])
-        }
-        Op::Or2 => {
-            let (x, y) = (values[a as usize], values[b as usize]);
-            std::array::from_fn(|k| x[k] | y[k])
-        }
-        Op::Xor2 => {
-            let (x, y) = (values[a as usize], values[b as usize]);
-            std::array::from_fn(|k| x[k] ^ y[k])
-        }
-        Op::AndN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([u64::MAX; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] & v[k])
-            }),
-        Op::OrN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([0u64; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] | v[k])
-            }),
-        Op::XorN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([0u64; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] ^ v[k])
-            }),
-        Op::Patched => unreachable!("patched gates are dispatched by `eval_cycle`"),
-    }
-}
+/// The per-segment output of one lane block: the `(fault index, cycle)`
+/// detections and the surviving faults (with their carried register state
+/// and transition memory), in lane order.
+type BlockResult = (Vec<(usize, usize)>, Vec<AliveFault>);
 
-/// Slow path for faulted gates: applies pin patches while folding the
-/// operands, then the transition, bridge and output-mask injections (the
-/// `W`-word generalisation of the packed engine's patched path).  Returns
-/// the injected value and the raw value feeding the transition memory.
+/// Runs one lane block over cycles `from..to` of a campaign segment
+/// against the shared good trace.
 #[allow(clippy::too_many_arguments)]
-fn eval_patched<const W: usize>(
-    values: &[[u64; W]],
-    state: &[[u64; W]],
-    inputs: &[u64],
-    fanin: &[u32],
-    pin_patches: &[PinPatch<W>],
-    bridges: &[BridgePatch<W>],
-    gate: PatchedGate<W>,
-    prev: [u64; W],
-) -> ([u64; W], [u64; W]) {
-    let patches = &pin_patches[gate.patch_start as usize..gate.patch_end as usize];
-    let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
-    let operand = |pin: usize, net: u32| -> [u64; W] {
-        let mut w = values[net as usize];
-        for patch in patches {
-            if patch.pin == pin as u32 {
-                w = std::array::from_fn(|k| (w[k] & !patch.clear[k]) | patch.set[k]);
+fn run_block(
+    netlist: &Netlist,
+    chunk: &[AliveFault],
+    trace: &GoodTrace,
+    stimulus: &Stimulus,
+    pi_words: &[u64],
+    stimulation: StateStimulation,
+    reference_state: &[bool],
+    from: usize,
+    to: usize,
+) -> BlockResult {
+    let num_inputs = netlist.primary_inputs().len();
+    let num_state = netlist.flip_flops().len();
+    let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+    let mut sim = DiffSimulator::<BLOCK_WORDS>::with_injections(netlist, &injections);
+    sim.set_state_lanes(reference_state, chunk);
+    for (i, alive_fault) in chunk.iter().enumerate() {
+        if let Some(bit) = alive_fault.memory {
+            sim.seed_transition_memory(i + 1, bit);
+        }
+    }
+    let mut detections = Vec::new();
+    for cycle in from..to {
+        if sim.active_is_empty() {
+            break;
+        }
+        if stimulation == StateStimulation::RandomState {
+            sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
+        }
+        let row = cycle * num_inputs;
+        let detected = sim.step_detect(
+            trace.row(cycle),
+            trace.pre_state(cycle),
+            &pi_words[row..row + num_inputs],
+        );
+        for (w, &word) in detected.iter().enumerate() {
+            let mut lanes = word;
+            while lanes != 0 {
+                let lane = w * 64 + lanes.trailing_zeros() as usize;
+                detections.push((chunk[lane - 1].index, cycle));
+                lanes &= lanes - 1;
             }
         }
-        w
-    };
-    let raw: [u64; W] = match gate.op {
-        PlanOp::Input(k) => [inputs[k as usize]; W],
-        PlanOp::FlipFlop(k) => state[k as usize],
-        PlanOp::Const(c) => [broadcast(c); W],
-        PlanOp::And => ops
-            .iter()
-            .enumerate()
-            .fold([u64::MAX; W], |acc, (pin, &n)| {
-                let v = operand(pin, n);
-                std::array::from_fn(|k| acc[k] & v[k])
-            }),
-        PlanOp::Or => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
-            let v = operand(pin, n);
-            std::array::from_fn(|k| acc[k] | v[k])
-        }),
-        PlanOp::Xor => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
-            let v = operand(pin, n);
-            std::array::from_fn(|k| acc[k] ^ v[k])
-        }),
-        PlanOp::Not => {
-            let v = operand(0, ops[0]);
-            std::array::from_fn(|k| !v[k])
+    }
+    let mut survivors = Vec::new();
+    let active = sim.active();
+    for (w, &word) in active.iter().enumerate() {
+        let mut lanes = word;
+        while lanes != 0 {
+            let lane = w * 64 + lanes.trailing_zeros() as usize;
+            lanes &= lanes - 1;
+            let alive_fault = &chunk[lane - 1];
+            survivors.push(AliveFault {
+                index: alive_fault.index,
+                fault: alive_fault.fault,
+                state: sim.lane_state(lane),
+                memory: sim.transition_memory(lane),
+            });
         }
-    };
-    let mut value = raw;
-    let tmask: [u64; W] = std::array::from_fn(|k| gate.rise[k] | gate.fall[k]);
-    if tmask.iter().any(|&t| t != 0) {
-        value = std::array::from_fn(|k| {
-            (value[k] & !tmask[k])
-                | (raw[k] & prev[k] & gate.rise[k])
-                | ((raw[k] | prev[k]) & gate.fall[k])
-        });
     }
-    for bridge in &bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
-        let aggressor = values[bridge.aggressor as usize];
-        value = std::array::from_fn(|k| {
-            let bmask = bridge.and_mask[k] | bridge.or_mask[k];
-            (value[k] & !bmask)
-                | (raw[k] & aggressor[k] & bridge.and_mask[k])
-                | ((raw[k] | aggressor[k]) & bridge.or_mask[k])
-        });
-    }
-    (
-        std::array::from_fn(|k| (value[k] & !gate.out_clear[k]) | gate.out_set[k]),
-        raw,
-    )
+    (detections, survivors)
 }
 
 /// Differential engine of a coverage campaign: the good machine runs once
@@ -955,7 +554,56 @@ pub(crate) fn differential_detection(
     stimulus: &Stimulus,
     stimulation: StateStimulation,
 ) -> Vec<Option<usize>> {
-    let num_inputs = netlist.primary_inputs().len();
+    sharded_differential_detection(netlist, faults, stimulus, stimulation, 1)
+}
+
+/// Maps independent work items through `f`, fanned out over up to
+/// `threads` scoped workers in contiguous groups.  Results are merged in
+/// item order, so the output is identical for any worker count — the one
+/// sharding discipline shared by the threaded detection driver and the
+/// threaded dictionary pass.
+pub(crate) fn sharded_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let group_len = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(group_len)
+            .map(|group| scope.spawn(move || group.iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Joined in spawn order, which is item order: deterministic merge.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("fault-simulation worker panicked"))
+            .collect()
+    })
+}
+
+/// The differential campaign driver, generalized over a worker count: each
+/// segment records the good machine's trace **once** and shares it
+/// read-only across all lane blocks, processed either in-line
+/// (`threads <= 1`) or fanned out over `std::thread::scope` workers in
+/// contiguous block groups.
+///
+/// Every fault's trajectory is that of its own isolated machine — block
+/// packing and worker scheduling never change results, only wall-clock
+/// time — and blocks are merged in block order, so the result is
+/// bit-for-bit identical to the single-threaded engines regardless of the
+/// thread count.
+pub(crate) fn sharded_differential_detection(
+    netlist: &Netlist,
+    faults: &[Injection],
+    stimulus: &Stimulus,
+    stimulation: StateStimulation,
+    threads: usize,
+) -> Vec<Option<usize>> {
     let num_state = netlist.flip_flops().len();
     let total_cycles = stimulus.cycles;
     let mut detection_pattern = vec![None; faults.len()];
@@ -1001,54 +649,29 @@ pub(crate) fn differential_detection(
         }
         let to = (from + segment_len).min(total_cycles);
         segment_len = segment_len.saturating_mul(2);
+        // One good-machine recording per segment, shared by every block and
+        // worker.
         let trace = GoodTrace::record(netlist, stimulus, stimulation, &reference_state, from, to);
+        let chunks: Vec<&[AliveFault]> = alive.chunks(BLOCK_FAULT_LANES).collect();
+        let block_results: Vec<BlockResult> = sharded_map(&chunks, threads, |chunk| {
+            run_block(
+                netlist,
+                chunk,
+                &trace,
+                stimulus,
+                &pi_words,
+                stimulation,
+                &reference_state,
+                from,
+                to,
+            )
+        });
         let mut survivors: Vec<AliveFault> = Vec::new();
-        for chunk in alive.chunks(BLOCK_FAULT_LANES) {
-            let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
-            let mut sim = DiffSimulator::<BLOCK_WORDS>::with_injections(netlist, &injections);
-            sim.set_state_lanes(&reference_state, chunk);
-            for (i, alive_fault) in chunk.iter().enumerate() {
-                if let Some(bit) = alive_fault.memory {
-                    sim.seed_transition_memory(i + 1, bit);
-                }
+        for (detections, block_survivors) in block_results {
+            for (index, cycle) in detections {
+                detection_pattern[index] = Some(cycle);
             }
-            for cycle in from..to {
-                if sim.active_is_empty() {
-                    break;
-                }
-                if stimulation == StateStimulation::RandomState {
-                    sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
-                }
-                let row = cycle * num_inputs;
-                let detected = sim.step_detect(
-                    trace.row(cycle),
-                    trace.pre_state(cycle),
-                    &pi_words[row..row + num_inputs],
-                );
-                for (w, &word) in detected.iter().enumerate() {
-                    let mut lanes = word;
-                    while lanes != 0 {
-                        let lane = w * 64 + lanes.trailing_zeros() as usize;
-                        detection_pattern[chunk[lane - 1].index] = Some(cycle);
-                        lanes &= lanes - 1;
-                    }
-                }
-            }
-            let active = sim.active();
-            for (w, &word) in active.iter().enumerate() {
-                let mut lanes = word;
-                while lanes != 0 {
-                    let lane = w * 64 + lanes.trailing_zeros() as usize;
-                    lanes &= lanes - 1;
-                    let alive_fault = &chunk[lane - 1];
-                    survivors.push(AliveFault {
-                        index: alive_fault.index,
-                        fault: alive_fault.fault,
-                        state: sim.lane_state(lane),
-                        memory: sim.transition_memory(lane),
-                    });
-                }
-            }
+            survivors.extend(block_survivors);
         }
         reference_state = trace.end_state().to_vec();
         alive = survivors;
@@ -1234,6 +857,42 @@ mod tests {
             },
         );
         assert_eq!(packed, differential);
+    }
+
+    /// Worker fan-out over the shared per-segment trace must not change a
+    /// single detection, for any worker count (including more workers than
+    /// blocks).
+    #[test]
+    fn sharded_driver_is_worker_count_invariant() {
+        let netlist = pst_netlist();
+        let faults: Vec<Injection> = all_models()
+            .iter()
+            .flat_map(|m| m.fault_list(&netlist, false))
+            .collect();
+        let base = SelfTestConfig {
+            max_patterns: 192,
+            ..Default::default()
+        };
+        let single = run_injection_campaign(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                engine: SimEngine::Differential,
+                ..base.clone()
+            },
+        );
+        for threads in [2usize, 3, 17, 64] {
+            let sharded = run_injection_campaign(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    engine: SimEngine::Threaded,
+                    threads: Some(threads),
+                    ..base.clone()
+                },
+            );
+            assert_eq!(single, sharded, "{threads} workers");
+        }
     }
 
     #[test]

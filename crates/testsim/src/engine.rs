@@ -1,0 +1,688 @@
+//! The single word-parallel simulation core shared by every packed engine.
+//!
+//! Both campaign engines — the classic 64-way packed simulator of
+//! [`crate::packed`] and the cone-restricted differential lane blocks of
+//! [`crate::differential`] — simulate the same thing: `64 * W` machines per
+//! [`LaneBlock`](crate::differential::LaneBlock), advanced by word-wide
+//! logic operations over a compiled instruction stream, with fault
+//! injection folded into per-lane masks.  This module owns that machinery
+//! *once*, generic over the word count `W`:
+//!
+//! * the **compiler** ([`PackedCore::compile`]) that specialises the
+//!   netlist's [`EvalPlan`](stfsm_bist::netlist::EvalPlan) per fault chunk
+//!   — inline operands for arity ≤ 2, shared fan-in ranges for wider
+//!   gates, and a side table of patched gates for the few instructions
+//!   carrying an injected fault;
+//! * the **evaluator** ([`PackedCore::eval_all`] /
+//!   [`PackedCore::eval_steps`]) sweeping the whole plan or a restricted
+//!   step set;
+//! * the branch-free **injection algebra** (stuck outputs/pins, delayed
+//!   transitions with their one-cycle memory, aggressor–victim bridges) in
+//!   [`eval_patched`].
+//!
+//! `PackedSimulator` is literally the `W = 1` instantiation of this core
+//! (one word, 63 fault lanes + the reference in lane 0);
+//! `DiffSimulator<W>` wraps the same core with cone-restricted step sets
+//! and a shared good-machine trace.  There is no second copy of the
+//! step-evaluation logic anywhere in the crate.
+
+use crate::faults::Injection;
+use stfsm_bist::netlist::{Netlist, PlanOp};
+use stfsm_lfsr::bitvec::broadcast;
+
+/// Compiled opcodes of the word-parallel evaluator.  The generic
+/// [`PlanOp`] + fan-in-range interpretation is specialised per gate once
+/// per fault chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// Primary input `a`.
+    In,
+    /// Flip-flop output `a`.
+    Ff,
+    /// Constant-0 word.
+    Const0,
+    /// Constant-1 word.
+    Const1,
+    /// Single-operand complement of net `a`.
+    Not,
+    /// Two-operand AND over nets `a`, `b`.
+    And2,
+    /// Two-operand OR over nets `a`, `b`.
+    Or2,
+    /// Two-operand XOR over nets `a`, `b`.
+    Xor2,
+    /// N-ary AND over the fan-in range `a..b`.
+    AndN,
+    /// N-ary OR over the fan-in range `a..b`.
+    OrN,
+    /// N-ary XOR over the fan-in range `a..b`.
+    XorN,
+    /// Any gate with an injected fault (output mask, stuck pin, transition
+    /// memory or bridge); `a` indexes into [`PackedCore::patched`].
+    Patched,
+}
+
+/// One compiled instruction; instruction `i` produces the value of net `i`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Instr {
+    pub(crate) op: Op,
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+}
+
+/// An input-pin stuck-at patch: lanes in `set` see the pin stuck at 1,
+/// lanes in `clear` see it stuck at 0.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PinPatch<const W: usize> {
+    pub(crate) gate: u32,
+    pub(crate) pin: u32,
+    pub(crate) set: [u64; W],
+    pub(crate) clear: [u64; W],
+}
+
+/// A bridge patch on one victim net: lanes in `and_mask` see the wired-AND
+/// with the aggressor net, lanes in `or_mask` the wired-OR.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BridgePatch<const W: usize> {
+    pub(crate) victim: u32,
+    pub(crate) aggressor: u32,
+    pub(crate) and_mask: [u64; W],
+    pub(crate) or_mask: [u64; W],
+}
+
+/// Side-table entry for a faulted gate: the original opcode, its fan-in
+/// range, its pin-patch and bridge-patch ranges and its output masks.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PatchedGate<const W: usize> {
+    pub(crate) op: PlanOp,
+    /// The net this gate produces (for the transition-memory accessors).
+    pub(crate) net: u32,
+    pub(crate) fanin_start: u32,
+    pub(crate) fanin_end: u32,
+    pub(crate) patch_start: u32,
+    pub(crate) patch_end: u32,
+    pub(crate) bridge_start: u32,
+    pub(crate) bridge_end: u32,
+    pub(crate) out_set: [u64; W],
+    pub(crate) out_clear: [u64; W],
+    /// Lanes with a slow-to-rise / slow-to-fall output.
+    pub(crate) rise: [u64; W],
+    pub(crate) fall: [u64; W],
+}
+
+/// The word-parallel simulation core for one [`Netlist`] and one fault
+/// chunk: `64 * W` lanes, lane 0 of word 0 reserved for the fault-free
+/// reference, lane `i + 1` carrying `injections[i]`.
+#[derive(Debug, Clone)]
+pub(crate) struct PackedCore<'a, const W: usize> {
+    pub(crate) netlist: &'a Netlist,
+    /// The packed value of every net after the last evaluation.
+    pub(crate) values: Vec<[u64; W]>,
+    /// The packed register state (one row per flip-flop, stage 1 first).
+    pub(crate) state: Vec<[u64; W]>,
+    /// Compiled instruction per net.
+    pub(crate) code: Vec<Instr>,
+    /// Faulted gates (output masks, stuck pins, delayed transitions or
+    /// bridges).
+    pub(crate) patched: Vec<PatchedGate<W>>,
+    /// The pin patches, sorted by (gate, pin).
+    pub(crate) pin_patches: Vec<PinPatch<W>>,
+    /// The bridge patches, grouped per victim gate.
+    pub(crate) bridges: Vec<BridgePatch<W>>,
+    /// Per patched gate: the raw (pre-injection) value word of the previous
+    /// clock cycle — the one-cycle memory of the transition-fault lanes.
+    pub(crate) trans_prev: Vec<[u64; W]>,
+    /// Per patched gate: the raw value of the current evaluation, committed
+    /// into `trans_prev` at the clock edge.
+    pub(crate) trans_next: Vec<[u64; W]>,
+    /// The injected faults (lane `i + 1` carries `injections[i]`).
+    pub(crate) injections: Vec<Injection>,
+}
+
+impl<'a, const W: usize> PackedCore<'a, W> {
+    /// Compiles the evaluation plan for one fault chunk: `injections[i]`
+    /// patches lane `i + 1`, lane 0 stays fault-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `64 * W - 1` injections are given, or if a
+    /// [`Injection::Bridge`] aggressor does not precede its victim in the
+    /// topological net order.
+    pub(crate) fn compile(netlist: &'a Netlist, injections: &[Injection]) -> Self {
+        assert!(
+            injections.len() < 64 * W,
+            "at most {} faults per {W}-word block, got {}",
+            64 * W - 1,
+            injections.len()
+        );
+        let num_nets = netlist.gates().len();
+        let zero = [0u64; W];
+        let mut out_set = vec![zero; num_nets];
+        let mut out_clear = vec![zero; num_nets];
+        let mut rise = vec![zero; num_nets];
+        let mut fall = vec![zero; num_nets];
+        let mut pin_patches: Vec<PinPatch<W>> = Vec::new();
+        let mut bridge_patches: Vec<BridgePatch<W>> = Vec::new();
+        for (i, injection) in injections.iter().enumerate() {
+            let lane = i + 1;
+            let (word, bit) = (lane / 64, lane % 64);
+            let mask = 1u64 << bit;
+            match *injection {
+                Injection::StuckOutput { net, value } => {
+                    if value {
+                        out_set[net][word] |= mask;
+                    } else {
+                        out_clear[net][word] |= mask;
+                    }
+                }
+                Injection::StuckPin { gate, pin, value } => {
+                    let (gate, pin) = (gate as u32, pin as u32);
+                    let patch = match pin_patches
+                        .iter_mut()
+                        .find(|p| p.gate == gate && p.pin == pin)
+                    {
+                        Some(patch) => patch,
+                        None => {
+                            pin_patches.push(PinPatch {
+                                gate,
+                                pin,
+                                set: zero,
+                                clear: zero,
+                            });
+                            pin_patches.last_mut().expect("just pushed")
+                        }
+                    };
+                    if value {
+                        patch.set[word] |= mask;
+                    } else {
+                        patch.clear[word] |= mask;
+                    }
+                }
+                Injection::DelayedTransition { net, slow_to_rise } => {
+                    if slow_to_rise {
+                        rise[net][word] |= mask;
+                    } else {
+                        fall[net][word] |= mask;
+                    }
+                }
+                Injection::Bridge {
+                    victim,
+                    aggressor,
+                    wired_and,
+                } => {
+                    assert!(
+                        aggressor < victim,
+                        "bridge aggressor must precede the victim in net order"
+                    );
+                    let (victim, aggressor) = (victim as u32, aggressor as u32);
+                    let patch = match bridge_patches
+                        .iter_mut()
+                        .find(|b| b.victim == victim && b.aggressor == aggressor)
+                    {
+                        Some(patch) => patch,
+                        None => {
+                            bridge_patches.push(BridgePatch {
+                                victim,
+                                aggressor,
+                                and_mask: zero,
+                                or_mask: zero,
+                            });
+                            bridge_patches.last_mut().expect("just pushed")
+                        }
+                    };
+                    if wired_and {
+                        patch.and_mask[word] |= mask;
+                    } else {
+                        patch.or_mask[word] |= mask;
+                    }
+                }
+            }
+        }
+        pin_patches.sort_by_key(|p| (p.gate, p.pin));
+        bridge_patches.sort_by_key(|b| (b.victim, b.aggressor));
+        // Group the patches per gate so the evaluator scans only a gate's
+        // own (tiny) patch list.
+        let mut patch_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < pin_patches.len() {
+            let gate = pin_patches[i].gate as usize;
+            let start = i;
+            while i < pin_patches.len() && pin_patches[i].gate as usize == gate {
+                i += 1;
+            }
+            patch_ranges[gate] = (start as u32, i as u32);
+        }
+        let mut bridge_ranges = vec![(0u32, 0u32); num_nets];
+        let mut i = 0;
+        while i < bridge_patches.len() {
+            let victim = bridge_patches[i].victim as usize;
+            let start = i;
+            while i < bridge_patches.len() && bridge_patches[i].victim as usize == victim {
+                i += 1;
+            }
+            bridge_ranges[victim] = (start as u32, i as u32);
+        }
+
+        // Compile the evaluation plan for this fault chunk: inline operands
+        // for arity <= 2, shared fan-in ranges for wider gates, and a side
+        // table for the few faulted gates.
+        let plan = netlist.plan();
+        let fanin = plan.fanin();
+        let mut code = Vec::with_capacity(num_nets);
+        let mut patched = Vec::new();
+        for (id, step) in plan.steps().iter().enumerate() {
+            let (patch_start, patch_end) = patch_ranges[id];
+            let (bridge_start, bridge_end) = bridge_ranges[id];
+            if patch_start != patch_end
+                || bridge_start != bridge_end
+                || out_set[id] != zero
+                || out_clear[id] != zero
+                || rise[id] != zero
+                || fall[id] != zero
+            {
+                patched.push(PatchedGate {
+                    op: step.op,
+                    net: id as u32,
+                    fanin_start: step.fanin_start,
+                    fanin_end: step.fanin_end,
+                    patch_start,
+                    patch_end,
+                    bridge_start,
+                    bridge_end,
+                    out_set: out_set[id],
+                    out_clear: out_clear[id],
+                    rise: rise[id],
+                    fall: fall[id],
+                });
+                code.push(Instr {
+                    op: Op::Patched,
+                    a: (patched.len() - 1) as u32,
+                    b: 0,
+                });
+                continue;
+            }
+            let ops = &fanin[step.fanin_range()];
+            let instr = match step.op {
+                PlanOp::Input(k) => Instr {
+                    op: Op::In,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::FlipFlop(k) => Instr {
+                    op: Op::Ff,
+                    a: k,
+                    b: 0,
+                },
+                PlanOp::Const(false) => Instr {
+                    op: Op::Const0,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Const(true) => Instr {
+                    op: Op::Const1,
+                    a: 0,
+                    b: 0,
+                },
+                PlanOp::Not => Instr {
+                    op: Op::Not,
+                    a: ops[0],
+                    b: 0,
+                },
+                PlanOp::And if ops.len() == 2 => Instr {
+                    op: Op::And2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Or if ops.len() == 2 => Instr {
+                    op: Op::Or2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::Xor if ops.len() == 2 => Instr {
+                    op: Op::Xor2,
+                    a: ops[0],
+                    b: ops[1],
+                },
+                PlanOp::And => Instr {
+                    op: Op::AndN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Or => Instr {
+                    op: Op::OrN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+                PlanOp::Xor => Instr {
+                    op: Op::XorN,
+                    a: step.fanin_start,
+                    b: step.fanin_end,
+                },
+            };
+            code.push(instr);
+        }
+
+        // The transition memory starts at each lane's identity value (1 on
+        // slow-to-rise lanes, 0 on slow-to-fall lanes), so the first cycle
+        // is injection-free.
+        let trans_prev: Vec<[u64; W]> = patched.iter().map(|g| g.rise).collect();
+        let trans_next = trans_prev.clone();
+        Self {
+            netlist,
+            values: vec![zero; num_nets],
+            state: vec![zero; netlist.flip_flops().len()],
+            code,
+            patched,
+            pin_patches,
+            bridges: bridge_patches,
+            trans_prev,
+            trans_next,
+            injections: injections.to_vec(),
+        }
+    }
+
+    /// Evaluates one compiled instruction and stores its value.
+    #[inline(always)]
+    fn eval_one(&mut self, id: usize, fanin: &[u32], inputs: &[u64]) {
+        let instr = self.code[id];
+        let value = if instr.op == Op::Patched {
+            let idx = instr.a as usize;
+            let (value, raw) = eval_patched(
+                &self.values,
+                &self.state,
+                inputs,
+                fanin,
+                &self.pin_patches,
+                &self.bridges,
+                self.patched[idx],
+                self.trans_prev[idx],
+            );
+            self.trans_next[idx] = raw;
+            value
+        } else {
+            eval_instr(&self.values, &self.state, inputs, fanin, instr)
+        };
+        self.values[id] = value;
+    }
+
+    /// Evaluates the complete plan (every net, in topological order) for
+    /// broadcast primary-input words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub(crate) fn eval_all(&mut self, inputs: &[u64]) {
+        let plan = self.netlist.plan();
+        assert_eq!(
+            inputs.len(),
+            plan.num_inputs(),
+            "primary input width mismatch"
+        );
+        let fanin = plan.fanin();
+        for id in 0..self.code.len() {
+            self.eval_one(id, fanin, inputs);
+        }
+    }
+
+    /// Evaluates a restricted step set (topologically ordered net ids); the
+    /// caller must have seeded every frontier net the member steps read.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub(crate) fn eval_steps(&mut self, steps: &[u32], inputs: &[u64]) {
+        let plan = self.netlist.plan();
+        assert_eq!(
+            inputs.len(),
+            plan.num_inputs(),
+            "primary input width mismatch"
+        );
+        let fanin = plan.fanin();
+        for &s in steps {
+            self.eval_one(s as usize, fanin, inputs);
+        }
+    }
+
+    /// Advances the one-cycle transition memories at the clock edge (once
+    /// per clock cycle, regardless of how many combinational evaluations
+    /// happened in between).
+    pub(crate) fn commit_transitions(&mut self) {
+        self.trans_prev.copy_from_slice(&self.trans_next);
+    }
+
+    /// Sets every lane of the register to the same state (the scan
+    /// initialisation and the pattern-generation override both load one
+    /// shared value into all machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the number of flip-flops.
+    pub(crate) fn set_state_broadcast_bits(&mut self, bits: &[bool]) {
+        assert_eq!(bits.len(), self.state.len(), "state width mismatch");
+        for (row, &bit) in self.state.iter_mut().zip(bits) {
+            *row = [broadcast(bit); W];
+        }
+    }
+
+    /// Reads the register state of one lane (stage 1 first).
+    pub(crate) fn lane_state(&self, lane: usize) -> Vec<bool> {
+        let (w, b) = (lane / 64, lane % 64);
+        self.state
+            .iter()
+            .map(|row| (row[w] >> b) & 1 == 1)
+            .collect()
+    }
+
+    /// The one-cycle transition memory of a faulty lane: the raw value its
+    /// [`Injection::DelayedTransition`] net carried at the previous clock
+    /// cycle.  `None` for lanes whose injection is stateless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or exceeds the number of injected faults.
+    pub(crate) fn transition_memory(&self, lane: usize) -> Option<bool> {
+        let idx = self.transition_patch(lane)?;
+        let (w, b) = (lane / 64, lane % 64);
+        Some((self.trans_prev[idx][w] >> b) & 1 == 1)
+    }
+
+    /// Seeds the one-cycle transition memory of a faulty lane (used when a
+    /// campaign migrates a surviving fault into a fresh chunk).  No-op for
+    /// stateless injections.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or exceeds the number of injected faults.
+    pub(crate) fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
+        if let Some(idx) = self.transition_patch(lane) {
+            let (w, b) = (lane / 64, lane % 64);
+            let mask = 1u64 << b;
+            for words in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
+                if bit {
+                    words[w] |= mask;
+                } else {
+                    words[w] &= !mask;
+                }
+            }
+        }
+    }
+
+    /// The patched-gate index carrying the transition fault of `lane`.
+    fn transition_patch(&self, lane: usize) -> Option<usize> {
+        assert!(
+            lane >= 1 && lane <= self.injections.len(),
+            "lane {lane} carries no injected fault"
+        );
+        match self.injections[lane - 1] {
+            Injection::DelayedTransition { net, .. } => Some(
+                self.patched
+                    .iter()
+                    .position(|g| g.net as usize == net)
+                    .expect("transition fault compiles to a patched gate"),
+            ),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates one unfaulted instruction over `W`-word lane rows.
+#[inline(always)]
+pub(crate) fn eval_instr<const W: usize>(
+    values: &[[u64; W]],
+    state: &[[u64; W]],
+    inputs: &[u64],
+    fanin: &[u32],
+    Instr { op, a, b }: Instr,
+) -> [u64; W] {
+    match op {
+        Op::In => [inputs[a as usize]; W],
+        Op::Ff => state[a as usize],
+        Op::Const0 => [0; W],
+        Op::Const1 => [u64::MAX; W],
+        Op::Not => {
+            let x = values[a as usize];
+            std::array::from_fn(|k| !x[k])
+        }
+        Op::And2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] & y[k])
+        }
+        Op::Or2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] | y[k])
+        }
+        Op::Xor2 => {
+            let (x, y) = (values[a as usize], values[b as usize]);
+            std::array::from_fn(|k| x[k] ^ y[k])
+        }
+        Op::AndN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([u64::MAX; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] & v[k])
+            }),
+        Op::OrN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([0u64; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] | v[k])
+            }),
+        Op::XorN => fanin[a as usize..b as usize]
+            .iter()
+            .fold([0u64; W], |acc, &n| {
+                let v = values[n as usize];
+                std::array::from_fn(|k| acc[k] ^ v[k])
+            }),
+        Op::Patched => unreachable!("patched gates are dispatched by the core evaluator"),
+    }
+}
+
+/// Folds a gate's operands through an operand accessor (statically
+/// dispatched, one monomorphization per patch specialisation of
+/// [`eval_patched`]).
+#[inline(always)]
+fn fold_operands<const W: usize>(
+    op: PlanOp,
+    ops: &[u32],
+    inputs: &[u64],
+    state: &[[u64; W]],
+    operand: impl Fn(usize, u32) -> [u64; W],
+) -> [u64; W] {
+    match op {
+        PlanOp::Input(k) => [inputs[k as usize]; W],
+        PlanOp::FlipFlop(k) => state[k as usize],
+        PlanOp::Const(c) => [broadcast(c); W],
+        PlanOp::And => ops
+            .iter()
+            .enumerate()
+            .fold([u64::MAX; W], |acc, (pin, &n)| {
+                let v = operand(pin, n);
+                std::array::from_fn(|k| acc[k] & v[k])
+            }),
+        PlanOp::Or => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
+            let v = operand(pin, n);
+            std::array::from_fn(|k| acc[k] | v[k])
+        }),
+        PlanOp::Xor => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
+            let v = operand(pin, n);
+            std::array::from_fn(|k| acc[k] ^ v[k])
+        }),
+        PlanOp::Not => {
+            let v = operand(0, ops[0]);
+            std::array::from_fn(|k| !v[k])
+        }
+    }
+}
+
+/// Slow path for faulted gates: applies pin patches while folding the
+/// operands, then the transition, bridge and output-mask injections.  Each
+/// lane carries at most one fault, so the mask classes never overlap on a
+/// lane.  Returns the injected value and the raw (pre-injection) value
+/// that feeds the transition memory.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_patched<const W: usize>(
+    values: &[[u64; W]],
+    state: &[[u64; W]],
+    inputs: &[u64],
+    fanin: &[u32],
+    pin_patches: &[PinPatch<W>],
+    bridges: &[BridgePatch<W>],
+    gate: PatchedGate<W>,
+    prev: [u64; W],
+) -> ([u64; W], [u64; W]) {
+    let patches = &pin_patches[gate.patch_start as usize..gate.patch_end as usize];
+    let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
+    // Fold the operands through an operand accessor specialised (and
+    // monomorphized) per patch count: output-fault-only gates — the
+    // overwhelmingly common case, since stuck outputs, transitions and
+    // bridges carry no pin patches — read their operands unpatched, the
+    // one-stuck-pin case tests a single patch, and only multi-patch gates
+    // scan the patch list per pin.
+    let raw: [u64; W] = match patches {
+        [] => fold_operands(gate.op, ops, inputs, state, |_pin, net| {
+            values[net as usize]
+        }),
+        [patch] => fold_operands(gate.op, ops, inputs, state, |pin, net| {
+            let w = values[net as usize];
+            if pin as u32 == patch.pin {
+                std::array::from_fn(|k| (w[k] & !patch.clear[k]) | patch.set[k])
+            } else {
+                w
+            }
+        }),
+        patches => fold_operands(gate.op, ops, inputs, state, |pin, net| {
+            let mut w = values[net as usize];
+            for patch in patches {
+                if patch.pin == pin as u32 {
+                    w = std::array::from_fn(|k| (w[k] & !patch.clear[k]) | patch.set[k]);
+                }
+            }
+            w
+        }),
+    };
+    // Branch-free fault injection: delayed transitions first (they rewrite
+    // the raw value through the one-cycle memory), then bridges, then stuck
+    // outputs.
+    let mut value = raw;
+    let tmask: [u64; W] = std::array::from_fn(|k| gate.rise[k] | gate.fall[k]);
+    if tmask.iter().any(|&t| t != 0) {
+        value = std::array::from_fn(|k| {
+            (value[k] & !tmask[k])
+                | (raw[k] & prev[k] & gate.rise[k])
+                | ((raw[k] | prev[k]) & gate.fall[k])
+        });
+    }
+    for bridge in &bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
+        let aggressor = values[bridge.aggressor as usize];
+        value = std::array::from_fn(|k| {
+            let bmask = bridge.and_mask[k] | bridge.or_mask[k];
+            (value[k] & !bmask)
+                | (raw[k] & aggressor[k] & bridge.and_mask[k])
+                | ((raw[k] | aggressor[k]) & bridge.or_mask[k])
+        });
+    }
+    (
+        std::array::from_fn(|k| (value[k] & !gate.out_clear[k]) | gate.out_set[k]),
+        raw,
+    )
+}

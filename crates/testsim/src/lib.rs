@@ -1,4 +1,4 @@
-//! Gate-level simulation and stuck-at fault simulation for self-testable
+//! Gate-level simulation, fault simulation and diagnosis for self-testable
 //! controllers.
 //!
 //! The paper's Table 1 rows "test length", "fault coverage" and "dynamic
@@ -12,8 +12,9 @@
 //!   allocation,
 //! * [`packed`] — the 64-way bit-parallel fault simulator: lane 0 of every
 //!   `u64` runs the fault-free reference, lanes 1–63 each run one injected
-//!   fault of *any* model, and mismatch detection/fault dropping are
-//!   word-wide XOR/mask operations,
+//!   fault of *any* model; since the core unification it is the
+//!   single-word instance of the same compile/eval path the differential
+//!   engine runs,
 //! * [`differential`] — the cone-restricted differential engine: the good
 //!   machine is simulated once per pattern, faults run in multi-word lane
 //!   blocks (255 fault lanes + the shared good reference) that evaluate
@@ -24,31 +25,56 @@
 //!   which now lives in the `stfsm-faults` crate next to the
 //!   transition-delay and bridging models; both simulators accept any
 //!   model's faults through the model-agnostic
-//!   [`Injection`](stfsm_faults::Injection) descriptors,
+//!   [`Injection`] descriptors,
 //! * [`patterns`] — pseudo-random and weighted-random primary-input sources,
-//! * [`coverage`] — self-test campaigns: fault coverage over pattern count,
-//!   test length to reach a target coverage, and the comparison between the
-//!   "random state" stimulation of DFF/PAT/SIG and the "system state"
-//!   stimulation of the parallel self-test (PST).  Campaigns batch the
-//!   fault list into chunks of 63 and run on the packed engine by default
-//!   ([`coverage::SimEngine`]); [`coverage::run_injection_campaign`] drives
-//!   any fault model's list (see `examples/packed_coverage.rs` and
-//!   `examples/fault_models.rs` at the repository root),
+//! * [`campaign`] — **the unified campaign API**: a [`Campaign`] builder
+//!   runs a fault universe (one or more fault-model sections) exactly once
+//!   and fans the results out to composable [`CampaignObserver`] sinks —
+//!   [`CoverageObserver`], [`DictionaryObserver`],
+//!   [`DiagnosisObserver`],
+//! * [`coverage`] — the coverage result types, the shared
+//!   [`CampaignConfig`] knobs and the legacy one-shot entry points
+//!   ([`run_self_test`], [`run_injection_campaign`]), kept as thin
+//!   deprecated wrappers over the campaign API (bit-for-bit identical
+//!   results),
 //! * [`dictionary`] — fault dictionaries for diagnosis: per-fault
-//!   first-detect indices plus full-campaign MISR signatures, computed
-//!   word-parallel across all lanes of the selected engine.
+//!   first-detect indices plus full-campaign and per-segment intermediate
+//!   MISR signatures, computed word-parallel across all lanes of the
+//!   selected engine through the single shared recurrence
+//!   [`stfsm_lfsr::Misr::step_planes`]; [`build_fault_dictionary`] is the
+//!   legacy wrapper,
+//! * [`diagnosis`] — the top-level diagnosis flow: map an observed failing
+//!   signature to ranked candidate faults across models, with per-segment
+//!   intermediate signatures disambiguating aliases.
+//!
+//! # Deprecated one-shot wrappers
+//!
+//! [`run_self_test`], [`run_injection_campaign`] and
+//! [`build_fault_dictionary`] predate the campaign API.  They remain fully
+//! supported (and are verified bit-for-bit against the campaign path), but
+//! they are thin wrappers now: each builds a single-section [`Campaign`]
+//! with one observer.  New code should drive [`Campaign`] directly — it
+//! shares one simulation pass across all observers instead of
+//! re-simulating per question.
+//!
+//! The deprecation is doc-level by design: the wrappers carry no
+//! `#[deprecated]` attribute (so existing callers build warning-free, and
+//! the differential tests that pin the wrappers to the campaign path stay
+//! lint-clean); this section and the wrappers' own docs are the migration
+//! notice.
 //!
 //! # The engine matrix
 //!
-//! Four engines drive campaigns, all bit-for-bit interchangeable
-//! ([`coverage::SimEngine`]):
+//! Campaigns are driven by one of five engines, all bit-for-bit
+//! interchangeable ([`coverage::SimEngine`]):
 //!
 //! | Engine | Technique | When it wins |
 //! |---|---|---|
 //! | `Scalar` | one fault per boolean sweep | debugging a single fault; the differential-testing reference every other engine is checked against |
 //! | `Packed` | 63 faults + reference per `u64` word | small fault lists and tiny machines, where the cone bookkeeping of the differential engine cannot pay for itself |
 //! | `Differential` | good machine once per pattern, 255 faults per 4-word lane block, evaluation restricted to the active faults' fanout cones | large netlists and long campaigns — the bigger the netlist relative to the average fault cone, the bigger the win |
-//! | `Threaded` | fault list sharded over differential workers | multi-core hosts with fault lists spanning several shards; deterministic merge keeps results identical |
+//! | `Threaded` | lane blocks sharded over workers, one shared good trace per segment | multi-core hosts with fault lists spanning several blocks; deterministic merge keeps results identical |
+//! | `Auto` | picks `Packed` vs `Differential` per machine size | when the caller does not want to care |
 //!
 //! # Example
 //!
@@ -57,7 +83,9 @@
 //! use stfsm_encode::StateEncoding;
 //! use stfsm_bist::{BistStructure, excitation::{build_pla, layout, RegisterTransform}, netlist::build_netlist};
 //! use stfsm_logic::espresso::minimize;
-//! use stfsm_testsim::coverage::{run_self_test, SelfTestConfig};
+//! use stfsm_faults::StuckAt;
+//! use stfsm_testsim::campaign::{Campaign, CoverageObserver};
+//! use stfsm_testsim::coverage::SimEngine;
 //!
 //! let fsm = fig3_example()?;
 //! let encoding = StateEncoding::natural(&fsm)?;
@@ -66,25 +94,40 @@
 //! let cover = minimize(&pla).cover;
 //! let lay = layout(&fsm, &encoding, &transform);
 //! let netlist = build_netlist("fig3", &cover, &lay, BistStructure::Dff, None)?;
-//! let result = run_self_test(&netlist, &SelfTestConfig { max_patterns: 256, ..SelfTestConfig::default() });
-//! assert!(result.fault_coverage() > 0.5);
+//! let mut coverage = CoverageObserver::new();
+//! Campaign::new(&netlist)
+//!     .model(&StuckAt)
+//!     .engine(SimEngine::Auto)
+//!     .patterns(256)
+//!     .observe(&mut coverage)
+//!     .run();
+//! assert!(coverage.result().expect("one section").fault_coverage() > 0.5);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod coverage;
+pub mod diagnosis;
 pub mod dictionary;
 pub mod differential;
+mod engine;
 pub mod faults;
 pub mod packed;
 pub mod patterns;
 pub mod sim;
 
-pub use coverage::{
-    run_injection_campaign, run_self_test, CoverageResult, SelfTestConfig, SimEngine,
+pub use campaign::{
+    Campaign, CampaignObserver, CampaignOutcome, CoverageObserver, DictionaryObserver,
+    SectionOutcome,
 };
+pub use coverage::{
+    run_injection_campaign, run_self_test, CampaignConfig, CoverageResult, SelfTestConfig,
+    SimEngine,
+};
+pub use diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};
 pub use dictionary::{build_fault_dictionary, DictionaryEntry, FaultDictionary};
 pub use differential::LaneBlock;
 pub use faults::{Fault, FaultList, FaultSite, Injection};

@@ -10,141 +10,34 @@
 //! the classic parallel-fault simulation technique, generalized to
 //! model-agnostic lanes.
 //!
-//! Fault injection is branch-free on the hot path:
-//!
-//! * **stuck outputs** become per-net `set` / `clear` lane masks applied to
-//!   every computed value (`v & !clear | set` — two ops per gate, almost
-//!   always with zero masks);
-//! * **delayed transitions** become per-net `rise` / `fall` lane masks
-//!   combined with a one-cycle memory word of the net's raw value
-//!   (`v∧prev` on slow-to-rise lanes, `v∨prev` on slow-to-fall lanes);
-//! * **bridges** mix the victim's raw value with the aggressor net's word
-//!   (`v∧agg` / `v∨agg`) on the bridged lanes;
-//! * **stuck input pins** are rare (at most 63 per chunk), so gates with a
-//!   patched pin are flagged once and evaluated through a slow path that
-//!   rewrites the affected operand word.
-//!
-//! Detection is word-wide too: XOR-ing each observation word with the
-//! broadcast of its lane-0 bit yields a word whose set bits are exactly the
-//! lanes that currently disagree with the fault-free machine
-//! ([`PackedSimulator::mismatch_word`]).  Retired (already detected) lanes
-//! are simply masked out by the caller — fault dropping without any
-//! per-fault state.
+//! Since the unification of the simulation cores, this type is literally
+//! the single-word ([`LaneBlock<1>`](crate::differential::LaneBlock))
+//! instantiation of the shared compile/eval path in `engine` that also
+//! powers the cone-restricted differential lane blocks: the compiled
+//! opcodes, the branch-free injection algebra (stuck outputs/pins, delayed
+//! transitions, bridges) and the step evaluation exist exactly once.  What
+//! remains here is the packed-specific *campaign* surface: broadcast
+//! stimulus, full-plan sweeps, and word-wide mismatch detection against
+//! lane 0 ([`PackedSimulator::mismatch_word`]) — XOR-ing each observation
+//! word with the broadcast of its lane-0 bit yields a word whose set bits
+//! are exactly the lanes that currently disagree with the fault-free
+//! machine.  Retired (already detected) lanes are simply masked out by the
+//! caller — fault dropping without any per-fault state.
 
+use crate::engine::PackedCore;
 use crate::faults::{Fault, Injection};
-use stfsm_bist::netlist::{Netlist, PlanOp};
+use stfsm_bist::netlist::Netlist;
 use stfsm_lfsr::bitvec::{broadcast, WORD_LANES};
 
 /// Number of faulty machines per packed word (lane 0 is the reference).
 pub const FAULT_LANES: usize = WORD_LANES - 1;
 
-/// An input-pin stuck-at patch: lanes in `set` see the pin stuck at 1,
-/// lanes in `clear` see it stuck at 0.
-#[derive(Debug, Clone, Copy)]
-struct PinPatch {
-    gate: u32,
-    pin: u32,
-    set: u64,
-    clear: u64,
-}
-
-/// A bridge patch on one victim net: lanes in `and_mask` see the wired-AND
-/// with the aggressor net, lanes in `or_mask` the wired-OR.
-#[derive(Debug, Clone, Copy)]
-struct BridgePatch {
-    victim: u32,
-    aggressor: u32,
-    and_mask: u64,
-    or_mask: u64,
-}
-
-/// Compiled opcodes of the packed evaluator.  The generic [`PlanOp`] +
-/// fan-in-range interpretation is specialised per gate once per chunk:
-/// one- and two-operand gates carry their operand net ids inline
-/// (`a` / `b`), wider gates fall back to the shared fan-in array, and the
-/// rare gates with a stuck input pin or an injected output fault take a
-/// patched slow path.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Op {
-    /// Primary input `a`.
-    In,
-    /// Flip-flop output `a`.
-    Ff,
-    /// Constant-0 / constant-1 word.
-    Const0,
-    Const1,
-    /// Single-operand complement of net `a`.
-    Not,
-    /// Two-operand gates over nets `a`, `b`.
-    And2,
-    Or2,
-    Xor2,
-    /// N-ary gates over the fan-in range `a..b`.
-    AndN,
-    OrN,
-    XorN,
-    /// Any gate with an injected fault (output mask or stuck pin);
-    /// `a` indexes into [`PackedSimulator::patched`].
-    Patched,
-}
-
-/// One compiled instruction; instruction `i` produces the value of net `i`.
-#[derive(Debug, Clone, Copy)]
-struct Instr {
-    op: Op,
-    a: u32,
-    b: u32,
-}
-
-/// Side table entry for a faulted gate: the original opcode, its fan-in
-/// range, its pin-patch and bridge-patch ranges and its output masks.
-#[derive(Debug, Clone, Copy)]
-struct PatchedGate {
-    op: PlanOp,
-    /// The net this gate produces (for the transition-memory accessors).
-    net: u32,
-    fanin_start: u32,
-    fanin_end: u32,
-    patch_start: u32,
-    patch_end: u32,
-    bridge_start: u32,
-    bridge_end: u32,
-    out_set: u64,
-    out_clear: u64,
-    /// Lanes with a slow-to-rise / slow-to-fall output.
-    rise: u64,
-    fall: u64,
-}
-
-impl PatchedGate {
-    fn transition_mask(&self) -> u64 {
-        self.rise | self.fall
-    }
-}
-
-/// A 64-lane parallel-fault simulator for one [`Netlist`].
+/// A 64-lane parallel-fault simulator for one [`Netlist`]: the
+/// [`LaneBlock<1>`](crate::differential::LaneBlock) instance of the shared
+/// word-parallel simulation core.
 #[derive(Debug, Clone)]
 pub struct PackedSimulator<'a> {
-    netlist: &'a Netlist,
-    values: Vec<u64>,
-    state: Vec<u64>,
-    /// Compiled instruction per net.
-    code: Vec<Instr>,
-    /// Faulted gates (output masks, stuck pins, delayed transitions or
-    /// bridges).
-    patched: Vec<PatchedGate>,
-    /// The pin patches, sorted by (gate, pin); at most [`FAULT_LANES`].
-    pin_patches: Vec<PinPatch>,
-    /// The bridge patches, grouped per victim gate.
-    bridges: Vec<BridgePatch>,
-    /// Per patched gate: the raw (pre-injection) value word of the previous
-    /// clock cycle — the one-cycle memory of the transition-fault lanes.
-    trans_prev: Vec<u64>,
-    /// Per patched gate: the raw value of the current evaluation, committed
-    /// into `trans_prev` at the clock edge.
-    trans_next: Vec<u64>,
-    /// The injected faults (lane `i + 1` carries `injections[i]`).
-    injections: Vec<Injection>,
+    core: PackedCore<'a, 1>,
 }
 
 impl<'a> PackedSimulator<'a> {
@@ -174,251 +67,32 @@ impl<'a> PackedSimulator<'a> {
     /// [`Injection::Bridge`] aggressor does not precede its victim in the
     /// topological net order.
     pub fn with_injections(netlist: &'a Netlist, injections: &[Injection]) -> Self {
-        assert!(
-            injections.len() <= FAULT_LANES,
-            "at most {FAULT_LANES} faults per packed chunk, got {}",
-            injections.len()
-        );
-        let num_nets = netlist.gates().len();
-        let mut out_set = vec![0u64; num_nets];
-        let mut out_clear = vec![0u64; num_nets];
-        let mut rise = vec![0u64; num_nets];
-        let mut fall = vec![0u64; num_nets];
-        let mut pin_patches: Vec<PinPatch> = Vec::new();
-        let mut bridge_patches: Vec<BridgePatch> = Vec::new();
-        for (i, injection) in injections.iter().enumerate() {
-            let mask = 1u64 << (i + 1);
-            match *injection {
-                Injection::StuckOutput { net, value } => {
-                    if value {
-                        out_set[net] |= mask;
-                    } else {
-                        out_clear[net] |= mask;
-                    }
-                }
-                Injection::StuckPin { gate, pin, value } => {
-                    let (gate, pin) = (gate as u32, pin as u32);
-                    match pin_patches
-                        .iter_mut()
-                        .find(|p| p.gate == gate && p.pin == pin)
-                    {
-                        Some(patch) => {
-                            if value {
-                                patch.set |= mask;
-                            } else {
-                                patch.clear |= mask;
-                            }
-                        }
-                        None => pin_patches.push(PinPatch {
-                            gate,
-                            pin,
-                            set: if value { mask } else { 0 },
-                            clear: if value { 0 } else { mask },
-                        }),
-                    }
-                }
-                Injection::DelayedTransition { net, slow_to_rise } => {
-                    if slow_to_rise {
-                        rise[net] |= mask;
-                    } else {
-                        fall[net] |= mask;
-                    }
-                }
-                Injection::Bridge {
-                    victim,
-                    aggressor,
-                    wired_and,
-                } => {
-                    assert!(
-                        aggressor < victim,
-                        "bridge aggressor must precede the victim in net order"
-                    );
-                    let (victim, aggressor) = (victim as u32, aggressor as u32);
-                    match bridge_patches
-                        .iter_mut()
-                        .find(|b| b.victim == victim && b.aggressor == aggressor)
-                    {
-                        Some(patch) => {
-                            if wired_and {
-                                patch.and_mask |= mask;
-                            } else {
-                                patch.or_mask |= mask;
-                            }
-                        }
-                        None => bridge_patches.push(BridgePatch {
-                            victim,
-                            aggressor,
-                            and_mask: if wired_and { mask } else { 0 },
-                            or_mask: if wired_and { 0 } else { mask },
-                        }),
-                    }
-                }
-            }
-        }
-        pin_patches.sort_by_key(|p| (p.gate, p.pin));
-        bridge_patches.sort_by_key(|b| (b.victim, b.aggressor));
-        // Group the patches per gate so the evaluator scans only a gate's
-        // own (tiny) patch list.
-        let mut patch_ranges = vec![(0u32, 0u32); num_nets];
-        let mut i = 0;
-        while i < pin_patches.len() {
-            let gate = pin_patches[i].gate as usize;
-            let start = i;
-            while i < pin_patches.len() && pin_patches[i].gate as usize == gate {
-                i += 1;
-            }
-            patch_ranges[gate] = (start as u32, i as u32);
-        }
-        let mut bridge_ranges = vec![(0u32, 0u32); num_nets];
-        let mut i = 0;
-        while i < bridge_patches.len() {
-            let victim = bridge_patches[i].victim as usize;
-            let start = i;
-            while i < bridge_patches.len() && bridge_patches[i].victim as usize == victim {
-                i += 1;
-            }
-            bridge_ranges[victim] = (start as u32, i as u32);
-        }
-
-        // Compile the evaluation plan for this fault chunk: inline operands
-        // for arity <= 2, shared fan-in ranges for wider gates, and a side
-        // table for the few faulted gates.
-        let plan = netlist.plan();
-        let fanin = plan.fanin();
-        let mut code = Vec::with_capacity(num_nets);
-        let mut patched = Vec::new();
-        for (id, step) in plan.steps().iter().enumerate() {
-            let (patch_start, patch_end) = patch_ranges[id];
-            let (bridge_start, bridge_end) = bridge_ranges[id];
-            if patch_start != patch_end
-                || bridge_start != bridge_end
-                || out_set[id] != 0
-                || out_clear[id] != 0
-                || rise[id] != 0
-                || fall[id] != 0
-            {
-                patched.push(PatchedGate {
-                    op: step.op,
-                    net: id as u32,
-                    fanin_start: step.fanin_start,
-                    fanin_end: step.fanin_end,
-                    patch_start,
-                    patch_end,
-                    bridge_start,
-                    bridge_end,
-                    out_set: out_set[id],
-                    out_clear: out_clear[id],
-                    rise: rise[id],
-                    fall: fall[id],
-                });
-                code.push(Instr {
-                    op: Op::Patched,
-                    a: (patched.len() - 1) as u32,
-                    b: 0,
-                });
-                continue;
-            }
-            let ops = &fanin[step.fanin_range()];
-            let instr = match step.op {
-                PlanOp::Input(k) => Instr {
-                    op: Op::In,
-                    a: k,
-                    b: 0,
-                },
-                PlanOp::FlipFlop(k) => Instr {
-                    op: Op::Ff,
-                    a: k,
-                    b: 0,
-                },
-                PlanOp::Const(false) => Instr {
-                    op: Op::Const0,
-                    a: 0,
-                    b: 0,
-                },
-                PlanOp::Const(true) => Instr {
-                    op: Op::Const1,
-                    a: 0,
-                    b: 0,
-                },
-                PlanOp::Not => Instr {
-                    op: Op::Not,
-                    a: ops[0],
-                    b: 0,
-                },
-                PlanOp::And if ops.len() == 2 => Instr {
-                    op: Op::And2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::Or if ops.len() == 2 => Instr {
-                    op: Op::Or2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::Xor if ops.len() == 2 => Instr {
-                    op: Op::Xor2,
-                    a: ops[0],
-                    b: ops[1],
-                },
-                PlanOp::And => Instr {
-                    op: Op::AndN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-                PlanOp::Or => Instr {
-                    op: Op::OrN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-                PlanOp::Xor => Instr {
-                    op: Op::XorN,
-                    a: step.fanin_start,
-                    b: step.fanin_end,
-                },
-            };
-            code.push(instr);
-        }
-
-        // The transition memory starts at each lane's identity value (1 on
-        // slow-to-rise lanes, 0 on slow-to-fall lanes), so the first cycle
-        // is injection-free.
-        let trans_prev: Vec<u64> = patched.iter().map(|g| g.rise).collect();
-        let trans_next = trans_prev.clone();
         Self {
-            netlist,
-            values: vec![0; num_nets],
-            state: vec![0; netlist.flip_flops().len()],
-            code,
-            patched,
-            pin_patches,
-            bridges: bridge_patches,
-            trans_prev,
-            trans_next,
-            injections: injections.to_vec(),
+            core: PackedCore::compile(netlist, injections),
         }
     }
 
     /// The netlist under simulation.
     pub fn netlist(&self) -> &Netlist {
-        self.netlist
+        self.core.netlist
     }
 
     /// Number of injected faults (lanes `1..=num_faults` are faulty).
     pub fn num_faults(&self) -> usize {
-        self.injections.len()
+        self.core.injections.len()
     }
 
     /// The injected faults (lane `i + 1` carries fault `i`).
     pub fn injections(&self) -> &[Injection] {
-        &self.injections
+        &self.core.injections
     }
 
     /// The lane mask covering all injected faults.
     pub fn fault_lanes_mask(&self) -> u64 {
-        if self.injections.is_empty() {
+        if self.core.injections.is_empty() {
             0
         } else {
-            ((1u128 << (self.injections.len() + 1)) - 2) as u64
+            ((1u128 << (self.core.injections.len() + 1)) - 2) as u64
         }
     }
 
@@ -430,8 +104,7 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if `lane` is 0 or exceeds the number of injected faults.
     pub fn transition_memory(&self, lane: usize) -> Option<bool> {
-        let (idx, _) = self.transition_patch(lane)?;
-        Some((self.trans_prev[idx] >> lane) & 1 == 1)
+        self.core.transition_memory(lane)
     }
 
     /// Seeds the one-cycle transition memory of a faulty lane (used when a
@@ -442,35 +115,7 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if `lane` is 0 or exceeds the number of injected faults.
     pub fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
-        if let Some((idx, _)) = self.transition_patch(lane) {
-            let mask = 1u64 << lane;
-            for word in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
-                if bit {
-                    *word |= mask;
-                } else {
-                    *word &= !mask;
-                }
-            }
-        }
-    }
-
-    /// The patched-gate index carrying the transition fault of `lane`.
-    fn transition_patch(&self, lane: usize) -> Option<(usize, u32)> {
-        assert!(
-            lane >= 1 && lane <= self.injections.len(),
-            "lane {lane} carries no injected fault"
-        );
-        match self.injections[lane - 1] {
-            Injection::DelayedTransition { net, .. } => {
-                let idx = self
-                    .patched
-                    .iter()
-                    .position(|g| g.net as usize == net)
-                    .expect("transition fault compiles to a patched gate");
-                Some((idx, net as u32))
-            }
-            _ => None,
-        }
+        self.core.seed_transition_memory(lane, bit);
     }
 
     /// Sets every lane of the register to the same state (the scan
@@ -481,10 +126,7 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if the slice length differs from the number of flip-flops.
     pub fn set_state_broadcast(&mut self, bits: &[bool]) {
-        assert_eq!(bits.len(), self.state.len(), "state width mismatch");
-        for (w, &b) in self.state.iter_mut().zip(bits) {
-            *w = broadcast(b);
-        }
+        self.core.set_state_broadcast_bits(bits);
     }
 
     /// Sets the register from per-lane words (stage 1 first).
@@ -493,13 +135,19 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if the slice length differs from the number of flip-flops.
     pub fn set_state_words(&mut self, words: &[u64]) {
-        assert_eq!(words.len(), self.state.len(), "state width mismatch");
-        self.state.copy_from_slice(words);
+        assert_eq!(words.len(), self.core.state.len(), "state width mismatch");
+        for (row, &w) in self.core.state.iter_mut().zip(words) {
+            *row = [w];
+        }
     }
 
     /// The packed register state (one word per flip-flop, stage 1 first).
-    pub fn state_words(&self) -> &[u64] {
-        &self.state
+    ///
+    /// Copies the rows out of the shared multi-word core (an owned `Vec`
+    /// rather than the pre-unification borrow); campaigns call this once
+    /// per chunk per segment, never per cycle.
+    pub fn state_words(&self) -> Vec<u64> {
+        self.core.state.iter().map(|row| row[0]).collect()
     }
 
     /// Evaluates the combinational logic for broadcast primary-input words
@@ -510,159 +158,7 @@ impl<'a> PackedSimulator<'a> {
     ///
     /// Panics if `inputs.len()` differs from the number of primary inputs.
     pub fn evaluate(&mut self, inputs: &[u64]) {
-        let plan = self.netlist.plan();
-        assert_eq!(
-            inputs.len(),
-            plan.num_inputs(),
-            "primary input width mismatch"
-        );
-        let fanin = plan.fanin();
-        for id in 0..self.code.len() {
-            let instr = self.code[id];
-            let value = if instr.op == Op::Patched {
-                let idx = instr.a as usize;
-                let (value, raw) =
-                    self.eval_patched(self.patched[idx], self.trans_prev[idx], fanin, inputs);
-                self.trans_next[idx] = raw;
-                value
-            } else {
-                self.eval_instr(instr, fanin, inputs)
-            };
-            self.values[id] = value;
-        }
-    }
-
-    #[inline(always)]
-    fn eval_instr(&self, Instr { op, a, b }: Instr, fanin: &[u32], inputs: &[u64]) -> u64 {
-        match op {
-            Op::In => inputs[a as usize],
-            Op::Ff => self.state[a as usize],
-            Op::Const0 => 0,
-            Op::Const1 => u64::MAX,
-            Op::Not => !self.values[a as usize],
-            Op::And2 => self.values[a as usize] & self.values[b as usize],
-            Op::Or2 => self.values[a as usize] | self.values[b as usize],
-            Op::Xor2 => self.values[a as usize] ^ self.values[b as usize],
-            Op::AndN => fanin[a as usize..b as usize]
-                .iter()
-                .fold(u64::MAX, |acc, &n| acc & self.values[n as usize]),
-            Op::OrN => fanin[a as usize..b as usize]
-                .iter()
-                .fold(0u64, |acc, &n| acc | self.values[n as usize]),
-            Op::XorN => fanin[a as usize..b as usize]
-                .iter()
-                .fold(0u64, |acc, &n| acc ^ self.values[n as usize]),
-            Op::Patched => unreachable!("patched gates are dispatched by `evaluate`"),
-        }
-    }
-
-    /// Slow path for the (at most 63) gates carrying a fault: applies the
-    /// pin patches while folding the operands, then the transition, bridge
-    /// and output-mask injections.  Returns the injected value and the raw
-    /// (pre-injection) value that feeds the transition memory.
-    fn eval_patched(
-        &self,
-        gate: PatchedGate,
-        prev: u64,
-        fanin: &[u32],
-        inputs: &[u64],
-    ) -> (u64, u64) {
-        let patches = &self.pin_patches[gate.patch_start as usize..gate.patch_end as usize];
-        let ops = &fanin[gate.fanin_start as usize..gate.fanin_end as usize];
-        let raw = match patches {
-            // Output-fault only: fold the operands unpatched.
-            [] => match gate.op {
-                PlanOp::Input(k) => inputs[k as usize],
-                PlanOp::FlipFlop(k) => self.state[k as usize],
-                PlanOp::Const(c) => broadcast(c),
-                PlanOp::And => ops
-                    .iter()
-                    .fold(u64::MAX, |acc, &n| acc & self.values[n as usize]),
-                PlanOp::Or => ops
-                    .iter()
-                    .fold(0u64, |acc, &n| acc | self.values[n as usize]),
-                PlanOp::Xor => ops
-                    .iter()
-                    .fold(0u64, |acc, &n| acc ^ self.values[n as usize]),
-                PlanOp::Not => !self.values[ops[0] as usize],
-            },
-            // The common faulted case: exactly one stuck pin.
-            [patch] => {
-                let one = |pin: usize, net: u32| -> u64 {
-                    let w = self.values[net as usize];
-                    if pin as u32 == patch.pin {
-                        (w & !patch.clear) | patch.set
-                    } else {
-                        w
-                    }
-                };
-                match gate.op {
-                    PlanOp::Input(k) => inputs[k as usize],
-                    PlanOp::FlipFlop(k) => self.state[k as usize],
-                    PlanOp::Const(c) => broadcast(c),
-                    PlanOp::And => ops
-                        .iter()
-                        .enumerate()
-                        .fold(u64::MAX, |acc, (pin, &n)| acc & one(pin, n)),
-                    PlanOp::Or => ops
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (pin, &n)| acc | one(pin, n)),
-                    PlanOp::Xor => ops
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (pin, &n)| acc ^ one(pin, n)),
-                    PlanOp::Not => !one(0, ops[0]),
-                }
-            }
-            // Several stuck pins on one gate: scan the patch list per pin.
-            patches => {
-                let operand = |pin: usize, net: u32| -> u64 {
-                    let mut w = self.values[net as usize];
-                    for patch in patches {
-                        if patch.pin == pin as u32 {
-                            w = (w & !patch.clear) | patch.set;
-                        }
-                    }
-                    w
-                };
-                match gate.op {
-                    PlanOp::Input(k) => inputs[k as usize],
-                    PlanOp::FlipFlop(k) => self.state[k as usize],
-                    PlanOp::Const(c) => broadcast(c),
-                    PlanOp::And => ops
-                        .iter()
-                        .enumerate()
-                        .fold(u64::MAX, |acc, (pin, &n)| acc & operand(pin, n)),
-                    PlanOp::Or => ops
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (pin, &n)| acc | operand(pin, n)),
-                    PlanOp::Xor => ops
-                        .iter()
-                        .enumerate()
-                        .fold(0u64, |acc, (pin, &n)| acc ^ operand(pin, n)),
-                    PlanOp::Not => !operand(0, ops[0]),
-                }
-            }
-        };
-        // Branch-free fault injection: delayed transitions first (they
-        // rewrite the raw value through the one-cycle memory), then bridges,
-        // then stuck outputs.  Each lane carries at most one fault, so the
-        // mask classes never overlap on a lane.
-        let mut value = raw;
-        let tmask = gate.transition_mask();
-        if tmask != 0 {
-            value = (value & !tmask) | (raw & prev & gate.rise) | ((raw | prev) & gate.fall);
-        }
-        for bridge in &self.bridges[gate.bridge_start as usize..gate.bridge_end as usize] {
-            let aggressor = self.values[bridge.aggressor as usize];
-            let bmask = bridge.and_mask | bridge.or_mask;
-            value = (value & !bmask)
-                | (raw & aggressor & bridge.and_mask)
-                | ((raw | aggressor) & bridge.or_mask);
-        }
-        ((value & !gate.out_clear) | gate.out_set, raw)
+        self.core.eval_all(inputs);
     }
 
     /// One fused self-test cycle: evaluate the logic, compare every lane's
@@ -678,7 +174,7 @@ impl<'a> PackedSimulator<'a> {
 
     /// The packed value of a net after the last [`PackedSimulator::evaluate`].
     pub fn net_word(&self, net: usize) -> u64 {
-        self.values[net]
+        self.core.values[net][0]
     }
 
     /// Lanes whose observation points currently differ from the fault-free
@@ -687,8 +183,8 @@ impl<'a> PackedSimulator<'a> {
     #[inline]
     pub fn mismatch_word(&self) -> u64 {
         let mut acc = 0u64;
-        for &net in self.netlist.plan().observation_points() {
-            let w = self.values[net as usize];
+        for &net in self.core.netlist.plan().observation_points() {
+            let w = self.core.values[net as usize][0];
             acc |= w ^ broadcast(w & 1 == 1);
         }
         acc
@@ -697,12 +193,17 @@ impl<'a> PackedSimulator<'a> {
     /// Loads the flip-flops from their D inputs (one clock edge, all lanes).
     #[inline]
     pub fn clock(&mut self) {
-        for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
-            self.state[i] = self.values[d as usize];
+        for (i, &d) in self
+            .core
+            .netlist
+            .plan()
+            .flip_flop_inputs()
+            .iter()
+            .enumerate()
+        {
+            self.core.state[i] = self.core.values[d as usize];
         }
-        // The transition memories advance once per clock cycle, regardless
-        // of how many combinational evaluations happened in between.
-        self.trans_prev.copy_from_slice(&self.trans_next);
+        self.core.commit_transitions();
     }
 }
 

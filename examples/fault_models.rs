@@ -1,30 +1,31 @@
-//! Pluggable fault models: one synthesized controller, three defect
-//! mechanisms, one campaign engine.
+//! Pluggable fault models on the unified campaign API: one synthesized
+//! controller, three defect mechanisms, **one simulation pass** feeding
+//! coverage, dictionary and diagnosis observers at once.
 //!
 //! ```text
 //! cargo run --release --example fault_models
 //! ```
 //!
-//! Synthesizes the modulo-12 counter for the PST structure, runs a packed
-//! self-test campaign for the stuck-at, transition-delay and bridging fault
-//! models, and prints a slice of the stuck-at fault dictionary (first-detect
-//! pattern plus MISR signature per fault — the data a diagnosis flow matches
-//! a failing chip's signature against).
+//! Synthesizes the modulo-12 counter for the PST structure, declares one
+//! campaign section per fault model (stuck-at, transition-delay, bridging)
+//! and attaches three observers to the same run:
+//!
+//! * a `CoverageObserver` reporting per-model fault coverage,
+//! * a `DictionaryObserver` building per-model fault dictionaries
+//!   (first-detect pattern, final MISR signature and the per-segment
+//!   intermediate signatures),
+//! * a `DiagnosisObserver` assembling the cross-model `Diagnosis` that
+//!   maps an observed failing signature back to ranked candidate faults.
 
-use stfsm::faults::{all_models, StuckAt};
-use stfsm::testsim::coverage::{run_injection_campaign, SelfTestConfig};
-use stfsm::testsim::dictionary::build_fault_dictionary;
+use stfsm::faults::all_models;
+use stfsm::testsim::campaign::{CoverageObserver, DictionaryObserver};
+use stfsm::testsim::diagnosis::DiagnosisObserver;
 use stfsm::{BistStructure, SynthesisFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fsm = stfsm::fsm::suite::modulo12_exact()?;
-    let netlist = SynthesisFlow::new(BistStructure::Pst)
-        .synthesize(&fsm)?
-        .netlist;
-    let config = SelfTestConfig {
-        max_patterns: 1024,
-        ..SelfTestConfig::default()
-    };
+    let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm)?;
+    let netlist = &result.netlist;
 
     println!(
         "{} / PST: {} gates, {} observation bits\n",
@@ -33,30 +34,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         netlist.observation_points().len()
     );
 
+    // One campaign, three fault-model sections, three observers.
+    let models = all_models();
+    let mut coverage = CoverageObserver::new();
+    let mut dictionaries = DictionaryObserver::new();
+    let mut diagnoser = DiagnosisObserver::new();
+    let mut campaign = result.campaign().patterns(1024);
+    for model in &models {
+        campaign = campaign.model(model.as_ref());
+    }
+    campaign
+        .observe(&mut coverage)
+        .observe(&mut dictionaries)
+        .observe(&mut diagnoser)
+        .run();
+
     println!(
-        "{:<12} {:>6} {:>10} {:>10}",
-        "model", "full", "collapsed", "coverage"
+        "{:<12} {:>10} {:>10} {:>8}",
+        "model", "collapsed", "coverage", "aliased"
     );
-    for model in all_models() {
-        let full = model.fault_list(&netlist, false).len();
-        let faults = model.fault_list(&netlist, true);
-        let result = run_injection_campaign(&netlist, &faults, &config);
+    for ((model, result), (_, dictionary)) in
+        coverage.results().iter().zip(dictionaries.dictionaries())
+    {
         println!(
-            "{:<12} {:>6} {:>10} {:>9.1}%",
-            model.name(),
-            full,
-            faults.len(),
-            result.fault_coverage() * 100.0
+            "{:<12} {:>10} {:>9.1}% {:>8}",
+            model,
+            result.total_faults,
+            result.fault_coverage() * 100.0,
+            dictionary.aliased_count()
         );
     }
 
-    let faults = stfsm::faults::FaultModel::fault_list(&StuckAt, &netlist, true);
-    let dictionary = build_fault_dictionary(&netlist, &faults, &config);
+    let (_, dictionary) = &dictionaries.dictionaries()[0];
     println!(
-        "\nstuck-at dictionary ({}-bit MISR, reference signature {:02x}, {} aliased):",
-        dictionary.signature_bits,
-        dictionary.reference_signature,
-        dictionary.aliased_count()
+        "\nstuck-at dictionary ({}-bit MISR, reference signature {:02x}, checkpoints {:?}):",
+        dictionary.signature_bits, dictionary.reference_signature, dictionary.segment_checkpoints
     );
     println!("{:<16} {:>12} {:>10}", "fault", "first detect", "signature");
     for entry in dictionary.entries.iter().take(8) {
@@ -70,5 +82,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:02x}", entry.signature)
         );
     }
+
+    // Diagnosis: take a detected fault's signature as the "observed failing
+    // signature" and resolve it back to candidates across all models.
+    let diagnosis = diagnoser.into_diagnosis().expect("campaign ran");
+    let failing = dictionary
+        .entries
+        .iter()
+        .find(|e| e.first_detect.is_some() && e.signature != dictionary.reference_signature)
+        .expect("some fault is detectable and un-aliased");
+    let candidates = diagnosis.candidates(failing.signature);
+    println!(
+        "\ndiagnosing observed signature {:02x} (injected: {}):",
+        failing.signature, failing.fault
+    );
+    for candidate in candidates.iter().take(5) {
+        println!(
+            "  candidate {}/{} (first detect {})",
+            candidate.model,
+            candidate.fault,
+            candidate
+                .first_detect
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "-".into()),
+        );
+    }
+    let ranked = diagnosis.disambiguate(failing.signature, &failing.segments);
+    println!(
+        "after per-segment disambiguation the top candidate matches {}/{} checkpoints",
+        ranked[0].matching_segments,
+        stfsm::testsim::dictionary::DICTIONARY_SEGMENTS
+    );
     Ok(())
 }

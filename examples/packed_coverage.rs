@@ -1,6 +1,6 @@
-//! The fault-simulation engine matrix: selecting Scalar, Packed,
-//! Differential or Threaded through the public [`SelfTestConfig`] API, and
-//! when each engine wins.
+//! The fault-simulation engine matrix, driven through the unified
+//! [`Campaign`] API: selecting Scalar, Packed, Differential, Threaded or
+//! Auto is one builder call, and every engine runs the identical campaign.
 //!
 //! ```text
 //! cargo run --release --example packed_coverage
@@ -14,20 +14,25 @@
 //!   single fault.
 //! * `Packed` (the default) treats one `u64` as 64 machines: lane 0 runs
 //!   the fault-free reference, lanes 1–63 carry one injected fault each, so
-//!   a chunk of 63 faults advances per word operation.
+//!   a chunk of 63 faults advances per word operation.  It is literally the
+//!   1-word instance of the same simulation core the differential engine
+//!   runs.
 //! * `Differential` simulates the good machine once per pattern and packs
 //!   255 faults into 4-word lane blocks that evaluate only the plan steps
 //!   inside their faults' fanout cones — the bigger the netlist relative to
 //!   the average cone, the bigger the win.
-//! * `Threaded` shards the fault list over differential workers with a
-//!   deterministic merge; it needs a multi-core host and a fault list that
-//!   spans several shards to pay off.
+//! * `Threaded` shards the lane blocks over workers that all read one
+//!   shared good-machine trace per campaign segment; it needs a multi-core
+//!   host and a fault list spanning several blocks to pay off.
+//! * `Auto` picks Packed vs Differential per machine size, so callers who
+//!   do not want to care get the right engine anyway.
 //!
-//! Engine selection is just a field of [`SelfTestConfig`]; no simulator is
-//! ever constructed by hand.
+//! Engine selection is one `.engine(...)` call on the campaign builder (or
+//! a [`CampaignConfig`] field); no simulator is ever constructed by hand.
 
 use std::time::Instant;
-use stfsm::testsim::coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
+use stfsm::testsim::campaign::CoverageObserver;
+use stfsm::testsim::coverage::{CoverageResult, SimEngine};
 use stfsm::{BistStructure, SynthesisFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,13 +41,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // signature register, so the self-test follows system behaviour.
     let fsm = stfsm::fsm::suite::modulo12_exact()?;
     let result = SynthesisFlow::new(BistStructure::Pst).synthesize(&fsm)?;
-    let netlist = &result.netlist;
 
     let engines = [
         ("scalar", SimEngine::Scalar),
         ("packed", SimEngine::Packed),
         ("differential", SimEngine::Differential),
         ("threaded", SimEngine::Threaded),
+        ("auto", SimEngine::Auto),
     ];
 
     println!(
@@ -52,39 +57,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "structure          : {} ({} gates)",
-        netlist.structure(),
-        netlist.gates().len()
+        result.netlist.structure(),
+        result.netlist.gates().len()
     );
 
     let mut reference: Option<CoverageResult> = None;
     for (name, engine) in engines {
-        let config = SelfTestConfig {
-            max_patterns: 4096,
-            engine,
-            ..SelfTestConfig::default()
-        };
+        let mut coverage = CoverageObserver::new();
         let start = Instant::now();
-        let outcome = run_self_test(netlist, &config);
+        let outcome = result
+            .campaign()
+            .model(&stfsm::faults::StuckAt)
+            .engine(engine)
+            .patterns(4096)
+            .observe(&mut coverage)
+            .run();
         let elapsed = start.elapsed();
+        let outcome_engine = outcome.engine;
+        let result = coverage.result().expect("one section");
         println!(
-            "engine {name:<12}: {elapsed:>10.3?}  ({} / {} faults detected, {:.1} % coverage)",
-            outcome.detected_faults,
-            outcome.total_faults,
-            outcome.fault_coverage() * 100.0
+            "engine {name:<12}: {elapsed:>10.3?}  ({} / {} faults detected, {:.1} % coverage, ran {outcome_engine:?})",
+            result.detected_faults,
+            result.total_faults,
+            result.fault_coverage() * 100.0
         );
         // The engines are interchangeable — identical detection patterns,
         // coverage curve and totals.
         match &reference {
-            None => reference = Some(outcome),
+            None => reference = Some(result.clone()),
             Some(reference) => {
-                assert_eq!(reference, &outcome, "engines must agree bit for bit")
+                assert_eq!(reference, result, "engines must agree bit for bit")
             }
         }
     }
     let reference = reference.expect("at least one engine ran");
     println!("patterns applied   : {}", reference.patterns_applied);
     println!(
-        "all four engines returned identical results ({} detections)",
+        "all five engines returned identical results ({} detections)",
         reference.detected_faults
     );
     Ok(())

@@ -1,6 +1,8 @@
 //! Experiment E5: fault coverage and test length of the self-test for each
 //! BIST structure (the measured counterpart of Table 1's "test length" and
-//! "fault coverage" rows and of the ≈ +30 % test-length claim for PST).
+//! "fault coverage" rows and of the ≈ +30 % test-length claim for PST),
+//! driven through the unified `Campaign` API: synthesis flows straight
+//! into `result.campaign()`, one coverage observer per structure.
 //!
 //! Run with:
 //!
@@ -8,9 +10,13 @@
 //! cargo run --release --example selftest_coverage [--patterns N] [benchmark ...]
 //! ```
 
-use stfsm::experiments::{coverage_comparison, ExperimentConfig};
 use stfsm::fsm::suite::{benchmark, fig3_example, modulo12_exact, traffic_light};
 use stfsm::fsm::Fsm;
+use stfsm::testsim::campaign::CoverageObserver;
+use stfsm::testsim::coverage::SimEngine;
+use stfsm::{BistStructure, SynthesisFlow};
+
+const TARGET_COVERAGE: f64 = 0.95;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,38 +43,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let config = ExperimentConfig {
-        max_patterns: patterns,
-        target_coverage: 0.95,
-        ..ExperimentConfig::default()
-    };
     for fsm in &machines {
-        let cmp = coverage_comparison(fsm, &config)?;
         println!(
             "benchmark `{}` ({} patterns, target coverage {:.0}%):",
-            cmp.benchmark,
+            fsm.name(),
             patterns,
-            cmp.target_coverage * 100.0
+            TARGET_COVERAGE * 100.0
         );
         println!(
             "  {:<5} {:>8} {:>9} {:>9} {:>10}",
             "struct", "faults", "detected", "coverage", "test-len"
         );
-        for row in &cmp.rows {
+        let mut test_lengths: Vec<(BistStructure, Option<usize>)> = Vec::new();
+        for structure in BistStructure::ALL {
+            // Synthesis feeds the campaign directly: one builder, one
+            // stuck-at section, one coverage observer, engine chosen per
+            // machine size.
+            let result = SynthesisFlow::new(structure).synthesize(fsm)?;
+            let mut coverage = CoverageObserver::new();
+            result
+                .campaign()
+                .model(&stfsm::faults::StuckAt)
+                .engine(SimEngine::Auto)
+                .patterns(patterns)
+                .observe(&mut coverage)
+                .run();
+            let campaign = coverage.result().expect("one section");
+            let test_length = campaign.test_length_for_coverage(TARGET_COVERAGE);
             println!(
                 "  {:<5} {:>8} {:>9} {:>8.1}% {:>10}",
-                row.structure,
-                row.total_faults,
-                row.detected_faults,
-                row.coverage * 100.0,
-                row.test_length
+                structure,
+                campaign.total_faults,
+                campaign.detected_faults,
+                campaign.fault_coverage() * 100.0,
+                test_length
                     .map(|t| t.to_string())
                     .unwrap_or_else(|| "-".into())
             );
+            test_lengths.push((structure, test_length));
         }
-        match cmp.pst_vs_dff_test_length_ratio() {
-            Some(ratio) => println!("  PST / DFF test-length ratio at {:.0}% coverage: {ratio:.2} (paper: ~1.3)\n", cmp.target_coverage * 100.0),
-            None => println!("  PST / DFF test-length ratio: target coverage not reached within the pattern budget\n"),
+        let length_of = |wanted: BistStructure| {
+            test_lengths
+                .iter()
+                .find(|(s, _)| *s == wanted)
+                .and_then(|(_, l)| *l)
+        };
+        match (length_of(BistStructure::Pst), length_of(BistStructure::Dff)) {
+            (Some(pst), Some(dff)) if dff > 0 => println!(
+                "  PST / DFF test-length ratio at {:.0}% coverage: {:.2} (paper: ~1.3)\n",
+                TARGET_COVERAGE * 100.0,
+                pst as f64 / dff as f64
+            ),
+            _ => println!(
+                "  PST / DFF test-length ratio: target coverage not reached within the pattern budget\n"
+            ),
         }
     }
     Ok(())

@@ -1,0 +1,326 @@
+//! Integration tests of the unified campaign API: observers must be
+//! bit-for-bit equivalent to the legacy one-shot entry points across the
+//! whole benchmark suite × every fault model × every simulation engine,
+//! on randomized controllers, and total on degenerate campaigns — and the
+//! top-level diagnosis flow must resolve a known injected fault's
+//! signature on every suite machine.
+//!
+//! The suite netlists are synthesized once (natural assignment,
+//! single-pass minimizer) and shared; fault lists of the largest machines
+//! are strided down so the full matrix stays debug-build fast.
+
+use std::sync::OnceLock;
+use stfsm::bist::netlist::Netlist;
+use stfsm::faults::{all_models, FaultModel};
+use stfsm::fsm::generate::small_random;
+use stfsm::logic::espresso::MinimizeConfig;
+use stfsm::testsim::campaign::{Campaign, CoverageObserver, DictionaryObserver};
+use stfsm::testsim::coverage::{run_injection_campaign, CampaignConfig, SelfTestConfig, SimEngine};
+use stfsm::testsim::diagnosis::DiagnosisObserver;
+use stfsm::testsim::dictionary::{build_fault_dictionary, DICTIONARY_SEGMENTS};
+use stfsm::testsim::Injection;
+use stfsm::{AssignmentMethod, BistStructure, SynthesisFlow};
+
+/// Every engine of the matrix, including the size-resolved `Auto`.
+const ENGINES: [SimEngine; 5] = [
+    SimEngine::Scalar,
+    SimEngine::Packed,
+    SimEngine::Differential,
+    SimEngine::Threaded,
+    SimEngine::Auto,
+];
+
+/// Patterns per campaign: small enough for the debug-build matrix, large
+/// enough that every machine detects plenty of faults.
+const PATTERNS: usize = 48;
+
+/// Cap per fault-model list; larger lists are strided down.
+const MAX_FAULTS: usize = 96;
+
+fn suite_netlists() -> &'static Vec<(String, Netlist)> {
+    static NETLISTS: OnceLock<Vec<(String, Netlist)>> = OnceLock::new();
+    NETLISTS.get_or_init(|| {
+        stfsm::fsm::suite::BENCHMARKS
+            .iter()
+            .map(|info| {
+                let fsm = info.fsm().expect("suite generator succeeds");
+                let result = SynthesisFlow::new(BistStructure::Pst)
+                    .with_assignment(AssignmentMethod::Natural)
+                    .with_minimizer(MinimizeConfig::fast())
+                    .synthesize(&fsm)
+                    .expect("suite machine synthesizes");
+                (info.name.to_string(), result.netlist)
+            })
+            .collect()
+    })
+}
+
+/// The model's collapsed fault list, strided down to at most `cap` faults.
+fn capped_faults(model: &dyn FaultModel, netlist: &Netlist, cap: usize) -> Vec<Injection> {
+    let faults = model.fault_list(netlist, true);
+    let stride = faults.len().div_ceil(cap).max(1);
+    faults.into_iter().step_by(stride).collect()
+}
+
+/// The campaign layer vs the legacy entry points, bit-for-bit: all 13
+/// suite machines × 3 fault models × every engine.  One multi-section
+/// campaign per (machine, engine) carries coverage *and* dictionary
+/// observers through a single pass; its per-section results must equal the
+/// per-model legacy calls, and every engine must agree with the scalar
+/// reference.
+#[test]
+fn observers_match_legacy_across_suite_models_and_engines() {
+    let models = all_models();
+    for (name, netlist) in suite_netlists() {
+        let fault_lists: Vec<(String, Vec<Injection>)> = models
+            .iter()
+            .map(|m| {
+                (
+                    m.name().to_string(),
+                    capped_faults(m.as_ref(), netlist, MAX_FAULTS),
+                )
+            })
+            .collect();
+        let mut scalar_reference: Option<Vec<Vec<Option<usize>>>> = None;
+        for engine in ENGINES {
+            let config = CampaignConfig {
+                max_patterns: PATTERNS,
+                engine,
+                ..CampaignConfig::default()
+            };
+            let mut coverage = CoverageObserver::new();
+            let mut dictionaries = DictionaryObserver::new();
+            let mut campaign = Campaign::new(netlist).config(config.clone());
+            for (label, faults) in &fault_lists {
+                campaign = campaign.faults(label.clone(), faults.clone());
+            }
+            let outcome = campaign
+                .observe(&mut coverage)
+                .observe(&mut dictionaries)
+                .run();
+            assert_eq!(outcome.sections.len(), models.len(), "{name} {engine:?}");
+
+            let legacy_config: SelfTestConfig = config.clone().into();
+            for (i, (label, faults)) in fault_lists.iter().enumerate() {
+                // Coverage observer == legacy coverage entry point.
+                let legacy = run_injection_campaign(netlist, faults, &legacy_config);
+                assert_eq!(
+                    &coverage.results()[i].1,
+                    &legacy,
+                    "coverage: {name} {label} {engine:?}"
+                );
+                // Dictionary observer == legacy dictionary entry point,
+                // and its first-detects == the coverage detection pattern
+                // (one un-dropped pass serves both observers).
+                let legacy_dictionary = build_fault_dictionary(netlist, faults, &legacy_config);
+                let dictionary = &dictionaries.dictionaries()[i].1;
+                assert_eq!(
+                    dictionary, &legacy_dictionary,
+                    "dictionary: {name} {label} {engine:?}"
+                );
+                let first: Vec<Option<usize>> =
+                    dictionary.entries.iter().map(|e| e.first_detect).collect();
+                assert_eq!(
+                    first, legacy.detection_pattern,
+                    "first-detect: {name} {label} {engine:?}"
+                );
+            }
+
+            // Every engine agrees with the scalar reference bit-for-bit.
+            let patterns: Vec<Vec<Option<usize>>> = outcome
+                .sections
+                .iter()
+                .map(|s| s.detection_pattern.clone())
+                .collect();
+            match &scalar_reference {
+                None => scalar_reference = Some(patterns),
+                Some(reference) => {
+                    assert_eq!(reference, &patterns, "{name} {engine:?} vs scalar")
+                }
+            }
+        }
+    }
+}
+
+/// Randomized controllers: campaign observers equal the legacy calls for
+/// every model on freshly generated machines and varying configurations.
+#[test]
+fn observers_match_legacy_on_random_controllers() {
+    for seed in 0..6u64 {
+        let fsm = small_random(7100 + seed);
+        let result = SynthesisFlow::new(BistStructure::Pst)
+            .with_assignment(AssignmentMethod::Natural)
+            .with_minimizer(MinimizeConfig::fast())
+            .synthesize(&fsm)
+            .expect("random machine synthesizes");
+        let netlist = &result.netlist;
+        let config = CampaignConfig {
+            max_patterns: 64 + 32 * (seed as usize % 3),
+            seed: 0xCA_4A1C ^ seed,
+            engine: ENGINES[seed as usize % ENGINES.len()],
+            ..CampaignConfig::default()
+        };
+        let models = all_models();
+        let mut coverage = CoverageObserver::new();
+        let mut dictionaries = DictionaryObserver::new();
+        let mut campaign = Campaign::new(netlist).config(config.clone());
+        for model in &models {
+            campaign = campaign.model(model.as_ref());
+        }
+        campaign
+            .observe(&mut coverage)
+            .observe(&mut dictionaries)
+            .run();
+        let legacy_config: SelfTestConfig = config.into();
+        for (i, model) in models.iter().enumerate() {
+            let faults = model.fault_list(netlist, true);
+            assert_eq!(
+                coverage.results()[i].1,
+                run_injection_campaign(netlist, &faults, &legacy_config),
+                "seed {seed} {}",
+                model.name()
+            );
+            assert_eq!(
+                dictionaries.dictionaries()[i].1,
+                build_fault_dictionary(netlist, &faults, &legacy_config),
+                "seed {seed} {}",
+                model.name()
+            );
+        }
+    }
+}
+
+/// Degenerate campaigns return cleanly on every engine: zero faults, zero
+/// patterns, zero observers and zero sections.
+#[test]
+fn degenerate_campaigns_are_total_on_every_engine() {
+    let (_, netlist) = &suite_netlists()[0];
+    for engine in ENGINES {
+        // Zero faults (with signatures requested).
+        let mut coverage = CoverageObserver::new();
+        let mut dictionaries = DictionaryObserver::new();
+        let outcome = Campaign::new(netlist)
+            .engine(engine)
+            .patterns(16)
+            .faults("empty", Vec::new())
+            .observe(&mut coverage)
+            .observe(&mut dictionaries)
+            .run();
+        assert_eq!(outcome.total_faults(), 0, "{engine:?}");
+        let result = coverage.result().unwrap();
+        assert_eq!(result.fault_coverage(), 0.0);
+        assert!(dictionaries.dictionary().unwrap().entries.is_empty());
+
+        // Zero patterns.
+        let mut coverage = CoverageObserver::new();
+        let outcome = Campaign::new(netlist)
+            .engine(engine)
+            .patterns(0)
+            .model(&stfsm::faults::StuckAt)
+            .observe(&mut coverage)
+            .run();
+        assert_eq!(outcome.patterns_applied, 0, "{engine:?}");
+        let result = coverage.result().unwrap();
+        assert!(result.total_faults > 0);
+        assert_eq!(result.detected_faults, 0);
+
+        // Zero observers, zero sections.
+        let outcome = Campaign::new(netlist).engine(engine).run();
+        assert!(outcome.sections.is_empty(), "{engine:?}");
+    }
+}
+
+/// The diagnosis acceptance criterion: on every suite machine, the
+/// signature of a known injected (and detected, un-aliased) fault resolves
+/// back to that fault through `Diagnosis::candidates`, and the
+/// per-segment disambiguation ranks a full-checkpoint match first.
+#[test]
+fn diagnosis_resolves_known_fault_signatures_on_every_suite_machine() {
+    for (name, netlist) in suite_netlists() {
+        let faults = capped_faults(&stfsm::faults::StuckAt, netlist, MAX_FAULTS);
+        let mut observer = DiagnosisObserver::new();
+        Campaign::new(netlist)
+            .faults("stuck_at", faults)
+            .engine(SimEngine::Auto)
+            .patterns(96)
+            .observe(&mut observer)
+            .run();
+        let diagnosis = observer.into_diagnosis().expect("campaign ran");
+        let reference = diagnosis.reference_signature().expect("one section");
+        let (_, dictionary) = &diagnosis.sections()[0];
+        let known = dictionary
+            .entries
+            .iter()
+            .find(|e| e.first_detect.is_some() && e.signature != reference)
+            .unwrap_or_else(|| panic!("{name}: no detected un-aliased fault at 96 patterns"));
+        let candidates = diagnosis.candidates(known.signature);
+        assert!(
+            candidates.iter().any(|c| c.fault == known.fault),
+            "{name}: {} not among the candidates of its own signature",
+            known.fault
+        );
+        let ranked = diagnosis.disambiguate(known.signature, &known.segments);
+        assert_eq!(
+            ranked.first().map(|c| c.matching_segments),
+            Some(DICTIONARY_SEGMENTS),
+            "{name}: full-checkpoint match must rank first"
+        );
+    }
+}
+
+/// `SimEngine::Auto` resolves by machine size: packed on the smallest
+/// suite machine, differential on the largest.
+#[test]
+fn auto_engine_resolves_per_machine_size() {
+    let netlists = suite_netlists();
+    let smallest = netlists
+        .iter()
+        .min_by_key(|(_, n)| n.gates().len())
+        .unwrap();
+    let largest = netlists
+        .iter()
+        .max_by_key(|(_, n)| n.gates().len())
+        .unwrap();
+    assert_eq!(
+        SimEngine::Auto.resolve(&smallest.1),
+        SimEngine::Packed,
+        "{} ({} gates)",
+        smallest.0,
+        smallest.1.gates().len()
+    );
+    assert_eq!(
+        SimEngine::Auto.resolve(&largest.1),
+        SimEngine::Differential,
+        "{} ({} gates)",
+        largest.0,
+        largest.1.gates().len()
+    );
+}
+
+/// `SelfTestConfig` stays a lossless compatibility shell around
+/// `CampaignConfig`.
+#[test]
+fn config_conversions_roundtrip() {
+    let campaign = CampaignConfig {
+        max_patterns: 123,
+        seed: 77,
+        input_weights: Some(vec![0.25, 0.75]),
+        stimulation: None,
+        engine: SimEngine::Threaded,
+        threads: Some(3),
+    };
+    let selftest: SelfTestConfig = campaign.clone().into();
+    assert_eq!(selftest.max_patterns, 123);
+    assert_eq!(selftest.seed, 77);
+    assert!(selftest.collapse_faults);
+    assert_eq!(selftest.fault_sample, 1);
+    let back: CampaignConfig = (&selftest).into();
+    assert_eq!(back, campaign);
+    assert_eq!(selftest.campaign(), campaign);
+    assert_eq!(selftest.effective_threads(), 3);
+    // Default shells agree.
+    assert_eq!(
+        SelfTestConfig::default().campaign(),
+        CampaignConfig::default()
+    );
+}
