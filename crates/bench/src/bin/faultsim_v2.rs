@@ -19,14 +19,22 @@
 //! * the unified `Campaign` API adds **no measurable overhead** over the
 //!   legacy one-shot entry point it wraps: identical results on the
 //!   largest machine, and campaign timing within 5 % of the legacy path
-//!   (same re-measure-before-failing discipline).
+//!   (same re-measure-before-failing discipline);
+//! * the streaming observers deliver the paper's economics: the
+//!   `test_length` section measures patterns-to-90 %-coverage per BIST
+//!   structure across the whole suite (DFF vs PST), and an early-stopped
+//!   90 %-target campaign on the largest machine is asserted to apply
+//!   **fewer patterns and no more wall time** than the identical
+//!   full-budget run.
 //!
 //! Writes the measurements to `BENCH_fault_sim_v2.json` in the working
 //! directory.
 
 use stfsm::json::{JsonObject, RawJson, ToJson};
-use stfsm::report::{CampaignTimingRow, EngineTimingRow};
-use stfsm::testsim::campaign::{Campaign, CoverageObserver};
+use stfsm::report::{CampaignTimingRow, EngineTimingRow, TestLengthRow};
+use stfsm::testsim::campaign::{
+    Campaign, CoverageObserver, CoverageTargetObserver, TestLengthObserver,
+};
 use stfsm::testsim::coverage::{run_self_test, CoverageResult, SelfTestConfig, SimEngine};
 use stfsm::testsim::faults::FaultList;
 use stfsm::testsim::Injection;
@@ -46,6 +54,11 @@ const REQUIRED_SPEEDUP: f64 = 2.0;
 const MAX_CAMPAIGN_OVERHEAD: f64 = 0.05;
 /// Best-of runs for the campaign-vs-legacy comparison.
 const CAMPAIGN_RUNS: u32 = 3;
+/// Coverage target of the test-length section (the paper's stop-at-target
+/// campaign).
+const TEST_LENGTH_TARGET: f64 = 0.9;
+/// Pattern budget of the test-length measurements.
+const TEST_LENGTH_PATTERNS: usize = 4096;
 
 fn engine_config(engine: SimEngine, max_patterns: usize) -> SelfTestConfig {
     SelfTestConfig {
@@ -219,6 +232,132 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         within_5_percent,
     };
 
+    // ---- test length per BIST structure (the paper's economic claim) -----
+    // One early-stopped campaign per (machine, structure): a
+    // `TestLengthObserver` votes to stop at the target coverage and
+    // reports the exact patterns-to-target, so the PST structure's longer
+    // system-state test shows up as a larger test length against the
+    // conventional DFF structure on the same machine.
+    println!(
+        "\n{:<10} {:>6} {:>7} {:>10} {:>9} {:>9}",
+        "machine", "struct", "faults", "test_len", "applied", "coverage"
+    );
+    let mut test_length_rows: Vec<TestLengthRow> = Vec::new();
+    for info in stfsm::fsm::suite::BENCHMARKS {
+        let fsm = info.fsm()?;
+        for structure in [BistStructure::Dff, BistStructure::Pst] {
+            let netlist = SynthesisFlow::new(structure).synthesize(&fsm)?.netlist;
+            let mut observer = TestLengthObserver::new(TEST_LENGTH_TARGET);
+            let outcome = Campaign::new(&netlist)
+                .model(&stfsm::faults::StuckAt)
+                .patterns(TEST_LENGTH_PATTERNS)
+                .observe(&mut observer)
+                .run();
+            let row = TestLengthRow {
+                benchmark: info.name.to_string(),
+                structure: structure.to_string(),
+                target: TEST_LENGTH_TARGET,
+                total_faults: outcome.total_faults(),
+                test_length: observer.test_length(),
+                patterns_applied: outcome.patterns_applied,
+                max_patterns: TEST_LENGTH_PATTERNS,
+                coverage: observer.coverage(),
+            };
+            println!(
+                "{:<10} {:>6} {:>7} {:>10} {:>9} {:>8.1}%",
+                row.benchmark,
+                row.structure,
+                row.total_faults,
+                row.test_length.map_or("-".to_string(), |l| l.to_string()),
+                row.patterns_applied,
+                row.coverage * 100.0
+            );
+            test_length_rows.push(row);
+        }
+    }
+
+    // ---- early stop beats the full budget on the largest machine ---------
+    // The redesign's economic claim, asserted: an scf campaign stopped at
+    // the 90 % target applies strictly fewer patterns — and takes no more
+    // wall time — than the identical campaign burning its full budget.
+    // The PST structure's system-state stimulation cannot reach 90 % on
+    // scf within the budget (that *is* the paper's test-length trade-off),
+    // so the assertion runs on scf's conventional DFF structure, which
+    // crosses the target around a quarter of the budget.
+    let early_stop_fsm = stfsm::fsm::suite::benchmark(&large_machine)
+        .expect("largest machine is a suite benchmark")
+        .fsm()?;
+    let early_stop_netlist = SynthesisFlow::new(BistStructure::Dff)
+        .synthesize(&early_stop_fsm)?
+        .netlist;
+    let run_full = || -> stfsm::testsim::campaign::CampaignOutcome {
+        let mut coverage = CoverageObserver::new();
+        Campaign::new(&early_stop_netlist)
+            .model(&stfsm::faults::StuckAt)
+            .patterns(TEST_LENGTH_PATTERNS)
+            .observe(&mut coverage)
+            .run()
+    };
+    let run_stopped = || -> stfsm::testsim::campaign::CampaignOutcome {
+        let mut target = CoverageTargetObserver::new(TEST_LENGTH_TARGET);
+        Campaign::new(&early_stop_netlist)
+            .model(&stfsm::faults::StuckAt)
+            .patterns(TEST_LENGTH_PATTERNS)
+            .observe(&mut target)
+            .run()
+    };
+    let (full_outcome, mut full_ns) = best_of(CAMPAIGN_RUNS, run_full);
+    let (stopped_outcome, mut stopped_ns) = best_of(CAMPAIGN_RUNS, run_stopped);
+    let full_coverage = full_outcome.coverage(0).fault_coverage();
+    assert!(
+        full_coverage >= TEST_LENGTH_TARGET,
+        "{large_machine}/DFF must reach {TEST_LENGTH_TARGET} coverage within \
+         {TEST_LENGTH_PATTERNS} patterns for the early-stop claim (got {full_coverage:.3})"
+    );
+    assert!(
+        stopped_outcome.stopped_early(),
+        "the {:.0} % target must stop {large_machine}/DFF before the full budget",
+        TEST_LENGTH_TARGET * 100.0
+    );
+    assert!(
+        stopped_outcome.patterns_applied < full_outcome.patterns_applied,
+        "early stop must apply fewer patterns"
+    );
+    // The early-stopped run does a strict prefix of the full run's work;
+    // re-measure once before failing on a transiently loaded host.
+    if stopped_ns > full_ns {
+        full_ns = full_ns.min(best_of(RETRY_RUNS, run_full).1);
+        stopped_ns = stopped_ns.min(best_of(RETRY_RUNS, run_stopped).1);
+    }
+    println!(
+        "\n{large_machine}/DFF: early stop at {:.0} % coverage — {} of {} patterns, \
+         {:.3} ms vs {:.3} ms full budget",
+        TEST_LENGTH_TARGET * 100.0,
+        stopped_outcome.patterns_applied,
+        full_outcome.patterns_applied,
+        stopped_ns / 1e6,
+        full_ns / 1e6
+    );
+    assert!(
+        stopped_ns <= full_ns,
+        "an early-stopped campaign ({:.3} ms) must take no more wall time than the \
+         full-budget run ({:.3} ms)",
+        stopped_ns / 1e6,
+        full_ns / 1e6
+    );
+    let mut early_stop = JsonObject::new();
+    early_stop
+        .field("machine", &large_machine)
+        .field("structure", "DFF")
+        .field("target", TEST_LENGTH_TARGET)
+        .field("max_patterns", TEST_LENGTH_PATTERNS)
+        .field("stopped_patterns", stopped_outcome.patterns_applied)
+        .field("full_patterns", full_outcome.patterns_applied)
+        .field("stopped_ms", stopped_ns / 1e6)
+        .field("full_ms", full_ns / 1e6)
+        .field("fewer_patterns", true)
+        .field("no_more_wall_time", true);
+
     // ---- artefact --------------------------------------------------------
     let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
     let all_identical = rows.iter().all(|r| r.detection_patterns_identical);
@@ -235,6 +374,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("host_parallelism", host_parallelism)
         .field("speedup_enforced", enforced)
         .field("detection_patterns_identical", true);
+    let test_length_json: Vec<RawJson> = test_length_rows
+        .iter()
+        .map(|r| RawJson(r.to_json()))
+        .collect();
+    let mut test_length = JsonObject::new();
+    test_length
+        .field("target", TEST_LENGTH_TARGET)
+        .field("max_patterns", TEST_LENGTH_PATTERNS)
+        .field("rows", test_length_json)
+        .field("early_stop", RawJson(early_stop.finish()));
     let mut report = JsonObject::new();
     report
         .field("benchmark", "fault_sim_v2")
@@ -243,6 +392,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("rows", row_json)
         .field("largest", RawJson(large.finish()))
         .field("campaign_api", RawJson(campaign_row.to_json()))
+        .field("test_length", RawJson(test_length.finish()))
         .field("detection_patterns_identical", all_identical);
     let json = report.finish();
     std::fs::write("BENCH_fault_sim_v2.json", format!("{json}\n"))?;

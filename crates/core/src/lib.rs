@@ -65,7 +65,9 @@ pub use flow::{AssignmentMethod, SynthesisFlow, SynthesisResult};
 
 pub use stfsm_bist::BistStructure;
 pub use stfsm_testsim::campaign::{
-    Campaign, CampaignObserver, CampaignOutcome, CoverageObserver, DictionaryObserver,
+    Campaign, CampaignObserver, CampaignOutcome, CampaignPlan, CoverageObserver,
+    CoverageTargetObserver, DictionaryObserver, ObserverControl, SegmentSnapshot,
+    TestLengthObserver,
 };
 pub use stfsm_testsim::coverage::{CampaignConfig, SimEngine};
 pub use stfsm_testsim::diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};

@@ -337,6 +337,47 @@ impl ToJson for CampaignTimingRow {
     }
 }
 
+/// One row of the test-length benchmark: how many patterns one BIST
+/// structure needs to reach a coverage target on one suite machine — the
+/// measurable form of the paper's economic claim that self-testable state
+/// machines trade test length against area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestLengthRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// BIST structure (`DFF`, `PAT`, `SIG`, `PST`).
+    pub structure: String,
+    /// The fractional coverage target of the measurement.
+    pub target: f64,
+    /// Faults simulated (collapsed stuck-at list).
+    pub total_faults: usize,
+    /// Exact patterns-to-target; `None` when the target was out of reach
+    /// within the budget.
+    pub test_length: Option<usize>,
+    /// Patterns the early-stopped campaign actually applied (the segment
+    /// boundary at which the target vote fired, or the full budget).
+    pub patterns_applied: usize,
+    /// The campaign's pattern budget.
+    pub max_patterns: usize,
+    /// Coverage accumulated when the campaign ended.
+    pub coverage: f64,
+}
+
+impl ToJson for TestLengthRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("structure", &self.structure)
+            .field("target", self.target)
+            .field("total_faults", self.total_faults)
+            .field("test_length", self.test_length)
+            .field("patterns_applied", self.patterns_applied)
+            .field("max_patterns", self.max_patterns)
+            .field("coverage", self.coverage);
+        out.push_str(&obj.finish());
+    }
+}
+
 /// One fault's entry in a diagnosis report.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DictionaryEntryReport {
@@ -620,14 +661,37 @@ mod tests {
     }
 
     #[test]
+    fn test_length_row_serializes() {
+        let row = TestLengthRow {
+            benchmark: "scf".into(),
+            structure: "PST".into(),
+            target: 0.9,
+            total_faults: 19963,
+            test_length: Some(731),
+            patterns_applied: 960,
+            max_patterns: 4096,
+            coverage: 0.91,
+        };
+        let json = row.to_json();
+        assert!(json.contains(r#""structure":"PST""#));
+        assert!(json.contains(r#""test_length":731"#));
+        assert!(json.contains(r#""patterns_applied":960"#));
+        let unreached = TestLengthRow {
+            test_length: None,
+            ..row
+        };
+        assert!(unreached.to_json().contains(r#""test_length":null"#));
+    }
+
+    #[test]
     fn dictionary_report_serializes_and_truncates() {
         use stfsm_testsim::dictionary::{DictionaryEntry, FaultDictionary};
         use stfsm_testsim::Injection;
         let dictionary = FaultDictionary::new(
             5,
             0b10110,
-            [0b00001, 0b01010, 0b10110],
-            [32, 64, 96],
+            vec![0b00001, 0b01010, 0b10110],
+            vec![32, 64, 96],
             128,
             vec![
                 DictionaryEntry {
@@ -637,7 +701,7 @@ mod tests {
                     },
                     first_detect: Some(2),
                     signature: 0b00111,
-                    segments: [0b00010, 0b01100, 0b00111],
+                    segments: vec![0b00010, 0b01100, 0b00111],
                 },
                 DictionaryEntry {
                     fault: Injection::DelayedTransition {
@@ -646,7 +710,7 @@ mod tests {
                     },
                     first_detect: Some(9),
                     signature: 0b10110,
-                    segments: [0b00001, 0b01110, 0b10110],
+                    segments: vec![0b00001, 0b01110, 0b10110],
                 },
                 DictionaryEntry {
                     fault: Injection::Bridge {
@@ -656,7 +720,7 @@ mod tests {
                     },
                     first_detect: None,
                     signature: 0b10110,
-                    segments: [0b00001, 0b01010, 0b10110],
+                    segments: vec![0b00001, 0b01010, 0b10110],
                 },
             ],
         );

@@ -1,15 +1,36 @@
-//! The unified campaign API: one simulation pass, composable observers.
+//! The unified campaign API: one simulation pass, streamed to composable
+//! lifecycle observers.
 //!
 //! The paper's self-test flow is one pipeline — synthesize a BIST
 //! structure, simulate the fault universe, compress the responses into a
-//! MISR signature, diagnose from that signature — but it used to be exposed
-//! as three disjoint one-shot functions
-//! ([`run_self_test`](crate::coverage::run_self_test),
-//! [`run_injection_campaign`](crate::coverage::run_injection_campaign),
-//! [`build_fault_dictionary`](crate::dictionary::build_fault_dictionary)),
-//! each re-simulating the same fault universe.  A [`Campaign`] runs the
-//! universe **once** and fans the results out to any number of composable,
-//! object-safe [`CampaignObserver`] sinks:
+//! MISR signature, diagnose from that signature — and its headline
+//! economic claim is about *test length*: a practical campaign stops as
+//! soon as the target coverage is met instead of burning the full pattern
+//! budget.  A [`Campaign`] therefore runs the fault universe **once** and
+//! streams its progress to any number of composable, object-safe
+//! [`CampaignObserver`]s through a three-phase lifecycle:
+//!
+//! 1. [`on_begin`](CampaignObserver::on_begin) — the resolved
+//!    [`CampaignPlan`] (structure, stimulation, engine, fault sections and
+//!    the pinned segment schedule) before the first pattern is applied;
+//! 2. [`on_segment`](CampaignObserver::on_segment) — one
+//!    [`SegmentSnapshot`] per compaction segment *during* the run: the
+//!    newly detected fault indices per section, the patterns applied so
+//!    far and the running coverage.  The returned [`ObserverControl`] is
+//!    the observer's standing vote: once **every** observer has voted
+//!    [`ObserverControl::Stop`], the campaign ends at that segment
+//!    boundary and the remaining pattern budget is never simulated;
+//! 3. [`on_finish`](CampaignObserver::on_finish) — the complete
+//!    [`CampaignOutcome`], exactly once per run.
+//!
+//! Early stopping is **deterministic**: every engine of the
+//! [`SimEngine`] matrix advances through the same engine-independent
+//! doubling segment schedule ([`segment_schedule`]), reports identical
+//! snapshots at identical boundaries, and therefore stops an early-stopped
+//! campaign at the same pattern count with the same detection sets —
+//! bit for bit, across engines and thread counts.
+//!
+//! # Observers
 //!
 //! * [`CoverageObserver`] — fault coverage, detection patterns and the
 //!   coverage curve (the body of the legacy coverage entry points);
@@ -18,18 +39,42 @@
 //!   dictionary entry point);
 //! * [`DiagnosisObserver`](crate::diagnosis::DiagnosisObserver) — a
 //!   [`Diagnosis`](crate::diagnosis::Diagnosis) that maps an observed
-//!   failing signature back to ranked candidate faults across models.
+//!   failing signature back to ranked candidate faults across models;
+//! * [`CoverageTargetObserver`] — votes to stop once a coverage target is
+//!   reached (the paper's stop-at-X% campaign);
+//! * [`TestLengthObserver`] — measures the patterns-to-target of one BIST
+//!   structure (and stops there), the instrument behind the paper's
+//!   test-length comparison.
+//!
+//! The first three never vote to stop, so a campaign carrying only them
+//! runs its full budget and reproduces the pre-streaming results
+//! bit for bit.
+//!
+//! # Migrating from the one-shot `observe()` API
+//!
+//! Until this redesign, `CampaignObserver` had a single
+//! `observe(&CampaignOutcome)` callback invoked after the run.  That
+//! method is now called [`on_finish`](CampaignObserver::on_finish) and is
+//! the only required method — a post-hoc observer migrates by renaming
+//! `fn observe` to `fn on_finish`.  The new `on_begin` / `on_segment`
+//! hooks have default implementations (do nothing, vote
+//! [`ObserverControl::Continue`]), so implementing only `on_finish`
+//! preserves the exact pre-redesign behaviour.
 //!
 //! Fault universes are declared as *sections* — one per fault model (or
 //! explicit injection list) — and observers see per-section results, so a
-//! single pass covers multi-model campaigns end to end.
+//! single pass covers multi-model campaigns end to end.  Section
+//! dictionaries are shared as [`Arc<FaultDictionary>`]: signature-consuming
+//! observers clone a pointer, not the dictionary.
 //!
 //! The campaign needs exactly one simulation style per run: if any observer
 //! requires signatures, the whole universe runs the un-dropped dictionary
 //! pass (whose first-detect indices are bit-for-bit the coverage
-//! campaign's detection patterns); otherwise it runs the cheaper
+//! campaign's detection patterns, so segment snapshots — and stop
+//! decisions — are identical); otherwise it runs the cheaper
 //! drop-on-detect coverage pass.  Either way the engine matrix of
-//! [`SimEngine`] applies unchanged, including [`SimEngine::Auto`].
+//! [`SimEngine`] applies unchanged, including the default
+//! [`SimEngine::Auto`].
 //!
 //! # Example
 //!
@@ -38,9 +83,8 @@
 //! use stfsm_encode::StateEncoding;
 //! use stfsm_bist::{BistStructure, excitation::{build_pla, layout, RegisterTransform}, netlist::build_netlist};
 //! use stfsm_logic::espresso::minimize;
-//! use stfsm_faults::{StuckAt, TransitionDelay};
-//! use stfsm_testsim::campaign::{Campaign, CoverageObserver, DictionaryObserver};
-//! use stfsm_testsim::coverage::SimEngine;
+//! use stfsm_faults::StuckAt;
+//! use stfsm_testsim::campaign::{Campaign, CoverageObserver, CoverageTargetObserver};
 //!
 //! let fsm = fig3_example()?;
 //! let encoding = StateEncoding::natural(&fsm)?;
@@ -50,30 +94,35 @@
 //! let lay = layout(&fsm, &encoding, &transform);
 //! let netlist = build_netlist("fig3", &cover, &lay, BistStructure::Dff, None)?;
 //!
-//! let mut coverage = CoverageObserver::new();
-//! let mut dictionaries = DictionaryObserver::new();
-//! Campaign::new(&netlist)
+//! // Stop as soon as 90 % of the stuck-at faults are covered.
+//! let mut target = CoverageTargetObserver::new(0.9);
+//! let outcome = Campaign::new(&netlist)
 //!     .model(&StuckAt)
-//!     .model(&TransitionDelay)
-//!     .engine(SimEngine::Auto)
+//!     .patterns(4096)
+//!     .observe(&mut target)
+//!     .run();
+//! assert!(target.reached());
+//! assert!(outcome.patterns_applied < 4096, "stopped early");
+//!
+//! // A full-budget run with a passive observer is unchanged.
+//! let mut coverage = CoverageObserver::new();
+//! let outcome = Campaign::new(&netlist)
+//!     .model(&StuckAt)
 //!     .patterns(256)
 //!     .observe(&mut coverage)
-//!     .observe(&mut dictionaries)
 //!     .run();
-//! for (model, result) in coverage.results() {
-//!     println!("{model}: {:.1} % coverage", result.fault_coverage() * 100.0);
-//! }
-//! assert_eq!(coverage.results().len(), 2);
-//! assert_eq!(dictionaries.dictionaries().len(), 2);
+//! assert_eq!(outcome.patterns_applied, 256);
+//! assert!(coverage.result().expect("one section").fault_coverage() > 0.9);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 use crate::coverage::{
-    assemble_coverage, detect, misr_aliasing_probability, CampaignConfig, CoverageResult,
-    SimEngine, StateStimulation,
+    assemble_coverage, detect_streaming, misr_aliasing_probability, segment_schedule,
+    CampaignConfig, CoverageResult, SegmentReport, SimEngine, StateStimulation,
 };
-use crate::dictionary::{build_dictionary_core, FaultDictionary};
+use crate::dictionary::{build_dictionary_streaming, FaultDictionary};
 use crate::faults::Injection;
+use std::sync::Arc;
 use stfsm_bist::netlist::Netlist;
 use stfsm_bist::BistStructure;
 use stfsm_faults::FaultModel;
@@ -86,7 +135,87 @@ struct Section {
     faults: Vec<Injection>,
 }
 
-/// A composable, object-safe sink for campaign results.
+/// An observer's standing vote at a segment boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverControl {
+    /// Keep applying patterns (the default of every passive observer).
+    Continue,
+    /// This observer has seen enough.  The campaign ends at the segment
+    /// boundary at which **every** registered observer has voted `Stop`;
+    /// a single full-run observer keeps the campaign alive to its budget.
+    Stop,
+}
+
+/// One fault section as the campaign will run it.
+#[derive(Debug, Clone)]
+pub struct SectionPlan {
+    /// The section's label (the fault-model name for [`Campaign::model`]
+    /// sections).
+    pub label: String,
+    /// Number of faults in the section.
+    pub faults: usize,
+}
+
+/// Everything an observer knows before the first pattern is applied.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// The structure of the netlist under test.
+    pub structure: BistStructure,
+    /// The stimulation mode that will be used.
+    pub stimulation: StateStimulation,
+    /// The engine that will run ([`SimEngine::Auto`] already resolved).
+    pub engine: SimEngine,
+    /// The pattern budget (the campaign may stop earlier on a unanimous
+    /// [`ObserverControl::Stop`] vote).
+    pub max_patterns: usize,
+    /// Total number of faults across all sections.
+    pub total_faults: usize,
+    /// The declared fault sections, in declaration order.
+    pub sections: Vec<SectionPlan>,
+    /// The pinned segment schedule ([`segment_schedule`] of the budget):
+    /// the boundaries at which [`CampaignObserver::on_segment`] fires and
+    /// at which the campaign can stop.
+    pub segments: Vec<usize>,
+}
+
+/// What every observer sees at a segment boundary, identical across
+/// engines and thread counts.
+#[derive(Debug)]
+pub struct SegmentSnapshot<'a> {
+    /// Index of the segment in [`CampaignPlan::segments`].
+    pub segment: usize,
+    /// Patterns applied so far (the segment's end boundary).
+    pub patterns_applied: usize,
+    /// Total number of faults across all sections.
+    pub total_faults: usize,
+    /// Faults detected so far, across all sections (running total).
+    pub detected_faults: usize,
+    /// Per section (declaration order): this segment's newly detected
+    /// `(fault index within the section, detecting pattern)` pairs, sorted
+    /// by `(pattern, index)`.
+    pub sections: &'a [Vec<(usize, usize)>],
+}
+
+impl SegmentSnapshot<'_> {
+    /// Running fault coverage (detected / total; zero for a campaign
+    /// without faults — nothing was demonstrated, so nothing is claimed).
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected_faults as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of faults newly detected in this segment.
+    pub fn segment_detections(&self) -> usize {
+        self.sections.iter().map(Vec::len).sum()
+    }
+}
+
+/// A composable, object-safe streaming sink for campaign progress and
+/// results; see the [module docs](self) for the lifecycle and the
+/// migration note from the pre-streaming `observe()` API.
 ///
 /// Observers declare up front whether they need full-campaign signatures
 /// ([`CampaignObserver::needs_signatures`]); the campaign runs the
@@ -99,9 +228,22 @@ pub trait CampaignObserver {
         false
     }
 
+    /// Called once per [`Campaign::run`], before the first pattern, with
+    /// the resolved plan.  Defaults to doing nothing.
+    fn on_begin(&mut self, _plan: &CampaignPlan) {}
+
+    /// Called at every boundary of the pinned segment schedule with the
+    /// segment's snapshot; the return value is this observer's standing
+    /// vote (see [`ObserverControl`]).  Defaults to
+    /// [`ObserverControl::Continue`], so a passive observer never cuts a
+    /// campaign short.
+    fn on_segment(&mut self, _snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+        ObserverControl::Continue
+    }
+
     /// Called exactly once per [`Campaign::run`], after the simulation
-    /// pass, with the complete outcome.
-    fn observe(&mut self, outcome: &CampaignOutcome);
+    /// pass (full-budget or early-stopped), with the complete outcome.
+    fn on_finish(&mut self, outcome: &CampaignOutcome);
 }
 
 /// The per-section result of a campaign run.
@@ -114,9 +256,9 @@ pub struct SectionOutcome {
     pub faults: Vec<Injection>,
     /// `detection_pattern[i]`: the first pattern that detected `faults[i]`.
     pub detection_pattern: Vec<Option<usize>>,
-    /// The section's fault dictionary; present iff at least one observer
-    /// asked for signatures.
-    pub dictionary: Option<FaultDictionary>,
+    /// The section's fault dictionary, shared (not deep-copied) with every
+    /// observer; present iff at least one observer asked for signatures.
+    pub dictionary: Option<Arc<FaultDictionary>>,
 }
 
 /// The complete outcome of one campaign run, handed to every observer.
@@ -128,7 +270,10 @@ pub struct CampaignOutcome {
     pub stimulation: StateStimulation,
     /// The engine that actually ran ([`SimEngine::Auto`] already resolved).
     pub engine: SimEngine,
-    /// Number of patterns applied.
+    /// The pattern budget the campaign was configured with.
+    pub max_patterns: usize,
+    /// Number of patterns actually applied: the budget, or the segment
+    /// boundary at which every observer had voted to stop.
     pub patterns_applied: usize,
     /// The `2^{-r}` aliasing probability of the netlist's compactor.
     pub aliasing_probability: f64,
@@ -138,7 +283,9 @@ pub struct CampaignOutcome {
 
 impl CampaignOutcome {
     /// Assembles the [`CoverageResult`] of section `index` — bit-for-bit
-    /// what the legacy one-shot entry points produced for that fault list.
+    /// what the legacy one-shot entry points produced for that fault list
+    /// (over [`CampaignOutcome::patterns_applied`] patterns when the
+    /// campaign stopped early).
     pub fn coverage(&self, index: usize) -> CoverageResult {
         assemble_coverage(
             self.structure,
@@ -152,6 +299,12 @@ impl CampaignOutcome {
     /// Total number of faults across all sections.
     pub fn total_faults(&self) -> usize {
         self.sections.iter().map(|s| s.faults.len()).sum()
+    }
+
+    /// Whether a unanimous observer vote ended the campaign before its
+    /// pattern budget.
+    pub fn stopped_early(&self) -> bool {
+        self.patterns_applied < self.max_patterns
     }
 }
 
@@ -254,8 +407,9 @@ impl<'n, 'o> Campaign<'n, 'o> {
     }
 
     /// Runs the campaign: one simulation pass over the concatenated fault
-    /// sections, fanned out to every observer.  Returns the outcome (so
-    /// running without observers is also useful).
+    /// sections, streamed segment by segment to every observer (see the
+    /// [module docs](self) for the lifecycle and the early-stop vote).
+    /// Returns the outcome (so running without observers is also useful).
     ///
     /// Degenerate campaigns are total: no sections, empty fault lists or
     /// zero patterns all return cleanly.
@@ -273,32 +427,100 @@ impl<'n, 'o> Campaign<'n, 'o> {
             .iter()
             .flat_map(|s| s.faults.iter().copied())
             .collect();
+        let total_faults = all_faults.len();
+
+        let plan = CampaignPlan {
+            structure: netlist.structure(),
+            stimulation,
+            engine,
+            max_patterns: config.max_patterns,
+            total_faults,
+            sections: sections
+                .iter()
+                .map(|s| SectionPlan {
+                    label: s.label.clone(),
+                    faults: s.faults.len(),
+                })
+                .collect(),
+            segments: segment_schedule(config.max_patterns),
+        };
+        for observer in observers.iter_mut() {
+            observer.on_begin(&plan);
+        }
         let needs_signatures = observers.iter().any(|o| o.needs_signatures());
+
+        // Flat fault index → section mapping for the snapshots.
+        let offsets: Vec<usize> = sections
+            .iter()
+            .scan(0usize, |acc, s| {
+                let offset = *acc;
+                *acc += s.faults.len();
+                Some(offset)
+            })
+            .collect();
+        let mut per_section: Vec<Vec<(usize, usize)>> = vec![Vec::new(); sections.len()];
+        let mut detected_running = 0usize;
+        // Sticky votes: once an observer has voted Stop it counts as
+        // stopped; the campaign ends at the first boundary where every
+        // observer has.
+        let mut voted = vec![false; observers.len()];
+        let mut on_segment = |report: &SegmentReport<'_>| -> bool {
+            for section in per_section.iter_mut() {
+                section.clear();
+            }
+            for &(flat, cycle) in report.new_detections {
+                let section = offsets.partition_point(|&o| o <= flat) - 1;
+                per_section[section].push((flat - offsets[section], cycle));
+            }
+            detected_running += report.new_detections.len();
+            let snapshot = SegmentSnapshot {
+                segment: report.segment,
+                patterns_applied: report.patterns_applied,
+                total_faults,
+                detected_faults: detected_running,
+                sections: &per_section,
+            };
+            let mut all_stopped = !observers.is_empty();
+            for (observer, vote) in observers.iter_mut().zip(voted.iter_mut()) {
+                if observer.on_segment(&snapshot) == ObserverControl::Stop {
+                    *vote = true;
+                }
+                all_stopped &= *vote;
+            }
+            !all_stopped
+        };
 
         // The single pass: un-dropped with signatures when any observer
         // asked for them (its first-detect indices are bit-for-bit the
-        // coverage detection patterns), drop-on-detect otherwise.
-        let (detection_pattern, mut dictionary) = if needs_signatures {
-            let dictionary = build_dictionary_core(netlist, &all_faults, &config);
+        // coverage detection patterns, so the segment stream — and any
+        // stop decision — is identical), drop-on-detect otherwise.
+        let (detection_pattern, patterns_applied, dictionary) = if needs_signatures {
+            let dictionary =
+                build_dictionary_streaming(netlist, &all_faults, &config, &mut on_segment);
             let detection: Vec<Option<usize>> =
                 dictionary.entries.iter().map(|e| e.first_detect).collect();
-            (detection, Some(dictionary))
+            let patterns_applied = dictionary.patterns_applied;
+            (detection, patterns_applied, Some(Arc::new(dictionary)))
         } else {
-            (detect(netlist, &all_faults, &config, stimulation), None)
+            let (detection, patterns_applied) =
+                detect_streaming(netlist, &all_faults, &config, stimulation, &mut on_segment);
+            (detection, patterns_applied, None)
         };
 
         // Split the concatenated results back into the declared sections
-        // (the common single-section case moves the dictionary instead of
-        // slicing a copy).
+        // (the common single-section case shares the one dictionary `Arc`
+        // instead of slicing a copy).
         let single_section = sections.len() == 1;
         let mut outcome_sections = Vec::with_capacity(sections.len());
         let mut offset = 0usize;
         for section in sections {
             let count = section.faults.len();
             let section_dictionary = if single_section {
-                dictionary.take()
+                dictionary.clone()
             } else {
-                dictionary.as_ref().map(|d| d.slice(offset..offset + count))
+                dictionary
+                    .as_ref()
+                    .map(|d| Arc::new(d.slice(offset..offset + count)))
             };
             outcome_sections.push(SectionOutcome {
                 label: section.label,
@@ -313,12 +535,13 @@ impl<'n, 'o> Campaign<'n, 'o> {
             structure: netlist.structure(),
             stimulation,
             engine,
-            patterns_applied: config.max_patterns,
+            max_patterns: config.max_patterns,
+            patterns_applied,
             aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
             sections: outcome_sections,
         };
         for observer in observers.iter_mut() {
-            observer.observe(&outcome);
+            observer.on_finish(&outcome);
         }
         outcome
     }
@@ -328,7 +551,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
 /// the legacy [`run_self_test`](crate::coverage::run_self_test) /
 /// [`run_injection_campaign`](crate::coverage::run_injection_campaign)
 /// entry points produce — those wrappers are now implemented on top of
-/// this observer.
+/// this observer.  A passive full-run observer: it never votes to stop.
 #[derive(Debug, Default)]
 pub struct CoverageObserver {
     results: Vec<(String, CoverageResult)>,
@@ -358,7 +581,7 @@ impl CoverageObserver {
 }
 
 impl CampaignObserver for CoverageObserver {
-    fn observe(&mut self, outcome: &CampaignOutcome) {
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
         self.results = outcome
             .sections
             .iter()
@@ -368,14 +591,16 @@ impl CampaignObserver for CoverageObserver {
     }
 }
 
-/// The dictionary sink: one [`FaultDictionary`] per section (final and
-/// per-segment intermediate MISR signatures included) — the body of the
-/// legacy
+/// The dictionary sink: one shared [`FaultDictionary`] per section (final
+/// and per-segment intermediate MISR signatures included) — the body of
+/// the legacy
 /// [`build_fault_dictionary`](crate::dictionary::build_fault_dictionary)
-/// entry point, which is now a thin wrapper around this observer.
+/// entry point, which is now a thin wrapper around this observer.  The
+/// dictionaries are [`Arc`]-shared with the campaign outcome, so
+/// observing costs a pointer clone per section, not a deep copy.
 #[derive(Debug, Default)]
 pub struct DictionaryObserver {
-    dictionaries: Vec<(String, FaultDictionary)>,
+    dictionaries: Vec<(String, Arc<FaultDictionary>)>,
 }
 
 impl DictionaryObserver {
@@ -386,18 +611,27 @@ impl DictionaryObserver {
 
     /// The labelled dictionaries, one per section in declaration order;
     /// empty before the campaign ran.
-    pub fn dictionaries(&self) -> &[(String, FaultDictionary)] {
+    pub fn dictionaries(&self) -> &[(String, Arc<FaultDictionary>)] {
         &self.dictionaries
     }
 
     /// The first section's dictionary (the common single-model case).
     pub fn dictionary(&self) -> Option<&FaultDictionary> {
-        self.dictionaries.first().map(|(_, d)| d)
+        self.dictionaries.first().map(|(_, d)| d.as_ref())
     }
 
-    /// Consumes the observer into its dictionaries, dropping the labels.
+    /// Consumes the observer into its shared dictionaries.
+    pub fn into_shared(self) -> Vec<(String, Arc<FaultDictionary>)> {
+        self.dictionaries
+    }
+
+    /// Consumes the observer into owned dictionaries, dropping the labels
+    /// (cloning only if a dictionary is still shared elsewhere).
     pub fn into_dictionaries(self) -> Vec<FaultDictionary> {
-        self.dictionaries.into_iter().map(|(_, d)| d).collect()
+        self.dictionaries
+            .into_iter()
+            .map(|(_, d)| Arc::try_unwrap(d).unwrap_or_else(|shared| (*shared).clone()))
+            .collect()
     }
 }
 
@@ -406,7 +640,7 @@ impl CampaignObserver for DictionaryObserver {
         true
     }
 
-    fn observe(&mut self, outcome: &CampaignOutcome) {
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
         self.dictionaries = outcome
             .sections
             .iter()
@@ -420,6 +654,174 @@ impl CampaignObserver for DictionaryObserver {
                 )
             })
             .collect();
+    }
+}
+
+/// A stopping observer: votes [`ObserverControl::Stop`] at the first
+/// segment boundary where the running fault coverage reaches `target`
+/// (the campaign then ends there, unless another observer still wants the
+/// full budget).
+///
+/// Besides the boundary it stopped at
+/// ([`CoverageTargetObserver::patterns_applied`]), the observer records
+/// every detection cycle it saw, so
+/// [`CoverageTargetObserver::patterns_to_target`] reports the *exact*
+/// pattern count at which coverage first reached the target — the
+/// paper's test-length metric — independent of the segment granularity.
+#[derive(Debug)]
+pub struct CoverageTargetObserver {
+    target: f64,
+    total_faults: usize,
+    detection_cycles: Vec<usize>,
+    patterns_applied: usize,
+    reached: bool,
+}
+
+impl CoverageTargetObserver {
+    /// A stopping observer for a fractional coverage `target`
+    /// (`0.0 ..= 1.0`; a target of zero stops at the first boundary, an
+    /// unreachable target never stops).
+    pub fn new(target: f64) -> Self {
+        Self {
+            target,
+            total_faults: 0,
+            detection_cycles: Vec::new(),
+            patterns_applied: 0,
+            reached: false,
+        }
+    }
+
+    /// The configured coverage target.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+
+    /// Whether the target was reached before the campaign ended.
+    pub fn reached(&self) -> bool {
+        self.reached
+    }
+
+    /// The coverage accumulated up to the last boundary seen.
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detection_cycles.len() as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Patterns applied when the campaign ended (the stop boundary for an
+    /// early-stopped run, the full budget otherwise).
+    pub fn patterns_applied(&self) -> usize {
+        self.patterns_applied
+    }
+
+    /// The smallest number of patterns after which the coverage reaches
+    /// the target — computed from the exact detection cycles, so it is
+    /// finer-grained than the stop boundary — or `None` if the target was
+    /// not reached (the same crossing formula as
+    /// [`CoverageResult::test_length_for_coverage`], shared so the
+    /// in-flight and post-hoc metrics can never drift apart).
+    pub fn patterns_to_target(&self) -> Option<usize> {
+        crate::coverage::test_length_from_cycles(
+            self.detection_cycles.clone(),
+            self.total_faults,
+            self.target,
+        )
+    }
+}
+
+impl CampaignObserver for CoverageTargetObserver {
+    fn on_begin(&mut self, plan: &CampaignPlan) {
+        self.total_faults = plan.total_faults;
+        self.detection_cycles.clear();
+        self.patterns_applied = 0;
+        self.reached = false;
+    }
+
+    fn on_segment(&mut self, snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+        self.detection_cycles
+            .extend(snapshot.sections.iter().flatten().map(|&(_, cycle)| cycle));
+        self.patterns_applied = snapshot.patterns_applied;
+        if snapshot.coverage() >= self.target {
+            self.reached = true;
+            ObserverControl::Stop
+        } else {
+            ObserverControl::Continue
+        }
+    }
+
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
+        self.patterns_applied = outcome.patterns_applied;
+    }
+}
+
+/// The test-length instrument behind the paper's economic comparison:
+/// measures how many patterns one BIST structure needs to reach a
+/// coverage target, and stops the campaign there (so the measurement
+/// costs only the patterns it measures).
+///
+/// Run one campaign per synthesized structure with its own
+/// `TestLengthObserver` and compare
+/// [`TestLengthObserver::test_length`] across structures — e.g. the
+/// PST-vs-conventional comparison of `BENCH_fault_sim_v2.json`.
+#[derive(Debug)]
+pub struct TestLengthObserver {
+    structure: Option<BistStructure>,
+    inner: CoverageTargetObserver,
+}
+
+impl TestLengthObserver {
+    /// A test-length instrument for a fractional coverage `target`.
+    pub fn new(target: f64) -> Self {
+        Self {
+            structure: None,
+            inner: CoverageTargetObserver::new(target),
+        }
+    }
+
+    /// The BIST structure of the measured campaign (`None` before
+    /// [`Campaign::run`]).
+    pub fn structure(&self) -> Option<BistStructure> {
+        self.structure
+    }
+
+    /// The configured coverage target.
+    pub fn target(&self) -> f64 {
+        self.inner.target()
+    }
+
+    /// The exact patterns-to-target (see
+    /// [`CoverageTargetObserver::patterns_to_target`]); `None` if the
+    /// target was never reached within the budget.
+    pub fn test_length(&self) -> Option<usize> {
+        self.inner.patterns_to_target()
+    }
+
+    /// The coverage accumulated when the campaign ended.
+    pub fn coverage(&self) -> f64 {
+        self.inner.coverage()
+    }
+
+    /// Patterns applied when the campaign ended (the stop boundary of the
+    /// early stop, or the full budget if the target was out of reach).
+    pub fn patterns_applied(&self) -> usize {
+        self.inner.patterns_applied()
+    }
+}
+
+impl CampaignObserver for TestLengthObserver {
+    fn on_begin(&mut self, plan: &CampaignPlan) {
+        self.structure = Some(plan.structure);
+        self.inner.on_begin(plan);
+    }
+
+    fn on_segment(&mut self, snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+        self.inner.on_segment(snapshot)
+    }
+
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
+        self.inner.on_finish(outcome);
     }
 }
 
@@ -490,6 +892,7 @@ mod tests {
             .observe(&mut dictionaries)
             .run();
         assert_eq!(outcome.sections.len(), models.len());
+        assert!(!outcome.stopped_early());
         for (i, model) in models.iter().enumerate() {
             let faults = model.fault_list(&netlist, true);
             let legacy_coverage = run_injection_campaign(&netlist, &faults, &config);
@@ -497,8 +900,8 @@ mod tests {
             assert_eq!(coverage.results()[i].0, model.name());
             assert_eq!(coverage.results()[i].1, legacy_coverage, "{}", model.name());
             assert_eq!(
-                dictionaries.dictionaries()[i].1,
-                legacy_dictionary,
+                dictionaries.dictionaries()[i].1.as_ref(),
+                &legacy_dictionary,
                 "{}",
                 model.name()
             );
@@ -552,6 +955,7 @@ mod tests {
             .observe(&mut coverage)
             .run();
         assert_eq!(outcome.patterns_applied, 0);
+        assert!(!outcome.stopped_early());
         let result = coverage.result().unwrap();
         assert_eq!(result.detected_faults, 0);
         assert!(result.total_faults > 0);
@@ -572,6 +976,9 @@ mod tests {
             SimEngine::Differential.resolve(&netlist),
             SimEngine::Differential
         );
+        // The default engine is the size-resolved Auto.
+        assert_eq!(SimEngine::default(), SimEngine::Auto);
+        assert_eq!(CampaignConfig::default().engine, SimEngine::Auto);
     }
 
     #[test]
@@ -600,5 +1007,262 @@ mod tests {
             dictionary,
             &build_fault_dictionary(&netlist, &faults, &config)
         );
+    }
+
+    /// A lifecycle probe that records every hook invocation.
+    #[derive(Default)]
+    struct Probe {
+        plan: Option<CampaignPlan>,
+        snapshots: Vec<(usize, usize, usize)>, // (segment, patterns, new)
+        finished: usize,
+        stop_from_segment: Option<usize>,
+    }
+
+    impl CampaignObserver for Probe {
+        fn on_begin(&mut self, plan: &CampaignPlan) {
+            self.plan = Some(plan.clone());
+        }
+
+        fn on_segment(&mut self, snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+            self.snapshots.push((
+                snapshot.segment,
+                snapshot.patterns_applied,
+                snapshot.segment_detections(),
+            ));
+            match self.stop_from_segment {
+                Some(s) if snapshot.segment >= s => ObserverControl::Stop,
+                _ => ObserverControl::Continue,
+            }
+        }
+
+        fn on_finish(&mut self, outcome: &CampaignOutcome) {
+            self.finished += 1;
+            assert!(outcome.patterns_applied <= outcome.max_patterns);
+        }
+    }
+
+    #[test]
+    fn lifecycle_hooks_fire_in_schedule_order() {
+        let netlist = pst_netlist();
+        let mut probe = Probe::default();
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(300)
+            .observe(&mut probe)
+            .run();
+        let plan = probe.plan.as_ref().expect("on_begin fired");
+        assert_eq!(plan.max_patterns, 300);
+        assert_eq!(plan.segments, segment_schedule(300));
+        assert_eq!(plan.segments, vec![64, 192, 300]);
+        assert_eq!(plan.sections.len(), 1);
+        assert_eq!(plan.total_faults, outcome.total_faults());
+        // One snapshot per boundary, in order, patterns matching the plan.
+        assert_eq!(
+            probe
+                .snapshots
+                .iter()
+                .map(|&(_, p, _)| p)
+                .collect::<Vec<_>>(),
+            plan.segments
+        );
+        assert_eq!(probe.finished, 1);
+        // The snapshots' detection totals cover every detected fault.
+        let detected: usize = probe.snapshots.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(
+            detected,
+            outcome.sections[0]
+                .detection_pattern
+                .iter()
+                .filter(|d| d.is_some())
+                .count()
+        );
+    }
+
+    #[test]
+    fn unanimous_stop_ends_the_campaign_at_the_boundary() {
+        let netlist = pst_netlist();
+        let mut probe = Probe {
+            stop_from_segment: Some(0),
+            ..Default::default()
+        };
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(4096)
+            .observe(&mut probe)
+            .run();
+        assert_eq!(
+            outcome.patterns_applied, 64,
+            "stopped at the first boundary"
+        );
+        assert!(outcome.stopped_early());
+        assert_eq!(probe.snapshots.len(), 1);
+        assert_eq!(probe.finished, 1);
+        // Detections after the stop boundary do not exist.
+        assert!(outcome.sections[0]
+            .detection_pattern
+            .iter()
+            .flatten()
+            .all(|&p| p < 64));
+    }
+
+    #[test]
+    fn one_full_run_observer_vetoes_the_early_stop() {
+        let netlist = pst_netlist();
+        let mut stopper = CoverageTargetObserver::new(0.0);
+        let mut full_run = CoverageObserver::new();
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(256)
+            .observe(&mut stopper)
+            .observe(&mut full_run)
+            .run();
+        // The stopper voted Stop at the first boundary, but the passive
+        // coverage observer never votes, so the campaign runs its budget.
+        assert!(stopper.reached());
+        assert_eq!(outcome.patterns_applied, 256);
+        assert!(!outcome.stopped_early());
+        // And the full-run observer's result equals the legacy path.
+        let faults = stfsm_faults::FaultModel::fault_list(&StuckAt, &netlist, true);
+        let legacy = run_injection_campaign(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                max_patterns: 256,
+                ..Default::default()
+            },
+        );
+        assert_eq!(full_run.result().unwrap(), &legacy);
+    }
+
+    #[test]
+    fn coverage_target_observer_stops_across_all_engines_identically() {
+        let netlist = pst_netlist();
+        let mut reference: Option<(usize, Vec<Option<usize>>)> = None;
+        for engine in [
+            SimEngine::Scalar,
+            SimEngine::Packed,
+            SimEngine::Differential,
+            SimEngine::Threaded,
+            SimEngine::Auto,
+        ] {
+            let mut target = CoverageTargetObserver::new(0.5);
+            let outcome = Campaign::new(&netlist)
+                .model(&StuckAt)
+                .engine(engine)
+                .patterns(4096)
+                .observe(&mut target)
+                .run();
+            assert!(target.reached(), "{engine:?}");
+            assert!(outcome.stopped_early(), "{engine:?}");
+            assert_eq!(target.patterns_applied(), outcome.patterns_applied);
+            let detections = outcome.sections[0].detection_pattern.clone();
+            match &reference {
+                None => reference = Some((outcome.patterns_applied, detections)),
+                Some((patterns, pattern_sets)) => {
+                    assert_eq!(*patterns, outcome.patterns_applied, "{engine:?}");
+                    assert_eq!(pattern_sets, &detections, "{engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_targets_zero_and_unreachable() {
+        let netlist = pst_netlist();
+        // Target 0 %: satisfied at the very first boundary.
+        let mut zero = CoverageTargetObserver::new(0.0);
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(2048)
+            .observe(&mut zero)
+            .run();
+        assert!(zero.reached());
+        assert_eq!(outcome.patterns_applied, 64);
+
+        // An unreachable 100 % target: the campaign runs its full budget.
+        let mut unreachable = CoverageTargetObserver::new(1.0);
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(128)
+            .observe(&mut unreachable)
+            .run();
+        if unreachable.coverage() < 1.0 {
+            assert!(!unreachable.reached());
+            assert_eq!(outcome.patterns_applied, 128);
+            assert!(unreachable.patterns_to_target().is_none());
+        }
+    }
+
+    #[test]
+    fn test_length_observer_measures_the_exact_crossing() {
+        let netlist = pst_netlist();
+        let mut observer = TestLengthObserver::new(0.5);
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(2048)
+            .observe(&mut observer)
+            .run();
+        assert_eq!(observer.structure(), Some(BistStructure::Pst));
+        assert!(observer.coverage() >= 0.5);
+        let length = observer.test_length().expect("target reached");
+        assert!(length <= outcome.patterns_applied);
+        // The exact crossing matches the full-budget coverage result's
+        // test-length metric.
+        let full = run_self_test(
+            &netlist,
+            &SelfTestConfig {
+                max_patterns: 2048,
+                ..Default::default()
+            },
+        );
+        assert_eq!(full.test_length_for_coverage(0.5), Some(length));
+    }
+
+    #[test]
+    fn early_stopped_dictionary_holds_stop_time_checkpoints() {
+        let netlist = pst_netlist();
+        let mut target = CoverageTargetObserver::new(0.5);
+        let mut dictionaries = DictionaryObserver::new();
+        // A passive DictionaryObserver riding a stopper vetoes the early
+        // stop: the campaign runs its full budget.
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(2048)
+            .observe(&mut target)
+            .observe(&mut dictionaries)
+            .run();
+        assert!(!outcome.stopped_early());
+        assert_eq!(dictionaries.dictionary().unwrap().patterns_applied, 2048);
+
+        // A stopper that itself needs signatures ends the un-dropped pass
+        // at the first boundary.
+        struct StopWithSignatures;
+        impl CampaignObserver for StopWithSignatures {
+            fn needs_signatures(&self) -> bool {
+                true
+            }
+            fn on_segment(&mut self, _snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+                ObserverControl::Stop
+            }
+            fn on_finish(&mut self, _outcome: &CampaignOutcome) {}
+        }
+        let mut stopper = StopWithSignatures;
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(2048)
+            .observe(&mut stopper)
+            .run();
+        assert!(outcome.stopped_early());
+        assert_eq!(outcome.patterns_applied, 64);
+        let dictionary = outcome.sections[0].dictionary.as_ref().unwrap();
+        assert_eq!(dictionary.patterns_applied, 64);
+        // Checkpoints beyond the stop hold the stop-time (final) signature.
+        for e in &dictionary.entries {
+            for (k, &cp) in dictionary.segment_checkpoints.iter().enumerate() {
+                if cp > 64 {
+                    assert_eq!(e.segments[k], e.signature);
+                }
+            }
+        }
     }
 }

@@ -40,7 +40,6 @@ pub enum SimEngine {
     /// One fault at a time on the boolean [`Simulator`].
     Scalar,
     /// 63 faults per chunk on the word-parallel [`PackedSimulator`].
-    #[default]
     Packed,
     /// Cone-restricted differential simulation: the good machine runs once
     /// per pattern, faults run in 255-lane multi-word blocks that evaluate
@@ -59,6 +58,9 @@ pub enum SimEngine {
     /// off once the netlist is large relative to the average fault cone
     /// (the crossover sits around [`SimEngine::AUTO_DIFFERENTIAL_GATES`]
     /// gates on the benchmark suite, per `BENCH_fault_sim_v2.json`).
+    /// The default engine: callers that do not choose get the right
+    /// engine for their machine size.
+    #[default]
     Auto,
 }
 
@@ -130,8 +132,8 @@ pub struct CampaignConfig {
     /// Override of the state stimulation mode; `None` derives it from the
     /// netlist's structure.
     pub stimulation: Option<StateStimulation>,
-    /// Simulation engine (packed 64-way by default; [`SimEngine::Auto`]
-    /// picks packed vs differential per machine size).
+    /// Simulation engine ([`SimEngine::Auto`] by default, which picks
+    /// packed vs differential per machine size).
     pub engine: SimEngine,
     /// Worker count of the [`SimEngine::Threaded`] engine; `None` uses
     /// [`std::thread::available_parallelism`].
@@ -199,7 +201,8 @@ pub struct SelfTestConfig {
     /// Override of the state stimulation mode; `None` derives it from the
     /// netlist's structure.
     pub stimulation: Option<StateStimulation>,
-    /// Simulation engine (packed 64-way by default).
+    /// Simulation engine ([`SimEngine::Auto`] by default, which picks
+    /// packed vs differential per machine size).
     pub engine: SimEngine,
     /// Worker count of the [`SimEngine::Threaded`] engine; `None` uses
     /// [`std::thread::available_parallelism`].
@@ -312,22 +315,36 @@ impl CoverageResult {
     /// `target` (0 < target ≤ 1), or `None` if it never does within the
     /// campaign (in particular for a degenerate campaign without faults).
     pub fn test_length_for_coverage(&self, target: f64) -> Option<usize> {
-        if self.total_faults == 0 {
-            return None;
-        }
-        let needed = ((target * self.total_faults as f64).ceil() as usize).max(1);
-        let mut times: Vec<usize> = self.detection_pattern.iter().flatten().copied().collect();
-        if times.len() < needed {
-            return None;
-        }
-        times.sort_unstable();
-        Some(times[needed - 1] + 1)
+        let times: Vec<usize> = self.detection_pattern.iter().flatten().copied().collect();
+        test_length_from_cycles(times, self.total_faults, target)
     }
 
     /// Faults that escaped the campaign.
     pub fn undetected_faults(&self) -> usize {
         self.total_faults - self.detected_faults
     }
+}
+
+/// The one test-length crossing formula, shared by
+/// [`CoverageResult::test_length_for_coverage`] and the streaming
+/// [`CoverageTargetObserver`](crate::campaign::CoverageTargetObserver) so
+/// the post-hoc and in-flight metrics can never drift apart: the smallest
+/// pattern count at which `ceil(target * total_faults).max(1)` of the
+/// given detection cycles have fired.  Consumes (and sorts) `cycles`.
+pub(crate) fn test_length_from_cycles(
+    mut cycles: Vec<usize>,
+    total_faults: usize,
+    target: f64,
+) -> Option<usize> {
+    if total_faults == 0 {
+        return None;
+    }
+    let needed = ((target * total_faults as f64).ceil() as usize).max(1);
+    if cycles.len() < needed {
+        return None;
+    }
+    cycles.sort_unstable();
+    Some(cycles[needed - 1] + 1)
 }
 
 /// Runs a single stuck-at self-test campaign on a netlist (the paper's
@@ -384,35 +401,143 @@ pub fn run_injection_campaign(
         .expect("a one-section campaign yields one coverage result")
 }
 
-/// The engine room of every campaign: dispatches an explicit fault list to
-/// the configured (resolved) simulation engine and returns the per-fault
-/// first-detection cycles.  Empty fault lists return an empty vector
-/// without generating any stimulus.
-pub(crate) fn detect(
+/// First segment length of the doubling compaction schedule.
+const FIRST_SEGMENT: usize = 64;
+
+/// The engine-independent segment schedule of a campaign: the exclusive
+/// end boundaries of the doubling compaction segments (64, 192, 448, 960,
+/// … patterns), capped at `total_cycles`.  The last boundary always equals
+/// `total_cycles`; a zero-pattern campaign has no segments.
+///
+/// Every engine — scalar, packed, differential, threaded — advances
+/// through exactly these segments, compacts survivors only at these
+/// boundaries, and reports progress to streaming
+/// [`CampaignObserver`](crate::campaign::CampaignObserver)s only here.
+/// Pinning the schedule makes a campaign stopped early by an observer
+/// vote bit-for-bit identical across engines and thread counts.
+pub fn segment_schedule(total_cycles: usize) -> Vec<usize> {
+    let mut boundaries = Vec::new();
+    let mut from = 0usize;
+    let mut len = FIRST_SEGMENT;
+    while from < total_cycles {
+        let to = (from + len).min(total_cycles);
+        boundaries.push(to);
+        len = len.saturating_mul(2);
+        from = to;
+    }
+    boundaries
+}
+
+/// What the campaign layer learns at every segment boundary: the newly
+/// detected `(fault index, cycle)` pairs of the segment, sorted by
+/// `(cycle, index)` so the report is identical for every engine and
+/// thread count.
+pub(crate) struct SegmentReport<'a> {
+    /// Index of the segment in [`segment_schedule`].
+    pub(crate) segment: usize,
+    /// Patterns applied once this segment completed (its end boundary).
+    pub(crate) patterns_applied: usize,
+    /// The segment's new detections over the *flat* fault list.
+    pub(crate) new_detections: &'a [(usize, usize)],
+}
+
+/// One engine's view of the campaign: run the cycles of one segment,
+/// pushing every new `(fault index, cycle)` detection.  State (survivors,
+/// register images, transition memories) is carried inside the runner
+/// between calls; segments are always requested in schedule order.
+pub(crate) trait SegmentRunner {
+    fn run_segment(&mut self, from: usize, to: usize, detections: &mut Vec<(usize, usize)>);
+}
+
+/// Advances a runner through the segment schedule, reporting every
+/// boundary to `on_segment`; a `false` return stops the campaign at that
+/// boundary.  Returns the per-fault detection pattern and the patterns
+/// actually applied.
+fn drive_segments(
+    num_faults: usize,
+    boundaries: &[usize],
+    runner: &mut dyn SegmentRunner,
+    on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
+) -> (Vec<Option<usize>>, usize) {
+    let mut detection_pattern = vec![None; num_faults];
+    let mut detections: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0usize;
+    for (segment, &to) in boundaries.iter().enumerate() {
+        detections.clear();
+        runner.run_segment(from, to, &mut detections);
+        detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
+        for &(index, cycle) in &detections {
+            detection_pattern[index] = Some(cycle);
+        }
+        let report = SegmentReport {
+            segment,
+            patterns_applied: to,
+            new_detections: &detections,
+        };
+        if !on_segment(&report) {
+            return (detection_pattern, to);
+        }
+        from = to;
+    }
+    (detection_pattern, boundaries.last().copied().unwrap_or(0))
+}
+
+/// The engine room of every coverage campaign: dispatches an explicit
+/// fault list to the configured (resolved) simulation engine, streaming
+/// one [`SegmentReport`] per schedule boundary to `on_segment` — whose
+/// `false` return ends the campaign at that boundary.  Returns the
+/// per-fault first-detection cycles and the patterns actually applied.
+///
+/// Empty fault lists and zero-pattern campaigns are total: no stimulus is
+/// generated, the (empty) boundary reports still stream.
+pub(crate) fn detect_streaming(
     netlist: &Netlist,
     faults: &[Injection],
     config: &CampaignConfig,
     stimulation: StateStimulation,
-) -> Vec<Option<usize>> {
-    if faults.is_empty() {
-        return Vec::new();
+    on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
+) -> (Vec<Option<usize>>, usize) {
+    let boundaries = segment_schedule(config.max_patterns);
+    if faults.is_empty() || config.max_patterns == 0 {
+        // Nothing to simulate; still walk the schedule so streaming
+        // observers see the same boundaries they would on any campaign.
+        let mut noop = NoopSegments;
+        return drive_segments(faults.len(), &boundaries, &mut noop, on_segment);
     }
     let stimulus = generate_stimulus(netlist, config);
     match config.engine.resolve(netlist) {
-        SimEngine::Scalar => scalar_detection(netlist, faults, &stimulus, stimulation),
-        SimEngine::Packed => packed_detection(netlist, faults, &stimulus, stimulation),
-        SimEngine::Differential => {
-            crate::differential::differential_detection(netlist, faults, &stimulus, stimulation)
+        SimEngine::Scalar => {
+            let mut runner = ScalarSegments::new(netlist, faults, &stimulus, stimulation);
+            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
         }
-        SimEngine::Threaded => crate::differential::sharded_differential_detection(
-            netlist,
-            faults,
-            &stimulus,
-            stimulation,
-            config.effective_threads(),
-        ),
+        SimEngine::Packed => {
+            let mut runner = PackedSegments::new(netlist, faults, &stimulus, stimulation);
+            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+        }
+        SimEngine::Differential => {
+            let mut runner =
+                crate::differential::DiffSegments::new(netlist, faults, &stimulus, stimulation, 1);
+            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+        }
+        SimEngine::Threaded => {
+            let mut runner = crate::differential::DiffSegments::new(
+                netlist,
+                faults,
+                &stimulus,
+                stimulation,
+                config.effective_threads(),
+            );
+            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+        }
         SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
     }
+}
+
+/// The degenerate runner of fault-free / pattern-free campaigns.
+struct NoopSegments;
+
+impl SegmentRunner for NoopSegments {
+    fn run_segment(&mut self, _from: usize, _to: usize, _detections: &mut Vec<(usize, usize)>) {}
 }
 
 /// Assembles a [`CoverageResult`] from a detection pattern: detected
@@ -501,25 +626,93 @@ pub fn misr_aliasing_probability(r: usize) -> f64 {
     f64::exp2(-(r.min(u32::MAX as usize) as f64))
 }
 
-/// Scalar engine: one fault at a time against the stored reference
-/// responses, with fault dropping at the first mismatch.
-fn scalar_detection(
-    netlist: &Netlist,
-    faults: &[Injection],
-    stimulus: &Stimulus,
+/// Scalar engine as a segment runner: the fault-free reference is
+/// re-simulated per segment from the carried register state, and every
+/// surviving fault runs the segment's cycles one at a time against the
+/// reference observations, carrying its register state and transition
+/// memory across the boundary — the per-fault trajectories (and hence the
+/// detection pattern) are exactly those of the unsegmented scalar sweep.
+struct ScalarSegments<'a> {
+    netlist: &'a Netlist,
+    stimulus: &'a Stimulus,
     stimulation: StateStimulation,
-) -> Vec<Option<usize>> {
-    if faults.is_empty() {
-        return Vec::new();
+    /// The fault-free machine's register state at the segment start.
+    reference_state: Vec<bool>,
+    alive: Vec<AliveFault>,
+}
+
+impl<'a> ScalarSegments<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        faults: &[Injection],
+        stimulus: &'a Stimulus,
+        stimulation: StateStimulation,
+    ) -> Self {
+        let num_state = netlist.flip_flops().len();
+        let init_state = stimulus.st(0)[..num_state].to_vec();
+        Self {
+            netlist,
+            stimulus,
+            stimulation,
+            reference_state: init_state.clone(),
+            alive: initial_alive(faults, &init_state),
+        }
     }
-    // Fault-free reference responses.
-    let good = simulate(netlist, None, stimulus, stimulation, None);
-    faults
-        .iter()
-        .map(|&fault| {
-            simulate(netlist, Some(fault), stimulus, stimulation, Some(&good)).first_mismatch
-        })
-        .collect()
+}
+
+impl SegmentRunner for ScalarSegments<'_> {
+    fn run_segment(&mut self, from: usize, to: usize, detections: &mut Vec<(usize, usize)>) {
+        if self.alive.is_empty() {
+            return;
+        }
+        let num_state = self.netlist.flip_flops().len();
+        // Fault-free reference observations of this segment.
+        let mut good = Simulator::new(self.netlist);
+        good.set_state(&self.reference_state);
+        let mut good_obs: Vec<Vec<bool>> = Vec::with_capacity(to - from);
+        for cycle in from..to {
+            if self.stimulation == StateStimulation::RandomState {
+                good.set_state(&self.stimulus.st(cycle)[..num_state]);
+            }
+            good.evaluate(self.stimulus.pi(cycle));
+            good_obs.push(good.observations());
+            good.clock();
+        }
+        self.reference_state = good.state().to_vec();
+
+        let mut survivors = Vec::with_capacity(self.alive.len());
+        let mut obs = Vec::with_capacity(self.netlist.observation_points().len());
+        for alive_fault in self.alive.drain(..) {
+            let mut sim = Simulator::with_injection(self.netlist, alive_fault.fault);
+            sim.set_state(&alive_fault.state);
+            if let Some(bit) = alive_fault.memory {
+                sim.seed_transition_memory(bit);
+            }
+            let mut detected = false;
+            for cycle in from..to {
+                if self.stimulation == StateStimulation::RandomState {
+                    sim.set_state(&self.stimulus.st(cycle)[..num_state]);
+                }
+                sim.evaluate(self.stimulus.pi(cycle));
+                sim.observations_into(&mut obs);
+                if obs != good_obs[cycle - from] {
+                    detections.push((alive_fault.index, cycle));
+                    detected = true;
+                    break;
+                }
+                sim.clock();
+            }
+            if !detected {
+                survivors.push(AliveFault {
+                    index: alive_fault.index,
+                    fault: alive_fault.fault,
+                    state: sim.state().to_vec(),
+                    memory: sim.transition_memory(),
+                });
+            }
+        }
+        self.alive = survivors;
+    }
 }
 
 /// A still-undetected fault between compaction segments: its position in
@@ -530,6 +723,25 @@ pub(crate) struct AliveFault {
     pub(crate) fault: Injection,
     pub(crate) state: Vec<bool>,
     pub(crate) memory: Option<bool>,
+}
+
+/// The campaign-start survivor list: every fault alive, every machine scan
+/// initialised to the first random state, transition memories at their
+/// identity values.
+pub(crate) fn initial_alive(faults: &[Injection], init_state: &[bool]) -> Vec<AliveFault> {
+    faults
+        .iter()
+        .enumerate()
+        .map(|(index, &fault)| AliveFault {
+            index,
+            fault,
+            state: init_state.to_vec(),
+            memory: match fault {
+                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
+                _ => None,
+            },
+        })
+        .collect()
 }
 
 /// Per-lane transition/observation tables for one fault chunk, built by
@@ -635,147 +847,181 @@ fn bits_to_index(bits: &[bool]) -> usize {
         .fold(0usize, |acc, (i, &b)| acc | ((b as usize) << i))
 }
 
-/// Runs the remaining cycles of a campaign for one chunk of faults through
-/// precomputed [`LaneTables`].  Produces exactly the detection cycles the
-/// word-parallel (and scalar) engines would.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn table_tail(
-    netlist: &Netlist,
-    alive: &[AliveFault],
-    reference_state: &[bool],
-    stimulus: &Stimulus,
-    stimulation: StateStimulation,
-    from: usize,
-    detection_pattern: &mut [Option<usize>],
-) {
-    let faults: Vec<Injection> = alive.iter().map(|a| a.fault).collect();
-    let tables = LaneTables::build(netlist, &faults);
-    let r = tables.r;
-    // (lane, detection index, current state) of the still-active machines.
-    let mut live: Vec<(usize, usize, u16)> = alive
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (i + 1, a.index, bits_to_index(&a.state) as u16))
-        .collect();
-    let mut ref_state = bits_to_index(reference_state) as u16;
-    for cycle in from..stimulus.cycles {
-        if live.is_empty() {
-            break;
+/// The compiled-table tail of a campaign: once the survivors of a small
+/// machine fit one chunk, the remaining segments run as two table lookups
+/// per machine per cycle.  Built once at a segment boundary and then
+/// advanced segment by segment (the tables are exact, so the detection
+/// cycles equal the word-parallel and scalar engines' bit for bit).
+pub(crate) struct TableTail {
+    tables: LaneTables,
+    /// (lane, detection index, current state) of the still-active machines.
+    live: Vec<(usize, usize, u16)>,
+    ref_state: u16,
+}
+
+impl TableTail {
+    pub(crate) fn new(netlist: &Netlist, alive: &[AliveFault], reference_state: &[bool]) -> Self {
+        let faults: Vec<Injection> = alive.iter().map(|a| a.fault).collect();
+        let tables = LaneTables::build(netlist, &faults);
+        let live = alive
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (i + 1, a.index, bits_to_index(&a.state) as u16))
+            .collect();
+        let ref_state = bits_to_index(reference_state) as u16;
+        Self {
+            tables,
+            live,
+            ref_state,
         }
-        let input_bits = bits_to_index(stimulus.pi(cycle)) << r;
-        match stimulation {
-            StateStimulation::SystemState => {
-                let ref_idx = input_bits | ref_state as usize;
-                let ref_sig = tables.sig(0, ref_idx);
-                live.retain_mut(|(lane, index, state)| {
-                    let idx = input_bits | *state as usize;
-                    if tables.sig(*lane, idx) != ref_sig {
-                        detection_pattern[*index] = Some(cycle);
-                        false
-                    } else {
-                        *state = tables.next(*lane, idx);
-                        true
-                    }
-                });
-                ref_state = tables.next(0, ref_idx);
+    }
+
+    /// Runs cycles `from..to`, pushing every new `(fault index, cycle)`
+    /// detection and carrying all machine states to the next call.
+    pub(crate) fn run(
+        &mut self,
+        stimulus: &Stimulus,
+        stimulation: StateStimulation,
+        from: usize,
+        to: usize,
+        detections: &mut Vec<(usize, usize)>,
+    ) {
+        let r = self.tables.r;
+        let tables = &self.tables;
+        for cycle in from..to {
+            if self.live.is_empty() {
+                break;
             }
-            StateStimulation::RandomState => {
-                // The pattern register overrides the state: all machines
-                // (including the reference) share the same index.
-                let idx = input_bits | (bits_to_index(&stimulus.st(cycle)[..r]));
-                let ref_sig = tables.sig(0, idx);
-                live.retain_mut(|(lane, index, _)| {
-                    if tables.sig(*lane, idx) != ref_sig {
-                        detection_pattern[*index] = Some(cycle);
-                        false
-                    } else {
-                        true
-                    }
-                });
+            let input_bits = bits_to_index(stimulus.pi(cycle)) << r;
+            match stimulation {
+                StateStimulation::SystemState => {
+                    let ref_idx = input_bits | self.ref_state as usize;
+                    let ref_sig = tables.sig(0, ref_idx);
+                    self.live.retain_mut(|(lane, index, state)| {
+                        let idx = input_bits | *state as usize;
+                        if tables.sig(*lane, idx) != ref_sig {
+                            detections.push((*index, cycle));
+                            false
+                        } else {
+                            *state = tables.next(*lane, idx);
+                            true
+                        }
+                    });
+                    self.ref_state = tables.next(0, ref_idx);
+                }
+                StateStimulation::RandomState => {
+                    // The pattern register overrides the state: all machines
+                    // (including the reference) share the same index.
+                    let idx = input_bits | (bits_to_index(&stimulus.st(cycle)[..r]));
+                    let ref_sig = tables.sig(0, idx);
+                    self.live.retain_mut(|(lane, index, _)| {
+                        if tables.sig(*lane, idx) != ref_sig {
+                            detections.push((*index, cycle));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
             }
         }
     }
 }
 
-/// Packed engine: faults are simulated in chunks of up to [`FAULT_LANES`]
-/// per machine word, with the fault-free reference in lane 0 of every
-/// chunk.  The stimulus is packed into broadcast words once, up front.
+/// Packed engine as a segment runner: faults are simulated in chunks of up
+/// to [`FAULT_LANES`] per machine word, with the fault-free reference in
+/// lane 0 of every chunk.  The stimulus is packed into broadcast words
+/// once, up front.
 ///
 /// Most faults are caught within a few dozen patterns, which would leave
 /// later cycles of a chunk running for just one or two stubborn lanes.  The
-/// campaign therefore proceeds in segments of doubling length and
-/// *compacts* the surviving faults into fresh, dense chunks between
-/// segments, carrying each machine's register state across the boundary —
-/// the per-fault trajectories (and hence the detection pattern) are exactly
-/// those of the scalar engine.
-fn packed_detection(
-    netlist: &Netlist,
-    faults: &[Injection],
-    stimulus: &Stimulus,
+/// campaign therefore *compacts* the surviving faults into fresh, dense
+/// chunks between the schedule's segments, carrying each machine's register
+/// state across the boundary — the per-fault trajectories (and hence the
+/// detection pattern) are exactly those of the scalar engine.  Once the
+/// survivors of a small machine fit one chunk, the runner switches to the
+/// compiled [`TableTail`] for the remaining segments.
+struct PackedSegments<'a> {
+    netlist: &'a Netlist,
+    stimulus: &'a Stimulus,
     stimulation: StateStimulation,
-) -> Vec<Option<usize>> {
-    let num_inputs = netlist.primary_inputs().len();
-    let num_state = netlist.flip_flops().len();
-    let total_cycles = stimulus.cycles;
-    let mut detection_pattern = vec![None; faults.len()];
-    if total_cycles == 0 || faults.is_empty() {
-        return detection_pattern;
-    }
-    // Pre-pack the stimulus: every machine sees the same inputs, so each bit
-    // becomes one broadcast word, stored flat (cycle-major).
-    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
-    let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
+    pi_words: Vec<u64>,
+    st_words: Vec<u64>,
+    reference_state: Vec<bool>,
+    alive: Vec<AliveFault>,
+    table: Option<TableTail>,
+}
 
-    // Scan initialisation: every machine starts from the first random state
-    // (the generated rows are at least as wide as the register).
-    let init_state = stimulus.st(0)[..num_state].to_vec();
-    let mut reference_state = init_state.clone();
-    let mut alive: Vec<AliveFault> = faults
-        .iter()
-        .enumerate()
-        .map(|(index, &fault)| AliveFault {
-            index,
-            fault,
-            state: init_state.clone(),
-            // Transition memories start at the direction's identity value.
-            memory: match fault {
-                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
-                _ => None,
-            },
-        })
-        .collect();
-
-    let mut from = 0usize;
-    let mut segment_len = 64usize;
-    while from < total_cycles && !alive.is_empty() {
-        // Once the survivors fit a single chunk and the machine is small
-        // enough, finish the campaign on compiled transition tables.
-        if alive.len() <= FAULT_LANES
-            && LaneTables::applicable(netlist, &alive, alive.len() + 1, total_cycles - from)
-        {
-            table_tail(
-                netlist,
-                &alive,
-                &reference_state,
-                stimulus,
-                stimulation,
-                from,
-                &mut detection_pattern,
-            );
-            return detection_pattern;
+impl<'a> PackedSegments<'a> {
+    fn new(
+        netlist: &'a Netlist,
+        faults: &[Injection],
+        stimulus: &'a Stimulus,
+        stimulation: StateStimulation,
+    ) -> Self {
+        let num_state = netlist.flip_flops().len();
+        // Pre-pack the stimulus: every machine sees the same inputs, so
+        // each bit becomes one broadcast word, stored flat (cycle-major).
+        let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+        let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
+        // Scan initialisation: every machine starts from the first random
+        // state (the generated rows are at least as wide as the register).
+        let init_state = stimulus.st(0)[..num_state].to_vec();
+        Self {
+            netlist,
+            stimulus,
+            stimulation,
+            pi_words,
+            st_words,
+            reference_state: init_state.clone(),
+            alive: initial_alive(faults, &init_state),
+            table: None,
         }
-        let to = (from + segment_len).min(total_cycles);
-        segment_len = segment_len.saturating_mul(2);
+    }
+}
+
+impl SegmentRunner for PackedSegments<'_> {
+    fn run_segment(&mut self, from: usize, to: usize, detections: &mut Vec<(usize, usize)>) {
+        let total_cycles = self.stimulus.cycles;
+        if self.table.is_none() {
+            if self.alive.is_empty() {
+                return;
+            }
+            // Once the survivors fit a single chunk and the machine is
+            // small enough, finish the campaign on compiled tables.
+            if self.alive.len() <= FAULT_LANES
+                && LaneTables::applicable(
+                    self.netlist,
+                    &self.alive,
+                    self.alive.len() + 1,
+                    total_cycles - from,
+                )
+            {
+                self.table = Some(TableTail::new(
+                    self.netlist,
+                    &self.alive,
+                    &self.reference_state,
+                ));
+                self.alive = Vec::new();
+            }
+        }
+        if let Some(table) = &mut self.table {
+            table.run(self.stimulus, self.stimulation, from, to, detections);
+            return;
+        }
+
+        let num_inputs = self.netlist.primary_inputs().len();
+        let num_state = self.netlist.flip_flops().len();
         let mut survivors: Vec<AliveFault> = Vec::new();
         let mut next_reference_state = None;
-        for chunk in alive.chunks(FAULT_LANES) {
+        for chunk in self.alive.chunks(FAULT_LANES) {
             let faults: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
-            let mut sim = PackedSimulator::with_injections(netlist, &faults);
+            let mut sim = PackedSimulator::with_injections(self.netlist, &faults);
             // Seed the lanes: lane 0 resumes the fault-free reference, lane
             // `i + 1` resumes faulty machine `chunk[i]`.
             let mut state_words = vec![0u64; num_state];
             for (ff, word) in state_words.iter_mut().enumerate() {
-                let mut w = reference_state[ff] as u64;
+                let mut w = self.reference_state[ff] as u64;
                 for (i, a) in chunk.iter().enumerate() {
                     w |= (a.state[ff] as u64) << (i + 1);
                 }
@@ -793,17 +1039,17 @@ fn packed_detection(
                 if active == 0 {
                     break; // every fault of the chunk has been detected
                 }
-                if stimulation == StateStimulation::RandomState {
+                if self.stimulation == StateStimulation::RandomState {
                     // The pattern-generation register overrides the state.
-                    let row = cycle * stimulus.st_width;
-                    sim.set_state_words(&st_words[row..row + num_state]);
+                    let row = cycle * self.stimulus.st_width;
+                    sim.set_state_words(&self.st_words[row..row + num_state]);
                 }
                 let row = cycle * num_inputs;
-                let mut detected = sim.step_detect(&pi_words[row..row + num_inputs]) & active;
+                let mut detected = sim.step_detect(&self.pi_words[row..row + num_inputs]) & active;
                 active &= !detected;
                 while detected != 0 {
                     let lane = detected.trailing_zeros() as usize;
-                    detection_pattern[chunk[lane - 1].index] = Some(cycle);
+                    detections.push((chunk[lane - 1].index, cycle));
                     detected &= detected - 1;
                 }
             }
@@ -829,12 +1075,10 @@ fn packed_detection(
             }
         }
         if let Some(state) = next_reference_state {
-            reference_state = state;
+            self.reference_state = state;
         }
-        alive = survivors;
-        from = to;
+        self.alive = survivors;
     }
-    detection_pattern
 }
 
 /// The pre-generated campaign stimulus in flat row-major buffers: cycle `c`
@@ -864,64 +1108,6 @@ impl Stimulus {
 
     fn st_mut(&mut self, cycle: usize) -> &mut [bool] {
         &mut self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
-    }
-}
-
-/// Result of one machine simulation.
-struct SimulationOutcome {
-    /// Observation vectors per cycle (only kept for the fault-free run).
-    observations: Vec<Vec<bool>>,
-    /// First cycle at which the observations differed from the reference.
-    first_mismatch: Option<usize>,
-}
-
-fn simulate(
-    netlist: &Netlist,
-    fault: Option<Injection>,
-    stimulus: &Stimulus,
-    stimulation: StateStimulation,
-    reference: Option<&SimulationOutcome>,
-) -> SimulationOutcome {
-    let mut sim = match fault {
-        Some(f) => Simulator::with_injection(netlist, f),
-        None => Simulator::new(netlist),
-    };
-    // Scan initialisation: load the first random state.
-    if stimulus.cycles > 0 {
-        sim.set_state(stimulus.st(0));
-    }
-    let keep_observations = reference.is_none();
-    let mut observations = Vec::with_capacity(if keep_observations {
-        stimulus.cycles
-    } else {
-        0
-    });
-    let mut first_mismatch = None;
-    // One scratch buffer for the whole run instead of a fresh `Vec` per
-    // cycle (only pushed into `observations` on the reference run).
-    let mut obs = Vec::with_capacity(netlist.observation_points().len());
-
-    for cycle in 0..stimulus.cycles {
-        if stimulation == StateStimulation::RandomState {
-            // The pattern-generation register overrides the state each cycle.
-            sim.set_state(stimulus.st(cycle));
-        }
-        sim.evaluate(stimulus.pi(cycle));
-        sim.observations_into(&mut obs);
-        if let Some(reference) = reference {
-            if obs != reference.observations[cycle] {
-                first_mismatch = Some(cycle);
-                break;
-            }
-        }
-        if keep_observations {
-            observations.push(obs.clone());
-        }
-        sim.clock();
-    }
-    SimulationOutcome {
-        observations,
-        first_mismatch,
     }
 }
 

@@ -16,10 +16,15 @@
 //!   evidence) with detected faults strictly before undetected ones;
 //! * [`Diagnosis::disambiguate`] additionally matches the per-segment
 //!   *intermediate* signatures recorded at the campaign's checkpoints
-//!   ([`DICTIONARY_SEGMENTS`] evenly spaced snapshots): candidates are
+//!   (evenly spaced snapshots whose count scales with the campaign
+//!   length; see [`crate::dictionary::checkpoint_count`]): candidates are
 //!   re-ranked by how many checkpoint signatures agree with the observed
 //!   ones, which separates faults that alias on the final signature but
 //!   diverged mid-campaign.
+//!
+//! The per-model dictionaries are [`Arc`]-shared with the campaign
+//! outcome that produced them: building a diagnosis from an observer
+//! costs pointer clones, not deep copies of the dictionaries.
 //!
 //! The candidate lookups are hash-index queries on the underlying
 //! [`FaultDictionary`] — no linear scans per diagnosis.
@@ -60,8 +65,9 @@
 //! ```
 
 use crate::campaign::{CampaignObserver, CampaignOutcome};
-use crate::dictionary::{DictionaryEntry, FaultDictionary, DICTIONARY_SEGMENTS};
+use crate::dictionary::{DictionaryEntry, FaultDictionary};
 use crate::faults::Injection;
+use std::sync::Arc;
 
 /// One ranked diagnosis candidate: a fault whose dictionary signature
 /// matches the observed failing signature.
@@ -76,7 +82,7 @@ pub struct DiagnosisCandidate {
     /// signature).
     pub first_detect: Option<usize>,
     /// The candidate's per-segment intermediate signatures.
-    pub segments: [u64; DICTIONARY_SEGMENTS],
+    pub segments: Vec<u64>,
     /// How many observed intermediate signatures this candidate matched
     /// (only populated by [`Diagnosis::disambiguate`]; plain
     /// [`Diagnosis::candidates`] reports 0).
@@ -89,7 +95,7 @@ impl DiagnosisCandidate {
             model: model.to_string(),
             fault: entry.fault,
             first_detect: entry.first_detect,
-            segments: entry.segments,
+            segments: entry.segments.clone(),
             matching_segments,
         }
     }
@@ -101,18 +107,30 @@ impl DiagnosisCandidate {
 /// [`Diagnosis::from_dictionaries`].
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
-    sections: Vec<(String, FaultDictionary)>,
+    sections: Vec<(String, Arc<FaultDictionary>)>,
 }
 
 impl Diagnosis {
     /// A diagnosis database over labelled per-model dictionaries (all built
     /// from the same stimulus, as one campaign produces them).
     pub fn from_dictionaries(sections: Vec<(String, FaultDictionary)>) -> Self {
+        Self::from_shared(
+            sections
+                .into_iter()
+                .map(|(label, dictionary)| (label, Arc::new(dictionary)))
+                .collect(),
+        )
+    }
+
+    /// A diagnosis database over already-shared dictionaries — the
+    /// zero-copy path a [`DiagnosisObserver`] takes from a campaign's
+    /// [`SectionOutcome`](crate::campaign::SectionOutcome)s.
+    pub fn from_shared(sections: Vec<(String, Arc<FaultDictionary>)>) -> Self {
         Self { sections }
     }
 
     /// The labelled per-model dictionaries backing this diagnosis.
-    pub fn sections(&self) -> &[(String, FaultDictionary)] {
+    pub fn sections(&self) -> &[(String, Arc<FaultDictionary>)] {
         &self.sections
     }
 
@@ -156,7 +174,7 @@ impl Diagnosis {
     pub fn disambiguate(
         &self,
         signature: u64,
-        observed_segments: &[u64; DICTIONARY_SEGMENTS],
+        observed_segments: &[u64],
     ) -> Vec<DiagnosisCandidate> {
         let mut candidates = self.candidates(signature);
         for candidate in candidates.iter_mut() {
@@ -169,7 +187,7 @@ impl Diagnosis {
         }
         candidates.sort_by_key(|c| {
             (
-                DICTIONARY_SEGMENTS - c.matching_segments,
+                std::cmp::Reverse(c.matching_segments),
                 c.first_detect.map_or(usize::MAX, |p| p),
             )
         });
@@ -207,8 +225,8 @@ impl CampaignObserver for DiagnosisObserver {
         true
     }
 
-    fn observe(&mut self, outcome: &CampaignOutcome) {
-        self.diagnosis = Some(Diagnosis::from_dictionaries(
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
+        self.diagnosis = Some(Diagnosis::from_shared(
             outcome
                 .sections
                 .iter()
@@ -325,7 +343,7 @@ mod tests {
                 let top = ranked.first().expect("the fault itself matches");
                 // The queried fault matches all of its own segments, so the
                 // top candidate must too.
-                assert_eq!(top.matching_segments, DICTIONARY_SEGMENTS);
+                assert_eq!(top.matching_segments, entry.segments.len());
             }
         }
     }
@@ -337,9 +355,7 @@ mod tests {
         assert_eq!(diagnosis.reference_signature(), None);
         assert!(!diagnosis.is_reference(0));
         assert!(diagnosis.candidates(0xABCD).is_empty());
-        assert!(diagnosis
-            .disambiguate(0xABCD, &[0; DICTIONARY_SEGMENTS])
-            .is_empty());
+        assert!(diagnosis.disambiguate(0xABCD, &[0, 0, 0]).is_empty());
         let observer = DiagnosisObserver::new();
         assert!(observer.diagnosis().is_none());
     }

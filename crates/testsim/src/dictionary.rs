@@ -21,10 +21,12 @@
 //! [`crate::coverage::misr_aliasing_probability`].
 //!
 //! Final signatures can collide (aliasing); to disambiguate, every entry
-//! additionally records the *intermediate* signatures at
-//! [`DICTIONARY_SEGMENTS`] evenly spaced checkpoints of the campaign
-//! ([`DictionaryEntry::segments`]).  Two faults that alias on the final
-//! signature almost never alias on every checkpoint as well, and
+//! additionally records the *intermediate* signatures at evenly spaced
+//! checkpoints of the campaign ([`DictionaryEntry::segments`]).  The
+//! checkpoint count adapts to the campaign length: at least
+//! [`DICTIONARY_SEGMENTS`], scaling up with the campaign's doubling
+//! segment schedule (see [`checkpoint_count`]).  Two faults that alias on
+//! the final signature almost never alias on every checkpoint as well, and
 //! [`crate::diagnosis::Diagnosis`] ranks candidates by how many checkpoint
 //! signatures match the observed response.
 //!
@@ -38,7 +40,8 @@
 //! paths produce identical dictionaries.
 
 use crate::coverage::{
-    generate_stimulus, CampaignConfig, SelfTestConfig, SimEngine, StateStimulation,
+    generate_stimulus, segment_schedule, CampaignConfig, SegmentReport, SelfTestConfig, SimEngine,
+    StateStimulation,
 };
 use crate::differential::{DiffSimulator, GoodTrace, BLOCK_FAULT_LANES, BLOCK_WORDS};
 use crate::faults::Injection;
@@ -53,20 +56,40 @@ use stfsm_lfsr::{primitive_polynomial, Misr, PlaneSymbol};
 /// onto the register by XOR.
 pub const MAX_SIGNATURE_BITS: usize = 24;
 
-/// Number of intermediate-signature checkpoints recorded per entry (the
-/// final signature makes the campaign's last quarter, so the checkpoints
-/// sit at 1/4, 2/4 and 3/4 of the pattern budget).
+/// The *minimum* number of intermediate-signature checkpoints recorded per
+/// entry.  Short campaigns record exactly this many (at 1/4, 2/4 and 3/4
+/// of the pattern budget — unchanged from the original fixed-3 design, so
+/// small machines keep their dictionaries and
+/// [`Diagnosis::disambiguate`](crate::diagnosis::Diagnosis::disambiguate)
+/// behaviour bit for bit); longer campaigns scale the count up with the
+/// campaign's segment schedule (see [`checkpoint_count`]).
 pub const DICTIONARY_SEGMENTS: usize = 3;
 
+/// Number of intermediate-signature checkpoints of a `cycles`-pattern
+/// campaign: one fewer than the campaign's doubling-segment count
+/// ([`crate::coverage::segment_schedule`]), but never below
+/// [`DICTIONARY_SEGMENTS`].  A campaign with more compaction segments gets
+/// proportionally more alias-disambiguation power; a short campaign (up to
+/// four segments, i.e. ≤ 960 patterns) keeps the classic three.
+pub fn checkpoint_count(cycles: usize) -> usize {
+    DICTIONARY_SEGMENTS.max(
+        crate::coverage::segment_schedule(cycles)
+            .len()
+            .saturating_sub(1),
+    )
+}
+
 /// The pattern counts after which the intermediate signatures of a
-/// `cycles`-pattern campaign are snapshotted: `ceil(cycles * k / 4)` for
-/// `k = 1..=DICTIONARY_SEGMENTS`.
-pub fn segment_checkpoints(cycles: usize) -> [usize; DICTIONARY_SEGMENTS] {
-    std::array::from_fn(|k| (cycles * (k + 1)).div_ceil(DICTIONARY_SEGMENTS + 1))
+/// `cycles`-pattern campaign are snapshotted: `ceil(cycles * k / (n + 1))`
+/// for `k = 1..=n` with `n = checkpoint_count(cycles)` — evenly spaced,
+/// with the final signature covering the last stretch.
+pub fn segment_checkpoints(cycles: usize) -> Vec<usize> {
+    let n = checkpoint_count(cycles);
+    (1..=n).map(|k| (cycles * k).div_ceil(n + 1)).collect()
 }
 
 /// One fault's dictionary entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DictionaryEntry {
     /// The fault.
     pub fault: Injection,
@@ -78,8 +101,10 @@ pub struct DictionaryEntry {
     pub signature: u64,
     /// The intermediate signatures at the campaign's
     /// [`segment_checkpoints`] — the alias disambiguators of the diagnosis
-    /// flow.
-    pub segments: [u64; DICTIONARY_SEGMENTS],
+    /// flow.  When an observer stopped the campaign early, checkpoints
+    /// beyond the stop hold the stop-time signature (the MISR stops
+    /// clocking when the test ends).
+    pub segments: Vec<u64>,
 }
 
 /// A fault dictionary for one netlist and fault list.
@@ -92,10 +117,13 @@ pub struct FaultDictionary {
     pub reference_signature: u64,
     /// The fault-free machine's intermediate signatures at the
     /// [`FaultDictionary::segment_checkpoints`].
-    pub reference_segments: [u64; DICTIONARY_SEGMENTS],
-    /// Patterns applied at each intermediate-signature checkpoint.
-    pub segment_checkpoints: [usize; DICTIONARY_SEGMENTS],
-    /// Patterns compacted into every signature.
+    pub reference_segments: Vec<u64>,
+    /// Patterns applied at each intermediate-signature checkpoint
+    /// ([`segment_checkpoints`] of the campaign's pattern budget — the
+    /// schedule is fixed up front even if the campaign stops early).
+    pub segment_checkpoints: Vec<usize>,
+    /// Patterns compacted into every signature (less than the budget when
+    /// a streaming observer stopped the campaign early).
     pub patterns_applied: usize,
     /// One entry per fault, in fault-list order.
     ///
@@ -115,8 +143,8 @@ impl FaultDictionary {
     pub fn new(
         signature_bits: usize,
         reference_signature: u64,
-        reference_segments: [u64; DICTIONARY_SEGMENTS],
-        segment_checkpoints: [usize; DICTIONARY_SEGMENTS],
+        reference_segments: Vec<u64>,
+        segment_checkpoints: Vec<usize>,
         patterns_applied: usize,
         entries: Vec<DictionaryEntry>,
     ) -> Self {
@@ -141,8 +169,8 @@ impl FaultDictionary {
         Self::new(
             self.signature_bits,
             self.reference_signature,
-            self.reference_segments,
-            self.segment_checkpoints,
+            self.reference_segments.clone(),
+            self.segment_checkpoints.clone(),
             self.patterns_applied,
             self.entries[range].to_vec(),
         )
@@ -209,13 +237,21 @@ pub fn build_fault_dictionary(
 }
 
 /// The dictionary engine room: one un-dropped campaign over `faults`,
-/// first-detect indices and final + intermediate signatures per lane.
-/// [`CampaignConfig::engine`] picks the word-parallel engine (resolving
-/// [`SimEngine::Auto`] per machine size first).
-pub(crate) fn build_dictionary_core(
+/// first-detect indices and final + intermediate signatures per lane,
+/// streaming one [`SegmentReport`] per boundary of the campaign's
+/// [`segment_schedule`] to `on_segment` — whose `false` return ends the
+/// campaign at that boundary (checkpoints beyond the stop then hold the
+/// stop-time signatures).  [`CampaignConfig::engine`] picks the
+/// word-parallel engine (resolving [`SimEngine::Auto`] per machine size
+/// first).  Because the un-dropped pass produces exactly the coverage
+/// campaign's first-detect indices, the segment reports — and therefore
+/// any observer's stop decision — are identical to the drop-on-detect
+/// pass's.
+pub(crate) fn build_dictionary_streaming(
     netlist: &Netlist,
     faults: &[Injection],
     config: &CampaignConfig,
+    on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> FaultDictionary {
     let stimulation = config.resolved_stimulation(netlist);
     let stimulus = generate_stimulus(netlist, config);
@@ -229,10 +265,11 @@ pub(crate) fn build_dictionary_core(
     if stimulus.cycles == 0 {
         // Degenerate dictionary: nothing compacted, the all-zero reset
         // signature for every machine including the reference.
+        let n = checkpoint_count(0);
         return FaultDictionary::new(
             signature_bits,
             0,
-            [0; DICTIONARY_SEGMENTS],
+            vec![0; n],
             segment_checkpoints(0),
             0,
             faults
@@ -241,39 +278,65 @@ pub(crate) fn build_dictionary_core(
                     fault,
                     first_detect: None,
                     signature: 0,
-                    segments: [0; DICTIONARY_SEGMENTS],
+                    segments: vec![0; n],
                 })
                 .collect(),
         );
     }
 
-    let (entries, reference_signature, reference_segments) = match config.engine.resolve(netlist) {
-        SimEngine::Differential => {
-            differential_signatures(netlist, faults, &stimulus, stimulation, &misr, 1)
-        }
-        SimEngine::Threaded => differential_signatures(
-            netlist,
-            faults,
-            &stimulus,
-            stimulation,
-            &misr,
-            config.effective_threads(),
-        ),
-        SimEngine::Scalar | SimEngine::Packed => {
-            packed_signatures(netlist, faults, &stimulus, stimulation, &misr)
-        }
-        SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
-    };
+    let checkpoints = segment_checkpoints(stimulus.cycles);
+    let boundaries = segment_schedule(stimulus.cycles);
+    let (entries, reference_signature, reference_segments, patterns_applied) =
+        match config.engine.resolve(netlist) {
+            SimEngine::Differential => differential_signatures(
+                netlist,
+                faults,
+                &stimulus,
+                stimulation,
+                &misr,
+                &checkpoints,
+                &boundaries,
+                1,
+                on_segment,
+            ),
+            SimEngine::Threaded => differential_signatures(
+                netlist,
+                faults,
+                &stimulus,
+                stimulation,
+                &misr,
+                &checkpoints,
+                &boundaries,
+                config.effective_threads(),
+                on_segment,
+            ),
+            SimEngine::Scalar | SimEngine::Packed => packed_signatures(
+                netlist,
+                faults,
+                &stimulus,
+                stimulation,
+                &misr,
+                &checkpoints,
+                &boundaries,
+                on_segment,
+            ),
+            SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
+        };
 
     FaultDictionary::new(
         signature_bits,
         reference_signature,
         reference_segments,
-        segment_checkpoints(stimulus.cycles),
-        stimulus.cycles,
+        checkpoints,
+        patterns_applied,
         entries,
     )
 }
+
+/// What every signature pass returns: the entries, the fault-free
+/// reference's final and intermediate signatures, and the patterns
+/// actually applied (the early-stop boundary, or the full budget).
+type SignaturePass = (Vec<DictionaryEntry>, u64, Vec<u64>, usize);
 
 /// Reads lane `lane` of the signature bit-planes back into one register
 /// word (bit `i` = stage `i + 1`).
@@ -285,222 +348,354 @@ fn lane_signature<const W: usize>(planes: &[[u64; W]], lane: usize) -> u64 {
         .fold(0u64, |acc, (i, plane)| acc | (((plane[w] >> b) & 1) << i))
 }
 
-/// The classic dictionary pass on the 64-lane packed simulator.
+/// The classic dictionary pass on the 64-lane packed simulator, advanced
+/// segment-major: every chunk's simulator, MISR bit-planes and one-cycle
+/// memories persist across segment boundaries, so the signatures are
+/// bit-for-bit those of an unsegmented pass while the campaign can stop at
+/// any boundary.  Keeping the compiled simulators alive trades peak
+/// memory (tens of KB per 64-fault chunk on the suite machines) for not
+/// recompiling every chunk once per segment — the un-dropped pass has no
+/// survivor compaction, so unlike the coverage engines there is nothing
+/// to rebuild a chunk *around*.
+#[allow(clippy::too_many_arguments)]
 fn packed_signatures(
     netlist: &Netlist,
     faults: &[Injection],
     stimulus: &crate::coverage::Stimulus,
     stimulation: StateStimulation,
     misr: &Misr,
-) -> (Vec<DictionaryEntry>, u64, [u64; DICTIONARY_SEGMENTS]) {
+    checkpoints: &[usize],
+    boundaries: &[usize],
+    on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
+) -> SignaturePass {
     let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let checkpoints = segment_checkpoints(stimulus.cycles);
     let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
     let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
-
-    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
-    let mut reference_signature = 0u64;
-    let mut reference_segments = [0u64; DICTIONARY_SEGMENTS];
     let init_state = stimulus.st(0)[..num_state].to_vec();
+
+    /// The persistent state of one 64-lane chunk.
+    struct ChunkState<'a> {
+        sim: PackedSimulator<'a>,
+        fault_mask: u64,
+        detected: u64,
+        first_detect: Vec<Option<usize>>,
+        /// Signature bit-planes: `planes[i]` carries stage `i + 1` of all
+        /// 64 MISRs, one lane per machine (the `[u64; 1]` symbol keeps the
+        /// snapshot helper shared with the multi-word differential pass).
+        planes: Vec<[u64; 1]>,
+        folded: Vec<[u64; 1]>,
+        segments: Vec<Vec<u64>>,
+        /// Flat fault-list index of the chunk's first fault.
+        offset: usize,
+    }
+
     // An empty fault list still compacts the fault-free reference (one pass
     // with no injected lanes), so `reference_signature` always honours its
     // contract.
-    let chunks: Vec<&[Injection]> = if faults.is_empty() {
+    let chunk_lists: Vec<&[Injection]> = if faults.is_empty() {
         vec![&[]]
     } else {
         faults.chunks(FAULT_LANES).collect()
     };
-    for chunk in chunks {
+    let mut chunks: Vec<ChunkState> = Vec::with_capacity(chunk_lists.len());
+    let mut offset = 0usize;
+    for &chunk in &chunk_lists {
         let mut sim = PackedSimulator::with_injections(netlist, chunk);
         sim.set_state_broadcast(&init_state);
         let fault_mask = sim.fault_lanes_mask();
-        let mut detected = 0u64;
-        let mut first_detect = vec![None; chunk.len()];
-        // Signature bit-planes: `planes[i]` carries stage `i + 1` of all 64
-        // MISRs, one lane per machine (the `[u64; 1]` symbol keeps the
-        // snapshot helper shared with the multi-word differential pass).
-        let mut planes = vec![[0u64; 1]; signature_bits];
-        let mut folded = vec![[0u64; 1]; signature_bits];
-        let mut segments = vec![[0u64; DICTIONARY_SEGMENTS]; 64];
-        for cycle in 0..stimulus.cycles {
-            if stimulation == StateStimulation::RandomState {
-                let row = cycle * stimulus.st_width;
-                sim.set_state_words(&st_words[row..row + num_state]);
+        chunks.push(ChunkState {
+            sim,
+            fault_mask,
+            detected: 0,
+            first_detect: vec![None; chunk.len()],
+            planes: vec![[0u64; 1]; signature_bits],
+            folded: vec![[0u64; 1]; signature_bits],
+            segments: vec![vec![0u64; checkpoints.len()]; 64],
+            offset,
+        });
+        offset += chunk.len();
+    }
+
+    let obs = netlist.plan().observation_points();
+    let mut detections: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0usize;
+    let mut applied = stimulus.cycles;
+    for (segment, &to) in boundaries.iter().enumerate() {
+        detections.clear();
+        for cs in chunks.iter_mut() {
+            for cycle in from..to {
+                if stimulation == StateStimulation::RandomState {
+                    let row = cycle * stimulus.st_width;
+                    cs.sim.set_state_words(&st_words[row..row + num_state]);
+                }
+                let row = cycle * num_inputs;
+                cs.sim.evaluate(&pi_words[row..row + num_inputs]);
+                let mut newly = cs.sim.mismatch_word() & cs.fault_mask & !cs.detected;
+                cs.detected |= newly;
+                while newly != 0 {
+                    let lane = newly.trailing_zeros() as usize;
+                    cs.first_detect[lane - 1] = Some(cycle);
+                    detections.push((cs.offset + lane - 1, cycle));
+                    newly &= newly - 1;
+                }
+                // Fold the observation vector onto the register width and
+                // clock all 64 MISRs at once through the shared bit-plane
+                // recurrence.
+                for f in cs.folded.iter_mut() {
+                    *f = [0];
+                }
+                for (bit, &net) in obs.iter().enumerate() {
+                    cs.folded[bit % signature_bits][0] ^= cs.sim.net_word(net as usize);
+                }
+                misr.step_planes(&mut cs.planes, &cs.folded);
+                for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                    if checkpoint == cycle + 1 {
+                        for (lane, seg) in cs.segments.iter_mut().enumerate() {
+                            seg[k] = lane_signature(&cs.planes, lane);
+                        }
+                    }
+                }
+                cs.sim.clock();
             }
-            let row = cycle * num_inputs;
-            sim.evaluate(&pi_words[row..row + num_inputs]);
-            let mut newly = sim.mismatch_word() & fault_mask & !detected;
-            detected |= newly;
-            while newly != 0 {
-                let lane = newly.trailing_zeros() as usize;
-                first_detect[lane - 1] = Some(cycle);
-                newly &= newly - 1;
-            }
-            // Fold the observation vector onto the register width and clock
-            // all 64 MISRs at once through the shared bit-plane recurrence.
-            for f in folded.iter_mut() {
-                *f = [0];
-            }
-            for (bit, &net) in netlist.plan().observation_points().iter().enumerate() {
-                folded[bit % signature_bits][0] ^= sim.net_word(net as usize);
-            }
-            misr.step_planes(&mut planes, &folded);
+        }
+        detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
+        let report = SegmentReport {
+            segment,
+            patterns_applied: to,
+            new_detections: &detections,
+        };
+        if !on_segment(&report) {
+            applied = to;
+            break;
+        }
+        from = to;
+    }
+
+    // Early stop: checkpoints beyond the stop hold the stop-time signature
+    // (the MISR stops clocking when the test ends).
+    if applied < stimulus.cycles {
+        for cs in chunks.iter_mut() {
             for (k, &checkpoint) in checkpoints.iter().enumerate() {
-                if checkpoint == cycle + 1 {
-                    for (lane, seg) in segments.iter_mut().enumerate() {
-                        seg[k] = lane_signature(&planes, lane);
+                if checkpoint > applied {
+                    for (lane, seg) in cs.segments.iter_mut().enumerate() {
+                        seg[k] = lane_signature(&cs.planes, lane);
                     }
                 }
             }
-            sim.clock();
         }
-        reference_signature = lane_signature(&planes, 0);
-        reference_segments = segments[0];
+    }
+
+    let reference_signature = lane_signature(&chunks[0].planes, 0);
+    let reference_segments = chunks[0].segments[0].clone();
+    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
+    for (cs, &chunk) in chunks.iter().zip(&chunk_lists) {
         entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
             fault,
-            first_detect: first_detect[i],
-            signature: lane_signature(&planes, i + 1),
-            segments: segments[i + 1],
+            first_detect: cs.first_detect[i],
+            signature: lane_signature(&cs.planes, i + 1),
+            segments: cs.segments[i + 1].clone(),
         }));
     }
-    (entries, reference_signature, reference_segments)
+    (entries, reference_signature, reference_segments, applied)
+}
+
+/// Reads the signature word of a scalar (`bool`-plane) MISR stream.
+fn plane_word(planes: &[bool]) -> u64 {
+    planes
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 /// The dictionary pass on the cone-restricted differential block engine:
-/// the good machine's trajectory is recorded once, each 255-fault block
-/// evaluates only the steps its faults (or diverged register states) can
-/// perturb, and the MISR bit-planes advance over [`BLOCK_WORDS`]-word
+/// the good machine's trajectory is recorded once per segment (and shared
+/// read-only by every block and worker of that segment), each 255-fault
+/// block evaluates only the steps its faults (or diverged register states)
+/// can perturb, and the MISR bit-planes advance over [`BLOCK_WORDS`]-word
 /// symbols.  Because faulty machines are never dropped, a block stays on
 /// the wide step set while any of its lanes has diverged and re-narrows
-/// when they all reconverge.
+/// when they all reconverge.  Block simulators and bit-planes persist
+/// across segment boundaries, so the signatures equal an unsegmented pass
+/// bit for bit while the campaign can stop at any boundary.
 ///
 /// `threads > 1` (the [`SimEngine::Threaded`] dictionary pass) fans the
-/// independent signature blocks out over `std::thread::scope` workers, all
-/// reading the one shared good trace; the merge is in block order, so the
-/// dictionary is identical for any worker count.
+/// independent signature blocks out over `std::thread::scope` workers;
+/// the merge is in block order, so the dictionary is identical for any
+/// worker count.
+#[allow(clippy::too_many_arguments)]
 fn differential_signatures(
     netlist: &Netlist,
     faults: &[Injection],
     stimulus: &crate::coverage::Stimulus,
     stimulation: StateStimulation,
     misr: &Misr,
+    checkpoints: &[usize],
+    boundaries: &[usize],
     threads: usize,
-) -> (Vec<DictionaryEntry>, u64, [u64; DICTIONARY_SEGMENTS]) {
+    on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
+) -> SignaturePass {
     const W: usize = BLOCK_WORDS;
     let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let checkpoints = segment_checkpoints(stimulus.cycles);
     let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
     let init_state = stimulus.st(0)[..num_state].to_vec();
     let obs = netlist.plan().observation_points();
 
-    let trace = GoodTrace::record(
-        netlist,
-        stimulus,
-        stimulation,
-        &init_state,
-        0,
-        stimulus.cycles,
-    );
-
-    // The fault-free reference signature from the recorded good trajectory:
-    // the same shared recurrence the lane planes run, on `bool` symbols.
-    let mut ref_planes = vec![false; signature_bits];
-    let mut ref_folded = vec![false; signature_bits];
-    let mut reference_segments = [0u64; DICTIONARY_SEGMENTS];
-    let plane_word = |planes: &[bool]| -> u64 {
-        planes
-            .iter()
-            .enumerate()
-            .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
-    };
-    for cycle in 0..stimulus.cycles {
-        let row = trace.row(cycle);
-        ref_folded.fill(false);
-        for (bit, &net) in obs.iter().enumerate() {
-            ref_folded[bit % signature_bits] ^= (row[net as usize / 64] >> (net % 64)) & 1 == 1;
-        }
-        misr.step_planes(&mut ref_planes, &ref_folded);
-        for (k, &checkpoint) in checkpoints.iter().enumerate() {
-            if checkpoint == cycle + 1 {
-                reference_segments[k] = plane_word(&ref_planes);
-            }
-        }
+    /// The persistent state of one 255-fault signature block.
+    struct BlockState<'a> {
+        sim: DiffSimulator<'a, BLOCK_WORDS>,
+        fault_mask: [u64; BLOCK_WORDS],
+        detected: [u64; BLOCK_WORDS],
+        first_detect: Vec<Option<usize>>,
+        planes: Vec<[u64; BLOCK_WORDS]>,
+        folded: Vec<[u64; BLOCK_WORDS]>,
+        segments: Vec<Vec<u64>>,
+        /// Flat fault-list index of the block's first fault.
+        offset: usize,
     }
-    let reference_signature = plane_word(&ref_planes);
 
-    // One independent signature block per 255-fault chunk, against the
-    // shared good trace.
-    let signature_block = |chunk: &[Injection]| -> Vec<DictionaryEntry> {
+    let chunk_lists: Vec<&[Injection]> = faults.chunks(BLOCK_FAULT_LANES).collect();
+    let mut blocks: Vec<BlockState> = Vec::with_capacity(chunk_lists.len());
+    let mut offset = 0usize;
+    for &chunk in &chunk_lists {
         let mut sim = DiffSimulator::<W>::with_injections(netlist, chunk);
         sim.set_state_broadcast_bits(&init_state);
         let fault_mask = sim.active();
-        let mut detected = [0u64; W];
-        let mut first_detect = vec![None; chunk.len()];
-        let mut planes = vec![[0u64; W]; signature_bits];
-        let mut folded = vec![[0u64; W]; signature_bits];
-        let mut segments = vec![[0u64; DICTIONARY_SEGMENTS]; 64 * W];
-        for cycle in 0..stimulus.cycles {
-            if stimulation == StateStimulation::RandomState {
-                sim.set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
-            }
-            let good_row = trace.row(cycle);
-            let wide = sim.needs_wide(trace.pre_state(cycle));
-            let row = cycle * num_inputs;
-            sim.eval_cycle(wide, good_row, &pi_words[row..row + num_inputs]);
-            let mismatch = sim.mismatch(wide, good_row);
-            for (w, &word) in mismatch.iter().enumerate() {
-                let mut newly = word & fault_mask[w] & !detected[w];
-                detected[w] |= newly;
-                while newly != 0 {
-                    let lane = w * 64 + newly.trailing_zeros() as usize;
-                    first_detect[lane - 1] = Some(cycle);
-                    newly &= newly - 1;
-                }
-            }
-            for f in folded.iter_mut() {
-                *f = [0u64; W];
-            }
+        blocks.push(BlockState {
+            sim,
+            fault_mask,
+            detected: [0u64; W],
+            first_detect: vec![None; chunk.len()],
+            planes: vec![[0u64; W]; signature_bits],
+            folded: vec![[0u64; W]; signature_bits],
+            segments: vec![vec![0u64; checkpoints.len()]; chunk.len() + 1],
+            offset,
+        });
+        offset += chunk.len();
+    }
+
+    // The fault-free reference signature advances over the recorded good
+    // trajectory: the same shared recurrence the lane planes run, on
+    // `bool` symbols.
+    let mut good_state = init_state.clone();
+    let mut ref_planes = vec![false; signature_bits];
+    let mut ref_folded = vec![false; signature_bits];
+    let mut reference_segments = vec![0u64; checkpoints.len()];
+
+    let mut detections: Vec<(usize, usize)> = Vec::new();
+    let mut from = 0usize;
+    let mut applied = stimulus.cycles;
+    for (segment, &to) in boundaries.iter().enumerate() {
+        // One good-machine recording per segment, shared by every block
+        // and worker.
+        let trace = GoodTrace::record(netlist, stimulus, stimulation, &good_state, from, to);
+        for cycle in from..to {
+            let row = trace.row(cycle);
+            ref_folded.fill(false);
             for (bit, &net) in obs.iter().enumerate() {
-                let value = sim.net_value(wide, net as usize, good_row);
-                folded[bit % signature_bits] = folded[bit % signature_bits].xor(value);
+                ref_folded[bit % signature_bits] ^= (row[net as usize / 64] >> (net % 64)) & 1 == 1;
             }
-            misr.step_planes(&mut planes, &folded);
+            misr.step_planes(&mut ref_planes, &ref_folded);
             for (k, &checkpoint) in checkpoints.iter().enumerate() {
                 if checkpoint == cycle + 1 {
-                    for (lane, seg) in segments.iter_mut().enumerate().take(chunk.len() + 1) {
-                        seg[k] = lane_signature(&planes, lane);
+                    reference_segments[k] = plane_word(&ref_planes);
+                }
+            }
+        }
+
+        // Every block's trajectory is independent of its worker, and
+        // `sharded_map_mut` merges blocks in block order, so the dictionary
+        // is bit-for-bit identical for any worker count (the same
+        // discipline as the detection driver).
+        detections.clear();
+        let block_detections = crate::differential::sharded_map_mut(&mut blocks, threads, |bs| {
+            let mut found: Vec<(usize, usize)> = Vec::new();
+            for cycle in from..to {
+                if stimulation == StateStimulation::RandomState {
+                    bs.sim
+                        .set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
+                }
+                let good_row = trace.row(cycle);
+                let wide = bs.sim.needs_wide(trace.pre_state(cycle));
+                let row = cycle * num_inputs;
+                bs.sim
+                    .eval_cycle(wide, good_row, &pi_words[row..row + num_inputs]);
+                let mismatch = bs.sim.mismatch(wide, good_row);
+                for (w, &word) in mismatch.iter().enumerate() {
+                    let mut newly = word & bs.fault_mask[w] & !bs.detected[w];
+                    bs.detected[w] |= newly;
+                    while newly != 0 {
+                        let lane = w * 64 + newly.trailing_zeros() as usize;
+                        bs.first_detect[lane - 1] = Some(cycle);
+                        found.push((bs.offset + lane - 1, cycle));
+                        newly &= newly - 1;
+                    }
+                }
+                for f in bs.folded.iter_mut() {
+                    *f = [0u64; W];
+                }
+                for (bit, &net) in obs.iter().enumerate() {
+                    let value = bs.sim.net_value(wide, net as usize, good_row);
+                    bs.folded[bit % signature_bits] = bs.folded[bit % signature_bits].xor(value);
+                }
+                misr.step_planes(&mut bs.planes, &bs.folded);
+                for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                    if checkpoint == cycle + 1 {
+                        for (lane, seg) in bs.segments.iter_mut().enumerate() {
+                            seg[k] = lane_signature(&bs.planes, lane);
+                        }
+                    }
+                }
+                bs.sim.clock_cycle(wide, good_row);
+            }
+            found
+        });
+        for found in block_detections {
+            detections.extend(found);
+        }
+        detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
+        good_state = trace.end_state().to_vec();
+        let report = SegmentReport {
+            segment,
+            patterns_applied: to,
+            new_detections: &detections,
+        };
+        if !on_segment(&report) {
+            applied = to;
+            break;
+        }
+        from = to;
+    }
+
+    // Early stop: checkpoints beyond the stop hold the stop-time signature
+    // (the MISR stops clocking when the test ends).
+    if applied < stimulus.cycles {
+        for (k, &checkpoint) in checkpoints.iter().enumerate() {
+            if checkpoint > applied {
+                reference_segments[k] = plane_word(&ref_planes);
+                for bs in blocks.iter_mut() {
+                    for (lane, seg) in bs.segments.iter_mut().enumerate() {
+                        seg[k] = lane_signature(&bs.planes, lane);
                     }
                 }
             }
-            sim.clock_cycle(wide, good_row);
         }
-        chunk
-            .iter()
-            .enumerate()
-            .map(|(i, &fault)| DictionaryEntry {
-                fault,
-                first_detect: first_detect[i],
-                signature: lane_signature(&planes, i + 1),
-                segments: segments[i + 1],
-            })
-            .collect()
-    };
+    }
 
-    // Every block's trajectory is independent of its worker, and
-    // `sharded_map` merges blocks in block order, so the dictionary is
-    // bit-for-bit identical for any worker count (the same discipline as
-    // the detection driver).
-    let chunks: Vec<&[Injection]> = faults.chunks(BLOCK_FAULT_LANES).collect();
-    let entries: Vec<DictionaryEntry> =
-        crate::differential::sharded_map(&chunks, threads, |chunk| signature_block(chunk))
-            .into_iter()
-            .flatten()
-            .collect();
-    (entries, reference_signature, reference_segments)
+    let reference_signature = plane_word(&ref_planes);
+    let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
+    for (bs, &chunk) in blocks.iter().zip(&chunk_lists) {
+        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
+            fault,
+            first_detect: bs.first_detect[i],
+            signature: lane_signature(&bs.planes, i + 1),
+            segments: bs.segments[i + 1].clone(),
+        }));
+    }
+    (entries, reference_signature, reference_segments, applied)
 }
 
 #[cfg(test)]
@@ -621,6 +816,80 @@ mod tests {
             assert_eq!(scanned.len(), indexed.len(), "signature {signature:x}");
             for (s, i) in scanned.iter().zip(&indexed) {
                 assert!(std::ptr::eq(*s, *i), "order differs for {signature:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_count_scales_with_the_segment_schedule() {
+        // Small campaigns keep the classic three checkpoints (bit-for-bit
+        // the pre-adaptive dictionaries)...
+        assert_eq!(checkpoint_count(0), DICTIONARY_SEGMENTS);
+        assert_eq!(checkpoint_count(48), DICTIONARY_SEGMENTS);
+        assert_eq!(checkpoint_count(512), DICTIONARY_SEGMENTS);
+        assert_eq!(segment_checkpoints(512), vec![128, 256, 384]);
+        assert_eq!(checkpoint_count(960), DICTIONARY_SEGMENTS);
+        // ...and longer campaigns scale with the segment schedule.
+        assert_eq!(checkpoint_count(961), 4);
+        assert_eq!(checkpoint_count(2048), 5);
+        assert_eq!(checkpoint_count(4096), 6);
+        let checkpoints = segment_checkpoints(2048);
+        assert_eq!(checkpoints.len(), 5);
+        assert!(checkpoints.windows(2).all(|w| w[0] < w[1]));
+        assert!(*checkpoints.last().unwrap() < 2048);
+
+        // A scaled-checkpoint dictionary is engine-invariant, and a
+        // campaign truncated at any checkpoint reproduces the recorded
+        // intermediate signature — the same invariant the fixed-3 design
+        // had, now at the adaptive positions.
+        let netlist = pst_netlist();
+        let faults: Vec<Injection> = crate::faults::StuckAt
+            .fault_list(&netlist, true)
+            .into_iter()
+            .step_by(4)
+            .collect();
+        let base = SelfTestConfig {
+            max_patterns: 1024,
+            ..Default::default()
+        };
+        let packed = build_fault_dictionary(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                engine: SimEngine::Packed,
+                ..base.clone()
+            },
+        );
+        assert_eq!(packed.segment_checkpoints.len(), 4);
+        assert_eq!(packed.segment_checkpoints, vec![205, 410, 615, 820]);
+        let differential = build_fault_dictionary(
+            &netlist,
+            &faults,
+            &SelfTestConfig {
+                engine: SimEngine::Differential,
+                ..base.clone()
+            },
+        );
+        assert_eq!(packed, differential);
+        for (k, &checkpoint) in packed.segment_checkpoints.iter().enumerate() {
+            let truncated = build_fault_dictionary(
+                &netlist,
+                &faults,
+                &SelfTestConfig {
+                    max_patterns: checkpoint,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(
+                truncated.reference_signature, packed.reference_segments[k],
+                "reference at checkpoint {checkpoint}"
+            );
+            for (t, f) in truncated.entries.iter().zip(&packed.entries) {
+                assert_eq!(
+                    t.signature, f.segments[k],
+                    "{} at checkpoint {checkpoint}",
+                    f.fault
+                );
             }
         }
     }

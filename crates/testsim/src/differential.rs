@@ -41,7 +41,9 @@
 //! and bridges all keep working — and produces detection patterns
 //! bit-for-bit identical to the scalar and packed engines.
 
-use crate::coverage::{table_tail, AliveFault, LaneTables, StateStimulation, Stimulus};
+use crate::coverage::{
+    initial_alive, AliveFault, LaneTables, SegmentRunner, StateStimulation, Stimulus, TableTail,
+};
 use crate::engine::{Op, PackedCore};
 use crate::faults::Injection;
 use crate::packed::FAULT_LANES as PACKED_FAULT_LANES;
@@ -543,20 +545,6 @@ fn run_block(
     (detections, survivors)
 }
 
-/// Differential engine of a coverage campaign: the good machine runs once
-/// per pattern on the scalar simulator, faults run in cone-restricted
-/// [`BLOCK_WORDS`]-word lane blocks, with the same segmented survivor
-/// compaction and compiled-table tail as the packed engine — the detection
-/// patterns are bit-for-bit those of the scalar/packed engines.
-pub(crate) fn differential_detection(
-    netlist: &Netlist,
-    faults: &[Injection],
-    stimulus: &Stimulus,
-    stimulation: StateStimulation,
-) -> Vec<Option<usize>> {
-    sharded_differential_detection(netlist, faults, stimulus, stimulation, 1)
-}
-
 /// Maps independent work items through `f`, fanned out over up to
 /// `threads` scoped workers in contiguous groups.  Results are merged in
 /// item order, so the output is identical for any worker count — the one
@@ -586,98 +574,146 @@ pub(crate) fn sharded_map<T: Sync, R: Send>(
     })
 }
 
-/// The differential campaign driver, generalized over a worker count: each
-/// segment records the good machine's trace **once** and shares it
-/// read-only across all lane blocks, processed either in-line
-/// (`threads <= 1`) or fanned out over `std::thread::scope` workers in
-/// contiguous block groups.
+/// The mutable sibling of [`sharded_map`]: fans `f` out over contiguous
+/// groups of *mutable* items — the persistent per-block simulator states
+/// of the streaming dictionary pass — with the same deterministic
+/// in-order merge.
+pub(crate) fn sharded_map_mut<T: Send, R: Send>(
+    items: &mut [T],
+    threads: usize,
+    f: impl Fn(&mut T) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter_mut().map(&f).collect();
+    }
+    let group_len = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(group_len)
+            .map(|group| scope.spawn(move || group.iter_mut().map(f).collect::<Vec<R>>()))
+            .collect();
+        // Joined in spawn order, which is item order: deterministic merge.
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("fault-simulation worker panicked"))
+            .collect()
+    })
+}
+
+/// The differential campaign driver as a segment runner, generalized over
+/// a worker count: each segment records the good machine's trace **once**
+/// and shares it read-only across all lane blocks, processed either
+/// in-line (`threads <= 1`) or fanned out over `std::thread::scope`
+/// workers in contiguous block groups.
 ///
 /// Every fault's trajectory is that of its own isolated machine — block
 /// packing and worker scheduling never change results, only wall-clock
 /// time — and blocks are merged in block order, so the result is
 /// bit-for-bit identical to the single-threaded engines regardless of the
-/// thread count.
-pub(crate) fn sharded_differential_detection(
-    netlist: &Netlist,
-    faults: &[Injection],
-    stimulus: &Stimulus,
+/// thread count.  Once the survivors of a small machine fit one packed
+/// chunk, the runner switches to the same compiled
+/// [`TableTail`] as the packed engine, keeping the two engines
+/// interchangeable.
+pub(crate) struct DiffSegments<'a> {
+    netlist: &'a Netlist,
+    stimulus: &'a Stimulus,
     stimulation: StateStimulation,
+    pi_words: Vec<u64>,
     threads: usize,
-) -> Vec<Option<usize>> {
-    let num_state = netlist.flip_flops().len();
-    let total_cycles = stimulus.cycles;
-    let mut detection_pattern = vec![None; faults.len()];
-    if total_cycles == 0 || faults.is_empty() {
-        return detection_pattern;
-    }
-    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+    reference_state: Vec<bool>,
+    alive: Vec<AliveFault>,
+    table: Option<TableTail>,
+}
 
-    let init_state = stimulus.st(0)[..num_state].to_vec();
-    let mut reference_state = init_state.clone();
-    let mut alive: Vec<AliveFault> = faults
-        .iter()
-        .enumerate()
-        .map(|(index, &fault)| AliveFault {
-            index,
-            fault,
-            state: init_state.clone(),
-            memory: match fault {
-                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
-                _ => None,
-            },
-        })
-        .collect();
-
-    let mut from = 0usize;
-    let mut segment_len = 64usize;
-    while from < total_cycles && !alive.is_empty() {
-        // The same compiled-table tail as the packed engine, under the same
-        // conditions, so the two engines stay bit-for-bit interchangeable.
-        if alive.len() <= PACKED_FAULT_LANES
-            && LaneTables::applicable(netlist, &alive, alive.len() + 1, total_cycles - from)
-        {
-            table_tail(
-                netlist,
-                &alive,
-                &reference_state,
-                stimulus,
-                stimulation,
-                from,
-                &mut detection_pattern,
-            );
-            return detection_pattern;
+impl<'a> DiffSegments<'a> {
+    pub(crate) fn new(
+        netlist: &'a Netlist,
+        faults: &[Injection],
+        stimulus: &'a Stimulus,
+        stimulation: StateStimulation,
+        threads: usize,
+    ) -> Self {
+        let num_state = netlist.flip_flops().len();
+        let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+        let init_state = stimulus.st(0)[..num_state].to_vec();
+        Self {
+            netlist,
+            stimulus,
+            stimulation,
+            pi_words,
+            threads,
+            reference_state: init_state.clone(),
+            alive: initial_alive(faults, &init_state),
+            table: None,
         }
-        let to = (from + segment_len).min(total_cycles);
-        segment_len = segment_len.saturating_mul(2);
+    }
+}
+
+impl SegmentRunner for DiffSegments<'_> {
+    fn run_segment(&mut self, from: usize, to: usize, detections: &mut Vec<(usize, usize)>) {
+        let total_cycles = self.stimulus.cycles;
+        if self.table.is_none() {
+            if self.alive.is_empty() {
+                return;
+            }
+            // The same compiled-table tail as the packed engine, under the
+            // same conditions, so the two engines stay bit-for-bit
+            // interchangeable.
+            if self.alive.len() <= PACKED_FAULT_LANES
+                && LaneTables::applicable(
+                    self.netlist,
+                    &self.alive,
+                    self.alive.len() + 1,
+                    total_cycles - from,
+                )
+            {
+                self.table = Some(TableTail::new(
+                    self.netlist,
+                    &self.alive,
+                    &self.reference_state,
+                ));
+                self.alive = Vec::new();
+            }
+        }
+        if let Some(table) = &mut self.table {
+            table.run(self.stimulus, self.stimulation, from, to, detections);
+            return;
+        }
+
         // One good-machine recording per segment, shared by every block and
         // worker.
-        let trace = GoodTrace::record(netlist, stimulus, stimulation, &reference_state, from, to);
-        let chunks: Vec<&[AliveFault]> = alive.chunks(BLOCK_FAULT_LANES).collect();
-        let block_results: Vec<BlockResult> = sharded_map(&chunks, threads, |chunk| {
+        let trace = GoodTrace::record(
+            self.netlist,
+            self.stimulus,
+            self.stimulation,
+            &self.reference_state,
+            from,
+            to,
+        );
+        let chunks: Vec<&[AliveFault]> = self.alive.chunks(BLOCK_FAULT_LANES).collect();
+        let block_results: Vec<BlockResult> = sharded_map(&chunks, self.threads, |chunk| {
             run_block(
-                netlist,
+                self.netlist,
                 chunk,
                 &trace,
-                stimulus,
-                &pi_words,
-                stimulation,
-                &reference_state,
+                self.stimulus,
+                &self.pi_words,
+                self.stimulation,
+                &self.reference_state,
                 from,
                 to,
             )
         });
         let mut survivors: Vec<AliveFault> = Vec::new();
-        for (detections, block_survivors) in block_results {
-            for (index, cycle) in detections {
-                detection_pattern[index] = Some(cycle);
-            }
+        for (block_detections, block_survivors) in block_results {
+            detections.extend(block_detections);
             survivors.extend(block_survivors);
         }
-        reference_state = trace.end_state().to_vec();
-        alive = survivors;
-        from = to;
+        self.reference_state = trace.end_state().to_vec();
+        self.alive = survivors;
     }
-    detection_pattern
 }
 
 #[cfg(test)]

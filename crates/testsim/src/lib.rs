@@ -29,9 +29,14 @@
 //! * [`patterns`] — pseudo-random and weighted-random primary-input sources,
 //! * [`campaign`] — **the unified campaign API**: a [`Campaign`] builder
 //!   runs a fault universe (one or more fault-model sections) exactly once
-//!   and fans the results out to composable [`CampaignObserver`] sinks —
-//!   [`CoverageObserver`], [`DictionaryObserver`],
-//!   [`DiagnosisObserver`],
+//!   and *streams* it to composable [`CampaignObserver`] lifecycle sinks
+//!   (`on_begin` / per-segment `on_segment` / `on_finish`) —
+//!   [`CoverageObserver`], [`DictionaryObserver`], [`DiagnosisObserver`],
+//!   plus the stopping observers [`CoverageTargetObserver`] and
+//!   [`TestLengthObserver`], which end the campaign at the next boundary
+//!   of the pinned [`coverage::segment_schedule`] once every observer has
+//!   voted to stop — deterministically, bit-for-bit identical across
+//!   engines and thread counts,
 //! * [`coverage`] — the coverage result types, the shared
 //!   [`CampaignConfig`] knobs and the legacy one-shot entry points
 //!   ([`run_self_test`], [`run_injection_campaign`]), kept as thin
@@ -120,12 +125,13 @@ pub mod patterns;
 pub mod sim;
 
 pub use campaign::{
-    Campaign, CampaignObserver, CampaignOutcome, CoverageObserver, DictionaryObserver,
-    SectionOutcome,
+    Campaign, CampaignObserver, CampaignOutcome, CampaignPlan, CoverageObserver,
+    CoverageTargetObserver, DictionaryObserver, ObserverControl, SectionOutcome, SectionPlan,
+    SegmentSnapshot, TestLengthObserver,
 };
 pub use coverage::{
-    run_injection_campaign, run_self_test, CampaignConfig, CoverageResult, SelfTestConfig,
-    SimEngine,
+    run_injection_campaign, run_self_test, segment_schedule, CampaignConfig, CoverageResult,
+    SelfTestConfig, SimEngine,
 };
 pub use diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};
 pub use dictionary::{build_fault_dictionary, DictionaryEntry, FaultDictionary};

@@ -98,6 +98,26 @@ impl<'a> Simulator<'a> {
         self.state.copy_from_slice(state);
     }
 
+    /// The one-cycle memory of a [`Injection::DelayedTransition`] fault:
+    /// the raw value the faulty net carried at the previous clock cycle.
+    /// `None` when the injection (if any) is stateless.
+    pub fn transition_memory(&self) -> Option<bool> {
+        match self.injection {
+            Some(Injection::DelayedTransition { .. }) => Some(self.transition_prev),
+            _ => None,
+        }
+    }
+
+    /// Seeds the one-cycle transition memory (used when a segmented
+    /// campaign resumes a surviving fault mid-run).  No-op unless the
+    /// injection is a [`Injection::DelayedTransition`].
+    pub fn seed_transition_memory(&mut self, bit: bool) {
+        if let Some(Injection::DelayedTransition { .. }) = self.injection {
+            self.transition_prev = bit;
+            self.transition_next = bit;
+        }
+    }
+
     /// Evaluates the combinational logic for the given primary inputs and the
     /// current register state.  Returns nothing; use the probe methods to
     /// read nets.

@@ -111,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "after per-segment disambiguation the top candidate matches {}/{} checkpoints",
         ranked[0].matching_segments,
-        stfsm::testsim::dictionary::DICTIONARY_SEGMENTS
+        failing.segments.len()
     );
     Ok(())
 }

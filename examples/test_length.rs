@@ -1,0 +1,122 @@
+//! The paper's test-length comparison through the streaming campaign API:
+//! one early-stopped campaign per BIST structure, each carrying a
+//! `TestLengthObserver` that votes to stop at the target coverage — so
+//! measuring the test length costs only the patterns it measures, instead
+//! of burning the full budget and computing the crossing post hoc (the
+//! approach of `examples/selftest_coverage.rs`).
+//!
+//! The PST structure stimulates the next-state logic with *system* states
+//! only, so it needs measurably more patterns than the conventional DFF
+//! structure for the same coverage — the ≈ +30 % of [EsWu 91] — but pays
+//! for it with the smallest area overhead of the four structures.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example test_length [--target F] [--patterns N] [benchmark ...]
+//! ```
+
+use stfsm::fsm::suite::{benchmark, fig3_example, modulo12_exact, traffic_light};
+use stfsm::fsm::Fsm;
+use stfsm::testsim::campaign::TestLengthObserver;
+use stfsm::{BistStructure, SynthesisFlow};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
+    let target: f64 = flag("--target").and_then(|v| v.parse().ok()).unwrap_or(0.9);
+    let patterns: usize = flag("--patterns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096);
+    // Everything that is neither a flag nor a flag's value names a
+    // benchmark; unknown names are an error instead of a silent fallback.
+    let value_positions: Vec<usize> = ["--target", "--patterns"]
+        .iter()
+        .filter_map(|name| args.iter().position(|a| a == name).map(|i| i + 1))
+        .collect();
+    let named: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && !value_positions.contains(i))
+        .map(|(_, a)| a.as_str())
+        .collect();
+
+    let mut machines: Vec<Fsm> = Vec::new();
+    if named.is_empty() {
+        machines.push(fig3_example()?);
+        machines.push(modulo12_exact()?);
+        machines.push(traffic_light()?);
+    } else {
+        for name in named {
+            let Some(info) = benchmark(name) else {
+                return Err(format!("unknown benchmark `{name}`").into());
+            };
+            machines.push(info.fsm()?);
+        }
+    }
+
+    for fsm in &machines {
+        println!(
+            "benchmark `{}` (target {:.0} % coverage, budget {} patterns):",
+            fsm.name(),
+            target * 100.0,
+            patterns
+        );
+        println!(
+            "  {:<5} {:>8} {:>9} {:>9} {:>9}",
+            "struct", "faults", "test-len", "applied", "coverage"
+        );
+        let mut lengths: Vec<(BistStructure, Option<usize>)> = Vec::new();
+        for structure in BistStructure::ALL {
+            // Synthesis feeds the campaign directly; the observer's Stop
+            // vote ends the run at the next segment boundary after the
+            // target is reached, deterministically on every engine.
+            let result = SynthesisFlow::new(structure).synthesize(fsm)?;
+            let mut observer = TestLengthObserver::new(target);
+            let outcome = result
+                .campaign()
+                .model(&stfsm::faults::StuckAt)
+                .patterns(patterns)
+                .observe(&mut observer)
+                .run();
+            println!(
+                "  {:<5} {:>8} {:>9} {:>9} {:>8.1}%{}",
+                structure,
+                outcome.total_faults(),
+                observer
+                    .test_length()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "-".into()),
+                outcome.patterns_applied,
+                observer.coverage() * 100.0,
+                if outcome.stopped_early() {
+                    "  (stopped early)"
+                } else {
+                    ""
+                }
+            );
+            lengths.push((structure, observer.test_length()));
+        }
+        let length_of = |wanted: BistStructure| {
+            lengths
+                .iter()
+                .find(|(s, _)| *s == wanted)
+                .and_then(|(_, l)| *l)
+        };
+        match (length_of(BistStructure::Pst), length_of(BistStructure::Dff)) {
+            (Some(pst), Some(dff)) if dff > 0 => println!(
+                "  PST / DFF test-length ratio at {:.0} % coverage: {:.2} (paper: ~1.3)\n",
+                target * 100.0,
+                pst as f64 / dff as f64
+            ),
+            _ => println!(
+                "  PST / DFF test-length ratio: target not reached within the pattern budget\n"
+            ),
+        }
+    }
+    Ok(())
+}

@@ -14,10 +14,14 @@ use stfsm::bist::netlist::Netlist;
 use stfsm::faults::{all_models, FaultModel};
 use stfsm::fsm::generate::small_random;
 use stfsm::logic::espresso::MinimizeConfig;
-use stfsm::testsim::campaign::{Campaign, CoverageObserver, DictionaryObserver};
-use stfsm::testsim::coverage::{run_injection_campaign, CampaignConfig, SelfTestConfig, SimEngine};
+use stfsm::testsim::campaign::{
+    Campaign, CoverageObserver, CoverageTargetObserver, DictionaryObserver, TestLengthObserver,
+};
+use stfsm::testsim::coverage::{
+    run_injection_campaign, segment_schedule, CampaignConfig, SelfTestConfig, SimEngine,
+};
 use stfsm::testsim::diagnosis::DiagnosisObserver;
-use stfsm::testsim::dictionary::{build_fault_dictionary, DICTIONARY_SEGMENTS};
+use stfsm::testsim::dictionary::build_fault_dictionary;
 use stfsm::testsim::Injection;
 use stfsm::{AssignmentMethod, BistStructure, SynthesisFlow};
 
@@ -113,7 +117,7 @@ fn observers_match_legacy_across_suite_models_and_engines() {
                 // and its first-detects == the coverage detection pattern
                 // (one un-dropped pass serves both observers).
                 let legacy_dictionary = build_fault_dictionary(netlist, faults, &legacy_config);
-                let dictionary = &dictionaries.dictionaries()[i].1;
+                let dictionary = dictionaries.dictionaries()[i].1.as_ref();
                 assert_eq!(
                     dictionary, &legacy_dictionary,
                     "dictionary: {name} {label} {engine:?}"
@@ -181,8 +185,8 @@ fn observers_match_legacy_on_random_controllers() {
                 model.name()
             );
             assert_eq!(
-                dictionaries.dictionaries()[i].1,
-                build_fault_dictionary(netlist, &faults, &legacy_config),
+                dictionaries.dictionaries()[i].1.as_ref(),
+                &build_fault_dictionary(netlist, &faults, &legacy_config),
                 "seed {seed} {}",
                 model.name()
             );
@@ -262,7 +266,7 @@ fn diagnosis_resolves_known_fault_signatures_on_every_suite_machine() {
         let ranked = diagnosis.disambiguate(known.signature, &known.segments);
         assert_eq!(
             ranked.first().map(|c| c.matching_segments),
-            Some(DICTIONARY_SEGMENTS),
+            Some(known.segments.len()),
             "{name}: full-checkpoint match must rank first"
         );
     }
@@ -295,6 +299,192 @@ fn auto_engine_resolves_per_machine_size() {
         largest.0,
         largest.1.gates().len()
     );
+}
+
+/// The early-stop acceptance criterion: a `CoverageTargetObserver` must
+/// end the campaign at the same segment boundary, with identical
+/// detection sets, on every engine and for any worker count — on all 13
+/// suite machines.
+#[test]
+fn early_stop_is_deterministic_across_engines_and_threads() {
+    const TARGET: f64 = 0.5;
+    const BUDGET: usize = 4096;
+    for (name, netlist) in suite_netlists() {
+        let faults = capped_faults(&stfsm::faults::StuckAt, netlist, MAX_FAULTS);
+        let mut reference: Option<(usize, Vec<Option<usize>>)> = None;
+        let mut check = |engine: SimEngine, threads: Option<usize>, label: String| {
+            let mut target = CoverageTargetObserver::new(TARGET);
+            let mut campaign = Campaign::new(netlist)
+                .faults("stuck_at", faults.clone())
+                .engine(engine)
+                .patterns(BUDGET)
+                .observe(&mut target);
+            if let Some(threads) = threads {
+                campaign = campaign.threads(threads);
+            }
+            let outcome = campaign.run();
+            // The stop boundary is a boundary of the pinned schedule.
+            assert!(
+                segment_schedule(BUDGET).contains(&outcome.patterns_applied),
+                "{label}: stop not at a schedule boundary"
+            );
+            assert_eq!(
+                target.patterns_applied(),
+                outcome.patterns_applied,
+                "{label}"
+            );
+            let detections = outcome.sections[0].detection_pattern.clone();
+            match &reference {
+                None => reference = Some((outcome.patterns_applied, detections)),
+                Some((patterns, detection_sets)) => {
+                    assert_eq!(
+                        *patterns, outcome.patterns_applied,
+                        "{label}: stop boundary"
+                    );
+                    assert_eq!(detection_sets, &detections, "{label}: detection sets");
+                }
+            }
+        };
+        for engine in ENGINES {
+            check(engine, None, format!("{name} {engine:?}"));
+        }
+        for threads in [2usize, 5] {
+            check(
+                SimEngine::Threaded,
+                Some(threads),
+                format!("{name} Threaded x{threads}"),
+            );
+        }
+    }
+}
+
+/// Early-stop determinism on randomized controllers, including the
+/// un-dropped signature pass: a stopping observer riding next to nothing
+/// else must stop the dictionary-building campaign at the same boundary
+/// on every engine.
+#[test]
+fn early_stop_is_deterministic_on_random_controllers() {
+    struct StoppingDictionary {
+        inner: CoverageTargetObserver,
+        dictionaries: DictionaryObserver,
+    }
+    impl stfsm::testsim::CampaignObserver for StoppingDictionary {
+        fn needs_signatures(&self) -> bool {
+            true
+        }
+        fn on_begin(&mut self, plan: &stfsm::testsim::CampaignPlan) {
+            self.inner.on_begin(plan);
+        }
+        fn on_segment(
+            &mut self,
+            snapshot: &stfsm::testsim::SegmentSnapshot<'_>,
+        ) -> stfsm::testsim::ObserverControl {
+            self.inner.on_segment(snapshot)
+        }
+        fn on_finish(&mut self, outcome: &stfsm::testsim::CampaignOutcome) {
+            self.inner.on_finish(outcome);
+            self.dictionaries.on_finish(outcome);
+        }
+    }
+
+    for seed in 0..4u64 {
+        let fsm = small_random(9300 + seed);
+        let result = SynthesisFlow::new(BistStructure::Pst)
+            .with_assignment(AssignmentMethod::Natural)
+            .with_minimizer(MinimizeConfig::fast())
+            .synthesize(&fsm)
+            .expect("random machine synthesizes");
+        let netlist = &result.netlist;
+        let faults = stfsm::faults::StuckAt.fault_list(netlist, true);
+        let mut reference: Option<(usize, Vec<Option<usize>>, usize)> = None;
+        for engine in ENGINES {
+            // Coverage pass (drop-on-detect) with a stopper.
+            let mut target = CoverageTargetObserver::new(0.6);
+            let outcome = Campaign::new(netlist)
+                .faults("stuck_at", faults.clone())
+                .engine(engine)
+                .patterns(2048)
+                .observe(&mut target)
+                .run();
+            // Un-dropped signature pass with the same stopper must stop at
+            // the same boundary (first-detects are shared).
+            let mut stopping = StoppingDictionary {
+                inner: CoverageTargetObserver::new(0.6),
+                dictionaries: DictionaryObserver::new(),
+            };
+            let dict_outcome = Campaign::new(netlist)
+                .faults("stuck_at", faults.clone())
+                .engine(engine)
+                .patterns(2048)
+                .observe(&mut stopping)
+                .run();
+            assert_eq!(
+                outcome.patterns_applied, dict_outcome.patterns_applied,
+                "seed {seed} {engine:?}: coverage vs dictionary stop"
+            );
+            let dictionary = stopping.dictionaries.dictionary().expect("ran");
+            assert_eq!(dictionary.patterns_applied, outcome.patterns_applied);
+            let detections = outcome.sections[0].detection_pattern.clone();
+            match &reference {
+                None => {
+                    reference = Some((
+                        outcome.patterns_applied,
+                        detections,
+                        dictionary.entries.len(),
+                    ))
+                }
+                Some((patterns, detection_sets, entries)) => {
+                    assert_eq!(
+                        *patterns, outcome.patterns_applied,
+                        "seed {seed} {engine:?}"
+                    );
+                    assert_eq!(detection_sets, &detections, "seed {seed} {engine:?}");
+                    assert_eq!(*entries, dictionary.entries.len());
+                }
+            }
+        }
+    }
+}
+
+/// Observer-vote interaction: one stopper plus one full-run observer runs
+/// the full budget (the stop requires unanimity), and the full-run
+/// observer's results equal the stopper-free campaign's.
+#[test]
+fn stopper_plus_full_run_observer_runs_the_full_budget() {
+    let (_, netlist) = &suite_netlists()[0];
+    let faults = capped_faults(&stfsm::faults::StuckAt, netlist, MAX_FAULTS);
+    let mut target = CoverageTargetObserver::new(0.0);
+    let mut coverage = CoverageObserver::new();
+    let outcome = Campaign::new(netlist)
+        .faults("stuck_at", faults.clone())
+        .patterns(256)
+        .observe(&mut target)
+        .observe(&mut coverage)
+        .run();
+    assert!(target.reached(), "a 0 % target is trivially reached");
+    assert_eq!(outcome.patterns_applied, 256, "full-run observer vetoes");
+    let legacy = run_injection_campaign(
+        netlist,
+        &faults,
+        &SelfTestConfig {
+            max_patterns: 256,
+            ..Default::default()
+        },
+    );
+    assert_eq!(coverage.result().unwrap(), &legacy);
+
+    // The stopper alone does stop, and the test-length instrument agrees
+    // with the full run's post-hoc metric.
+    let mut observer = TestLengthObserver::new(0.5);
+    let outcome = Campaign::new(netlist)
+        .faults("stuck_at", faults)
+        .patterns(256)
+        .observe(&mut observer)
+        .run();
+    if observer.test_length().is_some() {
+        assert_eq!(observer.test_length(), legacy.test_length_for_coverage(0.5));
+        assert!(outcome.patterns_applied <= 256);
+    }
 }
 
 /// `SelfTestConfig` stays a lossless compatibility shell around
