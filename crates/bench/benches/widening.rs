@@ -1,0 +1,54 @@
+//! Criterion bench: per-word vs per-block widening on the event-driven
+//! differential engine, on the two largest suite machines.
+//!
+//! When a faulty lane's register state splits from the good machine, the
+//! v1 engine widened the *whole* lane block to the register-fanout step
+//! set; per-word widening confines that to the one 64-lane packing word
+//! holding the diverged lane, keeping the remaining words on the narrow
+//! cone sets.  Both are bit-for-bit identical (asserted by the
+//! `integration_event_driven` tests); this bench quantifies what the
+//! finer tracking is worth on `planet` and `scf`, whose PST structure
+//! keeps diverged system state alive for many cycles.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stfsm::faults::StuckAt;
+use stfsm::testsim::campaign::Campaign;
+use stfsm::testsim::coverage::{CampaignConfig, SimEngine};
+use stfsm::{BistStructure, SynthesisFlow};
+
+const PATTERNS: usize = 256;
+
+fn bench_widening(c: &mut Criterion) {
+    for name in ["planet", "scf"] {
+        let fsm = stfsm::fsm::suite::benchmark(name)
+            .expect("suite benchmark exists")
+            .fsm()
+            .expect("suite machine generates");
+        let netlist = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&fsm)
+            .expect("synthesis succeeds")
+            .netlist;
+        let mut group = c.benchmark_group(format!("widening_{name}_pst"));
+        group.sample_size(10);
+        for (label, per_word) in [("per_block", false), ("per_word", true)] {
+            group.bench_function(label, |b| {
+                b.iter(|| {
+                    Campaign::new(&netlist)
+                        .config(CampaignConfig {
+                            max_patterns: PATTERNS,
+                            engine: SimEngine::Differential,
+                            per_word_widening: per_word,
+                            ..CampaignConfig::default()
+                        })
+                        .model(&StuckAt)
+                        .run()
+                        .patterns_applied
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_widening);
+criterion_main!(benches);

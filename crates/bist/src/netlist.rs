@@ -251,7 +251,12 @@ impl PlanStep {
 ///   universe a fault at that net can ever perturb;
 /// * per-flip-flop **support cones** ([`EvalPlan::flip_flop_support`]): the
 ///   transitive fanin of each register stage's D input — the nets whose
-///   values the stage can observe within one cycle.
+///   values the stage can observe within one cycle;
+/// * the **direct-fanout adjacency** ([`EvalPlan::fanout_steps`]): for every
+///   net, the gates that read it as an operand — the edge list an
+///   event-driven evaluator walks to mark downstream steps dirty when a net
+///   value changes, level-bucketed through [`EvalPlan::level`] so events
+///   drain in topological order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalPlan {
     steps: Vec<PlanStep>,
@@ -271,6 +276,11 @@ pub struct EvalPlan {
     /// Support-cone bit planes of the flip-flops, `ff_d.len() * cone_stride`
     /// words; bit `j` of row `k` is set iff net `j` feeds flip-flop `k`.
     ff_support: Vec<u64>,
+    /// CSR offsets of the direct-fanout adjacency: the consumers of net `n`
+    /// occupy `fanout_steps[fanout_offsets[n]..fanout_offsets[n + 1]]`.
+    fanout_offsets: Vec<u32>,
+    /// The direct-fanout edge list (consumer steps in ascending net order).
+    fanout_steps: Vec<u32>,
 }
 
 impl EvalPlan {
@@ -355,6 +365,26 @@ impl EvalPlan {
             })
             .collect();
 
+        // Direct-fanout adjacency in CSR form: count each net's consumers,
+        // prefix-sum into offsets, then fill in step order so every net's
+        // consumer list comes out ascending.
+        let mut fanout_offsets = vec![0u32; num_nets + 1];
+        for &f in &fanin {
+            fanout_offsets[f as usize + 1] += 1;
+        }
+        for n in 0..num_nets {
+            fanout_offsets[n + 1] += fanout_offsets[n];
+        }
+        let mut fanout_steps = vec![0u32; fanin.len()];
+        let mut cursor: Vec<u32> = fanout_offsets[..num_nets].to_vec();
+        for (id, step) in steps.iter().enumerate() {
+            for &f in &fanin[step.fanin_range()] {
+                let slot = &mut cursor[f as usize];
+                fanout_steps[*slot as usize] = id as u32;
+                *slot += 1;
+            }
+        }
+
         Self {
             steps,
             fanin,
@@ -367,6 +397,8 @@ impl EvalPlan {
             cone_stride,
             fanout_cones,
             ff_support,
+            fanout_offsets,
+            fanout_steps,
         }
     }
 
@@ -437,6 +469,18 @@ impl EvalPlan {
     /// [`EvalPlan::flip_flop_support`]) contains net `net`.
     pub fn cone_contains(cone: &[u64], net: usize) -> bool {
         (cone[net / 64] >> (net % 64)) & 1 == 1
+    }
+
+    /// The direct consumers of net `net`: every step that reads `net` as an
+    /// operand, in ascending order. A step appears once per operand slot, so
+    /// a gate listing the same net twice appears twice; event-driven
+    /// consumers dedup through their pending-set bitsets. All consumers sit
+    /// at a strictly higher topological level than `net`, which is what lets
+    /// a levelized worklist drain change events in a single ascending pass.
+    pub fn fanout_steps(&self, net: usize) -> &[u32] {
+        let lo = self.fanout_offsets[net] as usize;
+        let hi = self.fanout_offsets[net + 1] as usize;
+        &self.fanout_steps[lo..hi]
     }
 
     /// The observation-point nets.
@@ -897,6 +941,37 @@ mod tests {
             plan.max_level(),
             plan.levels().iter().copied().max().unwrap()
         );
+    }
+
+    /// The direct-fanout adjacency must be the exact transpose of the fanin
+    /// lists, ascending per net, with every consumer at a strictly higher
+    /// level than the net it reads.
+    #[test]
+    fn fanout_adjacency_transposes_fanin() {
+        let netlist = dff_netlist("fanout-adjacency");
+        let plan = netlist.plan();
+        let num_nets = plan.steps().len();
+        let mut expected: Vec<Vec<u32>> = vec![Vec::new(); num_nets];
+        for id in 0..num_nets {
+            for &f in plan.step_fanin(id) {
+                expected[f as usize].push(id as u32);
+            }
+        }
+        for (net, consumers) in expected.iter().enumerate() {
+            assert_eq!(plan.fanout_steps(net), &consumers[..], "net {net}");
+            assert!(
+                plan.fanout_steps(net).windows(2).all(|w| w[0] <= w[1]),
+                "consumers of net {net} are ascending"
+            );
+            for &t in plan.fanout_steps(net) {
+                assert!(
+                    plan.level(t as usize) > plan.level(net),
+                    "consumer {t} of net {net} is deeper"
+                );
+            }
+        }
+        let total: usize = (0..num_nets).map(|n| plan.fanout_steps(n).len()).sum();
+        assert_eq!(total, plan.fanin().len(), "every operand edge appears once");
     }
 
     /// The fanout cones must equal the reachability relation of the gate

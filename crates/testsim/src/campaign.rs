@@ -176,6 +176,12 @@ pub struct CampaignPlan {
     /// the boundaries at which [`CampaignObserver::on_segment`] fires and
     /// at which the campaign can stop.
     pub segments: Vec<usize>,
+    /// The lane-block width (in 64-lane words) the differential engine
+    /// will pack faults into, resolved by
+    /// [`CampaignConfig::resolved_block_words`] from the total fault
+    /// count; `None` when the resolved engine is not differential.  Purely
+    /// informational: the width never changes any result bit.
+    pub block_words: Option<usize>,
 }
 
 /// What every observer sees at a segment boundary, identical across
@@ -275,6 +281,10 @@ pub struct CampaignOutcome {
     /// Number of patterns actually applied: the budget, or the segment
     /// boundary at which every observer had voted to stop.
     pub patterns_applied: usize,
+    /// Number of stimulus cycles actually *generated*: the campaign
+    /// generates patterns lazily per segment, so an early-stopped run
+    /// never materialises stimulus past the boundary after the stop.
+    pub stimulus_generated: usize,
     /// The `2^{-r}` aliasing probability of the netlist's compactor.
     pub aliasing_probability: f64,
     /// One outcome per declared section, in declaration order.
@@ -443,6 +453,12 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 })
                 .collect(),
             segments: segment_schedule(config.max_patterns),
+            block_words: match engine {
+                SimEngine::Differential | SimEngine::Threaded => {
+                    Some(config.resolved_block_words(total_faults))
+                }
+                _ => None,
+            },
         };
         for observer in observers.iter_mut() {
             observer.on_begin(&plan);
@@ -493,19 +509,45 @@ impl<'n, 'o> Campaign<'n, 'o> {
         // The single pass: un-dropped with signatures when any observer
         // asked for them (its first-detect indices are bit-for-bit the
         // coverage detection patterns, so the segment stream — and any
-        // stop decision — is identical), drop-on-detect otherwise.
-        let (detection_pattern, patterns_applied, dictionary) = if needs_signatures {
-            let dictionary =
-                build_dictionary_streaming(netlist, &all_faults, &config, &mut on_segment);
-            let detection: Vec<Option<usize>> =
-                dictionary.entries.iter().map(|e| e.first_detect).collect();
-            let patterns_applied = dictionary.patterns_applied;
-            (detection, patterns_applied, Some(Arc::new(dictionary)))
-        } else {
-            let (detection, patterns_applied) =
-                detect_streaming(netlist, &all_faults, &config, stimulation, &mut on_segment);
-            (detection, patterns_applied, None)
-        };
+        // stop decision — is identical), drop-on-detect otherwise.  The
+        // good-trace cache outlives the pass so future multi-pass layouts
+        // (and the differential pass's per-segment recordings) share one
+        // recording of the fault-free machine.
+        let mut good_cache = crate::differential::GoodTraceCache::new();
+        let (detection_pattern, patterns_applied, stimulus_generated, dictionary) =
+            if needs_signatures {
+                let (dictionary, stimulus_generated) = build_dictionary_streaming(
+                    netlist,
+                    &all_faults,
+                    &config,
+                    &mut good_cache,
+                    &mut on_segment,
+                );
+                let detection: Vec<Option<usize>> =
+                    dictionary.entries.iter().map(|e| e.first_detect).collect();
+                let patterns_applied = dictionary.patterns_applied;
+                (
+                    detection,
+                    patterns_applied,
+                    stimulus_generated,
+                    Some(Arc::new(dictionary)),
+                )
+            } else {
+                let outcome = detect_streaming(
+                    netlist,
+                    &all_faults,
+                    &config,
+                    stimulation,
+                    &mut good_cache,
+                    &mut on_segment,
+                );
+                (
+                    outcome.detection_pattern,
+                    outcome.patterns_applied,
+                    outcome.stimulus_generated,
+                    None,
+                )
+            };
 
         // Split the concatenated results back into the declared sections
         // (the common single-section case shares the one dictionary `Arc`
@@ -537,6 +579,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             engine,
             max_patterns: config.max_patterns,
             patterns_applied,
+            stimulus_generated,
             aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
             sections: outcome_sections,
         };

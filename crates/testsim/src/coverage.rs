@@ -68,7 +68,17 @@ impl SimEngine {
     /// The gate count from which [`SimEngine::Auto`] selects the
     /// differential engine (below it, the packed engine wins on the
     /// benchmark suite).
-    pub const AUTO_DIFFERENTIAL_GATES: usize = 90;
+    ///
+    /// Re-calibrated against the event-driven engine on the full suite at
+    /// 512 patterns (`BENCH_fault_sim_v2.json`): machines up to ~174
+    /// gates (`sand`, `styr` and below) still run at or slightly below
+    /// packed parity single-threaded — the per-cycle worklist and
+    /// divergence bookkeeping has to amortise over enough quiescent logic
+    /// — while `planet` (249 gates) and `scf` (622) win outright.  200
+    /// splits the measured suite cleanly; multi-core hosts shift the
+    /// crossover lower still, but those callers pick
+    /// [`SimEngine::Threaded`] explicitly.
+    pub const AUTO_DIFFERENTIAL_GATES: usize = 200;
 
     /// Resolves [`SimEngine::Auto`] against a concrete netlist; every other
     /// engine resolves to itself.
@@ -138,6 +148,18 @@ pub struct CampaignConfig {
     /// Worker count of the [`SimEngine::Threaded`] engine; `None` uses
     /// [`std::thread::available_parallelism`].
     pub threads: Option<usize>,
+    /// Event-driven worklist scheduling of the differential engine; `false`
+    /// falls back to the v1 full-cone sweep.  Bit-for-bit identical either
+    /// way — a diagnostic/bench knob, not a semantic one.
+    pub differential_events: bool,
+    /// Per-word divergence widening of the differential engine; `false`
+    /// reproduces the v1 per-block decision.  Bit-for-bit identical either
+    /// way — a diagnostic/bench knob, not a semantic one.
+    pub per_word_widening: bool,
+    /// Lane-block word count of the differential engine (1, 4 or 8);
+    /// `None` picks automatically from the fault-list size.  Any value is
+    /// bit-for-bit identical — block packing never changes results.
+    pub block_words: Option<usize>,
 }
 
 impl Default for CampaignConfig {
@@ -149,6 +171,9 @@ impl Default for CampaignConfig {
             stimulation: None,
             engine: SimEngine::default(),
             threads: None,
+            differential_events: true,
+            per_word_widening: true,
+            block_words: None,
         }
     }
 }
@@ -174,6 +199,45 @@ impl CampaignConfig {
         self.stimulation
             .unwrap_or_else(|| StateStimulation::for_structure(netlist.structure()))
     }
+
+    /// The lane-block word count a differential campaign over `num_faults`
+    /// faults resolves to: the explicit [`CampaignConfig::block_words`]
+    /// override snapped to a supported width (1, 4 or 8), else the
+    /// narrowest block that still packs the whole list into one block —
+    /// a short fault list gains nothing from wide blocks but would pay
+    /// their larger cone unions.
+    pub fn resolved_block_words(&self, num_faults: usize) -> usize {
+        match self.block_words {
+            Some(w) if w <= 1 => 1,
+            Some(w) if w <= 4 => 4,
+            Some(_) => 8,
+            // 63 / 255 fault lanes at W = 1 / 4 (lane 0 is the reference).
+            None if num_faults <= FAULT_LANES => 1,
+            None if num_faults < 4 * 64 => 4,
+            None => 8,
+        }
+    }
+
+    /// The resolved differential-engine tuning of one campaign, bundled so
+    /// the coverage, dictionary and diagnosis passes dispatch identically.
+    pub(crate) fn diff_tuning(&self, num_faults: usize) -> DiffTuning {
+        DiffTuning {
+            events: self.differential_events,
+            per_word: self.per_word_widening,
+            words: self.resolved_block_words(num_faults),
+        }
+    }
+}
+
+/// The resolved differential-engine tuning knobs of a campaign: event-driven
+/// scheduling, per-word widening and the lane-block word count.  Every
+/// combination is bit-for-bit identical; the bundle only chooses how much
+/// work the engine skips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DiffTuning {
+    pub(crate) events: bool,
+    pub(crate) per_word: bool,
+    pub(crate) words: usize,
 }
 
 /// Configuration of a self-test campaign: the shared [`CampaignConfig`]
@@ -217,7 +281,8 @@ impl Default for SelfTestConfig {
 
 impl SelfTestConfig {
     /// The shared simulation knobs of this configuration (everything except
-    /// the stuck-at enumeration fields).
+    /// the stuck-at enumeration fields); the differential tuning knobs the
+    /// compatibility shell does not carry take their defaults.
     pub fn campaign(&self) -> CampaignConfig {
         CampaignConfig {
             max_patterns: self.max_patterns,
@@ -226,6 +291,7 @@ impl SelfTestConfig {
             stimulation: self.stimulation,
             engine: self.engine,
             threads: self.threads,
+            ..CampaignConfig::default()
         }
     }
 
@@ -251,6 +317,7 @@ impl From<SelfTestConfig> for CampaignConfig {
             stimulation: config.stimulation,
             engine: config.engine,
             threads: config.threads,
+            ..Self::default()
         }
     }
 }
@@ -447,6 +514,13 @@ pub(crate) struct SegmentReport<'a> {
 /// between calls; segments are always requested in schedule order.
 pub(crate) trait SegmentRunner {
     fn run_segment(&mut self, from: usize, to: usize, detections: &mut Vec<(usize, usize)>);
+
+    /// Stimulus cycles this runner actually generated — early-stop
+    /// accounting for [`DetectOutcome::stimulus_generated`].  The
+    /// degenerate runner generates none.
+    fn stimulus_cycles(&self) -> usize {
+        0
+    }
 }
 
 /// Advances a runner through the segment schedule, reporting every
@@ -482,11 +556,28 @@ fn drive_segments(
     (detection_pattern, boundaries.last().copied().unwrap_or(0))
 }
 
+/// What [`detect_streaming`] reports back to the campaign layer.
+pub(crate) struct DetectOutcome {
+    /// For every fault: the cycle of its first detection, if any.
+    pub(crate) detection_pattern: Vec<Option<usize>>,
+    /// Patterns applied (the stop boundary of an early-stopped campaign).
+    pub(crate) patterns_applied: usize,
+    /// Stimulus cycles actually generated — with the lazy per-segment
+    /// stimulus this equals the stop boundary, never the full budget.
+    pub(crate) stimulus_generated: usize,
+}
+
 /// The engine room of every coverage campaign: dispatches an explicit
 /// fault list to the configured (resolved) simulation engine, streaming
 /// one [`SegmentReport`] per schedule boundary to `on_segment` — whose
 /// `false` return ends the campaign at that boundary.  Returns the
-/// per-fault first-detection cycles and the patterns actually applied.
+/// per-fault first-detection cycles, the patterns actually applied and the
+/// stimulus cycles actually generated.
+///
+/// The differential engines record the fault-free machine through
+/// `good_cache`, so a later pass over the same netlist and stimulus (e.g.
+/// the dictionary build of a multi-observer campaign) reuses the good
+/// trace of a segment instead of re-simulating it.
 ///
 /// Empty fault lists and zero-pattern campaigns are total: no stimulus is
 /// generated, the (empty) boundary reports still stream.
@@ -495,39 +586,61 @@ pub(crate) fn detect_streaming(
     faults: &[Injection],
     config: &CampaignConfig,
     stimulation: StateStimulation,
+    good_cache: &mut crate::differential::GoodTraceCache,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
-) -> (Vec<Option<usize>>, usize) {
+) -> DetectOutcome {
     let boundaries = segment_schedule(config.max_patterns);
     if faults.is_empty() || config.max_patterns == 0 {
         // Nothing to simulate; still walk the schedule so streaming
         // observers see the same boundaries they would on any campaign.
         let mut noop = NoopSegments;
-        return drive_segments(faults.len(), &boundaries, &mut noop, on_segment);
+        let (detection_pattern, patterns_applied) =
+            drive_segments(faults.len(), &boundaries, &mut noop, on_segment);
+        return DetectOutcome {
+            detection_pattern,
+            patterns_applied,
+            stimulus_generated: 0,
+        };
     }
     let stimulus = generate_stimulus(netlist, config);
+    fn drive<R: SegmentRunner>(
+        num_faults: usize,
+        boundaries: &[usize],
+        mut runner: R,
+        on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
+    ) -> DetectOutcome {
+        let (detection_pattern, patterns_applied) =
+            drive_segments(num_faults, boundaries, &mut runner, on_segment);
+        DetectOutcome {
+            detection_pattern,
+            patterns_applied,
+            stimulus_generated: runner.stimulus_cycles(),
+        }
+    }
     match config.engine.resolve(netlist) {
         SimEngine::Scalar => {
-            let mut runner = ScalarSegments::new(netlist, faults, &stimulus, stimulation);
-            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+            let runner = ScalarSegments::new(netlist, faults, stimulus, stimulation);
+            drive(faults.len(), &boundaries, runner, on_segment)
         }
         SimEngine::Packed => {
-            let mut runner = PackedSegments::new(netlist, faults, &stimulus, stimulation);
-            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+            let runner = PackedSegments::new(netlist, faults, stimulus, stimulation);
+            drive(faults.len(), &boundaries, runner, on_segment)
         }
-        SimEngine::Differential => {
-            let mut runner =
-                crate::differential::DiffSegments::new(netlist, faults, &stimulus, stimulation, 1);
-            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
-        }
-        SimEngine::Threaded => {
-            let mut runner = crate::differential::DiffSegments::new(
+        engine @ (SimEngine::Differential | SimEngine::Threaded) => {
+            let threads = match engine {
+                SimEngine::Threaded => config.effective_threads(),
+                _ => 1,
+            };
+            let runner = crate::differential::DiffSegments::new(
                 netlist,
                 faults,
-                &stimulus,
+                stimulus,
                 stimulation,
-                config.effective_threads(),
+                threads,
+                config.diff_tuning(faults.len()),
+                good_cache,
             );
-            drive_segments(faults.len(), &boundaries, &mut runner, on_segment)
+            drive(faults.len(), &boundaries, runner, on_segment)
         }
         SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
     }
@@ -587,32 +700,31 @@ pub(crate) fn assemble_coverage(
     }
 }
 
-/// Pre-generates the campaign stimulus so the fault-free and every faulty
-/// machine (on every engine and every thread) see exactly the same
-/// sequence.  Flat row-major buffers: the campaign makes no further
-/// allocations per cycle.
+/// Builds the campaign stimulus: the pattern sources are seeded exactly as
+/// before, but no rows are generated yet — every runner extends the buffers
+/// per campaign segment with [`Stimulus::ensure`], so an early-stopped
+/// campaign never generates (or allocates) patterns past its stop boundary.
+/// The generated prefix is a pure function of (netlist, config): the
+/// fault-free and every faulty machine, on every engine and every thread,
+/// see exactly the same sequence.
 pub(crate) fn generate_stimulus(netlist: &Netlist, config: &CampaignConfig) -> Stimulus {
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let mut pi_source: Box<dyn PatternSource> = match &config.input_weights {
+    let pi_source: Box<dyn PatternSource + Send + Sync> = match &config.input_weights {
         Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
         None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
     };
-    let mut state_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
-    let mut stimulus = Stimulus {
+    let st_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
+    Stimulus {
         cycles: config.max_patterns,
         pi_width: num_inputs,
         st_width: num_state.max(1),
-        pi: vec![false; config.max_patterns * num_inputs],
-        st: vec![false; config.max_patterns * num_state.max(1)],
-    };
-    for cycle in 0..config.max_patterns {
-        if num_inputs > 0 {
-            pi_source.fill(stimulus.pi_mut(cycle));
-        }
-        state_source.fill(stimulus.st_mut(cycle));
+        pi: Vec::new(),
+        st: Vec::new(),
+        generated: 0,
+        pi_source,
+        st_source,
     }
-    stimulus
 }
 
 /// The signature-aliasing (fault-masking) probability `2^{-r}` of an
@@ -634,7 +746,7 @@ pub fn misr_aliasing_probability(r: usize) -> f64 {
 /// detection pattern) are exactly those of the unsegmented scalar sweep.
 struct ScalarSegments<'a> {
     netlist: &'a Netlist,
-    stimulus: &'a Stimulus,
+    stimulus: Stimulus,
     stimulation: StateStimulation,
     /// The fault-free machine's register state at the segment start.
     reference_state: Vec<bool>,
@@ -645,10 +757,12 @@ impl<'a> ScalarSegments<'a> {
     fn new(
         netlist: &'a Netlist,
         faults: &[Injection],
-        stimulus: &'a Stimulus,
+        mut stimulus: Stimulus,
         stimulation: StateStimulation,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
+        // Scan initialisation needs the first random state up front.
+        stimulus.ensure(1);
         let init_state = stimulus.st(0)[..num_state].to_vec();
         Self {
             netlist,
@@ -665,6 +779,7 @@ impl SegmentRunner for ScalarSegments<'_> {
         if self.alive.is_empty() {
             return;
         }
+        self.stimulus.ensure(to);
         let num_state = self.netlist.flip_flops().len();
         // Fault-free reference observations of this segment.
         let mut good = Simulator::new(self.netlist);
@@ -712,6 +827,10 @@ impl SegmentRunner for ScalarSegments<'_> {
             }
         }
         self.alive = survivors;
+    }
+
+    fn stimulus_cycles(&self) -> usize {
+        self.stimulus.generated_cycles()
     }
 }
 
@@ -930,8 +1049,9 @@ impl TableTail {
 
 /// Packed engine as a segment runner: faults are simulated in chunks of up
 /// to [`FAULT_LANES`] per machine word, with the fault-free reference in
-/// lane 0 of every chunk.  The stimulus is packed into broadcast words
-/// once, up front.
+/// lane 0 of every chunk.  The stimulus is generated and packed into
+/// broadcast words one segment at a time, so an early-stopped campaign
+/// allocates neither patterns nor broadcast words past its stop boundary.
 ///
 /// Most faults are caught within a few dozen patterns, which would leave
 /// later cycles of a chunk running for just one or two stubborn lanes.  The
@@ -940,13 +1060,17 @@ impl TableTail {
 /// state across the boundary — the per-fault trajectories (and hence the
 /// detection pattern) are exactly those of the scalar engine.  Once the
 /// survivors of a small machine fit one chunk, the runner switches to the
-/// compiled [`TableTail`] for the remaining segments.
+/// compiled [`TableTail`] for the remaining segments (and drops the
+/// broadcast buffers — the tail indexes the boolean rows directly).
 struct PackedSegments<'a> {
     netlist: &'a Netlist,
-    stimulus: &'a Stimulus,
+    stimulus: Stimulus,
     stimulation: StateStimulation,
+    /// Broadcast words of the generated rows, cycle-major; extended per
+    /// segment, covering cycles `0..packed_cycles`.
     pi_words: Vec<u64>,
     st_words: Vec<u64>,
+    packed_cycles: usize,
     reference_state: Vec<bool>,
     alive: Vec<AliveFault>,
     table: Option<TableTail>,
@@ -956,23 +1080,21 @@ impl<'a> PackedSegments<'a> {
     fn new(
         netlist: &'a Netlist,
         faults: &[Injection],
-        stimulus: &'a Stimulus,
+        mut stimulus: Stimulus,
         stimulation: StateStimulation,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
-        // Pre-pack the stimulus: every machine sees the same inputs, so
-        // each bit becomes one broadcast word, stored flat (cycle-major).
-        let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
-        let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
         // Scan initialisation: every machine starts from the first random
         // state (the generated rows are at least as wide as the register).
+        stimulus.ensure(1);
         let init_state = stimulus.st(0)[..num_state].to_vec();
         Self {
             netlist,
             stimulus,
             stimulation,
-            pi_words,
-            st_words,
+            pi_words: Vec::new(),
+            st_words: Vec::new(),
+            packed_cycles: 0,
             reference_state: init_state.clone(),
             alive: initial_alive(faults, &init_state),
             table: None,
@@ -1003,12 +1125,26 @@ impl SegmentRunner for PackedSegments<'_> {
                     &self.reference_state,
                 ));
                 self.alive = Vec::new();
+                // The tail reads the boolean rows directly; the packed
+                // broadcast buffers are dead weight from here on.
+                self.pi_words = Vec::new();
+                self.st_words = Vec::new();
             }
         }
+        self.stimulus.ensure(to);
         if let Some(table) = &mut self.table {
-            table.run(self.stimulus, self.stimulation, from, to, detections);
+            table.run(&self.stimulus, self.stimulation, from, to, detections);
             return;
         }
+        // Extend the broadcast words over this segment's rows: every
+        // machine sees the same inputs, so each bit is one broadcast word.
+        for cycle in self.packed_cycles..to {
+            self.pi_words
+                .extend(self.stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
+            self.st_words
+                .extend(self.stimulus.st(cycle).iter().map(|&b| broadcast(b)));
+        }
+        self.packed_cycles = self.packed_cycles.max(to);
 
         let num_inputs = self.netlist.primary_inputs().len();
         let num_state = self.netlist.flip_flops().len();
@@ -1079,35 +1215,75 @@ impl SegmentRunner for PackedSegments<'_> {
         }
         self.alive = survivors;
     }
+
+    fn stimulus_cycles(&self) -> usize {
+        self.stimulus.generated_cycles()
+    }
 }
 
-/// The pre-generated campaign stimulus in flat row-major buffers: cycle `c`
-/// occupies `pi[c * pi_width ..]` and `st[c * st_width ..]`.
+/// The campaign stimulus in flat row-major buffers: cycle `c` occupies
+/// `pi[c * pi_width ..]` and `st[c * st_width ..]`.  Rows are generated
+/// lazily, one campaign segment at a time: [`Stimulus::ensure`] extends the
+/// generated prefix, and readers may only index below it.  Laziness is
+/// invisible to the simulation — the sources draw the exact sequence the
+/// old eager generator drew, only on demand.
 pub(crate) struct Stimulus {
+    /// The campaign budget (`max_patterns`); `ensure` never generates past
+    /// this.
     pub(crate) cycles: usize,
     pub(crate) pi_width: usize,
     /// Width of the generated state rows (`num_state.max(1)`, mirroring the
     /// state pattern source).
     pub(crate) st_width: usize,
-    pub(crate) pi: Vec<bool>,
-    pub(crate) st: Vec<bool>,
+    pi: Vec<bool>,
+    st: Vec<bool>,
+    /// Cycles generated so far: `pi`/`st` hold rows `0..generated`.
+    generated: usize,
+    pi_source: Box<dyn PatternSource + Send + Sync>,
+    st_source: RandomPatterns,
 }
 
 impl Stimulus {
+    /// Extends the generated prefix to `to` cycles (clamped to the
+    /// campaign budget); a no-op when the rows already exist.
+    pub(crate) fn ensure(&mut self, to: usize) {
+        let to = to.min(self.cycles);
+        if to <= self.generated {
+            return;
+        }
+        self.pi.resize(to * self.pi_width, false);
+        self.st.resize(to * self.st_width, false);
+        for cycle in self.generated..to {
+            if self.pi_width > 0 {
+                self.pi_source
+                    .fill(&mut self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]);
+            }
+            self.st_source
+                .fill(&mut self.st[cycle * self.st_width..(cycle + 1) * self.st_width]);
+        }
+        self.generated = to;
+    }
+
+    /// Cycles generated so far — the early-stop accounting the campaign
+    /// reports as `stimulus_generated`.
+    pub(crate) fn generated_cycles(&self) -> usize {
+        self.generated
+    }
+
     pub(crate) fn pi(&self, cycle: usize) -> &[bool] {
+        debug_assert!(
+            cycle < self.generated,
+            "stimulus cycle {cycle} not generated"
+        );
         &self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
     }
 
-    fn pi_mut(&mut self, cycle: usize) -> &mut [bool] {
-        &mut self.pi[cycle * self.pi_width..(cycle + 1) * self.pi_width]
-    }
-
     pub(crate) fn st(&self, cycle: usize) -> &[bool] {
+        debug_assert!(
+            cycle < self.generated,
+            "stimulus cycle {cycle} not generated"
+        );
         &self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
-    }
-
-    fn st_mut(&mut self, cycle: usize) -> &mut [bool] {
-        &mut self.st[cycle * self.st_width..(cycle + 1) * self.st_width]
     }
 }
 

@@ -31,19 +31,22 @@
 //! signatures match the observed response.
 //!
 //! [`CampaignConfig::engine`] selects how the faulty machines are advanced:
-//! `Differential` and `Threaded` compact signatures on the cone-restricted
-//! differential block engine of [`crate::differential`] (255 fault lanes
-//! per 4-word block, only the perturbable steps evaluated; `Threaded`
-//! additionally fans the independent blocks out over workers sharing one
-//! good-trace recording), `Scalar` and `Packed` on the classic 64-lane
-//! packed simulator, and `Auto` resolves per machine size first.  All
-//! paths produce identical dictionaries.
+//! `Differential` and `Threaded` compact signatures on the event-driven
+//! cone-restricted differential block engine of [`crate::differential`]
+//! (`64 * W - 1` fault lanes per `W`-word block with `W` picked from the
+//! fault count by [`CampaignConfig::resolved_block_words`], only the
+//! perturbable steps evaluated; `Threaded` additionally fans the
+//! independent blocks out over workers sharing one good-trace recording),
+//! `Scalar` and `Packed` on the classic 64-lane packed simulator, and
+//! `Auto` resolves per machine size first.  All paths produce identical
+//! dictionaries, and all generate stimulus and checkpoint planes lazily —
+//! an early-stopped campaign only pays for the segments it applied.
 
 use crate::coverage::{
-    generate_stimulus, segment_schedule, CampaignConfig, SegmentReport, SelfTestConfig, SimEngine,
-    StateStimulation,
+    generate_stimulus, segment_schedule, CampaignConfig, DiffTuning, SegmentReport, SelfTestConfig,
+    SimEngine, StateStimulation,
 };
-use crate::differential::{DiffSimulator, GoodTrace, BLOCK_FAULT_LANES, BLOCK_WORDS};
+use crate::differential::{DiffSimulator, GoodTraceCache, LaneBlock};
 use crate::faults::Injection;
 use crate::packed::{PackedSimulator, FAULT_LANES};
 use std::collections::HashMap;
@@ -251,10 +254,11 @@ pub(crate) fn build_dictionary_streaming(
     netlist: &Netlist,
     faults: &[Injection],
     config: &CampaignConfig,
+    good_cache: &mut GoodTraceCache,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
-) -> FaultDictionary {
+) -> (FaultDictionary, usize) {
     let stimulation = config.resolved_stimulation(netlist);
-    let stimulus = generate_stimulus(netlist, config);
+    let mut stimulus = generate_stimulus(netlist, config);
 
     let obs_count = netlist.observation_points().len();
     let signature_bits = obs_count.clamp(1, MAX_SIGNATURE_BITS);
@@ -266,7 +270,7 @@ pub(crate) fn build_dictionary_streaming(
         // Degenerate dictionary: nothing compacted, the all-zero reset
         // signature for every machine including the reference.
         let n = checkpoint_count(0);
-        return FaultDictionary::new(
+        let dictionary = FaultDictionary::new(
             signature_bits,
             0,
             vec![0; n],
@@ -282,38 +286,46 @@ pub(crate) fn build_dictionary_streaming(
                 })
                 .collect(),
         );
+        return (dictionary, 0);
     }
 
     let checkpoints = segment_checkpoints(stimulus.cycles);
     let boundaries = segment_schedule(stimulus.cycles);
+    let tuning = config.diff_tuning(faults.len());
     let (entries, reference_signature, reference_segments, patterns_applied) =
         match config.engine.resolve(netlist) {
-            SimEngine::Differential => differential_signatures(
-                netlist,
-                faults,
-                &stimulus,
-                stimulation,
-                &misr,
-                &checkpoints,
-                &boundaries,
-                1,
-                on_segment,
-            ),
-            SimEngine::Threaded => differential_signatures(
-                netlist,
-                faults,
-                &stimulus,
-                stimulation,
-                &misr,
-                &checkpoints,
-                &boundaries,
-                config.effective_threads(),
-                on_segment,
-            ),
+            engine @ (SimEngine::Differential | SimEngine::Threaded) => {
+                let threads = match engine {
+                    SimEngine::Threaded => config.effective_threads(),
+                    _ => 1,
+                };
+                macro_rules! diff_pass {
+                    ($w:literal) => {
+                        differential_signatures::<$w>(
+                            netlist,
+                            faults,
+                            &mut stimulus,
+                            stimulation,
+                            &misr,
+                            &checkpoints,
+                            &boundaries,
+                            threads,
+                            tuning,
+                            good_cache,
+                            on_segment,
+                        )
+                    };
+                }
+                match tuning.words {
+                    1 => diff_pass!(1),
+                    8 => diff_pass!(8),
+                    _ => diff_pass!(4),
+                }
+            }
             SimEngine::Scalar | SimEngine::Packed => packed_signatures(
                 netlist,
                 faults,
-                &stimulus,
+                &mut stimulus,
                 stimulation,
                 &misr,
                 &checkpoints,
@@ -323,14 +335,15 @@ pub(crate) fn build_dictionary_streaming(
             SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
         };
 
-    FaultDictionary::new(
+    let dictionary = FaultDictionary::new(
         signature_bits,
         reference_signature,
         reference_segments,
         checkpoints,
         patterns_applied,
         entries,
-    )
+    );
+    (dictionary, stimulus.generated_cycles())
 }
 
 /// What every signature pass returns: the entries, the fault-free
@@ -361,7 +374,7 @@ fn lane_signature<const W: usize>(planes: &[[u64; W]], lane: usize) -> u64 {
 fn packed_signatures(
     netlist: &Netlist,
     faults: &[Injection],
-    stimulus: &crate::coverage::Stimulus,
+    stimulus: &mut crate::coverage::Stimulus,
     stimulation: StateStimulation,
     misr: &Misr,
     checkpoints: &[usize],
@@ -371,9 +384,13 @@ fn packed_signatures(
     let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
-    let st_words: Vec<u64> = stimulus.st.iter().map(|&b| broadcast(b)).collect();
+    stimulus.ensure(1);
     let init_state = stimulus.st(0)[..num_state].to_vec();
+    // Broadcast words of the generated rows (cycle-major), extended lazily
+    // per segment: an early-stopped pass never allocates the full budget.
+    let mut pi_words: Vec<u64> = Vec::new();
+    let mut st_words: Vec<u64> = Vec::new();
+    let mut packed_cycles = 0usize;
 
     /// The persistent state of one 64-lane chunk.
     struct ChunkState<'a> {
@@ -386,6 +403,8 @@ fn packed_signatures(
         /// snapshot helper shared with the multi-word differential pass).
         planes: Vec<[u64; 1]>,
         folded: Vec<[u64; 1]>,
+        /// Per lane: the checkpoint signatures reached so far, grown one
+        /// checkpoint at a time (never pre-allocated for the full budget).
         segments: Vec<Vec<u64>>,
         /// Flat fault-list index of the chunk's first fault.
         offset: usize,
@@ -412,7 +431,7 @@ fn packed_signatures(
             first_detect: vec![None; chunk.len()],
             planes: vec![[0u64; 1]; signature_bits],
             folded: vec![[0u64; 1]; signature_bits],
-            segments: vec![vec![0u64; checkpoints.len()]; 64],
+            segments: vec![Vec::new(); 64],
             offset,
         });
         offset += chunk.len();
@@ -423,6 +442,12 @@ fn packed_signatures(
     let mut from = 0usize;
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
+        stimulus.ensure(to);
+        for cycle in packed_cycles..to {
+            pi_words.extend(stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
+            st_words.extend(stimulus.st(cycle).iter().map(|&b| broadcast(b)));
+        }
+        packed_cycles = packed_cycles.max(to);
         detections.clear();
         for cs in chunks.iter_mut() {
             for cycle in from..to {
@@ -450,10 +475,10 @@ fn packed_signatures(
                     cs.folded[bit % signature_bits][0] ^= cs.sim.net_word(net as usize);
                 }
                 misr.step_planes(&mut cs.planes, &cs.folded);
-                for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                for &checkpoint in checkpoints {
                     if checkpoint == cycle + 1 {
                         for (lane, seg) in cs.segments.iter_mut().enumerate() {
-                            seg[k] = lane_signature(&cs.planes, lane);
+                            seg.push(lane_signature(&cs.planes, lane));
                         }
                     }
                 }
@@ -475,14 +500,10 @@ fn packed_signatures(
 
     // Early stop: checkpoints beyond the stop hold the stop-time signature
     // (the MISR stops clocking when the test ends).
-    if applied < stimulus.cycles {
-        for cs in chunks.iter_mut() {
-            for (k, &checkpoint) in checkpoints.iter().enumerate() {
-                if checkpoint > applied {
-                    for (lane, seg) in cs.segments.iter_mut().enumerate() {
-                        seg[k] = lane_signature(&cs.planes, lane);
-                    }
-                }
+    for cs in chunks.iter_mut() {
+        for (lane, seg) in cs.segments.iter_mut().enumerate() {
+            while seg.len() < checkpoints.len() {
+                seg.push(lane_signature(&cs.planes, lane));
             }
         }
     }
@@ -510,58 +531,72 @@ fn plane_word(planes: &[bool]) -> u64 {
 }
 
 /// The dictionary pass on the cone-restricted differential block engine:
-/// the good machine's trajectory is recorded once per segment (and shared
-/// read-only by every block and worker of that segment), each 255-fault
+/// the good machine's trajectory is recorded once per segment (shared
+/// read-only by every block and worker of that segment, and reused across
+/// campaign passes through the [`GoodTraceCache`]), each `64 * W - 1`-fault
 /// block evaluates only the steps its faults (or diverged register states)
-/// can perturb, and the MISR bit-planes advance over [`BLOCK_WORDS`]-word
-/// symbols.  Because faulty machines are never dropped, a block stays on
-/// the wide step set while any of its lanes has diverged and re-narrows
-/// when they all reconverge.  Block simulators and bit-planes persist
-/// across segment boundaries, so the signatures equal an unsegmented pass
-/// bit for bit while the campaign can stop at any boundary.
+/// can perturb, and the MISR bit-planes advance over `W`-word symbols.
+/// Because faulty machines are never dropped, a block stays on the wide
+/// step set while any of its lanes has diverged and re-narrows when they
+/// all reconverge.  Block simulators and bit-planes persist across segment
+/// boundaries, so the signatures equal an unsegmented pass bit for bit
+/// while the campaign can stop at any boundary; stimulus rows and
+/// checkpoint planes grow per live segment only.
 ///
 /// `threads > 1` (the [`SimEngine::Threaded`] dictionary pass) fans the
 /// independent signature blocks out over `std::thread::scope` workers;
 /// the merge is in block order, so the dictionary is identical for any
 /// worker count.
 #[allow(clippy::too_many_arguments)]
-fn differential_signatures(
+fn differential_signatures<const W: usize>(
     netlist: &Netlist,
     faults: &[Injection],
-    stimulus: &crate::coverage::Stimulus,
+    stimulus: &mut crate::coverage::Stimulus,
     stimulation: StateStimulation,
     misr: &Misr,
     checkpoints: &[usize],
     boundaries: &[usize],
     threads: usize,
+    tuning: DiffTuning,
+    good_cache: &mut GoodTraceCache,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> SignaturePass {
-    const W: usize = BLOCK_WORDS;
     let signature_bits = misr.width();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+    stimulus.ensure(1);
     let init_state = stimulus.st(0)[..num_state].to_vec();
     let obs = netlist.plan().observation_points();
+    // Broadcast input words of the generated rows, extended lazily per
+    // segment: an early-stopped pass never allocates the full budget.
+    let mut pi_words: Vec<u64> = Vec::new();
+    let mut packed_cycles = 0usize;
 
-    /// The persistent state of one 255-fault signature block.
-    struct BlockState<'a> {
-        sim: DiffSimulator<'a, BLOCK_WORDS>,
-        fault_mask: [u64; BLOCK_WORDS],
-        detected: [u64; BLOCK_WORDS],
+    /// The persistent state of one `64 * W - 1`-fault signature block.
+    struct BlockState<'a, const W: usize> {
+        sim: DiffSimulator<'a, W>,
+        fault_mask: [u64; W],
+        detected: [u64; W],
         first_detect: Vec<Option<usize>>,
-        planes: Vec<[u64; BLOCK_WORDS]>,
-        folded: Vec<[u64; BLOCK_WORDS]>,
+        planes: Vec<[u64; W]>,
+        folded: Vec<[u64; W]>,
+        /// Per lane: the checkpoint signatures reached so far, grown one
+        /// checkpoint at a time (never pre-allocated for the full budget).
         segments: Vec<Vec<u64>>,
         /// Flat fault-list index of the block's first fault.
         offset: usize,
     }
 
-    let chunk_lists: Vec<&[Injection]> = faults.chunks(BLOCK_FAULT_LANES).collect();
-    let mut blocks: Vec<BlockState> = Vec::with_capacity(chunk_lists.len());
+    let chunk_lists: Vec<&[Injection]> = faults.chunks(LaneBlock::<W>::FAULT_LANES).collect();
+    let mut blocks: Vec<BlockState<W>> = Vec::with_capacity(chunk_lists.len());
     let mut offset = 0usize;
     for &chunk in &chunk_lists {
-        let mut sim = DiffSimulator::<W>::with_injections(netlist, chunk);
+        let mut sim = DiffSimulator::<W>::with_injections_tuned(
+            netlist,
+            chunk,
+            tuning.events,
+            tuning.per_word,
+        );
         sim.set_state_broadcast_bits(&init_state);
         let fault_mask = sim.active();
         blocks.push(BlockState {
@@ -571,7 +606,7 @@ fn differential_signatures(
             first_detect: vec![None; chunk.len()],
             planes: vec![[0u64; W]; signature_bits],
             folded: vec![[0u64; W]; signature_bits],
-            segments: vec![vec![0u64; checkpoints.len()]; chunk.len() + 1],
+            segments: vec![Vec::new(); chunk.len() + 1],
             offset,
         });
         offset += chunk.len();
@@ -583,15 +618,20 @@ fn differential_signatures(
     let mut good_state = init_state.clone();
     let mut ref_planes = vec![false; signature_bits];
     let mut ref_folded = vec![false; signature_bits];
-    let mut reference_segments = vec![0u64; checkpoints.len()];
+    let mut reference_segments: Vec<u64> = Vec::new();
 
     let mut detections: Vec<(usize, usize)> = Vec::new();
     let mut from = 0usize;
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
-        // One good-machine recording per segment, shared by every block
-        // and worker.
-        let trace = GoodTrace::record(netlist, stimulus, stimulation, &good_state, from, to);
+        stimulus.ensure(to);
+        for cycle in packed_cycles..to {
+            pi_words.extend(stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
+        }
+        packed_cycles = packed_cycles.max(to);
+        // One good-machine recording per segment, shared by every block,
+        // every worker and (through the cache) every pass of the campaign.
+        let trace = good_cache.get_or_record(netlist, stimulus, stimulation, &good_state, from, to);
         for cycle in from..to {
             let row = trace.row(cycle);
             ref_folded.fill(false);
@@ -599,9 +639,9 @@ fn differential_signatures(
                 ref_folded[bit % signature_bits] ^= (row[net as usize / 64] >> (net % 64)) & 1 == 1;
             }
             misr.step_planes(&mut ref_planes, &ref_folded);
-            for (k, &checkpoint) in checkpoints.iter().enumerate() {
+            for &checkpoint in checkpoints {
                 if checkpoint == cycle + 1 {
-                    reference_segments[k] = plane_word(&ref_planes);
+                    reference_segments.push(plane_word(&ref_planes));
                 }
             }
         }
@@ -642,10 +682,10 @@ fn differential_signatures(
                     bs.folded[bit % signature_bits] = bs.folded[bit % signature_bits].xor(value);
                 }
                 misr.step_planes(&mut bs.planes, &bs.folded);
-                for (k, &checkpoint) in checkpoints.iter().enumerate() {
+                for &checkpoint in checkpoints {
                     if checkpoint == cycle + 1 {
                         for (lane, seg) in bs.segments.iter_mut().enumerate() {
-                            seg[k] = lane_signature(&bs.planes, lane);
+                            seg.push(lane_signature(&bs.planes, lane));
                         }
                     }
                 }
@@ -671,16 +711,16 @@ fn differential_signatures(
     }
 
     // Early stop: checkpoints beyond the stop hold the stop-time signature
-    // (the MISR stops clocking when the test ends).
-    if applied < stimulus.cycles {
-        for (k, &checkpoint) in checkpoints.iter().enumerate() {
-            if checkpoint > applied {
-                reference_segments[k] = plane_word(&ref_planes);
-                for bs in blocks.iter_mut() {
-                    for (lane, seg) in bs.segments.iter_mut().enumerate() {
-                        seg[k] = lane_signature(&bs.planes, lane);
-                    }
-                }
+    // (the MISR stops clocking when the test ends).  Every checkpoint at or
+    // before the stop was pushed during simulation, so the remainder of each
+    // plane is exactly the unfilled tail.
+    while reference_segments.len() < checkpoints.len() {
+        reference_segments.push(plane_word(&ref_planes));
+    }
+    for bs in blocks.iter_mut() {
+        for (lane, seg) in bs.segments.iter_mut().enumerate() {
+            while seg.len() < checkpoints.len() {
+                seg.push(lane_signature(&bs.planes, lane));
             }
         }
     }
@@ -702,6 +742,7 @@ fn differential_signatures(
 mod tests {
     use super::*;
     use crate::coverage::run_injection_campaign;
+    use crate::differential::BLOCK_FAULT_LANES;
     use stfsm_bist::excitation::{build_pla, layout, RegisterTransform};
     use stfsm_bist::netlist::build_netlist;
     use stfsm_bist::BistStructure;
@@ -944,7 +985,8 @@ mod tests {
         let misr = Misr::new(primitive_polynomial(w).unwrap()).unwrap();
 
         // Re-simulate the fault-free machine through the scalar engine.
-        let stimulus = generate_stimulus(&netlist, &config.campaign());
+        let mut stimulus = generate_stimulus(&netlist, &config.campaign());
+        stimulus.ensure(stimulus.cycles);
         let mut sim = crate::sim::Simulator::new(&netlist);
         sim.set_state(&stimulus.st(0)[..netlist.flip_flops().len()]);
         let mut state = Gf2Vec::zero(w).unwrap();

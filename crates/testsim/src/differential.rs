@@ -1,29 +1,45 @@
-//! Cone-restricted differential fault simulation over multi-word lane
-//! blocks.
+//! Event-driven, cone-restricted differential fault simulation over
+//! multi-word lane blocks.
 //!
 //! The 64-way packed engine of [`crate::packed`] still pays for work that
 //! provably cannot matter: it re-simulates the fault-free machine in lane 0
 //! of every chunk, and every lane evaluates the *entire* evaluation plan
 //! even though an injected fault can only perturb the nets in its fanout
 //! cone until its effect reaches a flip-flop.  The differential engine
-//! (the PROOFS-style concurrent/differential technique) removes both costs:
+//! (the PROOFS-style concurrent/differential technique) removes both
+//! costs, and an event-driven scheduler removes most of what remains of
+//! the first:
 //!
 //! * the **good machine is simulated once per pattern** on the scalar
 //!   simulator and its net values are broadcast to every lane block
-//!   (`GoodTrace`); the trace of a campaign segment is recorded once and
+//!   ([`GoodTrace`]); the trace of a campaign segment is recorded once,
 //!   shared read-only by every block *and every worker thread* of that
-//!   segment;
-//! * faults are packed into **multi-word lane blocks**
-//!   ([`LaneBlock`]; the campaign uses [`BLOCK_WORDS`] words = 255 fault
-//!   lanes plus the shared good reference in lane 0), so one sweep advances
-//!   four packed words per step instead of one;
+//!   segment, and cached across campaign passes ([`GoodTraceCache`]) so a
+//!   multi-observer campaign never re-records it;
+//! * within the active step set, a cycle is advanced by an **event-driven
+//!   worklist** instead of a full sweep: per-cycle event sources — primary
+//!   input bits whose broadcast value changed against the previous cycle,
+//!   state registers whose loaded value differs from the block's current
+//!   net value, and the always-dirty patched/injection steps — seed a
+//!   pending-step bitset, which is drained in ascending net id (fanins,
+//!   and bridge aggressors, always precede their consumers) and a step's
+//!   fanout steps are enqueued only when its recomputed words actually
+//!   changed.  Quiescent logic is never touched; the values after every
+//!   cycle are exactly those of the full sweep, by induction over the
+//!   drain order;
+//! * faults are packed into **multi-word lane blocks** ([`LaneBlock`]):
+//!   `64 * W - 1` fault lanes plus the shared good reference in lane 0,
+//!   with the width `W ∈ {1, 4, 8}` resolved from the fault count
+//!   ([`crate::coverage::CampaignConfig::resolved_block_words`]) so one
+//!   sweep advances up to eight packed words per step;
 //! * each block evaluates only the steps in the **union of its active
 //!   faults' fanout cones** (the `narrow` step set, from
-//!   [`stfsm_bist::netlist::EvalPlan::fanout_cone`]) while every lane's register state still
-//!   agrees with the good machine; a per-lane divergence check **widens**
-//!   the block to the step set that additionally covers the register
-//!   fanout cones once a lane's flip-flop state actually splits from the
-//!   reference, and **re-narrows** when all lanes reconverge;
+//!   [`stfsm_bist::netlist::EvalPlan::fanout_cone`]) while every lane's
+//!   register state still agrees with the good machine; divergence is
+//!   tracked **per packing word**, so a single split lane widens only its
+//!   own 64-lane word to the register-fanout step set — the remaining
+//!   words keep evaluating (masked) on the narrow set — and each word
+//!   re-narrows independently when its lanes reconverge;
 //! * detected faults are dropped from the active mask inside a segment,
 //!   detected lanes are clamped back onto the good state so they stop
 //!   forcing wide evaluation, and the narrow cone union is rebuilt
@@ -31,18 +47,22 @@
 //!   been retired.
 //!
 //! The word-parallel compile/eval machinery itself — opcodes, patched
-//! gates, the injection algebra — is *not* duplicated here: it is the
-//! shared `engine::PackedCore<W>` that also powers [`crate::packed`] (the
-//! `W = 1` instance).  This module adds only the cone-restricted step
-//! scheduling and the differential campaign driver.
+//! gates, the injection algebra, change-detecting step evaluation — is
+//! *not* duplicated here: it is the shared `engine::PackedCore<W>` that
+//! also powers [`crate::packed`] (the `W = 1` instance).  This module adds
+//! only the event scheduling, the cone-restricted step sets and the
+//! differential campaign driver.
 //!
 //! The engine is model-agnostic over [`Injection`] — stuck outputs, stuck
 //! pins, delayed transitions (with the one-cycle memory carried per word)
 //! and bridges all keep working — and produces detection patterns
-//! bit-for-bit identical to the scalar and packed engines.
+//! bit-for-bit identical to the scalar and packed engines, for every
+//! combination of the scheduling knobs, block width, thread count and
+//! early-stop boundary.
 
 use crate::coverage::{
-    initial_alive, AliveFault, LaneTables, SegmentRunner, StateStimulation, Stimulus, TableTail,
+    initial_alive, AliveFault, DiffTuning, LaneTables, SegmentRunner, StateStimulation, Stimulus,
+    TableTail,
 };
 use crate::engine::{Op, PackedCore};
 use crate::faults::Injection;
@@ -72,7 +92,10 @@ impl<const W: usize> LaneBlock<W> {
 /// fault lanes plus the shared good reference.
 pub const BLOCK_WORDS: usize = 4;
 
-/// Fault lanes per campaign block.
+/// Fault lanes per default-width campaign block (test convenience; the
+/// campaign resolves the width per fault count, see
+/// [`crate::coverage::CampaignConfig::resolved_block_words`]).
+#[cfg(test)]
 pub(crate) const BLOCK_FAULT_LANES: usize = LaneBlock::<BLOCK_WORDS>::FAULT_LANES;
 
 /// Extracts bit `net` from a bitset row (layout of
@@ -158,17 +181,104 @@ impl GoodTrace {
     }
 }
 
+/// A one-segment-deep cache of the good machine's recorded trace, shared
+/// across the differential passes of one campaign (coverage, dictionary,
+/// diagnosis): whichever pass first reaches a segment records it, any
+/// later pass over the same pinned schedule replays it for free instead of
+/// re-simulating the fault-free machine.
+///
+/// The key is `(from, to, start_state)` — within one campaign the netlist,
+/// stimulation mode and stimulus are fixed and the segment schedule is
+/// pinned, so an equal key implies an identical trace.  One segment of
+/// depth suffices because every pass walks the schedule in order.
+pub(crate) struct GoodTraceCache {
+    entry: Option<CachedTrace>,
+}
+
+struct CachedTrace {
+    from: usize,
+    to: usize,
+    start_state: Vec<bool>,
+    trace: GoodTrace,
+}
+
+impl GoodTraceCache {
+    /// An empty cache (nothing recorded yet).
+    pub(crate) fn new() -> Self {
+        Self { entry: None }
+    }
+
+    /// The good trace of segment `from..to` from `start_state`: replayed
+    /// from the cache when the previous request had the same key, recorded
+    /// on the scalar simulator (and cached) otherwise.
+    pub(crate) fn get_or_record(
+        &mut self,
+        netlist: &Netlist,
+        stimulus: &Stimulus,
+        stimulation: StateStimulation,
+        start_state: &[bool],
+        from: usize,
+        to: usize,
+    ) -> &GoodTrace {
+        let hit = matches!(
+            &self.entry,
+            Some(e) if e.from == from && e.to == to && e.start_state == start_state
+        );
+        if !hit {
+            let trace = GoodTrace::record(netlist, stimulus, stimulation, start_state, from, to);
+            self.entry = Some(CachedTrace {
+                from,
+                to,
+                start_state: start_state.to_vec(),
+                trace,
+            });
+        }
+        &self.entry.as_ref().expect("just recorded").trace
+    }
+}
+
 /// A restricted evaluation schedule: the member bitset over nets, the
 /// member steps in topological order, the frontier (nets read by member
 /// steps but computed outside the set, seeded from the good machine each
 /// cycle), the observable members and the per-flip-flop membership of the
-/// D nets.
+/// D nets — plus the event metadata of the worklist scheduler: the member
+/// flip-flop and patched steps (the per-cycle event sources) and the
+/// `masked` bitset of register-cone-only members whose converged words the
+/// per-word widening pass is allowed to leave stale.
 struct StepSet {
     member: Vec<u64>,
     steps: Vec<u32>,
     frontier: Vec<u32>,
     obs: Vec<u32>,
     ff_d_in: Vec<bool>,
+    /// Member flip-flop steps as `(q_net, ff_index)`: re-evaluated when
+    /// their state row no longer matches the stored Q value (the
+    /// state-register-load event source).
+    ff_steps: Vec<(u32, u32)>,
+    /// Member steps carrying an injected fault: always dirty (their raw
+    /// value feeds the one-cycle transition memory, and bridges read
+    /// aggressors outside the fan-in list), the fault-site event source.
+    patched: Vec<u32>,
+    /// Members that neither belong to the narrow (fault-cone) union nor
+    /// transitively feed it — pure register-cone interior.  On words whose
+    /// lanes all agree with the good machine these provably carry the
+    /// broadcast good value, so per-word widening masks their change
+    /// detection to the diverged words and substitutes the good value at
+    /// every read.  Empty (all-zero) for the narrow set.
+    masked: Vec<u64>,
+}
+
+/// What the last combinational evaluation covered — the validity state the
+/// event scheduler keys its full-sweep fallback on.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LastEval {
+    /// Nothing valid (fresh block or rebuilt step sets): full sweep.
+    Stale,
+    /// The narrow set was evaluated; wide-only values are stale.
+    Narrow,
+    /// The wide set was evaluated; wide-only values are valid on the words
+    /// of `valid_div`.
+    Wide,
 }
 
 /// A `W`-word differential lane-block simulator for one [`Netlist`]: the
@@ -184,40 +294,86 @@ pub(crate) struct DiffSimulator<'a, const W: usize> {
     wide: StepSet,
     /// Active-fault count the narrow cone union was last built for.
     narrow_basis: usize,
+    /// Event-driven worklist scheduling; `false` falls back to the v1
+    /// full-cone sweep (every member step, every cycle).
+    events: bool,
+    /// Per-word divergence widening; `false` reproduces the v1 per-block
+    /// decision (one diverged lane drags all `W` words wide).
+    per_word: bool,
+    /// Per-word divergence masks of the last [`DiffSimulator::needs_wide`]
+    /// check: all-ones on words with at least one diverged lane.
+    div: [u64; W],
+    /// Words whose `masked` (register-cone-only) values are currently
+    /// valid; a divergence mask escaping this set forces a full wide sweep.
+    valid_div: [u64; W],
+    /// What the last evaluation covered (drives the full-sweep fallback).
+    last_eval: LastEval,
+    /// Pending-step bitset of the worklist, drained in ascending net id —
+    /// a refinement of the topological level order (every consumer sits at
+    /// a deeper level *and* a higher id, and bridge aggressors precede
+    /// their victims in id order, which plain level buckets cannot
+    /// guarantee).
+    pending: Vec<u64>,
 }
 
 impl<'a, const W: usize> DiffSimulator<'a, W> {
-    /// Compiles a block with `injections[i]` on lane `i + 1`.
+    /// Compiles a block with `injections[i]` on lane `i + 1`, with
+    /// event-driven scheduling and per-word widening enabled.
     ///
     /// # Panics
     ///
     /// Panics if more than [`LaneBlock::FAULT_LANES`] injections are given
     /// or a bridge aggressor does not precede its victim.
+    #[cfg(test)]
     pub(crate) fn with_injections(netlist: &'a Netlist, injections: &[Injection]) -> Self {
+        Self::with_injections_tuned(netlist, injections, true, true)
+    }
+
+    /// Compiles a block with `injections[i]` on lane `i + 1`, with explicit
+    /// scheduling knobs: `events` selects the worklist scheduler vs the v1
+    /// full-cone sweep, `per_word` the per-word vs per-block widening
+    /// decision.  Every combination is bit-for-bit identical; the knobs
+    /// exist for the benches that quantify each mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LaneBlock::FAULT_LANES`] injections are given
+    /// or a bridge aggressor does not precede its victim.
+    pub(crate) fn with_injections_tuned(
+        netlist: &'a Netlist,
+        injections: &[Injection],
+        events: bool,
+        per_word: bool,
+    ) -> Self {
         let core = PackedCore::compile(netlist, injections);
         let mut active = [0u64; W];
         for i in 0..injections.len() {
             let lane = i + 1;
             active[lane / 64] |= 1u64 << (lane % 64);
         }
+        let empty = || StepSet {
+            member: Vec::new(),
+            steps: Vec::new(),
+            frontier: Vec::new(),
+            obs: Vec::new(),
+            ff_d_in: Vec::new(),
+            ff_steps: Vec::new(),
+            patched: Vec::new(),
+            masked: Vec::new(),
+        };
+        let stride = netlist.plan().cone_stride();
         let mut sim = Self {
             core,
             active,
-            narrow: StepSet {
-                member: Vec::new(),
-                steps: Vec::new(),
-                frontier: Vec::new(),
-                obs: Vec::new(),
-                ff_d_in: Vec::new(),
-            },
-            wide: StepSet {
-                member: Vec::new(),
-                steps: Vec::new(),
-                frontier: Vec::new(),
-                obs: Vec::new(),
-                ff_d_in: Vec::new(),
-            },
+            narrow: empty(),
+            wide: empty(),
             narrow_basis: 0,
+            events,
+            per_word,
+            div: [0u64; W],
+            valid_div: [0u64; W],
+            last_eval: LastEval::Stale,
+            pending: vec![0u64; stride],
         };
         sim.rebuild_sets();
         sim
@@ -262,15 +418,21 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                 *dst |= src;
             }
         }
-        self.narrow = self.make_set(narrow_bits);
-        self.wide = self.make_set(wide_bits);
+        self.narrow = self.make_set(narrow_bits, None);
+        let narrow_member = self.narrow.member.clone();
+        self.wide = self.make_set(wide_bits, Some(&narrow_member));
         self.narrow_basis = self.active_count();
+        // New sets mean no stored value can be trusted incrementally: the
+        // next evaluation sweeps its full step set.
+        self.last_eval = LastEval::Stale;
     }
 
-    fn make_set(&self, member: Vec<u64>) -> StepSet {
+    fn make_set(&self, member: Vec<u64>, narrow_member: Option<&[u64]>) -> StepSet {
         let plan = self.core.netlist.plan();
         let num_nets = self.core.code.len();
         let mut steps = Vec::new();
+        let mut ff_steps = Vec::new();
+        let mut patched = Vec::new();
         let mut frontier_bits = vec![0u64; member.len()];
         for id in 0..num_nets {
             if !row_bit(&member, id) {
@@ -282,16 +444,21 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                     frontier_bits[f as usize / 64] |= 1u64 << (f % 64);
                 }
             }
-            if self.core.code[id].op == Op::Patched {
-                let gate = &self.core.patched[self.core.code[id].a as usize];
-                for bridge in
-                    &self.core.bridges[gate.bridge_start as usize..gate.bridge_end as usize]
-                {
-                    let agg = bridge.aggressor as usize;
-                    if !row_bit(&member, agg) {
-                        frontier_bits[agg / 64] |= 1u64 << (agg % 64);
+            match self.core.code[id].op {
+                Op::Patched => {
+                    patched.push(id as u32);
+                    let gate = &self.core.patched[self.core.code[id].a as usize];
+                    for bridge in
+                        &self.core.bridges[gate.bridge_start as usize..gate.bridge_end as usize]
+                    {
+                        let agg = bridge.aggressor as usize;
+                        if !row_bit(&member, agg) {
+                            frontier_bits[agg / 64] |= 1u64 << (agg % 64);
+                        }
                     }
                 }
+                Op::Ff => ff_steps.push((id as u32, self.core.code[id].a)),
+                _ => {}
             }
         }
         let mut frontier = Vec::new();
@@ -313,12 +480,48 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
             .iter()
             .map(|&d| row_bit(&member, d as usize))
             .collect();
+        // Register-cone-only members: everything that neither lies in the
+        // narrow (fault-cone) union nor transitively feeds it.  Bridge
+        // aggressors of member victims are read outside the fan-in lists,
+        // so they seed the keep closure alongside the narrow members; the
+        // descending sweep then closes it over the fan-in relation.
+        let masked = match narrow_member {
+            None => vec![0u64; member.len()],
+            Some(narrow) => {
+                let mut keep: Vec<u64> = narrow.iter().zip(&member).map(|(&n, &m)| n & m).collect();
+                for &id in &patched {
+                    let gate = &self.core.patched[self.core.code[id as usize].a as usize];
+                    for bridge in
+                        &self.core.bridges[gate.bridge_start as usize..gate.bridge_end as usize]
+                    {
+                        let agg = bridge.aggressor as usize;
+                        if row_bit(&member, agg) {
+                            keep[agg / 64] |= 1u64 << (agg % 64);
+                        }
+                    }
+                }
+                for id in (0..num_nets).rev() {
+                    if row_bit(&keep, id) {
+                        for &f in plan.step_fanin(id) {
+                            let f = f as usize;
+                            if row_bit(&member, f) {
+                                keep[f / 64] |= 1u64 << (f % 64);
+                            }
+                        }
+                    }
+                }
+                member.iter().zip(&keep).map(|(&m, &k)| m & !k).collect()
+            }
+        };
         StepSet {
             member,
             steps,
             frontier,
             obs,
             ff_d_in,
+            ff_steps,
+            patched,
+            masked,
         }
     }
 
@@ -368,40 +571,157 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         self.core.seed_transition_memory(lane, bit);
     }
 
-    /// Whether the block needs the wide step set this cycle: true iff any
-    /// lane's register state differs from the good machine's state.
-    pub(crate) fn needs_wide(&self, good_pre_state: &[bool]) -> bool {
-        self.core
-            .state
-            .iter()
-            .zip(good_pre_state)
-            .any(|(row, &bit)| {
-                let good = broadcast(bit);
-                row.iter().any(|&w| w != good)
-            })
+    /// The per-cycle divergence check: recomputes the per-word divergence
+    /// masks (all-ones on every word with at least one lane whose register
+    /// state differs from the good machine, collapsed to all words when
+    /// per-word widening is disabled) and returns whether the block needs
+    /// the wide step set this cycle.
+    pub(crate) fn needs_wide(&mut self, good_pre_state: &[bool]) -> bool {
+        let mut div = [0u64; W];
+        for (row, &bit) in self.core.state.iter().zip(good_pre_state) {
+            let good = broadcast(bit);
+            for k in 0..W {
+                div[k] |= row[k] ^ good;
+            }
+        }
+        let mut wide = false;
+        for d in div.iter_mut() {
+            *d = if *d != 0 { u64::MAX } else { 0 };
+            wide |= *d != 0;
+        }
+        if wide && !self.per_word {
+            div = [u64::MAX; W];
+        }
+        self.div = div;
+        wide
     }
 
-    /// Evaluates the selected step set: seeds the frontier nets from the
-    /// good machine's values, then sweeps the member steps on the shared
-    /// core.
+    /// Evaluates the selected step set for this cycle.
+    ///
+    /// With event scheduling enabled this drains the levelized worklist:
+    /// only steps whose inputs changed since the cycle they were last
+    /// evaluated are recomputed (frontier good-value diffs, state-register
+    /// loads and the always-dirty fault sites seed the events).  The full
+    /// member sweep remains as the fallback whenever stored values cannot
+    /// be trusted incrementally: after a set rebuild, on entry into the
+    /// wide set, or when a word newly diverges while wide.
     pub(crate) fn eval_cycle(&mut self, wide: bool, good_row: &[u64], inputs: &[u64]) {
-        let set = if wide { &self.wide } else { &self.narrow };
-        for &n in &set.frontier {
-            self.core.values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
+        let full = !self.events
+            || match self.last_eval {
+                LastEval::Stale => true,
+                LastEval::Narrow => wide,
+                LastEval::Wide => wide && (0..W).any(|k| self.div[k] & !self.valid_div[k] != 0),
+            };
+        if full {
+            let set = if wide { &self.wide } else { &self.narrow };
+            for &n in &set.frontier {
+                self.core.values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
+            }
+            self.core.eval_steps(&set.steps, inputs);
+        } else {
+            self.eval_events(wide, good_row, inputs);
         }
-        self.core.eval_steps(&set.steps, inputs);
+        self.last_eval = if wide {
+            LastEval::Wide
+        } else {
+            LastEval::Narrow
+        };
+        self.valid_div = if wide {
+            if full {
+                [u64::MAX; W]
+            } else {
+                self.div
+            }
+        } else {
+            [0u64; W]
+        };
+    }
+
+    /// One event-driven evaluation: seed change events, then drain the
+    /// pending bitset in ascending net id (a topological order in which
+    /// bridge aggressors also precede their victims).
+    fn eval_events(&mut self, wide: bool, good_row: &[u64], inputs: &[u64]) {
+        let netlist = self.core.netlist;
+        let plan = netlist.plan();
+        let fanin = plan.fanin();
+        let set = if wide { &self.wide } else { &self.narrow };
+        let div = self.div;
+        let pending = &mut self.pending;
+        let mark_consumers = |pending: &mut Vec<u64>, n: usize| {
+            for &t in plan.fanout_steps(n) {
+                if row_bit(&set.member, t as usize) {
+                    pending[t as usize / 64] |= 1u64 << (t % 64);
+                }
+            }
+        };
+        // Event source 1: frontier nets whose broadcast good value changed
+        // since they were last seeded.
+        for &n in &set.frontier {
+            let n = n as usize;
+            let good = [broadcast(row_bit(good_row, n)); W];
+            if self.core.values[n] != good {
+                self.core.values[n] = good;
+                mark_consumers(pending, n);
+            }
+        }
+        // Event source 2: register loads — member flip-flop steps whose
+        // state row no longer matches their stored Q value (covers the
+        // clock edge, the random-state overrides and the segment reseed).
+        for &(q, k) in &set.ff_steps {
+            if self.core.values[q as usize] != self.core.state[k as usize] {
+                pending[q as usize / 64] |= 1u64 << (q % 64);
+            }
+        }
+        // Event source 3: fault sites are always dirty — their raw value
+        // must stay fresh for the transition memories, and their injected
+        // masks and bridge aggressors change the output without any fan-in
+        // event.
+        for &p in &set.patched {
+            pending[p as usize / 64] |= 1u64 << (p % 64);
+        }
+        // Drain in ascending net id; consumers always sit at higher ids, so
+        // a single forward scan never misses a mark.
+        let full_mask = [u64::MAX; W];
+        let mut w = 0;
+        while w < pending.len() {
+            let word = pending[w];
+            if word == 0 {
+                w += 1;
+                continue;
+            }
+            let bit = word.trailing_zeros() as usize;
+            pending[w] &= !(1u64 << bit);
+            let id = w * 64 + bit;
+            let mask = if row_bit(&set.masked, id) {
+                &div
+            } else {
+                &full_mask
+            };
+            if self.core.eval_step_changed(id, fanin, inputs, mask) {
+                mark_consumers(pending, id);
+            }
+        }
     }
 
     /// The lanes whose observation points differ from the good machine
     /// after the last [`DiffSimulator::eval_cycle`] (pass the same `wide`).
+    /// Masked (register-cone-only) observation points contribute only on
+    /// diverged words — their converged words provably carry the good
+    /// value, even when the event scheduler left them stale.
     pub(crate) fn mismatch(&self, wide: bool, good_row: &[u64]) -> [u64; W] {
         let set = if wide { &self.wide } else { &self.narrow };
         let mut acc = [0u64; W];
         for &net in &set.obs {
             let good = broadcast(row_bit(good_row, net as usize));
             let value = &self.core.values[net as usize];
-            for (a, &v) in acc.iter_mut().zip(value.iter()) {
-                *a |= v ^ good;
+            if row_bit(&set.masked, net as usize) {
+                for k in 0..W {
+                    acc[k] |= (value[k] ^ good) & self.div[k];
+                }
+            } else {
+                for (a, &v) in acc.iter_mut().zip(value.iter()) {
+                    *a |= v ^ good;
+                }
             }
         }
         acc
@@ -410,26 +730,41 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// The packed value of `net` after the last evaluation: the computed
     /// lane words if the net was in the evaluated set, the broadcast good
     /// value otherwise (every lane provably agrees with the reference).
+    /// Converged words of masked members substitute the good value for the
+    /// same reason.
     pub(crate) fn net_value(&self, wide: bool, net: usize, good_row: &[u64]) -> [u64; W] {
         let set = if wide { &self.wide } else { &self.narrow };
         if row_bit(&set.member, net) {
-            self.core.values[net]
+            let v = self.core.values[net];
+            if row_bit(&set.masked, net) {
+                let good = broadcast(row_bit(good_row, net));
+                std::array::from_fn(|k| (v[k] & self.div[k]) | (good & !self.div[k]))
+            } else {
+                v
+            }
         } else {
             [broadcast(row_bit(good_row, net)); W]
         }
     }
 
-    /// Clocks the register: member D nets load their computed lane words,
-    /// the rest load the broadcast good value.  Also commits the one-cycle
-    /// transition memories.
+    /// Clocks the register: member D nets load their computed lane words
+    /// (masked members per diverged word), the rest load the broadcast good
+    /// value.  Also commits the one-cycle transition memories.
     pub(crate) fn clock_cycle(&mut self, wide: bool, good_row: &[u64]) {
         let plan = self.core.netlist.plan();
         let set = if wide { &self.wide } else { &self.narrow };
         for (i, &d) in plan.flip_flop_inputs().iter().enumerate() {
+            let d = d as usize;
+            let good = broadcast(row_bit(good_row, d));
             self.core.state[i] = if set.ff_d_in[i] {
-                self.core.values[d as usize]
+                let v = self.core.values[d];
+                if row_bit(&set.masked, d) {
+                    std::array::from_fn(|k| (v[k] & self.div[k]) | (good & !self.div[k]))
+                } else {
+                    v
+                }
             } else {
-                [broadcast(row_bit(good_row, d as usize)); W]
+                [good; W]
             };
         }
         self.core.commit_transitions();
@@ -479,10 +814,10 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
 /// and transition memory), in lane order.
 type BlockResult = (Vec<(usize, usize)>, Vec<AliveFault>);
 
-/// Runs one lane block over cycles `from..to` of a campaign segment
-/// against the shared good trace.
+/// Runs one `W`-word lane block over cycles `from..to` of a campaign
+/// segment against the shared good trace.
 #[allow(clippy::too_many_arguments)]
-fn run_block(
+fn run_block<const W: usize>(
     netlist: &Netlist,
     chunk: &[AliveFault],
     trace: &GoodTrace,
@@ -492,11 +827,17 @@ fn run_block(
     reference_state: &[bool],
     from: usize,
     to: usize,
+    tuning: DiffTuning,
 ) -> BlockResult {
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
     let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
-    let mut sim = DiffSimulator::<BLOCK_WORDS>::with_injections(netlist, &injections);
+    let mut sim = DiffSimulator::<W>::with_injections_tuned(
+        netlist,
+        &injections,
+        tuning.events,
+        tuning.per_word,
+    );
     sim.set_state_lanes(reference_state, chunk);
     for (i, alive_fault) in chunk.iter().enumerate() {
         if let Some(bit) = alive_fault.memory {
@@ -618,36 +959,100 @@ pub(crate) fn sharded_map_mut<T: Send, R: Send>(
 /// interchangeable.
 pub(crate) struct DiffSegments<'a> {
     netlist: &'a Netlist,
-    stimulus: &'a Stimulus,
+    stimulus: Stimulus,
     stimulation: StateStimulation,
+    /// Broadcast input words of the generated rows (cycle-major), extended
+    /// lazily per segment, covering cycles `0..packed_cycles`.
     pi_words: Vec<u64>,
+    packed_cycles: usize,
     threads: usize,
+    /// Resolved engine tuning: worklist scheduling, per-word widening and
+    /// the lane-block word count (dispatched in [`DiffSegments::run_segment`]).
+    tuning: DiffTuning,
+    /// The campaign-wide good-trace cache, shared with any other
+    /// differential pass of the same campaign.
+    cache: &'a mut GoodTraceCache,
     reference_state: Vec<bool>,
     alive: Vec<AliveFault>,
     table: Option<TableTail>,
 }
 
 impl<'a> DiffSegments<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         netlist: &'a Netlist,
         faults: &[Injection],
-        stimulus: &'a Stimulus,
+        mut stimulus: Stimulus,
         stimulation: StateStimulation,
         threads: usize,
+        tuning: DiffTuning,
+        cache: &'a mut GoodTraceCache,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
-        let pi_words: Vec<u64> = stimulus.pi.iter().map(|&b| broadcast(b)).collect();
+        // Scan initialisation needs the first random state up front.
+        stimulus.ensure(1);
         let init_state = stimulus.st(0)[..num_state].to_vec();
         Self {
             netlist,
             stimulus,
             stimulation,
-            pi_words,
+            pi_words: Vec::new(),
+            packed_cycles: 0,
             threads,
+            tuning,
+            cache,
             reference_state: init_state.clone(),
             alive: initial_alive(faults, &init_state),
             table: None,
         }
+    }
+
+    /// The segment body at a concrete lane-block width.
+    fn run_blocks<const W: usize>(
+        &mut self,
+        from: usize,
+        to: usize,
+        detections: &mut Vec<(usize, usize)>,
+    ) {
+        // Field destructuring: the good trace borrows the cache while the
+        // block fan-out reads the other fields.
+        let Self {
+            netlist,
+            stimulus,
+            stimulation,
+            pi_words,
+            threads,
+            tuning,
+            cache,
+            reference_state,
+            alive,
+            ..
+        } = self;
+        // One good-machine recording per segment, shared by every block,
+        // every worker and (through the cache) every pass of the campaign.
+        let trace = cache.get_or_record(netlist, stimulus, *stimulation, reference_state, from, to);
+        let chunks: Vec<&[AliveFault]> = alive.chunks(LaneBlock::<W>::FAULT_LANES).collect();
+        let block_results: Vec<BlockResult> = sharded_map(&chunks, *threads, |chunk| {
+            run_block::<W>(
+                netlist,
+                chunk,
+                trace,
+                stimulus,
+                pi_words,
+                *stimulation,
+                reference_state,
+                from,
+                to,
+                *tuning,
+            )
+        });
+        let mut survivors: Vec<AliveFault> = Vec::new();
+        for (block_detections, block_survivors) in block_results {
+            detections.extend(block_detections);
+            survivors.extend(block_survivors);
+        }
+        *reference_state = trace.end_state().to_vec();
+        *alive = survivors;
     }
 }
 
@@ -675,44 +1080,32 @@ impl SegmentRunner for DiffSegments<'_> {
                     &self.reference_state,
                 ));
                 self.alive = Vec::new();
+                // The tail reads the boolean rows directly; the broadcast
+                // input words are dead weight from here on.
+                self.pi_words = Vec::new();
             }
         }
+        self.stimulus.ensure(to);
         if let Some(table) = &mut self.table {
-            table.run(self.stimulus, self.stimulation, from, to, detections);
+            table.run(&self.stimulus, self.stimulation, from, to, detections);
             return;
         }
-
-        // One good-machine recording per segment, shared by every block and
-        // worker.
-        let trace = GoodTrace::record(
-            self.netlist,
-            self.stimulus,
-            self.stimulation,
-            &self.reference_state,
-            from,
-            to,
-        );
-        let chunks: Vec<&[AliveFault]> = self.alive.chunks(BLOCK_FAULT_LANES).collect();
-        let block_results: Vec<BlockResult> = sharded_map(&chunks, self.threads, |chunk| {
-            run_block(
-                self.netlist,
-                chunk,
-                &trace,
-                self.stimulus,
-                &self.pi_words,
-                self.stimulation,
-                &self.reference_state,
-                from,
-                to,
-            )
-        });
-        let mut survivors: Vec<AliveFault> = Vec::new();
-        for (block_detections, block_survivors) in block_results {
-            detections.extend(block_detections);
-            survivors.extend(block_survivors);
+        // Extend the broadcast input words over this segment's rows.
+        for cycle in self.packed_cycles..to {
+            self.pi_words
+                .extend(self.stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
         }
-        self.reference_state = trace.end_state().to_vec();
-        self.alive = survivors;
+        self.packed_cycles = self.packed_cycles.max(to);
+
+        match self.tuning.words {
+            1 => self.run_blocks::<1>(from, to, detections),
+            8 => self.run_blocks::<8>(from, to, detections),
+            _ => self.run_blocks::<4>(from, to, detections),
+        }
+    }
+
+    fn stimulus_cycles(&self) -> usize {
+        self.stimulus.generated_cycles()
     }
 }
 

@@ -15,7 +15,9 @@
 //!   carrying an injected fault;
 //! * the **evaluator** ([`PackedCore::eval_all`] /
 //!   [`PackedCore::eval_steps`]) sweeping the whole plan or a restricted
-//!   step set;
+//!   step set, plus the change-detecting single-step form
+//!   ([`PackedCore::eval_step_changed`]) the event-driven differential
+//!   scheduler drains its levelized worklist with;
 //! * the branch-free **injection algebra** (stuck outputs/pins, delayed
 //!   transitions with their one-cycle memory, aggressor–victim bridges) in
 //!   [`eval_patched`].
@@ -23,8 +25,12 @@
 //! `PackedSimulator` is literally the `W = 1` instantiation of this core
 //! (one word, 63 fault lanes + the reference in lane 0);
 //! `DiffSimulator<W>` wraps the same core with cone-restricted step sets
-//! and a shared good-machine trace.  There is no second copy of the
-//! step-evaluation logic anywhere in the crate.
+//! and a shared good-machine trace, at `W = 4` or `W = 8` words per block.
+//! The wide-`W` hot loops — the N-ary fan-in folds — accumulate in place
+//! with explicitly unrolled `u64`-quad bodies ([`acc_words`]), so the
+//! `W = 8` instantiation vectorises on stable Rust without nightly
+//! `std::simd`.  There is no second copy of the step-evaluation logic
+//! anywhere in the crate.
 
 use crate::faults::Injection;
 use stfsm_bist::netlist::{Netlist, PlanOp};
@@ -405,6 +411,31 @@ impl<'a, const W: usize> PackedCore<'a, W> {
         self.values[id] = value;
     }
 
+    /// Evaluates one step and reports whether its stored value word
+    /// changed — the primitive the event-driven differential scheduler
+    /// drains its worklist with: a step whose recomputed value equals the
+    /// stored one produces no downstream events.  `mask` limits the
+    /// change comparison (all-ones for full-width detection; the per-word
+    /// widening pass masks out converged words of register-cone-only
+    /// steps).
+    #[inline(always)]
+    pub(crate) fn eval_step_changed(
+        &mut self,
+        id: usize,
+        fanin: &[u32],
+        inputs: &[u64],
+        mask: &[u64; W],
+    ) -> bool {
+        let old = self.values[id];
+        self.eval_one(id, fanin, inputs);
+        let new = self.values[id];
+        let mut diff = 0u64;
+        for k in 0..W {
+            diff |= (old[k] ^ new[k]) & mask[k];
+        }
+        diff != 0
+    }
+
     /// Evaluates the complete plan (every net, in topological order) for
     /// broadcast primary-input words.
     ///
@@ -555,25 +586,49 @@ pub(crate) fn eval_instr<const W: usize>(
             let (x, y) = (values[a as usize], values[b as usize]);
             std::array::from_fn(|k| x[k] ^ y[k])
         }
-        Op::AndN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([u64::MAX; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] & v[k])
-            }),
-        Op::OrN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([0u64; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] | v[k])
-            }),
-        Op::XorN => fanin[a as usize..b as usize]
-            .iter()
-            .fold([0u64; W], |acc, &n| {
-                let v = values[n as usize];
-                std::array::from_fn(|k| acc[k] ^ v[k])
-            }),
+        Op::AndN => {
+            let mut acc = [u64::MAX; W];
+            for &n in &fanin[a as usize..b as usize] {
+                acc_words(&mut acc, &values[n as usize], |x, y| x & y);
+            }
+            acc
+        }
+        Op::OrN => {
+            let mut acc = [0u64; W];
+            for &n in &fanin[a as usize..b as usize] {
+                acc_words(&mut acc, &values[n as usize], |x, y| x | y);
+            }
+            acc
+        }
+        Op::XorN => {
+            let mut acc = [0u64; W];
+            for &n in &fanin[a as usize..b as usize] {
+                acc_words(&mut acc, &values[n as usize], |x, y| x ^ y);
+            }
+            acc
+        }
         Op::Patched => unreachable!("patched gates are dispatched by the core evaluator"),
+    }
+}
+
+/// In-place word-wise accumulation with an explicitly unrolled `u64`-quad
+/// body — the hot loop of the N-ary folds at `W = 4` and `W = 8`.  The
+/// quad body keeps four independent accumulator words in flight per
+/// iteration so the backend can keep them in one 256-bit register (or two
+/// 128-bit ones) without relying on nightly `std::simd`.
+#[inline(always)]
+fn acc_words<const W: usize>(acc: &mut [u64; W], v: &[u64; W], f: impl Fn(u64, u64) -> u64) {
+    let mut k = 0;
+    while k + 4 <= W {
+        acc[k] = f(acc[k], v[k]);
+        acc[k + 1] = f(acc[k + 1], v[k + 1]);
+        acc[k + 2] = f(acc[k + 2], v[k + 2]);
+        acc[k + 3] = f(acc[k + 3], v[k + 3]);
+        k += 4;
+    }
+    while k < W {
+        acc[k] = f(acc[k], v[k]);
+        k += 1;
     }
 }
 
@@ -592,21 +647,30 @@ fn fold_operands<const W: usize>(
         PlanOp::Input(k) => [inputs[k as usize]; W],
         PlanOp::FlipFlop(k) => state[k as usize],
         PlanOp::Const(c) => [broadcast(c); W],
-        PlanOp::And => ops
-            .iter()
-            .enumerate()
-            .fold([u64::MAX; W], |acc, (pin, &n)| {
+        PlanOp::And => {
+            let mut acc = [u64::MAX; W];
+            for (pin, &n) in ops.iter().enumerate() {
                 let v = operand(pin, n);
-                std::array::from_fn(|k| acc[k] & v[k])
-            }),
-        PlanOp::Or => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
-            let v = operand(pin, n);
-            std::array::from_fn(|k| acc[k] | v[k])
-        }),
-        PlanOp::Xor => ops.iter().enumerate().fold([0u64; W], |acc, (pin, &n)| {
-            let v = operand(pin, n);
-            std::array::from_fn(|k| acc[k] ^ v[k])
-        }),
+                acc_words(&mut acc, &v, |x, y| x & y);
+            }
+            acc
+        }
+        PlanOp::Or => {
+            let mut acc = [0u64; W];
+            for (pin, &n) in ops.iter().enumerate() {
+                let v = operand(pin, n);
+                acc_words(&mut acc, &v, |x, y| x | y);
+            }
+            acc
+        }
+        PlanOp::Xor => {
+            let mut acc = [0u64; W];
+            for (pin, &n) in ops.iter().enumerate() {
+                let v = operand(pin, n);
+                acc_words(&mut acc, &v, |x, y| x ^ y);
+            }
+            acc
+        }
         PlanOp::Not => {
             let v = operand(0, ops[0]);
             std::array::from_fn(|k| !v[k])

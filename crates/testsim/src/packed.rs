@@ -13,9 +13,10 @@
 //! Since the unification of the simulation cores, this type is literally
 //! the single-word ([`LaneBlock<1>`](crate::differential::LaneBlock))
 //! instantiation of the shared compile/eval path in `engine` that also
-//! powers the cone-restricted differential lane blocks: the compiled
-//! opcodes, the branch-free injection algebra (stuck outputs/pins, delayed
-//! transitions, bridges) and the step evaluation exist exactly once.  What
+//! powers the event-driven differential lane blocks (at widths up to
+//! `W = 8`): the compiled opcodes, the branch-free injection algebra
+//! (stuck outputs/pins, delayed transitions, bridges) and the
+//! change-detecting step evaluation exist exactly once.  What
 //! remains here is the packed-specific *campaign* surface: broadcast
 //! stimulus, full-plan sweeps, and word-wide mismatch detection against
 //! lane 0 ([`PackedSimulator::mismatch_word`]) — XOR-ing each observation

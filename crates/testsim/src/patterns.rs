@@ -6,6 +6,13 @@
 //! (DFF/PAT/SIG) or by the system behaviour itself (PST).  This module
 //! provides the input sources: unbiased pseudo-random patterns and weighted
 //! random patterns with per-input one-probabilities.
+//!
+//! Sources are deterministic functions of their seed and are `Send + Sync`
+//! (the RNG state is owned), so the campaign layer can box one behind its
+//! `Stimulus` buffer and extend the generated prefix lazily, segment by
+//! segment: drawing `n` cycles in one call or across many
+//! [`PatternSource::fill`] calls yields the identical bit stream, which is
+//! what keeps early-stopped campaigns bit-for-bit aligned with full runs.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -498,6 +498,7 @@ fn config_conversions_roundtrip() {
         stimulation: None,
         engine: SimEngine::Threaded,
         threads: Some(3),
+        ..CampaignConfig::default()
     };
     let selftest: SelfTestConfig = campaign.clone().into();
     assert_eq!(selftest.max_patterns, 123);
