@@ -59,6 +59,7 @@ pub mod experiments;
 mod flow;
 pub mod json;
 pub mod report;
+pub mod sys;
 
 pub use error::{Error, Result};
 pub use flow::{AssignmentMethod, SynthesisFlow, SynthesisResult};

@@ -5,6 +5,7 @@ use crate::json::{JsonObject, RawJson, ToJson};
 use stfsm_bist::BistStructure;
 use stfsm_testsim::coverage::CoverageResult;
 use stfsm_testsim::dictionary::FaultDictionary;
+use stfsm_testsim::telemetry::{CampaignMetrics, CampaignTelemetry, SegmentTelemetry, WorkerSpan};
 
 /// One row of the Table 2 reproduction: the PST/SIG state-assignment quality
 /// compared with random encodings.
@@ -469,6 +470,67 @@ impl ToJson for DictionaryReport {
     }
 }
 
+impl ToJson for CampaignMetrics {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("events_scheduled", self.events_scheduled)
+            .field("events_drained", self.events_drained)
+            .field("steps_skipped", self.steps_skipped)
+            .field("full_sweeps", self.full_sweeps)
+            .field("event_cycles", self.event_cycles)
+            .field("widenings", self.widenings)
+            .field("narrowings", self.narrowings)
+            .field("lane_retirements", self.lane_retirements)
+            .field("compaction_rebuilds", self.compaction_rebuilds)
+            .field("cache_lookups", self.cache_lookups)
+            .field("cache_hits", self.cache_hits)
+            .field("cache_misses", self.cache_misses)
+            .field("stimulus_patterns", self.stimulus_patterns)
+            .field("cycles_simulated", self.cycles_simulated)
+            .field("peak_rss_kb", self.peak_rss_kb)
+            .field("stimulus_ns", self.stimulus_ns)
+            .field("good_trace_ns", self.good_trace_ns)
+            .field("fault_eval_ns", self.fault_eval_ns)
+            .field("dictionary_ns", self.dictionary_ns)
+            .field("observer_ns", self.observer_ns);
+        out.push_str(&obj.finish());
+    }
+}
+
+impl ToJson for WorkerSpan {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("worker", self.worker)
+            .field("start_ns", self.start_ns)
+            .field("end_ns", self.end_ns);
+        out.push_str(&obj.finish());
+    }
+}
+
+impl ToJson for SegmentTelemetry {
+    fn write_json(&self, out: &mut String) {
+        let workers: Vec<RawJson> = self.workers.iter().map(|w| RawJson(w.to_json())).collect();
+        let mut obj = JsonObject::new();
+        obj.field("segment", self.segment)
+            .field("patterns_applied", self.patterns_applied)
+            .field("start_ns", self.start_ns)
+            .field("end_ns", self.end_ns)
+            .field("metrics", RawJson(self.metrics.to_json()))
+            .field("workers", workers);
+        out.push_str(&obj.finish());
+    }
+}
+
+impl ToJson for CampaignTelemetry {
+    fn write_json(&self, out: &mut String) {
+        let segments: Vec<RawJson> = self.segments.iter().map(|s| RawJson(s.to_json())).collect();
+        let mut obj = JsonObject::new();
+        obj.field("segments", segments)
+            .field("totals", RawJson(self.totals.to_json()));
+        out.push_str(&obj.finish());
+    }
+}
+
 impl CoverageComparison {
     /// Ratio of the PST test length to the DFF test length at the target
     /// coverage — the paper's ≈ 1.3 claim.  `None` when either structure did
@@ -681,6 +743,42 @@ mod tests {
             ..row
         };
         assert!(unreached.to_json().contains(r#""test_length":null"#));
+    }
+
+    #[test]
+    fn telemetry_types_serialize() {
+        let metrics = CampaignMetrics {
+            events_drained: 123,
+            cache_lookups: 7,
+            cache_hits: 3,
+            cache_misses: 4,
+            peak_rss_kb: 2048,
+            observer_ns: 55,
+            ..CampaignMetrics::default()
+        };
+        let json = metrics.to_json();
+        assert!(json.contains(r#""events_drained":123"#));
+        assert!(json.contains(r#""cache_hits":3"#));
+        assert!(json.contains(r#""peak_rss_kb":2048"#));
+        assert!(json.contains(r#""observer_ns":55"#));
+
+        let telemetry = CampaignTelemetry::from_segments(vec![SegmentTelemetry {
+            segment: 0,
+            patterns_applied: 64,
+            start_ns: 10,
+            end_ns: 90,
+            metrics,
+            workers: vec![WorkerSpan {
+                worker: 1,
+                start_ns: 5,
+                end_ns: 42,
+            }],
+        }]);
+        let json = telemetry.to_json();
+        assert!(json.contains(r#""segments":[{"segment":0,"patterns_applied":64"#));
+        assert!(json.contains(r#""workers":[{"worker":1,"start_ns":5,"end_ns":42}]"#));
+        assert!(json.contains(r#""totals":{"#));
+        assert!(json.contains(r#""metrics":{"#));
     }
 
     #[test]

@@ -50,6 +50,45 @@
 //! runs its full budget and reproduces the pre-streaming results
 //! bit for bit.
 //!
+//! # Observability
+//!
+//! Every run fills a [`CampaignMetrics`](crate::telemetry::CampaignMetrics)
+//! counter set per segment, surfaced live on
+//! [`SegmentSnapshot::telemetry`] and in aggregate on
+//! [`CampaignOutcome::telemetry`].  Counters are always collected; the
+//! per-phase span timing (and the per-worker spans of
+//! [`SimEngine::Threaded`]) is gated by
+//! [`CampaignConfig::telemetry`](crate::coverage::CampaignConfig::telemetry).
+//! Neither ever changes a result bit — the telemetry-on/off runs are
+//! enforced bit-for-bit identical by the integration tests.
+//!
+//! Counter glossary (each [`CampaignMetrics`](crate::telemetry::CampaignMetrics)
+//! field documents its exact accounting):
+//!
+//! | Counter | Meaning |
+//! |---|---|
+//! | `events_scheduled` / `events_drained` / `steps_skipped` | the differential engine's worklist: fanout marks newly set, worklist entries evaluated, plan steps the worklist let a cycle skip |
+//! | `full_sweeps` / `event_cycles` | block-cycles evaluated by full cone sweep vs through the event worklist |
+//! | `widenings` / `narrowings` | per-word transitions onto / off the diverged-register step set |
+//! | `lane_retirements` | fault lanes retired by a detection |
+//! | `compaction_rebuilds` | survivor-compaction recompiles (differential) and chunk compiles (packed) |
+//! | `cache_lookups` / `cache_hits` / `cache_misses` | `GoodTraceCache` traffic (`hits + misses = lookups`) |
+//! | `stimulus_patterns` | stimulus rows generated (equals [`CampaignOutcome::stimulus_generated`]) |
+//! | `cycles_simulated` | pattern cycles applied, summed over segments |
+//! | `*_ns` spans | per-phase wall time: stimulus / good-trace / fault-eval / dictionary / observer |
+//!
+//! The `stfsm-trace` crate turns the stream into files.  Its
+//! `TraceObserver` writes one JSONL record per lifecycle event: a
+//! `{"type":"plan",...}` line from `on_begin`, one
+//! `{"type":"segment","segment":N,"patterns_applied":...,"detected_faults":...,"metrics":{...},"workers":[...]}`
+//! line per boundary, and a `{"type":"summary",...,"totals":{...}}` line
+//! from `on_finish`.  Its Chrome-trace exporter renders a run as a Trace
+//! Event Format file: open `chrome://tracing` (or
+//! <https://ui.perfetto.dev>), load the file, and read the segment
+//! timeline, the per-phase lane and — under [`SimEngine::Threaded`] — one
+//! lane per worker.  `examples/campaign_trace.rs` is the end-to-end
+//! recipe.
+//!
 //! # Migrating from the one-shot `observe()` API
 //!
 //! Until this redesign, `CampaignObserver` had a single
@@ -122,6 +161,7 @@ use crate::coverage::{
 };
 use crate::dictionary::{build_dictionary_streaming, FaultDictionary};
 use crate::faults::Injection;
+use crate::telemetry::{CampaignTelemetry, PhaseTimer, SegmentTelemetry};
 use std::sync::Arc;
 use stfsm_bist::netlist::Netlist;
 use stfsm_bist::BistStructure;
@@ -182,6 +222,11 @@ pub struct CampaignPlan {
     /// count; `None` when the resolved engine is not differential.  Purely
     /// informational: the width never changes any result bit.
     pub block_words: Option<usize>,
+    /// The number of worker threads the campaign will actually use: the
+    /// resolved thread count for [`SimEngine::Threaded`], `1` for every
+    /// other engine.  Purely informational — the merge discipline keeps
+    /// results identical for any worker count.
+    pub threads: usize,
 }
 
 /// What every observer sees at a segment boundary, identical across
@@ -200,6 +245,12 @@ pub struct SegmentSnapshot<'a> {
     /// `(fault index within the section, detecting pattern)` pairs, sorted
     /// by `(pattern, index)`.
     pub sections: &'a [Vec<(usize, usize)>],
+    /// The segment's engine telemetry: counters are always filled, phase
+    /// spans only when [`CampaignConfig::telemetry`] is on (its
+    /// `observer_ns` is still being measured while observers run, so it
+    /// reads zero here; the final value lands on
+    /// [`CampaignOutcome::telemetry`]).
+    pub telemetry: &'a SegmentTelemetry,
 }
 
 impl SegmentSnapshot<'_> {
@@ -289,6 +340,11 @@ pub struct CampaignOutcome {
     pub aliasing_probability: f64,
     /// One outcome per declared section, in declaration order.
     pub sections: Vec<SectionOutcome>,
+    /// The run's engine telemetry: one [`SegmentTelemetry`] per simulated
+    /// segment plus the folded totals.  Counters are always filled; phase
+    /// spans and worker lanes only when [`CampaignConfig::telemetry`] is
+    /// on.
+    pub telemetry: CampaignTelemetry,
 }
 
 impl CampaignOutcome {
@@ -459,6 +515,10 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 }
                 _ => None,
             },
+            threads: match engine {
+                SimEngine::Threaded => config.effective_threads(),
+                _ => 1,
+            },
         };
         for observer in observers.iter_mut() {
             observer.on_begin(&plan);
@@ -480,6 +540,8 @@ impl<'n, 'o> Campaign<'n, 'o> {
         // stopped; the campaign ends at the first boundary where every
         // observer has.
         let mut voted = vec![false; observers.len()];
+        let timing = config.telemetry;
+        let mut segment_telemetry: Vec<SegmentTelemetry> = Vec::new();
         let mut on_segment = |report: &SegmentReport<'_>| -> bool {
             for section in per_section.iter_mut() {
                 section.clear();
@@ -489,13 +551,16 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 per_section[section].push((flat - offsets[section], cycle));
             }
             detected_running += report.new_detections.len();
+            let mut telemetry = report.telemetry.clone();
             let snapshot = SegmentSnapshot {
                 segment: report.segment,
                 patterns_applied: report.patterns_applied,
                 total_faults,
                 detected_faults: detected_running,
                 sections: &per_section,
+                telemetry: &telemetry,
             };
+            let observer_timer = PhaseTimer::start(timing);
             let mut all_stopped = !observers.is_empty();
             for (observer, vote) in observers.iter_mut().zip(voted.iter_mut()) {
                 if observer.on_segment(&snapshot) == ObserverControl::Stop {
@@ -503,6 +568,8 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 }
                 all_stopped &= *vote;
             }
+            telemetry.metrics.observer_ns = observer_timer.elapsed_ns();
+            segment_telemetry.push(telemetry);
             !all_stopped
         };
 
@@ -582,6 +649,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             stimulus_generated,
             aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
             sections: outcome_sections,
+            telemetry: CampaignTelemetry::from_segments(segment_telemetry),
         };
         for observer in observers.iter_mut() {
             observer.on_finish(&outcome);

@@ -21,6 +21,7 @@ use crate::faults::{FaultList, Injection};
 use crate::packed::{PackedSimulator, FAULT_LANES};
 use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
 use crate::sim::Simulator;
+use crate::telemetry::{CampaignMetrics, PhaseTimer, SegmentTelemetry};
 use stfsm_bist::netlist::Netlist;
 use stfsm_bist::BistStructure;
 use stfsm_lfsr::bitvec::broadcast;
@@ -160,6 +161,13 @@ pub struct CampaignConfig {
     /// `None` picks automatically from the fault-list size.  Any value is
     /// bit-for-bit identical — block packing never changes results.
     pub block_words: Option<usize>,
+    /// Wall-clock span timing of the campaign telemetry (the phase and
+    /// worker spans of [`crate::telemetry::SegmentTelemetry`]).  `false`
+    /// zeroes every timestamp; the [`crate::telemetry::CampaignMetrics`]
+    /// counters are collected regardless (they are plain increments on
+    /// state the engines already touch).  Results are bit-for-bit
+    /// identical either way — telemetry never feeds back into simulation.
+    pub telemetry: bool,
 }
 
 impl Default for CampaignConfig {
@@ -174,6 +182,7 @@ impl Default for CampaignConfig {
             differential_events: true,
             per_word_widening: true,
             block_words: None,
+            telemetry: true,
         }
     }
 }
@@ -506,6 +515,9 @@ pub(crate) struct SegmentReport<'a> {
     pub(crate) patterns_applied: usize,
     /// The segment's new detections over the *flat* fault list.
     pub(crate) new_detections: &'a [(usize, usize)],
+    /// The segment's telemetry record: counter deltas, phase spans (zeroed
+    /// when span timing is off) and threaded worker spans.
+    pub(crate) telemetry: SegmentTelemetry,
 }
 
 /// One engine's view of the campaign: run the cycles of one segment,
@@ -521,6 +533,13 @@ pub(crate) trait SegmentRunner {
     fn stimulus_cycles(&self) -> usize {
         0
     }
+
+    /// Drains the telemetry of the segment just run (counter deltas and
+    /// worker spans; the driver stamps segment index and wall-clock
+    /// window).  The degenerate runner has nothing to report.
+    fn telemetry_snapshot(&mut self) -> SegmentTelemetry {
+        SegmentTelemetry::default()
+    }
 }
 
 /// Advances a runner through the segment schedule, reporting every
@@ -531,22 +550,35 @@ fn drive_segments(
     num_faults: usize,
     boundaries: &[usize],
     runner: &mut dyn SegmentRunner,
+    timing: bool,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> (Vec<Option<usize>>, usize) {
     let mut detection_pattern = vec![None; num_faults];
     let mut detections: Vec<(usize, usize)> = Vec::new();
     let mut from = 0usize;
+    let epoch = PhaseTimer::start(timing);
     for (segment, &to) in boundaries.iter().enumerate() {
+        let start_ns = epoch.elapsed_ns();
         detections.clear();
         runner.run_segment(from, to, &mut detections);
         detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
         for &(index, cycle) in &detections {
             detection_pattern[index] = Some(cycle);
         }
+        let mut telemetry = runner.telemetry_snapshot();
+        telemetry.segment = segment;
+        telemetry.patterns_applied = to;
+        telemetry.start_ns = start_ns;
+        telemetry.end_ns = epoch.elapsed_ns();
+        // Retirements are counted here, uniformly over every engine (the
+        // table tail and the degenerate runner included): one per first
+        // detection.
+        telemetry.metrics.lane_retirements += detections.len() as u64;
         let report = SegmentReport {
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            telemetry,
         };
         if !on_segment(&report) {
             return (detection_pattern, to);
@@ -590,12 +622,13 @@ pub(crate) fn detect_streaming(
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> DetectOutcome {
     let boundaries = segment_schedule(config.max_patterns);
+    let timing = config.telemetry;
     if faults.is_empty() || config.max_patterns == 0 {
         // Nothing to simulate; still walk the schedule so streaming
         // observers see the same boundaries they would on any campaign.
         let mut noop = NoopSegments;
         let (detection_pattern, patterns_applied) =
-            drive_segments(faults.len(), &boundaries, &mut noop, on_segment);
+            drive_segments(faults.len(), &boundaries, &mut noop, timing, on_segment);
         return DetectOutcome {
             detection_pattern,
             patterns_applied,
@@ -607,10 +640,11 @@ pub(crate) fn detect_streaming(
         num_faults: usize,
         boundaries: &[usize],
         mut runner: R,
+        timing: bool,
         on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
     ) -> DetectOutcome {
         let (detection_pattern, patterns_applied) =
-            drive_segments(num_faults, boundaries, &mut runner, on_segment);
+            drive_segments(num_faults, boundaries, &mut runner, timing, on_segment);
         DetectOutcome {
             detection_pattern,
             patterns_applied,
@@ -619,12 +653,12 @@ pub(crate) fn detect_streaming(
     }
     match config.engine.resolve(netlist) {
         SimEngine::Scalar => {
-            let runner = ScalarSegments::new(netlist, faults, stimulus, stimulation);
-            drive(faults.len(), &boundaries, runner, on_segment)
+            let runner = ScalarSegments::new(netlist, faults, stimulus, stimulation, timing);
+            drive(faults.len(), &boundaries, runner, timing, on_segment)
         }
         SimEngine::Packed => {
-            let runner = PackedSegments::new(netlist, faults, stimulus, stimulation);
-            drive(faults.len(), &boundaries, runner, on_segment)
+            let runner = PackedSegments::new(netlist, faults, stimulus, stimulation, timing);
+            drive(faults.len(), &boundaries, runner, timing, on_segment)
         }
         engine @ (SimEngine::Differential | SimEngine::Threaded) => {
             let threads = match engine {
@@ -639,8 +673,9 @@ pub(crate) fn detect_streaming(
                 threads,
                 config.diff_tuning(faults.len()),
                 good_cache,
+                timing,
             );
-            drive(faults.len(), &boundaries, runner, on_segment)
+            drive(faults.len(), &boundaries, runner, timing, on_segment)
         }
         SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
     }
@@ -751,6 +786,14 @@ struct ScalarSegments<'a> {
     /// The fault-free machine's register state at the segment start.
     reference_state: Vec<bool>,
     alive: Vec<AliveFault>,
+    /// Span timing enabled; counters are collected regardless.
+    timing: bool,
+    /// Telemetry of the segment in flight, drained by
+    /// [`SegmentRunner::telemetry_snapshot`].
+    metrics: CampaignMetrics,
+    /// Stimulus rows already tallied into
+    /// [`CampaignMetrics::stimulus_patterns`].
+    counted_generated: usize,
 }
 
 impl<'a> ScalarSegments<'a> {
@@ -759,6 +802,7 @@ impl<'a> ScalarSegments<'a> {
         faults: &[Injection],
         mut stimulus: Stimulus,
         stimulation: StateStimulation,
+        timing: bool,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
         // Scan initialisation needs the first random state up front.
@@ -770,6 +814,9 @@ impl<'a> ScalarSegments<'a> {
             stimulation,
             reference_state: init_state.clone(),
             alive: initial_alive(faults, &init_state),
+            timing,
+            metrics: CampaignMetrics::default(),
+            counted_generated: 0,
         }
     }
 }
@@ -779,7 +826,14 @@ impl SegmentRunner for ScalarSegments<'_> {
         if self.alive.is_empty() {
             return;
         }
+        let stim_timer = PhaseTimer::start(self.timing);
         self.stimulus.ensure(to);
+        self.metrics.stimulus_patterns +=
+            (self.stimulus.generated_cycles() - self.counted_generated) as u64;
+        self.counted_generated = self.stimulus.generated_cycles();
+        self.metrics.stimulus_ns += stim_timer.elapsed_ns();
+        self.metrics.cycles_simulated += (to - from) as u64;
+        let good_timer = PhaseTimer::start(self.timing);
         let num_state = self.netlist.flip_flops().len();
         // Fault-free reference observations of this segment.
         let mut good = Simulator::new(self.netlist);
@@ -794,7 +848,9 @@ impl SegmentRunner for ScalarSegments<'_> {
             good.clock();
         }
         self.reference_state = good.state().to_vec();
+        self.metrics.good_trace_ns += good_timer.elapsed_ns();
 
+        let eval_timer = PhaseTimer::start(self.timing);
         let mut survivors = Vec::with_capacity(self.alive.len());
         let mut obs = Vec::with_capacity(self.netlist.observation_points().len());
         for alive_fault in self.alive.drain(..) {
@@ -827,10 +883,18 @@ impl SegmentRunner for ScalarSegments<'_> {
             }
         }
         self.alive = survivors;
+        self.metrics.fault_eval_ns += eval_timer.elapsed_ns();
     }
 
     fn stimulus_cycles(&self) -> usize {
         self.stimulus.generated_cycles()
+    }
+
+    fn telemetry_snapshot(&mut self) -> SegmentTelemetry {
+        SegmentTelemetry {
+            metrics: std::mem::take(&mut self.metrics),
+            ..SegmentTelemetry::default()
+        }
     }
 }
 
@@ -1074,6 +1138,14 @@ struct PackedSegments<'a> {
     reference_state: Vec<bool>,
     alive: Vec<AliveFault>,
     table: Option<TableTail>,
+    /// Span timing enabled; counters are collected regardless.
+    timing: bool,
+    /// Telemetry of the segment in flight, drained by
+    /// [`SegmentRunner::telemetry_snapshot`].
+    metrics: CampaignMetrics,
+    /// Stimulus rows already tallied into
+    /// [`CampaignMetrics::stimulus_patterns`].
+    counted_generated: usize,
 }
 
 impl<'a> PackedSegments<'a> {
@@ -1082,6 +1154,7 @@ impl<'a> PackedSegments<'a> {
         faults: &[Injection],
         mut stimulus: Stimulus,
         stimulation: StateStimulation,
+        timing: bool,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
         // Scan initialisation: every machine starts from the first random
@@ -1098,6 +1171,9 @@ impl<'a> PackedSegments<'a> {
             reference_state: init_state.clone(),
             alive: initial_alive(faults, &init_state),
             table: None,
+            timing,
+            metrics: CampaignMetrics::default(),
+            counted_generated: 0,
         }
     }
 }
@@ -1131,13 +1207,22 @@ impl SegmentRunner for PackedSegments<'_> {
                 self.st_words = Vec::new();
             }
         }
+        let stim_timer = PhaseTimer::start(self.timing);
         self.stimulus.ensure(to);
+        self.metrics.stimulus_patterns +=
+            (self.stimulus.generated_cycles() - self.counted_generated) as u64;
+        self.counted_generated = self.stimulus.generated_cycles();
+        self.metrics.stimulus_ns += stim_timer.elapsed_ns();
+        self.metrics.cycles_simulated += (to - from) as u64;
         if let Some(table) = &mut self.table {
+            let eval_timer = PhaseTimer::start(self.timing);
             table.run(&self.stimulus, self.stimulation, from, to, detections);
+            self.metrics.fault_eval_ns += eval_timer.elapsed_ns();
             return;
         }
         // Extend the broadcast words over this segment's rows: every
         // machine sees the same inputs, so each bit is one broadcast word.
+        let stim_timer = PhaseTimer::start(self.timing);
         for cycle in self.packed_cycles..to {
             self.pi_words
                 .extend(self.stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
@@ -1145,13 +1230,18 @@ impl SegmentRunner for PackedSegments<'_> {
                 .extend(self.stimulus.st(cycle).iter().map(|&b| broadcast(b)));
         }
         self.packed_cycles = self.packed_cycles.max(to);
+        self.metrics.stimulus_ns += stim_timer.elapsed_ns();
 
+        let eval_timer = PhaseTimer::start(self.timing);
         let num_inputs = self.netlist.primary_inputs().len();
         let num_state = self.netlist.flip_flops().len();
         let mut survivors: Vec<AliveFault> = Vec::new();
         let mut next_reference_state = None;
         for chunk in self.alive.chunks(FAULT_LANES) {
             let faults: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+            // Survivors are compacted into fresh, dense chunks per
+            // segment: every compile here is one compaction rebuild.
+            self.metrics.compaction_rebuilds += 1;
             let mut sim = PackedSimulator::with_injections(self.netlist, &faults);
             // Seed the lanes: lane 0 resumes the fault-free reference, lane
             // `i + 1` resumes faulty machine `chunk[i]`.
@@ -1214,10 +1304,18 @@ impl SegmentRunner for PackedSegments<'_> {
             self.reference_state = state;
         }
         self.alive = survivors;
+        self.metrics.fault_eval_ns += eval_timer.elapsed_ns();
     }
 
     fn stimulus_cycles(&self) -> usize {
         self.stimulus.generated_cycles()
+    }
+
+    fn telemetry_snapshot(&mut self) -> SegmentTelemetry {
+        SegmentTelemetry {
+            metrics: std::mem::take(&mut self.metrics),
+            ..SegmentTelemetry::default()
+        }
     }
 }
 

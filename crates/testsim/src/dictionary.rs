@@ -49,6 +49,7 @@ use crate::coverage::{
 use crate::differential::{DiffSimulator, GoodTraceCache, LaneBlock};
 use crate::faults::Injection;
 use crate::packed::{PackedSimulator, FAULT_LANES};
+use crate::telemetry::{CampaignMetrics, PhaseTimer, SegmentTelemetry};
 use std::collections::HashMap;
 use stfsm_bist::netlist::Netlist;
 use stfsm_lfsr::bitvec::broadcast;
@@ -292,6 +293,7 @@ pub(crate) fn build_dictionary_streaming(
     let checkpoints = segment_checkpoints(stimulus.cycles);
     let boundaries = segment_schedule(stimulus.cycles);
     let tuning = config.diff_tuning(faults.len());
+    let timing = config.telemetry;
     let (entries, reference_signature, reference_segments, patterns_applied) =
         match config.engine.resolve(netlist) {
             engine @ (SimEngine::Differential | SimEngine::Threaded) => {
@@ -311,6 +313,7 @@ pub(crate) fn build_dictionary_streaming(
                             &boundaries,
                             threads,
                             tuning,
+                            timing,
                             good_cache,
                             on_segment,
                         )
@@ -330,6 +333,7 @@ pub(crate) fn build_dictionary_streaming(
                 &misr,
                 &checkpoints,
                 &boundaries,
+                timing,
                 on_segment,
             ),
             SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
@@ -379,6 +383,7 @@ fn packed_signatures(
     misr: &Misr,
     checkpoints: &[usize],
     boundaries: &[usize],
+    timing: bool,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> SignaturePass {
     let signature_bits = misr.width();
@@ -391,6 +396,9 @@ fn packed_signatures(
     let mut pi_words: Vec<u64> = Vec::new();
     let mut st_words: Vec<u64> = Vec::new();
     let mut packed_cycles = 0usize;
+    let epoch = PhaseTimer::start(timing);
+    let mut metrics = CampaignMetrics::default();
+    let mut counted_generated = 0usize;
 
     /// The persistent state of one 64-lane chunk.
     struct ChunkState<'a> {
@@ -436,19 +444,29 @@ fn packed_signatures(
         });
         offset += chunk.len();
     }
+    // Every chunk compile is one compaction rebuild; the un-dropped packed
+    // pass compiles once up front, so segment 0 absorbs the tally.
+    metrics.compaction_rebuilds += chunks.len() as u64;
 
     let obs = netlist.plan().observation_points();
     let mut detections: Vec<(usize, usize)> = Vec::new();
     let mut from = 0usize;
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
+        let start_ns = epoch.elapsed_ns();
+        let stim_timer = PhaseTimer::start(timing);
         stimulus.ensure(to);
         for cycle in packed_cycles..to {
             pi_words.extend(stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
             st_words.extend(stimulus.st(cycle).iter().map(|&b| broadcast(b)));
         }
         packed_cycles = packed_cycles.max(to);
+        metrics.stimulus_patterns += (stimulus.generated_cycles() - counted_generated) as u64;
+        counted_generated = stimulus.generated_cycles();
+        metrics.stimulus_ns += stim_timer.elapsed_ns();
+        metrics.cycles_simulated += (to - from) as u64;
         detections.clear();
+        let eval_timer = PhaseTimer::start(timing);
         for cs in chunks.iter_mut() {
             for cycle in from..to {
                 if stimulation == StateStimulation::RandomState {
@@ -485,11 +503,21 @@ fn packed_signatures(
                 cs.sim.clock();
             }
         }
+        metrics.dictionary_ns += eval_timer.elapsed_ns();
         detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
+        metrics.lane_retirements += detections.len() as u64;
         let report = SegmentReport {
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            telemetry: SegmentTelemetry {
+                segment,
+                patterns_applied: to,
+                start_ns,
+                end_ns: epoch.elapsed_ns(),
+                metrics: std::mem::take(&mut metrics),
+                workers: Vec::new(),
+            },
         };
         if !on_segment(&report) {
             applied = to;
@@ -558,6 +586,7 @@ fn differential_signatures<const W: usize>(
     boundaries: &[usize],
     threads: usize,
     tuning: DiffTuning,
+    timing: bool,
     good_cache: &mut GoodTraceCache,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> SignaturePass {
@@ -571,6 +600,9 @@ fn differential_signatures<const W: usize>(
     // segment: an early-stopped pass never allocates the full budget.
     let mut pi_words: Vec<u64> = Vec::new();
     let mut packed_cycles = 0usize;
+    let epoch = PhaseTimer::start(timing);
+    let mut metrics = CampaignMetrics::default();
+    let mut counted_generated = 0usize;
 
     /// The persistent state of one `64 * W - 1`-fault signature block.
     struct BlockState<'a, const W: usize> {
@@ -624,14 +656,28 @@ fn differential_signatures<const W: usize>(
     let mut from = 0usize;
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
+        let start_ns = epoch.elapsed_ns();
+        let stim_timer = PhaseTimer::start(timing);
         stimulus.ensure(to);
         for cycle in packed_cycles..to {
             pi_words.extend(stimulus.pi(cycle).iter().map(|&b| broadcast(b)));
         }
         packed_cycles = packed_cycles.max(to);
+        metrics.stimulus_patterns += (stimulus.generated_cycles() - counted_generated) as u64;
+        counted_generated = stimulus.generated_cycles();
+        metrics.stimulus_ns += stim_timer.elapsed_ns();
+        metrics.cycles_simulated += (to - from) as u64;
         // One good-machine recording per segment, shared by every block,
         // every worker and (through the cache) every pass of the campaign.
-        let trace = good_cache.get_or_record(netlist, stimulus, stimulation, &good_state, from, to);
+        let good_timer = PhaseTimer::start(timing);
+        let (trace, hit) =
+            good_cache.get_or_record(netlist, stimulus, stimulation, &good_state, from, to);
+        metrics.cache_lookups += 1;
+        if hit {
+            metrics.cache_hits += 1;
+        } else {
+            metrics.cache_misses += 1;
+        }
         for cycle in from..to {
             let row = trace.row(cycle);
             ref_folded.fill(false);
@@ -645,13 +691,27 @@ fn differential_signatures<const W: usize>(
                 }
             }
         }
+        metrics.good_trace_ns += good_timer.elapsed_ns();
+        // Fetch the recording again for the block fan-out: the key is
+        // unchanged, so this is the cache's reuse path (and ends the
+        // reference loop's borrow before the blocks take theirs).
+        let (trace, hit) =
+            good_cache.get_or_record(netlist, stimulus, stimulation, &good_state, from, to);
+        metrics.cache_lookups += 1;
+        if hit {
+            metrics.cache_hits += 1;
+        } else {
+            metrics.cache_misses += 1;
+        }
 
         // Every block's trajectory is independent of its worker, and
         // `sharded_map_mut` merges blocks in block order, so the dictionary
         // is bit-for-bit identical for any worker count (the same
         // discipline as the detection driver).
         detections.clear();
-        let block_detections = crate::differential::sharded_map_mut(&mut blocks, threads, |bs| {
+        let eval_timer = PhaseTimer::start(timing);
+        let block_results = crate::differential::sharded_map_mut(&mut blocks, threads, |bs| {
+            let span_start = eval_timer.elapsed_ns();
             let mut found: Vec<(usize, usize)> = Vec::new();
             for cycle in from..to {
                 if stimulation == StateStimulation::RandomState {
@@ -691,17 +751,39 @@ fn differential_signatures<const W: usize>(
                 }
                 bs.sim.clock_cycle(wide, good_row);
             }
-            found
+            (
+                found,
+                bs.sim.take_metrics(),
+                (span_start, eval_timer.elapsed_ns()),
+            )
         });
-        for found in block_detections {
+        metrics.dictionary_ns += eval_timer.elapsed_ns();
+        let mut spans: Vec<(u64, u64)> = Vec::with_capacity(block_results.len());
+        for (found, block_metrics, span) in block_results {
             detections.extend(found);
+            metrics.absorb(&block_metrics);
+            spans.push(span);
         }
+        let workers = if timing {
+            crate::differential::fold_worker_spans(&spans, threads)
+        } else {
+            Vec::new()
+        };
         detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
+        metrics.lane_retirements += detections.len() as u64;
         good_state = trace.end_state().to_vec();
         let report = SegmentReport {
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            telemetry: SegmentTelemetry {
+                segment,
+                patterns_applied: to,
+                start_ns,
+                end_ns: epoch.elapsed_ns(),
+                metrics: std::mem::take(&mut metrics),
+                workers,
+            },
         };
         if !on_segment(&report) {
             applied = to;

@@ -12,9 +12,9 @@
 //!
 //! * the **good machine is simulated once per pattern** on the scalar
 //!   simulator and its net values are broadcast to every lane block
-//!   ([`GoodTrace`]); the trace of a campaign segment is recorded once,
+//!   (`GoodTrace`); the trace of a campaign segment is recorded once,
 //!   shared read-only by every block *and every worker thread* of that
-//!   segment, and cached across campaign passes ([`GoodTraceCache`]) so a
+//!   segment, and cached across campaign passes (`GoodTraceCache`) so a
 //!   multi-observer campaign never re-records it;
 //! * within the active step set, a cycle is advanced by an **event-driven
 //!   worklist** instead of a full sweep: per-cycle event sources — primary
@@ -68,6 +68,7 @@ use crate::engine::{Op, PackedCore};
 use crate::faults::Injection;
 use crate::packed::FAULT_LANES as PACKED_FAULT_LANES;
 use crate::sim::Simulator;
+use crate::telemetry::{CampaignMetrics, PhaseTimer, WorkerSpan};
 use stfsm_bist::netlist::{EvalPlan, Netlist};
 use stfsm_lfsr::bitvec::broadcast;
 
@@ -210,7 +211,9 @@ impl GoodTraceCache {
 
     /// The good trace of segment `from..to` from `start_state`: replayed
     /// from the cache when the previous request had the same key, recorded
-    /// on the scalar simulator (and cached) otherwise.
+    /// on the scalar simulator (and cached) otherwise.  The second element
+    /// reports whether the lookup hit (for the caller's
+    /// [`CampaignMetrics`] cache tallies).
     pub(crate) fn get_or_record(
         &mut self,
         netlist: &Netlist,
@@ -219,7 +222,7 @@ impl GoodTraceCache {
         start_state: &[bool],
         from: usize,
         to: usize,
-    ) -> &GoodTrace {
+    ) -> (&GoodTrace, bool) {
         let hit = matches!(
             &self.entry,
             Some(e) if e.from == from && e.to == to && e.start_state == start_state
@@ -233,7 +236,7 @@ impl GoodTraceCache {
                 trace,
             });
         }
-        &self.entry.as_ref().expect("just recorded").trace
+        (&self.entry.as_ref().expect("just recorded").trace, hit)
     }
 }
 
@@ -314,6 +317,10 @@ pub(crate) struct DiffSimulator<'a, const W: usize> {
     /// their victims in id order, which plain level buckets cannot
     /// guarantee).
     pending: Vec<u64>,
+    /// Scheduler tallies since the last [`DiffSimulator::take_metrics`]:
+    /// plain increments on state the scheduler already touches, never fed
+    /// back into simulation.
+    metrics: CampaignMetrics,
 }
 
 impl<'a, const W: usize> DiffSimulator<'a, W> {
@@ -374,9 +381,17 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
             valid_div: [0u64; W],
             last_eval: LastEval::Stale,
             pending: vec![0u64; stride],
+            metrics: CampaignMetrics::default(),
         };
         sim.rebuild_sets();
         sim
+    }
+
+    /// Drains the scheduler tallies accumulated since the last call (or
+    /// since compilation): the counters reset to zero, so consecutive
+    /// takes yield per-segment deltas.
+    pub(crate) fn take_metrics(&mut self) -> CampaignMetrics {
+        std::mem::take(&mut self.metrics)
     }
 
     /// The lanes whose fault is still undetected (word-major lane masks).
@@ -592,6 +607,13 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         if wide && !self.per_word {
             div = [u64::MAX; W];
         }
+        for (old, new) in self.div.iter().zip(&div) {
+            match (*old != 0, *new != 0) {
+                (false, true) => self.metrics.widenings += 1,
+                (true, false) => self.metrics.narrowings += 1,
+                _ => {}
+            }
+        }
         self.div = div;
         wide
     }
@@ -613,12 +635,14 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                 LastEval::Wide => wide && (0..W).any(|k| self.div[k] & !self.valid_div[k] != 0),
             };
         if full {
+            self.metrics.full_sweeps += 1;
             let set = if wide { &self.wide } else { &self.narrow };
             for &n in &set.frontier {
                 self.core.values[n as usize] = [broadcast(row_bit(good_row, n as usize)); W];
             }
             self.core.eval_steps(&set.steps, inputs);
         } else {
+            self.metrics.event_cycles += 1;
             self.eval_events(wide, good_row, inputs);
         }
         self.last_eval = if wide {
@@ -645,12 +669,21 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         let plan = netlist.plan();
         let fanin = plan.fanin();
         let set = if wide { &self.wide } else { &self.narrow };
+        let member_steps = set.steps.len() as u64;
         let div = self.div;
         let pending = &mut self.pending;
-        let mark_consumers = |pending: &mut Vec<u64>, n: usize| {
+        // Telemetry tallies stay local through the drain (the closure
+        // below needs them by parameter) and are committed at the end.
+        let mut scheduled = 0u64;
+        let mut drained = 0u64;
+        let mark_consumers = |pending: &mut Vec<u64>, scheduled: &mut u64, n: usize| {
             for &t in plan.fanout_steps(n) {
                 if row_bit(&set.member, t as usize) {
-                    pending[t as usize / 64] |= 1u64 << (t % 64);
+                    let (w, b) = (t as usize / 64, t % 64);
+                    if pending[w] & (1u64 << b) == 0 {
+                        pending[w] |= 1u64 << b;
+                        *scheduled += 1;
+                    }
                 }
             }
         };
@@ -661,7 +694,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
             let good = [broadcast(row_bit(good_row, n)); W];
             if self.core.values[n] != good {
                 self.core.values[n] = good;
-                mark_consumers(pending, n);
+                mark_consumers(pending, &mut scheduled, n);
             }
         }
         // Event source 2: register loads — member flip-flop steps whose
@@ -692,15 +725,21 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
             let bit = word.trailing_zeros() as usize;
             pending[w] &= !(1u64 << bit);
             let id = w * 64 + bit;
+            drained += 1;
             let mask = if row_bit(&set.masked, id) {
                 &div
             } else {
                 &full_mask
             };
             if self.core.eval_step_changed(id, fanin, inputs, mask) {
-                mark_consumers(pending, id);
+                mark_consumers(pending, &mut scheduled, id);
             }
         }
+        self.metrics.events_scheduled += scheduled;
+        self.metrics.events_drained += drained;
+        // Each member step is evaluated at most once per drain, so the
+        // difference is exactly the quiescent logic the worklist skipped.
+        self.metrics.steps_skipped += member_steps.saturating_sub(drained);
     }
 
     /// The lanes whose observation points differ from the good machine
@@ -803,6 +842,7 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         }
         let count = self.active_count();
         if count > 0 && count * 2 <= self.narrow_basis {
+            self.metrics.compaction_rebuilds += 1;
             self.rebuild_sets();
         }
         detected
@@ -811,8 +851,14 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
 
 /// The per-segment output of one lane block: the `(fault index, cycle)`
 /// detections and the surviving faults (with their carried register state
-/// and transition memory), in lane order.
-type BlockResult = (Vec<(usize, usize)>, Vec<AliveFault>);
+/// and transition memory), in lane order — plus the block's scheduler
+/// tallies and its busy span relative to the segment's fan-out epoch.
+struct BlockResult {
+    detections: Vec<(usize, usize)>,
+    survivors: Vec<AliveFault>,
+    metrics: CampaignMetrics,
+    span: (u64, u64),
+}
 
 /// Runs one `W`-word lane block over cycles `from..to` of a campaign
 /// segment against the shared good trace.
@@ -828,7 +874,9 @@ fn run_block<const W: usize>(
     from: usize,
     to: usize,
     tuning: DiffTuning,
+    epoch: PhaseTimer,
 ) -> BlockResult {
+    let span_start = epoch.elapsed_ns();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
     let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
@@ -883,7 +931,41 @@ fn run_block<const W: usize>(
             });
         }
     }
-    (detections, survivors)
+    BlockResult {
+        detections,
+        survivors,
+        metrics: sim.take_metrics(),
+        span: (span_start, epoch.elapsed_ns()),
+    }
+}
+
+/// Folds per-chunk busy spans into per-worker [`WorkerSpan`]s, replicating
+/// the contiguous-group sharding of [`sharded_map`] (`worker = chunk index
+/// / group length`): each worker's span runs from its first chunk starting
+/// to its last chunk finishing.  Measurement only — the spans never feed
+/// back into scheduling.
+pub(crate) fn fold_worker_spans(spans: &[(u64, u64)], threads: usize) -> Vec<WorkerSpan> {
+    let workers = threads.max(1).min(spans.len().max(1));
+    if workers <= 1 || spans.is_empty() {
+        return Vec::new();
+    }
+    let group_len = spans.len().div_ceil(workers);
+    let mut folded: Vec<WorkerSpan> = Vec::new();
+    for (i, &(start_ns, end_ns)) in spans.iter().enumerate() {
+        let worker = i / group_len;
+        match folded.last_mut() {
+            Some(last) if last.worker == worker => {
+                last.start_ns = last.start_ns.min(start_ns);
+                last.end_ns = last.end_ns.max(end_ns);
+            }
+            _ => folded.push(WorkerSpan {
+                worker,
+                start_ns,
+                end_ns,
+            }),
+        }
+    }
+    folded
 }
 
 /// Maps independent work items through `f`, fanned out over up to
@@ -975,6 +1057,16 @@ pub(crate) struct DiffSegments<'a> {
     reference_state: Vec<bool>,
     alive: Vec<AliveFault>,
     table: Option<TableTail>,
+    /// Span timing enabled ([`crate::coverage::CampaignConfig::telemetry`]);
+    /// counters are collected regardless.
+    timing: bool,
+    /// Telemetry of the segment in flight, drained by
+    /// [`SegmentRunner::telemetry_snapshot`].
+    metrics: CampaignMetrics,
+    workers: Vec<WorkerSpan>,
+    /// Stimulus rows already tallied into
+    /// [`CampaignMetrics::stimulus_patterns`].
+    counted_generated: usize,
 }
 
 impl<'a> DiffSegments<'a> {
@@ -987,6 +1079,7 @@ impl<'a> DiffSegments<'a> {
         threads: usize,
         tuning: DiffTuning,
         cache: &'a mut GoodTraceCache,
+        timing: bool,
     ) -> Self {
         let num_state = netlist.flip_flops().len();
         // Scan initialisation needs the first random state up front.
@@ -1004,6 +1097,10 @@ impl<'a> DiffSegments<'a> {
             reference_state: init_state.clone(),
             alive: initial_alive(faults, &init_state),
             table: None,
+            timing,
+            metrics: CampaignMetrics::default(),
+            workers: Vec::new(),
+            counted_generated: 0,
         }
     }
 
@@ -1026,12 +1123,25 @@ impl<'a> DiffSegments<'a> {
             cache,
             reference_state,
             alive,
+            timing,
+            metrics,
+            workers,
             ..
         } = self;
         // One good-machine recording per segment, shared by every block,
         // every worker and (through the cache) every pass of the campaign.
-        let trace = cache.get_or_record(netlist, stimulus, *stimulation, reference_state, from, to);
+        let good_timer = PhaseTimer::start(*timing);
+        let (trace, cache_hit) =
+            cache.get_or_record(netlist, stimulus, *stimulation, reference_state, from, to);
+        metrics.good_trace_ns += good_timer.elapsed_ns();
+        metrics.cache_lookups += 1;
+        if cache_hit {
+            metrics.cache_hits += 1;
+        } else {
+            metrics.cache_misses += 1;
+        }
         let chunks: Vec<&[AliveFault]> = alive.chunks(LaneBlock::<W>::FAULT_LANES).collect();
+        let epoch = PhaseTimer::start(*timing);
         let block_results: Vec<BlockResult> = sharded_map(&chunks, *threads, |chunk| {
             run_block::<W>(
                 netlist,
@@ -1044,12 +1154,19 @@ impl<'a> DiffSegments<'a> {
                 from,
                 to,
                 *tuning,
+                epoch,
             )
         });
+        metrics.fault_eval_ns += epoch.elapsed_ns();
+        if *timing {
+            let spans: Vec<(u64, u64)> = block_results.iter().map(|b| b.span).collect();
+            workers.extend(fold_worker_spans(&spans, *threads));
+        }
         let mut survivors: Vec<AliveFault> = Vec::new();
-        for (block_detections, block_survivors) in block_results {
-            detections.extend(block_detections);
-            survivors.extend(block_survivors);
+        for block in block_results {
+            detections.extend(block.detections);
+            survivors.extend(block.survivors);
+            metrics.absorb(&block.metrics);
         }
         *reference_state = trace.end_state().to_vec();
         *alive = survivors;
@@ -1085,9 +1202,17 @@ impl SegmentRunner for DiffSegments<'_> {
                 self.pi_words = Vec::new();
             }
         }
+        let stim_timer = PhaseTimer::start(self.timing);
         self.stimulus.ensure(to);
+        self.metrics.stimulus_patterns +=
+            (self.stimulus.generated_cycles() - self.counted_generated) as u64;
+        self.counted_generated = self.stimulus.generated_cycles();
+        self.metrics.stimulus_ns += stim_timer.elapsed_ns();
+        self.metrics.cycles_simulated += (to - from) as u64;
         if let Some(table) = &mut self.table {
+            let eval_timer = PhaseTimer::start(self.timing);
             table.run(&self.stimulus, self.stimulation, from, to, detections);
+            self.metrics.fault_eval_ns += eval_timer.elapsed_ns();
             return;
         }
         // Extend the broadcast input words over this segment's rows.
@@ -1106,6 +1231,14 @@ impl SegmentRunner for DiffSegments<'_> {
 
     fn stimulus_cycles(&self) -> usize {
         self.stimulus.generated_cycles()
+    }
+
+    fn telemetry_snapshot(&mut self) -> crate::telemetry::SegmentTelemetry {
+        crate::telemetry::SegmentTelemetry {
+            metrics: std::mem::take(&mut self.metrics),
+            workers: std::mem::take(&mut self.workers),
+            ..crate::telemetry::SegmentTelemetry::default()
+        }
     }
 }
 

@@ -50,7 +50,14 @@
 //!   legacy wrapper,
 //! * [`diagnosis`] — the top-level diagnosis flow: map an observed failing
 //!   signature to ranked candidate faults across models, with per-segment
-//!   intermediate signatures disambiguating aliases.
+//!   intermediate signatures disambiguating aliases,
+//! * [`telemetry`] — campaign observability: the [`CampaignMetrics`]
+//!   counter set every engine fills (worklist events, full-sweep
+//!   fallbacks, widenings, cache hits, …) and the per-segment
+//!   [`SegmentTelemetry`] phase spans surfaced on [`SegmentSnapshot`] and
+//!   [`CampaignOutcome`]; counters are always on, span timing is gated by
+//!   [`CampaignConfig::telemetry`](coverage::CampaignConfig::telemetry),
+//!   and neither ever changes a result bit.
 //!
 //! # Deprecated one-shot wrappers
 //!
@@ -123,6 +130,7 @@ pub mod faults;
 pub mod packed;
 pub mod patterns;
 pub mod sim;
+pub mod telemetry;
 
 pub use campaign::{
     Campaign, CampaignObserver, CampaignOutcome, CampaignPlan, CoverageObserver,
@@ -139,3 +147,4 @@ pub use differential::LaneBlock;
 pub use faults::{Fault, FaultList, FaultSite, Injection};
 pub use packed::PackedSimulator;
 pub use sim::Simulator;
+pub use telemetry::{CampaignMetrics, CampaignTelemetry, SegmentTelemetry, WorkerSpan};

@@ -1,0 +1,440 @@
+//! Campaign trace streaming: a JSONL [`TraceObserver`] and a Chrome Trace
+//! Event Format exporter for the telemetry every campaign collects.
+//!
+//! The simulation stack fills
+//! [`CampaignMetrics`](stfsm::testsim::telemetry::CampaignMetrics) counters
+//! and per-segment phase spans as it runs (see the `Observability` section
+//! of [`stfsm::testsim::campaign`]); this crate turns that stream into
+//! files:
+//!
+//! * [`TraceObserver`] — a passive [`CampaignObserver`] that writes one
+//!   JSON record per line to any [`std::io::Write`] sink: a
+//!   `{"type":"plan",...}` line before the first pattern, one
+//!   `{"type":"segment",...}` line per compaction segment (counters, phase
+//!   spans, worker spans, running coverage) and a
+//!   `{"type":"summary",...}` line with the folded totals.  Write errors
+//!   are recorded on the observer ([`TraceObserver::error`]) instead of
+//!   panicking mid-campaign, and further writes are skipped.
+//! * [`chrome_trace`] / [`write_chrome_trace`] — render a completed run's
+//!   [`CampaignTelemetry`] as a Chrome Trace Event Format JSON file: a
+//!   `segments` lane with one slice per segment, a `phases` lane with the
+//!   per-segment phase spans laid out consecutively, and one lane per
+//!   worker of a [`SimEngine::Threaded`](stfsm::SimEngine::Threaded)
+//!   fan-out.  Open `chrome://tracing` (or <https://ui.perfetto.dev>) and
+//!   load the file to read the timeline.
+//!
+//! Both outputs stamp the process peak RSS from [`stfsm::sys::peak_rss_kb`]
+//! (zero where the platform offers no probe), the one counter the engines
+//! deliberately leave to the trace layer.
+//!
+//! # Example
+//!
+//! ```
+//! use stfsm::{BistStructure, SynthesisFlow};
+//! use stfsm::faults::StuckAt;
+//! use stfsm::testsim::campaign::Campaign;
+//! use stfsm_trace::{chrome_trace, TraceObserver};
+//!
+//! let fsm = stfsm::fsm::suite::fig3_example()?;
+//! let netlist = SynthesisFlow::new(BistStructure::Dff).synthesize(&fsm)?.netlist;
+//! let mut trace = TraceObserver::new(Vec::new());
+//! let outcome = Campaign::new(&netlist)
+//!     .model(&StuckAt)
+//!     .patterns(128)
+//!     .observe(&mut trace)
+//!     .run();
+//! let jsonl = String::from_utf8(trace.into_inner())?;
+//! assert!(jsonl.lines().next().unwrap().starts_with(r#"{"type":"plan""#));
+//! let timeline = chrome_trace(&outcome.telemetry);
+//! assert!(timeline.starts_with(r#"{"traceEvents":["#));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+use stfsm::json::{JsonObject, RawJson, ToJson};
+use stfsm::testsim::campaign::{
+    CampaignObserver, CampaignOutcome, CampaignPlan, ObserverControl, SegmentSnapshot,
+};
+use stfsm::testsim::telemetry::CampaignTelemetry;
+
+/// A passive campaign observer that streams one JSONL record per lifecycle
+/// event to a [`Write`] sink; see the [crate docs](self) for the record
+/// schema.  It never votes to stop and never requests signatures, so
+/// attaching it changes neither the campaign's pass selection nor any
+/// result bit.
+#[derive(Debug)]
+pub struct TraceObserver<W: Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: Write> TraceObserver<W> {
+    /// A trace observer writing to `writer`.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error hit, if any.  Once an error is recorded every
+    /// further record is skipped — a full disk cannot poison a running
+    /// campaign.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Consumes the observer and returns its sink (check
+    /// [`TraceObserver::error`] first if the stream must be complete).
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+
+    fn emit(&mut self, record: String) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(error) = writeln!(self.writer, "{record}") {
+            self.error = Some(error);
+        }
+    }
+}
+
+impl<W: Write> CampaignObserver for TraceObserver<W> {
+    fn on_begin(&mut self, plan: &CampaignPlan) {
+        let sections: Vec<RawJson> = plan
+            .sections
+            .iter()
+            .map(|s| {
+                let mut obj = JsonObject::new();
+                obj.field("label", &s.label).field("faults", s.faults);
+                RawJson(obj.finish())
+            })
+            .collect();
+        let mut obj = JsonObject::new();
+        obj.field("type", "plan")
+            .field("structure", plan.structure.name())
+            .field("stimulation", format!("{:?}", plan.stimulation))
+            .field("engine", format!("{:?}", plan.engine))
+            .field("max_patterns", plan.max_patterns)
+            .field("total_faults", plan.total_faults)
+            .field("threads", plan.threads)
+            .field("block_words", plan.block_words)
+            .field("segments", &plan.segments)
+            .field("sections", sections);
+        self.emit(obj.finish());
+    }
+
+    fn on_segment(&mut self, snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+        let mut metrics = snapshot.telemetry.metrics.clone();
+        metrics.peak_rss_kb = stfsm::sys::peak_rss_kb().unwrap_or(0);
+        let workers: Vec<RawJson> = snapshot
+            .telemetry
+            .workers
+            .iter()
+            .map(|w| RawJson(w.to_json()))
+            .collect();
+        let mut obj = JsonObject::new();
+        obj.field("type", "segment")
+            .field("segment", snapshot.segment)
+            .field("patterns_applied", snapshot.patterns_applied)
+            .field("total_faults", snapshot.total_faults)
+            .field("detected_faults", snapshot.detected_faults)
+            .field("coverage", snapshot.coverage())
+            .field("new_detections", snapshot.segment_detections())
+            .field("start_ns", snapshot.telemetry.start_ns)
+            .field("end_ns", snapshot.telemetry.end_ns)
+            .field("metrics", RawJson(metrics.to_json()))
+            .field("workers", workers);
+        self.emit(obj.finish());
+        ObserverControl::Continue
+    }
+
+    fn on_finish(&mut self, outcome: &CampaignOutcome) {
+        let detected: usize = outcome
+            .sections
+            .iter()
+            .map(|s| s.detection_pattern.iter().flatten().count())
+            .sum();
+        let mut totals = outcome.telemetry.totals.clone();
+        totals.peak_rss_kb = stfsm::sys::peak_rss_kb().unwrap_or(0);
+        let mut obj = JsonObject::new();
+        obj.field("type", "summary")
+            .field("engine", format!("{:?}", outcome.engine))
+            .field("max_patterns", outcome.max_patterns)
+            .field("patterns_applied", outcome.patterns_applied)
+            .field("stimulus_generated", outcome.stimulus_generated)
+            .field("stopped_early", outcome.stopped_early())
+            .field("total_faults", outcome.total_faults())
+            .field("detected_faults", detected)
+            .field("segments", outcome.telemetry.segments.len())
+            .field("totals", RawJson(totals.to_json()));
+        self.emit(obj.finish());
+    }
+}
+
+/// Lane (`tid`) of the per-segment slices in the exported timeline.
+const TID_SEGMENTS: usize = 0;
+/// Lane of the per-phase slices.
+const TID_PHASES: usize = 1;
+/// First worker lane; worker `w` renders on `TID_WORKER_BASE + w`.
+const TID_WORKER_BASE: usize = 100;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn event(name: &str, ts_us: f64, dur_us: f64, tid: usize) -> RawJson {
+    let mut obj = JsonObject::new();
+    obj.field("name", name)
+        .field("cat", "campaign")
+        .field("ph", "X")
+        .field("ts", ts_us)
+        .field("dur", dur_us)
+        .field("pid", 1usize)
+        .field("tid", tid);
+    RawJson(obj.finish())
+}
+
+fn thread_meta(tid: usize, name: &str) -> RawJson {
+    let mut args = JsonObject::new();
+    args.field("name", name);
+    let mut obj = JsonObject::new();
+    obj.field("name", "thread_name")
+        .field("ph", "M")
+        .field("pid", 1usize)
+        .field("tid", tid)
+        .field("args", RawJson(args.finish()));
+    RawJson(obj.finish())
+}
+
+/// Renders a run's telemetry as Chrome Trace Event Format JSON
+/// (`chrome://tracing` / Perfetto): complete (`"ph":"X"`) events in
+/// microseconds on a `segments` lane, a `phases` lane and one lane per
+/// worker.
+///
+/// Phase slices are laid out consecutively from each segment's start in
+/// the fixed order stimulus → good-trace → fault-eval → dictionary →
+/// observer; the engines measure phase *durations*, not offsets, so the
+/// layout is an approximation of when each phase ran (exact whenever the
+/// phases did not interleave, which they do not on the single-threaded
+/// engines).  Worker spans are anchored at their segment's fault-eval
+/// start, which is where the fan-out actually begins.
+///
+/// A run with span timing disabled
+/// ([`CampaignConfig::telemetry`](stfsm::CampaignConfig) off) renders all
+/// slices at timestamp zero with zero duration — structurally valid, just
+/// empty of timing.
+pub fn chrome_trace(telemetry: &CampaignTelemetry) -> String {
+    let mut events: Vec<RawJson> = Vec::new();
+    events.push(thread_meta(TID_SEGMENTS, "segments"));
+    events.push(thread_meta(TID_PHASES, "phases"));
+    let mut workers_seen: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+    for segment in &telemetry.segments {
+        events.push(event(
+            &format!("segment {}", segment.segment),
+            us(segment.start_ns),
+            us(segment.end_ns.saturating_sub(segment.start_ns)),
+            TID_SEGMENTS,
+        ));
+        let m = &segment.metrics;
+        let mut cursor = segment.start_ns;
+        for (phase, ns) in [
+            ("stimulus", m.stimulus_ns),
+            ("good_trace", m.good_trace_ns),
+            ("fault_eval", m.fault_eval_ns),
+            ("dictionary", m.dictionary_ns),
+            ("observer", m.observer_ns),
+        ] {
+            if ns > 0 {
+                events.push(event(phase, us(cursor), us(ns), TID_PHASES));
+                cursor += ns;
+            }
+        }
+        let eval_start = segment.start_ns + m.stimulus_ns + m.good_trace_ns;
+        for span in &segment.workers {
+            let tid = TID_WORKER_BASE + span.worker;
+            if workers_seen.insert(span.worker) {
+                events.push(thread_meta(tid, &format!("worker {}", span.worker)));
+            }
+            events.push(event(
+                &format!("worker {}", span.worker),
+                us(eval_start + span.start_ns),
+                us(span.end_ns.saturating_sub(span.start_ns)),
+                tid,
+            ));
+        }
+    }
+    let mut obj = JsonObject::new();
+    obj.field("traceEvents", events)
+        .field("displayTimeUnit", "ms");
+    obj.finish()
+}
+
+/// Writes [`chrome_trace`] (plus a trailing newline) to a sink.
+pub fn write_chrome_trace<W: Write>(
+    telemetry: &CampaignTelemetry,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "{}", chrome_trace(telemetry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stfsm::faults::StuckAt;
+    use stfsm::testsim::campaign::Campaign;
+    use stfsm::testsim::telemetry::{CampaignMetrics, SegmentTelemetry, WorkerSpan};
+    use stfsm::{BistStructure, SynthesisFlow};
+
+    fn netlist() -> stfsm::bist::netlist::Netlist {
+        let fsm = stfsm::fsm::suite::fig3_example().unwrap();
+        SynthesisFlow::new(BistStructure::Dff)
+            .synthesize(&fsm)
+            .unwrap()
+            .netlist
+    }
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// strings, ends at depth zero.
+    fn assert_balanced(json: &str) {
+        let (mut depth, mut in_string, mut escaped) = (0i64, false, false);
+        for c in json.chars() {
+            if in_string {
+                match (escaped, c) {
+                    (false, '\\') => escaped = true,
+                    (false, '"') => in_string = false,
+                    _ => escaped = false,
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0, "unbalanced: {json}");
+        }
+        assert_eq!(depth, 0, "unbalanced: {json}");
+        assert!(!in_string, "unterminated string: {json}");
+    }
+
+    #[test]
+    fn jsonl_stream_has_plan_segments_and_summary() {
+        let netlist = netlist();
+        let mut trace = TraceObserver::new(Vec::new());
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(200)
+            .observe(&mut trace)
+            .run();
+        assert!(trace.error().is_none());
+        let jsonl = String::from_utf8(trace.into_inner()).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2 + outcome.telemetry.segments.len());
+        assert!(lines[0].starts_with(r#"{"type":"plan""#));
+        assert!(lines[0].contains(r#""structure":"DFF""#));
+        assert!(lines[0].contains(r#""threads":1"#));
+        for (line, segment) in lines[1..lines.len() - 1]
+            .iter()
+            .zip(&outcome.telemetry.segments)
+        {
+            assert!(line.starts_with(r#"{"type":"segment""#));
+            assert!(line.contains(&format!(r#""segment":{}"#, segment.segment)));
+            assert!(line.contains(r#""metrics":{"#));
+        }
+        let summary = lines.last().unwrap();
+        assert!(summary.starts_with(r#"{"type":"summary""#));
+        assert!(summary.contains(&format!(
+            r#""patterns_applied":{}"#,
+            outcome.patterns_applied
+        )));
+        for line in &lines {
+            assert_balanced(line);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_renders_segment_phase_and_worker_lanes() {
+        let telemetry = CampaignTelemetry::from_segments(vec![SegmentTelemetry {
+            segment: 0,
+            patterns_applied: 64,
+            start_ns: 1_000,
+            end_ns: 9_000,
+            metrics: CampaignMetrics {
+                stimulus_ns: 2_000,
+                good_trace_ns: 1_000,
+                fault_eval_ns: 4_000,
+                observer_ns: 500,
+                ..CampaignMetrics::default()
+            },
+            workers: vec![
+                WorkerSpan {
+                    worker: 0,
+                    start_ns: 0,
+                    end_ns: 3_500,
+                },
+                WorkerSpan {
+                    worker: 1,
+                    start_ns: 100,
+                    end_ns: 3_900,
+                },
+            ],
+        }]);
+        let json = chrome_trace(&telemetry);
+        assert_balanced(&json);
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        assert!(json.contains(r#""name":"segment 0""#));
+        assert!(json.contains(r#""name":"stimulus""#));
+        assert!(json.contains(r#""name":"fault_eval""#));
+        // The worker lanes carry metadata names and anchored slices.
+        assert!(json.contains(r#""name":"worker 0""#));
+        assert!(json.contains(r#""name":"worker 1""#));
+        // Worker 1's slice is anchored at segment start + stimulus +
+        // good-trace + its own offset = 4100 ns = 4.1 µs.
+        assert!(json.contains(r#""ts":4.1"#));
+        // No dictionary phase was recorded, so no dictionary slice.
+        assert!(!json.contains(r#""name":"dictionary""#));
+    }
+
+    #[test]
+    fn chrome_trace_from_a_real_run_is_balanced() {
+        let netlist = netlist();
+        let outcome = Campaign::new(&netlist).model(&StuckAt).patterns(128).run();
+        let json = chrome_trace(&outcome.telemetry);
+        assert_balanced(&json);
+        assert!(json.contains(r#""name":"segments""#));
+        assert!(json.contains(r#""displayTimeUnit":"ms""#));
+    }
+
+    /// A sink that fails every write.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_errors_are_recorded_not_propagated() {
+        let netlist = netlist();
+        let mut trace = TraceObserver::new(FailingWriter);
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(64)
+            .observe(&mut trace)
+            .run();
+        // The campaign completed despite the failing sink...
+        assert_eq!(outcome.patterns_applied, 64);
+        // ...and the observer holds the first error.
+        assert_eq!(trace.error().unwrap().to_string(), "disk full");
+    }
+}
