@@ -40,7 +40,16 @@
 //!   in, span timing on, no trace observer attached) is asserted
 //!   bit-for-bit identical to — and within 3 % wall time of — the same
 //!   campaign with span timing off (same enforcement and re-measure
-//!   discipline as the other gates).
+//!   discipline as the other gates);
+//! * the crash-safety layer holds under measurement: the `robustness`
+//!   section arms the deterministic failpoint harness against a threaded
+//!   campaign on the largest machine (injected worker panics must be
+//!   recovered — counted in `worker_panics_recovered` — with zero result
+//!   drift and zero incidents), then kills a checkpointing campaign at a
+//!   segment boundary and records the checkpoint size and the crash
+//!   premium (`resume_overhead_pct`: prefix + resume wall time over the
+//!   uninterrupted run), asserting the resumed detections are bit-for-bit
+//!   identical.
 //!
 //! Writes the measurements — including the process peak RSS, which the
 //! lazy per-segment stimulus and checkpoint-plane allocation keeps
@@ -632,6 +641,128 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("within_overhead", within_telemetry_budget)
         .field("results_identical", true);
 
+    // ---- robustness: recovery telemetry + checkpoint/resume cost ---------
+    // The crash-safety layer's acceptance numbers on the largest machine:
+    // injected worker panics are recovered without changing a result bit
+    // (and counted), and a campaign killed at a segment boundary resumes
+    // to the uninterrupted result for a bounded wall-time premium.
+    struct StopAt(usize);
+    impl stfsm::CampaignObserver for StopAt {
+        fn on_segment(&mut self, snapshot: &stfsm::SegmentSnapshot<'_>) -> stfsm::ObserverControl {
+            if snapshot.segment >= self.0 {
+                stfsm::ObserverControl::Stop
+            } else {
+                stfsm::ObserverControl::Continue
+            }
+        }
+        fn on_finish(&mut self, _outcome: &stfsm::CampaignOutcome) {}
+    }
+
+    // Threads pinned explicitly: the fan-out (and with it the injected
+    // panics) must exist even on a single-core host, where the default
+    // thread count would collapse to one worker and the chaos plan would
+    // never fire.
+    let robust_tuning = CampaignConfig {
+        max_patterns: SUITE_PATTERNS,
+        engine: SimEngine::Threaded,
+        threads: Some(4),
+        ..CampaignConfig::default()
+    };
+    let run_threaded = || {
+        Campaign::new(&netlist)
+            .config(robust_tuning.clone())
+            .model(&stfsm::faults::StuckAt)
+            .run()
+    };
+    let clean_outcome = run_threaded();
+    let chaos_outcome = {
+        use stfsm::testsim::failpoints::{arm, ChaosPlan};
+        let _chaos = arm(ChaosPlan::seeded(0xC0FFEE, 32, 16, 4).worker_panic(0, 0));
+        run_threaded()
+    };
+    let worker_panics_recovered = chaos_outcome.telemetry.totals.worker_panics_recovered;
+    assert_eq!(
+        chaos_outcome.sections[0].detection_pattern, clean_outcome.sections[0].detection_pattern,
+        "recovered worker panics must not change a detection bit on {large_machine}"
+    );
+    assert!(
+        chaos_outcome.incidents.is_empty(),
+        "recovered worker panics must not surface as incidents on {large_machine}"
+    );
+    assert!(
+        worker_panics_recovered >= 1,
+        "the armed chaos plan must inject at least one recovered panic on {large_machine}"
+    );
+
+    let kill_boundary = 1usize;
+    let checkpoint_path = std::env::temp_dir().join(format!(
+        "stfsm-bench-robustness-{}.ckpt",
+        std::process::id()
+    ));
+    let run_robust_full = || run_tuned(&netlist, &robust_tuning);
+    let (robust_full_pattern, robust_full_ns) = best_of(CAMPAIGN_RUNS, run_robust_full);
+    let run_prefix = || {
+        let mut stop = StopAt(kill_boundary);
+        Campaign::new(&netlist)
+            .config(robust_tuning.clone())
+            .model(&stfsm::faults::StuckAt)
+            .checkpoint_to(&checkpoint_path)
+            .observe(&mut stop)
+            .run()
+    };
+    let (prefix_outcome, prefix_ns) = best_of(CAMPAIGN_RUNS, run_prefix);
+    let run_resume = || {
+        let mut outcome = Campaign::new(&netlist)
+            .config(robust_tuning.clone())
+            .model(&stfsm::faults::StuckAt)
+            .resume_from(&checkpoint_path)
+            .run();
+        outcome.sections.remove(0).detection_pattern
+    };
+    let (resumed_pattern, resume_ns) = best_of(CAMPAIGN_RUNS, run_resume);
+    std::fs::remove_file(&checkpoint_path).ok();
+    assert_eq!(
+        resumed_pattern, robust_full_pattern,
+        "a campaign killed at boundary {kill_boundary} and resumed must match the \
+         uninterrupted run bit-for-bit on {large_machine}"
+    );
+    let checkpoint_bytes = prefix_outcome.telemetry.totals.checkpoint_bytes;
+    // The crash premium: wall time of (prefix run + resumed run) over the
+    // uninterrupted run.  The resume replays stored segments instead of
+    // re-simulating them, so the premium is dominated by the prefix's
+    // stimulus regeneration.
+    let resume_overhead_pct = (prefix_ns + resume_ns - robust_full_ns) / robust_full_ns * 100.0;
+    println!(
+        "\n{large_machine}: robustness — {worker_panics_recovered} worker panics recovered \
+         (results identical), checkpoint {checkpoint_bytes} bytes at boundary {kill_boundary}",
+    );
+    println!(
+        "{large_machine}: kill+resume {:.3} ms + {:.3} ms vs {:.3} ms uninterrupted \
+         ({resume_overhead_pct:+.2} % crash premium)",
+        prefix_ns / 1e6,
+        resume_ns / 1e6,
+        robust_full_ns / 1e6
+    );
+    let mut robustness = JsonObject::new();
+    robustness
+        .field("machine", &large_machine)
+        .field("engine", "Threaded")
+        .field("max_patterns", SUITE_PATTERNS)
+        .field("worker_panics_recovered", worker_panics_recovered)
+        .field("chaos_results_identical", true)
+        .field("kill_boundary", kill_boundary)
+        .field("kill_patterns", prefix_outcome.patterns_applied)
+        .field(
+            "checkpoints_written",
+            prefix_outcome.telemetry.totals.checkpoints_written,
+        )
+        .field("checkpoint_bytes", checkpoint_bytes)
+        .field("full_ms", robust_full_ns / 1e6)
+        .field("prefix_ms", prefix_ns / 1e6)
+        .field("resume_ms", resume_ns / 1e6)
+        .field("resume_overhead_pct", resume_overhead_pct)
+        .field("results_identical", true);
+
     // ---- artefact --------------------------------------------------------
     let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
     let all_identical = rows.iter().all(|r| r.detection_patterns_identical);
@@ -674,6 +805,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("campaign_api", RawJson(campaign_row.to_json()))
         .field("test_length", RawJson(test_length.finish()))
         .field("telemetry", RawJson(telemetry_report.finish()))
+        .field("robustness", RawJson(robustness.finish()))
         .field("detection_patterns_identical", all_identical);
     // The peak-RSS note of the lazy-allocation satellite: stimulus rows,
     // broadcast buffers and dictionary checkpoint planes are allocated per

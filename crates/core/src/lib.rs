@@ -70,8 +70,10 @@ pub use stfsm_testsim::campaign::{
     CoverageTargetObserver, DictionaryObserver, ObserverControl, SegmentSnapshot,
     TestLengthObserver,
 };
+pub use stfsm_testsim::checkpoint::CampaignCheckpoint;
 pub use stfsm_testsim::coverage::{CampaignConfig, SimEngine};
 pub use stfsm_testsim::diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};
+pub use stfsm_testsim::error::{CampaignError, ObserverPhase};
 
 /// Re-export of the BIST structures and netlists (`stfsm-bist`).
 pub use stfsm_bist as bist;

@@ -492,7 +492,10 @@ impl ToJson for CampaignMetrics {
             .field("good_trace_ns", self.good_trace_ns)
             .field("fault_eval_ns", self.fault_eval_ns)
             .field("dictionary_ns", self.dictionary_ns)
-            .field("observer_ns", self.observer_ns);
+            .field("observer_ns", self.observer_ns)
+            .field("worker_panics_recovered", self.worker_panics_recovered)
+            .field("checkpoints_written", self.checkpoints_written)
+            .field("checkpoint_bytes", self.checkpoint_bytes);
         out.push_str(&obj.finish());
     }
 }
@@ -754,6 +757,9 @@ mod tests {
             cache_misses: 4,
             peak_rss_kb: 2048,
             observer_ns: 55,
+            worker_panics_recovered: 2,
+            checkpoints_written: 3,
+            checkpoint_bytes: 4096,
             ..CampaignMetrics::default()
         };
         let json = metrics.to_json();
@@ -761,6 +767,9 @@ mod tests {
         assert!(json.contains(r#""cache_hits":3"#));
         assert!(json.contains(r#""peak_rss_kb":2048"#));
         assert!(json.contains(r#""observer_ns":55"#));
+        assert!(json.contains(r#""worker_panics_recovered":2"#));
+        assert!(json.contains(r#""checkpoints_written":3"#));
+        assert!(json.contains(r#""checkpoint_bytes":4096"#));
 
         let telemetry = CampaignTelemetry::from_segments(vec![SegmentTelemetry {
             segment: 0,

@@ -154,14 +154,77 @@
 //! assert!(coverage.result().expect("one section").fault_coverage() > 0.9);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # Robustness
+//!
+//! Campaigns are crash-safe: configuration mistakes surface as typed
+//! errors before any simulation work, mid-run failures are recovered from
+//! without aborting (or changing a single result bit), and long campaigns
+//! can checkpoint at segment boundaries and resume after a kill.
+//! [`Campaign::try_run`] is the fallible entry point;
+//! [`Campaign::run`] remains the historical wrapper that panics on error.
+//!
+//! ## Error taxonomy
+//!
+//! | [`CampaignError`] variant | When | Effect |
+//! |---|---|---|
+//! | `InvalidBlockWords` | plan time: `block_words` override ∉ {1, 4, 8} | `try_run` returns the error; nothing runs |
+//! | `InvalidThreads` | plan time: `threads` override is 0 or implausibly large | `try_run` returns the error; nothing runs |
+//! | `ZeroPatternBudget` | plan time: checkpoint/resume requested with a zero-pattern budget | `try_run` returns the error; nothing runs |
+//! | `ObserverFailure` | an observer panicked in `on_begin` / `on_segment` / `on_finish`, or reported a latched failure via [`CampaignObserver::failure`] | observer is latched out of the remaining lifecycle; the run completes and the failure lands on [`CampaignOutcome::incidents`] |
+//! | `WorkerPanic` | a threaded shard worker panicked *and* the deterministic single-threaded re-run of the quarantined shard panicked too | `try_run` returns the error (a recoverable panic is re-run transparently and only counted in [`CampaignMetrics::worker_panics_recovered`](crate::telemetry::CampaignMetrics::worker_panics_recovered)) |
+//! | `CheckpointIo` | a checkpoint file could not be read (resume) or written (mid-run) | resume: `try_run` returns the error; mid-run write: checkpointing is latched off, the run completes, the error lands on [`CampaignOutcome::incidents`] |
+//! | `CheckpointFormat` | a resume file parsed as something other than a version-1 checkpoint | `try_run` returns the error; nothing runs |
+//! | `CheckpointMismatch` | a structurally valid checkpoint belongs to a different campaign (digest, budget or pass kind) | `try_run` returns the error; nothing runs |
+//!
+//! ## Checkpoint format and version policy
+//!
+//! [`Campaign::checkpoint_to`] writes a versioned, self-describing text
+//! checkpoint (see the [`checkpoint`](crate::checkpoint) module docs for
+//! the line grammar) atomically at *every* segment boundary: detection
+//! state, survivor lanes or MISR checkpoint planes, the stimulus cursor
+//! and the replayable segment history.  The format version is bumped on
+//! any incompatible change and a resuming campaign rejects any version it
+//! does not know ([`CampaignError::CheckpointFormat`]) — there is no
+//! silent migration.  Checkpoints are engine-agnostic: the identity
+//! digest covers the netlist, fault sections, seed, weights, stimulation
+//! and budget but *not* the engine, thread count or block width, so a
+//! checkpoint written by any engine resumes on any other bit-for-bit.
+//!
+//! ## Recovery semantics
+//!
+//! * A resumed campaign ([`Campaign::resume_from`]) replays the stored
+//!   segment history through every observer (stop votes latch exactly as
+//!   they did live), restores the engine state at the last stored
+//!   boundary, regenerates only the stimulus prefix (a pure function of
+//!   the seed) and finishes bit-for-bit equal to the uninterrupted run.
+//! * A panicking observer never aborts the run: it is latched out, its
+//!   sticky stop vote (if any) stands, and the panic is reported as an
+//!   [`CampaignError::ObserverFailure`] incident.  A latched-out observer
+//!   that never voted keeps the campaign running to its budget, so
+//!   detection results never change.
+//! * A panicking shard worker is quarantined and its block re-run
+//!   single-threaded on the same inputs; the merge order is unchanged, so
+//!   the outcome is bit-for-bit identical and the recovery is visible
+//!   only in the `worker_panics_recovered` telemetry counter.  Likewise
+//!   `checkpoints_written` and `checkpoint_bytes` count checkpoint writes
+//!   on the segment they happened in.
 
+use crate::checkpoint::{CampaignCheckpoint, EngineSnapshot, PassKind, StoredSegment};
 use crate::coverage::{
     assemble_coverage, detect_streaming, misr_aliasing_probability, segment_schedule,
-    CampaignConfig, CoverageResult, SegmentReport, SimEngine, StateStimulation,
+    CampaignConfig, CoverageResult, PassPersistence, ResumePoint, SegmentReport, SimEngine,
+    StateStimulation,
 };
-use crate::dictionary::{build_dictionary_streaming, FaultDictionary};
+use crate::dictionary::{
+    build_dictionary_streaming, segment_checkpoints, DictionaryEntry, FaultDictionary,
+    MAX_SIGNATURE_BITS,
+};
+use crate::error::{panic_message, CampaignError, ObserverPhase};
 use crate::faults::Injection;
 use crate::telemetry::{CampaignTelemetry, PhaseTimer, SegmentTelemetry};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::Arc;
 use stfsm_bist::netlist::Netlist;
 use stfsm_bist::BistStructure;
@@ -301,6 +364,15 @@ pub trait CampaignObserver {
     /// Called exactly once per [`Campaign::run`], after the simulation
     /// pass (full-budget or early-stopped), with the complete outcome.
     fn on_finish(&mut self, outcome: &CampaignOutcome);
+
+    /// A failure this observer latched instead of panicking (for example a
+    /// sink's deferred write error).  Polled once after `on_finish`; a
+    /// `Some` is reported as an [`CampaignError::ObserverFailure`] on the
+    /// *returned* [`CampaignOutcome::incidents`] (the outcome handed to
+    /// `on_finish` predates the poll).  Defaults to `None`.
+    fn failure(&self) -> Option<String> {
+        None
+    }
 }
 
 /// The per-section result of a campaign run.
@@ -345,6 +417,14 @@ pub struct CampaignOutcome {
     /// spans and worker lanes only when [`CampaignConfig::telemetry`] is
     /// on.
     pub telemetry: CampaignTelemetry,
+    /// Failures the campaign recovered from without aborting: observer
+    /// panics and latched observer failures ([`CampaignError::ObserverFailure`])
+    /// and mid-run checkpoint write errors ([`CampaignError::CheckpointIo`]),
+    /// in the order they happened.  Empty on a clean run.  Recovered
+    /// *worker* panics are not incidents — they change nothing observable
+    /// and are counted in
+    /// [`CampaignMetrics::worker_panics_recovered`](crate::telemetry::CampaignMetrics::worker_panics_recovered).
+    pub incidents: Vec<CampaignError>,
 }
 
 impl CampaignOutcome {
@@ -384,6 +464,8 @@ pub struct Campaign<'n, 'o> {
     config: CampaignConfig,
     sections: Vec<Section>,
     observers: Vec<&'o mut dyn CampaignObserver>,
+    checkpoint_to: Option<PathBuf>,
+    resume_from: Option<PathBuf>,
 }
 
 impl<'n, 'o> Campaign<'n, 'o> {
@@ -395,6 +477,8 @@ impl<'n, 'o> Campaign<'n, 'o> {
             config: CampaignConfig::default(),
             sections: Vec::new(),
             observers: Vec::new(),
+            checkpoint_to: None,
+            resume_from: None,
         }
     }
 
@@ -472,6 +556,31 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// Writes a versioned checkpoint to `path` (atomically, temp file +
+    /// rename) at every segment boundary, so a killed campaign can be
+    /// resumed with [`Campaign::resume_from`]; see the
+    /// [Robustness](self#robustness) section of the module docs.  A write
+    /// failure never aborts the run: checkpointing is latched off and the
+    /// [`CampaignError::CheckpointIo`] lands on
+    /// [`CampaignOutcome::incidents`].
+    pub fn checkpoint_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_to = Some(path.into());
+        self
+    }
+
+    /// Resumes from a checkpoint previously written by
+    /// [`Campaign::checkpoint_to`]: the stored segment history is replayed
+    /// through every observer, the engine state is restored at the last
+    /// stored boundary, and the remaining schedule runs bit-for-bit as the
+    /// uninterrupted campaign would have.  The checkpoint may have been
+    /// written by a different engine, thread count or block width.
+    /// [`Campaign::try_run`] fails up front with a typed error when the
+    /// file is unreadable, malformed or belongs to another campaign.
+    pub fn resume_from(mut self, path: impl Into<PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
+        self
+    }
+
     /// Runs the campaign: one simulation pass over the concatenated fault
     /// sections, streamed segment by segment to every observer (see the
     /// [module docs](self) for the lifecycle and the early-stop vote).
@@ -479,21 +588,49 @@ impl<'n, 'o> Campaign<'n, 'o> {
     ///
     /// Degenerate campaigns are total: no sections, empty fault lists or
     /// zero patterns all return cleanly.
+    ///
+    /// The historical infallible wrapper over [`Campaign::try_run`]:
+    /// recoverable failures are still recovered from (they land on
+    /// [`CampaignOutcome::incidents`]), but a hard [`CampaignError`]
+    /// panics here instead of returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any error [`Campaign::try_run`] would return.
     pub fn run(self) -> CampaignOutcome {
+        match self.try_run() {
+            Ok(outcome) => outcome,
+            Err(error) => panic!("campaign failed: {error}"),
+        }
+    }
+
+    /// Runs the campaign, returning a typed [`CampaignError`] instead of
+    /// panicking on invalid configuration, unusable resume checkpoints or
+    /// unrecoverable worker panics; see the [Robustness](self#robustness)
+    /// section of the module docs for the taxonomy.  Failures the run
+    /// *recovered* from are reported on [`CampaignOutcome::incidents`].
+    pub fn try_run(self) -> Result<CampaignOutcome, CampaignError> {
         let Campaign {
             netlist,
             config,
             sections,
             mut observers,
+            checkpoint_to,
+            resume_from,
         } = self;
+        config.validate()?;
         let engine = config.engine.resolve(netlist);
         let config = CampaignConfig { engine, ..config };
         let stimulation = config.resolved_stimulation(netlist);
+        if config.max_patterns == 0 && (checkpoint_to.is_some() || resume_from.is_some()) {
+            return Err(CampaignError::ZeroPatternBudget);
+        }
         let all_faults: Vec<Injection> = sections
             .iter()
             .flat_map(|s| s.faults.iter().copied())
             .collect();
         let total_faults = all_faults.len();
+        let digest = campaign_digest(netlist, &sections, &config, stimulation);
 
         let plan = CampaignPlan {
             structure: netlist.structure(),
@@ -520,10 +657,68 @@ impl<'n, 'o> Campaign<'n, 'o> {
                 _ => 1,
             },
         };
-        for observer in observers.iter_mut() {
-            observer.on_begin(&plan);
+        // Observer guard discipline: a panicking observer is latched out
+        // of the remaining lifecycle (its sticky stop vote, if any,
+        // stands) and the panic becomes an incident — never an abort.
+        let mut incidents: Vec<CampaignError> = Vec::new();
+        let mut alive = vec![true; observers.len()];
+        for (index, observer) in observers.iter_mut().enumerate() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| observer.on_begin(&plan))) {
+                alive[index] = false;
+                incidents.push(CampaignError::ObserverFailure {
+                    observer: index,
+                    phase: ObserverPhase::Begin,
+                    message: panic_message(payload.as_ref()),
+                });
+            }
         }
-        let needs_signatures = observers.iter().any(|o| o.needs_signatures());
+        let needs_signatures = observers
+            .iter()
+            .zip(&alive)
+            .any(|(observer, &ok)| ok && observer.needs_signatures());
+        let pass_kind = if needs_signatures {
+            PassKind::Signatures
+        } else {
+            PassKind::Detect
+        };
+
+        // A resume checkpoint must exist, parse, and belong to *this*
+        // campaign before anything runs.
+        let resumed: Option<CampaignCheckpoint> = match &resume_from {
+            Some(path) => {
+                let checkpoint = crate::checkpoint::load(path)?;
+                let mismatch = |field: &str, expected: String, found: String| {
+                    CampaignError::CheckpointMismatch {
+                        field: field.to_string(),
+                        expected,
+                        found,
+                    }
+                };
+                if checkpoint.max_patterns != config.max_patterns {
+                    return Err(mismatch(
+                        "max_patterns",
+                        config.max_patterns.to_string(),
+                        checkpoint.max_patterns.to_string(),
+                    ));
+                }
+                if checkpoint.digest != digest {
+                    return Err(mismatch(
+                        "digest",
+                        format!("{digest:016x}"),
+                        format!("{:016x}", checkpoint.digest),
+                    ));
+                }
+                if checkpoint.pass != pass_kind {
+                    return Err(mismatch(
+                        "pass",
+                        format!("{pass_kind:?}"),
+                        format!("{:?}", checkpoint.pass),
+                    ));
+                }
+                Some(checkpoint)
+            }
+            None => None,
+        };
 
         // Flat fault index → section mapping for the snapshots.
         let offsets: Vec<usize> = sections
@@ -542,7 +737,22 @@ impl<'n, 'o> Campaign<'n, 'o> {
         let mut voted = vec![false; observers.len()];
         let timing = config.telemetry;
         let mut segment_telemetry: Vec<SegmentTelemetry> = Vec::new();
-        let mut on_segment = |report: &SegmentReport<'_>| -> bool {
+        let capture = checkpoint_to.is_some();
+        let mut checkpoint_path = checkpoint_to;
+        let engine_name = format!("{engine:?}");
+        // The replayable segment history grows one entry per live boundary
+        // and seeds from the resume checkpoint, so every checkpoint written
+        // by this run carries the history from segment 0.
+        let mut stored_segments: Vec<StoredSegment> = resumed
+            .as_ref()
+            .map(|checkpoint| checkpoint.segments.clone())
+            .unwrap_or_default();
+        // One handler for live boundaries and for replaying a resume
+        // checkpoint's stored history (`live == false`): replayed segments
+        // reach observers — and count toward the sticky stop votes —
+        // exactly as they did in the interrupted run, but are neither
+        // re-stored nor re-checkpointed.
+        let mut process = |report: &SegmentReport<'_>, live: bool| -> bool {
             for section in per_section.iter_mut() {
                 section.clear();
             }
@@ -562,16 +772,90 @@ impl<'n, 'o> Campaign<'n, 'o> {
             };
             let observer_timer = PhaseTimer::start(timing);
             let mut all_stopped = !observers.is_empty();
-            for (observer, vote) in observers.iter_mut().zip(voted.iter_mut()) {
-                if observer.on_segment(&snapshot) == ObserverControl::Stop {
-                    *vote = true;
+            for ((index, observer), vote) in observers.iter_mut().enumerate().zip(voted.iter_mut())
+            {
+                if alive[index] {
+                    match catch_unwind(AssertUnwindSafe(|| observer.on_segment(&snapshot))) {
+                        Ok(control) => {
+                            if control == ObserverControl::Stop {
+                                *vote = true;
+                            }
+                        }
+                        Err(payload) => {
+                            alive[index] = false;
+                            incidents.push(CampaignError::ObserverFailure {
+                                observer: index,
+                                phase: ObserverPhase::Segment,
+                                message: panic_message(payload.as_ref()),
+                            });
+                        }
+                    }
                 }
                 all_stopped &= *vote;
             }
             telemetry.metrics.observer_ns = observer_timer.elapsed_ns();
+            if live && capture {
+                stored_segments.push(StoredSegment {
+                    index: report.segment,
+                    to: report.patterns_applied,
+                    detections: report.new_detections.to_vec(),
+                    metrics: telemetry.metrics.clone(),
+                });
+                // `checkpoint_path` is `None` after a write failure: the
+                // first CheckpointIo latches checkpointing off for the
+                // rest of the run.
+                if let (Some(path), Some(state)) =
+                    (checkpoint_path.as_ref(), report.snapshot.as_ref())
+                {
+                    let checkpoint = CampaignCheckpoint {
+                        digest,
+                        engine: engine_name.clone(),
+                        max_patterns: config.max_patterns,
+                        pass: pass_kind,
+                        stimulus_generated: report.stimulus_generated,
+                        segments: stored_segments.clone(),
+                        snapshot: state.clone(),
+                    };
+                    match crate::checkpoint::save(path, &checkpoint, report.segment) {
+                        Ok(bytes) => {
+                            telemetry.metrics.checkpoints_written += 1;
+                            telemetry.metrics.checkpoint_bytes += bytes;
+                        }
+                        Err(error) => {
+                            incidents.push(error);
+                            checkpoint_path = None;
+                        }
+                    }
+                }
+            }
             segment_telemetry.push(telemetry);
             !all_stopped
         };
+
+        // Replay the stored history of a resume checkpoint through the
+        // observers (spans read zero — they are not re-measured — but the
+        // counter deltas are the interrupted run's).
+        let mut replay_continue = true;
+        if let Some(checkpoint) = &resumed {
+            for stored in &checkpoint.segments {
+                let report = SegmentReport {
+                    segment: stored.index,
+                    patterns_applied: stored.to,
+                    new_detections: &stored.detections,
+                    stimulus_generated: checkpoint.stimulus_generated,
+                    snapshot: None,
+                    telemetry: SegmentTelemetry {
+                        segment: stored.index,
+                        patterns_applied: stored.to,
+                        start_ns: 0,
+                        end_ns: 0,
+                        metrics: stored.metrics.clone(),
+                        workers: Vec::new(),
+                    },
+                };
+                replay_continue = process(&report, false);
+            }
+        }
 
         // The single pass: un-dropped with signatures when any observer
         // asked for them (its first-detect indices are bit-for-bit the
@@ -581,40 +865,89 @@ impl<'n, 'o> Campaign<'n, 'o> {
         // (and the differential pass's per-segment recordings) share one
         // recording of the fault-free machine.
         let mut good_cache = crate::differential::GoodTraceCache::new();
-        let (detection_pattern, patterns_applied, stimulus_generated, dictionary) =
-            if needs_signatures {
-                let (dictionary, stimulus_generated) = build_dictionary_streaming(
-                    netlist,
-                    &all_faults,
-                    &config,
-                    &mut good_cache,
-                    &mut on_segment,
-                );
-                let detection: Vec<Option<usize>> =
-                    dictionary.entries.iter().map(|e| e.first_detect).collect();
-                let patterns_applied = dictionary.patterns_applied;
-                (
-                    detection,
-                    patterns_applied,
-                    stimulus_generated,
-                    Some(Arc::new(dictionary)),
-                )
+        let (mut detection_pattern, patterns_applied, stimulus_generated, dictionary) =
+            if !replay_continue {
+                // The interrupted run had already stopped (a unanimous
+                // vote at the checkpoint's last boundary, re-latched
+                // during replay): simulating anything further would
+                // diverge from the uninterrupted outcome, so the result is
+                // assembled entirely from the stored state.
+                let checkpoint = resumed
+                    .as_ref()
+                    .unwrap_or_else(|| unreachable!("replay only runs when resuming"));
+                assemble_stopped(checkpoint, netlist, &all_faults, &config)
             } else {
-                let outcome = detect_streaming(
-                    netlist,
-                    &all_faults,
-                    &config,
-                    stimulation,
-                    &mut good_cache,
-                    &mut on_segment,
-                );
-                (
-                    outcome.detection_pattern,
-                    outcome.patterns_applied,
-                    outcome.stimulus_generated,
-                    None,
-                )
+                let persist = PassPersistence {
+                    capture,
+                    resume: resumed.as_ref().map(|checkpoint| ResumePoint {
+                        from: checkpoint.patterns_applied(),
+                        stimulus_generated: checkpoint.stimulus_generated,
+                        snapshot: &checkpoint.snapshot,
+                    }),
+                };
+                let mut on_segment = |report: &SegmentReport<'_>| process(report, true);
+                // The pass itself runs under an unwind guard: a worker
+                // panic that survives the deterministic single-threaded
+                // re-run of its quarantined shard surfaces as a typed
+                // error instead of unwinding through the caller.
+                let pass = catch_unwind(AssertUnwindSafe(|| {
+                    if needs_signatures {
+                        let (dictionary, stimulus_generated) = build_dictionary_streaming(
+                            netlist,
+                            &all_faults,
+                            &config,
+                            &mut good_cache,
+                            &persist,
+                            &mut on_segment,
+                        );
+                        let detection: Vec<Option<usize>> =
+                            dictionary.entries.iter().map(|e| e.first_detect).collect();
+                        let patterns_applied = dictionary.patterns_applied;
+                        (
+                            detection,
+                            patterns_applied,
+                            stimulus_generated,
+                            Some(Arc::new(dictionary)),
+                        )
+                    } else {
+                        let outcome = detect_streaming(
+                            netlist,
+                            &all_faults,
+                            &config,
+                            stimulation,
+                            &mut good_cache,
+                            &persist,
+                            &mut on_segment,
+                        );
+                        (
+                            outcome.detection_pattern,
+                            outcome.patterns_applied,
+                            outcome.stimulus_generated,
+                            None,
+                        )
+                    }
+                }));
+                match pass {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        return Err(CampaignError::WorkerPanic {
+                            message: panic_message(payload.as_ref()),
+                        })
+                    }
+                }
             };
+
+        // A resumed pass only reports post-resume detections; the
+        // pre-resume first-detects come from the stored history (for the
+        // un-dropped dictionary pass the restored lanes already carry
+        // them, and re-stamping the same values is a no-op).
+        if let Some(checkpoint) = &resumed {
+            for stored in &checkpoint.segments {
+                for &(flat, cycle) in &stored.detections {
+                    detection_pattern[flat] = Some(cycle);
+                }
+            }
+        }
 
         // Split the concatenated results back into the declared sections
         // (the common single-section case shares the one dictionary `Arc`
@@ -640,7 +973,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
             offset += count;
         }
 
-        let outcome = CampaignOutcome {
+        let mut outcome = CampaignOutcome {
             structure: netlist.structure(),
             stimulation,
             engine,
@@ -650,12 +983,152 @@ impl<'n, 'o> Campaign<'n, 'o> {
             aliasing_probability: misr_aliasing_probability(netlist.observation_points().len()),
             sections: outcome_sections,
             telemetry: CampaignTelemetry::from_segments(segment_telemetry),
+            incidents,
         };
-        for observer in observers.iter_mut() {
-            observer.on_finish(&outcome);
+        // `on_finish` failures (and latched observer failures polled via
+        // `CampaignObserver::failure`) are appended to the *returned*
+        // outcome — the copies already handed to earlier observers are
+        // immutable history.
+        let mut late: Vec<CampaignError> = Vec::new();
+        for (index, observer) in observers.iter_mut().enumerate() {
+            if !alive[index] {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| observer.on_finish(&outcome))) {
+                Ok(()) => {
+                    if let Some(message) = observer.failure() {
+                        late.push(CampaignError::ObserverFailure {
+                            observer: index,
+                            phase: ObserverPhase::Finish,
+                            message,
+                        });
+                    }
+                }
+                Err(payload) => {
+                    alive[index] = false;
+                    late.push(CampaignError::ObserverFailure {
+                        observer: index,
+                        phase: ObserverPhase::Finish,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
         }
-        outcome
+        outcome.incidents.extend(late);
+        Ok(outcome)
     }
+}
+
+/// The campaign identity digest stamped into (and checked against) every
+/// checkpoint: netlist shape, budget, seed, weights, stimulation and the
+/// full fault-section list.  Deliberately *excludes* the engine, thread
+/// count and block width — checkpoints are engine-agnostic.
+fn campaign_digest(
+    netlist: &Netlist,
+    sections: &[Section],
+    config: &CampaignConfig,
+    stimulation: StateStimulation,
+) -> u64 {
+    let mut hash = crate::checkpoint::Fnv1a64::new();
+    hash.write_str(netlist.name());
+    hash.write_str(&format!("{:?}", netlist.structure()));
+    hash.write_u64(netlist.primary_inputs().len() as u64);
+    hash.write_u64(netlist.flip_flops().len() as u64);
+    hash.write_u64(netlist.gates().len() as u64);
+    hash.write_u64(config.max_patterns as u64);
+    hash.write_u64(config.seed);
+    match &config.input_weights {
+        None => hash.write_str("-"),
+        Some(weights) => {
+            hash.write_u64(weights.len() as u64);
+            for &weight in weights {
+                hash.write_u64(weight.to_bits());
+            }
+        }
+    }
+    hash.write_str(&format!("{stimulation:?}"));
+    hash.write_u64(sections.len() as u64);
+    for section in sections {
+        hash.write_str(&section.label);
+        hash.write_u64(section.faults.len() as u64);
+        for fault in &section.faults {
+            hash.write_str(&format!("{fault:?}"));
+        }
+    }
+    hash.finish()
+}
+
+/// Assembles the pass result of a campaign whose replayed history ends in
+/// a unanimous stop: the interrupted run had already stopped at the
+/// checkpoint's last boundary, so the stored detections and (for the
+/// dictionary pass) the stored lane signatures *are* the final result —
+/// including the early-stop tail-fill, where every checkpoint slot beyond
+/// the stop holds the stop-time signature.
+fn assemble_stopped(
+    checkpoint: &CampaignCheckpoint,
+    netlist: &Netlist,
+    all_faults: &[Injection],
+    config: &CampaignConfig,
+) -> (
+    Vec<Option<usize>>,
+    usize,
+    usize,
+    Option<Arc<FaultDictionary>>,
+) {
+    let patterns_applied = checkpoint.patterns_applied();
+    let mut detection_pattern = vec![None; all_faults.len()];
+    for stored in &checkpoint.segments {
+        for &(flat, cycle) in &stored.detections {
+            detection_pattern[flat] = Some(cycle);
+        }
+    }
+    let dictionary = match &checkpoint.snapshot {
+        EngineSnapshot::Detect { .. } => None,
+        EngineSnapshot::Signatures {
+            good_state: _,
+            reference_signature,
+            reference_segments,
+            lanes,
+        } => {
+            let obs_count = netlist.observation_points().len();
+            let signature_bits = obs_count.clamp(1, MAX_SIGNATURE_BITS);
+            let checkpoints = segment_checkpoints(config.max_patterns);
+            let mut reference_segments = reference_segments.clone();
+            while reference_segments.len() < checkpoints.len() {
+                reference_segments.push(*reference_signature);
+            }
+            let entries: Vec<DictionaryEntry> = all_faults
+                .iter()
+                .zip(lanes)
+                .map(|(&fault, record)| {
+                    let mut segments = record.segments.clone();
+                    while segments.len() < checkpoints.len() {
+                        segments.push(record.signature);
+                    }
+                    DictionaryEntry {
+                        fault,
+                        first_detect: record.first_detect,
+                        signature: record.signature,
+                        segments,
+                    }
+                })
+                .collect();
+            Some(Arc::new(FaultDictionary::new(
+                signature_bits,
+                *reference_signature,
+                reference_segments,
+                checkpoints,
+                patterns_applied,
+                entries,
+            )))
+        }
+    };
+    (
+        detection_pattern,
+        patterns_applied,
+        checkpoint.stimulus_generated,
+        dictionary,
+    )
 }
 
 /// The coverage sink: one [`CoverageResult`] per section, bit-for-bit what

@@ -17,6 +17,8 @@
 //! Signature aliasing is not modelled cycle by cycle; the standard `2^{-r}`
 //! masking probability of an `r`-bit MISR is reported alongside the results.
 
+use crate::checkpoint::{EngineSnapshot, SurvivorRecord};
+use crate::error::{CampaignError, MAX_THREADS};
 use crate::faults::{FaultList, Injection};
 use crate::packed::{PackedSimulator, FAULT_LANES};
 use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
@@ -227,6 +229,32 @@ impl CampaignConfig {
         }
     }
 
+    /// Validates the configuration the way
+    /// [`Campaign::try_run`](crate::campaign::Campaign::try_run) does at
+    /// plan time: an explicit [`CampaignConfig::block_words`] must be one
+    /// of the supported widths (1, 4 or 8) and an explicit
+    /// [`CampaignConfig::threads`] must lie in `1..=`[`MAX_THREADS`].
+    ///
+    /// The legacy resolution helpers
+    /// ([`CampaignConfig::resolved_block_words`],
+    /// [`CampaignConfig::effective_threads`]) keep their historical
+    /// snapping and clamping for the compatibility wrappers; `try_run`
+    /// rejects a nonsensical configuration with a typed error instead of
+    /// silently guessing.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        if let Some(w) = self.block_words {
+            if !matches!(w, 1 | 4 | 8) {
+                return Err(CampaignError::InvalidBlockWords { requested: w });
+            }
+        }
+        if let Some(t) = self.threads {
+            if t == 0 || t > MAX_THREADS {
+                return Err(CampaignError::InvalidThreads { requested: t });
+            }
+        }
+        Ok(())
+    }
+
     /// The resolved differential-engine tuning of one campaign, bundled so
     /// the coverage, dictionary and diagnosis passes dispatch identically.
     pub(crate) fn diff_tuning(&self, num_faults: usize) -> DiffTuning {
@@ -292,6 +320,12 @@ impl SelfTestConfig {
     /// The shared simulation knobs of this configuration (everything except
     /// the stuck-at enumeration fields); the differential tuning knobs the
     /// compatibility shell does not carry take their defaults.
+    ///
+    /// Keeps the legacy clamping contract: a `threads` override of zero is
+    /// clamped into the valid range (historically "at least one worker")
+    /// rather than rejected, so the compatibility wrappers never trip the
+    /// plan-time validation of
+    /// [`Campaign::try_run`](crate::campaign::Campaign::try_run).
     pub fn campaign(&self) -> CampaignConfig {
         CampaignConfig {
             max_patterns: self.max_patterns,
@@ -299,7 +333,7 @@ impl SelfTestConfig {
             input_weights: self.input_weights.clone(),
             stimulation: self.stimulation,
             engine: self.engine,
-            threads: self.threads,
+            threads: self.threads.map(|t| t.clamp(1, MAX_THREADS)),
             ..CampaignConfig::default()
         }
     }
@@ -319,15 +353,7 @@ impl From<&SelfTestConfig> for CampaignConfig {
 
 impl From<SelfTestConfig> for CampaignConfig {
     fn from(config: SelfTestConfig) -> Self {
-        Self {
-            max_patterns: config.max_patterns,
-            seed: config.seed,
-            input_weights: config.input_weights,
-            stimulation: config.stimulation,
-            engine: config.engine,
-            threads: config.threads,
-            ..Self::default()
-        }
+        config.campaign()
     }
 }
 
@@ -515,9 +541,55 @@ pub(crate) struct SegmentReport<'a> {
     pub(crate) patterns_applied: usize,
     /// The segment's new detections over the *flat* fault list.
     pub(crate) new_detections: &'a [(usize, usize)],
+    /// Stimulus cycles generated so far — recorded into a checkpoint
+    /// written at this boundary (the rows themselves regenerate from the
+    /// seed on resume).
+    pub(crate) stimulus_generated: usize,
+    /// The engine's resumable state at this boundary, captured only when
+    /// the campaign layer armed checkpointing
+    /// ([`PassPersistence::capture`]); `None` otherwise.
+    pub(crate) snapshot: Option<EngineSnapshot>,
     /// The segment's telemetry record: counter deltas, phase spans (zeroed
     /// when span timing is off) and threaded worker spans.
     pub(crate) telemetry: SegmentTelemetry,
+}
+
+/// Checkpoint/resume plumbing of one streaming pass, threaded from the
+/// campaign layer into [`detect_streaming`] and the dictionary passes.
+pub(crate) struct PassPersistence<'a> {
+    /// Capture an [`EngineSnapshot`] into every [`SegmentReport`] — armed
+    /// when the campaign writes checkpoints, off otherwise (capture costs
+    /// a copy of the live state per boundary).
+    pub(crate) capture: bool,
+    /// Resume state: the checkpoint to restore.  The pass restores the
+    /// snapshot, skips every schedule boundary at or below the covered
+    /// one, and regenerates only the stimulus prefix (a pure function of
+    /// the seed) — so the remaining segments are bit-for-bit the
+    /// uninterrupted run's.
+    pub(crate) resume: Option<ResumePoint<'a>>,
+}
+
+/// Where a resumed pass re-enters the schedule.
+#[derive(Clone, Copy)]
+pub(crate) struct ResumePoint<'a> {
+    /// The boundary the checkpoint covers; boundaries at or below it are
+    /// skipped.
+    pub(crate) from: usize,
+    /// Stimulus cycles the interrupted run had generated when it wrote the
+    /// checkpoint.  This is *not* always `from`: the drop-on-detect pass
+    /// stops generating once every fault is detected, and resuming must
+    /// reproduce [`DetectOutcome::stimulus_generated`] bit for bit.
+    pub(crate) stimulus_generated: usize,
+    /// The engine state to restore.
+    pub(crate) snapshot: &'a EngineSnapshot,
+}
+
+impl PassPersistence<'_> {
+    /// The boundary up to which a resumed pass skips (zero when not
+    /// resuming).
+    pub(crate) fn resume_from(&self) -> usize {
+        self.resume.as_ref().map(|r| r.from).unwrap_or(0)
+    }
 }
 
 /// One engine's view of the campaign: run the cycles of one segment,
@@ -540,6 +612,13 @@ pub(crate) trait SegmentRunner {
     fn telemetry_snapshot(&mut self) -> SegmentTelemetry {
         SegmentTelemetry::default()
     }
+
+    /// Captures the engine-agnostic resumable state at the boundary just
+    /// run, for a campaign checkpoint.  `None` means the runner cannot be
+    /// checkpointed (only the degenerate runner, which has no state).
+    fn capture(&mut self) -> Option<EngineSnapshot> {
+        None
+    }
 }
 
 /// Advances a runner through the segment schedule, reporting every
@@ -551,13 +630,20 @@ fn drive_segments(
     boundaries: &[usize],
     runner: &mut dyn SegmentRunner,
     timing: bool,
+    persist: &PassPersistence<'_>,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> (Vec<Option<usize>>, usize) {
     let mut detection_pattern = vec![None; num_faults];
     let mut detections: Vec<(usize, usize)> = Vec::new();
-    let mut from = 0usize;
+    // A resumed pass re-enters the schedule where its checkpoint left off:
+    // boundaries the checkpoint covers are skipped (their detections were
+    // stored), keeping the true segment indices for the live remainder.
+    let mut from = persist.resume_from();
     let epoch = PhaseTimer::start(timing);
     for (segment, &to) in boundaries.iter().enumerate() {
+        if to <= from {
+            continue;
+        }
         let start_ns = epoch.elapsed_ns();
         detections.clear();
         runner.run_segment(from, to, &mut detections);
@@ -578,6 +664,12 @@ fn drive_segments(
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            stimulus_generated: runner.stimulus_cycles(),
+            snapshot: if persist.capture {
+                runner.capture()
+            } else {
+                None
+            },
             telemetry,
         };
         if !on_segment(&report) {
@@ -619,6 +711,7 @@ pub(crate) fn detect_streaming(
     config: &CampaignConfig,
     stimulation: StateStimulation,
     good_cache: &mut crate::differential::GoodTraceCache,
+    persist: &PassPersistence<'_>,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> DetectOutcome {
     let boundaries = segment_schedule(config.max_patterns);
@@ -627,24 +720,52 @@ pub(crate) fn detect_streaming(
         // Nothing to simulate; still walk the schedule so streaming
         // observers see the same boundaries they would on any campaign.
         let mut noop = NoopSegments;
-        let (detection_pattern, patterns_applied) =
-            drive_segments(faults.len(), &boundaries, &mut noop, timing, on_segment);
+        let (detection_pattern, patterns_applied) = drive_segments(
+            faults.len(),
+            &boundaries,
+            &mut noop,
+            timing,
+            persist,
+            on_segment,
+        );
         return DetectOutcome {
             detection_pattern,
             patterns_applied,
             stimulus_generated: 0,
         };
     }
+    // A detect-pass checkpoint restores onto any engine: the survivor list
+    // and reference state are the canonical inter-segment images every
+    // runner already exchanges at boundaries.
+    let resume_detect = match persist.resume {
+        Some(ResumePoint {
+            from,
+            stimulus_generated,
+            snapshot:
+                EngineSnapshot::Detect {
+                    reference_state,
+                    survivors,
+                },
+        }) => Some((from, stimulus_generated, reference_state, survivors)),
+        _ => None,
+    };
     let stimulus = generate_stimulus(netlist, config);
     fn drive<R: SegmentRunner>(
         num_faults: usize,
         boundaries: &[usize],
         mut runner: R,
         timing: bool,
+        persist: &PassPersistence<'_>,
         on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
     ) -> DetectOutcome {
-        let (detection_pattern, patterns_applied) =
-            drive_segments(num_faults, boundaries, &mut runner, timing, on_segment);
+        let (detection_pattern, patterns_applied) = drive_segments(
+            num_faults,
+            boundaries,
+            &mut runner,
+            timing,
+            persist,
+            on_segment,
+        );
         DetectOutcome {
             detection_pattern,
             patterns_applied,
@@ -653,19 +774,39 @@ pub(crate) fn detect_streaming(
     }
     match config.engine.resolve(netlist) {
         SimEngine::Scalar => {
-            let runner = ScalarSegments::new(netlist, faults, stimulus, stimulation, timing);
-            drive(faults.len(), &boundaries, runner, timing, on_segment)
+            let mut runner = ScalarSegments::new(netlist, faults, stimulus, stimulation, timing);
+            if let Some((from, generated, reference_state, survivors)) = resume_detect {
+                runner.restore(faults, reference_state, survivors, from, generated);
+            }
+            drive(
+                faults.len(),
+                &boundaries,
+                runner,
+                timing,
+                persist,
+                on_segment,
+            )
         }
         SimEngine::Packed => {
-            let runner = PackedSegments::new(netlist, faults, stimulus, stimulation, timing);
-            drive(faults.len(), &boundaries, runner, timing, on_segment)
+            let mut runner = PackedSegments::new(netlist, faults, stimulus, stimulation, timing);
+            if let Some((from, generated, reference_state, survivors)) = resume_detect {
+                runner.restore(faults, reference_state, survivors, from, generated);
+            }
+            drive(
+                faults.len(),
+                &boundaries,
+                runner,
+                timing,
+                persist,
+                on_segment,
+            )
         }
         engine @ (SimEngine::Differential | SimEngine::Threaded) => {
             let threads = match engine {
                 SimEngine::Threaded => config.effective_threads(),
                 _ => 1,
             };
-            let runner = crate::differential::DiffSegments::new(
+            let mut runner = crate::differential::DiffSegments::new(
                 netlist,
                 faults,
                 stimulus,
@@ -675,7 +816,17 @@ pub(crate) fn detect_streaming(
                 good_cache,
                 timing,
             );
-            drive(faults.len(), &boundaries, runner, timing, on_segment)
+            if let Some((from, generated, reference_state, survivors)) = resume_detect {
+                runner.restore(faults, reference_state, survivors, from, generated);
+            }
+            drive(
+                faults.len(),
+                &boundaries,
+                runner,
+                timing,
+                persist,
+                on_segment,
+            )
         }
         SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
     }
@@ -686,6 +837,15 @@ struct NoopSegments;
 
 impl SegmentRunner for NoopSegments {
     fn run_segment(&mut self, _from: usize, _to: usize, _detections: &mut Vec<(usize, usize)>) {}
+
+    fn capture(&mut self) -> Option<EngineSnapshot> {
+        // A fault-free campaign still checkpoints (and resumes) cleanly:
+        // there is simply nothing to restore.
+        Some(EngineSnapshot::Detect {
+            reference_state: Vec::new(),
+            survivors: Vec::new(),
+        })
+    }
 }
 
 /// Assembles a [`CoverageResult`] from a detection pattern: detected
@@ -819,6 +979,27 @@ impl<'a> ScalarSegments<'a> {
             counted_generated: 0,
         }
     }
+
+    /// Resumes from a detect checkpoint: the carried reference state and
+    /// survivor list replace the campaign-start images, and the stimulus
+    /// prefix the interrupted run had generated is regenerated eagerly —
+    /// stimulus is a pure function of the seed, so the regenerated rows
+    /// (and hence every later row) are identical.  The regeneration is the
+    /// resume overhead: state restores from the checkpoint, rows replay
+    /// from the generator.
+    fn restore(
+        &mut self,
+        faults: &[Injection],
+        reference_state: &[bool],
+        survivors: &[SurvivorRecord],
+        _from: usize,
+        generated: usize,
+    ) {
+        self.reference_state = reference_state.to_vec();
+        self.alive = restore_alive(faults, survivors);
+        self.stimulus.ensure(generated);
+        self.counted_generated = generated;
+    }
 }
 
 impl SegmentRunner for ScalarSegments<'_> {
@@ -896,6 +1077,13 @@ impl SegmentRunner for ScalarSegments<'_> {
             ..SegmentTelemetry::default()
         }
     }
+
+    fn capture(&mut self) -> Option<EngineSnapshot> {
+        Some(EngineSnapshot::Detect {
+            reference_state: self.reference_state.clone(),
+            survivors: survivor_records(&self.alive),
+        })
+    }
 }
 
 /// A still-undetected fault between compaction segments: its position in
@@ -906,6 +1094,36 @@ pub(crate) struct AliveFault {
     pub(crate) fault: Injection,
     pub(crate) state: Vec<bool>,
     pub(crate) memory: Option<bool>,
+}
+
+/// Converts a survivor list into its engine-agnostic checkpoint records
+/// (the fault descriptors are not stored — a resume re-derives them from
+/// the digest-validated fault list).
+pub(crate) fn survivor_records(alive: &[AliveFault]) -> Vec<SurvivorRecord> {
+    alive
+        .iter()
+        .map(|a| SurvivorRecord {
+            index: a.index,
+            state: a.state.clone(),
+            memory: a.memory,
+        })
+        .collect()
+}
+
+/// Restores the survivor list of a detect-pass checkpoint against the
+/// campaign's fault list.  Records are stored in ascending fault order —
+/// exactly the order every engine's compaction emits — so the restored
+/// list packs into the same chunks and blocks the uninterrupted run used.
+pub(crate) fn restore_alive(faults: &[Injection], survivors: &[SurvivorRecord]) -> Vec<AliveFault> {
+    survivors
+        .iter()
+        .map(|s| AliveFault {
+            index: s.index,
+            fault: faults[s.index],
+            state: s.state.clone(),
+            memory: s.memory,
+        })
+        .collect()
 }
 
 /// The campaign-start survivor list: every fault alive, every machine scan
@@ -1059,6 +1277,30 @@ impl TableTail {
         }
     }
 
+    /// The still-live machines as checkpoint records: the packed `u16`
+    /// states unfold into the canonical per-register booleans (the same
+    /// little-endian order [`bits_to_index`] folded them with), so a
+    /// table-mode checkpoint restores onto any engine.  Table mode rules
+    /// out stateful faults, so the transition memories are always empty.
+    pub(crate) fn survivor_records(&self) -> Vec<SurvivorRecord> {
+        let r = self.tables.r;
+        self.live
+            .iter()
+            .map(|&(_, index, state)| SurvivorRecord {
+                index,
+                state: (0..r).map(|b| (state >> b) & 1 == 1).collect(),
+                memory: None,
+            })
+            .collect()
+    }
+
+    /// The fault-free machine's register state as booleans (see
+    /// [`TableTail::survivor_records`] for the bit order).
+    pub(crate) fn reference_state_bits(&self) -> Vec<bool> {
+        let r = self.tables.r;
+        (0..r).map(|b| (self.ref_state >> b) & 1 == 1).collect()
+    }
+
     /// Runs cycles `from..to`, pushing every new `(fault index, cycle)`
     /// detection and carrying all machine states to the next call.
     pub(crate) fn run(
@@ -1175,6 +1417,24 @@ impl<'a> PackedSegments<'a> {
             metrics: CampaignMetrics::default(),
             counted_generated: 0,
         }
+    }
+
+    /// Resumes from a detect checkpoint (see [`ScalarSegments::restore`]).
+    /// The runner restarts in chunked mode; the table-tail applicability
+    /// check re-runs at the next boundary over the same survivors and
+    /// remaining budget, and the tables are exact either way.
+    fn restore(
+        &mut self,
+        faults: &[Injection],
+        reference_state: &[bool],
+        survivors: &[SurvivorRecord],
+        _from: usize,
+        generated: usize,
+    ) {
+        self.reference_state = reference_state.to_vec();
+        self.alive = restore_alive(faults, survivors);
+        self.stimulus.ensure(generated);
+        self.counted_generated = generated;
     }
 }
 
@@ -1316,6 +1576,19 @@ impl SegmentRunner for PackedSegments<'_> {
             metrics: std::mem::take(&mut self.metrics),
             ..SegmentTelemetry::default()
         }
+    }
+
+    fn capture(&mut self) -> Option<EngineSnapshot> {
+        Some(match &self.table {
+            Some(table) => EngineSnapshot::Detect {
+                reference_state: table.reference_state_bits(),
+                survivors: table.survivor_records(),
+            },
+            None => EngineSnapshot::Detect {
+                reference_state: self.reference_state.clone(),
+                survivors: survivor_records(&self.alive),
+            },
+        })
     }
 }
 

@@ -42,9 +42,10 @@
 //! dictionaries, and all generate stimulus and checkpoint planes lazily —
 //! an early-stopped campaign only pays for the segments it applied.
 
+use crate::checkpoint::{EngineSnapshot, LaneRecord};
 use crate::coverage::{
-    generate_stimulus, segment_schedule, CampaignConfig, DiffTuning, SegmentReport, SelfTestConfig,
-    SimEngine, StateStimulation,
+    generate_stimulus, segment_schedule, CampaignConfig, DiffTuning, PassPersistence, ResumePoint,
+    SegmentReport, SelfTestConfig, SimEngine, StateStimulation,
 };
 use crate::differential::{DiffSimulator, GoodTraceCache, LaneBlock};
 use crate::faults::Injection;
@@ -256,6 +257,7 @@ pub(crate) fn build_dictionary_streaming(
     faults: &[Injection],
     config: &CampaignConfig,
     good_cache: &mut GoodTraceCache,
+    persist: &PassPersistence<'_>,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> (FaultDictionary, usize) {
     let stimulation = config.resolved_stimulation(netlist);
@@ -315,6 +317,7 @@ pub(crate) fn build_dictionary_streaming(
                             tuning,
                             timing,
                             good_cache,
+                            persist,
                             on_segment,
                         )
                     };
@@ -334,6 +337,7 @@ pub(crate) fn build_dictionary_streaming(
                 &checkpoints,
                 &boundaries,
                 timing,
+                persist,
                 on_segment,
             ),
             SimEngine::Auto => unreachable!("SimEngine::resolve never returns Auto"),
@@ -384,6 +388,7 @@ fn packed_signatures(
     checkpoints: &[usize],
     boundaries: &[usize],
     timing: bool,
+    persist: &PassPersistence<'_>,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> SignaturePass {
     let signature_bits = misr.width();
@@ -418,6 +423,41 @@ fn packed_signatures(
         offset: usize,
     }
 
+    /// Snapshots every lane (register state, one-cycle memory, detection
+    /// status, MISR planes folded back to signature words) at a segment
+    /// boundary for the campaign checkpoint.
+    fn capture_chunks(
+        chunks: &[ChunkState<'_>],
+        chunk_lists: &[&[Injection]],
+        num_state: usize,
+    ) -> EngineSnapshot {
+        let reference_words = chunks[0].sim.state_words();
+        let good_state: Vec<bool> = (0..num_state)
+            .map(|ff| reference_words[ff] & 1 == 1)
+            .collect();
+        let mut lanes = Vec::new();
+        for (cs, &chunk) in chunks.iter().zip(chunk_lists) {
+            let words = cs.sim.state_words();
+            for i in 0..chunk.len() {
+                let lane = i + 1;
+                lanes.push(LaneRecord {
+                    state: words.iter().map(|&w| (w >> lane) & 1 == 1).collect(),
+                    memory: cs.sim.transition_memory(lane),
+                    detected: (cs.detected >> lane) & 1 == 1,
+                    first_detect: cs.first_detect[i],
+                    signature: lane_signature(&cs.planes, lane),
+                    segments: cs.segments[lane].clone(),
+                });
+            }
+        }
+        EngineSnapshot::Signatures {
+            good_state,
+            reference_signature: lane_signature(&chunks[0].planes, 0),
+            reference_segments: chunks[0].segments[0].clone(),
+            lanes,
+        }
+    }
+
     // An empty fault list still compacts the fault-free reference (one pass
     // with no injected lanes), so `reference_signature` always honours its
     // contract.
@@ -448,11 +488,65 @@ fn packed_signatures(
     // pass compiles once up front, so segment 0 absorbs the tally.
     metrics.compaction_rebuilds += chunks.len() as u64;
 
+    // Resuming a signatures checkpoint: every lane's register state,
+    // one-cycle memory, detection status and MISR planes restore exactly
+    // as the interrupted run left them (the planes are a bijection of the
+    // per-lane signature words), so the remaining segments advance the
+    // very same machines.
+    let mut from = 0usize;
+    if let Some(ResumePoint {
+        from: resumed,
+        stimulus_generated,
+        snapshot:
+            EngineSnapshot::Signatures {
+                good_state,
+                reference_signature,
+                reference_segments,
+                lanes,
+            },
+    }) = persist.resume
+    {
+        for (cs, &chunk) in chunks.iter_mut().zip(&chunk_lists) {
+            let mut words = vec![0u64; num_state];
+            for (ff, word) in words.iter_mut().enumerate() {
+                let mut w = good_state[ff] as u64;
+                for i in 0..chunk.len() {
+                    w |= (lanes[cs.offset + i].state[ff] as u64) << (i + 1);
+                }
+                *word = w;
+            }
+            cs.sim.set_state_words(&words);
+            for i in 0..chunk.len() {
+                let rec = &lanes[cs.offset + i];
+                if let Some(bit) = rec.memory {
+                    cs.sim.seed_transition_memory(i + 1, bit);
+                }
+                cs.first_detect[i] = rec.first_detect;
+                if rec.detected {
+                    cs.detected |= 1u64 << (i + 1);
+                }
+                for (p, plane) in cs.planes.iter_mut().enumerate() {
+                    plane[0] |= ((rec.signature >> p) & 1) << (i + 1);
+                }
+                cs.segments[i + 1] = rec.segments.clone();
+            }
+            for (p, plane) in cs.planes.iter_mut().enumerate() {
+                plane[0] |= (reference_signature >> p) & 1;
+            }
+            cs.segments[0] = reference_segments.clone();
+        }
+        stimulus.ensure(stimulus_generated);
+        counted_generated = stimulus_generated;
+        from = resumed;
+    }
+
     let obs = netlist.plan().observation_points();
     let mut detections: Vec<(usize, usize)> = Vec::new();
-    let mut from = 0usize;
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
+        if to <= from {
+            continue;
+        }
         let start_ns = epoch.elapsed_ns();
         let stim_timer = PhaseTimer::start(timing);
         stimulus.ensure(to);
@@ -510,6 +604,12 @@ fn packed_signatures(
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            stimulus_generated: stimulus.generated_cycles(),
+            snapshot: if persist.capture {
+                Some(capture_chunks(&chunks, &chunk_lists, num_state))
+            } else {
+                None
+            },
             telemetry: SegmentTelemetry {
                 segment,
                 patterns_applied: to,
@@ -588,6 +688,7 @@ fn differential_signatures<const W: usize>(
     tuning: DiffTuning,
     timing: bool,
     good_cache: &mut GoodTraceCache,
+    persist: &PassPersistence<'_>,
     on_segment: &mut dyn FnMut(&SegmentReport<'_>) -> bool,
 ) -> SignaturePass {
     let signature_bits = misr.width();
@@ -617,6 +718,37 @@ fn differential_signatures<const W: usize>(
         segments: Vec<Vec<u64>>,
         /// Flat fault-list index of the block's first fault.
         offset: usize,
+    }
+
+    /// Snapshots every faulty lane plus the fault-free reference stream at
+    /// a segment boundary for the campaign checkpoint.
+    fn capture_blocks<const W: usize>(
+        blocks: &[BlockState<'_, W>],
+        chunk_lists: &[&[Injection]],
+        good_state: &[bool],
+        ref_planes: &[bool],
+        reference_segments: &[u64],
+    ) -> EngineSnapshot {
+        let mut lanes = Vec::new();
+        for (bs, &chunk) in blocks.iter().zip(chunk_lists) {
+            for i in 0..chunk.len() {
+                let lane = i + 1;
+                lanes.push(LaneRecord {
+                    state: bs.sim.lane_state(lane),
+                    memory: bs.sim.transition_memory(lane),
+                    detected: (bs.detected[lane / 64] >> (lane % 64)) & 1 == 1,
+                    first_detect: bs.first_detect[i],
+                    signature: lane_signature(&bs.planes, lane),
+                    segments: bs.segments[lane].clone(),
+                });
+            }
+        }
+        EngineSnapshot::Signatures {
+            good_state: good_state.to_vec(),
+            reference_signature: plane_word(ref_planes),
+            reference_segments: reference_segments.to_vec(),
+            lanes,
+        }
     }
 
     let chunk_lists: Vec<&[Injection]> = faults.chunks(LaneBlock::<W>::FAULT_LANES).collect();
@@ -652,10 +784,77 @@ fn differential_signatures<const W: usize>(
     let mut ref_folded = vec![false; signature_bits];
     let mut reference_segments: Vec<u64> = Vec::new();
 
-    let mut detections: Vec<(usize, usize)> = Vec::new();
+    // Resuming a signatures checkpoint: lane registers, one-cycle memory,
+    // detection status and MISR planes (a bijection of the per-lane
+    // signature words) restore exactly as the interrupted run left them.
+    // Lane 0 of every block is the good machine, so its plane column is
+    // re-seeded from the reference signature.
     let mut from = 0usize;
+    if let Some(ResumePoint {
+        from: resumed,
+        stimulus_generated,
+        snapshot:
+            EngineSnapshot::Signatures {
+                good_state: stored_good,
+                reference_signature,
+                reference_segments: stored_segments,
+                lanes,
+            },
+    }) = persist.resume
+    {
+        good_state = stored_good.clone();
+        for (p, plane) in ref_planes.iter_mut().enumerate() {
+            *plane = (reference_signature >> p) & 1 == 1;
+        }
+        reference_segments = stored_segments.clone();
+        for (bs, &chunk) in blocks.iter_mut().zip(&chunk_lists) {
+            let pseudo: Vec<crate::coverage::AliveFault> = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, &fault)| {
+                    let rec = &lanes[bs.offset + i];
+                    crate::coverage::AliveFault {
+                        index: bs.offset + i,
+                        fault,
+                        state: rec.state.clone(),
+                        memory: rec.memory,
+                    }
+                })
+                .collect();
+            bs.sim.set_state_lanes(&good_state, &pseudo);
+            for i in 0..chunk.len() {
+                let rec = &lanes[bs.offset + i];
+                let lane = i + 1;
+                if let Some(bit) = rec.memory {
+                    bs.sim.seed_transition_memory(lane, bit);
+                }
+                bs.first_detect[i] = rec.first_detect;
+                if rec.detected {
+                    bs.detected[lane / 64] |= 1u64 << (lane % 64);
+                }
+                for (p, plane) in bs.planes.iter_mut().enumerate() {
+                    if (rec.signature >> p) & 1 == 1 {
+                        plane[lane / 64] |= 1u64 << (lane % 64);
+                    }
+                }
+                bs.segments[lane] = rec.segments.clone();
+            }
+            for (p, plane) in bs.planes.iter_mut().enumerate() {
+                plane[0] |= (reference_signature >> p) & 1;
+            }
+            bs.segments[0] = reference_segments.clone();
+        }
+        stimulus.ensure(stimulus_generated);
+        counted_generated = stimulus_generated;
+        from = resumed;
+    }
+
+    let mut detections: Vec<(usize, usize)> = Vec::new();
     let mut applied = stimulus.cycles;
     for (segment, &to) in boundaries.iter().enumerate() {
+        if to <= from {
+            continue;
+        }
         let start_ns = epoch.elapsed_ns();
         let stim_timer = PhaseTimer::start(timing);
         stimulus.ensure(to);
@@ -710,54 +909,57 @@ fn differential_signatures<const W: usize>(
         // discipline as the detection driver).
         detections.clear();
         let eval_timer = PhaseTimer::start(timing);
-        let block_results = crate::differential::sharded_map_mut(&mut blocks, threads, |bs| {
-            let span_start = eval_timer.elapsed_ns();
-            let mut found: Vec<(usize, usize)> = Vec::new();
-            for cycle in from..to {
-                if stimulation == StateStimulation::RandomState {
-                    bs.sim
-                        .set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
-                }
-                let good_row = trace.row(cycle);
-                let wide = bs.sim.needs_wide(trace.pre_state(cycle));
-                let row = cycle * num_inputs;
-                bs.sim
-                    .eval_cycle(wide, good_row, &pi_words[row..row + num_inputs]);
-                let mismatch = bs.sim.mismatch(wide, good_row);
-                for (w, &word) in mismatch.iter().enumerate() {
-                    let mut newly = word & bs.fault_mask[w] & !bs.detected[w];
-                    bs.detected[w] |= newly;
-                    while newly != 0 {
-                        let lane = w * 64 + newly.trailing_zeros() as usize;
-                        bs.first_detect[lane - 1] = Some(cycle);
-                        found.push((bs.offset + lane - 1, cycle));
-                        newly &= newly - 1;
+        let (block_results, panics_recovered) =
+            crate::differential::sharded_map_mut(&mut blocks, threads, |bs| {
+                let span_start = eval_timer.elapsed_ns();
+                let mut found: Vec<(usize, usize)> = Vec::new();
+                for cycle in from..to {
+                    if stimulation == StateStimulation::RandomState {
+                        bs.sim
+                            .set_state_broadcast_bits(&stimulus.st(cycle)[..num_state]);
                     }
-                }
-                for f in bs.folded.iter_mut() {
-                    *f = [0u64; W];
-                }
-                for (bit, &net) in obs.iter().enumerate() {
-                    let value = bs.sim.net_value(wide, net as usize, good_row);
-                    bs.folded[bit % signature_bits] = bs.folded[bit % signature_bits].xor(value);
-                }
-                misr.step_planes(&mut bs.planes, &bs.folded);
-                for &checkpoint in checkpoints {
-                    if checkpoint == cycle + 1 {
-                        for (lane, seg) in bs.segments.iter_mut().enumerate() {
-                            seg.push(lane_signature(&bs.planes, lane));
+                    let good_row = trace.row(cycle);
+                    let wide = bs.sim.needs_wide(trace.pre_state(cycle));
+                    let row = cycle * num_inputs;
+                    bs.sim
+                        .eval_cycle(wide, good_row, &pi_words[row..row + num_inputs]);
+                    let mismatch = bs.sim.mismatch(wide, good_row);
+                    for (w, &word) in mismatch.iter().enumerate() {
+                        let mut newly = word & bs.fault_mask[w] & !bs.detected[w];
+                        bs.detected[w] |= newly;
+                        while newly != 0 {
+                            let lane = w * 64 + newly.trailing_zeros() as usize;
+                            bs.first_detect[lane - 1] = Some(cycle);
+                            found.push((bs.offset + lane - 1, cycle));
+                            newly &= newly - 1;
                         }
                     }
+                    for f in bs.folded.iter_mut() {
+                        *f = [0u64; W];
+                    }
+                    for (bit, &net) in obs.iter().enumerate() {
+                        let value = bs.sim.net_value(wide, net as usize, good_row);
+                        bs.folded[bit % signature_bits] =
+                            bs.folded[bit % signature_bits].xor(value);
+                    }
+                    misr.step_planes(&mut bs.planes, &bs.folded);
+                    for &checkpoint in checkpoints {
+                        if checkpoint == cycle + 1 {
+                            for (lane, seg) in bs.segments.iter_mut().enumerate() {
+                                seg.push(lane_signature(&bs.planes, lane));
+                            }
+                        }
+                    }
+                    bs.sim.clock_cycle(wide, good_row);
                 }
-                bs.sim.clock_cycle(wide, good_row);
-            }
-            (
-                found,
-                bs.sim.take_metrics(),
-                (span_start, eval_timer.elapsed_ns()),
-            )
-        });
+                (
+                    found,
+                    bs.sim.take_metrics(),
+                    (span_start, eval_timer.elapsed_ns()),
+                )
+            });
         metrics.dictionary_ns += eval_timer.elapsed_ns();
+        metrics.worker_panics_recovered += panics_recovered;
         let mut spans: Vec<(u64, u64)> = Vec::with_capacity(block_results.len());
         for (found, block_metrics, span) in block_results {
             detections.extend(found);
@@ -776,6 +978,18 @@ fn differential_signatures<const W: usize>(
             segment,
             patterns_applied: to,
             new_detections: &detections,
+            stimulus_generated: stimulus.generated_cycles(),
+            snapshot: if persist.capture {
+                Some(capture_blocks(
+                    &blocks,
+                    &chunk_lists,
+                    &good_state,
+                    &ref_planes,
+                    &reference_segments,
+                ))
+            } else {
+                None
+            },
             telemetry: SegmentTelemetry {
                 segment,
                 patterns_applied: to,

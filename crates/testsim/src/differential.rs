@@ -968,61 +968,160 @@ pub(crate) fn fold_worker_spans(spans: &[(u64, u64)], threads: usize) -> Vec<Wor
     folded
 }
 
+/// One worker's per-item results: each slot is either the item's result
+/// or the panic message of a worker panic caught around that item.
+type ShardSlots<R> = Vec<Result<R, String>>;
+
+/// Runs one item inside a worker, consulting the chaos plan first and
+/// converting a panic (injected or organic) into its message.  The
+/// failpoint fires *before* `f` touches the item, so an injected panic
+/// always leaves the item's state untouched and the quarantined re-run is
+/// bit-for-bit equivalent to never having panicked.
+fn run_shard_item<R>(
+    chaos_call: Option<u64>,
+    item_index: usize,
+    f: impl FnOnce() -> R,
+) -> Result<R, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if crate::failpoints::worker_panic_armed(chaos_call, item_index) {
+            panic!("failpoint: injected worker panic at item {item_index}");
+        }
+        f()
+    }))
+    .map_err(|payload| crate::error::panic_message(payload.as_ref()))
+}
+
 /// Maps independent work items through `f`, fanned out over up to
 /// `threads` scoped workers in contiguous groups.  Results are merged in
 /// item order, so the output is identical for any worker count — the one
 /// sharding discipline shared by the threaded detection driver and the
 /// threaded dictionary pass.
+///
+/// Worker panics are isolated per item: a panicking item is quarantined
+/// and deterministically re-run in-line on the campaign thread (the item
+/// is immutable, so the re-run sees exactly the state the worker saw, and
+/// the merged results stay bit-for-bit identical to a panic-free run).
+/// Returns the in-order results plus the number of recoveries; a re-run
+/// that panics again propagates, to be converted into
+/// [`CampaignError::WorkerPanic`](crate::error::CampaignError::WorkerPanic)
+/// at the campaign boundary.
 pub(crate) fn sharded_map<T: Sync, R: Send>(
     items: &[T],
     threads: usize,
     f: impl Fn(&T) -> R + Sync,
-) -> Vec<R> {
+) -> (Vec<R>, u64) {
     let workers = threads.max(1).min(items.len().max(1));
     if workers <= 1 {
-        return items.iter().map(&f).collect();
+        return (items.iter().map(&f).collect(), 0);
     }
+    let chaos_call = crate::failpoints::begin_fan_out();
     let group_len = items.len().div_ceil(workers);
     let f = &f;
-    std::thread::scope(|scope| {
+    let slots: Vec<ShardSlots<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(group_len)
-            .map(|group| scope.spawn(move || group.iter().map(f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(group_index, group)| {
+                scope.spawn(move || {
+                    group
+                        .iter()
+                        .enumerate()
+                        .map(|(i, item)| {
+                            run_shard_item(chaos_call, group_index * group_len + i, || f(item))
+                        })
+                        .collect::<ShardSlots<R>>()
+                })
+            })
             .collect();
         // Joined in spawn order, which is item order: deterministic merge.
+        // Per-item panics were caught inside the worker, so a join failure
+        // is a panic outside the guarded region; resume it.
         handles
             .into_iter()
-            .flat_map(|handle| handle.join().expect("fault-simulation worker panicked"))
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
-    })
+    });
+    let mut results = Vec::with_capacity(items.len());
+    let mut recovered = 0u64;
+    for (index, slot) in slots.into_iter().flatten().enumerate() {
+        match slot {
+            Ok(result) => results.push(result),
+            Err(_) => {
+                // Quarantined deterministic re-run on the campaign thread.
+                recovered += 1;
+                results.push(f(&items[index]));
+            }
+        }
+    }
+    (results, recovered)
 }
 
 /// The mutable sibling of [`sharded_map`]: fans `f` out over contiguous
 /// groups of *mutable* items — the persistent per-block simulator states
 /// of the streaming dictionary pass — with the same deterministic
-/// in-order merge.
+/// in-order merge and the same per-item panic quarantine.
+///
+/// The recovery guarantee matches the injection window: failpoint panics
+/// fire before `f` touches the item, so the in-line re-run of an injected
+/// panic is bit-for-bit identical to a panic-free run.  An organic panic
+/// from *inside* `f` may leave the item's state partially advanced; the
+/// re-run still completes the run (strictly better than the poisoned-
+/// thread death it replaces), and the recovery is counted so callers can
+/// see it happened.
 pub(crate) fn sharded_map_mut<T: Send, R: Send>(
     items: &mut [T],
     threads: usize,
     f: impl Fn(&mut T) -> R + Sync,
-) -> Vec<R> {
+) -> (Vec<R>, u64) {
     let workers = threads.max(1).min(items.len().max(1));
     if workers <= 1 {
-        return items.iter_mut().map(&f).collect();
+        return (items.iter_mut().map(&f).collect(), 0);
     }
+    let chaos_call = crate::failpoints::begin_fan_out();
     let group_len = items.len().div_ceil(workers);
     let f = &f;
-    std::thread::scope(|scope| {
+    let slots: Vec<ShardSlots<R>> = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks_mut(group_len)
-            .map(|group| scope.spawn(move || group.iter_mut().map(f).collect::<Vec<R>>()))
+            .enumerate()
+            .map(|(group_index, group)| {
+                scope.spawn(move || {
+                    group
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, item)| {
+                            run_shard_item(chaos_call, group_index * group_len + i, || f(item))
+                        })
+                        .collect::<ShardSlots<R>>()
+                })
+            })
             .collect();
         // Joined in spawn order, which is item order: deterministic merge.
         handles
             .into_iter()
-            .flat_map(|handle| handle.join().expect("fault-simulation worker panicked"))
+            .map(|handle| {
+                handle
+                    .join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
             .collect()
-    })
+    });
+    let mut results = Vec::with_capacity(items.len());
+    let mut recovered = 0u64;
+    for (index, slot) in slots.into_iter().flatten().enumerate() {
+        match slot {
+            Ok(result) => results.push(result),
+            Err(_) => {
+                recovered += 1;
+                results.push(f(&mut items[index]));
+            }
+        }
+    }
+    (results, recovered)
 }
 
 /// The differential campaign driver as a segment runner, generalized over
@@ -1104,6 +1203,26 @@ impl<'a> DiffSegments<'a> {
         }
     }
 
+    /// Resumes from a detect checkpoint (see
+    /// `ScalarSegments::restore` in [`crate::coverage`]): the carried
+    /// reference state and survivor list replace the campaign-start
+    /// images.  The restored survivors arrive in ascending fault order, so
+    /// they pack into the same lane blocks the uninterrupted run's
+    /// compaction produced at this boundary.
+    pub(crate) fn restore(
+        &mut self,
+        faults: &[Injection],
+        reference_state: &[bool],
+        survivors: &[crate::checkpoint::SurvivorRecord],
+        _from: usize,
+        generated: usize,
+    ) {
+        self.reference_state = reference_state.to_vec();
+        self.alive = crate::coverage::restore_alive(faults, survivors);
+        self.stimulus.ensure(generated);
+        self.counted_generated = generated;
+    }
+
     /// The segment body at a concrete lane-block width.
     fn run_blocks<const W: usize>(
         &mut self,
@@ -1142,22 +1261,24 @@ impl<'a> DiffSegments<'a> {
         }
         let chunks: Vec<&[AliveFault]> = alive.chunks(LaneBlock::<W>::FAULT_LANES).collect();
         let epoch = PhaseTimer::start(*timing);
-        let block_results: Vec<BlockResult> = sharded_map(&chunks, *threads, |chunk| {
-            run_block::<W>(
-                netlist,
-                chunk,
-                trace,
-                stimulus,
-                pi_words,
-                *stimulation,
-                reference_state,
-                from,
-                to,
-                *tuning,
-                epoch,
-            )
-        });
+        let (block_results, panics_recovered): (Vec<BlockResult>, u64) =
+            sharded_map(&chunks, *threads, |chunk| {
+                run_block::<W>(
+                    netlist,
+                    chunk,
+                    trace,
+                    stimulus,
+                    pi_words,
+                    *stimulation,
+                    reference_state,
+                    from,
+                    to,
+                    *tuning,
+                    epoch,
+                )
+            });
         metrics.fault_eval_ns += epoch.elapsed_ns();
+        metrics.worker_panics_recovered += panics_recovered;
         if *timing {
             let spans: Vec<(u64, u64)> = block_results.iter().map(|b| b.span).collect();
             workers.extend(fold_worker_spans(&spans, *threads));
@@ -1239,6 +1360,19 @@ impl SegmentRunner for DiffSegments<'_> {
             workers: std::mem::take(&mut self.workers),
             ..crate::telemetry::SegmentTelemetry::default()
         }
+    }
+
+    fn capture(&mut self) -> Option<crate::checkpoint::EngineSnapshot> {
+        Some(match &self.table {
+            Some(table) => crate::checkpoint::EngineSnapshot::Detect {
+                reference_state: table.reference_state_bits(),
+                survivors: table.survivor_records(),
+            },
+            None => crate::checkpoint::EngineSnapshot::Detect {
+                reference_state: self.reference_state.clone(),
+                survivors: crate::coverage::survivor_records(&self.alive),
+            },
+        })
     }
 }
 

@@ -51,6 +51,17 @@
 //! * [`diagnosis`] — the top-level diagnosis flow: map an observed failing
 //!   signature to ranked candidate faults across models, with per-segment
 //!   intermediate signatures disambiguating aliases,
+//! * [`error`] — the typed [`CampaignError`] taxonomy behind
+//!   [`Campaign::try_run`], covering invalid configuration, observer
+//!   failures, unrecoverable worker panics and checkpoint I/O/format
+//!   errors,
+//! * [`checkpoint`] — versioned, self-describing on-disk campaign
+//!   checkpoints written at segment boundaries, so a killed campaign
+//!   resumes mid-schedule bit-for-bit equal to an uninterrupted run on
+//!   any engine,
+//! * [`failpoints`] — the deterministic chaos-injection harness
+//!   (worker panics, observer errors, checkpoint write failures) that the
+//!   robustness test matrix drives the recovery paths with,
 //! * [`telemetry`] — campaign observability: the [`CampaignMetrics`]
 //!   counter set every engine fills (worklist events, full-sweep
 //!   fallbacks, widenings, cache hits, …) and the per-segment
@@ -121,11 +132,14 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod coverage;
 pub mod diagnosis;
 pub mod dictionary;
 pub mod differential;
 mod engine;
+pub mod error;
+pub mod failpoints;
 pub mod faults;
 pub mod packed;
 pub mod patterns;
@@ -137,6 +151,7 @@ pub use campaign::{
     CoverageTargetObserver, DictionaryObserver, ObserverControl, SectionOutcome, SectionPlan,
     SegmentSnapshot, TestLengthObserver,
 };
+pub use checkpoint::CampaignCheckpoint;
 pub use coverage::{
     run_injection_campaign, run_self_test, segment_schedule, CampaignConfig, CoverageResult,
     SelfTestConfig, SimEngine,
@@ -144,6 +159,7 @@ pub use coverage::{
 pub use diagnosis::{Diagnosis, DiagnosisCandidate, DiagnosisObserver};
 pub use dictionary::{build_fault_dictionary, DictionaryEntry, FaultDictionary};
 pub use differential::LaneBlock;
+pub use error::{CampaignError, ObserverPhase};
 pub use faults::{Fault, FaultList, FaultSite, Injection};
 pub use packed::PackedSimulator;
 pub use sim::Simulator;

@@ -111,6 +111,18 @@ pub struct CampaignMetrics {
     /// Wall time spent inside observer `on_segment` callbacks, in
     /// nanoseconds.
     pub observer_ns: u64,
+    /// Worker panics that were recovered by quarantining the shard and
+    /// deterministically re-running it single-threaded.  Always zero
+    /// outside chaos testing unless real worker code panicked (in which
+    /// case results are still bit-for-bit intact — that is what the
+    /// counter certifies was needed).
+    pub worker_panics_recovered: u64,
+    /// Segment-boundary checkpoints successfully written to disk.
+    pub checkpoints_written: u64,
+    /// Total bytes of checkpoint data written (sum over all checkpoints
+    /// of the run; each boundary atomically replaces the previous file,
+    /// so the on-disk footprint is the last checkpoint's size).
+    pub checkpoint_bytes: u64,
 }
 
 impl CampaignMetrics {
@@ -138,6 +150,9 @@ impl CampaignMetrics {
         self.fault_eval_ns += other.fault_eval_ns;
         self.dictionary_ns += other.dictionary_ns;
         self.observer_ns += other.observer_ns;
+        self.worker_panics_recovered += other.worker_panics_recovered;
+        self.checkpoints_written += other.checkpoints_written;
+        self.checkpoint_bytes += other.checkpoint_bytes;
     }
 }
 
@@ -256,15 +271,23 @@ mod tests {
             fault_eval_ns: 15,
             dictionary_ns: 16,
             observer_ns: 17,
+            worker_panics_recovered: 18,
+            checkpoints_written: 19,
+            checkpoint_bytes: 20,
         };
         let b = CampaignMetrics {
             events_scheduled: 10,
             peak_rss_kb: 50,
+            worker_panics_recovered: 2,
+            checkpoint_bytes: 5,
             ..CampaignMetrics::default()
         };
         a.absorb(&b);
         assert_eq!(a.events_scheduled, 11);
         assert_eq!(a.events_drained, 2);
+        assert_eq!(a.worker_panics_recovered, 20);
+        assert_eq!(a.checkpoints_written, 19);
+        assert_eq!(a.checkpoint_bytes, 25);
         assert_eq!(a.peak_rss_kb, 100, "peak RSS is a high-water mark");
         let c = CampaignMetrics {
             peak_rss_kb: 200,

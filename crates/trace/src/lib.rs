@@ -174,6 +174,17 @@ impl<W: Write> CampaignObserver for TraceObserver<W> {
             .field("totals", RawJson(totals.to_json()));
         self.emit(obj.finish());
     }
+
+    /// Surfaces the latched write error (see [`TraceObserver::error`]) so a
+    /// truncated trace shows up as a
+    /// [`CampaignError::ObserverFailure`](stfsm::CampaignError) incident on
+    /// the returned [`CampaignOutcome`] instead of being noticed only by
+    /// callers who remember to poll the observer afterwards.
+    fn failure(&self) -> Option<String> {
+        self.error
+            .as_ref()
+            .map(|error| format!("trace write failed: {error}"))
+    }
 }
 
 /// Lane (`tid`) of the per-segment slices in the exported timeline.
@@ -436,5 +447,11 @@ mod tests {
         assert_eq!(outcome.patterns_applied, 64);
         // ...and the observer holds the first error.
         assert_eq!(trace.error().unwrap().to_string(), "disk full");
+        // The failure also lands on the outcome as an incident.
+        assert!(outcome.incidents.iter().any(|incident| matches!(
+            incident,
+            stfsm::CampaignError::ObserverFailure { message, .. }
+                if message.contains("disk full")
+        )));
     }
 }

@@ -1,0 +1,171 @@
+//! Kill a campaign mid-flight and resume it from its segment checkpoint.
+//!
+//! The example runs in two phases keyed off the checkpoint file:
+//!
+//! 1. **No checkpoint on disk** — starts a checkpointing campaign and
+//!    *kills the process* (`std::process::exit(3)`, no cleanup, no
+//!    destructors) the moment the segment after `STFSM_KILL_AFTER`
+//!    (default `1`) starts reporting, so the checkpoint written at that
+//!    boundary is the last thing on disk — exactly what a crash or an
+//!    `oom-kill` would leave behind.
+//! 2. **Checkpoint on disk** — resumes the campaign from the file,
+//!    re-runs the same campaign uninterrupted in-process, and verifies
+//!    the two outcomes are bit-for-bit identical (detection patterns,
+//!    pattern counts, stimulus cycles).  Exits non-zero on any mismatch
+//!    and removes the checkpoint on success.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example checkpoint_resume          # phase 1: exits 3
+//! cargo run --release --example checkpoint_resume          # phase 2: verifies
+//! ```
+//!
+//! `STFSM_CHECKPOINT` overrides the checkpoint path,
+//! `STFSM_KILL_AFTER` the boundary index to die after, and an optional
+//! positional argument picks the suite benchmark (default `planet`).
+
+use std::path::PathBuf;
+use stfsm::testsim::campaign::{
+    Campaign, CampaignObserver, CampaignOutcome, ObserverControl, SegmentSnapshot,
+};
+use stfsm::testsim::coverage::{CampaignConfig, SimEngine};
+use stfsm::{BistStructure, SynthesisFlow};
+
+const PATTERNS: usize = 1024;
+
+/// Exit code of the killed phase, distinct from the `1` a failure exits
+/// with so scripts can tell "died as scripted" from "broke".
+const KILLED: i32 = 3;
+
+/// Kills the process when it sees the segment *after* `after` — by then
+/// the checkpoint for boundary `after` is on disk, and dying inside the
+/// observer callback leaves no opportunity for orderly shutdown.
+struct KillSwitch {
+    after: usize,
+}
+
+impl CampaignObserver for KillSwitch {
+    fn on_segment(&mut self, snapshot: &SegmentSnapshot<'_>) -> ObserverControl {
+        if snapshot.segment > self.after {
+            eprintln!(
+                "killing the process mid-campaign (segment {} underway)",
+                snapshot.segment
+            );
+            std::process::exit(KILLED);
+        }
+        ObserverControl::Continue
+    }
+
+    fn on_finish(&mut self, _outcome: &CampaignOutcome) {}
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "planet".to_string());
+    let path: PathBuf = std::env::var("STFSM_CHECKPOINT")
+        .unwrap_or_else(|_| "checkpoint_resume.ckpt".to_string())
+        .into();
+    let kill_after: usize = std::env::var("STFSM_KILL_AFTER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let Some(info) = stfsm::fsm::suite::benchmark(&name) else {
+        return Err(format!("unknown benchmark `{name}`").into());
+    };
+    let fsm = info.fsm()?;
+    let netlist = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)?
+        .netlist;
+    let config = CampaignConfig {
+        max_patterns: PATTERNS,
+        engine: SimEngine::Auto,
+        ..CampaignConfig::default()
+    };
+    let campaign = || {
+        Campaign::new(&netlist)
+            .config(config.clone())
+            .model(&stfsm::faults::StuckAt)
+    };
+
+    if !path.exists() {
+        println!(
+            "{name}: no checkpoint at {} — phase 1, running until killed after boundary {kill_after}",
+            path.display()
+        );
+        let mut kill = KillSwitch { after: kill_after };
+        campaign()
+            .checkpoint_to(&path)
+            .observe(&mut kill)
+            .try_run()?;
+        // Only reachable when the schedule has too few segments to kill in.
+        println!("campaign finished before the kill switch fired; checkpoint holds the full run");
+        return Ok(());
+    }
+
+    println!(
+        "{name}: checkpoint found at {} — phase 2, resuming",
+        path.display()
+    );
+    let resumed = campaign().resume_from(&path).try_run()?;
+    println!(
+        "resumed run: {} / {} patterns, {} segments replayed or simulated",
+        resumed.patterns_applied,
+        resumed.max_patterns,
+        resumed.telemetry.segments.len()
+    );
+
+    let reference = campaign().try_run()?;
+    let mut mismatches = 0usize;
+    if resumed.patterns_applied != reference.patterns_applied {
+        eprintln!(
+            "patterns_applied mismatch: resumed {} vs uninterrupted {}",
+            resumed.patterns_applied, reference.patterns_applied
+        );
+        mismatches += 1;
+    }
+    if resumed.stimulus_generated != reference.stimulus_generated {
+        eprintln!(
+            "stimulus_generated mismatch: resumed {} vs uninterrupted {}",
+            resumed.stimulus_generated, reference.stimulus_generated
+        );
+        mismatches += 1;
+    }
+    for (r, u) in resumed.sections.iter().zip(&reference.sections) {
+        if r.detection_pattern != u.detection_pattern {
+            let differing = r
+                .detection_pattern
+                .iter()
+                .zip(&u.detection_pattern)
+                .filter(|(a, b)| a != b)
+                .count();
+            eprintln!(
+                "section `{}`: {differing} of {} detection entries differ",
+                r.label,
+                r.detection_pattern.len()
+            );
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        return Err(
+            format!("resume diverged from the uninterrupted run ({mismatches} fields)").into(),
+        );
+    }
+
+    let detected = reference.sections[0]
+        .detection_pattern
+        .iter()
+        .flatten()
+        .count();
+    println!(
+        "bit-for-bit OK: {} faults, {detected} detected, coverage {:.1} %",
+        reference.total_faults(),
+        reference.coverage(0).fault_coverage() * 100.0
+    );
+    std::fs::remove_file(&path)?;
+    println!("removed {}", path.display());
+    Ok(())
+}
