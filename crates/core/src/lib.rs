@@ -65,6 +65,7 @@ pub use error::{Error, Result};
 pub use flow::{AssignmentMethod, SynthesisFlow, SynthesisResult};
 
 pub use stfsm_bist::BistStructure;
+pub use stfsm_testsim::artifact::{ArtifactError, DictionaryArtifact};
 pub use stfsm_testsim::campaign::{
     Campaign, CampaignObserver, CampaignOutcome, CampaignPlan, CoverageObserver,
     CoverageTargetObserver, DictionaryObserver, ObserverControl, SegmentSnapshot,

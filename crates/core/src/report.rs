@@ -555,6 +555,46 @@ impl CoverageComparison {
     }
 }
 
+/// One row of the diagnosis-service benchmark: the on-disk artifact and
+/// query-path economics of one suite machine's dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnosisServiceRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Faults in the dictionary (= artifact entries).
+    pub total_faults: usize,
+    /// Distinct signatures the dictionary indexes.
+    pub distinct_signatures: usize,
+    /// Size of the serialized artifact in bytes.
+    pub artifact_bytes: u64,
+    /// Wall-clock milliseconds to load + index the artifact (best of N).
+    pub load_ms: f64,
+    /// Batched lookups per second through one [`ServiceHandle`] thread.
+    ///
+    /// [`ServiceHandle`]: https://docs.rs/stfsm-serve
+    pub single_thread_qps: f64,
+    /// Batched lookups per second summed across concurrent handle
+    /// threads.
+    pub concurrent_qps: f64,
+    /// Threads of the concurrent measurement.
+    pub query_threads: usize,
+}
+
+impl ToJson for DiagnosisServiceRow {
+    fn write_json(&self, out: &mut String) {
+        let mut obj = JsonObject::new();
+        obj.field("benchmark", &self.benchmark)
+            .field("total_faults", self.total_faults)
+            .field("distinct_signatures", self.distinct_signatures)
+            .field("artifact_bytes", self.artifact_bytes as usize)
+            .field("load_ms", self.load_ms)
+            .field("single_thread_qps", self.single_thread_qps)
+            .field("concurrent_qps", self.concurrent_qps)
+            .field("query_threads", self.query_threads);
+        out.push_str(&obj.finish());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,799 @@
+//! The sharded campaign coordinator: OS-process workers in lockstep over
+//! the pinned segment schedule, merged bit-for-bit.
+//!
+//! The coordinator spawns `N` copies of the worker binary
+//! (`examples/campaign_worker.rs`), each owning one contiguous shard of
+//! the fault universe.  Determinism does the heavy lifting:
+//!
+//! * stimulus is a pure function of the netlist and seed — it never
+//!   depends on the fault list, so a shard sees exactly the pattern
+//!   stream the full-universe campaign would apply;
+//! * every worker walks the same engine-independent segment schedule
+//!   (pinned by the shared pattern budget), so "segment `k`" means the
+//!   same pattern range in every process;
+//! * the merge order is fixed by shard id, and shard ranges tile the
+//!   universe contiguously — concatenation *is* the single-process fault
+//!   order.
+//!
+//! The unit of coordination is the segment: after every boundary each
+//! worker emits its `stfsm-trace` segment record and blocks on a verdict
+//! line (`continue` / `stop`) on stdin.  The coordinator sums the shards'
+//! new detections — which equals the single-process campaign's running
+//! coverage — applies the stop rule (a coverage target, mirroring
+//! [`CoverageTargetObserver`](stfsm::CoverageTargetObserver) exactly),
+//! and broadcasts the verdict.  All workers therefore stop at the same
+//! boundary the single-process campaign would, and the merged
+//! [`CoordinatedOutcome`] matches it bit for bit — detections, dictionary
+//! signatures and early-stop boundary alike (pinned by the integration
+//! suite across the 13 suite machines and multiple engines).
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Lines, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use crate::worker::shard_bounds;
+use stfsm::json::JsonValue;
+use stfsm::testsim::artifact::{ArtifactError, DictionaryArtifact};
+use stfsm::testsim::dictionary::FaultDictionary;
+use stfsm::{BistStructure, SimEngine};
+use stfsm_trace::{PlanRecord, TraceRecord};
+
+/// A coordinator failure.  Worker stderr passes through to the parent's,
+/// so the message here names the shard and phase; the detail is on the
+/// console.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// The worker binary could not be found (build the examples first, or
+    /// point `STFSM_WORKER_BIN` at it).
+    MissingWorkerBinary,
+    /// Spawning a worker failed.
+    Spawn {
+        /// The failing shard id.
+        shard: usize,
+        /// The OS error text.
+        message: String,
+    },
+    /// A worker broke the lockstep protocol (died mid-stream, emitted an
+    /// unparseable record, answered out of order).
+    Protocol {
+        /// The offending shard id.
+        shard: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Shards disagreed where they must agree (schedules, universe
+    /// layout, reference signatures).
+    Inconsistent {
+        /// What disagreed.
+        message: String,
+    },
+    /// A shard's dictionary artifact failed to load.
+    Artifact(ArtifactError),
+}
+
+impl std::fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoordinatorError::MissingWorkerBinary => write!(
+                f,
+                "campaign_worker binary not found (build examples, or set STFSM_WORKER_BIN)"
+            ),
+            CoordinatorError::Spawn { shard, message } => {
+                write!(f, "spawning shard {shard} failed: {message}")
+            }
+            CoordinatorError::Protocol { shard, message } => {
+                write!(f, "shard {shard} protocol violation: {message}")
+            }
+            CoordinatorError::Inconsistent { message } => {
+                write!(f, "shards disagree: {message}")
+            }
+            CoordinatorError::Artifact(error) => write!(f, "shard artifact: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {}
+
+impl From<ArtifactError> for CoordinatorError {
+    fn from(error: ArtifactError) -> Self {
+        CoordinatorError::Artifact(error)
+    }
+}
+
+/// Locates the worker binary: `STFSM_WORKER_BIN` if set, otherwise the
+/// `campaign_worker` example next to the current executable's target
+/// profile directory (where `cargo test` / `cargo build --examples` put
+/// it).
+pub fn default_worker_binary() -> Option<PathBuf> {
+    if let Ok(path) = std::env::var("STFSM_WORKER_BIN") {
+        let path = PathBuf::from(path);
+        return path.exists().then_some(path);
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        for candidate in [
+            dir.join("examples")
+                .join(format!("campaign_worker{}", std::env::consts::EXE_SUFFIX)),
+            dir.join(format!("campaign_worker{}", std::env::consts::EXE_SUFFIX)),
+        ] {
+            if candidate.exists() {
+                return Some(candidate);
+            }
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+/// One merged per-model section of a coordinated campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatedSection {
+    /// The fault-model label.
+    pub label: String,
+    /// `detection_pattern[i]`: first pattern detecting the section's
+    /// fault `i`, in the single-process fault order.
+    pub detection_pattern: Vec<Option<usize>>,
+    /// The merged fault dictionary (dictionary campaigns only).
+    pub dictionary: Option<FaultDictionary>,
+}
+
+/// The merged result of a coordinated campaign — field-for-field
+/// comparable to the corresponding single-process
+/// [`CampaignOutcome`](stfsm::CampaignOutcome).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatedOutcome {
+    /// The machine that was simulated.
+    pub machine: String,
+    /// The engine every worker ran (`Debug` rendering from the plan).
+    pub engine: String,
+    /// The pattern budget.
+    pub max_patterns: usize,
+    /// Patterns applied (the early-stop boundary, if the stop rule
+    /// fired).
+    pub patterns_applied: usize,
+    /// Whether the coordinator stopped the campaign before the budget.
+    pub stopped_early: bool,
+    /// Total faults across the universe.
+    pub total_faults: usize,
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Merged per-model sections, in model order.
+    pub sections: Vec<CoordinatedSection>,
+    /// Paths of the shard artifacts (dictionary campaigns with a kept
+    /// artifact directory only).
+    pub shard_artifacts: Vec<PathBuf>,
+}
+
+/// The sharding campaign coordinator; see the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    machine: String,
+    structure: BistStructure,
+    engine: SimEngine,
+    patterns: usize,
+    seed: u64,
+    models: Vec<String>,
+    workers: usize,
+    dictionary: bool,
+    coverage_target: Option<f64>,
+    artifact_dir: Option<PathBuf>,
+    worker_binary: Option<PathBuf>,
+}
+
+impl Coordinator {
+    /// A coordinator for one suite machine, with the campaign defaults
+    /// (PST structure, auto engine, 2048 patterns, default seed, stuck-at
+    /// faults, two workers).
+    pub fn new(machine: impl Into<String>) -> Self {
+        Self {
+            machine: machine.into(),
+            structure: BistStructure::Pst,
+            engine: SimEngine::Auto,
+            patterns: 2048,
+            seed: 0xBEEF_1991,
+            models: vec!["stuck_at".to_string()],
+            workers: 2,
+            dictionary: false,
+            coverage_target: None,
+            artifact_dir: None,
+            worker_binary: None,
+        }
+    }
+
+    /// Sets the BIST structure to synthesize.
+    pub fn structure(mut self, structure: BistStructure) -> Self {
+        self.structure = structure;
+        self
+    }
+
+    /// Sets the simulation engine every worker runs.
+    pub fn engine(mut self, engine: SimEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the pattern budget.
+    pub fn patterns(mut self, patterns: usize) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
+    /// Sets the stimulus seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault models (by name, section order).
+    pub fn models(mut self, models: &[&str]) -> Self {
+        self.models = models.iter().map(|m| m.to_string()).collect();
+        self
+    }
+
+    /// Sets the worker-process count (= shard count).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Runs the un-dropped dictionary pass and merges shard dictionaries
+    /// (each worker writes a shard artifact for the coordinator to load).
+    pub fn dictionary(mut self, dictionary: bool) -> Self {
+        self.dictionary = dictionary;
+        self
+    }
+
+    /// Stops the campaign at the first boundary whose *global* coverage
+    /// reaches `target` — the exact
+    /// [`CoverageTargetObserver`](stfsm::CoverageTargetObserver) rule.
+    pub fn coverage_target(mut self, target: f64) -> Self {
+        self.coverage_target = Some(target);
+        self
+    }
+
+    /// Keeps shard artifacts in `dir` instead of a throwaway temp
+    /// directory (dictionary campaigns).
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides worker-binary discovery.
+    pub fn worker_binary(mut self, path: impl Into<PathBuf>) -> Self {
+        self.worker_binary = Some(path.into());
+        self
+    }
+
+    /// Runs the sharded campaign to completion and merges the result.
+    pub fn run(&self) -> Result<CoordinatedOutcome, CoordinatorError> {
+        let binary = self
+            .worker_binary
+            .clone()
+            .or_else(default_worker_binary)
+            .ok_or(CoordinatorError::MissingWorkerBinary)?;
+        let (artifact_dir, ephemeral_dir) = if self.dictionary {
+            match &self.artifact_dir {
+                Some(dir) => (Some(dir.clone()), false),
+                None => {
+                    let dir = std::env::temp_dir().join(format!(
+                        "stfsm-coordinator-{}-{}",
+                        std::process::id(),
+                        self.machine
+                    ));
+                    (Some(dir), true)
+                }
+            }
+        } else {
+            (None, false)
+        };
+        if let Some(dir) = &artifact_dir {
+            std::fs::create_dir_all(dir).map_err(|e| CoordinatorError::Spawn {
+                shard: 0,
+                message: format!("creating artifact dir {}: {e}", dir.display()),
+            })?;
+        }
+
+        let mut procs = self.spawn_workers(&binary, artifact_dir.as_deref())?;
+        let result = self.drive(&mut procs);
+        for proc in &mut procs {
+            match &result {
+                // Clean path: workers have emitted their result record and
+                // are exiting; reap them.
+                Ok(_) => {
+                    let _ = proc.child.wait();
+                }
+                // Error path: don't leave orphans behind.
+                Err(_) => {
+                    let _ = proc.child.kill();
+                    let _ = proc.child.wait();
+                }
+            }
+        }
+        let outcome = result;
+        if ephemeral_dir {
+            if let Some(dir) = &artifact_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+        let mut outcome = outcome?;
+        if ephemeral_dir {
+            outcome.shard_artifacts.clear();
+        }
+        Ok(outcome)
+    }
+
+    fn spawn_workers(
+        &self,
+        binary: &std::path::Path,
+        artifact_dir: Option<&std::path::Path>,
+    ) -> Result<Vec<WorkerProc>, CoordinatorError> {
+        let mut procs = Vec::with_capacity(self.workers);
+        for shard in 0..self.workers {
+            let mut command = Command::new(binary);
+            command
+                .arg("--machine")
+                .arg(&self.machine)
+                .arg("--structure")
+                .arg(self.structure.name().to_ascii_lowercase())
+                .arg("--engine")
+                .arg(format!("{:?}", self.engine).to_ascii_lowercase())
+                .arg("--models")
+                .arg(self.models.join(","))
+                .arg("--patterns")
+                .arg(self.patterns.to_string())
+                .arg("--seed")
+                .arg(self.seed.to_string())
+                .arg("--shard")
+                .arg(shard.to_string())
+                .arg("--shards")
+                .arg(self.workers.to_string())
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit());
+            if self.dictionary {
+                command.arg("--dictionary");
+            }
+            if let Some(dir) = artifact_dir {
+                command
+                    .arg("--artifact")
+                    .arg(dir.join(format!("{}.shard{shard}.dict", self.machine)));
+            }
+            let mut child = command.spawn().map_err(|e| CoordinatorError::Spawn {
+                shard,
+                message: e.to_string(),
+            })?;
+            let stdin = child.stdin.take().ok_or_else(|| CoordinatorError::Spawn {
+                shard,
+                message: "no stdin pipe".to_string(),
+            })?;
+            let stdout = child.stdout.take().ok_or_else(|| CoordinatorError::Spawn {
+                shard,
+                message: "no stdout pipe".to_string(),
+            })?;
+            procs.push(WorkerProc {
+                shard,
+                child,
+                stdin,
+                lines: BufReader::new(stdout).lines(),
+            });
+        }
+        Ok(procs)
+    }
+
+    /// The lockstep loop: plans, per-segment records + verdicts,
+    /// summaries, result records, merge.
+    fn drive(&self, procs: &mut [WorkerProc]) -> Result<CoordinatedOutcome, CoordinatorError> {
+        // ---- plans -------------------------------------------------------
+        let mut plans: Vec<PlanRecord> = Vec::with_capacity(procs.len());
+        for proc in procs.iter_mut() {
+            match proc.next_trace_record()? {
+                TraceRecord::Plan(plan) => plans.push(plan),
+                other => return Err(proc.protocol(format!("expected plan record, got {other:?}"))),
+            }
+        }
+        let schedule = plans[0].segments.clone();
+        let engine = plans[0].engine.clone();
+        for (shard, plan) in plans.iter().enumerate() {
+            if plan.segments != schedule {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "shard {shard} schedule {:?} != {:?}",
+                        plan.segments, schedule
+                    ),
+                });
+            }
+            if plan.max_patterns != self.patterns {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "shard {shard} budget {} != {}",
+                        plan.max_patterns, self.patterns
+                    ),
+                });
+            }
+        }
+        let total_faults: usize = plans.iter().map(|p| p.total_faults).sum();
+
+        // ---- lockstep segments ------------------------------------------
+        let mut detected_global = 0usize;
+        let mut patterns_applied = schedule.last().copied().unwrap_or(0);
+        let mut stopped_early = false;
+        for (index, &boundary) in schedule.iter().enumerate() {
+            for proc in procs.iter_mut() {
+                let record = match proc.next_trace_record()? {
+                    TraceRecord::Segment(segment) => segment,
+                    other => {
+                        return Err(proc.protocol(format!("expected segment record, got {other:?}")))
+                    }
+                };
+                if record.segment != index || record.patterns_applied != boundary {
+                    return Err(proc.protocol(format!(
+                        "segment {}@{} patterns, expected {index}@{boundary}",
+                        record.segment, record.patterns_applied
+                    )));
+                }
+                detected_global += record.new_detections;
+            }
+            // The stop rule over *global* coverage — exactly the
+            // CoverageTargetObserver vote the single-process campaign
+            // applies at this same boundary.
+            let coverage = if total_faults == 0 {
+                0.0
+            } else {
+                detected_global as f64 / total_faults as f64
+            };
+            let stop = self
+                .coverage_target
+                .is_some_and(|target| coverage >= target);
+            let verdict = if stop { "stop" } else { "continue" };
+            for proc in procs.iter_mut() {
+                proc.send_verdict(verdict)?;
+            }
+            if stop {
+                patterns_applied = boundary;
+                stopped_early = boundary < self.patterns;
+                break;
+            }
+        }
+
+        // ---- summaries and shard results --------------------------------
+        let mut results: Vec<ShardResult> = Vec::with_capacity(procs.len());
+        for proc in procs.iter_mut() {
+            match proc.next_trace_record()? {
+                TraceRecord::Summary(summary) => {
+                    if summary.patterns_applied != patterns_applied {
+                        return Err(proc.protocol(format!(
+                            "summary reports {} patterns, coordinator stopped at {patterns_applied}",
+                            summary.patterns_applied
+                        )));
+                    }
+                }
+                other => {
+                    return Err(proc.protocol(format!("expected summary record, got {other:?}")))
+                }
+            }
+            results.push(proc.read_result()?);
+        }
+
+        // ---- merge ------------------------------------------------------
+        self.merge(
+            plans,
+            results,
+            engine,
+            patterns_applied,
+            stopped_early,
+            total_faults,
+        )
+    }
+
+    fn merge(
+        &self,
+        _plans: Vec<PlanRecord>,
+        results: Vec<ShardResult>,
+        engine: String,
+        patterns_applied: usize,
+        stopped_early: bool,
+        total_faults: usize,
+    ) -> Result<CoordinatedOutcome, CoordinatorError> {
+        let universe = results[0].universe.clone();
+        let universe_total: usize = universe.iter().map(|(_, count)| count).sum();
+        if universe_total != total_faults {
+            return Err(CoordinatorError::Inconsistent {
+                message: format!(
+                    "universe of {universe_total} faults, shards planned {total_faults}"
+                ),
+            });
+        }
+        for result in &results {
+            if result.universe != universe {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!("shard {} reports a different universe", result.shard),
+                });
+            }
+            if result.patterns_applied != patterns_applied {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "shard {} applied {} patterns, expected {patterns_applied}",
+                        result.shard, result.patterns_applied
+                    ),
+                });
+            }
+            let (lo, hi) = shard_bounds(universe_total, self.workers, result.shard);
+            if result.range != (lo, hi) {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "shard {} covered {:?}, expected ({lo}, {hi})",
+                        result.shard, result.range
+                    ),
+                });
+            }
+        }
+        let reference: Option<u64> = results.iter().find_map(|r| r.reference_signature);
+        for result in &results {
+            if result.reference_signature.is_some() && result.reference_signature != reference {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "shard {} reference signature {:?} != {reference:?}",
+                        result.shard, result.reference_signature
+                    ),
+                });
+            }
+        }
+
+        // Detections: per universe section, concatenate the shards'
+        // per-label slices in shard order — shard ranges tile the flat
+        // fault list, so this is the single-process order.
+        let mut merged_detections: BTreeMap<&str, Vec<Option<usize>>> = BTreeMap::new();
+        for result in &results {
+            for (label, detection) in &result.sections {
+                merged_detections
+                    .entry(label.as_str())
+                    .or_default()
+                    .extend(detection.iter().copied());
+            }
+        }
+
+        // Dictionaries: same concatenation over the shard artifacts.
+        let mut shard_artifacts = Vec::new();
+        let mut merged_dictionaries: BTreeMap<String, FaultDictionary> = BTreeMap::new();
+        if self.dictionary {
+            let mut loaded = Vec::with_capacity(results.len());
+            for result in &results {
+                let path =
+                    result
+                        .artifact
+                        .as_ref()
+                        .ok_or_else(|| CoordinatorError::Inconsistent {
+                            message: format!("shard {} wrote no artifact", result.shard),
+                        })?;
+                loaded.push(DictionaryArtifact::load(path)?);
+                shard_artifacts.push(path.clone());
+            }
+            for (label, _) in &universe {
+                let mut template: Option<&FaultDictionary> = None;
+                let mut entries = Vec::new();
+                for artifact in &loaded {
+                    for (shard_label, dictionary) in &artifact.sections {
+                        if shard_label != label {
+                            continue;
+                        }
+                        if let Some(template) = template {
+                            let consistent = template.signature_bits == dictionary.signature_bits
+                                && template.reference_signature == dictionary.reference_signature
+                                && template.reference_segments == dictionary.reference_segments
+                                && template.segment_checkpoints == dictionary.segment_checkpoints
+                                && template.patterns_applied == dictionary.patterns_applied;
+                            if !consistent {
+                                return Err(CoordinatorError::Inconsistent {
+                                    message: format!(
+                                        "shard dictionaries of section '{label}' disagree on reference data"
+                                    ),
+                                });
+                            }
+                        } else {
+                            template = Some(dictionary);
+                        }
+                        entries.extend(dictionary.entries.iter().cloned());
+                    }
+                }
+                let template = template.ok_or_else(|| CoordinatorError::Inconsistent {
+                    message: format!("no shard produced a dictionary for section '{label}'"),
+                })?;
+                merged_dictionaries.insert(
+                    label.clone(),
+                    FaultDictionary::new(
+                        template.signature_bits,
+                        template.reference_signature,
+                        template.reference_segments.clone(),
+                        template.segment_checkpoints.clone(),
+                        template.patterns_applied,
+                        entries,
+                    ),
+                );
+            }
+        }
+
+        let mut sections = Vec::with_capacity(universe.len());
+        for (label, count) in &universe {
+            let detection_pattern = merged_detections.remove(label.as_str()).ok_or_else(|| {
+                CoordinatorError::Inconsistent {
+                    message: format!("no shard covered section '{label}'"),
+                }
+            })?;
+            if detection_pattern.len() != *count {
+                return Err(CoordinatorError::Inconsistent {
+                    message: format!(
+                        "section '{label}' merged {} detections for {count} faults",
+                        detection_pattern.len()
+                    ),
+                });
+            }
+            sections.push(CoordinatedSection {
+                label: label.clone(),
+                detection_pattern,
+                dictionary: merged_dictionaries.remove(label),
+            });
+        }
+
+        Ok(CoordinatedOutcome {
+            machine: self.machine.clone(),
+            engine,
+            max_patterns: self.patterns,
+            patterns_applied,
+            stopped_early,
+            total_faults,
+            workers: self.workers,
+            sections,
+            shard_artifacts,
+        })
+    }
+}
+
+/// One spawned worker and its pipes.
+struct WorkerProc {
+    shard: usize,
+    child: Child,
+    stdin: ChildStdin,
+    lines: Lines<BufReader<ChildStdout>>,
+}
+
+impl WorkerProc {
+    fn protocol(&self, message: String) -> CoordinatorError {
+        CoordinatorError::Protocol {
+            shard: self.shard,
+            message,
+        }
+    }
+
+    fn next_line(&mut self) -> Result<String, CoordinatorError> {
+        match self.lines.next() {
+            Some(Ok(line)) => Ok(line),
+            Some(Err(error)) => Err(self.protocol(format!("read error: {error}"))),
+            None => Err(self.protocol("worker closed its stdout mid-protocol".to_string())),
+        }
+    }
+
+    fn next_trace_record(&mut self) -> Result<TraceRecord, CoordinatorError> {
+        let line = self.next_line()?;
+        TraceRecord::parse(&line).map_err(|error| self.protocol(error.to_string()))
+    }
+
+    fn send_verdict(&mut self, verdict: &str) -> Result<(), CoordinatorError> {
+        writeln!(self.stdin, "{verdict}")
+            .map_err(|error| self.protocol(format!("verdict write failed: {error}")))
+    }
+
+    /// Reads and parses the worker's final `{"type":"result"}` record.
+    fn read_result(&mut self) -> Result<ShardResult, CoordinatorError> {
+        let line = self.next_line()?;
+        let value = JsonValue::parse(&line)
+            .map_err(|error| self.protocol(format!("result record: {error}")))?;
+        ShardResult::from_value(&value).map_err(|message| self.protocol(message))
+    }
+}
+
+/// The parsed `{"type":"result"}` record of one shard.
+#[derive(Debug, Clone, PartialEq)]
+struct ShardResult {
+    shard: usize,
+    patterns_applied: usize,
+    range: (usize, usize),
+    universe: Vec<(String, usize)>,
+    sections: Vec<(String, Vec<Option<usize>>)>,
+    reference_signature: Option<u64>,
+    artifact: Option<PathBuf>,
+}
+
+impl ShardResult {
+    fn from_value(value: &JsonValue) -> Result<Self, String> {
+        let str_of = |v: &JsonValue, key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("result record: missing string '{key}'"))?
+                .to_string())
+        };
+        let usize_of = |key: &str| -> Result<usize, String> {
+            value
+                .get(key)
+                .and_then(JsonValue::as_usize)
+                .ok_or_else(|| format!("result record: missing integer '{key}'"))
+        };
+        if str_of(value, "type")? != "result" {
+            return Err("not a result record".to_string());
+        }
+        let range_values = value
+            .get("range")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "result record: missing 'range'".to_string())?;
+        let [lo, hi] = range_values else {
+            return Err("result record: 'range' is not a pair".to_string());
+        };
+        let range = (
+            lo.as_usize().ok_or("result record: bad range lo")?,
+            hi.as_usize().ok_or("result record: bad range hi")?,
+        );
+        let universe = value
+            .get("universe")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "result record: missing 'universe'".to_string())?
+            .iter()
+            .map(|section| {
+                Ok((
+                    str_of(section, "label")?,
+                    section
+                        .get("faults")
+                        .and_then(JsonValue::as_usize)
+                        .ok_or_else(|| "result record: bad universe section".to_string())?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let sections = value
+            .get("sections")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| "result record: missing 'sections'".to_string())?
+            .iter()
+            .map(|section| {
+                let detection = section
+                    .get("detection")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| "result record: bad section detection".to_string())?
+                    .iter()
+                    .map(|cycle| {
+                        if cycle.is_null() {
+                            Ok(None)
+                        } else {
+                            cycle
+                                .as_usize()
+                                .map(Some)
+                                .ok_or_else(|| "result record: bad detection cycle".to_string())
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok((str_of(section, "label")?, detection))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let reference_signature = match value.get("reference_signature") {
+            None | Some(JsonValue::Null) => None,
+            Some(word) => Some(
+                word.as_u64()
+                    .ok_or("result record: bad reference signature")?,
+            ),
+        };
+        let artifact = match value.get("artifact") {
+            None | Some(JsonValue::Null) => None,
+            Some(path) => Some(PathBuf::from(
+                path.as_str().ok_or("result record: bad artifact path")?,
+            )),
+        };
+        Ok(Self {
+            shard: usize_of("shard")?,
+            patterns_applied: usize_of("patterns_applied")?,
+            range,
+            universe,
+            sections,
+            reference_signature,
+            artifact,
+        })
+    }
+}

@@ -1,0 +1,188 @@
+//! The in-process diagnosis service: a read-only catalog of loaded
+//! dictionary artifacts, shared behind one lock, answering ranked
+//! candidate queries for a fleet of machines.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use crate::protocol::{MachineInfo, Query, QueryResponse, RankedCandidate};
+use stfsm::testsim::artifact::{ArtifactError, DictionaryArtifact};
+use stfsm::Diagnosis;
+
+/// One loaded machine: its artifact identity plus the ready-to-query
+/// diagnosis database.
+#[derive(Debug, Clone)]
+struct MachineRecord {
+    digest: u64,
+    total_faults: usize,
+    sections: Vec<(String, usize)>,
+    diagnosis: Diagnosis,
+}
+
+/// A read-only catalog of dictionary artifacts, keyed by machine name.
+///
+/// The catalog is assembled once (artifact loads included) and then
+/// shared read-only by every server connection — queries never take a
+/// write lock.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    machines: BTreeMap<String, MachineRecord>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a machine from an in-memory artifact.
+    pub fn insert(&mut self, artifact: &DictionaryArtifact) {
+        let record = MachineRecord {
+            digest: artifact.digest,
+            total_faults: artifact.total_entries(),
+            sections: artifact
+                .sections
+                .iter()
+                .map(|(label, dictionary)| (label.clone(), dictionary.entries.len()))
+                .collect(),
+            diagnosis: artifact.diagnosis(),
+        };
+        self.machines.insert(artifact.machine.clone(), record);
+    }
+
+    /// Loads an artifact file and adds its machine.  Returns the machine
+    /// name.
+    pub fn load(&mut self, path: &Path) -> Result<String, ArtifactError> {
+        let artifact = DictionaryArtifact::load(path)?;
+        let machine = artifact.machine.clone();
+        self.insert(&artifact);
+        Ok(machine)
+    }
+
+    /// Number of machines in the catalog.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// The loaded machines, name order, with their artifact identity.
+    pub fn machines(&self) -> Vec<MachineInfo> {
+        self.machines
+            .iter()
+            .map(|(machine, record)| MachineInfo {
+                machine: machine.clone(),
+                digest: record.digest,
+                total_faults: record.total_faults,
+                sections: record.sections.clone(),
+            })
+            .collect()
+    }
+
+    fn answer(&self, query: &Query) -> QueryResponse {
+        let Some(record) = self.machines.get(&query.machine) else {
+            return QueryResponse {
+                machine: query.machine.clone(),
+                known_machine: false,
+                reference: false,
+                total_matches: 0,
+                candidates: Vec::new(),
+            };
+        };
+        let candidates = match &query.segments {
+            Some(observed) => record.diagnosis.disambiguate(query.signature, observed),
+            None => record.diagnosis.candidates(query.signature),
+        };
+        let total_matches = candidates.len();
+        let limit = query.limit.unwrap_or(usize::MAX);
+        QueryResponse {
+            machine: query.machine.clone(),
+            known_machine: true,
+            reference: record.diagnosis.is_reference(query.signature),
+            total_matches,
+            candidates: candidates
+                .into_iter()
+                .take(limit)
+                .map(|candidate| RankedCandidate {
+                    model: candidate.model,
+                    fault: candidate.fault.to_string(),
+                    first_detect: candidate.first_detect,
+                    matching_segments: candidate.matching_segments,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The shared diagnosis service: one catalog behind a read/write lock.
+///
+/// The lock exists so a deployment can swap artifacts in while serving;
+/// the query path only ever takes the read side, and
+/// [`ServiceHandle::query_batch`] takes it once per batch.
+#[derive(Debug, Clone)]
+pub struct DiagnosisService {
+    catalog: Arc<RwLock<Catalog>>,
+}
+
+impl DiagnosisService {
+    /// A service over an assembled catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        Self {
+            catalog: Arc::new(RwLock::new(catalog)),
+        }
+    }
+
+    /// A cheap, clonable in-process query handle (what the TCP server
+    /// hands each connection thread, and what benchmarks drive directly).
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            catalog: Arc::clone(&self.catalog),
+        }
+    }
+
+    /// Replaces or adds a machine while serving (takes the write lock).
+    pub fn insert(&self, artifact: &DictionaryArtifact) {
+        match self.catalog.write() {
+            Ok(mut catalog) => catalog.insert(artifact),
+            Err(poisoned) => poisoned.into_inner().insert(artifact),
+        }
+    }
+}
+
+/// A clonable in-process handle answering diagnosis queries against the
+/// shared catalog — no sockets involved, so tests and the QPS benchmark
+/// measure the lookup path itself.
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    catalog: Arc<RwLock<Catalog>>,
+}
+
+impl ServiceHandle {
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Catalog> {
+        match self.catalog.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Answers one query.
+    pub fn query(&self, query: &Query) -> QueryResponse {
+        self.read().answer(query)
+    }
+
+    /// Answers a batch under a single catalog lock acquisition — the
+    /// amortization the wire protocol's batch op exists for.
+    pub fn query_batch(&self, queries: &[Query]) -> Vec<QueryResponse> {
+        let catalog = self.read();
+        queries.iter().map(|query| catalog.answer(query)).collect()
+    }
+
+    /// The loaded machines (name order).
+    pub fn machines(&self) -> Vec<MachineInfo> {
+        self.read().machines()
+    }
+}

@@ -1029,33 +1029,14 @@ fn campaign_digest(
     config: &CampaignConfig,
     stimulation: StateStimulation,
 ) -> u64 {
-    let mut hash = crate::checkpoint::Fnv1a64::new();
-    hash.write_str(netlist.name());
-    hash.write_str(&format!("{:?}", netlist.structure()));
-    hash.write_u64(netlist.primary_inputs().len() as u64);
-    hash.write_u64(netlist.flip_flops().len() as u64);
-    hash.write_u64(netlist.gates().len() as u64);
-    hash.write_u64(config.max_patterns as u64);
-    hash.write_u64(config.seed);
-    match &config.input_weights {
-        None => hash.write_str("-"),
-        Some(weights) => {
-            hash.write_u64(weights.len() as u64);
-            for &weight in weights {
-                hash.write_u64(weight.to_bits());
-            }
-        }
-    }
-    hash.write_str(&format!("{stimulation:?}"));
-    hash.write_u64(sections.len() as u64);
-    for section in sections {
-        hash.write_str(&section.label);
-        hash.write_u64(section.faults.len() as u64);
-        for fault in &section.faults {
-            hash.write_str(&format!("{fault:?}"));
-        }
-    }
-    hash.finish()
+    crate::checkpoint::identity_digest(
+        netlist,
+        config,
+        stimulation,
+        sections
+            .iter()
+            .map(|s| (s.label.as_str(), s.faults.as_slice())),
+    )
 }
 
 /// Assembles the pass result of a campaign whose replayed history ends in

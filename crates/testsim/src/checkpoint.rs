@@ -74,9 +74,12 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use crate::coverage::{CampaignConfig, StateStimulation};
 use crate::error::CampaignError;
 use crate::failpoints;
+use crate::faults::Injection;
 use crate::telemetry::CampaignMetrics;
+use stfsm_bist::netlist::Netlist;
 
 /// Current checkpoint format version, written in (and required of) the
 /// header line.  See the [module docs](self) for the bump policy.
@@ -250,6 +253,47 @@ impl Fnv1a64 {
     pub(crate) fn finish(&self) -> u64 {
         self.0
     }
+}
+
+/// The campaign identity digest shared by checkpoints and dictionary
+/// artifacts: netlist shape, budget, seed, weights, stimulation and the
+/// full fault-section list.  Deliberately *excludes* the engine, thread
+/// count and block width — those never change a result bit, so both
+/// checkpoints and artifacts stay engine-agnostic.
+pub(crate) fn identity_digest<'a>(
+    netlist: &Netlist,
+    config: &CampaignConfig,
+    stimulation: StateStimulation,
+    sections: impl Iterator<Item = (&'a str, &'a [Injection])>,
+) -> u64 {
+    let mut hash = Fnv1a64::new();
+    hash.write_str(netlist.name());
+    hash.write_str(&format!("{:?}", netlist.structure()));
+    hash.write_u64(netlist.primary_inputs().len() as u64);
+    hash.write_u64(netlist.flip_flops().len() as u64);
+    hash.write_u64(netlist.gates().len() as u64);
+    hash.write_u64(config.max_patterns as u64);
+    hash.write_u64(config.seed);
+    match &config.input_weights {
+        None => hash.write_str("-"),
+        Some(weights) => {
+            hash.write_u64(weights.len() as u64);
+            for &weight in weights {
+                hash.write_u64(weight.to_bits());
+            }
+        }
+    }
+    hash.write_str(&format!("{stimulation:?}"));
+    let sections: Vec<_> = sections.collect();
+    hash.write_u64(sections.len() as u64);
+    for (label, faults) in sections {
+        hash.write_str(label);
+        hash.write_u64(faults.len() as u64);
+        for fault in faults {
+            hash.write_str(&format!("{fault:?}"));
+        }
+    }
+    hash.finish()
 }
 
 fn bits_token(bits: &[bool]) -> String {

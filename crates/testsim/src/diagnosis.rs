@@ -349,6 +349,86 @@ mod tests {
     }
 
     #[test]
+    fn unknown_signatures_yield_empty_candidate_lists() {
+        let netlist = pst_netlist();
+        let diagnosis = multi_model_diagnosis(&netlist, 512);
+        // A signature no fault (and not the reference) produced.
+        let mut absent = 0xDEAD_BEEF_0BAD_F00Du64;
+        let known: std::collections::HashSet<u64> = diagnosis
+            .sections()
+            .iter()
+            .flat_map(|(_, d)| {
+                d.entries
+                    .iter()
+                    .map(|e| e.signature)
+                    .chain(std::iter::once(d.reference_signature))
+            })
+            .collect();
+        while known.contains(&absent) {
+            absent = absent.wrapping_add(1);
+        }
+        assert!(diagnosis.candidates(absent).is_empty());
+        assert!(diagnosis.disambiguate(absent, &[1, 2, 3]).is_empty());
+        assert!(!diagnosis.is_reference(absent));
+    }
+
+    #[test]
+    fn perfect_aliases_tie_break_in_dictionary_order() {
+        use crate::dictionary::DictionaryEntry;
+        // Three faults sharing the full signature AND every checkpoint
+        // signature — indistinguishable to the MISR.  Ranking must be
+        // deterministic: first_detect ascending, dictionary order within
+        // equal first_detect (the sorts are stable).
+        let alias = |net: usize, first_detect: Option<usize>| DictionaryEntry {
+            fault: Injection::StuckOutput { net, value: true },
+            first_detect,
+            signature: 0x5150,
+            segments: vec![0xA, 0xB, 0xC],
+        };
+        let entries = vec![
+            alias(7, Some(40)),
+            alias(3, Some(12)),
+            alias(9, Some(40)),
+            alias(1, None),
+        ];
+        let dictionary = FaultDictionary::new(
+            16,
+            0xFFFF,
+            vec![0x1, 0x2, 0x3],
+            vec![8, 16, 24],
+            24,
+            entries,
+        );
+        let diagnosis = Diagnosis::from_dictionaries(vec![("stuck_at".to_string(), dictionary)]);
+
+        let ranked = diagnosis.candidates(0x5150);
+        assert_eq!(ranked.len(), 4);
+        let order: Vec<usize> = ranked
+            .iter()
+            .map(|c| match c.fault {
+                Injection::StuckOutput { net, .. } => net,
+                _ => unreachable!(),
+            })
+            .collect();
+        // 3 (detect 12) first, then 7 before 9 (both detect 40, dictionary
+        // order), the never-detected 1 last.
+        assert_eq!(order, vec![3, 7, 9, 1]);
+
+        // All aliases match all checkpoints, so disambiguation cannot
+        // separate them: same order, full segment-match counts.
+        let ranked = diagnosis.disambiguate(0x5150, &[0xA, 0xB, 0xC]);
+        let order: Vec<usize> = ranked
+            .iter()
+            .map(|c| match c.fault {
+                Injection::StuckOutput { net, .. } => net,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![3, 7, 9, 1]);
+        assert!(ranked.iter().all(|c| c.matching_segments == 3));
+    }
+
+    #[test]
     fn empty_diagnosis_is_total() {
         let diagnosis = Diagnosis::from_dictionaries(Vec::new());
         assert!(diagnosis.sections().is_empty());

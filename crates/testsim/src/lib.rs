@@ -51,6 +51,11 @@
 //! * [`diagnosis`] — the top-level diagnosis flow: map an observed failing
 //!   signature to ranked candidate faults across models, with per-segment
 //!   intermediate signatures disambiguating aliases,
+//! * [`artifact`] — versioned, endian-stable on-disk dictionary artifacts
+//!   ([`DictionaryArtifact`]): a campaign's full diagnosis product frozen
+//!   to a single binary file, stamped with the same identity digest as
+//!   checkpoints, round-tripping bit-for-bit for the `stfsm-serve`
+//!   diagnosis server,
 //! * [`error`] — the typed [`CampaignError`] taxonomy behind
 //!   [`Campaign::try_run`], covering invalid configuration, observer
 //!   failures, unrecoverable worker panics and checkpoint I/O/format
@@ -131,6 +136,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod campaign;
 pub mod checkpoint;
 pub mod coverage;
@@ -146,6 +152,7 @@ pub mod patterns;
 pub mod sim;
 pub mod telemetry;
 
+pub use artifact::{ArtifactError, DictionaryArtifact};
 pub use campaign::{
     Campaign, CampaignObserver, CampaignOutcome, CampaignPlan, CoverageObserver,
     CoverageTargetObserver, DictionaryObserver, ObserverControl, SectionOutcome, SectionPlan,

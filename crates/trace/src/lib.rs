@@ -15,6 +15,12 @@
 //!   `{"type":"summary",...}` line with the folded totals.  Write errors
 //!   are recorded on the observer ([`TraceObserver::error`]) instead of
 //!   panicking mid-campaign, and further writes are skipped.
+//! * [`TraceRecord`] — the *parser* half of the wire format: one
+//!   [`TraceRecord::parse`] call per JSONL line turns the stream back
+//!   into typed [`PlanRecord`] / [`SegmentRecord`] / [`SummaryRecord`]
+//!   values.  Everything the observer emits parses back, which is what
+//!   lets the `stfsm-serve` campaign coordinator drive worker processes
+//!   by reading their trace streams over a pipe.
 //! * [`chrome_trace`] / [`write_chrome_trace`] — render a completed run's
 //!   [`CampaignTelemetry`] as a Chrome Trace Event Format JSON file: a
 //!   `segments` lane with one slice per segment, a `phases` lane with the
@@ -54,7 +60,7 @@
 #![warn(missing_docs)]
 
 use std::io::Write;
-use stfsm::json::{JsonObject, RawJson, ToJson};
+use stfsm::json::{JsonObject, JsonParseError, JsonValue, RawJson, ToJson};
 use stfsm::testsim::campaign::{
     CampaignObserver, CampaignOutcome, CampaignPlan, ObserverControl, SegmentSnapshot,
 };
@@ -293,6 +299,249 @@ pub fn write_chrome_trace<W: Write>(
     writeln!(writer, "{}", chrome_trace(telemetry))
 }
 
+/// A trace-stream parse failure: either the line was not JSON, or it was
+/// JSON of the wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceParseError {
+    /// The line was not valid JSON.
+    Json(JsonParseError),
+    /// The line was JSON but not a trace record (unknown `type`, missing
+    /// or mistyped field).
+    Schema {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceParseError::Json(error) => write!(f, "trace record is not JSON: {error}"),
+            TraceParseError::Schema { message } => {
+                write!(f, "trace record has the wrong shape: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+fn schema_err(message: impl Into<String>) -> TraceParseError {
+    TraceParseError::Schema {
+        message: message.into(),
+    }
+}
+
+fn field<'a>(value: &'a JsonValue, key: &str) -> Result<&'a JsonValue, TraceParseError> {
+    value
+        .get(key)
+        .ok_or_else(|| schema_err(format!("missing field '{key}'")))
+}
+
+fn usize_field(value: &JsonValue, key: &str) -> Result<usize, TraceParseError> {
+    field(value, key)?
+        .as_usize()
+        .ok_or_else(|| schema_err(format!("field '{key}' is not a non-negative integer")))
+}
+
+fn u64_field(value: &JsonValue, key: &str) -> Result<u64, TraceParseError> {
+    field(value, key)?
+        .as_u64()
+        .ok_or_else(|| schema_err(format!("field '{key}' is not a u64")))
+}
+
+fn f64_field(value: &JsonValue, key: &str) -> Result<f64, TraceParseError> {
+    field(value, key)?
+        .as_f64()
+        .ok_or_else(|| schema_err(format!("field '{key}' is not a number")))
+}
+
+fn str_field(value: &JsonValue, key: &str) -> Result<String, TraceParseError> {
+    Ok(field(value, key)?
+        .as_str()
+        .ok_or_else(|| schema_err(format!("field '{key}' is not a string")))?
+        .to_string())
+}
+
+fn bool_field(value: &JsonValue, key: &str) -> Result<bool, TraceParseError> {
+    field(value, key)?
+        .as_bool()
+        .ok_or_else(|| schema_err(format!("field '{key}' is not a boolean")))
+}
+
+/// One fault section of a parsed plan record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionRecord {
+    /// The section's label (fault-model name).
+    pub label: String,
+    /// Number of faults in the section.
+    pub faults: usize,
+}
+
+/// A parsed `{"type":"plan",...}` record — the campaign's resolved shape
+/// before the first pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRecord {
+    /// The BIST structure name (`"DFF"`, `"PST"`, …).
+    pub structure: String,
+    /// The stimulation mode (its `Debug` rendering).
+    pub stimulation: String,
+    /// The resolved engine (its `Debug` rendering).
+    pub engine: String,
+    /// The pattern budget.
+    pub max_patterns: usize,
+    /// Total faults across all sections.
+    pub total_faults: usize,
+    /// Worker threads the campaign will use.
+    pub threads: usize,
+    /// Differential lane-block width, when applicable.
+    pub block_words: Option<usize>,
+    /// The pinned segment schedule (end boundaries).
+    pub segments: Vec<usize>,
+    /// The declared fault sections, in declaration order.
+    pub sections: Vec<SectionRecord>,
+}
+
+/// A parsed `{"type":"segment",...}` record — one compaction-segment
+/// boundary.  The nested `metrics` / `workers` payloads stay available on
+/// the [`JsonValue`] handed to [`TraceRecord::from_value`]; this struct
+/// carries the progress fields coordination logic actually consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentRecord {
+    /// Index of the segment in the plan's schedule.
+    pub segment: usize,
+    /// Patterns applied at the boundary.
+    pub patterns_applied: usize,
+    /// Total faults across all sections.
+    pub total_faults: usize,
+    /// Faults detected so far.
+    pub detected_faults: usize,
+    /// Running coverage (`detected / total`).
+    pub coverage: f64,
+    /// Faults newly detected within this segment.
+    pub new_detections: usize,
+    /// Segment wall-clock start (monotonic, run-relative).
+    pub start_ns: u64,
+    /// Segment wall-clock end.
+    pub end_ns: u64,
+}
+
+/// A parsed `{"type":"summary",...}` record — the campaign's final line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRecord {
+    /// The engine that ran (its `Debug` rendering).
+    pub engine: String,
+    /// The pattern budget.
+    pub max_patterns: usize,
+    /// Patterns actually applied (the early-stop boundary, if any).
+    pub patterns_applied: usize,
+    /// Stimulus rows actually generated.
+    pub stimulus_generated: usize,
+    /// Whether a unanimous stop vote ended the run early.
+    pub stopped_early: bool,
+    /// Total faults across all sections.
+    pub total_faults: usize,
+    /// Faults detected over the whole run.
+    pub detected_faults: usize,
+    /// Number of segments simulated.
+    pub segments: usize,
+}
+
+/// One parsed line of a [`TraceObserver`] JSONL stream.
+///
+/// The emitter and this parser are the two halves of the trace wire
+/// format: every record [`TraceObserver`] writes parses back, and the
+/// campaign coordinator of `stfsm-serve` drives worker processes by
+/// reading exactly this stream from their stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// The run's resolved plan (first line).
+    Plan(PlanRecord),
+    /// One segment boundary (one line per segment).
+    Segment(SegmentRecord),
+    /// The folded final record (last line).
+    Summary(SummaryRecord),
+}
+
+impl TraceRecord {
+    /// Parses one JSONL line.
+    pub fn parse(line: &str) -> Result<Self, TraceParseError> {
+        let value = JsonValue::parse(line.trim()).map_err(TraceParseError::Json)?;
+        Self::from_value(&value)
+    }
+
+    /// Interprets an already-parsed [`JsonValue`] as a trace record (use
+    /// this when the caller also needs fields this crate does not lift,
+    /// e.g. the nested `metrics` object).
+    pub fn from_value(value: &JsonValue) -> Result<Self, TraceParseError> {
+        match str_field(value, "type")?.as_str() {
+            "plan" => {
+                let sections = field(value, "sections")?
+                    .as_array()
+                    .ok_or_else(|| schema_err("field 'sections' is not an array"))?
+                    .iter()
+                    .map(|section| {
+                        Ok(SectionRecord {
+                            label: str_field(section, "label")?,
+                            faults: usize_field(section, "faults")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, TraceParseError>>()?;
+                let segments = field(value, "segments")?
+                    .as_array()
+                    .ok_or_else(|| schema_err("field 'segments' is not an array"))?
+                    .iter()
+                    .map(|boundary| {
+                        boundary
+                            .as_usize()
+                            .ok_or_else(|| schema_err("segment boundary is not an integer"))
+                    })
+                    .collect::<Result<Vec<_>, TraceParseError>>()?;
+                let block_words = match field(value, "block_words")? {
+                    JsonValue::Null => None,
+                    words => Some(
+                        words
+                            .as_usize()
+                            .ok_or_else(|| schema_err("field 'block_words' is not an integer"))?,
+                    ),
+                };
+                Ok(TraceRecord::Plan(PlanRecord {
+                    structure: str_field(value, "structure")?,
+                    stimulation: str_field(value, "stimulation")?,
+                    engine: str_field(value, "engine")?,
+                    max_patterns: usize_field(value, "max_patterns")?,
+                    total_faults: usize_field(value, "total_faults")?,
+                    threads: usize_field(value, "threads")?,
+                    block_words,
+                    segments,
+                    sections,
+                }))
+            }
+            "segment" => Ok(TraceRecord::Segment(SegmentRecord {
+                segment: usize_field(value, "segment")?,
+                patterns_applied: usize_field(value, "patterns_applied")?,
+                total_faults: usize_field(value, "total_faults")?,
+                detected_faults: usize_field(value, "detected_faults")?,
+                coverage: f64_field(value, "coverage")?,
+                new_detections: usize_field(value, "new_detections")?,
+                start_ns: u64_field(value, "start_ns")?,
+                end_ns: u64_field(value, "end_ns")?,
+            })),
+            "summary" => Ok(TraceRecord::Summary(SummaryRecord {
+                engine: str_field(value, "engine")?,
+                max_patterns: usize_field(value, "max_patterns")?,
+                patterns_applied: usize_field(value, "patterns_applied")?,
+                stimulus_generated: usize_field(value, "stimulus_generated")?,
+                stopped_early: bool_field(value, "stopped_early")?,
+                total_faults: usize_field(value, "total_faults")?,
+                detected_faults: usize_field(value, "detected_faults")?,
+                segments: usize_field(value, "segments")?,
+            })),
+            other => Err(schema_err(format!("unknown record type '{other}'"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -432,6 +681,70 @@ mod tests {
         fn flush(&mut self) -> std::io::Result<()> {
             Ok(())
         }
+    }
+
+    #[test]
+    fn every_emitted_record_parses_back() {
+        let netlist = netlist();
+        let mut trace = TraceObserver::new(Vec::new());
+        let outcome = Campaign::new(&netlist)
+            .model(&StuckAt)
+            .patterns(200)
+            .observe(&mut trace)
+            .run();
+        let jsonl = String::from_utf8(trace.into_inner()).unwrap();
+        let records: Vec<TraceRecord> = jsonl
+            .lines()
+            .map(|line| TraceRecord::parse(line).expect("emitted record must parse"))
+            .collect();
+        let TraceRecord::Plan(plan) = &records[0] else {
+            panic!("first record is not a plan");
+        };
+        assert_eq!(plan.structure, "DFF");
+        assert_eq!(plan.max_patterns, 200);
+        assert_eq!(plan.total_faults, outcome.total_faults());
+        assert_eq!(plan.sections.len(), 1);
+        assert_eq!(plan.sections[0].label, "stuck_at");
+        assert_eq!(plan.segments.last().copied(), Some(200));
+        let mut detected_so_far = 0;
+        for (record, telemetry) in records[1..records.len() - 1]
+            .iter()
+            .zip(&outcome.telemetry.segments)
+        {
+            let TraceRecord::Segment(segment) = record else {
+                panic!("middle record is not a segment");
+            };
+            assert_eq!(segment.segment, telemetry.segment);
+            assert_eq!(segment.patterns_applied, telemetry.patterns_applied);
+            detected_so_far += segment.new_detections;
+            assert_eq!(segment.detected_faults, detected_so_far);
+        }
+        let TraceRecord::Summary(summary) = records.last().unwrap() else {
+            panic!("last record is not a summary");
+        };
+        assert_eq!(summary.patterns_applied, outcome.patterns_applied);
+        assert_eq!(summary.stopped_early, outcome.stopped_early());
+        assert_eq!(summary.detected_faults, detected_so_far);
+    }
+
+    #[test]
+    fn malformed_records_are_typed_errors() {
+        assert!(matches!(
+            TraceRecord::parse("not json"),
+            Err(TraceParseError::Json(_))
+        ));
+        assert!(matches!(
+            TraceRecord::parse(r#"{"type":"unknown"}"#),
+            Err(TraceParseError::Schema { .. })
+        ));
+        assert!(matches!(
+            TraceRecord::parse(r#"{"type":"segment","segment":"three"}"#),
+            Err(TraceParseError::Schema { .. })
+        ));
+        assert!(matches!(
+            TraceRecord::parse(r#"{"segment":3}"#),
+            Err(TraceParseError::Schema { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! The campaign shard worker spawned by `stfsm_serve::Coordinator`.
+//!
+//! Runs one contiguous shard of a machine's fault universe, streaming
+//! trace records on stdout and reading per-segment verdicts on stdin.
+//! Usable standalone too: with stdin closed it runs its shard to the
+//! budget and prints the result record.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(stfsm_serve::worker::run(&args));
+}

@@ -1,0 +1,121 @@
+//! End-to-end diagnosis-service smoke: build dictionary artifacts for
+//! two suite machines, serve them over TCP, and check that a client's
+//! ranked answer matches the in-process [`Diagnosis`] exactly.
+//!
+//! ```text
+//! cargo run --release --example diagnosis_service
+//! ```
+//!
+//! Exits nonzero (panics) on any divergence; CI runs this as the
+//! service smoke test.
+
+use std::sync::Arc;
+
+use stfsm::testsim::artifact::DictionaryArtifact;
+use stfsm::{
+    BistStructure, Campaign, CampaignConfig, Diagnosis, DictionaryObserver, SimEngine,
+    SynthesisFlow,
+};
+use stfsm_serve::{
+    Catalog, DiagnosisClient, DiagnosisServer, DiagnosisService, Query, ServerConfig,
+};
+
+const MACHINES: [&str; 2] = ["dk16", "mark1"];
+const PATTERNS: usize = 512;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scratch = std::env::temp_dir().join(format!("stfsm-diag-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch)?;
+
+    // Build one dictionary campaign per machine, freeze it to disk, load
+    // it back into the catalog, and keep the in-memory diagnosis as the
+    // reference answer.
+    let mut catalog = Catalog::new();
+    let mut references = Vec::new();
+    for machine in MACHINES {
+        let info = stfsm::fsm::suite::benchmark(machine).expect("suite machine");
+        let netlist = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&info.fsm()?)?
+            .netlist;
+        let model = stfsm::faults::all_models().remove(0);
+        let mut observer = DictionaryObserver::new();
+        let outcome = Campaign::new(&netlist)
+            .model(model.as_ref())
+            .engine(SimEngine::Auto)
+            .patterns(PATTERNS)
+            .observe(&mut observer)
+            .run();
+        let config = CampaignConfig {
+            max_patterns: PATTERNS,
+            ..CampaignConfig::default()
+        };
+        let artifact = DictionaryArtifact::from_outcome(&netlist, &config, &outcome)?;
+        let path = scratch.join(format!("{machine}.dict"));
+        let bytes = artifact.write_to(&path)?;
+        let loaded = catalog.load(&path)?;
+        assert_eq!(loaded, machine);
+        println!(
+            "{machine}: {} entries, {bytes} bytes on disk",
+            artifact.total_entries()
+        );
+        let diagnosis = Diagnosis::from_shared(
+            outcome
+                .sections
+                .iter()
+                .map(|s| {
+                    (
+                        s.label.clone(),
+                        Arc::clone(s.dictionary.as_ref().expect("dictionary")),
+                    )
+                })
+                .collect(),
+        );
+        references.push((machine, diagnosis));
+    }
+
+    // Serve the catalog and query it over real TCP.
+    let service = DiagnosisService::new(catalog);
+    let server = DiagnosisServer::start("127.0.0.1:0", service.handle(), ServerConfig::default())?;
+    let mut client = DiagnosisClient::connect(server.local_addr())?;
+    client.ping()?;
+    assert_eq!(client.machines()?.len(), MACHINES.len());
+
+    let mut checked = 0usize;
+    for (machine, reference) in &references {
+        // Every distinct dictionary signature of the machine, asked over
+        // the wire, must come back with the exact in-process ranking.
+        let mut signatures: Vec<u64> = reference
+            .sections()
+            .iter()
+            .flat_map(|(_, d)| d.entries.iter().map(|e| e.signature))
+            .collect();
+        signatures.sort_unstable();
+        signatures.dedup();
+        for signature in signatures {
+            let response = client.query(&Query::new(*machine, signature))?;
+            let expected = reference.candidates(signature);
+            assert_eq!(
+                response.total_matches,
+                expected.len(),
+                "{machine}: match count"
+            );
+            assert_eq!(
+                response.candidates.len(),
+                expected.len(),
+                "{machine}: candidates"
+            );
+            for (want, got) in expected.iter().zip(&response.candidates) {
+                assert_eq!(want.model, got.model, "{machine}: model");
+                assert_eq!(want.fault.to_string(), got.fault, "{machine}: fault");
+                assert_eq!(want.first_detect, got.first_detect, "{machine}: rank");
+            }
+            checked += 1;
+        }
+    }
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("{checked} ranked answers matched the in-process diagnosis: OK");
+    Ok(())
+}

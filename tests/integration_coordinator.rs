@@ -1,0 +1,170 @@
+//! Acceptance: the sharded coordinator's merged results are bit-for-bit
+//! identical to the single-process campaign — detections, dictionary
+//! signatures and the early-stop boundary — across the 13-machine suite
+//! and two engines.
+//!
+//! `cargo test` builds the `campaign_worker` example into the same
+//! target profile directory, where `stfsm_serve::default_worker_binary`
+//! finds it.
+
+use std::sync::Arc;
+
+use stfsm::bist::netlist::Netlist;
+use stfsm::testsim::dictionary::FaultDictionary;
+use stfsm::{
+    BistStructure, Campaign, CampaignOutcome, CoverageTargetObserver, DictionaryObserver,
+    SimEngine, SynthesisFlow,
+};
+use stfsm_serve::{CoordinatedOutcome, Coordinator};
+
+const PATTERNS: usize = 128;
+
+fn netlist_for(machine: &str) -> Netlist {
+    let info = stfsm::fsm::suite::benchmark(machine).expect("suite machine");
+    let fsm = info.fsm().expect("suite fsm");
+    SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .expect("synthesis")
+        .netlist
+}
+
+/// The single-process reference: one dictionary campaign over the full
+/// stuck-at universe.
+fn single_process(netlist: &Netlist, engine: SimEngine) -> CampaignOutcome {
+    let model = stfsm::faults::all_models()
+        .into_iter()
+        .next()
+        .expect("stuck-at model");
+    let mut observer = DictionaryObserver::new();
+    Campaign::new(netlist)
+        .model(model.as_ref())
+        .engine(engine)
+        .patterns(PATTERNS)
+        .observe(&mut observer)
+        .run()
+}
+
+fn assert_merged_matches(machine: &str, reference: &CampaignOutcome, merged: &CoordinatedOutcome) {
+    let context = format!("{machine}/{:?}", reference.engine);
+    assert_eq!(
+        merged.patterns_applied, reference.patterns_applied,
+        "{context}: patterns applied"
+    );
+    assert_eq!(
+        merged.stopped_early,
+        reference.patterns_applied < reference.max_patterns,
+        "{context}: early-stop flag"
+    );
+    assert_eq!(
+        merged.total_faults,
+        reference
+            .sections
+            .iter()
+            .map(|s| s.faults.len())
+            .sum::<usize>(),
+        "{context}: universe size"
+    );
+    assert_eq!(
+        merged.sections.len(),
+        reference.sections.len(),
+        "{context}: sections"
+    );
+    for (merged_section, reference_section) in merged.sections.iter().zip(&reference.sections) {
+        assert_eq!(
+            merged_section.label, reference_section.label,
+            "{context}: labels"
+        );
+        // Bit-for-bit: the merged detection pattern IS the single-process
+        // detection pattern, fault for fault.
+        assert_eq!(
+            merged_section.detection_pattern, reference_section.detection_pattern,
+            "{context}/{}: detections",
+            merged_section.label
+        );
+        if let Some(reference_dictionary) = &reference_section.dictionary {
+            let merged_dictionary = merged_section
+                .dictionary
+                .as_ref()
+                .unwrap_or_else(|| panic!("{context}: merged dictionary missing"));
+            // FaultDictionary is PartialEq over every field — signatures,
+            // checkpoints, reference data, entry order.
+            assert_eq!(
+                merged_dictionary,
+                Arc::as_ref(reference_dictionary) as &FaultDictionary,
+                "{context}/{}: dictionary",
+                merged_section.label
+            );
+        }
+    }
+}
+
+#[test]
+fn merged_results_match_single_process_across_the_suite() {
+    for engine in [SimEngine::Packed, SimEngine::Differential] {
+        for machine in stfsm::fsm::suite::benchmark_names() {
+            let netlist = netlist_for(machine);
+            let reference = single_process(&netlist, engine);
+            let merged = Coordinator::new(machine)
+                .engine(engine)
+                .patterns(PATTERNS)
+                .workers(2)
+                .dictionary(true)
+                .run()
+                .unwrap_or_else(|e| panic!("{machine}/{engine:?}: coordinator: {e}"));
+            assert_merged_matches(machine, &reference, &merged);
+        }
+    }
+}
+
+#[test]
+fn early_stop_boundary_matches_coverage_target_observer() {
+    // A reachable mid-campaign target: both sides must stop at the same
+    // segment boundary, with identical detections up to it.
+    let target = 0.5;
+    for engine in [SimEngine::Packed, SimEngine::Differential] {
+        for machine in ["dk16", "mark1", "planet"] {
+            let netlist = netlist_for(machine);
+            let model = stfsm::faults::all_models()
+                .into_iter()
+                .next()
+                .expect("stuck-at model");
+            let mut observer = CoverageTargetObserver::new(target);
+            let reference = Campaign::new(&netlist)
+                .model(model.as_ref())
+                .engine(engine)
+                .patterns(PATTERNS)
+                .observe(&mut observer)
+                .run();
+            let merged = Coordinator::new(machine)
+                .engine(engine)
+                .patterns(PATTERNS)
+                .workers(3)
+                .coverage_target(target)
+                .run()
+                .unwrap_or_else(|e| panic!("{machine}/{engine:?}: coordinator: {e}"));
+            assert_merged_matches(machine, &reference, &merged);
+            assert_eq!(
+                merged.stopped_early,
+                reference.patterns_applied < PATTERNS,
+                "{machine}/{engine:?}: stop boundary"
+            );
+        }
+    }
+}
+
+#[test]
+fn worker_counts_do_not_change_the_merge() {
+    let netlist = netlist_for("dk16");
+    let reference = single_process(&netlist, SimEngine::Packed);
+    for workers in [1, 2, 5] {
+        let merged = Coordinator::new("dk16")
+            .engine(SimEngine::Packed)
+            .patterns(PATTERNS)
+            .workers(workers)
+            .dictionary(true)
+            .run()
+            .unwrap_or_else(|e| panic!("{workers} workers: coordinator: {e}"));
+        assert_merged_matches("dk16", &reference, &merged);
+        assert_eq!(merged.workers, workers);
+    }
+}

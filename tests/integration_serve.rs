@@ -1,0 +1,238 @@
+//! End-to-end acceptance for the diagnosis service stack: an
+//! artifact-loaded catalog answers every query identically to the
+//! in-memory [`Diagnosis`], whether asked in-process through a
+//! [`ServiceHandle`] or across TCP through the [`DiagnosisClient`].
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stfsm::bist::netlist::Netlist;
+use stfsm::testsim::artifact::DictionaryArtifact;
+use stfsm::{
+    BistStructure, Campaign, CampaignConfig, CampaignOutcome, Diagnosis, DictionaryObserver,
+    SimEngine, SynthesisFlow,
+};
+use stfsm_serve::{
+    Catalog, DiagnosisClient, DiagnosisServer, DiagnosisService, Query, RankedCandidate,
+    ServerConfig,
+};
+
+const PATTERNS: usize = 128;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stfsm-serve-it-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// One dictionary campaign on a suite machine, plus the config it ran
+/// with (what [`DictionaryArtifact::from_outcome`] digests).
+fn dictionary_campaign(machine: &str) -> (Netlist, CampaignConfig, CampaignOutcome) {
+    let info = stfsm::fsm::suite::benchmark(machine).expect("suite machine");
+    let fsm = info.fsm().expect("suite fsm");
+    let synthesis = SynthesisFlow::new(BistStructure::Pst)
+        .synthesize(&fsm)
+        .expect("synthesis");
+    let netlist = synthesis.netlist;
+    let config = CampaignConfig {
+        max_patterns: PATTERNS,
+        ..CampaignConfig::default()
+    };
+    let model = stfsm::faults::all_models()
+        .into_iter()
+        .next()
+        .expect("stuck-at model");
+    let mut observer = DictionaryObserver::new();
+    let outcome = Campaign::new(&netlist)
+        .model(model.as_ref())
+        .engine(SimEngine::Packed)
+        .patterns(PATTERNS)
+        .observe(&mut observer)
+        .run();
+    (netlist, config, outcome)
+}
+
+/// The in-memory reference answer for one machine.
+fn reference_diagnosis(outcome: &CampaignOutcome) -> Diagnosis {
+    Diagnosis::from_shared(
+        outcome
+            .sections
+            .iter()
+            .map(|s| {
+                (
+                    s.label.clone(),
+                    Arc::clone(s.dictionary.as_ref().expect("dictionary")),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Every distinct signature in the dictionary, plus the reference and a
+/// signature no fault produced.
+fn probe_signatures(outcome: &CampaignOutcome) -> Vec<u64> {
+    let mut signatures: Vec<u64> = outcome
+        .sections
+        .iter()
+        .flat_map(|s| {
+            let dictionary = s.dictionary.as_ref().expect("dictionary");
+            let mut all: Vec<u64> = dictionary.entries.iter().map(|e| e.signature).collect();
+            all.push(dictionary.reference_signature);
+            all
+        })
+        .collect();
+    signatures.sort_unstable();
+    signatures.dedup();
+    // A signature nothing in the dictionary can produce.
+    let mut absent = 0xDEAD_BEEF_0BAD_F00Du64;
+    while signatures.binary_search(&absent).is_ok() {
+        absent = absent.wrapping_add(1);
+    }
+    signatures.push(absent);
+    signatures
+}
+
+fn assert_candidates_match(
+    machine: &str,
+    signature: u64,
+    expected: &[stfsm::DiagnosisCandidate],
+    got: &[RankedCandidate],
+) {
+    assert_eq!(
+        expected.len(),
+        got.len(),
+        "{machine} signature 0x{signature:016x}: candidate count"
+    );
+    for (reference, candidate) in expected.iter().zip(got) {
+        assert_eq!(reference.model, candidate.model);
+        assert_eq!(reference.fault.to_string(), candidate.fault);
+        assert_eq!(reference.first_detect, candidate.first_detect);
+        assert_eq!(reference.matching_segments, candidate.matching_segments);
+    }
+}
+
+#[test]
+fn artifact_loaded_service_answers_identically_to_in_memory() {
+    let machines = ["dk16", "mark1"];
+    let dir = scratch_dir("catalog");
+    let mut catalog = Catalog::new();
+    let mut references = Vec::new();
+    for machine in machines {
+        let (netlist, config, outcome) = dictionary_campaign(machine);
+        let artifact =
+            DictionaryArtifact::from_outcome(&netlist, &config, &outcome).expect("artifact");
+        let path = dir.join(format!("{machine}.dict"));
+        artifact.write_to(&path).expect("write artifact");
+        // Load from disk — the catalog must be built from the on-disk
+        // bytes, not the in-memory object.
+        assert_eq!(catalog.load(&path).expect("catalog load"), machine);
+        references.push((machine, reference_diagnosis(&outcome), outcome));
+    }
+    let service = DiagnosisService::new(catalog);
+    let handle = service.handle();
+
+    // The catalog lists both machines.
+    let mut listed: Vec<String> = handle.machines().into_iter().map(|m| m.machine).collect();
+    listed.sort();
+    assert_eq!(listed, vec!["dk16".to_string(), "mark1".to_string()]);
+
+    // Every signature answers identically to the in-memory Diagnosis.
+    for (machine, reference, outcome) in &references {
+        for signature in probe_signatures(outcome) {
+            let response = handle.query(&Query::new(*machine, signature));
+            assert!(response.known_machine);
+            assert_eq!(response.reference, reference.is_reference(signature));
+            let expected = reference.candidates(signature);
+            assert_eq!(response.total_matches, expected.len());
+            assert_candidates_match(machine, signature, &expected, &response.candidates);
+        }
+    }
+
+    // Unknown machines are flagged, not errors.
+    let response = handle.query(&Query::new("no-such-machine", 0));
+    assert!(!response.known_machine);
+    assert!(response.candidates.is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_round_trip_matches_in_process_answers() {
+    let (netlist, config, outcome) = dictionary_campaign("dk16");
+    let artifact = DictionaryArtifact::from_outcome(&netlist, &config, &outcome).expect("artifact");
+    let dir = scratch_dir("tcp");
+    let path = dir.join("dk16.dict");
+    artifact.write_to(&path).expect("write artifact");
+
+    let mut catalog = Catalog::new();
+    assert_eq!(catalog.load(&path).expect("catalog load"), "dk16");
+    let service = DiagnosisService::new(catalog);
+    let reference = reference_diagnosis(&outcome);
+
+    let server = DiagnosisServer::start("127.0.0.1:0", service.handle(), ServerConfig::default())
+        .expect("server start");
+    let mut client = DiagnosisClient::connect(server.local_addr()).expect("connect");
+    client.ping().expect("ping");
+
+    let machines = client.machines().expect("machines");
+    assert_eq!(machines.len(), 1);
+    assert_eq!(machines[0].machine, "dk16");
+    assert_eq!(
+        machines[0].total_faults,
+        outcome
+            .sections
+            .iter()
+            .map(|s| s.faults.len())
+            .sum::<usize>()
+    );
+
+    let signatures = probe_signatures(&outcome);
+    // Single queries over the wire.
+    for &signature in signatures.iter().take(16) {
+        let response = client.query(&Query::new("dk16", signature)).expect("query");
+        let expected = reference.candidates(signature);
+        assert_eq!(response.total_matches, expected.len());
+        assert_candidates_match("dk16", signature, &expected, &response.candidates);
+    }
+    // The whole probe set as one batch: same answers, one frame each way.
+    let batch: Vec<Query> = signatures
+        .iter()
+        .map(|&signature| Query::new("dk16", signature))
+        .collect();
+    let responses = client.query_batch(&batch).expect("batch");
+    assert_eq!(responses.len(), signatures.len());
+    for (&signature, response) in signatures.iter().zip(&responses) {
+        let expected = reference.candidates(signature);
+        assert_candidates_match("dk16", signature, &expected, &response.candidates);
+    }
+
+    // Segment-aware disambiguation over the wire matches in-process.
+    let dictionary = outcome.sections[0].dictionary.as_ref().expect("dictionary");
+    if let Some(entry) = dictionary.entries.iter().find(|e| !e.segments.is_empty()) {
+        let query = Query {
+            segments: Some(entry.segments.clone()),
+            ..Query::new("dk16", entry.signature)
+        };
+        let response = client.query(&query).expect("segment query");
+        let expected = reference.disambiguate(entry.signature, &entry.segments);
+        assert_candidates_match("dk16", entry.signature, &expected, &response.candidates);
+    }
+
+    // Limits truncate after ranking.
+    if let Some(&signature) = signatures.first() {
+        let query = Query {
+            limit: Some(1),
+            ..Query::new("dk16", signature)
+        };
+        let response = client.query(&query).expect("limited query");
+        assert!(response.candidates.len() <= 1);
+        assert_eq!(
+            response.total_matches,
+            reference.candidates(signature).len()
+        );
+    }
+
+    drop(client);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
