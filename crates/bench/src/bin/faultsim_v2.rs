@@ -49,13 +49,21 @@
 //!   segment boundary and records the checkpoint size and the crash
 //!   premium (`resume_overhead_pct`: prefix + resume wall time over the
 //!   uninterrupted run), asserting the resumed detections are bit-for-bit
-//!   identical.
+//!   identical;
+//! * the delay-test subsystem holds across engines: the `delaymodels`
+//!   section runs the path-delay and multi-cycle gross-delay models under
+//!   two-pattern (paired) stimulus on every suite machine on three engines
+//!   (packed, event-driven differential, threaded), asserts the detection
+//!   patterns identical bit for bit, and records coverage, path
+//!   launch/activation telemetry and timing per machine — spliced into
+//!   `BENCH_fault_models.json` next to the `faultmodels` rows.
 //!
 //! Writes the measurements — including the process peak RSS, which the
 //! lazy per-segment stimulus and checkpoint-plane allocation keeps
 //! proportional to the *applied* patterns — to `BENCH_fault_sim_v2.json`
 //! in the working directory.
 
+use stfsm::faults::{FaultModel, MultiCycleDelay, PathDelay};
 use stfsm::json::{JsonObject, RawJson, ToJson};
 use stfsm::report::{CampaignTimingRow, EngineTimingRow, TestLengthRow};
 use stfsm::testsim::campaign::{
@@ -93,6 +101,12 @@ const CAMPAIGN_RUNS: u32 = 3;
 const TEST_LENGTH_TARGET: f64 = 0.9;
 /// Pattern budget of the test-length measurements.
 const TEST_LENGTH_PATTERNS: usize = 4096;
+/// Pattern budget of the delay-model section (two-pattern campaigns, so
+/// half as many launch/capture pairs).
+const DELAY_PATTERNS: usize = 512;
+/// Per-machine cap on the delay fault list; larger lists are strided down
+/// so the per-machine campaign stays comparable across the suite.
+const DELAY_MAX_FAULTS: usize = 192;
 
 fn engine_config(engine: SimEngine, max_patterns: usize) -> SelfTestConfig {
     SelfTestConfig {
@@ -763,6 +777,109 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .field("resume_overhead_pct", resume_overhead_pct)
         .field("results_identical", true);
 
+    // ---- delay models: path-delay + multi-cycle across engines -----------
+    // The delay-test subsystem over the whole suite: structurally longest
+    // paths in both polarities plus gross delays at one, two and three
+    // cycles, driven by two-pattern (paired) stimulus, on three engines —
+    // packed, event-driven differential, threaded — asserting identical
+    // detection patterns bit for bit and recording coverage, path-
+    // sensitization telemetry and timing per machine.  The section is
+    // spliced into `BENCH_fault_models.json` next to the static fault-model
+    // rows the `faultmodels` bin writes there.
+    println!(
+        "\n{:<10} {:>7} {:>9} {:>9} {:>11} {:>9} {:>9}",
+        "machine", "faults", "detected", "coverage", "packed_ms", "diff_ms", "thr_ms"
+    );
+    let mut delay_rows: Vec<RawJson> = Vec::new();
+    for info in stfsm::fsm::suite::BENCHMARKS {
+        let fsm = info.fsm()?;
+        let delay_netlist = SynthesisFlow::new(BistStructure::Pst)
+            .synthesize(&fsm)?
+            .netlist;
+        let mut all_faults: Vec<Injection> = Vec::new();
+        for model in [
+            &PathDelay::default() as &dyn FaultModel,
+            &MultiCycleDelay::with_depth(1),
+            &MultiCycleDelay::with_depth(2),
+            &MultiCycleDelay::with_depth(3),
+        ] {
+            all_faults.extend(model.fault_list(&delay_netlist, true));
+        }
+        let stride = all_faults.len().div_ceil(DELAY_MAX_FAULTS).max(1);
+        let delay_faults: Vec<Injection> = all_faults.into_iter().step_by(stride).collect();
+        let delay_config = |engine: SimEngine| CampaignConfig {
+            max_patterns: DELAY_PATTERNS,
+            engine,
+            paired_patterns: true,
+            ..CampaignConfig::default()
+        };
+        let run_delay = |engine: SimEngine| {
+            let mut coverage = CoverageObserver::new();
+            let outcome = Campaign::new(&delay_netlist)
+                .config(delay_config(engine))
+                .faults("delay", delay_faults.clone())
+                .observe(&mut coverage)
+                .run();
+            let result = coverage
+                .into_results()
+                .pop()
+                .expect("one section yields one result");
+            (
+                result,
+                outcome.telemetry.totals.path_launches,
+                outcome.telemetry.totals.path_activations,
+            )
+        };
+        let ((packed_cov, path_launches, path_activations), delay_packed_ns) =
+            best_of(SUITE_RUNS, || run_delay(SimEngine::Packed));
+        let ((diff_cov, _, _), delay_diff_ns) =
+            best_of(SUITE_RUNS, || run_delay(SimEngine::Differential));
+        let ((threaded_cov, _, _), delay_threaded_ns) =
+            best_of(SUITE_RUNS, || run_delay(SimEngine::Threaded));
+        let identical = packed_cov == diff_cov && packed_cov == threaded_cov;
+        assert!(
+            identical,
+            "delay-model engines diverge from packed on {}",
+            info.name
+        );
+        println!(
+            "{:<10} {:>7} {:>9} {:>8.1}% {:>11.3} {:>9.3} {:>9.3}",
+            info.name,
+            packed_cov.total_faults,
+            packed_cov.detected_faults,
+            packed_cov.fault_coverage() * 100.0,
+            delay_packed_ns / 1e6,
+            delay_diff_ns / 1e6,
+            delay_threaded_ns / 1e6
+        );
+        let mut row = JsonObject::new();
+        row.field("benchmark", info.name)
+            .field("gates", delay_netlist.gates().len())
+            .field("max_patterns", DELAY_PATTERNS)
+            .field("total_faults", packed_cov.total_faults)
+            .field("detected_faults", packed_cov.detected_faults)
+            .field("fault_coverage", packed_cov.fault_coverage())
+            .field("path_launches", path_launches)
+            .field("path_activations", path_activations)
+            .field("packed_ms", delay_packed_ns / 1e6)
+            .field("differential_ms", delay_diff_ns / 1e6)
+            .field("threaded_ms", delay_threaded_ns / 1e6)
+            .field(
+                "speedup_differential_vs_packed",
+                delay_packed_ns / delay_diff_ns,
+            )
+            .field("detection_patterns_identical", identical);
+        delay_rows.push(RawJson(row.finish()));
+    }
+    let mut delaymodels = JsonObject::new();
+    delaymodels
+        .field("models", "path_delay+multi_cycle_delay")
+        .field("max_patterns", DELAY_PATTERNS)
+        .field("max_faults_per_machine", DELAY_MAX_FAULTS)
+        .field("paired_patterns", true)
+        .field("rows", delay_rows)
+        .field("detection_patterns_identical", true);
+
     // ---- artefact --------------------------------------------------------
     let row_json: Vec<RawJson> = rows.iter().map(|r| RawJson(r.to_json())).collect();
     let all_identical = rows.iter().all(|r| r.detection_patterns_identical);
@@ -818,5 +935,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = report.finish();
     std::fs::write("BENCH_fault_sim_v2.json", format!("{json}\n"))?;
     println!("wrote BENCH_fault_sim_v2.json");
+
+    // The delay-model rows live in `BENCH_fault_models.json` beside the
+    // static fault-model rows of the `faultmodels` bin: splice the section
+    // into the existing document when one is present (replacing a previous
+    // `delaymodels` section, so re-runs are idempotent), or start a fresh
+    // document when this bin runs alone.
+    let delay_json = delaymodels.finish();
+    let models_doc = match std::fs::read_to_string("BENCH_fault_models.json") {
+        Ok(existing) => {
+            let trimmed = existing.trim_end();
+            let base = match trimmed.find(",\"delaymodels\":") {
+                Some(at) => &trimmed[..at],
+                None => trimmed
+                    .strip_suffix('}')
+                    .ok_or("BENCH_fault_models.json is not a JSON object")?,
+            };
+            format!("{base},\"delaymodels\":{delay_json}}}\n")
+        }
+        Err(_) => format!("{{\"benchmark\":\"fault_models\",\"delaymodels\":{delay_json}}}\n"),
+    };
+    stfsm::json::JsonValue::parse(&models_doc)
+        .map_err(|e| format!("spliced BENCH_fault_models.json is invalid: {e}"))?;
+    std::fs::write("BENCH_fault_models.json", models_doc)?;
+    println!("wrote delaymodels section into BENCH_fault_models.json");
     Ok(())
 }

@@ -162,6 +162,43 @@ impl Netlist {
     pub fn adjacent_net_pairs(&self) -> &[(NetId, NetId)] {
         &self.adjacent_pairs
     }
+
+    /// The adjacent net pairs ranked by how likely the two wires really run
+    /// side by side, truncated to the `limit` most plausible sites.
+    ///
+    /// Two structural signals drive the score: **fanout overlap** (nets
+    /// feeding the same consumer gates are routed into the same region, so
+    /// each shared consumer counts double) and **level locality** (nets on
+    /// the same topological level sit in the same placement column; each
+    /// level of separation costs one point).  Ranking is descending by
+    /// score with the normalized `(low, high)` pair as the tie-break, so
+    /// the order — and therefore every fault list derived from it — is
+    /// deterministic.  `limit >= pairs.len()` returns every pair, just
+    /// reordered; the unranked slice remains available via
+    /// [`Netlist::adjacent_net_pairs`].
+    pub fn ranked_adjacent_net_pairs(&self, limit: usize) -> Vec<(NetId, NetId)> {
+        let plan = self.plan();
+        let score = |&(low, high): &(NetId, NetId)| -> i64 {
+            let shared = plan
+                .fanout_steps(low)
+                .iter()
+                .filter(|step| plan.fanout_steps(high).contains(step))
+                .count() as i64;
+            let distance = plan.level(low).abs_diff(plan.level(high)) as i64;
+            2 * shared - distance
+        };
+        let mut ranked: Vec<(i64, (NetId, NetId))> = self
+            .adjacent_pairs
+            .iter()
+            .map(|pair| (score(pair), *pair))
+            .collect();
+        ranked.sort_by_key(|&(score, pair)| (std::cmp::Reverse(score), pair));
+        ranked
+            .into_iter()
+            .take(limit)
+            .map(|(_, pair)| pair)
+            .collect()
+    }
 }
 
 /// Computes the normalized, sorted, deduplicated adjacent-net-pair list of
@@ -1022,6 +1059,24 @@ mod tests {
         for (k, ff) in netlist.flip_flops().iter().enumerate() {
             assert_eq!(plan.flip_flop_outputs()[k] as usize, ff.q);
         }
+    }
+
+    #[test]
+    fn ranked_adjacent_net_pairs_order_and_truncate_deterministically() {
+        let netlist = dff_netlist("ranked");
+        let pairs = netlist.adjacent_net_pairs();
+        let all = netlist.ranked_adjacent_net_pairs(usize::MAX);
+        assert_eq!(all.len(), pairs.len(), "no pair lost without a limit");
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, pairs, "ranking permutes the unranked universe");
+        let top = netlist.ranked_adjacent_net_pairs(3.min(pairs.len()));
+        assert_eq!(&all[..top.len()], &top[..], "limit takes a prefix");
+        assert_eq!(
+            netlist.ranked_adjacent_net_pairs(usize::MAX),
+            all,
+            "ranking is deterministic"
+        );
     }
 
     #[test]

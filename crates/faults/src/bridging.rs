@@ -19,8 +19,27 @@ use stfsm_bist::netlist::{Gate, Netlist};
 /// Collapsing drops bridges to constant nets (equivalent to stuck-at faults,
 /// which the [`StuckAt`](crate::StuckAt) model already covers) and bridges
 /// whose victim is structurally unobservable.
+///
+/// The default model enumerates *every* adjacent pair in the normalized
+/// slice order.  [`Bridging::ranked`] caps the universe to the `limit` most
+/// plausible sites instead, ranked by
+/// [`Netlist::ranked_adjacent_net_pairs`](stfsm_bist::netlist::Netlist::ranked_adjacent_net_pairs)
+/// (fanout overlap and level locality) — the knob that keeps bridging
+/// campaigns affordable on large machines without sampling blindly.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct Bridging;
+pub struct Bridging {
+    /// Optional cap on the ranked site universe; `None` enumerates every
+    /// adjacent pair unranked.
+    limit: Option<usize>,
+}
+
+impl Bridging {
+    /// The ranked variant: enumerate only the `limit` most plausible
+    /// adjacent pairs (descending fanout-overlap / level-locality score).
+    pub fn ranked(limit: usize) -> Self {
+        Self { limit: Some(limit) }
+    }
+}
 
 impl FaultModel for Bridging {
     fn name(&self) -> &'static str {
@@ -28,8 +47,16 @@ impl FaultModel for Bridging {
     }
 
     fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
+        let ranked;
+        let pairs: &[(usize, usize)] = match self.limit {
+            Some(limit) => {
+                ranked = netlist.ranked_adjacent_net_pairs(limit);
+                &ranked
+            }
+            None => netlist.adjacent_net_pairs(),
+        };
         let mut faults = Vec::new();
-        for &(low, high) in netlist.adjacent_net_pairs() {
+        for &(low, high) in pairs {
             for wired_and in [true, false] {
                 faults.push(Injection::Bridge {
                     victim: high,
@@ -65,11 +92,11 @@ mod tests {
     fn enumerates_two_bridges_per_adjacent_pair() {
         for netlist in [fig3_netlist(), fig3_pst_netlist()] {
             let pairs = netlist.adjacent_net_pairs();
-            let faults = Bridging.enumerate(&netlist);
+            let faults = Bridging::default().enumerate(&netlist);
             assert_eq!(faults.len(), 2 * pairs.len());
             for injection in &faults {
-                match *injection {
-                    Injection::Bridge {
+                match injection {
+                    &Injection::Bridge {
                         victim, aggressor, ..
                     } => {
                         assert!(aggressor < victim, "victim must be the later net");
@@ -82,9 +109,23 @@ mod tests {
     }
 
     #[test]
+    fn ranked_bridging_prefixes_the_unlimited_ranked_list() {
+        let netlist = fig3_netlist();
+        let every = Bridging::ranked(usize::MAX).enumerate(&netlist);
+        assert_eq!(
+            every.len(),
+            2 * netlist.adjacent_net_pairs().len(),
+            "no limit keeps the whole universe"
+        );
+        let top = Bridging::ranked(2).enumerate(&netlist);
+        assert_eq!(top.len(), 4, "two pairs, wired-AND and wired-OR each");
+        assert_eq!(&every[..top.len()], &top[..], "limit takes a rank prefix");
+    }
+
+    #[test]
     fn collapse_drops_constant_partners() {
         let netlist = fig3_netlist();
-        let collapsed = Bridging.fault_list(&netlist, true);
+        let collapsed = Bridging::default().fault_list(&netlist, true);
         assert!(!collapsed.is_empty());
         for injection in &collapsed {
             if let Injection::Bridge {

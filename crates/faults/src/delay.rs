@@ -1,0 +1,326 @@
+//! The delay-test fault models: path-delay and multi-cycle gross delay.
+//!
+//! Both models target the timing behaviour of the synthesized controller
+//! rather than its logic function:
+//!
+//! * [`PathDelay`] enumerates structurally longest combinational paths
+//!   (primary input or flip-flop output → gate chain → flip-flop D input
+//!   or observation point) from the levelized metadata of the netlist's
+//!   [`EvalPlan`](stfsm_bist::netlist::EvalPlan), bounded by a `limit`
+//!   knob, and emits one [`Injection::PathDelay`] per path and transition
+//!   polarity.  Detection needs a two-pattern (launch/capture) test under
+//!   a non-robust sensitization check — the engines evaluate that check in
+//!   the lane hot loops.
+//! * [`MultiCycleDelay`] generalizes the one-cycle
+//!   [`Injection::DelayedTransition`] memory to N-cycle gross delays: the
+//!   faulty net presents the value it computed `depth` cycles ago, in both
+//!   directions.
+
+use std::sync::Arc;
+
+use crate::injection::Injection;
+use crate::model::{observable_nets, FaultModel};
+use stfsm_bist::netlist::{Gate, Netlist};
+
+/// Path-delay faults over the structurally longest sensitizable paths.
+///
+/// Enumeration walks backwards from every path terminal (flip-flop D
+/// input, observation point or primary output), always descending into the
+/// topologically deepest fan-in first, so the structurally longest path of
+/// each terminal is emitted before any alternative.  Terminals are visited
+/// in descending-depth order (ties broken by ascending net id), the walk
+/// is fully deterministic, and the global path count is capped by
+/// [`PathDelay::limit`].  Each path yields a slow-rising and a
+/// slow-falling [`Injection::PathDelay`].
+///
+/// Paths launch only from primary inputs and flip-flop outputs (constants
+/// never transition) and the emitted net chains are strictly ascending in
+/// net id — the invariant that lets every engine resolve the sensitization
+/// check in a single forward sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct PathDelay {
+    /// Maximum number of paths enumerated across the whole netlist (each
+    /// path contributes two injections, one per polarity).
+    pub limit: usize,
+}
+
+impl PathDelay {
+    /// Default global path budget.
+    pub const DEFAULT_LIMIT: usize = 32;
+
+    /// A model enumerating at most `limit` paths.
+    pub fn with_limit(limit: usize) -> Self {
+        Self { limit }
+    }
+}
+
+impl Default for PathDelay {
+    fn default() -> Self {
+        Self {
+            limit: Self::DEFAULT_LIMIT,
+        }
+    }
+}
+
+/// Collects every distinct path terminal, deepest first (ties by net id).
+fn path_terminals(netlist: &Netlist) -> Vec<usize> {
+    let plan = netlist.plan();
+    let mut terminals: Vec<usize> = plan
+        .flip_flop_inputs()
+        .iter()
+        .chain(plan.observation_points())
+        .chain(plan.primary_outputs())
+        .map(|&n| n as usize)
+        .collect();
+    terminals.sort_unstable();
+    terminals.dedup();
+    // A level-0 terminal (a D input wired straight to an input net) has no
+    // combinational path to be late on.
+    terminals.retain(|&n| plan.level(n) > 0);
+    terminals.sort_by_key(|&n| (std::cmp::Reverse(plan.level(n)), n));
+    terminals
+}
+
+/// Depth-first backward path enumeration from `net`, deepest fan-in
+/// first.  `rev_path` holds the nets from the terminal down to (and
+/// including) `net`; complete paths are reversed into launch-first order.
+fn descend(netlist: &Netlist, rev_path: &mut Vec<u32>, out: &mut Vec<Arc<[u32]>>, limit: usize) {
+    if out.len() >= limit {
+        return;
+    }
+    let net = *rev_path.last().unwrap_or(&0) as usize;
+    match &netlist.gates()[net] {
+        Gate::Input { .. } | Gate::FlipFlopOutput { .. } => {
+            if rev_path.len() >= 2 {
+                let mut path = rev_path.clone();
+                path.reverse();
+                out.push(Arc::from(path.as_slice()));
+            }
+        }
+        Gate::Constant(_) => {}
+        gate => {
+            let plan = netlist.plan();
+            let mut operands: Vec<u32> = gate.fanin().iter().map(|&n| n as u32).collect();
+            operands.sort_by_key(|&n| (std::cmp::Reverse(plan.level(n as usize)), n));
+            operands.dedup();
+            for operand in operands {
+                if out.len() >= limit {
+                    return;
+                }
+                rev_path.push(operand);
+                descend(netlist, rev_path, out, limit);
+                rev_path.pop();
+            }
+        }
+    }
+}
+
+/// Compiles the non-robust static sensitization conditions of a path: one
+/// `(net, required value)` pair per off-path fan-in of every on-path gate
+/// (a pin whose source net is not the on-path predecessor), at the gate's
+/// non-controlling value — AND family `1`, OR family `0`; XOR and NOT
+/// propagate any side value, so they contribute no condition.
+///
+/// The simulation engines evaluate the compiled list in their lane hot
+/// loops: the path is sensitized under a capture vector iff every listed
+/// net carries its required value.  The list is sorted and deduplicated;
+/// contradictory requirements on the same net are both kept (such a path
+/// is never statically sensitizable, and the check correctly never fires).
+pub fn path_conditions(netlist: &Netlist, path: &[u32]) -> Vec<(u32, bool)> {
+    let mut conds: Vec<(u32, bool)> = Vec::new();
+    for window in path.windows(2) {
+        let (prev, gate) = (window[0], window[1] as usize);
+        let required = match &netlist.gates()[gate] {
+            Gate::And(_) => true,
+            Gate::Or(_) => false,
+            // XOR and NOT propagate transitions for every side value.
+            _ => continue,
+        };
+        for &pin in netlist.gates()[gate].fanin() {
+            if pin as u32 != prev {
+                conds.push((pin as u32, required));
+            }
+        }
+    }
+    conds.sort_unstable();
+    conds.dedup();
+    conds
+}
+
+impl FaultModel for PathDelay {
+    fn name(&self) -> &'static str {
+        "path_delay"
+    }
+
+    fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
+        let mut paths: Vec<Arc<[u32]>> = Vec::new();
+        for terminal in path_terminals(netlist) {
+            if paths.len() >= self.limit {
+                break;
+            }
+            let mut rev_path = vec![terminal as u32];
+            descend(netlist, &mut rev_path, &mut paths, self.limit);
+        }
+        let mut faults = Vec::with_capacity(paths.len() * 2);
+        for path in paths {
+            debug_assert!(
+                path.windows(2).all(|w| w[0] < w[1]),
+                "path nets must be strictly ascending"
+            );
+            for rising in [true, false] {
+                faults.push(Injection::PathDelay {
+                    path: Arc::clone(&path),
+                    rising,
+                });
+            }
+        }
+        faults
+    }
+}
+
+/// Multi-cycle gross-delay faults: every non-constant gate output presents
+/// the value it computed [`MultiCycleDelay::depth`] cycles ago, in both
+/// transition directions (see [`Injection::MultiCycleDelay`]).
+///
+/// Collapsing drops faults on structurally unobservable nets, like the
+/// one-cycle [`TransitionDelay`](crate::TransitionDelay) model.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiCycleDelay {
+    /// Delay depth in clock cycles (≥ 1; clamped at enumeration).
+    pub depth: usize,
+}
+
+impl MultiCycleDelay {
+    /// Default delay depth.
+    pub const DEFAULT_DEPTH: usize = 2;
+
+    /// A model with the given delay depth.
+    pub fn with_depth(depth: usize) -> Self {
+        Self { depth }
+    }
+}
+
+impl Default for MultiCycleDelay {
+    fn default() -> Self {
+        Self {
+            depth: Self::DEFAULT_DEPTH,
+        }
+    }
+}
+
+impl FaultModel for MultiCycleDelay {
+    fn name(&self) -> &'static str {
+        "multi_cycle"
+    }
+
+    fn enumerate(&self, netlist: &Netlist) -> Vec<Injection> {
+        let depth = self.depth.max(1);
+        let mut faults = Vec::new();
+        for (id, gate) in netlist.gates().iter().enumerate() {
+            if matches!(
+                gate,
+                Gate::Constant(_) | Gate::Input { .. } | Gate::FlipFlopOutput { .. }
+            ) {
+                continue;
+            }
+            faults.push(Injection::MultiCycleDelay { net: id, depth });
+        }
+        faults
+    }
+
+    fn collapse(&self, netlist: &Netlist, faults: Vec<Injection>) -> Vec<Injection> {
+        let observable = observable_nets(netlist);
+        faults
+            .into_iter()
+            .filter(|injection| match injection {
+                Injection::MultiCycleDelay { net, .. } => observable[*net],
+                _ => true,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{fig3_netlist, fig3_pst_netlist};
+
+    #[test]
+    fn paths_run_from_sources_to_terminals_ascending() {
+        for netlist in [fig3_netlist(), fig3_pst_netlist()] {
+            let faults = PathDelay::default().fault_list(&netlist, true);
+            assert!(!faults.is_empty());
+            let plan = netlist.plan();
+            for injection in &faults {
+                let Injection::PathDelay { path, .. } = injection else {
+                    panic!("foreign injection {injection}");
+                };
+                assert!(path.len() >= 2);
+                assert!(path.windows(2).all(|w| w[0] < w[1]));
+                let launch = path[0] as usize;
+                assert!(matches!(
+                    netlist.gates()[launch],
+                    Gate::Input { .. } | Gate::FlipFlopOutput { .. }
+                ));
+                assert_eq!(plan.level(launch), 0);
+                // Every on-path net is a fan-in of its successor gate.
+                for w in path.windows(2) {
+                    assert!(netlist.gates()[w[1] as usize]
+                        .fanin()
+                        .contains(&(w[0] as usize)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_enumeration_is_deterministic_and_bounded() {
+        let netlist = fig3_netlist();
+        let a = PathDelay::default().enumerate(&netlist);
+        let b = PathDelay::default().enumerate(&netlist);
+        assert_eq!(a, b);
+        assert!(a.len() <= 2 * PathDelay::DEFAULT_LIMIT);
+        let capped = PathDelay::with_limit(2).enumerate(&netlist);
+        assert_eq!(capped.len(), 4, "2 paths x 2 polarities");
+        // The first path is the structurally longest one of the deepest
+        // terminal.
+        let Injection::PathDelay { path, .. } = &a[0] else {
+            panic!("foreign injection");
+        };
+        let plan = netlist.plan();
+        let deepest = path_terminals(&netlist)[0];
+        assert_eq!(path[path.len() - 1] as usize, deepest);
+        assert_eq!(path.len() as u32, plan.level(deepest) + 1);
+    }
+
+    #[test]
+    fn multi_cycle_enumerates_gate_outputs_only() {
+        let netlist = fig3_netlist();
+        let model = MultiCycleDelay::with_depth(3);
+        let faults = model.fault_list(&netlist, true);
+        assert!(!faults.is_empty());
+        let observable = observable_nets(&netlist);
+        for injection in &faults {
+            match injection {
+                Injection::MultiCycleDelay { net, depth } => {
+                    assert_eq!(*depth, 3);
+                    assert!(observable[*net]);
+                    assert!(!matches!(
+                        netlist.gates()[*net],
+                        Gate::Constant(_) | Gate::Input { .. } | Gate::FlipFlopOutput { .. }
+                    ));
+                }
+                other => panic!("foreign injection {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_clamped_to_at_least_one() {
+        let netlist = fig3_netlist();
+        let faults = MultiCycleDelay::with_depth(0).enumerate(&netlist);
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f, Injection::MultiCycleDelay { depth: 1, .. })));
+    }
+}

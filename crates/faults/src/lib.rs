@@ -20,6 +20,11 @@
 //! * [`Bridging`] — wired-AND / wired-OR shorts between physically adjacent
 //!   nets (enumerated through
 //!   [`Netlist::adjacent_net_pairs`](stfsm_bist::netlist::Netlist::adjacent_net_pairs)).
+//! * [`PathDelay`] — structurally longest sensitizable paths arriving one
+//!   clock late in one transition polarity, detected by two-pattern
+//!   (launch/capture) tests under a non-robust sensitization check.
+//! * [`MultiCycleDelay`] — N-cycle gross delays generalizing the one-cycle
+//!   transition memory to a configurable delay-line depth.
 //!
 //! # Example
 //!
@@ -38,7 +43,7 @@
 //! # let cover = minimize(&pla).cover;
 //! # let lay = layout(&fsm, &encoding, &transform);
 //! # let netlist = build_netlist("fig3", &cover, &lay, BistStructure::Dff, None)?;
-//! for model in [&StuckAt as &dyn FaultModel, &TransitionDelay, &Bridging] {
+//! for model in [&StuckAt as &dyn FaultModel, &TransitionDelay, &Bridging::default()] {
 //!     let faults = model.fault_list(&netlist, true);
 //!     println!("{}: {} collapsed faults", model.name(), faults.len());
 //!     assert!(!faults.is_empty());
@@ -50,12 +55,14 @@
 #![warn(missing_docs)]
 
 pub mod bridging;
+pub mod delay;
 pub mod injection;
 pub mod model;
 pub mod stuck;
 pub mod transition;
 
 pub use bridging::Bridging;
+pub use delay::{MultiCycleDelay, PathDelay};
 pub use injection::Injection;
 pub use model::{all_models, observable_nets, FaultModel};
 pub use stuck::{Fault, FaultList, FaultSite, StuckAt};

@@ -67,7 +67,9 @@ pub fn all_models() -> Vec<Box<dyn FaultModel>> {
     vec![
         Box::new(crate::StuckAt),
         Box::new(crate::TransitionDelay),
-        Box::new(crate::Bridging),
+        Box::new(crate::Bridging::default()),
+        Box::new(crate::PathDelay::default()),
+        Box::new(crate::MultiCycleDelay::default()),
     ]
 }
 
@@ -81,7 +83,16 @@ mod tests {
         let netlist = fig3_netlist();
         let models = all_models();
         let names: Vec<&str> = models.iter().map(|m| m.name()).collect();
-        assert_eq!(names, vec!["stuck_at", "transition", "bridging"]);
+        assert_eq!(
+            names,
+            vec![
+                "stuck_at",
+                "transition",
+                "bridging",
+                "path_delay",
+                "multi_cycle"
+            ]
+        );
         for model in &models {
             let full = model.fault_list(&netlist, false);
             let collapsed = model.fault_list(&netlist, true);

@@ -219,7 +219,7 @@ impl FaultModel for StuckAt {
     fn collapse(&self, netlist: &Netlist, faults: Vec<Injection>) -> Vec<Injection> {
         faults
             .into_iter()
-            .filter(|&injection| match Fault::try_from(injection) {
+            .filter(|injection| match Fault::try_from(injection.clone()) {
                 Ok(fault) => keep_when_collapsed(netlist, &fault),
                 Err(_) => true,
             })
@@ -322,7 +322,7 @@ mod tests {
         };
         for fault in [out, pin] {
             let injection: Injection = fault.into();
-            assert_eq!(Fault::try_from(injection), Ok(fault));
+            assert_eq!(Fault::try_from(injection.clone()), Ok(fault));
             assert_eq!(injection.to_string(), fault.to_string());
         }
         let bridge = Injection::Bridge {
@@ -330,7 +330,7 @@ mod tests {
             aggressor: 1,
             wired_and: true,
         };
-        assert_eq!(Fault::try_from(bridge), Err(bridge));
+        assert_eq!(Fault::try_from(bridge.clone()), Err(bridge));
     }
 
     #[test]

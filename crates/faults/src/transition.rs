@@ -69,13 +69,13 @@ mod tests {
             .count();
         assert_eq!(faults.len(), 2 * non_const);
         for pair in faults.chunks(2) {
-            match (pair[0], pair[1]) {
+            match (&pair[0], &pair[1]) {
                 (
-                    Injection::DelayedTransition {
+                    &Injection::DelayedTransition {
                         net: a,
                         slow_to_rise: true,
                     },
-                    Injection::DelayedTransition {
+                    &Injection::DelayedTransition {
                         net: b,
                         slow_to_rise: false,
                     },
@@ -92,8 +92,8 @@ mod tests {
         let observable = observable_nets(&n);
         assert!(!collapsed.is_empty());
         for injection in &collapsed {
-            match *injection {
-                Injection::DelayedTransition { net, .. } => assert!(observable[net]),
+            match injection {
+                &Injection::DelayedTransition { net, .. } => assert!(observable[net]),
                 other => panic!("foreign injection {other}"),
             }
         }

@@ -16,7 +16,7 @@
 //! ```text
 //! header (36 bytes):
 //!   magic            8 bytes   "STFSMDCT"
-//!   version          u32       format version (currently 1)
+//!   version          u32       format version (currently 2)
 //!   digest           u64       campaign identity digest (see below)
 //!   payload_len      u64       byte length of the payload
 //!   payload_fnv      u64       FNV-1a 64 over version, digest,
@@ -47,7 +47,10 @@
 //! [`Injection`] encoding: tag `0` = `StuckOutput { net: u64, value: u8 }`,
 //! `1` = `StuckPin { gate: u64, pin: u64, value: u8 }`, `2` =
 //! `DelayedTransition { net: u64, slow_to_rise: u8 }`, `3` =
-//! `Bridge { victim: u64, aggressor: u64, wired_and: u8 }`.
+//! `Bridge { victim: u64, aggressor: u64, wired_and: u8 }`, `4` =
+//! `MultiCycleDelay { net: u64, depth: u64 }`, `5` =
+//! `PathDelay { len: u32, nets: u32 × len, rising: u8 }` (format
+//! version 2).
 //!
 //! The `digest` is the same campaign identity digest the checkpoint layer
 //! stamps into crash-recovery files (netlist shape, pattern budget, seed,
@@ -82,8 +85,9 @@ pub const ARTIFACT_MAGIC: [u8; 8] = *b"STFSMDCT";
 /// Current artifact format version, written in (and required of) the
 /// header.  Bumped whenever a field is added, removed or reshaped; old
 /// readers reject newer files with
-/// [`ArtifactError::UnsupportedVersion`].
-pub const ARTIFACT_VERSION: u32 = 1;
+/// [`ArtifactError::UnsupportedVersion`].  Version 2 added the
+/// delay-test fault tags (`MultiCycleDelay`, `PathDelay`).
+pub const ARTIFACT_VERSION: u32 = 2;
 
 /// Header length in bytes: magic + version + digest + payload length +
 /// payload checksum.
@@ -471,7 +475,7 @@ fn encode_dictionary(out: &mut Vec<u8>, dictionary: &FaultDictionary) {
     }
     write_u32(out, dictionary.entries.len() as u32);
     for entry in &dictionary.entries {
-        encode_fault(out, entry.fault);
+        encode_fault(out, &entry.fault);
         match entry.first_detect {
             None => out.push(0),
             Some(cycle) => {
@@ -541,23 +545,23 @@ fn decode_dictionary(cursor: &mut Cursor<'_>) -> Result<FaultDictionary, Artifac
     ))
 }
 
-fn encode_fault(out: &mut Vec<u8>, fault: Injection) {
+fn encode_fault(out: &mut Vec<u8>, fault: &Injection) {
     match fault {
         Injection::StuckOutput { net, value } => {
             out.push(0);
-            write_u64(out, net as u64);
-            write_bool(out, value);
+            write_u64(out, *net as u64);
+            write_bool(out, *value);
         }
         Injection::StuckPin { gate, pin, value } => {
             out.push(1);
-            write_u64(out, gate as u64);
-            write_u64(out, pin as u64);
-            write_bool(out, value);
+            write_u64(out, *gate as u64);
+            write_u64(out, *pin as u64);
+            write_bool(out, *value);
         }
         Injection::DelayedTransition { net, slow_to_rise } => {
             out.push(2);
-            write_u64(out, net as u64);
-            write_bool(out, slow_to_rise);
+            write_u64(out, *net as u64);
+            write_bool(out, *slow_to_rise);
         }
         Injection::Bridge {
             victim,
@@ -565,9 +569,22 @@ fn encode_fault(out: &mut Vec<u8>, fault: Injection) {
             wired_and,
         } => {
             out.push(3);
-            write_u64(out, victim as u64);
-            write_u64(out, aggressor as u64);
-            write_bool(out, wired_and);
+            write_u64(out, *victim as u64);
+            write_u64(out, *aggressor as u64);
+            write_bool(out, *wired_and);
+        }
+        Injection::MultiCycleDelay { net, depth } => {
+            out.push(4);
+            write_u64(out, *net as u64);
+            write_u64(out, *depth as u64);
+        }
+        Injection::PathDelay { path, rising } => {
+            out.push(5);
+            write_u32(out, path.len() as u32);
+            for &net in path.iter() {
+                write_u32(out, net);
+            }
+            write_bool(out, *rising);
         }
     }
 }
@@ -592,6 +609,27 @@ fn decode_fault(cursor: &mut Cursor<'_>) -> Result<Injection, ArtifactError> {
             aggressor: cursor.read_usize()?,
             wired_and: cursor.read_bool()?,
         }),
+        4 => Ok(Injection::MultiCycleDelay {
+            net: cursor.read_usize()?,
+            depth: cursor.read_usize()?,
+        }),
+        5 => {
+            let len = cursor.read_u32()? as usize;
+            if len < 2 || len > cursor.remaining() / 4 {
+                return Err(cursor.corrupt(format!("implausible path length {len}")));
+            }
+            let mut path = Vec::with_capacity(len);
+            for _ in 0..len {
+                path.push(cursor.read_u32()?);
+            }
+            if !path.windows(2).all(|w| w[0] < w[1]) {
+                return Err(cursor.corrupt("path nets are not strictly ascending".into()));
+            }
+            Ok(Injection::PathDelay {
+                path: std::sync::Arc::from(path.as_slice()),
+                rising: cursor.read_bool()?,
+            })
+        }
         other => Err(cursor.corrupt(format!("unknown fault tag {other}"))),
     }
 }
@@ -672,7 +710,7 @@ mod tests {
     fn sample_dictionary(seed: u64) -> FaultDictionary {
         let entries = (0..12)
             .map(|i| DictionaryEntry {
-                fault: match i % 4 {
+                fault: match i % 6 {
                     0 => Injection::StuckOutput {
                         net: i,
                         value: i % 2 == 0,
@@ -686,10 +724,18 @@ mod tests {
                         net: i,
                         slow_to_rise: i % 2 == 1,
                     },
-                    _ => Injection::Bridge {
+                    3 => Injection::Bridge {
                         victim: i,
                         aggressor: i / 2,
                         wired_and: false,
+                    },
+                    4 => Injection::MultiCycleDelay {
+                        net: i,
+                        depth: i % 3 + 1,
+                    },
+                    _ => Injection::PathDelay {
+                        path: vec![i as u32, i as u32 + 3, i as u32 + 9].into(),
+                        rising: i % 2 == 0,
                     },
                 },
                 first_detect: (i % 3 != 0).then_some(i * 7),

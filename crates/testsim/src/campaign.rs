@@ -50,6 +50,36 @@
 //! runs its full budget and reproduces the pre-streaming results
 //! bit for bit.
 //!
+//! # Delay testing
+//!
+//! The delay-fault models ride the same campaign pipeline as the static
+//! ones, with two extra moving parts:
+//!
+//! * **Two-pattern stimulus** — path-delay faults detect through a
+//!   *launch/capture* pair: a cycle that creates the slow transition at
+//!   the path's launch net and a next cycle that observes the stale value
+//!   at its terminal.  [`Campaign::paired_patterns`] (backed by
+//!   [`CampaignConfig::paired_patterns`]) wraps the input source in
+//!   [`PairedPatterns`](crate::patterns::PairedPatterns): every odd cycle
+//!   re-applies the previous pattern with exactly one input flipped, so
+//!   each pair carries one controlled input transition.  Purely functional
+//!   stimulation (PST) works too — system-state transitions launch paths
+//!   on their own — but pairing raises the sensitization rate.
+//! * **Lane memory** — delay faults are stateful: a transition lane
+//!   remembers one cycle, a `net/GD3` gross delay carries a three-slot
+//!   delay line, a `net3→net9/PDF-R` path lane tracks its launch history.
+//!   The campaign engines carry that memory through lane compaction,
+//!   segment reseeding and checkpoint/resume (the `m`-token of the
+//!   checkpoint text format), so a killed-and-resumed delay campaign is
+//!   bit-for-bit identical to an uninterrupted one — on every engine and
+//!   at every thread count.
+//!
+//! How often paths actually fired is visible in the campaign telemetry:
+//! [`CampaignMetrics::path_launches`](crate::telemetry::CampaignMetrics::path_launches)
+//! counts committed slow-polarity launch edges and
+//! [`CampaignMetrics::path_activations`](crate::telemetry::CampaignMetrics::path_activations)
+//! counts fully sensitized launch/capture pairs.
+//!
 //! # Observability
 //!
 //! Every run fills a [`CampaignMetrics`](crate::telemetry::CampaignMetrics)
@@ -549,6 +579,15 @@ impl<'n, 'o> Campaign<'n, 'o> {
         self
     }
 
+    /// Enables two-pattern (launch/capture) input pairing: every odd cycle
+    /// re-applies the previous pattern with exactly one input flipped (see
+    /// [`PairedPatterns`](crate::patterns::PairedPatterns)), giving the
+    /// delay-fault models a controlled launch transition each pair.
+    pub fn paired_patterns(mut self, paired: bool) -> Self {
+        self.config.paired_patterns = paired;
+        self
+    }
+
     /// Registers an observer.  Repeatable; every observer sees the same
     /// single simulation pass.
     pub fn observe(mut self, observer: &'o mut dyn CampaignObserver) -> Self {
@@ -627,7 +666,7 @@ impl<'n, 'o> Campaign<'n, 'o> {
         }
         let all_faults: Vec<Injection> = sections
             .iter()
-            .flat_map(|s| s.faults.iter().copied())
+            .flat_map(|s| s.faults.iter().cloned())
             .collect();
         let total_faults = all_faults.len();
         let digest = campaign_digest(netlist, &sections, &config, stimulation);
@@ -1081,13 +1120,13 @@ fn assemble_stopped(
             let entries: Vec<DictionaryEntry> = all_faults
                 .iter()
                 .zip(lanes)
-                .map(|(&fault, record)| {
+                .map(|(fault, record)| {
                     let mut segments = record.segments.clone();
                     while segments.len() < checkpoints.len() {
                         segments.push(record.signature);
                     }
                     DictionaryEntry {
-                        fault,
+                        fault: fault.clone(),
                         first_detect: record.first_detect,
                         signature: record.signature,
                         segments,

@@ -48,7 +48,11 @@
 //! end                              truncation guard
 //! ```
 //!
-//! `<mem>` is a transition-fault memory bit: `0`, `1` or `-` for none.
+//! `<mem>` is a delay-memory token: `-` for none (stateless injections
+//! and unfilled delay lines) or `m` followed by the canonical memory bits
+//! (one previous-cycle bit for a transition fault, the filled delay-line
+//! slots newest-first for a multi-cycle delay, the launch bit then the
+//! terminal's previous raw bit for a path-delay fault).
 //! Bit strings are little-endian in flip-flop order (`b011` sets flip-flop
 //! 0 to `0`, flip-flops 1 and 2 to `1`).
 //!
@@ -83,12 +87,12 @@ use stfsm_bist::netlist::Netlist;
 
 /// Current checkpoint format version, written in (and required of) the
 /// header line.  See the [module docs](self) for the bump policy.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER: &str = "stfsm-campaign-checkpoint";
 
 /// Number of [`CampaignMetrics`] counters serialized per `metrics` line.
-const METRICS_FIELDS: usize = 23;
+const METRICS_FIELDS: usize = 25;
 
 /// Which streaming pass a checkpoint belongs to.  The two passes have
 /// different live state (drop-on-detect survivors versus un-dropped MISR
@@ -135,8 +139,9 @@ pub struct SurvivorRecord {
     pub index: usize,
     /// The faulty machine's flip-flop state.
     pub state: Vec<bool>,
-    /// Transition-fault memory bit, if the fault model has one.
-    pub memory: Option<bool>,
+    /// Canonical delay-memory bits of a stateful fault (empty when the
+    /// injection is stateless or its delay line is unfilled).
+    pub memory: Vec<bool>,
 }
 
 /// One fault lane of the dictionary pass (faults are never dropped, so
@@ -145,8 +150,9 @@ pub struct SurvivorRecord {
 pub struct LaneRecord {
     /// The faulty machine's flip-flop state.
     pub state: Vec<bool>,
-    /// Transition-fault memory bit, if the fault model has one.
-    pub memory: Option<bool>,
+    /// Canonical delay-memory bits of a stateful fault (empty when the
+    /// injection is stateless or its delay line is unfilled).
+    pub memory: Vec<bool>,
     /// Whether the fault has deviated from the fault-free machine yet.
     pub detected: bool,
     /// Cycle of the first deviation, if any.
@@ -283,6 +289,11 @@ pub(crate) fn identity_digest<'a>(
             }
         }
     }
+    hash.write_str(if config.paired_patterns {
+        "paired"
+    } else {
+        "free"
+    });
     hash.write_str(&format!("{stimulation:?}"));
     let sections: Vec<_> = sections.collect();
     hash.write_u64(sections.len() as u64);
@@ -305,12 +316,16 @@ fn bits_token(bits: &[bool]) -> String {
     token
 }
 
-fn memory_token(memory: Option<bool>) -> &'static str {
-    match memory {
-        None => "-",
-        Some(false) => "0",
-        Some(true) => "1",
+fn memory_token(memory: &[bool]) -> String {
+    if memory.is_empty() {
+        return "-".to_string();
     }
+    let mut token = String::with_capacity(memory.len() + 1);
+    token.push('m');
+    for &bit in memory {
+        token.push(if bit { '1' } else { '0' });
+    }
+    token
 }
 
 /// Serializes a checkpoint to its on-disk text form.
@@ -349,7 +364,7 @@ pub(crate) fn serialize(checkpoint: &CampaignCheckpoint) -> String {
                     out,
                     "survivor {} {} {}",
                     survivor.index,
-                    memory_token(survivor.memory),
+                    memory_token(&survivor.memory),
                     bits_token(&survivor.state)
                 );
             }
@@ -377,7 +392,7 @@ pub(crate) fn serialize(checkpoint: &CampaignCheckpoint) -> String {
                     lane.first_detect
                         .map(|c| c.to_string())
                         .unwrap_or_else(|| "-".to_string()),
-                    memory_token(lane.memory),
+                    memory_token(&lane.memory),
                     lane.signature,
                     bits_token(&lane.state)
                 );
@@ -422,6 +437,8 @@ fn metrics_fields(m: &CampaignMetrics) -> [u64; METRICS_FIELDS] {
         m.worker_panics_recovered,
         m.checkpoints_written,
         m.checkpoint_bytes,
+        m.path_launches,
+        m.path_activations,
     ]
 }
 
@@ -450,6 +467,8 @@ fn metrics_from_fields(fields: &[u64; METRICS_FIELDS]) -> CampaignMetrics {
         worker_panics_recovered: fields[20],
         checkpoints_written: fields[21],
         checkpoint_bytes: fields[22],
+        path_launches: fields[23],
+        path_activations: fields[24],
     }
 }
 
@@ -548,13 +567,23 @@ impl<'a> Parser<'a> {
             .collect()
     }
 
-    fn memory_token(&self, token: &str) -> Result<Option<bool>, CampaignError> {
-        match token {
-            "-" => Ok(None),
-            "0" => Ok(Some(false)),
-            "1" => Ok(Some(true)),
-            _ => Err(self.err(format!("not a memory bit: `{token}`"))),
+    fn memory_token(&self, token: &str) -> Result<Vec<bool>, CampaignError> {
+        if token == "-" {
+            return Ok(Vec::new());
         }
+        let body = token
+            .strip_prefix('m')
+            .ok_or_else(|| self.err(format!("not a memory token: `{token}`")))?;
+        if body.is_empty() {
+            return Err(self.err(format!("not a memory token: `{token}`")));
+        }
+        body.chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(self.err(format!("not a memory token: `{token}`"))),
+            })
+            .collect()
     }
 }
 
@@ -774,12 +803,12 @@ mod tests {
                     SurvivorRecord {
                         index: 0,
                         state: vec![false, false, true],
-                        memory: None,
+                        memory: Vec::new(),
                     },
                     SurvivorRecord {
                         index: 2,
                         state: vec![true, true, false],
-                        memory: Some(true),
+                        memory: vec![true, false, true],
                     },
                 ],
             },
@@ -806,7 +835,7 @@ mod tests {
                 lanes: vec![
                     LaneRecord {
                         state: vec![true, true],
-                        memory: None,
+                        memory: Vec::new(),
                         detected: true,
                         first_detect: Some(5),
                         signature: 0xFFFF_0000_FFFF_0000,
@@ -814,7 +843,7 @@ mod tests {
                     },
                     LaneRecord {
                         state: vec![false, true],
-                        memory: Some(false),
+                        memory: vec![false],
                         detected: false,
                         first_detect: None,
                         signature: 0,
@@ -854,11 +883,11 @@ mod tests {
         let err = parse("{\"not\": \"a checkpoint\"}", Path::new("t.ckpt")).expect_err("header");
         assert!(err.to_string().contains("bad header"));
         // A future version is refused, not misparsed.
-        let future = text.replacen("v1", "v999", 1);
+        let future = text.replacen("v2", "v999", 1);
         let err = parse(&future, Path::new("t.ckpt")).expect_err("version");
         assert!(err.to_string().contains("unsupported checkpoint version"));
         // A metrics count drift is refused.
-        let drifted = text.replacen("metrics 23", "metrics 22", 1);
+        let drifted = text.replacen("metrics 25", "metrics 24", 1);
         let err = parse(&drifted, Path::new("t.ckpt")).expect_err("count");
         assert!(err.to_string().contains("counters"));
     }

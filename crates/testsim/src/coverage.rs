@@ -21,7 +21,7 @@ use crate::checkpoint::{EngineSnapshot, SurvivorRecord};
 use crate::error::{CampaignError, MAX_THREADS};
 use crate::faults::{FaultList, Injection};
 use crate::packed::{PackedSimulator, FAULT_LANES};
-use crate::patterns::{PatternSource, RandomPatterns, WeightedPatterns};
+use crate::patterns::{PairedPatterns, PatternSource, RandomPatterns, WeightedPatterns};
 use crate::sim::Simulator;
 use crate::telemetry::{CampaignMetrics, PhaseTimer, SegmentTelemetry};
 use stfsm_bist::netlist::Netlist;
@@ -163,6 +163,13 @@ pub struct CampaignConfig {
     /// `None` picks automatically from the fault-list size.  Any value is
     /// bit-for-bit identical — block packing never changes results.
     pub block_words: Option<usize>,
+    /// Two-pattern (launch/capture) input pairing: wraps the input source
+    /// in [`crate::patterns::PairedPatterns`], so every odd cycle applies
+    /// the previous pattern with exactly one input flipped.  Aimed at the
+    /// delay-fault models, which detect through launch/capture transitions;
+    /// changes the stimulus stream (and therefore the campaign identity),
+    /// but stays bit-for-bit identical across engines and thread counts.
+    pub paired_patterns: bool,
     /// Wall-clock span timing of the campaign telemetry (the phase and
     /// worker spans of [`crate::telemetry::SegmentTelemetry`]).  `false`
     /// zeroes every timestamp; the [`crate::telemetry::CampaignMetrics`]
@@ -184,6 +191,7 @@ impl Default for CampaignConfig {
             differential_events: true,
             per_word_widening: true,
             block_words: None,
+            paired_patterns: false,
             telemetry: true,
         }
     }
@@ -905,10 +913,20 @@ pub(crate) fn assemble_coverage(
 pub(crate) fn generate_stimulus(netlist: &Netlist, config: &CampaignConfig) -> Stimulus {
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let pi_source: Box<dyn PatternSource + Send + Sync> = match &config.input_weights {
-        Some(w) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
-        None => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
-    };
+    let pair_seed = config.seed ^ 0xD31A_7E57;
+    let pi_source: Box<dyn PatternSource + Send + Sync> =
+        match (&config.input_weights, config.paired_patterns) {
+            (Some(w), false) => Box::new(WeightedPatterns::new(w.clone(), config.seed)),
+            (Some(w), true) => Box::new(PairedPatterns::new(
+                WeightedPatterns::new(w.clone(), config.seed),
+                pair_seed,
+            )),
+            (None, false) => Box::new(RandomPatterns::new(num_inputs.max(1), config.seed)),
+            (None, true) => Box::new(PairedPatterns::new(
+                RandomPatterns::new(num_inputs.max(1), config.seed),
+                pair_seed,
+            )),
+        };
     let st_source = RandomPatterns::new(num_state.max(1), config.seed ^ 0x5A5A_5A5A);
     Stimulus {
         cycles: config.max_patterns,
@@ -1035,11 +1053,9 @@ impl SegmentRunner for ScalarSegments<'_> {
         let mut survivors = Vec::with_capacity(self.alive.len());
         let mut obs = Vec::with_capacity(self.netlist.observation_points().len());
         for alive_fault in self.alive.drain(..) {
-            let mut sim = Simulator::with_injection(self.netlist, alive_fault.fault);
+            let mut sim = Simulator::with_injection(self.netlist, alive_fault.fault.clone());
             sim.set_state(&alive_fault.state);
-            if let Some(bit) = alive_fault.memory {
-                sim.seed_transition_memory(bit);
-            }
+            sim.seed_injection_memory(&alive_fault.memory);
             let mut detected = false;
             for cycle in from..to {
                 if self.stimulation == StateStimulation::RandomState {
@@ -1054,12 +1070,15 @@ impl SegmentRunner for ScalarSegments<'_> {
                 }
                 sim.clock();
             }
+            let (launches, activations) = sim.take_path_counters();
+            self.metrics.path_launches += launches;
+            self.metrics.path_activations += activations;
             if !detected {
                 survivors.push(AliveFault {
                     index: alive_fault.index,
                     fault: alive_fault.fault,
                     state: sim.state().to_vec(),
-                    memory: sim.transition_memory(),
+                    memory: sim.injection_memory(),
                 });
             }
         }
@@ -1088,12 +1107,14 @@ impl SegmentRunner for ScalarSegments<'_> {
 
 /// A still-undetected fault between compaction segments: its position in
 /// the fault list, the register state its machine has reached and (for
-/// delayed-transition faults) the one-cycle memory of its faulty net.
+/// stateful delay faults) the canonical lane memory — one previous-cycle
+/// bit for a delayed transition, the filled delay-line slots for a
+/// multi-cycle delay, the launch/terminal pair for a path fault.
 pub(crate) struct AliveFault {
     pub(crate) index: usize,
     pub(crate) fault: Injection,
     pub(crate) state: Vec<bool>,
-    pub(crate) memory: Option<bool>,
+    pub(crate) memory: Vec<bool>,
 }
 
 /// Converts a survivor list into its engine-agnostic checkpoint records
@@ -1105,7 +1126,7 @@ pub(crate) fn survivor_records(alive: &[AliveFault]) -> Vec<SurvivorRecord> {
         .map(|a| SurvivorRecord {
             index: a.index,
             state: a.state.clone(),
-            memory: a.memory,
+            memory: a.memory.clone(),
         })
         .collect()
 }
@@ -1119,27 +1140,29 @@ pub(crate) fn restore_alive(faults: &[Injection], survivors: &[SurvivorRecord]) 
         .iter()
         .map(|s| AliveFault {
             index: s.index,
-            fault: faults[s.index],
+            fault: faults[s.index].clone(),
             state: s.state.clone(),
-            memory: s.memory,
+            memory: s.memory.clone(),
         })
         .collect()
 }
 
 /// The campaign-start survivor list: every fault alive, every machine scan
 /// initialised to the first random state, transition memories at their
-/// identity values.
+/// identity values and delay lines empty.
 pub(crate) fn initial_alive(faults: &[Injection], init_state: &[bool]) -> Vec<AliveFault> {
     faults
         .iter()
         .enumerate()
-        .map(|(index, &fault)| AliveFault {
+        .map(|(index, fault)| AliveFault {
             index,
-            fault,
+            fault: fault.clone(),
             state: init_state.to_vec(),
             memory: match fault {
-                Injection::DelayedTransition { slow_to_rise, .. } => Some(slow_to_rise),
-                _ => None,
+                Injection::DelayedTransition { slow_to_rise, .. } => vec![*slow_to_rise],
+                // Multi-cycle and path lanes start with empty (unfilled)
+                // delay lines.
+                _ => Vec::new(),
             },
         })
         .collect()
@@ -1262,7 +1285,7 @@ pub(crate) struct TableTail {
 
 impl TableTail {
     pub(crate) fn new(netlist: &Netlist, alive: &[AliveFault], reference_state: &[bool]) -> Self {
-        let faults: Vec<Injection> = alive.iter().map(|a| a.fault).collect();
+        let faults: Vec<Injection> = alive.iter().map(|a| a.fault.clone()).collect();
         let tables = LaneTables::build(netlist, &faults);
         let live = alive
             .iter()
@@ -1289,7 +1312,7 @@ impl TableTail {
             .map(|&(_, index, state)| SurvivorRecord {
                 index,
                 state: (0..r).map(|b| (state >> b) & 1 == 1).collect(),
-                memory: None,
+                memory: Vec::new(),
             })
             .collect()
     }
@@ -1498,7 +1521,7 @@ impl SegmentRunner for PackedSegments<'_> {
         let mut survivors: Vec<AliveFault> = Vec::new();
         let mut next_reference_state = None;
         for chunk in self.alive.chunks(FAULT_LANES) {
-            let faults: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+            let faults: Vec<Injection> = chunk.iter().map(|a| a.fault.clone()).collect();
             // Survivors are compacted into fresh, dense chunks per
             // segment: every compile here is one compaction rebuild.
             self.metrics.compaction_rebuilds += 1;
@@ -1514,11 +1537,9 @@ impl SegmentRunner for PackedSegments<'_> {
                 *word = w;
             }
             sim.set_state_words(&state_words);
-            // Stateful lanes also resume their one-cycle transition memory.
+            // Stateful lanes also resume their delay memories.
             for (i, a) in chunk.iter().enumerate() {
-                if let Some(bit) = a.memory {
-                    sim.seed_transition_memory(i + 1, bit);
-                }
+                sim.seed_injection_memory(i + 1, &a.memory);
             }
             let mut active = sim.fault_lanes_mask();
             for cycle in from..to {
@@ -1539,6 +1560,9 @@ impl SegmentRunner for PackedSegments<'_> {
                     detected &= detected - 1;
                 }
             }
+            let (launches, activations) = sim.take_path_counters();
+            self.metrics.path_launches += launches;
+            self.metrics.path_activations += activations;
             if active != 0 {
                 // This chunk ran the full segment, so its lane 0 holds the
                 // fault-free state at `to` for seeding the next segment.
@@ -1553,9 +1577,9 @@ impl SegmentRunner for PackedSegments<'_> {
                     let a = &chunk[lane - 1];
                     survivors.push(AliveFault {
                         index: a.index,
-                        fault: a.fault,
+                        fault: a.fault.clone(),
                         state: words.iter().map(|&w| (w >> lane) & 1 == 1).collect(),
-                        memory: sim.transition_memory(lane),
+                        memory: sim.injection_memory(lane),
                     });
                 }
             }

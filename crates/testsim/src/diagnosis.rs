@@ -93,7 +93,7 @@ impl DiagnosisCandidate {
     fn from_entry(model: &str, entry: &DictionaryEntry, matching_segments: usize) -> Self {
         Self {
             model: model.to_string(),
-            fault: entry.fault,
+            fault: entry.fault.clone(),
             first_detect: entry.first_detect,
             segments: entry.segments.clone(),
             matching_segments,
@@ -283,7 +283,7 @@ mod tests {
     fn candidates_resolve_known_fault_signatures_across_models() {
         let netlist = pst_netlist();
         let diagnosis = multi_model_diagnosis(&netlist, 512);
-        assert_eq!(diagnosis.sections().len(), 3);
+        assert_eq!(diagnosis.sections().len(), 5);
         let reference = diagnosis.reference_signature().unwrap();
         assert!(diagnosis.is_reference(reference));
         let mut resolved = 0usize;

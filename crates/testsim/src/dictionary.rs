@@ -281,8 +281,8 @@ pub(crate) fn build_dictionary_streaming(
             0,
             faults
                 .iter()
-                .map(|&fault| DictionaryEntry {
-                    fault,
+                .map(|fault| DictionaryEntry {
+                    fault: fault.clone(),
                     first_detect: None,
                     signature: 0,
                     segments: vec![0; n],
@@ -442,7 +442,7 @@ fn packed_signatures(
                 let lane = i + 1;
                 lanes.push(LaneRecord {
                     state: words.iter().map(|&w| (w >> lane) & 1 == 1).collect(),
-                    memory: cs.sim.transition_memory(lane),
+                    memory: cs.sim.injection_memory(lane),
                     detected: (cs.detected >> lane) & 1 == 1,
                     first_detect: cs.first_detect[i],
                     signature: lane_signature(&cs.planes, lane),
@@ -518,9 +518,7 @@ fn packed_signatures(
             cs.sim.set_state_words(&words);
             for i in 0..chunk.len() {
                 let rec = &lanes[cs.offset + i];
-                if let Some(bit) = rec.memory {
-                    cs.sim.seed_transition_memory(i + 1, bit);
-                }
+                cs.sim.seed_injection_memory(i + 1, &rec.memory);
                 cs.first_detect[i] = rec.first_detect;
                 if rec.detected {
                     cs.detected |= 1u64 << (i + 1);
@@ -597,6 +595,11 @@ fn packed_signatures(
                 cs.sim.clock();
             }
         }
+        for cs in chunks.iter_mut() {
+            let (launches, activations) = cs.sim.take_path_counters();
+            metrics.path_launches += launches;
+            metrics.path_activations += activations;
+        }
         metrics.dictionary_ns += eval_timer.elapsed_ns();
         detections.sort_unstable_by_key(|&(index, cycle)| (cycle, index));
         metrics.lane_retirements += detections.len() as u64;
@@ -640,8 +643,8 @@ fn packed_signatures(
     let reference_segments = chunks[0].segments[0].clone();
     let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
     for (cs, &chunk) in chunks.iter().zip(&chunk_lists) {
-        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
-            fault,
+        entries.extend(chunk.iter().enumerate().map(|(i, fault)| DictionaryEntry {
+            fault: fault.clone(),
             first_detect: cs.first_detect[i],
             signature: lane_signature(&cs.planes, i + 1),
             segments: cs.segments[i + 1].clone(),
@@ -735,7 +738,7 @@ fn differential_signatures<const W: usize>(
                 let lane = i + 1;
                 lanes.push(LaneRecord {
                     state: bs.sim.lane_state(lane),
-                    memory: bs.sim.transition_memory(lane),
+                    memory: bs.sim.injection_memory(lane),
                     detected: (bs.detected[lane / 64] >> (lane % 64)) & 1 == 1,
                     first_detect: bs.first_detect[i],
                     signature: lane_signature(&bs.planes, lane),
@@ -811,13 +814,13 @@ fn differential_signatures<const W: usize>(
             let pseudo: Vec<crate::coverage::AliveFault> = chunk
                 .iter()
                 .enumerate()
-                .map(|(i, &fault)| {
+                .map(|(i, fault)| {
                     let rec = &lanes[bs.offset + i];
                     crate::coverage::AliveFault {
                         index: bs.offset + i,
-                        fault,
+                        fault: fault.clone(),
                         state: rec.state.clone(),
-                        memory: rec.memory,
+                        memory: rec.memory.clone(),
                     }
                 })
                 .collect();
@@ -825,9 +828,7 @@ fn differential_signatures<const W: usize>(
             for i in 0..chunk.len() {
                 let rec = &lanes[bs.offset + i];
                 let lane = i + 1;
-                if let Some(bit) = rec.memory {
-                    bs.sim.seed_transition_memory(lane, bit);
-                }
+                bs.sim.seed_injection_memory(lane, &rec.memory);
                 bs.first_detect[i] = rec.first_detect;
                 if rec.detected {
                     bs.detected[lane / 64] |= 1u64 << (lane % 64);
@@ -1024,8 +1025,8 @@ fn differential_signatures<const W: usize>(
     let reference_signature = plane_word(&ref_planes);
     let mut entries: Vec<DictionaryEntry> = Vec::with_capacity(faults.len());
     for (bs, &chunk) in blocks.iter().zip(&chunk_lists) {
-        entries.extend(chunk.iter().enumerate().map(|(i, &fault)| DictionaryEntry {
-            fault,
+        entries.extend(chunk.iter().enumerate().map(|(i, fault)| DictionaryEntry {
+            fault: fault.clone(),
             first_detect: bs.first_detect[i],
             signature: lane_signature(&bs.planes, i + 1),
             segments: bs.segments[i + 1].clone(),

@@ -391,6 +391,9 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
     /// since compilation): the counters reset to zero, so consecutive
     /// takes yield per-segment deltas.
     pub(crate) fn take_metrics(&mut self) -> CampaignMetrics {
+        let (launches, activations) = self.core.take_path_counters();
+        self.metrics.path_launches += launches;
+        self.metrics.path_activations += activations;
         std::mem::take(&mut self.metrics)
     }
 
@@ -471,6 +474,20 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                             frontier_bits[agg / 64] |= 1u64 << (agg % 64);
                         }
                     }
+                    for lane in
+                        &self.core.path_lanes[gate.path_start as usize..gate.path_end as usize]
+                    {
+                        let launch = lane.launch as usize;
+                        if !row_bit(&member, launch) {
+                            frontier_bits[launch / 64] |= 1u64 << (launch % 64);
+                        }
+                        for &(cond, _) in &lane.conds {
+                            let cond = cond as usize;
+                            if !row_bit(&member, cond) {
+                                frontier_bits[cond / 64] |= 1u64 << (cond % 64);
+                            }
+                        }
+                    }
                 }
                 Op::Ff => ff_steps.push((id as u32, self.core.code[id].a)),
                 _ => {}
@@ -512,6 +529,20 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
                         let agg = bridge.aggressor as usize;
                         if row_bit(&member, agg) {
                             keep[agg / 64] |= 1u64 << (agg % 64);
+                        }
+                    }
+                    for lane in
+                        &self.core.path_lanes[gate.path_start as usize..gate.path_end as usize]
+                    {
+                        let launch = lane.launch as usize;
+                        if row_bit(&member, launch) {
+                            keep[launch / 64] |= 1u64 << (launch % 64);
+                        }
+                        for &(cond, _) in &lane.conds {
+                            let cond = cond as usize;
+                            if row_bit(&member, cond) {
+                                keep[cond / 64] |= 1u64 << (cond % 64);
+                            }
                         }
                     }
                 }
@@ -574,16 +605,16 @@ impl<'a, const W: usize> DiffSimulator<'a, W> {
         self.core.lane_state(lane)
     }
 
-    /// The one-cycle transition memory of a faulty lane (`None` for
-    /// stateless injections).
-    pub(crate) fn transition_memory(&self, lane: usize) -> Option<bool> {
-        self.core.transition_memory(lane)
+    /// The canonical lane memory of a faulty lane (empty for stateless
+    /// injections and unfilled delay lanes).
+    pub(crate) fn injection_memory(&self, lane: usize) -> Vec<bool> {
+        self.core.injection_memory(lane)
     }
 
-    /// Seeds the one-cycle transition memory of a faulty lane (no-op for
-    /// stateless injections).
-    pub(crate) fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
-        self.core.seed_transition_memory(lane, bit);
+    /// Seeds the lane memory of a faulty lane from its canonical form
+    /// (no-op for stateless injections).
+    pub(crate) fn seed_injection_memory(&mut self, lane: usize, memory: &[bool]) {
+        self.core.seed_injection_memory(lane, memory);
     }
 
     /// The per-cycle divergence check: recomputes the per-word divergence
@@ -879,7 +910,7 @@ fn run_block<const W: usize>(
     let span_start = epoch.elapsed_ns();
     let num_inputs = netlist.primary_inputs().len();
     let num_state = netlist.flip_flops().len();
-    let injections: Vec<Injection> = chunk.iter().map(|a| a.fault).collect();
+    let injections: Vec<Injection> = chunk.iter().map(|a| a.fault.clone()).collect();
     let mut sim = DiffSimulator::<W>::with_injections_tuned(
         netlist,
         &injections,
@@ -888,9 +919,7 @@ fn run_block<const W: usize>(
     );
     sim.set_state_lanes(reference_state, chunk);
     for (i, alive_fault) in chunk.iter().enumerate() {
-        if let Some(bit) = alive_fault.memory {
-            sim.seed_transition_memory(i + 1, bit);
-        }
+        sim.seed_injection_memory(i + 1, &alive_fault.memory);
     }
     let mut detections = Vec::new();
     for cycle in from..to {
@@ -925,9 +954,9 @@ fn run_block<const W: usize>(
             let alive_fault = &chunk[lane - 1];
             survivors.push(AliveFault {
                 index: alive_fault.index,
-                fault: alive_fault.fault,
+                fault: alive_fault.fault.clone(),
                 state: sim.lane_state(lane),
-                memory: sim.transition_memory(lane),
+                memory: sim.injection_memory(lane),
             });
         }
     }

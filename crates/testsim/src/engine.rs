@@ -97,11 +97,12 @@ pub(crate) struct BridgePatch<const W: usize> {
 }
 
 /// Side-table entry for a faulted gate: the original opcode, its fan-in
-/// range, its pin-patch and bridge-patch ranges and its output masks.
+/// range, its pin-patch, bridge-patch and path-lane ranges and its output
+/// masks.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct PatchedGate<const W: usize> {
     pub(crate) op: PlanOp,
-    /// The net this gate produces (for the transition-memory accessors).
+    /// The net this gate produces (for the lane-memory accessors).
     pub(crate) net: u32,
     pub(crate) fanin_start: u32,
     pub(crate) fanin_end: u32,
@@ -109,11 +110,46 @@ pub(crate) struct PatchedGate<const W: usize> {
     pub(crate) patch_end: u32,
     pub(crate) bridge_start: u32,
     pub(crate) bridge_end: u32,
+    /// Range into [`PackedCore::path_lanes`] of the path-delay lanes whose
+    /// terminal is this gate.
+    pub(crate) path_start: u32,
+    pub(crate) path_end: u32,
     pub(crate) out_set: [u64; W],
     pub(crate) out_clear: [u64; W],
     /// Lanes with a slow-to-rise / slow-to-fall output.
     pub(crate) rise: [u64; W],
     pub(crate) fall: [u64; W],
+}
+
+/// Per-lane state of one [`Injection::PathDelay`] fault: the two-pattern
+/// launch memory and the compiled non-robust sensitization conditions.
+/// Path lanes are evaluated bit-serially at their terminal gate — path
+/// counts are bounded by the model's `limit`, so the scalar loop stays off
+/// the profile.
+#[derive(Debug, Clone)]
+pub(crate) struct PathLane {
+    /// Lane word index.
+    pub(crate) word: u32,
+    /// Lane bit index within the word.
+    pub(crate) bit: u32,
+    /// The launch net (first net of the path).
+    pub(crate) launch: u32,
+    /// Slow polarity: `true` = the rising transition arrives late.
+    pub(crate) rising: bool,
+    /// Compiled sensitization conditions (net, required value) — see
+    /// [`stfsm_faults::delay::path_conditions`].
+    pub(crate) conds: Vec<(u32, bool)>,
+    /// The launch net's value at the previous clock cycle.
+    pub(crate) launch_prev: bool,
+    /// The launch net's value this evaluation (committed at the clock
+    /// edge).
+    pub(crate) launch_seen: bool,
+    /// Whether `launch_prev` holds a committed cycle yet (the first cycle
+    /// has no launch transition to observe).
+    pub(crate) filled: bool,
+    /// Whether the lane presented the delayed value this evaluation
+    /// (counted into the sensitization telemetry at the clock edge).
+    pub(crate) active: bool,
 }
 
 /// The word-parallel simulation core for one [`Netlist`] and one fault
@@ -135,12 +171,29 @@ pub(crate) struct PackedCore<'a, const W: usize> {
     pub(crate) pin_patches: Vec<PinPatch<W>>,
     /// The bridge patches, grouped per victim gate.
     pub(crate) bridges: Vec<BridgePatch<W>>,
-    /// Per patched gate: the raw (pre-injection) value word of the previous
-    /// clock cycle — the one-cycle memory of the transition-fault lanes.
-    pub(crate) trans_prev: Vec<[u64; W]>,
-    /// Per patched gate: the raw value of the current evaluation, committed
-    /// into `trans_prev` at the clock edge.
-    pub(crate) trans_next: Vec<[u64; W]>,
+    /// Per patched gate: ring of raw (pre-injection) value words of the
+    /// previous clock cycles, newest first (`hist[g][s]` holds the raw
+    /// word of `s + 1` cycles ago).  Sized to the deepest delay memory
+    /// among the gate's lanes; empty when no lane carries memory.  Slot 0
+    /// starts at the transition identity (`rise`), so transition lanes are
+    /// injection-free on the first cycle.
+    pub(crate) hist: Vec<Vec<[u64; W]>>,
+    /// Per patched gate: number of ring slots holding committed raw values
+    /// (saturating at the ring length); multi-cycle lanes stay
+    /// injection-free until their depth is filled.
+    pub(crate) committed: Vec<u32>,
+    /// Per patched gate: the raw value of the current evaluation, shifted
+    /// into the ring at the clock edge.
+    pub(crate) next: Vec<[u64; W]>,
+    /// Per patched gate: multi-cycle delay lane masks, grouped by depth.
+    pub(crate) mc: Vec<Vec<(u32, [u64; W])>>,
+    /// Path-delay lane states, grouped per terminal gate
+    /// ([`PatchedGate::path_start`] / [`PatchedGate::path_end`]).
+    pub(crate) path_lanes: Vec<PathLane>,
+    /// Slow-polarity path launch edges committed (telemetry).
+    pub(crate) path_launches: u64,
+    /// Sensitized launch/capture activations committed (telemetry).
+    pub(crate) path_activations: u64,
     /// The injected faults (lane `i + 1` carries `injections[i]`).
     pub(crate) injections: Vec<Injection>,
 }
@@ -169,19 +222,21 @@ impl<'a, const W: usize> PackedCore<'a, W> {
         let mut fall = vec![zero; num_nets];
         let mut pin_patches: Vec<PinPatch<W>> = Vec::new();
         let mut bridge_patches: Vec<BridgePatch<W>> = Vec::new();
+        let mut mc_masks: Vec<Vec<(u32, [u64; W])>> = vec![Vec::new(); num_nets];
+        let mut path_per_net: Vec<Vec<PathLane>> = vec![Vec::new(); num_nets];
         for (i, injection) in injections.iter().enumerate() {
             let lane = i + 1;
             let (word, bit) = (lane / 64, lane % 64);
             let mask = 1u64 << bit;
-            match *injection {
-                Injection::StuckOutput { net, value } => {
+            match injection {
+                &Injection::StuckOutput { net, value } => {
                     if value {
                         out_set[net][word] |= mask;
                     } else {
                         out_clear[net][word] |= mask;
                     }
                 }
-                Injection::StuckPin { gate, pin, value } => {
+                &Injection::StuckPin { gate, pin, value } => {
                     let (gate, pin) = (gate as u32, pin as u32);
                     let patch = match pin_patches
                         .iter_mut()
@@ -204,14 +259,43 @@ impl<'a, const W: usize> PackedCore<'a, W> {
                         patch.clear[word] |= mask;
                     }
                 }
-                Injection::DelayedTransition { net, slow_to_rise } => {
+                &Injection::DelayedTransition { net, slow_to_rise } => {
                     if slow_to_rise {
                         rise[net][word] |= mask;
                     } else {
                         fall[net][word] |= mask;
                     }
                 }
-                Injection::Bridge {
+                &Injection::MultiCycleDelay { net, depth } => {
+                    let depth = depth.max(1) as u32;
+                    match mc_masks[net].iter_mut().find(|(d, _)| *d == depth) {
+                        Some((_, m)) => m[word] |= mask,
+                        None => {
+                            let mut m = zero;
+                            m[word] |= mask;
+                            mc_masks[net].push((depth, m));
+                        }
+                    }
+                }
+                Injection::PathDelay { path, rising } => {
+                    assert!(
+                        path.len() >= 2 && path.windows(2).all(|w| w[0] < w[1]),
+                        "path nets must be strictly ascending"
+                    );
+                    let terminal = path[path.len() - 1] as usize;
+                    path_per_net[terminal].push(PathLane {
+                        word: word as u32,
+                        bit: bit as u32,
+                        launch: path[0],
+                        rising: *rising,
+                        conds: crate::faults::path_conditions(netlist, path),
+                        launch_prev: false,
+                        launch_seen: false,
+                        filled: false,
+                        active: false,
+                    });
+                }
+                &Injection::Bridge {
                     victim,
                     aggressor,
                     wired_and,
@@ -276,6 +360,8 @@ impl<'a, const W: usize> PackedCore<'a, W> {
         let fanin = plan.fanin();
         let mut code = Vec::with_capacity(num_nets);
         let mut patched = Vec::new();
+        let mut mc: Vec<Vec<(u32, [u64; W])>> = Vec::new();
+        let mut path_lanes: Vec<PathLane> = Vec::new();
         for (id, step) in plan.steps().iter().enumerate() {
             let (patch_start, patch_end) = patch_ranges[id];
             let (bridge_start, bridge_end) = bridge_ranges[id];
@@ -285,7 +371,12 @@ impl<'a, const W: usize> PackedCore<'a, W> {
                 || out_clear[id] != zero
                 || rise[id] != zero
                 || fall[id] != zero
+                || !mc_masks[id].is_empty()
+                || !path_per_net[id].is_empty()
             {
+                let path_start = path_lanes.len() as u32;
+                path_lanes.append(&mut path_per_net[id]);
+                mc.push(std::mem::take(&mut mc_masks[id]));
                 patched.push(PatchedGate {
                     op: step.op,
                     net: id as u32,
@@ -295,6 +386,8 @@ impl<'a, const W: usize> PackedCore<'a, W> {
                     patch_end,
                     bridge_start,
                     bridge_end,
+                    path_start,
+                    path_end: path_lanes.len() as u32,
                     out_set: out_set[id],
                     out_clear: out_clear[id],
                     rise: rise[id],
@@ -368,11 +461,25 @@ impl<'a, const W: usize> PackedCore<'a, W> {
             code.push(instr);
         }
 
-        // The transition memory starts at each lane's identity value (1 on
-        // slow-to-rise lanes, 0 on slow-to-fall lanes), so the first cycle
-        // is injection-free.
-        let trans_prev: Vec<[u64; W]> = patched.iter().map(|g| g.rise).collect();
-        let trans_next = trans_prev.clone();
+        // Size each patched gate's raw-value ring to the deepest delay
+        // memory among its lanes: one slot for transition and path-terminal
+        // lanes, `depth` slots for multi-cycle lanes, none for purely
+        // combinational injections.  Slot 0 starts at the transition
+        // identity value (1 on slow-to-rise lanes, 0 on slow-to-fall
+        // lanes), so the first cycle is injection-free.
+        let mut hist: Vec<Vec<[u64; W]>> = Vec::with_capacity(patched.len());
+        for (idx, g) in patched.iter().enumerate() {
+            let needs_prev = g.rise != zero || g.fall != zero || g.path_start != g.path_end;
+            let depth_max = mc[idx].iter().map(|&(d, _)| d).max().unwrap_or(0);
+            let len = depth_max.max(u32::from(needs_prev)) as usize;
+            let mut ring = vec![zero; len];
+            if let Some(slot) = ring.first_mut() {
+                *slot = g.rise;
+            }
+            hist.push(ring);
+        }
+        let next: Vec<[u64; W]> = patched.iter().map(|g| g.rise).collect();
+        let committed = vec![0u32; patched.len()];
         Self {
             netlist,
             values: vec![zero; num_nets],
@@ -381,8 +488,13 @@ impl<'a, const W: usize> PackedCore<'a, W> {
             patched,
             pin_patches,
             bridges: bridge_patches,
-            trans_prev,
-            trans_next,
+            hist,
+            committed,
+            next,
+            mc,
+            path_lanes,
+            path_launches: 0,
+            path_activations: 0,
             injections: injections.to_vec(),
         }
     }
@@ -393,17 +505,52 @@ impl<'a, const W: usize> PackedCore<'a, W> {
         let instr = self.code[id];
         let value = if instr.op == Op::Patched {
             let idx = instr.a as usize;
-            let (value, raw) = eval_patched(
+            let gate = self.patched[idx];
+            let prev = self.hist[idx].first().copied().unwrap_or([0u64; W]);
+            let (mut value, raw) = eval_patched(
                 &self.values,
                 &self.state,
                 inputs,
                 fanin,
                 &self.pin_patches,
                 &self.bridges,
-                self.patched[idx],
-                self.trans_prev[idx],
+                gate,
+                prev,
             );
-            self.trans_next[idx] = raw;
+            // Multi-cycle lanes present the raw value of `depth` cycles ago
+            // once that ring slot is committed; injection-free while the
+            // delay line fills.  Lane masks never overlap across classes,
+            // so the rewrite order against the other injections is
+            // immaterial.
+            for &(depth, mask) in &self.mc[idx] {
+                if self.committed[idx] >= depth {
+                    let slot = self.hist[idx][depth as usize - 1];
+                    value = std::array::from_fn(|k| (value[k] & !mask[k]) | (slot[k] & mask[k]));
+                }
+            }
+            // Path lanes: bit-serial non-robust two-pattern check.  Every
+            // net the check reads (launch, side inputs) precedes the
+            // terminal in the strictly ascending path order, so the values
+            // are already computed this sweep.
+            if gate.path_start != gate.path_end {
+                let values = &self.values;
+                let hist0 = &self.hist[idx][0];
+                for lane in &mut self.path_lanes[gate.path_start as usize..gate.path_end as usize] {
+                    let (w, b) = (lane.word as usize, lane.bit as usize);
+                    let read = |net: u32| (values[net as usize][w] >> b) & 1 == 1;
+                    let launch = read(lane.launch);
+                    lane.launch_seen = launch;
+                    lane.active = lane.filled
+                        && launch == lane.rising
+                        && lane.launch_prev != launch
+                        && lane.conds.iter().all(|&(n, req)| read(n) == req);
+                    if lane.active {
+                        let mask = 1u64 << b;
+                        value[w] = (value[w] & !mask) | (((hist0[w] >> b) & 1) << b);
+                    }
+                }
+            }
+            self.next[idx] = raw;
             value
         } else {
             eval_instr(&self.values, &self.state, inputs, fanin, instr)
@@ -474,11 +621,44 @@ impl<'a, const W: usize> PackedCore<'a, W> {
         }
     }
 
-    /// Advances the one-cycle transition memories at the clock edge (once
-    /// per clock cycle, regardless of how many combinational evaluations
-    /// happened in between).
+    /// Advances every delay memory at the clock edge (once per clock
+    /// cycle, regardless of how many combinational evaluations happened in
+    /// between): the newest raw word shifts into ring slot 0, the path
+    /// launch memories commit, and the sensitization telemetry counts.
+    /// Drains the path-delay telemetry accumulated since the last call
+    /// (committed slow-polarity launch edges and sensitized launch/capture
+    /// activations).
+    pub(crate) fn take_path_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.path_launches),
+            std::mem::take(&mut self.path_activations),
+        )
+    }
+
     pub(crate) fn commit_transitions(&mut self) {
-        self.trans_prev.copy_from_slice(&self.trans_next);
+        for idx in 0..self.patched.len() {
+            let ring = &mut self.hist[idx];
+            if ring.is_empty() {
+                continue;
+            }
+            ring.rotate_right(1);
+            ring[0] = self.next[idx];
+            self.committed[idx] = (self.committed[idx] + 1).min(ring.len() as u32);
+        }
+        for lane in &mut self.path_lanes {
+            if lane.filled
+                && lane.launch_prev != lane.launch_seen
+                && lane.launch_seen == lane.rising
+            {
+                self.path_launches += 1;
+            }
+            if lane.active {
+                self.path_activations += 1;
+            }
+            lane.launch_prev = lane.launch_seen;
+            lane.filled = true;
+            lane.active = false;
+        }
     }
 
     /// Sets every lane of the register to the same state (the scan
@@ -504,55 +684,117 @@ impl<'a, const W: usize> PackedCore<'a, W> {
             .collect()
     }
 
-    /// The one-cycle transition memory of a faulty lane: the raw value its
-    /// [`Injection::DelayedTransition`] net carried at the previous clock
-    /// cycle.  `None` for lanes whose injection is stateless.
+    /// The canonical lane memory of a faulty lane, matching the scalar
+    /// [`Simulator::injection_memory`](crate::sim::Simulator::injection_memory)
+    /// bit for bit: one previous-cycle bit for a delayed transition, the
+    /// filled delay-line slots (newest first) for a multi-cycle delay, the
+    /// launch bit followed by the terminal's previous raw bit for a path
+    /// fault.  Empty for stateless injections and unfilled delay lanes.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is 0 or exceeds the number of injected faults.
-    pub(crate) fn transition_memory(&self, lane: usize) -> Option<bool> {
-        let idx = self.transition_patch(lane)?;
+    pub(crate) fn injection_memory(&self, lane: usize) -> Vec<bool> {
+        self.assert_lane(lane);
         let (w, b) = (lane / 64, lane % 64);
-        Some((self.trans_prev[idx][w] >> b) & 1 == 1)
-    }
-
-    /// Seeds the one-cycle transition memory of a faulty lane (used when a
-    /// campaign migrates a surviving fault into a fresh chunk).  No-op for
-    /// stateless injections.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lane` is 0 or exceeds the number of injected faults.
-    pub(crate) fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
-        if let Some(idx) = self.transition_patch(lane) {
-            let (w, b) = (lane / 64, lane % 64);
-            let mask = 1u64 << b;
-            for words in [&mut self.trans_prev[idx], &mut self.trans_next[idx]] {
-                if bit {
-                    words[w] |= mask;
-                } else {
-                    words[w] &= !mask;
-                }
+        match &self.injections[lane - 1] {
+            Injection::DelayedTransition { net, .. } => {
+                let idx = self.patch_index(*net);
+                vec![(self.hist[idx][0][w] >> b) & 1 == 1]
             }
+            Injection::MultiCycleDelay { net, depth } => {
+                let idx = self.patch_index(*net);
+                let filled = (self.committed[idx] as usize).min((*depth).max(1));
+                (0..filled)
+                    .map(|s| (self.hist[idx][s][w] >> b) & 1 == 1)
+                    .collect()
+            }
+            Injection::PathDelay { path, .. } => {
+                let lane_state = &self.path_lanes[self.path_lane_index(lane)];
+                if !lane_state.filled {
+                    return Vec::new();
+                }
+                let idx = self.patch_index(path[path.len() - 1] as usize);
+                vec![lane_state.launch_prev, (self.hist[idx][0][w] >> b) & 1 == 1]
+            }
+            _ => Vec::new(),
         }
     }
 
-    /// The patched-gate index carrying the transition fault of `lane`.
-    fn transition_patch(&self, lane: usize) -> Option<usize> {
+    /// Seeds the lane memory from its canonical form (used when a campaign
+    /// migrates a surviving fault into a fresh chunk or resumes from a
+    /// checkpoint).  No-op for stateless injections or an empty memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is 0 or exceeds the number of injected faults.
+    pub(crate) fn seed_injection_memory(&mut self, lane: usize, memory: &[bool]) {
+        self.assert_lane(lane);
+        if memory.is_empty() {
+            return;
+        }
+        let (w, b) = (lane / 64, lane % 64);
+        let mask = 1u64 << b;
+        let set = |word: &mut u64, bit: bool| {
+            if bit {
+                *word |= mask;
+            } else {
+                *word &= !mask;
+            }
+        };
+        match self.injections[lane - 1].clone() {
+            Injection::DelayedTransition { net, .. } => {
+                let idx = self.patch_index(net);
+                set(&mut self.hist[idx][0][w], memory[0]);
+                set(&mut self.next[idx][w], memory[0]);
+            }
+            Injection::MultiCycleDelay { net, .. } => {
+                let idx = self.patch_index(net);
+                let len = memory.len().min(self.hist[idx].len());
+                for (s, &bit) in memory[..len].iter().enumerate() {
+                    set(&mut self.hist[idx][s][w], bit);
+                }
+                // Fill levels are uniform across a campaign's lanes (every
+                // lane has run the same stimulus cycles), so the per-gate
+                // commit count can only grow here.
+                self.committed[idx] = self.committed[idx].max(len as u32);
+            }
+            Injection::PathDelay { path, .. } => {
+                let idx = self.patch_index(path[path.len() - 1] as usize);
+                set(&mut self.hist[idx][0][w], memory[1]);
+                set(&mut self.next[idx][w], memory[1]);
+                let lane_index = self.path_lane_index(lane);
+                let lane_state = &mut self.path_lanes[lane_index];
+                lane_state.launch_prev = memory[0];
+                lane_state.launch_seen = memory[0];
+                lane_state.filled = true;
+            }
+            _ => {}
+        }
+    }
+
+    fn assert_lane(&self, lane: usize) {
         assert!(
             lane >= 1 && lane <= self.injections.len(),
             "lane {lane} carries no injected fault"
         );
-        match self.injections[lane - 1] {
-            Injection::DelayedTransition { net, .. } => Some(
-                self.patched
-                    .iter()
-                    .position(|g| g.net as usize == net)
-                    .expect("transition fault compiles to a patched gate"),
-            ),
-            _ => None,
-        }
+    }
+
+    /// The patched-gate index producing `net`.
+    fn patch_index(&self, net: usize) -> usize {
+        self.patched
+            .iter()
+            .position(|g| g.net as usize == net)
+            .expect("stateful fault compiles to a patched gate")
+    }
+
+    /// The [`PathLane`] index carrying the path fault of `lane`.
+    fn path_lane_index(&self, lane: usize) -> usize {
+        let (w, b) = (lane / 64, lane % 64);
+        self.path_lanes
+            .iter()
+            .position(|p| p.word as usize == w && p.bit as usize == b)
+            .expect("path fault compiles to a path lane")
     }
 }
 

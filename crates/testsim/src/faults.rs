@@ -7,5 +7,6 @@
 //! to [`TransitionDelay`](stfsm_faults::TransitionDelay) and
 //! [`Bridging`](stfsm_faults::Bridging).
 
+pub use stfsm_faults::delay::path_conditions;
 pub use stfsm_faults::stuck::{Fault, FaultList, FaultSite};
 pub use stfsm_faults::{FaultModel, Injection, StuckAt};

@@ -97,26 +97,35 @@ impl<'a> PackedSimulator<'a> {
         }
     }
 
-    /// The one-cycle transition memory of a faulty lane: the raw value its
-    /// [`Injection::DelayedTransition`] net carried at the previous clock
-    /// cycle.  `None` for lanes whose injection is stateless.
+    /// The canonical lane memory of a faulty lane (the delay-line /
+    /// launch-memory bits every engine reduces a stateful lane to at a
+    /// segment boundary).  Empty for stateless injections and unfilled
+    /// delay lanes.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is 0 or exceeds the number of injected faults.
-    pub fn transition_memory(&self, lane: usize) -> Option<bool> {
-        self.core.transition_memory(lane)
+    pub fn injection_memory(&self, lane: usize) -> Vec<bool> {
+        self.core.injection_memory(lane)
     }
 
-    /// Seeds the one-cycle transition memory of a faulty lane (used when a
-    /// campaign migrates a surviving fault into a fresh chunk).  No-op for
-    /// stateless injections.
+    /// Seeds the lane memory of a faulty lane from its canonical form
+    /// (used when a campaign migrates a surviving fault into a fresh
+    /// chunk).  No-op for stateless injections.
     ///
     /// # Panics
     ///
     /// Panics if `lane` is 0 or exceeds the number of injected faults.
-    pub fn seed_transition_memory(&mut self, lane: usize, bit: bool) {
-        self.core.seed_transition_memory(lane, bit);
+    pub fn seed_injection_memory(&mut self, lane: usize, memory: &[bool]) {
+        self.core.seed_injection_memory(lane, memory);
+    }
+
+    /// Drains the path-delay telemetry accumulated since the last call:
+    /// committed slow-polarity launch edges and sensitized launch/capture
+    /// activations (see
+    /// [`CampaignMetrics`](crate::telemetry::CampaignMetrics)).
+    pub fn take_path_counters(&mut self) -> (u64, u64) {
+        self.core.take_path_counters()
     }
 
     /// Sets every lane of the register to the same state (the scan

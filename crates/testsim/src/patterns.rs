@@ -160,9 +160,93 @@ impl PatternSource for ExhaustivePatterns {
     }
 }
 
+/// Two-pattern (launch/capture) pairing over an inner source.
+///
+/// Delay-fault detection needs controlled input *transitions*: a launch
+/// cycle that sets up the slow edge and a capture cycle that observes it
+/// one clock later.  This decorator turns any pattern source into a
+/// launch/capture stream: even draws pull a fresh launch vector `V1` from
+/// the inner source, odd draws emit `V1` with exactly one input flipped —
+/// a single-input-change capture vector `V2`.  Each pair applies one
+/// hazard-free input transition, which maximises the chance that a
+/// [`PathDelay`](stfsm_faults::PathDelay) launch net toggles with every
+/// off-path side input stable.
+///
+/// Like every source, the stream is a deterministic function of the seeds
+/// (the inner source's and the flip-picker's), so campaigns stay
+/// bit-for-bit reproducible across engines, threads and resume boundaries.
+#[derive(Debug, Clone)]
+pub struct PairedPatterns<S> {
+    inner: S,
+    rng: StdRng,
+    held: Vec<bool>,
+    capture: bool,
+}
+
+impl<S: PatternSource> PairedPatterns<S> {
+    /// Wraps `inner`, drawing the capture-cycle flip positions from `seed`.
+    pub fn new(inner: S, seed: u64) -> Self {
+        Self {
+            inner,
+            rng: StdRng::seed_from_u64(seed),
+            held: Vec::new(),
+            capture: false,
+        }
+    }
+}
+
+impl<S: PatternSource> PatternSource for PairedPatterns<S> {
+    fn next_pattern(&mut self) -> Vec<bool> {
+        if self.capture {
+            self.capture = false;
+            let mut v2 = std::mem::take(&mut self.held);
+            if !v2.is_empty() {
+                let flip = self.rng.gen_range_below(v2.len());
+                v2[flip] = !v2[flip];
+            }
+            v2
+        } else {
+            self.capture = true;
+            self.held = self.inner.next_pattern();
+            self.held.clone()
+        }
+    }
+
+    fn width(&self) -> usize {
+        self.inner.width()
+    }
+
+    fn fill(&mut self, buf: &mut [bool]) {
+        assert_eq!(buf.len(), self.width(), "pattern width mismatch");
+        buf.copy_from_slice(&self.next_pattern());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn paired_patterns_differ_by_exactly_one_bit_within_a_pair() {
+        let mut source = PairedPatterns::new(RandomPatterns::new(12, 7), 99);
+        for _ in 0..64 {
+            let launch = source.next_pattern();
+            let capture = source.next_pattern();
+            let distance = launch.iter().zip(&capture).filter(|(a, b)| a != b).count();
+            assert_eq!(distance, 1, "capture flips exactly one input");
+        }
+    }
+
+    #[test]
+    fn paired_patterns_are_reproducible_and_fill_matches_next() {
+        let mut a = PairedPatterns::new(RandomPatterns::new(5, 3), 17);
+        let mut b = PairedPatterns::new(RandomPatterns::new(5, 3), 17);
+        let mut buf = vec![false; 5];
+        for _ in 0..32 {
+            b.fill(&mut buf);
+            assert_eq!(a.next_pattern(), buf);
+        }
+    }
 
     #[test]
     fn random_patterns_are_reproducible() {

@@ -23,12 +23,38 @@ pub struct Simulator<'a> {
     values: Vec<bool>,
     state: Vec<bool>,
     injection: Option<Injection>,
-    /// One-cycle memory of a [`Injection::DelayedTransition`] fault: the raw
-    /// (pre-injection) value of the faulty net at the previous clock cycle.
-    transition_prev: bool,
-    /// The raw value of the faulty net this cycle, committed into
-    /// `transition_prev` at the clock edge.
-    transition_next: bool,
+    /// Delay-line memory of a stateful injection: previous raw
+    /// (pre-injection) values of the patched net, newest first
+    /// (`delay_hist[k]` is the raw value `k + 1` clock cycles ago).  One
+    /// slot for a [`Injection::DelayedTransition`] or
+    /// [`Injection::PathDelay`] terminal, `depth` slots for a
+    /// [`Injection::MultiCycleDelay`].
+    delay_hist: Vec<bool>,
+    /// Number of slots of `delay_hist` holding committed (or seeded) raw
+    /// values; a multi-cycle lane stays injection-free until its full
+    /// delay line is filled.
+    delay_filled: usize,
+    /// The raw value of the patched net this cycle, committed into
+    /// `delay_hist[0]` at the clock edge.
+    delay_next: bool,
+    /// Two-pattern launch memory of a [`Injection::PathDelay`]: the launch
+    /// net's value at the previous clock cycle.
+    path_launch_prev: bool,
+    /// The launch net's value this cycle, committed at the clock edge.
+    path_launch_seen: bool,
+    /// Whether the launch memory holds a real previous cycle yet (the
+    /// first cycle has no launch transition to observe).
+    path_filled: bool,
+    /// Precompiled non-robust sensitization conditions of the path (see
+    /// [`stfsm_faults::delay::path_conditions`]).
+    path_conds: Vec<(u32, bool)>,
+    /// Whether the path presented the delayed value this evaluation
+    /// (tallied into the sensitization telemetry at the clock edge).
+    path_active: bool,
+    /// Slow-polarity launch edges committed (telemetry).
+    path_launches: u64,
+    /// Sensitized launch/capture activations committed (telemetry).
+    path_activations: u64,
 }
 
 impl<'a> Simulator<'a> {
@@ -39,8 +65,16 @@ impl<'a> Simulator<'a> {
             values: vec![false; netlist.gates().len()],
             state: vec![false; netlist.flip_flops().len()],
             injection: None,
-            transition_prev: false,
-            transition_next: false,
+            delay_hist: Vec::new(),
+            delay_filled: 0,
+            delay_next: false,
+            path_launch_prev: false,
+            path_launch_seen: false,
+            path_filled: false,
+            path_conds: Vec::new(),
+            path_active: false,
+            path_launches: 0,
+            path_activations: 0,
         }
     }
 
@@ -54,24 +88,41 @@ impl<'a> Simulator<'a> {
     /// # Panics
     ///
     /// Panics if a [`Injection::Bridge`] aggressor does not precede its
-    /// victim in the topological net order (the enumeration in
-    /// `stfsm-faults` guarantees this).
+    /// victim in the topological net order, or if a
+    /// [`Injection::PathDelay`] chain is not strictly ascending (the
+    /// enumeration in `stfsm-faults` guarantees both).
     pub fn with_injection(netlist: &'a Netlist, injection: Injection) -> Self {
-        if let Injection::Bridge {
-            victim, aggressor, ..
-        } = injection
-        {
-            assert!(
-                aggressor < victim,
-                "bridge aggressor must precede the victim in net order"
-            );
-        }
         let mut sim = Self::new(netlist);
-        // The transition memory starts at the direction's identity value, so
-        // the first cycle is injection-free.
-        if let Injection::DelayedTransition { slow_to_rise, .. } = injection {
-            sim.transition_prev = slow_to_rise;
-            sim.transition_next = slow_to_rise;
+        match &injection {
+            Injection::Bridge {
+                victim, aggressor, ..
+            } => {
+                assert!(
+                    aggressor < victim,
+                    "bridge aggressor must precede the victim in net order"
+                );
+            }
+            // The transition memory starts at the direction's identity
+            // value, so the first cycle is injection-free.
+            Injection::DelayedTransition { slow_to_rise, .. } => {
+                sim.delay_hist = vec![*slow_to_rise];
+                sim.delay_filled = 1;
+                sim.delay_next = *slow_to_rise;
+            }
+            // The delay line starts empty: the lane tracks the fault-free
+            // raw value until `depth` cycles of history exist.
+            Injection::MultiCycleDelay { depth, .. } => {
+                sim.delay_hist = vec![false; (*depth).max(1)];
+            }
+            Injection::PathDelay { path, .. } => {
+                assert!(
+                    path.len() >= 2 && path.windows(2).all(|w| w[0] < w[1]),
+                    "path nets must be strictly ascending"
+                );
+                sim.delay_hist = vec![false];
+                sim.path_conds = crate::faults::path_conditions(netlist, path);
+            }
+            _ => {}
         }
         sim.injection = Some(injection);
         sim
@@ -98,12 +149,65 @@ impl<'a> Simulator<'a> {
         self.state.copy_from_slice(state);
     }
 
+    /// The canonical lane memory of a stateful injection: the bits every
+    /// engine reduces the lane's extra state to at a segment boundary.
+    /// Empty for stateless injections (and for delay lanes whose history
+    /// is still filling).
+    ///
+    /// * [`Injection::DelayedTransition`]: one bit, the raw value of the
+    ///   previous clock cycle.
+    /// * [`Injection::MultiCycleDelay`]: the filled delay-line slots,
+    ///   newest first (up to `depth` bits).
+    /// * [`Injection::PathDelay`]: launch-net previous value followed by
+    ///   the terminal net's previous raw value, once a launch cycle has
+    ///   been committed.
+    pub fn injection_memory(&self) -> Vec<bool> {
+        match &self.injection {
+            Some(Injection::DelayedTransition { .. }) => vec![self.delay_hist[0]],
+            Some(Injection::MultiCycleDelay { .. }) => {
+                self.delay_hist[..self.delay_filled].to_vec()
+            }
+            Some(Injection::PathDelay { .. }) if self.path_filled => {
+                vec![self.path_launch_prev, self.delay_hist[0]]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Seeds the lane memory from its canonical form (used when a
+    /// segmented campaign resumes a surviving fault mid-run).  No-op for
+    /// stateless injections or an empty memory.
+    pub fn seed_injection_memory(&mut self, memory: &[bool]) {
+        if memory.is_empty() {
+            return;
+        }
+        match &self.injection {
+            Some(Injection::DelayedTransition { .. }) => {
+                self.delay_hist[0] = memory[0];
+                self.delay_next = memory[0];
+            }
+            Some(Injection::MultiCycleDelay { .. }) => {
+                let len = memory.len().min(self.delay_hist.len());
+                self.delay_hist[..len].copy_from_slice(&memory[..len]);
+                self.delay_filled = len;
+            }
+            Some(Injection::PathDelay { .. }) => {
+                self.path_launch_prev = memory[0];
+                self.path_launch_seen = memory[0];
+                self.delay_hist[0] = memory[1];
+                self.delay_next = memory[1];
+                self.path_filled = true;
+            }
+            _ => {}
+        }
+    }
+
     /// The one-cycle memory of a [`Injection::DelayedTransition`] fault:
     /// the raw value the faulty net carried at the previous clock cycle.
     /// `None` when the injection (if any) is stateless.
     pub fn transition_memory(&self) -> Option<bool> {
         match self.injection {
-            Some(Injection::DelayedTransition { .. }) => Some(self.transition_prev),
+            Some(Injection::DelayedTransition { .. }) => Some(self.delay_hist[0]),
             _ => None,
         }
     }
@@ -113,8 +217,8 @@ impl<'a> Simulator<'a> {
     /// injection is a [`Injection::DelayedTransition`].
     pub fn seed_transition_memory(&mut self, bit: bool) {
         if let Some(Injection::DelayedTransition { .. }) = self.injection {
-            self.transition_prev = bit;
-            self.transition_next = bit;
+            self.delay_hist[0] = bit;
+            self.delay_next = bit;
         }
     }
 
@@ -132,12 +236,19 @@ impl<'a> Simulator<'a> {
             plan.num_inputs(),
             "primary input width mismatch"
         );
-        match self.injection {
+        match &self.injection {
             None => self.evaluate_fault_free(plan, inputs),
             Some(Injection::StuckPin { gate, pin, value }) => {
+                let (gate, pin, value) = (*gate, *pin, *value);
                 self.evaluate_with_stuck_pin(plan, inputs, gate, pin, value)
             }
-            Some(injection) => self.evaluate_with_output_patch(plan, inputs, injection),
+            Some(injection) => {
+                // The scalar engine is the readable reference machine; one
+                // clone per evaluation (an `Arc` bump for path lanes) keeps
+                // the borrow structure simple.
+                let injection = injection.clone();
+                self.evaluate_with_output_patch(plan, inputs, injection)
+            }
         }
     }
 
@@ -198,8 +309,8 @@ impl<'a> Simulator<'a> {
     }
 
     /// Injections that rewrite one gate's output (stuck output, delayed
-    /// transition, bridge): a fault-free sweep with a post-override at the
-    /// patched net.
+    /// transition, multi-cycle delay, path delay, bridge): a fault-free
+    /// sweep with a post-override at the patched net.
     fn evaluate_with_output_patch(
         &mut self,
         plan: &EvalPlan,
@@ -222,14 +333,53 @@ impl<'a> Simulator<'a> {
                 PlanOp::Not => !self.values[ops[0] as usize],
             };
             if id == patched {
-                value = match injection {
-                    Injection::StuckOutput { value: stuck, .. } => stuck,
+                value = match &injection {
+                    Injection::StuckOutput { value: stuck, .. } => *stuck,
                     Injection::DelayedTransition { slow_to_rise, .. } => {
-                        self.transition_next = value;
-                        if slow_to_rise {
-                            value && self.transition_prev
+                        self.delay_next = value;
+                        if *slow_to_rise {
+                            value && self.delay_hist[0]
                         } else {
-                            value || self.transition_prev
+                            value || self.delay_hist[0]
+                        }
+                    }
+                    // The gross delay presents the raw value of `depth`
+                    // cycles ago once the delay line is filled; until then
+                    // the lane is injection-free.
+                    Injection::MultiCycleDelay { .. } => {
+                        self.delay_next = value;
+                        let depth = self.delay_hist.len();
+                        if self.delay_filled == depth {
+                            self.delay_hist[depth - 1]
+                        } else {
+                            value
+                        }
+                    }
+                    // Non-robust two-pattern check: the previous (launch)
+                    // cycle put the opposite value on the launch net, this
+                    // (capture) cycle puts the slow polarity there, and every
+                    // off-path side input carries its non-controlling value —
+                    // then the late transition has not reached the terminal
+                    // yet and it presents the previous cycle's raw value.
+                    // All read nets precede the terminal in the strictly
+                    // ascending path order, so a single forward sweep
+                    // resolves the check.
+                    Injection::PathDelay { path, rising } => {
+                        let launch = self.values[path[0] as usize];
+                        self.path_launch_seen = launch;
+                        self.delay_next = value;
+                        let active = self.path_filled
+                            && launch == *rising
+                            && self.path_launch_prev != launch
+                            && self
+                                .path_conds
+                                .iter()
+                                .all(|&(n, req)| self.values[n as usize] == req);
+                        self.path_active = active;
+                        if active {
+                            self.delay_hist[0]
+                        } else {
+                            value
                         }
                     }
                     Injection::Bridge {
@@ -237,10 +387,10 @@ impl<'a> Simulator<'a> {
                         wired_and,
                         ..
                     } => {
-                        if wired_and {
-                            value && self.values[aggressor]
+                        if *wired_and {
+                            value && self.values[*aggressor]
                         } else {
-                            value || self.values[aggressor]
+                            value || self.values[*aggressor]
                         }
                     }
                     Injection::StuckPin { .. } => unreachable!("handled by the pin-aware sweep"),
@@ -305,9 +455,39 @@ impl<'a> Simulator<'a> {
         for (i, &d) in self.netlist.plan().flip_flop_inputs().iter().enumerate() {
             self.state[i] = self.values[d as usize];
         }
-        // The transition memory advances once per clock cycle, regardless of
-        // how many combinational evaluations happened in between.
-        self.transition_prev = self.transition_next;
+        // The delay memory advances once per clock cycle, regardless of how
+        // many combinational evaluations happened in between: the newest raw
+        // value shifts into slot 0 and the oldest slot falls off the end.
+        if !self.delay_hist.is_empty() {
+            self.delay_hist.rotate_right(1);
+            self.delay_hist[0] = self.delay_next;
+            self.delay_filled = (self.delay_filled + 1).min(self.delay_hist.len());
+        }
+        if let Some(Injection::PathDelay { ref rising, .. }) = self.injection {
+            if self.path_filled
+                && self.path_launch_prev != self.path_launch_seen
+                && self.path_launch_seen == *rising
+            {
+                self.path_launches += 1;
+            }
+            if self.path_active {
+                self.path_activations += 1;
+            }
+            self.path_active = false;
+            self.path_launch_prev = self.path_launch_seen;
+            self.path_filled = true;
+        }
+    }
+
+    /// Drains the path-delay telemetry accumulated since the last call:
+    /// committed slow-polarity launch edges and sensitized launch/capture
+    /// activations (see
+    /// [`CampaignMetrics`](crate::telemetry::CampaignMetrics)).
+    pub fn take_path_counters(&mut self) -> (u64, u64) {
+        (
+            std::mem::take(&mut self.path_launches),
+            std::mem::take(&mut self.path_activations),
+        )
     }
 
     /// Convenience: evaluate, sample the observation points, clock.
@@ -579,6 +759,176 @@ mod tests {
                 assert_eq!(bad.net(aggressor), a, "the aggressor keeps its value");
                 good.clock();
                 bad.clock();
+            }
+        }
+    }
+
+    /// Same forced-state setup for the multi-cycle gross delay: the faulty
+    /// net is injection-free while the delay line fills, then presents the
+    /// raw value of exactly `depth` cycles ago.
+    #[test]
+    fn multi_cycle_delay_presents_the_value_depth_cycles_ago() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let target = netlist
+            .gates()
+            .iter()
+            .position(|g| g.is_logic())
+            .expect("netlist has logic gates");
+        for depth in [1usize, 2, 3] {
+            let mut good = Simulator::new(&netlist);
+            let mut bad = Simulator::with_injection(
+                &netlist,
+                Injection::MultiCycleDelay { net: target, depth },
+            );
+            let mut history: Vec<bool> = Vec::new(); // raw values, oldest first
+            let mut lcg = 0xDEAD_BEEFu64;
+            let r = netlist.flip_flops().len();
+            for cycle in 0..64 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let state: Vec<bool> = (0..r).map(|i| (lcg >> (i + 9)) & 1 == 1).collect();
+                let inputs = vec![(lcg >> 27) & 1 == 1];
+                good.set_state(&state);
+                bad.set_state(&state);
+                good.evaluate(&inputs);
+                bad.evaluate(&inputs);
+                let raw = good.net(target);
+                let expected = if history.len() >= depth {
+                    history[history.len() - depth]
+                } else {
+                    raw
+                };
+                assert_eq!(bad.net(target), expected, "cycle {cycle}, depth {depth}");
+                history.push(raw);
+                good.clock();
+                bad.clock();
+            }
+        }
+    }
+
+    /// Forced-state lockstep for path-delay faults: the terminal presents
+    /// the previous cycle's raw value exactly when the launch net makes the
+    /// slow transition into the capture cycle and every off-path side input
+    /// sits at its non-controlling value.
+    #[test]
+    fn path_delay_activates_on_sensitized_launch_capture_pairs() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let faults = stfsm_faults::FaultModel::fault_list(
+            &stfsm_faults::PathDelay::default(),
+            &netlist,
+            false,
+        );
+        assert!(!faults.is_empty());
+        let mut activations = 0u32;
+        for injection in &faults {
+            let Injection::PathDelay { path, rising } = injection else {
+                panic!("foreign injection {injection}");
+            };
+            let conds = crate::faults::path_conditions(&netlist, path);
+            let terminal = *path.last().unwrap() as usize;
+            let launch_net = path[0] as usize;
+            let mut good = Simulator::new(&netlist);
+            let mut bad = Simulator::with_injection(&netlist, injection.clone());
+            let mut lcg = 0x5555_AAAAu64 ^ terminal as u64;
+            let r = netlist.flip_flops().len();
+            let (mut launch_prev, mut term_prev, mut filled) = (false, false, false);
+            for cycle in 0..128 {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let state: Vec<bool> = (0..r).map(|i| (lcg >> (i + 13)) & 1 == 1).collect();
+                let inputs = vec![(lcg >> 29) & 1 == 1];
+                good.set_state(&state);
+                bad.set_state(&state);
+                good.evaluate(&inputs);
+                bad.evaluate(&inputs);
+                let raw = good.net(terminal);
+                let launch = good.net(launch_net);
+                let sensitized = conds.iter().all(|&(n, req)| good.net(n as usize) == req);
+                let active = filled && launch == *rising && launch_prev != launch && sensitized;
+                let expected = if active { term_prev } else { raw };
+                assert_eq!(
+                    bad.net(terminal),
+                    expected,
+                    "cycle {cycle}, fault {injection}"
+                );
+                if active {
+                    activations += 1;
+                }
+                launch_prev = launch;
+                term_prev = raw;
+                filled = true;
+                good.clock();
+                bad.clock();
+            }
+        }
+        assert!(
+            activations > 0,
+            "the random stimulation should sensitize at least one path"
+        );
+    }
+
+    /// A stateful lane snapshotted mid-run (register state + canonical lane
+    /// memory) and re-seeded into a fresh simulator continues bit-for-bit.
+    #[test]
+    fn injection_memory_round_trips_mid_run() {
+        let fsm = fig3_example().unwrap();
+        let (netlist, _) = dff_netlist(&fsm);
+        let target = netlist
+            .gates()
+            .iter()
+            .position(|g| g.is_logic())
+            .expect("netlist has logic gates");
+        let path_fault = stfsm_faults::FaultModel::fault_list(
+            &stfsm_faults::PathDelay::default(),
+            &netlist,
+            false,
+        )
+        .into_iter()
+        .next()
+        .expect("paths exist");
+        let injections = [
+            Injection::DelayedTransition {
+                net: target,
+                slow_to_rise: true,
+            },
+            Injection::MultiCycleDelay {
+                net: target,
+                depth: 3,
+            },
+            path_fault,
+        ];
+        for injection in &injections {
+            for snapshot_at in [0usize, 1, 2, 5, 8] {
+                let mut original = Simulator::with_injection(&netlist, injection.clone());
+                let mut lcg = 0x0F0F_1234u64;
+                let drive = |sim: &mut Simulator, lcg: &mut u64| {
+                    *lcg = lcg
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let inputs = vec![(*lcg >> 17) & 1 == 1];
+                    sim.cycle(&inputs)
+                };
+                for _ in 0..snapshot_at {
+                    drive(&mut original, &mut lcg);
+                }
+                let memory = original.injection_memory();
+                let state = original.state().to_vec();
+                let mut resumed = Simulator::with_injection(&netlist, injection.clone());
+                resumed.set_state(&state);
+                resumed.seed_injection_memory(&memory);
+                let mut lcg_resumed = lcg;
+                for step in 0..24 {
+                    let a = drive(&mut original, &mut lcg);
+                    let b = drive(&mut resumed, &mut lcg_resumed);
+                    assert_eq!(
+                        a, b,
+                        "fault {injection}, snapshot at {snapshot_at}, step {step}"
+                    );
+                }
             }
         }
     }

@@ -123,6 +123,14 @@ pub struct CampaignMetrics {
     /// of the run; each boundary atomically replaces the previous file,
     /// so the on-disk footprint is the last checkpoint's size).
     pub checkpoint_bytes: u64,
+    /// Path-delay lanes: slow-polarity launch transitions committed into
+    /// a capture cycle (the two-pattern opportunities the stimulus
+    /// produced, sensitized or not).
+    pub path_launches: u64,
+    /// Path-delay lanes: committed launch/capture pairs that passed the
+    /// non-robust sensitization check (the cycles where the faulty path
+    /// actually presented its delayed value).
+    pub path_activations: u64,
 }
 
 impl CampaignMetrics {
@@ -153,6 +161,8 @@ impl CampaignMetrics {
         self.worker_panics_recovered += other.worker_panics_recovered;
         self.checkpoints_written += other.checkpoints_written;
         self.checkpoint_bytes += other.checkpoint_bytes;
+        self.path_launches += other.path_launches;
+        self.path_activations += other.path_activations;
     }
 }
 
@@ -274,6 +284,8 @@ mod tests {
             worker_panics_recovered: 18,
             checkpoints_written: 19,
             checkpoint_bytes: 20,
+            path_launches: 21,
+            path_activations: 22,
         };
         let b = CampaignMetrics {
             events_scheduled: 10,
@@ -288,6 +300,8 @@ mod tests {
         assert_eq!(a.worker_panics_recovered, 20);
         assert_eq!(a.checkpoints_written, 19);
         assert_eq!(a.checkpoint_bytes, 25);
+        assert_eq!(a.path_launches, 21);
+        assert_eq!(a.path_activations, 22);
         assert_eq!(a.peak_rss_kb, 100, "peak RSS is a high-water mark");
         let c = CampaignMetrics {
             peak_rss_kb: 200,

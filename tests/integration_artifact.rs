@@ -293,7 +293,7 @@ fn future_versions_are_rejected_with_the_supported_range() {
     match error {
         ArtifactError::UnsupportedVersion { found, supported } => {
             assert_eq!(found, 99);
-            assert_eq!(supported, 1);
+            assert_eq!(supported, 2);
         }
         other => panic!("unexpected error {other}"),
     }

@@ -211,7 +211,11 @@ fn fault_names_are_readable() {
                 "{name} names its site"
             );
             assert!(
-                name.contains("/SA") || name.contains("/ST") || name.contains("/BR"),
+                name.contains("/SA")
+                    || name.contains("/ST")
+                    || name.contains("/BR")
+                    || name.contains("/GD")
+                    || name.contains("/PDF"),
                 "{name} names its mechanism"
             );
         }
@@ -224,7 +228,7 @@ fn fault_names_are_readable() {
 fn bridging_faults_are_well_formed_across_the_suite() {
     for (name, netlist) in quick_netlists() {
         let pairs = netlist.adjacent_net_pairs();
-        for injection in Bridging.fault_list(&netlist, false) {
+        for injection in Bridging::default().fault_list(&netlist, false) {
             match injection {
                 Injection::Bridge {
                     victim, aggressor, ..
